@@ -1,0 +1,39 @@
+//! Ablation: PI-based pack apportioning (§VI.C) vs the naive uniform
+//! distribution the paper calls out as a strawman.
+//!
+//! Expected shape: under the uniform policy the small hot tables
+//! (warehouse, district, item, customer, stock) lose rows to pack and
+//! the IMRS hit rate drops; under the partitioned policy packing
+//! concentrates on order_line / orders / history / new_order and the
+//! hit rate stays high.
+
+use btrim_bench::{build, default_config, f3, run_epochs, TABLES};
+use btrim_core::config::PackPolicy;
+use btrim_core::EngineMode;
+
+fn main() {
+    println!("# Ablation — pack apportioning policy (§VI.C)");
+    for policy in [PackPolicy::Partitioned, PackPolicy::UniformNaive] {
+        let mut cfg = default_config(EngineMode::IlmOn);
+        cfg.pack_policy = policy;
+        let (_engine, driver) = build(&cfg);
+        let records = run_epochs(&driver, &cfg);
+        let last = records.last().unwrap();
+        let tpm: f64 = records.iter().map(|r| r.tpm).sum::<f64>() / records.len() as f64;
+        println!(
+            "## policy = {policy:?} (hit_rate {}, avg_tpm {:.0}, total_packed {})",
+            f3(last.snapshot.imrs_hit_rate()),
+            tpm,
+            last.snapshot.rows_packed,
+        );
+        btrim_bench::header(&["table", "rows_packed", "imrs_rows_left"]);
+        for n in TABLES {
+            let t = last.snapshot.table(n);
+            btrim_bench::row(&[
+                n.to_string(),
+                t.map_or(0, |t| t.rows_packed()).to_string(),
+                t.map_or(0, |t| t.imrs_rows()).to_string(),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 10: normalized ILM/pack parameters across steady-utilization
+//! thresholds.
+//!
+//! Expected shape: NumRowsPacked falls as the threshold rises (less
+//! pressure), NumRowsSkipped rises gently (more rows qualify as hot),
+//! and TPM stays roughly flat — hot data is retained at every setting.
+
+use btrim_bench::{build, default_config, f3, run_epochs};
+use btrim_core::EngineMode;
+
+fn main() {
+    let sweep = [0.50, 0.60, 0.70, 0.80, 0.90];
+    let mut rows = Vec::new();
+    for steady in sweep {
+        let mut cfg = default_config(EngineMode::IlmOn);
+        cfg.steady = steady;
+        let (_engine, driver) = build(&cfg);
+        let records = run_epochs(&driver, &cfg);
+        let last = records.last().unwrap();
+        let tpm: f64 = records.iter().map(|r| r.tpm).sum::<f64>() / records.len() as f64;
+        rows.push((
+            steady,
+            tpm,
+            last.snapshot.rows_packed as f64,
+            last.snapshot.rows_skipped_hot as f64,
+        ));
+        eprintln!("# steady {steady} done");
+    }
+    let max_tpm = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-9);
+    let max_packed = rows.iter().map(|r| r.2).fold(0.0f64, f64::max).max(1e-9);
+    let max_skipped = rows.iter().map(|r| r.3).fold(0.0f64, f64::max).max(1e-9);
+
+    println!("# Fig 10 — normalized TPM / NumRowsPacked / NumRowsSkipped");
+    btrim_bench::header(&[
+        "steady_threshold",
+        "norm_tpm",
+        "norm_rows_packed",
+        "norm_rows_skipped",
+    ]);
+    for (s, tpm, packed, skipped) in rows {
+        btrim_bench::row(&[
+            f3(s),
+            f3(tpm / max_tpm),
+            f3(packed / max_packed),
+            f3(skipped / max_skipped),
+        ]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 1 (evaluation): benefits of ILM strategies.
+//!
+//! Three identical TPC-C runs — PageOnly (reference), ILM_OFF
+//! (everything in memory), ILM_ON (full ILM) — reporting per epoch:
+//!
+//! * relative TPM of ILM_ON vs ILM_OFF (paper: within ±10% of 1.0);
+//! * % operations served by the IMRS under ILM_ON (paper: ~80%);
+//! * % reduction in cache utilization vs ILM_OFF (paper: ~40% by the
+//!   end of the run).
+
+use btrim_bench::{build, default_config, f3};
+use btrim_core::EngineMode;
+
+fn main() {
+    let cfg_off = default_config(EngineMode::IlmOff);
+    let cfg_on = default_config(EngineMode::IlmOn);
+    let cfg_page = default_config(EngineMode::PageOnly);
+
+    let (_e_page, d_page) = build(&cfg_page);
+    let (_e_off, d_off) = build(&cfg_off);
+    let (_e_on, d_on) = build(&cfg_on);
+    // Lock-step execution cancels host scheduling noise between modes.
+    let mut recs = btrim_bench::run_epochs_interleaved(&[
+        (&d_page, &cfg_page),
+        (&d_off, &cfg_off),
+        (&d_on, &cfg_on),
+    ]);
+    let on = recs.pop().unwrap();
+    let off = recs.pop().unwrap();
+    let page = recs.pop().unwrap();
+
+    println!("# Fig 1 — benefits of ILM strategies");
+    println!("# expectation: rel_tpm within ~0.9-1.1, hit_rate ~0.7-0.9, cache_reduction grows");
+    btrim_bench::header(&[
+        "epoch",
+        "rel_tpm_on_vs_off",
+        "imrs_hit_rate_on",
+        "cache_reduction_vs_off",
+        "tpm_gain_on_vs_page",
+        "tpm_gain_off_vs_page",
+    ]);
+    for i in 0..on.len() {
+        let rel = on[i].tpm / off[i].tpm.max(1e-9);
+        let hit = on[i].snapshot.imrs_hit_rate();
+        let red = 1.0
+            - on[i].snapshot.imrs_used_bytes as f64
+                / off[i].snapshot.imrs_used_bytes.max(1) as f64;
+        let gain_on = on[i].tpm / page[i].tpm.max(1e-9);
+        let gain_off = off[i].tpm / page[i].tpm.max(1e-9);
+        btrim_bench::row(&[
+            i.to_string(),
+            f3(rel),
+            f3(hit),
+            f3(red),
+            f3(gain_on),
+            f3(gain_off),
+        ]);
+    }
+    let last = on.len() - 1;
+    // Aggregate (noise-free) comparison over the whole run.
+    let agg = |recs: &[btrim_bench::EpochRecord]| -> f64 {
+        let committed: u64 = recs.iter().map(|r| r.stats.total_committed()).sum();
+        let secs: f64 = recs.iter().map(|r| r.stats.elapsed.as_secs_f64()).sum();
+        committed as f64 / (secs / 60.0)
+    };
+    let (tpm_on, tpm_off, tpm_page) = (agg(&on), agg(&off), agg(&page));
+    println!(
+        "# aggregate: rel_tpm_on_vs_off={} gain_on_vs_page={} gain_off_vs_page={}",
+        f3(tpm_on / tpm_off),
+        f3(tpm_on / tpm_page),
+        f3(tpm_off / tpm_page),
+    );
+    println!(
+        "# final: ILM_ON runs at {} of ILM_OFF throughput using {} of its cache, hit rate {}",
+        f3(on[last].tpm / off[last].tpm.max(1e-9)),
+        f3(on[last].snapshot.imrs_used_bytes as f64
+            / off[last].snapshot.imrs_used_bytes.max(1) as f64),
+        f3(on[last].snapshot.imrs_hit_rate()),
+    );
+}

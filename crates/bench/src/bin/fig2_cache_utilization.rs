@@ -1,0 +1,48 @@
+//! Fig. 2: cache utilization, ILM_ON vs ILM_OFF.
+//!
+//! Expected shape: ILM_OFF utilization grows without bound as the run
+//! progresses; ILM_ON stabilizes around the steady-utilization
+//! threshold of its (smaller) budget.
+
+use btrim_bench::{build, default_config, f3, mib, run_epochs};
+use btrim_core::EngineMode;
+
+fn main() {
+    let cfg_off = default_config(EngineMode::IlmOff);
+    let cfg_on = default_config(EngineMode::IlmOn);
+    let (_e_off, d_off) = build(&cfg_off);
+    let off = run_epochs(&d_off, &cfg_off);
+    let (_e_on, d_on) = build(&cfg_on);
+    let on = run_epochs(&d_on, &cfg_on);
+
+    println!("# Fig 2 — cache utilization over the run");
+    println!(
+        "# ILM_ON budget: {} MiB (steady threshold {})",
+        mib(cfg_on.imrs_budget),
+        cfg_on.steady
+    );
+    btrim_bench::header(&[
+        "epoch",
+        "ilm_off_mib",
+        "ilm_on_mib",
+        "ilm_on_utilization",
+    ]);
+    for i in 0..on.len() {
+        btrim_bench::row(&[
+            i.to_string(),
+            mib(off[i].snapshot.imrs_used_bytes),
+            mib(on[i].snapshot.imrs_used_bytes),
+            f3(on[i].snapshot.imrs_utilization),
+        ]);
+    }
+    // Stability check: max-vs-min over the second half of the run.
+    let half = &on[on.len() / 2..];
+    let max = half.iter().map(|r| r.snapshot.imrs_used_bytes).max().unwrap();
+    let min = half.iter().map(|r| r.snapshot.imrs_used_bytes).min().unwrap();
+    println!(
+        "# ILM_ON second-half stability: min {} MiB, max {} MiB (ratio {})",
+        mib(min),
+        mib(max),
+        f3(max as f64 / min.max(1) as f64)
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 3: per-table IMRS memory footprint over time, ILM_OFF.
+//!
+//! Expected shape: most tables' footprints grow as the run progresses
+//! (new inserts/updates keep bringing data in and nothing is packed);
+//! growth is dominated by order_line, orders, and history.
+
+use btrim_bench::{build, default_config, mib, run_epochs, TABLES};
+use btrim_core::EngineMode;
+
+fn main() {
+    let cfg = default_config(EngineMode::IlmOff);
+    let (_engine, driver) = build(&cfg);
+    let records = run_epochs(&driver, &cfg);
+
+    println!("# Fig 3 — per-table IMRS footprint (MiB), ILM_OFF");
+    let mut cols = vec!["epoch"];
+    cols.extend_from_slice(&TABLES);
+    btrim_bench::header(&cols);
+    for r in &records {
+        let mut cells = vec![r.epoch.to_string()];
+        for name in TABLES {
+            let bytes = r.snapshot.table(name).map_or(0, |t| t.imrs_bytes());
+            cells.push(mib(bytes));
+        }
+        btrim_bench::row(&cells);
+    }
+}

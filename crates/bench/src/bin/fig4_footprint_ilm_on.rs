@@ -1,0 +1,28 @@
+//! Fig. 4: per-table IMRS memory footprint over time, ILM_ON.
+//!
+//! Expected shape: footprints stabilize for every table; the small hot
+//! tables (warehouse, district) keep the same footprint as under
+//! ILM_OFF, while the big cold tables (order_line, orders, history)
+//! are held down by pack.
+
+use btrim_bench::{build, default_config, mib, run_epochs, TABLES};
+use btrim_core::EngineMode;
+
+fn main() {
+    let cfg = default_config(EngineMode::IlmOn);
+    let (_engine, driver) = build(&cfg);
+    let records = run_epochs(&driver, &cfg);
+
+    println!("# Fig 4 — per-table IMRS footprint (MiB), ILM_ON");
+    let mut cols = vec!["epoch"];
+    cols.extend_from_slice(&TABLES);
+    btrim_bench::header(&cols);
+    for r in &records {
+        let mut cells = vec![r.epoch.to_string()];
+        for name in TABLES {
+            let bytes = r.snapshot.table(name).map_or(0, |t| t.imrs_bytes());
+            cells.push(mib(bytes));
+        }
+        btrim_bench::row(&cells);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 6: average per-row re-use counts across tables (log scale in
+//! the paper).
+//!
+//! Expected ranking: warehouse ≫ district ≫ stock/customer/item ≫
+//! orders/new_order ≫ order_line/history (~0-1).
+
+use btrim_bench::{build, default_config, f3, run_epochs, TABLES};
+use btrim_core::EngineMode;
+
+fn main() {
+    let cfg = default_config(EngineMode::IlmOn);
+    let (_engine, driver) = build(&cfg);
+    let records = run_epochs(&driver, &cfg);
+    let last = records.last().expect("epochs ran");
+
+    println!("# Fig 6 — avg re-use per IMRS row, end of run (plot on log scale)");
+    btrim_bench::header(&["table", "avg_reuse_per_row", "reuse_ops", "imrs_rows"]);
+    for name in TABLES {
+        if let Some(t) = last.snapshot.table(name) {
+            btrim_bench::row(&[
+                name.to_string(),
+                f3(t.avg_reuse_per_row()),
+                t.reuse_ops().to_string(),
+                t.imrs_rows().to_string(),
+            ]);
+        }
+    }
+}

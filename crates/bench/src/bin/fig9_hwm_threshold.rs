@@ -1,0 +1,26 @@
+//! Fig. 9: high-water-mark cache utilization vs the steady cache
+//! utilization threshold.
+//!
+//! Expected shape: observed HWM utilization tracks the configured
+//! threshold across the sweep — pack and ILM balance demand around
+//! whatever level the operator chooses.
+
+use btrim_bench::{build, default_config, f3, run_epochs};
+use btrim_core::EngineMode;
+
+fn main() {
+    println!("# Fig 9 — HWM utilization for different steady thresholds");
+    btrim_bench::header(&["steady_threshold", "hwm_utilization", "final_utilization"]);
+    for steady in [0.50, 0.60, 0.70, 0.80, 0.90] {
+        let mut cfg = default_config(EngineMode::IlmOn);
+        cfg.steady = steady;
+        let (_engine, driver) = build(&cfg);
+        let records = run_epochs(&driver, &cfg);
+        let hwm = records
+            .iter()
+            .map(|r| r.snapshot.imrs_utilization)
+            .fold(0.0f64, f64::max);
+        let final_util = records.last().unwrap().snapshot.imrs_utilization;
+        btrim_bench::row(&[f3(steady), f3(hwm), f3(final_util)]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Table 1: profile of tables seen in the TPC-C schema.
+//!
+//! Runs the standard mix and prints each table's observed workload
+//! role. Expected shape (paper's Table 1): warehouse/district small
+//! with high scan+update rates; stock large with frequent updates;
+//! item read-only; history insert-only; order_line/orders large with
+//! heavy inserts and very low re-use; customer update-heavy; new_order
+//! queue-like (inserts + deletes).
+
+use btrim_bench::{build, default_config, run_epochs};
+use btrim_core::EngineMode;
+use btrim_tpcc::profile;
+
+fn main() {
+    let mut cfg = default_config(EngineMode::IlmOff);
+    cfg.epochs = 4;
+    let (engine, driver) = build(&cfg);
+    let records = run_epochs(&driver, &cfg);
+    let last = records.last().expect("ran epochs");
+    println!(
+        "# Table 1 — profiles after {} committed txns",
+        last.snapshot.committed_txns
+    );
+    let profiles = profile::table_profiles(&engine);
+    print!("{}", profile::render(&profiles));
+}

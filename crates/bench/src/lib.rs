@@ -1,0 +1,207 @@
+//! Experiment harness for the paper's evaluation (§VIII).
+//!
+//! Every table and figure has a regenerating binary in `src/bin/`; this
+//! library holds the shared machinery: engine construction per mode,
+//! epoch-based TPC-C runs with per-epoch snapshots, and small output
+//! helpers. Absolute numbers differ from the paper's 4-socket testbed;
+//! the binaries reproduce the *shapes* (who wins, by what factor, where
+//! the crossovers are). See EXPERIMENTS.md for paper-vs-measured notes.
+
+use std::sync::Arc;
+
+use btrim_core::{Engine, EngineConfig, EngineMode, EngineSnapshot};
+use btrim_tpcc::driver::{Driver, DriverStats};
+use btrim_tpcc::loader::{load, LoadSpec};
+
+/// One experiment's knobs.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Storage mode under test.
+    pub mode: EngineMode,
+    /// TPC-C population scale.
+    pub spec: LoadSpec,
+    /// Number of measurement epochs (the x-axis of time-series plots).
+    pub epochs: usize,
+    /// Transactions per epoch.
+    pub txns_per_epoch: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// IMRS budget in bytes.
+    pub imrs_budget: u64,
+    /// Steady cache utilization threshold.
+    pub steady: f64,
+    /// Pack apportioning policy (ablation knob).
+    pub pack_policy: btrim_core::config::PackPolicy,
+    /// Master pack switch (held off by the Fig. 8 queue probe).
+    pub pack_enabled: bool,
+    /// Timestamp Filter switch (ablation).
+    pub tsf_enabled: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            mode: EngineMode::IlmOn,
+            spec: LoadSpec {
+                warehouses: 2,
+                items: 1_000,
+                customers_per_district: 120,
+                orders_per_district: 120,
+                seed: 0xB7B1,
+            },
+            epochs: 10,
+            txns_per_epoch: 4_000,
+            threads: 2,
+            imrs_budget: 12 * 1024 * 1024,
+            steady: 0.70,
+            pack_policy: btrim_core::config::PackPolicy::Partitioned,
+            pack_enabled: true,
+            tsf_enabled: true,
+        }
+    }
+}
+
+/// Build an engine + loaded TPC-C database + driver for a config.
+pub fn build(cfg: &ExpConfig) -> (Arc<Engine>, Driver) {
+    let engine_cfg = EngineConfig {
+        mode: cfg.mode,
+        imrs_budget: match cfg.mode {
+            // ILM_OFF emulates an unlimited IMRS (the paper configured
+            // 150 GB); give it plenty so it never fills.
+            EngineMode::IlmOff => cfg.imrs_budget.max(512 * 1024 * 1024),
+            _ => cfg.imrs_budget,
+        },
+        imrs_chunk_size: 2 * 1024 * 1024,
+        buffer_frames: 8192,
+        steady_utilization: cfg.steady,
+        maintenance_interval_txns: 64,
+        tuning_window_txns: 2_000,
+        // Let pack be the primary cold-data outlet (as in the paper's
+        // runs): partitions are only disabled under real memory
+        // pressure, above the steady threshold.
+        tuning_utilization_floor: (cfg.steady + 0.10).min(0.95),
+        hysteresis_windows: 3,
+        // TSF-bypass threshold, rescaled for laptop-size runs: the
+        // paper's order_line saw ~0.93 re-uses per row on a 240-warehouse
+        // database; at our scale the same table shows ~2-3 (StockLevel
+        // and Delivery revisit a larger fraction of a small district's
+        // orders). 4.0 reproduces the paper's classification: the
+        // insert-heavy tables (order_line, orders, history, new_order)
+        // bypass the TSF and pack early, while stock / customer / item
+        // (re-use 10-100+) stay TSF-protected.
+        low_reuse_threshold: 4.0,
+        pack_policy: cfg.pack_policy,
+        pack_enabled: cfg.pack_enabled,
+        tsf_enabled: cfg.tsf_enabled,
+        ..Default::default()
+    };
+    let engine = Arc::new(Engine::new(engine_cfg));
+    let tables = Arc::new(load(&engine, &cfg.spec).expect("load TPC-C"));
+    // Maintenance (GC, tuning, pack) runs on background threads, as in
+    // the paper's deployment — client transactions never pay for it.
+    engine.spawn_background();
+    let driver = Driver::new(Arc::clone(&engine), tables, &cfg.spec);
+    (engine, driver)
+}
+
+/// Per-epoch record from a run.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Engine state at the end of the epoch.
+    pub snapshot: EngineSnapshot,
+    /// Driver counters for this epoch only.
+    pub stats: DriverStats,
+    /// Wall-clock TPM of this epoch.
+    pub tpm: f64,
+}
+
+/// Run one epoch of the configured workload and snapshot the engine.
+pub fn run_one_epoch(driver: &Driver, cfg: &ExpConfig, epoch: usize) -> EpochRecord {
+    let seed = cfg.spec.seed ^ (0xE0C4 + epoch as u64 * 7919);
+    let stats = driver.run(cfg.txns_per_epoch, cfg.threads, seed);
+    let tpm = stats.tpm();
+    // Settle maintenance so snapshots reflect steady state.
+    driver.engine().run_maintenance();
+    EpochRecord {
+        epoch,
+        snapshot: driver.engine().snapshot(),
+        stats,
+        tpm,
+    }
+}
+
+/// Run the configured workload epoch by epoch, snapshotting after each.
+pub fn run_epochs(driver: &Driver, cfg: &ExpConfig) -> Vec<EpochRecord> {
+    let mut out = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        out.push(run_one_epoch(driver, cfg, epoch));
+    }
+    // Stop background threads (queues, TSF state, and counters remain
+    // intact for post-run probes).
+    let _ = driver.engine().shutdown();
+    out
+}
+
+/// Run several configurations in lock-step: epoch 0 of every driver,
+/// then epoch 1, and so on. Throughput comparisons between the modes
+/// are then computed on *adjacent* measurements, which cancels most of
+/// the host's scheduling noise.
+pub fn run_epochs_interleaved(
+    drivers: &[(&Driver, &ExpConfig)],
+) -> Vec<Vec<EpochRecord>> {
+    let epochs = drivers.iter().map(|(_, c)| c.epochs).min().unwrap_or(0);
+    let mut out: Vec<Vec<EpochRecord>> = drivers.iter().map(|_| Vec::new()).collect();
+    for epoch in 0..epochs {
+        for (i, (driver, cfg)) in drivers.iter().enumerate() {
+            out[i].push(run_one_epoch(driver, cfg, epoch));
+        }
+    }
+    for (driver, _) in drivers {
+        let _ = driver.engine().shutdown();
+    }
+    out
+}
+
+/// Standard small scale used by most figures. Override fields as
+/// needed.
+pub fn default_config(mode: EngineMode) -> ExpConfig {
+    ExpConfig {
+        mode,
+        ..Default::default()
+    }
+}
+
+/// Print a TSV header line.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Print a TSV data row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Bytes → MiB with 2 decimals.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// The nine TPC-C table names, in the paper's reporting order.
+pub const TABLES: [&str; 9] = [
+    "warehouse",
+    "district",
+    "stock",
+    "item",
+    "history",
+    "order_line",
+    "orders",
+    "customer",
+    "new_order",
+];

@@ -1,0 +1,116 @@
+//! Engine-wide error type.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{PageId, RowId, TxnId};
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BtrimError>;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum BtrimError {
+    /// An I/O error from the disk backend or log device.
+    Io(io::Error),
+    /// The requested page does not exist on the device.
+    PageNotFound(PageId),
+    /// The requested row does not exist (or is not visible).
+    RowNotFound(RowId),
+    /// A row lock could not be acquired (conditional locks, deadlock
+    /// avoidance timeouts).
+    LockNotGranted { row: RowId, holder: Option<TxnId> },
+    /// The transaction was aborted (e.g. write-write conflict under
+    /// snapshot isolation).
+    TxnAborted { txn: TxnId, reason: String },
+    /// The IMRS fragment allocator could not satisfy an allocation and the
+    /// engine is rejecting new in-memory rows (§VI.A "stop storing new
+    /// rows in the IMRS").
+    ImrsFull { requested: usize, available: usize },
+    /// A buffer-cache frame could not be found or pinned.
+    BufferExhausted,
+    /// A record or page failed to decode (corruption or version skew).
+    Corrupt(String),
+    /// Catalog-level misuse: unknown table, duplicate key, schema
+    /// violation, and similar caller errors.
+    Invalid(String),
+    /// Unique-key violation on insert.
+    DuplicateKey(String),
+}
+
+impl fmt::Display for BtrimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtrimError::Io(e) => write!(f, "io error: {e}"),
+            BtrimError::PageNotFound(p) => write!(f, "page not found: {p}"),
+            BtrimError::RowNotFound(r) => write!(f, "row not found: {r}"),
+            BtrimError::LockNotGranted { row, holder } => match holder {
+                Some(t) => write!(f, "lock on {row} not granted (held by {t})"),
+                None => write!(f, "lock on {row} not granted"),
+            },
+            BtrimError::TxnAborted { txn, reason } => {
+                write!(f, "transaction {txn} aborted: {reason}")
+            }
+            BtrimError::ImrsFull {
+                requested,
+                available,
+            } => write!(
+                f,
+                "IMRS cache full: requested {requested} bytes, {available} available"
+            ),
+            BtrimError::BufferExhausted => write!(f, "buffer cache exhausted"),
+            BtrimError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            BtrimError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            BtrimError::DuplicateKey(msg) => write!(f, "duplicate key: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BtrimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BtrimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BtrimError {
+    fn from(e: io::Error) -> Self {
+        BtrimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BtrimError::LockNotGranted {
+            row: RowId(42),
+            holder: Some(TxnId(7)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("RowId(42)"));
+        assert!(s.contains("TxnId(7)"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: BtrimError = io::Error::other("boom").into();
+        assert!(matches!(e, BtrimError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn imrs_full_reports_sizes() {
+        let e = BtrimError::ImrsFull {
+            requested: 128,
+            available: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("128"));
+        assert!(s.contains("16"));
+    }
+}

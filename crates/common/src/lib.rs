@@ -1,0 +1,21 @@
+//! Shared foundation types for the BTrim hybrid storage engine.
+//!
+//! This crate holds the vocabulary used by every other crate in the
+//! workspace: strongly-typed identifiers ([`ids`]), the error type
+//! ([`error`]), cache-friendly sharded statistics counters ([`counters`],
+//! the per-CPU counters of §V.A of the paper), a small binary
+//! encode/decode layer ([`codec`]) used by row formats and log records,
+//! and a monotonic logical clock ([`clock`]) used for commit timestamps.
+
+pub mod clock;
+pub mod codec;
+pub mod counters;
+pub mod error;
+pub mod ids;
+
+pub use clock::LogicalClock;
+pub use counters::ShardedCounter;
+pub use error::{BtrimError, Result};
+pub use ids::{
+    Lsn, PageId, PartitionId, RowId, SlotId, TableId, Timestamp, TxnId, NULL_PAGE_ID,
+};

@@ -1,0 +1,376 @@
+//! Tables, partitions, and indexes.
+//!
+//! A table is a set of data partitions (heap files) plus its indexes: a
+//! unique primary B+tree, the non-logged hash index accelerating IMRS
+//! point lookups (§II), and any secondary B+trees. The paper applies
+//! every ILM decision at partition granularity (§V); an unpartitioned
+//! table is a single-partition table.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use btrim_common::{BtrimError, PartitionId, Result, TableId};
+use btrim_index::{BTreeIndex, HashIndex};
+use btrim_pagestore::{BufferCache, HeapFile};
+
+/// Extracts an index key from a row payload.
+pub type KeyExtractor = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// How rows map to partitions.
+#[derive(Clone, Copy, Debug)]
+pub enum Partitioner {
+    /// One partition for the whole table.
+    Single,
+    /// Hash of the full primary key, modulo `parts`.
+    HashKey {
+        /// Number of partitions.
+        parts: u32,
+    },
+    /// First four big-endian key bytes interpreted as u32, modulo
+    /// `parts` — natural for TPC-C keys that lead with a warehouse id
+    /// (range-partition-like semantics: §V's example of partitions with
+    /// distinct activity).
+    KeyPrefixU32 {
+        /// Number of partitions.
+        parts: u32,
+    },
+}
+
+impl Partitioner {
+    /// Number of partitions produced.
+    pub fn parts(&self) -> u32 {
+        match self {
+            Partitioner::Single => 1,
+            Partitioner::HashKey { parts } | Partitioner::KeyPrefixU32 { parts } => (*parts).max(1),
+        }
+    }
+
+    /// Index of the partition for `key` (0-based within the table).
+    pub fn index_of(&self, key: &[u8]) -> u32 {
+        match self {
+            Partitioner::Single => 0,
+            Partitioner::HashKey { parts } => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &b in key {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                (h % (*parts).max(1) as u64) as u32
+            }
+            Partitioner::KeyPrefixU32 { parts } => {
+                let mut buf = [0u8; 4];
+                for (i, b) in key.iter().take(4).enumerate() {
+                    buf[i] = *b;
+                }
+                u32::from_be_bytes(buf) % (*parts).max(1)
+            }
+        }
+    }
+}
+
+/// Options for table creation.
+#[derive(Clone)]
+pub struct TableOpts {
+    /// Table name (unique).
+    pub name: String,
+    /// Whether the table may use the IMRS at all.
+    pub imrs_enabled: bool,
+    /// Fully memory-resident: ILM rules are overridden for this table —
+    /// pack never evicts its rows and the auto-tuner never disables it.
+    /// The user configuration the paper's conclusion proposes (§X).
+    pub pinned: bool,
+    /// Partitioning scheme.
+    pub partitioner: Partitioner,
+    /// Primary-key extractor over the row payload.
+    pub primary_key: KeyExtractor,
+}
+
+impl TableOpts {
+    /// Single-partition, IMRS-enabled table.
+    pub fn new(name: &str, primary_key: KeyExtractor) -> Self {
+        TableOpts {
+            name: name.to_string(),
+            imrs_enabled: true,
+            pinned: false,
+            partitioner: Partitioner::Single,
+            primary_key,
+        }
+    }
+
+    /// Mark the table fully memory-resident.
+    pub fn pinned(mut self) -> Self {
+        self.pinned = true;
+        self
+    }
+}
+
+/// A secondary index definition.
+pub struct SecondaryIndex {
+    /// Index name.
+    pub name: String,
+    /// The tree (non-unique trees allow duplicate keys).
+    pub tree: BTreeIndex,
+    /// Key extractor over row payloads.
+    pub extractor: KeyExtractor,
+}
+
+/// A table: partitions, heaps, indexes, extractors.
+pub struct TableDesc {
+    /// Table id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Whether ILM may place this table's rows in the IMRS.
+    pub imrs_enabled: bool,
+    /// Fully memory-resident (ILM override, §X).
+    pub pinned: bool,
+    /// Partitioning scheme.
+    pub partitioner: Partitioner,
+    /// Global partition ids, indexed by the partitioner's 0-based index.
+    pub partitions: Vec<PartitionId>,
+    /// Per-partition heap files.
+    pub heaps: HashMap<PartitionId, HeapFile>,
+    /// Unique primary index: key → RowId.
+    pub primary: BTreeIndex,
+    /// IMRS fast-path hash index (primary key → RowId, IMRS rows only).
+    pub hash: HashIndex,
+    /// Primary key extractor.
+    pub primary_key: KeyExtractor,
+    /// Secondary indexes.
+    pub secondaries: RwLock<Vec<SecondaryIndex>>,
+}
+
+impl TableDesc {
+    /// Global partition id for `key`.
+    pub fn partition_of(&self, key: &[u8]) -> PartitionId {
+        self.partitions[self.partitioner.index_of(key) as usize]
+    }
+
+    /// Heap for a partition.
+    pub fn heap(&self, partition: PartitionId) -> &HeapFile {
+        &self.heaps[&partition]
+    }
+}
+
+/// The catalog: all tables, plus partition → table resolution.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<Vec<Arc<TableDesc>>>,
+    by_name: RwLock<HashMap<String, TableId>>,
+    by_partition: RwLock<HashMap<PartitionId, TableId>>,
+    next_partition: std::sync::atomic::AtomicU32,
+}
+
+impl Catalog {
+    /// Empty catalog. Partition ids start at 1 (0 is reserved for
+    /// engine-internal pages, e.g. index partitions get fresh ids too).
+    pub fn new() -> Self {
+        Catalog {
+            next_partition: std::sync::atomic::AtomicU32::new(1),
+            ..Default::default()
+        }
+    }
+
+    /// Allocate a globally-unique partition id.
+    pub fn allocate_partition(&self) -> PartitionId {
+        PartitionId(
+            self.next_partition
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Create a table with its heaps and primary/hash indexes.
+    pub fn create_table(&self, cache: &Arc<BufferCache>, opts: TableOpts) -> Result<Arc<TableDesc>> {
+        if self.by_name.read().contains_key(&opts.name) {
+            return Err(BtrimError::Invalid(format!(
+                "table {} already exists",
+                opts.name
+            )));
+        }
+        let id = TableId(self.tables.read().len() as u32);
+        let nparts = opts.partitioner.parts();
+        let mut partitions = Vec::with_capacity(nparts as usize);
+        let mut heaps = HashMap::new();
+        for _ in 0..nparts {
+            let p = self.allocate_partition();
+            partitions.push(p);
+            heaps.insert(p, HeapFile::new(p));
+        }
+        // Index pages are tagged with their own partition id so they
+        // never mix with data-partition accounting.
+        let index_partition = self.allocate_partition();
+        let primary = BTreeIndex::new(Arc::clone(cache), index_partition, true)?;
+        let table = Arc::new(TableDesc {
+            id,
+            name: opts.name.clone(),
+            imrs_enabled: opts.imrs_enabled,
+            pinned: opts.pinned,
+            partitioner: opts.partitioner,
+            partitions: partitions.clone(),
+            heaps,
+            primary,
+            hash: HashIndex::new(),
+            primary_key: opts.primary_key,
+            secondaries: RwLock::new(Vec::new()),
+        });
+        self.tables.write().push(Arc::clone(&table));
+        self.by_name.write().insert(opts.name, id);
+        let mut by_part = self.by_partition.write();
+        for p in partitions {
+            by_part.insert(p, id);
+        }
+        Ok(table)
+    }
+
+    /// Add a secondary index to a table. Unique secondaries reject
+    /// duplicate extracted keys at insert/update time.
+    pub fn create_secondary_index(
+        &self,
+        cache: &Arc<BufferCache>,
+        table: &TableDesc,
+        name: &str,
+        unique: bool,
+        extractor: KeyExtractor,
+    ) -> Result<()> {
+        if table.secondaries.read().iter().any(|s| s.name == name) {
+            return Err(BtrimError::Invalid(format!(
+                "index {name} already exists on {}",
+                table.name
+            )));
+        }
+        let index_partition = self.allocate_partition();
+        let tree = BTreeIndex::new(Arc::clone(cache), index_partition, unique)?;
+        table.secondaries.write().push(SecondaryIndex {
+            name: name.to_string(),
+            tree,
+            extractor,
+        });
+        Ok(())
+    }
+
+    /// Look up a table by id.
+    pub fn table(&self, id: TableId) -> Option<Arc<TableDesc>> {
+        self.tables.read().get(id.0 as usize).cloned()
+    }
+
+    /// Look up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<Arc<TableDesc>> {
+        let id = *self.by_name.read().get(name)?;
+        self.table(id)
+    }
+
+    /// Table owning a data partition.
+    pub fn table_of_partition(&self, p: PartitionId) -> Option<Arc<TableDesc>> {
+        let id = *self.by_partition.read().get(&p)?;
+        self.table(id)
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> Vec<Arc<TableDesc>> {
+        self.tables.read().clone()
+    }
+
+    /// All data partitions across all tables.
+    pub fn all_partitions(&self) -> Vec<PartitionId> {
+        self.by_partition.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrim_pagestore::MemDisk;
+
+    fn cache() -> Arc<BufferCache> {
+        Arc::new(BufferCache::new(Arc::new(MemDisk::new()), 256))
+    }
+
+    fn pk() -> KeyExtractor {
+        Arc::new(|row: &[u8]| row[..8.min(row.len())].to_vec())
+    }
+
+    #[test]
+    fn create_and_lookup_table() {
+        let cat = Catalog::new();
+        let c = cache();
+        let t = cat
+            .create_table(&c, TableOpts::new("warehouse", pk()))
+            .unwrap();
+        assert_eq!(t.name, "warehouse");
+        assert_eq!(t.partitions.len(), 1);
+        assert!(cat.table_by_name("warehouse").is_some());
+        assert!(cat.table_by_name("nope").is_none());
+        assert_eq!(cat.table(t.id).unwrap().id, t.id);
+        assert_eq!(
+            cat.table_of_partition(t.partitions[0]).unwrap().id,
+            t.id
+        );
+    }
+
+    #[test]
+    fn duplicate_table_name_rejected() {
+        let cat = Catalog::new();
+        let c = cache();
+        cat.create_table(&c, TableOpts::new("t", pk())).unwrap();
+        assert!(cat.create_table(&c, TableOpts::new("t", pk())).is_err());
+    }
+
+    #[test]
+    fn partitioners_route_consistently() {
+        let single = Partitioner::Single;
+        assert_eq!(single.parts(), 1);
+        assert_eq!(single.index_of(b"anything"), 0);
+
+        let hash = Partitioner::HashKey { parts: 8 };
+        let a = hash.index_of(b"key-a");
+        assert_eq!(hash.index_of(b"key-a"), a, "deterministic");
+        assert!(a < 8);
+
+        let pfx = Partitioner::KeyPrefixU32 { parts: 4 };
+        let k5 = 5u32.to_be_bytes();
+        let k9 = 9u32.to_be_bytes();
+        assert_eq!(pfx.index_of(&k5), 1);
+        assert_eq!(pfx.index_of(&k9), 1);
+        assert_eq!(pfx.index_of(&6u32.to_be_bytes()), 2);
+    }
+
+    #[test]
+    fn multi_partition_tables_get_distinct_heaps() {
+        let cat = Catalog::new();
+        let c = cache();
+        let t = cat
+            .create_table(
+                &c,
+                TableOpts {
+                    name: "stock".into(),
+                    imrs_enabled: true,
+                    pinned: false,
+                    partitioner: Partitioner::KeyPrefixU32 { parts: 4 },
+                    primary_key: pk(),
+                },
+            )
+            .unwrap();
+        assert_eq!(t.partitions.len(), 4);
+        let mut distinct: Vec<_> = t.partitions.clone();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+        for p in &t.partitions {
+            assert_eq!(t.heap(*p).partition(), *p);
+        }
+        // Key routing lands inside the table's partitions.
+        let p = t.partition_of(&7u32.to_be_bytes());
+        assert!(t.partitions.contains(&p));
+    }
+
+    #[test]
+    fn secondary_index_attach() {
+        let cat = Catalog::new();
+        let c = cache();
+        let t = cat.create_table(&c, TableOpts::new("customer", pk())).unwrap();
+        cat.create_secondary_index(&c, &t, "by_last_name", false, Arc::new(|r: &[u8]| r.to_vec()))
+            .unwrap();
+        assert_eq!(t.secondaries.read().len(), 1);
+        assert_eq!(t.secondaries.read()[0].name, "by_last_name");
+    }
+}

@@ -1,0 +1,206 @@
+//! Engine configuration.
+
+/// Storage strategy, matching the experiment setups of §VIII.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineMode {
+    /// Baseline: every operation uses the page store; the IMRS is
+    /// unused. This is the "TPCC run on the page-store with the
+    /// database fully-cached in the buffer cache" reference.
+    PageOnly,
+    /// ILM_OFF: every accessed row is stored in the IMRS, no pack, no
+    /// tuning — cache utilization grows without bound (configure a
+    /// large budget).
+    IlmOff,
+    /// ILM_ON: full ILM heuristics, partition tuning, and pack.
+    IlmOn,
+}
+
+/// How a pack cycle apportions `NumBytesToPack` across partitions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PackPolicy {
+    /// The paper's design: Usefulness / Cache-Utilization / Packability
+    /// indexes tax fat, cold partitions (§VI.C).
+    Partitioned,
+    /// The naive strawman the paper calls out: distribute the bytes
+    /// uniformly across all active partitions — "this has the downside
+    /// that all or most of the rows from some small partition (e.g.
+    /// warehouse) are unnecessarily packed, even though they are hot"
+    /// (§VI.C). Kept as an ablation baseline.
+    UniformNaive,
+}
+
+/// All engine knobs. `Default` gives a laptop-scale IlmOn setup.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Storage strategy.
+    pub mode: EngineMode,
+    /// IMRS cache budget in bytes.
+    pub imrs_budget: u64,
+    /// Fragment allocator chunk size in bytes.
+    pub imrs_chunk_size: u32,
+    /// Buffer cache capacity in frames (8 KiB each).
+    pub buffer_frames: usize,
+    /// Steady cache utilization threshold in [0, 1] (§VI.A). Pack
+    /// engages above this value; the system hovers around it.
+    pub steady_utilization: f64,
+    /// Fraction of current utilization to pack per pack cycle
+    /// (`NumBytesToPack`, §VI.C: "some small percentage of current IMRS
+    /// cache utilization").
+    pub pack_cycle_fraction: f64,
+    /// Rows per pack transaction ("Each pack transaction packs only a
+    /// small number of rows and commits frequently", §VII.B).
+    pub pack_txn_rows: usize,
+    /// Tuning window length in committed transactions (§V.B).
+    pub tuning_window_txns: u64,
+    /// Consecutive same-direction votes required before a partition's
+    /// IMRS use is toggled (hysteresis, §V.B).
+    pub hysteresis_windows: u32,
+    /// Reuse-per-row below which a partition is a disable candidate and
+    /// the TSF is bypassed during pack (§V.C, §VI.D.2).
+    pub low_reuse_threshold: f64,
+    /// Partitions using less than this fraction of the IMRS budget are
+    /// never disabled (§V.C "Partition IMRS utilization", default 1%).
+    pub min_partition_footprint: f64,
+    /// Below this cache utilization no partition is disabled (§V.C
+    /// "IMRS cache utilization" guard).
+    pub tuning_utilization_floor: f64,
+    /// Minimum new rows brought into the IMRS during a window for a
+    /// partition to be a disable candidate (§V.C "New IMRS usage").
+    pub min_new_rows_for_disable: u64,
+    /// Contention events in a window that re-enable a partition (§V.D).
+    pub contention_reenable_threshold: u64,
+    /// Reuse increase factor (vs. the window when the partition was
+    /// disabled) that re-enables a partition (§V.D).
+    pub reuse_reenable_factor: f64,
+    /// Small utilization increase used to learn the TSF (§VI.D.1,
+    /// "e.g. 1-5%").
+    pub tsf_learn_delta: f64,
+    /// Re-learn the TSF after this many committed transactions.
+    pub tsf_relearn_txns: u64,
+    /// Run maintenance (GC, tuning, pack) inline every N commits when no
+    /// background threads are spawned. Keeps single-threaded runs
+    /// deterministic.
+    pub maintenance_interval_txns: u64,
+    /// Number of background pack threads when spawned (the paper's
+    /// evaluation used 12).
+    pub pack_threads: usize,
+    /// Pack-cycle apportioning policy (ablation knob).
+    pub pack_policy: PackPolicy,
+    /// Master switch for the pack subsystem (probes and ablations can
+    /// hold pack off while GC, tuning, and TSF learning keep running).
+    pub pack_enabled: bool,
+    /// Ablation: disable the Timestamp Filter (§VI.D). Steady-state
+    /// pack then treats every queued row as cold, so recently-accessed
+    /// rows get packed and immediately migrate back on their next
+    /// touch — the thrash the TSF exists to prevent.
+    pub tsf_enabled: bool,
+    /// Flush both logs at every commit (durability over throughput).
+    /// Experiments leave this off and flush at pack/checkpoint
+    /// boundaries; the file-backed durability tests turn it on.
+    pub durable_commits: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: EngineMode::IlmOn,
+            imrs_budget: 256 * 1024 * 1024,
+            imrs_chunk_size: 4 * 1024 * 1024,
+            buffer_frames: 4096,
+            steady_utilization: 0.70,
+            pack_cycle_fraction: 0.05,
+            pack_txn_rows: 64,
+            tuning_window_txns: 2_000,
+            hysteresis_windows: 2,
+            low_reuse_threshold: 0.5,
+            min_partition_footprint: 0.01,
+            tuning_utilization_floor: 0.50,
+            min_new_rows_for_disable: 64,
+            contention_reenable_threshold: 16,
+            reuse_reenable_factor: 2.0,
+            tsf_learn_delta: 0.02,
+            tsf_relearn_txns: 10_000,
+            maintenance_interval_txns: 256,
+            pack_threads: 2,
+            pack_policy: PackPolicy::Partitioned,
+            pack_enabled: true,
+            tsf_enabled: true,
+            durable_commits: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience: a config in a given mode with an IMRS budget.
+    pub fn with_mode(mode: EngineMode, imrs_budget: u64) -> Self {
+        EngineConfig {
+            mode,
+            imrs_budget,
+            ..Default::default()
+        }
+    }
+
+    /// Utilization above which pack switches to aggressive mode: more
+    /// than half the gap between the steady threshold and full (§VI.A).
+    pub fn aggressive_utilization(&self) -> f64 {
+        self.steady_utilization + (1.0 - self.steady_utilization) / 2.0
+    }
+
+    /// Utilization above which the engine temporarily stops storing new
+    /// rows in the IMRS and routes operations to the page store
+    /// (§VI.A: ensures pack only has to drain existing cold data).
+    pub fn reject_new_utilization(&self) -> f64 {
+        (self.aggressive_utilization() + 1.0) / 2.0
+    }
+
+    /// Validate invariants; panic early on nonsense configs.
+    pub fn validate(&self) {
+        assert!(
+            (0.1..=0.95).contains(&self.steady_utilization),
+            "steady_utilization out of range"
+        );
+        assert!(self.pack_cycle_fraction > 0.0 && self.pack_cycle_fraction < 1.0);
+        assert!(self.pack_txn_rows > 0);
+        assert!(self.tuning_window_txns > 0);
+        assert!(self.imrs_budget >= self.imrs_chunk_size as u64);
+        assert!(self.buffer_frames >= 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        EngineConfig::default().validate();
+    }
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let c = EngineConfig::default();
+        assert!(c.steady_utilization < c.aggressive_utilization());
+        assert!(c.aggressive_utilization() < c.reject_new_utilization());
+        assert!(c.reject_new_utilization() < 1.0);
+    }
+
+    #[test]
+    fn aggressive_threshold_matches_paper_rule() {
+        // steady 70% → aggressive at 85% (half the remaining gap).
+        let c = EngineConfig {
+            steady_utilization: 0.70,
+            ..Default::default()
+        };
+        assert!((c.aggressive_utilization() - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_config_panics() {
+        EngineConfig {
+            steady_utilization: 1.5,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,1526 @@
+//! The BTrim engine: ISUD execution over the hybrid store.
+//!
+//! Every row is addressed by a stable `RowId`; indexes map keys to
+//! `RowId`s and the RID-Map resolves the physical home. The ILM rules
+//! of §IV are applied inline:
+//!
+//! * new inserts go to the IMRS (no page-store footprint);
+//! * a page-store row accessed through the unique (primary) index is
+//!   considered hot — updates *migrate* it, selects *cache* it;
+//! * per-partition enablement flags from the auto-tuner (§V) and the
+//!   pack subsystem's reject-new backpressure (§VI.A) gate all of the
+//!   above.
+//!
+//! Maintenance (GC, TSF learning, tuning windows, pack cycles) runs
+//! either inline every `maintenance_interval_txns` commits — fully
+//! deterministic, the default — or on background threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use btrim_common::{
+    BtrimError, LogicalClock, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId,
+};
+use btrim_imrs::{ImrsStore, RidMap, RowLocation, RowOrigin, VersionOp};
+use btrim_pagestore::{BufferCache, DiskBackend, MemDisk};
+use btrim_txn::{LockManager, LockMode, TxnManager};
+use btrim_wal::{ImrsLogRecord, LogSink, LogWriter, MemLog, PageLogRecord, RowOriginTag};
+
+use crate::catalog::{Catalog, KeyExtractor, TableDesc, TableOpts};
+use crate::config::{EngineConfig, EngineMode};
+use crate::gc::GcRegistry;
+use crate::metrics::MetricsRegistry;
+use crate::pack::PackState;
+use crate::queues::IlmQueues;
+use crate::stats::EngineSnapshot;
+use crate::tsf::TsfLearner;
+use crate::tuner::Tuner;
+use crate::txn_ctx::{PendingImrs, Transaction, UndoOp};
+
+/// Everything shared between the engine facade, background threads, and
+/// the pack/tuner/GC subsystems.
+pub(crate) struct Shared {
+    pub cfg: EngineConfig,
+    pub cache: Arc<BufferCache>,
+    pub store: ImrsStore,
+    pub ridmap: RidMap,
+    pub catalog: Catalog,
+    pub metrics: MetricsRegistry,
+    pub txns: TxnManager,
+    pub locks: LockManager,
+    pub clock: Arc<LogicalClock>,
+    pub syslog: LogWriter<PageLogRecord>,
+    pub imrslog: LogWriter<ImrsLogRecord>,
+    /// Group committers coalescing durable-commit syncs per log.
+    pub group_sys: btrim_wal::GroupCommitter,
+    pub group_imrs: btrim_wal::GroupCommitter,
+    pub queues: IlmQueues,
+    pub tsf: TsfLearner,
+    pub gc: GcRegistry,
+    pub tuner: Tuner,
+    pub pack: PackState,
+    maintenance_gate: Mutex<()>,
+    last_maintenance: AtomicU64,
+    /// Set when background maintenance threads are running; disables
+    /// the inline (commit-path) maintenance hook so client transactions
+    /// never pay for pack/GC work, as in the paper's deployment.
+    background: AtomicBool,
+    pub stop: AtomicBool,
+}
+
+/// The engine.
+pub struct Engine {
+    pub(crate) sh: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Prefix every page-store row with its stable RowId so recovery can
+/// rebuild the RID-Map and indexes from a heap scan.
+pub(crate) fn wrap_row(row_id: RowId, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + data.len());
+    out.extend_from_slice(&row_id.0.to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Split a page-store payload into (RowId, user bytes).
+pub(crate) fn unwrap_row(payload: &[u8]) -> Result<(RowId, &[u8])> {
+    if payload.len() < 8 {
+        return Err(BtrimError::Corrupt("page row shorter than header".into()));
+    }
+    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    Ok((RowId(id), &payload[8..]))
+}
+
+impl Engine {
+    /// Create an engine on in-memory devices (deterministic default).
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_devices(
+            cfg,
+            Arc::new(MemDisk::new()),
+            Arc::new(MemLog::new()),
+            Arc::new(MemLog::new()),
+        )
+    }
+
+    /// Create an engine over explicit devices (file-backed runs,
+    /// recovery tests).
+    pub fn with_devices(
+        cfg: EngineConfig,
+        disk: Arc<dyn DiskBackend>,
+        syslog: Arc<dyn LogSink>,
+        imrslog: Arc<dyn LogSink>,
+    ) -> Self {
+        cfg.validate();
+        let clock = Arc::new(LogicalClock::new());
+        let tsf = TsfLearner::new(
+            cfg.steady_utilization,
+            cfg.tsf_learn_delta,
+            cfg.tsf_relearn_txns,
+            cfg.tuning_window_txns,
+        );
+        let group_sys = btrim_wal::GroupCommitter::new(Arc::clone(&syslog));
+        let group_imrs = btrim_wal::GroupCommitter::new(Arc::clone(&imrslog));
+        let sh = Shared {
+            cache: Arc::new(BufferCache::new(disk, cfg.buffer_frames)),
+            store: ImrsStore::new(cfg.imrs_budget, cfg.imrs_chunk_size),
+            ridmap: RidMap::new(),
+            catalog: Catalog::new(),
+            metrics: MetricsRegistry::new(),
+            txns: TxnManager::new(Arc::clone(&clock)),
+            locks: LockManager::default(),
+            clock,
+            syslog: LogWriter::new(syslog),
+            imrslog: LogWriter::new(imrslog),
+            group_sys,
+            group_imrs,
+            queues: IlmQueues::new(),
+            tsf,
+            gc: GcRegistry::new(),
+            tuner: Tuner::new(),
+            pack: PackState::new(),
+            maintenance_gate: Mutex::new(()),
+            last_maintenance: AtomicU64::new(0),
+            background: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            cfg,
+        };
+        Engine {
+            sh: Arc::new(sh),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.sh.cfg
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, opts: TableOpts) -> Result<Arc<TableDesc>> {
+        self.sh.catalog.create_table(&self.sh.cache, opts)
+    }
+
+    /// Add a (non-unique) secondary index to a table.
+    pub fn create_secondary_index(
+        &self,
+        table: &TableDesc,
+        name: &str,
+        extractor: KeyExtractor,
+    ) -> Result<()> {
+        self.sh
+            .catalog
+            .create_secondary_index(&self.sh.cache, table, name, false, extractor)
+    }
+
+    /// Add a unique secondary index: inserts and updates whose extracted
+    /// key collides with an existing row fail with
+    /// [`BtrimError::DuplicateKey`].
+    pub fn create_unique_secondary_index(
+        &self,
+        table: &TableDesc,
+        name: &str,
+        extractor: KeyExtractor,
+    ) -> Result<()> {
+        self.sh
+            .catalog
+            .create_secondary_index(&self.sh.cache, table, name, true, extractor)
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<Arc<TableDesc>> {
+        self.sh.catalog.table_by_name(name)
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Transaction {
+        Transaction::new(self.sh.txns.begin())
+    }
+
+    // ------------------------------------------------------------------
+    // Placement decisions (§IV)
+    // ------------------------------------------------------------------
+
+    fn imrs_for_insert(&self, table: &TableDesc, partition: PartitionId) -> bool {
+        match self.sh.cfg.mode {
+            EngineMode::PageOnly => false,
+            EngineMode::IlmOff => true,
+            EngineMode::IlmOn => {
+                table.imrs_enabled
+                    && !self.sh.pack.reject_new()
+                    && self.sh.tuner.state(partition).allows_insert()
+            }
+        }
+    }
+
+    fn imrs_for_migrate(&self, table: &TableDesc, partition: PartitionId) -> bool {
+        match self.sh.cfg.mode {
+            EngineMode::PageOnly => false,
+            EngineMode::IlmOff => true,
+            EngineMode::IlmOn => {
+                table.imrs_enabled
+                    && !self.sh.pack.reject_new()
+                    && self.sh.tuner.state(partition).allows_migrate()
+            }
+        }
+    }
+
+    fn imrs_for_cache(&self, table: &TableDesc, partition: PartitionId) -> bool {
+        match self.sh.cfg.mode {
+            EngineMode::PageOnly => false,
+            EngineMode::IlmOff => true,
+            EngineMode::IlmOn => {
+                table.imrs_enabled
+                    && !self.sh.pack.reject_new()
+                    && self.sh.tuner.state(partition).allows_cache()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ISUD
+    // ------------------------------------------------------------------
+
+    /// Insert a row. The primary key is extracted from the payload.
+    pub fn insert(&self, txn: &mut Transaction, table: &TableDesc, row: &[u8]) -> Result<RowId> {
+        let key = (table.primary_key)(row);
+        let partition = table.partition_of(&key);
+        let row_id = self.sh.ridmap.allocate_row_id();
+
+        table.primary.insert(&key, row_id)?;
+        txn.undo.push(UndoOp::PrimaryAdd {
+            table: table.id,
+            key: key.clone(),
+        });
+        self.sh
+            .locks
+            .lock(txn.handle.id, row_id, LockMode::Exclusive)?;
+        txn.remember_lock(row_id);
+
+        let m = self.sh.metrics.get(partition);
+        let mut to_imrs = self.imrs_for_insert(table, partition);
+        if to_imrs {
+            match self.sh.store.insert_row(
+                row_id,
+                partition,
+                RowOrigin::Inserted,
+                txn.handle.id,
+                row,
+                self.sh.clock.now(),
+            ) {
+                Ok(imrs_row) => {
+                    self.sh.ridmap.set(row_id, RowLocation::Imrs);
+                    table.hash.insert(&key, row_id);
+                    txn.undo.push(UndoOp::HashAdd {
+                        table: table.id,
+                        key: key.clone(),
+                    });
+                    txn.undo.push(UndoOp::ImrsNewRow { row: row_id });
+                    txn.undo.push(UndoOp::RidSet {
+                        row: row_id,
+                        prev: None,
+                    });
+                    if let Some(v) = imrs_row.newest() {
+                        txn.to_stamp.push(v);
+                    }
+                    txn.pending_imrs.push(PendingImrs::Insert {
+                        partition,
+                        row: row_id,
+                        origin: RowOriginTag::Inserted,
+                        data: row.to_vec(),
+                    });
+                    txn.gc_rows.push(row_id);
+                    m.imrs_insert.inc();
+                    m.rows_in.inc();
+                }
+                Err(BtrimError::ImrsFull { .. }) if self.sh.cfg.mode == EngineMode::IlmOn => {
+                    // Graceful degradation (§VI.A): route to the page
+                    // store instead of failing the transaction.
+                    to_imrs = false;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !to_imrs {
+            let payload = wrap_row(row_id, row);
+            self.sh.cache.take_thread_contention();
+            let (page, slot) = table.heap(partition).insert(&self.sh.cache, &payload)?;
+            let contended = self.sh.cache.take_thread_contention() > 0;
+            m.page_ops.inc();
+            if contended {
+                m.page_contention.inc();
+            }
+            self.sh
+                .ridmap
+                .set(row_id, RowLocation::Page(page, slot));
+            self.ensure_begin(txn)?;
+            self.sh.syslog.append(&PageLogRecord::Insert {
+                txn: txn.handle.id,
+                partition,
+                row: row_id,
+                page,
+                slot,
+                data: payload,
+            })?;
+            txn.undo.push(UndoOp::PageInsert {
+                partition,
+                page,
+                slot,
+            });
+            txn.undo.push(UndoOp::RidSet {
+                row: row_id,
+                prev: None,
+            });
+        }
+        // Secondary index maintenance.
+        for (idx, sec) in table.secondaries.read().iter().enumerate() {
+            let skey = (sec.extractor)(row);
+            sec.tree.insert(&skey, row_id)?;
+            txn.undo.push(UndoOp::SecondaryAdd {
+                table: table.id,
+                idx,
+                key: skey,
+                row: row_id,
+            });
+        }
+        Ok(row_id)
+    }
+
+    /// Point select by primary key. Applies the hash-index fast path
+    /// and, for page-resident rows, the §IV caching rule.
+    pub fn get(
+        &self,
+        txn: &Transaction,
+        table: &TableDesc,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        // Fast path: the non-logged hash index spans IMRS rows only and
+        // resolves the RowId without touching the B+tree.
+        if self.sh.cfg.mode != EngineMode::PageOnly {
+            if let Some(row_id) = table.hash.get(key) {
+                return self.read_row(txn, table, row_id, true);
+            }
+        }
+        let Some(row_id) = table.primary.get(key)? else {
+            return Ok(None);
+        };
+        self.read_row(txn, table, row_id, true)
+    }
+
+    /// Read a row by RowId, resolving its location through the RID-Map.
+    /// `point_access` marks unique-index-driven access (the §IV hotness
+    /// signal that triggers caching).
+    pub fn read_row(
+        &self,
+        txn: &Transaction,
+        table: &TableDesc,
+        row_id: RowId,
+        point_access: bool,
+    ) -> Result<Option<Vec<u8>>> {
+        // Lock-free readers race online data movement (§VII.B): between
+        // the RID-Map read and the store access the row can be packed,
+        // migrated, or its freed slot reused by another row. Every such
+        // outcome is detected (dead slot, row-id mismatch, row gone from
+        // the store) and the resolution restarts from the RID-Map; each
+        // retry reflects a *completed* movement, so a handful of
+        // attempts always suffices.
+        for _attempt in 0..4 {
+            match self.sh.ridmap.get(row_id) {
+                None => return Ok(None),
+                Some(RowLocation::Imrs) => {
+                    let Some(row) = self.sh.store.get(row_id) else {
+                        continue; // packed out concurrently
+                    };
+                    let visible = self.read_imrs_visible(txn, &row)?;
+                    if visible.is_none() && row.version_count() == 0 {
+                        // We caught the row's Arc just as pack drained
+                        // its chain: the row lives on the page store
+                        // now. Resolve again through the RID-Map.
+                        continue;
+                    }
+                    return Ok(visible);
+                }
+                Some(RowLocation::Page(page, slot)) => {
+                    let partition = self.partition_of_page(table, page)?;
+                    let m = self.sh.metrics.get(partition);
+                    self.sh.cache.take_thread_contention();
+                    let payload = table.heap(partition).get(&self.sh.cache, page, slot)?;
+                    let contended = self.sh.cache.take_thread_contention() > 0;
+                    m.page_ops.inc();
+                    if contended {
+                        m.page_contention.inc();
+                    }
+                    let Some(payload) = payload else {
+                        continue; // row moved: dead slot
+                    };
+                    let (rid, data) = unwrap_row(&payload)?;
+                    if rid != row_id {
+                        continue; // slot freed and reused by another row
+                    }
+                    let data = data.to_vec();
+                    if point_access && self.imrs_for_cache(table, partition) {
+                        // Opportunistic caching; failure is harmless.
+                        let _ = self.move_to_imrs(
+                            txn.handle.id,
+                            table,
+                            partition,
+                            row_id,
+                            RowOrigin::Cached,
+                            true,
+                        );
+                    }
+                    return Ok(Some(data));
+                }
+            }
+        }
+        // The row kept moving under us (possible when pack and
+        // migration ping-pong a contended row). Fall back to the
+        // paper's rule — "Scanners which need consistent data handle
+        // this by looking up the row after acquiring a lock. Since data
+        // movement needs locks on the rows, scanners can safely access
+        // the row" (§VII.B). A shared lock under an internal owner
+        // freezes the location; movers hold exclusive locks.
+        let reader = self.sh.pack.internal_txn_id();
+        self.sh.locks.lock_timeout(
+            reader,
+            row_id,
+            LockMode::Shared,
+            std::time::Duration::from_millis(500),
+        )?;
+        let result = (|| match self.sh.ridmap.get(row_id) {
+            None => Ok(None),
+            Some(RowLocation::Imrs) => match self.sh.store.get(row_id) {
+                Some(row) => self.read_imrs_visible(txn, &row),
+                None => Ok(None),
+            },
+            Some(RowLocation::Page(page, slot)) => {
+                let partition = self.partition_of_page(table, page)?;
+                self.sh.metrics.get(partition).page_ops.inc();
+                match table.heap(partition).get(&self.sh.cache, page, slot)? {
+                    Some(payload) => {
+                        let (rid, data) = unwrap_row(&payload)?;
+                        debug_assert_eq!(rid, row_id, "location frozen under lock");
+                        Ok(Some(data.to_vec()))
+                    }
+                    None => Ok(None),
+                }
+            }
+        })();
+        self.sh.locks.unlock(reader, row_id);
+        result
+    }
+
+    /// Read the snapshot-visible version of a resident IMRS row.
+    fn read_imrs_visible(
+        &self,
+        txn: &Transaction,
+        row: &Arc<btrim_imrs::ImrsRow>,
+    ) -> Result<Option<Vec<u8>>> {
+        let m = self.sh.metrics.get(row.partition);
+        match row.visible_version(txn.handle.snapshot, txn.handle.id) {
+            Some(v) => {
+                if v.op == VersionOp::Delete {
+                    return Ok(None);
+                }
+                let data = v
+                    .handle
+                    .map(|h| self.sh.store.allocator().load(h))
+                    .ok_or_else(|| BtrimError::Corrupt("non-delete version without image".into()))?;
+                row.touch(self.sh.clock.now());
+                m.imrs_select.inc();
+                Ok(Some(data))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn partition_of_page(&self, table: &TableDesc, page: PageId) -> Result<PartitionId> {
+        let guard = self.sh.cache.fetch(page)?;
+        let p = guard.with_page_read(|v| v.partition());
+        // Defensive: the page must belong to one of the table's
+        // partitions.
+        if table.heaps.contains_key(&p) {
+            Ok(p)
+        } else {
+            Err(BtrimError::Corrupt(format!(
+                "page {page} belongs to partition {p}, not to table {}",
+                table.name
+            )))
+        }
+    }
+
+    /// Update a row by primary key. Returns `false` when the key does
+    /// not exist (or is invisible).
+    pub fn update(
+        &self,
+        txn: &mut Transaction,
+        table: &TableDesc,
+        key: &[u8],
+        new_row: &[u8],
+    ) -> Result<bool> {
+        let Some(row_id) = table
+            .hash
+            .get(key)
+            .map_or_else(|| table.primary.get(key), |r| Ok(Some(r)))?
+        else {
+            return Ok(false);
+        };
+        self.sh
+            .locks
+            .lock(txn.handle.id, row_id, LockMode::Exclusive)?;
+        txn.remember_lock(row_id);
+
+        match self.sh.ridmap.get(row_id) {
+            None => Ok(false),
+            Some(RowLocation::Imrs) => self.update_imrs(txn, table, key, row_id, new_row),
+            Some(RowLocation::Page(page, slot)) => {
+                let partition = self.partition_of_page(table, page)?;
+                if self.imrs_for_migrate(table, partition) {
+                    // §IV: update via unique index migrates the row.
+                    match self.move_to_imrs(
+                        txn.handle.id,
+                        table,
+                        partition,
+                        row_id,
+                        RowOrigin::Migrated,
+                        false,
+                    ) {
+                        Ok(()) => return self.update_imrs(txn, table, key, row_id, new_row),
+                        Err(BtrimError::ImrsFull { .. }) => { /* fall through to page path */ }
+                        Err(e) => return Err(e),
+                    }
+                }
+                self.update_page(txn, table, key, row_id, partition, page, slot, new_row)
+            }
+        }
+    }
+
+    /// Read-modify-write by primary key: locks the row, reads the
+    /// *latest committed* image (or this transaction's own pending
+    /// image), applies `f`, and writes the result. This is the correct
+    /// primitive for counter-style updates (TPC-C `d_next_o_id`, stock
+    /// quantities): a snapshot read here would lose updates.
+    ///
+    /// Returns the new image, or `None` when the key does not exist.
+    pub fn update_rmw(
+        &self,
+        txn: &mut Transaction,
+        table: &TableDesc,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> Vec<u8>,
+    ) -> Result<Option<Vec<u8>>> {
+        let Some(row_id) = table
+            .hash
+            .get(key)
+            .map_or_else(|| table.primary.get(key), |r| Ok(Some(r)))?
+        else {
+            return Ok(None);
+        };
+        self.sh
+            .locks
+            .lock(txn.handle.id, row_id, LockMode::Exclusive)?;
+        txn.remember_lock(row_id);
+        let Some(current) = self.read_current(txn, table, row_id)? else {
+            return Ok(None);
+        };
+        let new_row = f(&current);
+        let updated = match self.sh.ridmap.get(row_id) {
+            Some(RowLocation::Imrs) => self.update_imrs(txn, table, key, row_id, &new_row)?,
+            Some(RowLocation::Page(page, slot)) => {
+                let partition = self.partition_of_page(table, page)?;
+                if self.imrs_for_migrate(table, partition) {
+                    match self.move_to_imrs(
+                        txn.handle.id,
+                        table,
+                        partition,
+                        row_id,
+                        RowOrigin::Migrated,
+                        false,
+                    ) {
+                        Ok(()) => self.update_imrs(txn, table, key, row_id, &new_row)?,
+                        Err(BtrimError::ImrsFull { .. }) => self.update_page(
+                            txn, table, key, row_id, partition, page, slot, &new_row,
+                        )?,
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    self.update_page(txn, table, key, row_id, partition, page, slot, &new_row)?
+                }
+            }
+            None => false,
+        };
+        Ok(updated.then_some(new_row))
+    }
+
+    /// Read the row image this transaction would overwrite: its own
+    /// uncommitted version if it has one, else the latest committed
+    /// version. Caller holds the row's exclusive lock.
+    fn read_current(
+        &self,
+        txn: &Transaction,
+        table: &TableDesc,
+        row_id: RowId,
+    ) -> Result<Option<Vec<u8>>> {
+        match self.sh.ridmap.get(row_id) {
+            Some(RowLocation::Imrs) => {
+                let Some(row) = self.sh.store.get(row_id) else {
+                    return Ok(None);
+                };
+                let v = match row.newest() {
+                    Some(v) if v.txn == txn.handle.id || v.commit_ts().is_some() => Some(v),
+                    _ => row.latest_committed(),
+                };
+                match v {
+                    Some(v) if v.op != VersionOp::Delete => Ok(v
+                        .handle
+                        .map(|h| self.sh.store.allocator().load(h))),
+                    _ => Ok(None),
+                }
+            }
+            Some(RowLocation::Page(page, slot)) => {
+                let partition = self.partition_of_page(table, page)?;
+                match table.heap(partition).get(&self.sh.cache, page, slot)? {
+                    Some(payload) => Ok(Some(unwrap_row(&payload)?.1.to_vec())),
+                    None => Ok(None),
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn update_imrs(
+        &self,
+        txn: &mut Transaction,
+        table: &TableDesc,
+        _key: &[u8],
+        row_id: RowId,
+        new_row: &[u8],
+    ) -> Result<bool> {
+        let Some(row) = self.sh.store.get(row_id) else {
+            return Ok(false);
+        };
+        // Old image for secondary-index maintenance.
+        let old = match row.visible_version(txn.handle.snapshot, txn.handle.id) {
+            Some(v) if v.op != VersionOp::Delete => v
+                .handle
+                .map(|h| self.sh.store.allocator().load(h))
+                .unwrap_or_default(),
+            _ => return Ok(false),
+        };
+        let v = self
+            .sh
+            .store
+            .add_version(&row, txn.handle.id, VersionOp::Update, Some(new_row))?;
+        txn.to_stamp.push(v);
+        txn.remember_touched(&row);
+        txn.pending_imrs.push(PendingImrs::Update {
+            partition: row.partition,
+            row: row_id,
+            data: new_row.to_vec(),
+        });
+        txn.gc_rows.push(row_id);
+        row.touch(self.sh.clock.now());
+        self.sh.metrics.get(row.partition).imrs_update.inc();
+        self.maintain_secondaries(txn, table, row_id, &old, Some(new_row))?;
+        Ok(true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update_page(
+        &self,
+        txn: &mut Transaction,
+        table: &TableDesc,
+        _key: &[u8],
+        row_id: RowId,
+        partition: PartitionId,
+        page: PageId,
+        slot: SlotId,
+        new_row: &[u8],
+    ) -> Result<bool> {
+        let heap = table.heap(partition);
+        let m = self.sh.metrics.get(partition);
+        self.sh.cache.take_thread_contention();
+        let Some(old_payload) = heap.get(&self.sh.cache, page, slot)? else {
+            return Ok(false);
+        };
+        let (_, old_data) = unwrap_row(&old_payload)?;
+        let old_data = old_data.to_vec();
+        let new_payload = wrap_row(row_id, new_row);
+        let in_place = heap.try_update_in_place(&self.sh.cache, page, slot, &new_payload)?;
+        self.ensure_begin(txn)?;
+        if in_place {
+            let contended = self.sh.cache.take_thread_contention() > 0;
+            m.page_ops.inc();
+            if contended {
+                m.page_contention.inc();
+            }
+            self.sh.syslog.append(&PageLogRecord::Update {
+                txn: txn.handle.id,
+                partition,
+                row: row_id,
+                page,
+                slot,
+                old: old_payload.clone(),
+                new: new_payload,
+            })?;
+            txn.undo.push(UndoOp::PageUpdate {
+                partition,
+                page,
+                slot,
+                old: old_payload,
+            });
+        } else {
+            // Relocation: insert the new image, repoint the RID-Map,
+            // only then delete the old copy — a concurrent reader that
+            // raced the RID-Map read finds either the old live slot or,
+            // after one retry, the new location; never a dead end.
+            let (new_page, new_slot) = heap.insert(&self.sh.cache, &new_payload)?;
+            let contended = self.sh.cache.take_thread_contention() > 0;
+            m.page_ops.inc();
+            if contended {
+                m.page_contention.inc();
+            }
+            let prev = self.sh.ridmap.get(row_id);
+            self.sh
+                .ridmap
+                .set(row_id, RowLocation::Page(new_page, new_slot));
+            heap.delete(&self.sh.cache, page, slot)?;
+            self.sh.syslog.append(&PageLogRecord::Delete {
+                txn: txn.handle.id,
+                partition,
+                row: row_id,
+                page,
+                slot,
+                old: old_payload.clone(),
+            })?;
+            self.sh.syslog.append(&PageLogRecord::Insert {
+                txn: txn.handle.id,
+                partition,
+                row: row_id,
+                page: new_page,
+                slot: new_slot,
+                data: new_payload,
+            })?;
+            txn.undo.push(UndoOp::PageDelete {
+                table: table.id,
+                partition,
+                row: row_id,
+                old: old_payload,
+            });
+            txn.undo.push(UndoOp::PageInsert {
+                partition,
+                page: new_page,
+                slot: new_slot,
+            });
+            txn.undo.push(UndoOp::RidSet { row: row_id, prev });
+        }
+        self.maintain_secondaries(txn, table, row_id, &old_data, Some(new_row))?;
+        Ok(true)
+    }
+
+    /// Delete a row by primary key. Returns `false` if absent.
+    pub fn delete(&self, txn: &mut Transaction, table: &TableDesc, key: &[u8]) -> Result<bool> {
+        let Some(row_id) = table
+            .hash
+            .get(key)
+            .map_or_else(|| table.primary.get(key), |r| Ok(Some(r)))?
+        else {
+            return Ok(false);
+        };
+        self.sh
+            .locks
+            .lock(txn.handle.id, row_id, LockMode::Exclusive)?;
+        txn.remember_lock(row_id);
+
+        match self.sh.ridmap.get(row_id) {
+            None => Ok(false),
+            Some(RowLocation::Imrs) => {
+                let Some(row) = self.sh.store.get(row_id) else {
+                    return Ok(false);
+                };
+                let old = match row.visible_version(txn.handle.snapshot, txn.handle.id) {
+                    Some(v) if v.op != VersionOp::Delete => v
+                        .handle
+                        .map(|h| self.sh.store.allocator().load(h))
+                        .unwrap_or_default(),
+                    _ => return Ok(false),
+                };
+                let v = self
+                    .sh
+                    .store
+                    .add_version(&row, txn.handle.id, VersionOp::Delete, None)?;
+                txn.to_stamp.push(v);
+                txn.remember_touched(&row);
+                txn.pending_imrs.push(PendingImrs::Delete {
+                    partition: row.partition,
+                    row: row_id,
+                });
+                txn.gc_rows.push(row_id);
+                self.sh.metrics.get(row.partition).imrs_delete.inc();
+                // Index removal is immediate (see DESIGN.md trade-offs).
+                if table.hash.remove(key).is_some() {
+                    txn.undo.push(UndoOp::HashRemove {
+                        table: table.id,
+                        key: key.to_vec(),
+                        row: row_id,
+                    });
+                }
+                if table.primary.delete(key, Some(row_id))? {
+                    txn.undo.push(UndoOp::PrimaryRemove {
+                        table: table.id,
+                        key: key.to_vec(),
+                        row: row_id,
+                    });
+                }
+                self.maintain_secondaries(txn, table, row_id, &old, None)?;
+                Ok(true)
+            }
+            Some(RowLocation::Page(page, slot)) => {
+                let partition = self.partition_of_page(table, page)?;
+                let heap = table.heap(partition);
+                let m = self.sh.metrics.get(partition);
+                self.sh.cache.take_thread_contention();
+                let Some(old_payload) = heap.get(&self.sh.cache, page, slot)? else {
+                    return Ok(false);
+                };
+                heap.delete(&self.sh.cache, page, slot)?;
+                let contended = self.sh.cache.take_thread_contention() > 0;
+                m.page_ops.inc();
+                if contended {
+                    m.page_contention.inc();
+                }
+                let (_, old_data) = unwrap_row(&old_payload)?;
+                let old_data = old_data.to_vec();
+                self.ensure_begin(txn)?;
+                self.sh.syslog.append(&PageLogRecord::Delete {
+                    txn: txn.handle.id,
+                    partition,
+                    row: row_id,
+                    page,
+                    slot,
+                    old: old_payload.clone(),
+                })?;
+                let prev = self.sh.ridmap.remove(row_id);
+                txn.undo.push(UndoOp::PageDelete {
+                    table: table.id,
+                    partition,
+                    row: row_id,
+                    old: old_payload,
+                });
+                let _ = prev;
+                if table.primary.delete(key, Some(row_id))? {
+                    txn.undo.push(UndoOp::PrimaryRemove {
+                        table: table.id,
+                        key: key.to_vec(),
+                        row: row_id,
+                    });
+                }
+                self.maintain_secondaries(txn, table, row_id, &old_data, None)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Keep secondary indexes aligned when a row changes or disappears.
+    fn maintain_secondaries(
+        &self,
+        txn: &mut Transaction,
+        table: &TableDesc,
+        row_id: RowId,
+        old_row: &[u8],
+        new_row: Option<&[u8]>,
+    ) -> Result<()> {
+        for (idx, sec) in table.secondaries.read().iter().enumerate() {
+            let old_key = (sec.extractor)(old_row);
+            match new_row {
+                Some(new_row) => {
+                    let new_key = (sec.extractor)(new_row);
+                    if new_key != old_key {
+                        if sec.tree.delete(&old_key, Some(row_id))? {
+                            txn.undo.push(UndoOp::SecondaryRemove {
+                                table: table.id,
+                                idx,
+                                key: old_key,
+                                row: row_id,
+                            });
+                        }
+                        sec.tree.insert(&new_key, row_id)?;
+                        txn.undo.push(UndoOp::SecondaryAdd {
+                            table: table.id,
+                            idx,
+                            key: new_key,
+                            row: row_id,
+                        });
+                    }
+                }
+                None => {
+                    if sec.tree.delete(&old_key, Some(row_id))? {
+                        txn.undo.push(UndoOp::SecondaryRemove {
+                            table: table.id,
+                            idx,
+                            key: old_key,
+                            row: row_id,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up rows via a secondary index. Returns visible `(RowId,
+    /// row)` pairs.
+    pub fn get_by_index(
+        &self,
+        txn: &Transaction,
+        table: &TableDesc,
+        index: &str,
+        key: &[u8],
+    ) -> Result<Vec<(RowId, Vec<u8>)>> {
+        let row_ids = {
+            let secs = table.secondaries.read();
+            let sec = secs
+                .iter()
+                .find(|s| s.name == index)
+                .ok_or_else(|| BtrimError::Invalid(format!("no index {index}")))?;
+            sec.tree.get_all(key)?
+        };
+        let mut out = Vec::with_capacity(row_ids.len());
+        for rid in row_ids {
+            if let Some(row) = self.read_row(txn, table, rid, false)? {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range scan over a secondary index: visible rows with index keys
+    /// in `[lo, hi)`. `f` receives `(index_key, row_id, row)` and stops
+    /// the scan by returning `false`.
+    pub fn scan_secondary_range(
+        &self,
+        txn: &Transaction,
+        table: &TableDesc,
+        index: &str,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], RowId, &[u8]) -> bool,
+    ) -> Result<()> {
+        let hits: Vec<(Vec<u8>, RowId)> = {
+            let secs = table.secondaries.read();
+            let sec = secs
+                .iter()
+                .find(|s| s.name == index)
+                .ok_or_else(|| BtrimError::Invalid(format!("no index {index}")))?;
+            let mut out = Vec::new();
+            sec.tree.scan_range(lo, hi, |k, rid| {
+                out.push((k.to_vec(), rid));
+                true
+            })?;
+            out
+        };
+        for (k, rid) in hits {
+            if let Some(row) = self.read_row(txn, table, rid, false)? {
+                if !f(&k, rid, &row) {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Range scan over the primary index: visible rows with keys in
+    /// `[lo, hi)`. `f` returning `false` stops the scan.
+    pub fn scan_range(
+        &self,
+        txn: &Transaction,
+        table: &TableDesc,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], RowId, &[u8]) -> bool,
+    ) -> Result<()> {
+        let mut hits: Vec<(Vec<u8>, RowId)> = Vec::new();
+        table.primary.scan_range(lo, hi, |k, rid| {
+            hits.push((k.to_vec(), rid));
+            true
+        })?;
+        for (k, rid) in hits {
+            if let Some(row) = self.read_row(txn, table, rid, false)? {
+                if !f(&k, rid, &row) {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data movement (page store → IMRS): migration and caching
+    // ------------------------------------------------------------------
+
+    /// Move a page-resident row into the IMRS as an internally-committed
+    /// mini-transaction. The caller either already holds the row's
+    /// exclusive lock (`opportunistic = false`, update/migrate path) or
+    /// asks for a conditional lock (`opportunistic = true`, select/cache
+    /// path — skipped silently on contention).
+    pub(crate) fn move_to_imrs(
+        &self,
+        _caller: TxnId,
+        table: &TableDesc,
+        partition: PartitionId,
+        row_id: RowId,
+        origin: RowOrigin,
+        opportunistic: bool,
+    ) -> Result<()> {
+        if opportunistic {
+            // Use a dedicated internal lock owner: if the calling
+            // transaction (or anyone else) holds the row, the
+            // conditional lock fails and caching is skipped — we must
+            // never piggy-back on (and then release) a caller's lock.
+            let mover = self.sh.pack.internal_txn_id();
+            if !self.sh.locks.try_lock(mover, row_id, LockMode::Exclusive) {
+                return Ok(()); // contended: skip caching
+            }
+            let result = self.move_to_imrs_locked(table, partition, row_id, origin);
+            self.sh.locks.unlock(mover, row_id);
+            return result;
+        }
+        // Non-opportunistic path: the caller already holds the lock.
+        self.move_to_imrs_locked(table, partition, row_id, origin)
+    }
+
+    fn move_to_imrs_locked(
+        &self,
+        table: &TableDesc,
+        partition: PartitionId,
+        row_id: RowId,
+        origin: RowOrigin,
+    ) -> Result<()> {
+        // Revalidate under the lock.
+        let Some(RowLocation::Page(page, slot)) = self.sh.ridmap.get(row_id) else {
+            return Ok(());
+        };
+        let heap = table.heap(partition);
+        let Some(payload) = heap.get(&self.sh.cache, page, slot)? else {
+            return Ok(());
+        };
+        let (_, data) = unwrap_row(&payload)?;
+        let data = data.to_vec();
+
+        // Stamp with the oldest active snapshot so every live reader
+        // sees the (already committed) image in its new home.
+        let ts_mig = self.sh.txns.oldest_active_snapshot();
+        let itxn = self.sh.txns.begin();
+        let imrs_row = match self.sh.store.insert_row_committed(
+            row_id,
+            partition,
+            origin,
+            itxn.id,
+            &data,
+            ts_mig,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                self.sh.txns.abort(itxn);
+                return Err(e);
+            }
+        };
+        // Publish the new home FIRST: a concurrent reader that catches
+        // the stale Page location finds a dead slot, retries the
+        // RID-Map once, and lands here. Deleting the page copy before
+        // repointing would leave a window where the row is unreachable.
+        self.sh.ridmap.set(row_id, RowLocation::Imrs);
+        let key = (table.primary_key)(&data);
+        table.hash.insert(&key, row_id);
+        // No double buffering (§II): the page copy is removed.
+        heap.delete(&self.sh.cache, page, slot)?;
+        self.sh.syslog.append(&PageLogRecord::Begin { txn: itxn.id })?;
+        self.sh.syslog.append(&PageLogRecord::Delete {
+            txn: itxn.id,
+            partition,
+            row: row_id,
+            page,
+            slot,
+            old: payload,
+        })?;
+        self.sh.imrslog.append(&ImrsLogRecord::Insert {
+            txn: itxn.id,
+            ts: ts_mig,
+            partition,
+            row: row_id,
+            origin: origin_tag(origin),
+            data,
+        })?;
+        let commit_ts = self.sh.txns.commit(itxn);
+        self.sh.syslog.append(&PageLogRecord::Commit {
+            txn: itxn.id,
+            ts: commit_ts,
+        })?;
+        let _ = imrs_row;
+        self.sh.gc.register(row_id);
+        self.sh.metrics.get(partition).rows_in.inc();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    fn ensure_begin(&self, txn: &mut Transaction) -> Result<()> {
+        if !txn.wrote_syslog {
+            self.sh
+                .syslog
+                .append(&PageLogRecord::Begin { txn: txn.handle.id })?;
+            txn.wrote_syslog = true;
+        }
+        Ok(())
+    }
+
+    /// Commit a transaction, returning its commit timestamp.
+    pub fn commit(&self, mut txn: Transaction) -> Result<Timestamp> {
+        let ts = self.sh.txns.commit(txn.handle);
+        for v in txn.to_stamp.drain(..) {
+            v.stamp(ts);
+        }
+        let id = txn.handle.id;
+        for p in txn.pending_imrs.drain(..) {
+            let rec = match p {
+                PendingImrs::Insert {
+                    partition,
+                    row,
+                    origin,
+                    data,
+                } => ImrsLogRecord::Insert {
+                    txn: id,
+                    ts,
+                    partition,
+                    row,
+                    origin,
+                    data,
+                },
+                PendingImrs::Update {
+                    partition,
+                    row,
+                    data,
+                } => ImrsLogRecord::Update {
+                    txn: id,
+                    ts,
+                    partition,
+                    row,
+                    data,
+                },
+                PendingImrs::Delete { partition, row } => ImrsLogRecord::Delete {
+                    txn: id,
+                    ts,
+                    partition,
+                    row,
+                },
+            };
+            self.sh.imrslog.append(&rec)?;
+        }
+        if txn.wrote_syslog {
+            self.sh.syslog.append(&PageLogRecord::Commit { txn: id, ts })?;
+        }
+        if self.sh.cfg.durable_commits {
+            // Group commit: concurrent committers share device syncs.
+            self.sh.group_imrs.commit_flush()?;
+            if txn.wrote_syslog {
+                self.sh.group_sys.commit_flush()?;
+            }
+        }
+        self.sh.gc.register_many(txn.gc_rows.drain(..));
+        self.sh.locks.unlock_all(id, txn.locks.iter());
+        txn.locks.clear();
+        txn.finished = true;
+        self.maybe_maintenance();
+        Ok(ts)
+    }
+
+    /// Abort a transaction: undo page-store changes physically, drop
+    /// uncommitted IMRS versions, restore index entries.
+    pub fn abort(&self, mut txn: Transaction) {
+        let id = txn.handle.id;
+        // Reverse-order undo.
+        let undo: Vec<UndoOp> = txn.undo.drain(..).collect();
+        for op in undo.into_iter().rev() {
+            self.apply_undo(op);
+        }
+        for row in txn.touched_imrs.drain(..) {
+            self.sh.store.rollback_row(&row, id);
+        }
+        if txn.wrote_syslog {
+            let _ = self.sh.syslog.append(&PageLogRecord::Abort { txn: id });
+        }
+        self.sh.txns.abort(txn.handle);
+        self.sh.locks.unlock_all(id, txn.locks.iter());
+        txn.locks.clear();
+        txn.finished = true;
+    }
+
+    fn apply_undo(&self, op: UndoOp) {
+        match op {
+            UndoOp::PageInsert {
+                partition,
+                page,
+                slot,
+            } => {
+                if let Some(table) = self.sh.catalog.table_of_partition(partition) {
+                    let _ = table.heap(partition).delete(&self.sh.cache, page, slot);
+                }
+            }
+            UndoOp::PageUpdate {
+                partition,
+                page,
+                slot,
+                old,
+            } => {
+                if let Some(table) = self.sh.catalog.table_of_partition(partition) {
+                    let _ = table
+                        .heap(partition)
+                        .update(&self.sh.cache, page, slot, &old);
+                }
+            }
+            UndoOp::PageDelete {
+                table,
+                partition,
+                row,
+                old,
+            } => {
+                if let Some(table) = self.sh.catalog.table(table) {
+                    if let Ok((p, s)) = table.heap(partition).insert(&self.sh.cache, &old) {
+                        self.sh.ridmap.set(row, RowLocation::Page(p, s));
+                    }
+                }
+            }
+            UndoOp::PrimaryAdd { table, key } => {
+                if let Some(table) = self.sh.catalog.table(table) {
+                    let _ = table.primary.delete(&key, None);
+                }
+            }
+            UndoOp::PrimaryRemove { table, key, row } => {
+                if let Some(table) = self.sh.catalog.table(table) {
+                    let _ = table.primary.insert(&key, row);
+                }
+            }
+            UndoOp::SecondaryAdd {
+                table,
+                idx,
+                key,
+                row,
+            } => {
+                if let Some(table) = self.sh.catalog.table(table) {
+                    let secs = table.secondaries.read();
+                    if let Some(sec) = secs.get(idx) {
+                        let _ = sec.tree.delete(&key, Some(row));
+                    }
+                }
+            }
+            UndoOp::SecondaryRemove {
+                table,
+                idx,
+                key,
+                row,
+            } => {
+                if let Some(table) = self.sh.catalog.table(table) {
+                    let secs = table.secondaries.read();
+                    if let Some(sec) = secs.get(idx) {
+                        let _ = sec.tree.insert(&key, row);
+                    }
+                }
+            }
+            UndoOp::HashAdd { table, key } => {
+                if let Some(table) = self.sh.catalog.table(table) {
+                    table.hash.remove(&key);
+                }
+            }
+            UndoOp::HashRemove { table, key, row } => {
+                if let Some(table) = self.sh.catalog.table(table) {
+                    table.hash.insert(&key, row);
+                }
+            }
+            UndoOp::RidSet { row, prev } => match prev {
+                Some(loc) => self.sh.ridmap.set(row, loc),
+                None => {
+                    self.sh.ridmap.remove(row);
+                }
+            },
+            UndoOp::ImrsNewRow { row } => {
+                self.sh.store.remove_row(row);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Run one maintenance pass if due (inline deterministic mode).
+    fn maybe_maintenance(&self) {
+        if self.sh.background.load(Ordering::Relaxed) {
+            return; // background threads own maintenance
+        }
+        let committed = self.sh.txns.committed_count();
+        let last = self.sh.last_maintenance.load(Ordering::Relaxed);
+        if committed.saturating_sub(last) < self.sh.cfg.maintenance_interval_txns {
+            return;
+        }
+        if let Some(_gate) = self.sh.maintenance_gate.try_lock() {
+            self.sh.last_maintenance.store(committed, Ordering::Relaxed);
+            self.run_maintenance();
+        }
+    }
+
+    /// One full maintenance pass: GC, TSF learning, tuning window,
+    /// pack. Public so experiment drivers can tick deterministically.
+    pub fn run_maintenance(&self) {
+        let sh = &self.sh;
+        let oldest = sh.txns.oldest_active_snapshot();
+        sh.gc.tick(&sh.store, &sh.queues, &sh.ridmap, oldest, 16_384);
+        if sh.cfg.mode != EngineMode::IlmOn {
+            return;
+        }
+        let committed = sh.txns.committed_count();
+        sh.tsf
+            .observe(sh.store.utilization(), sh.clock.now(), committed);
+        let partitions: Vec<PartitionId> = sh
+            .catalog
+            .tables()
+            .iter()
+            .filter(|t| !t.pinned) // pinned tables override ILM tuning (§X)
+            .flat_map(|t| t.partitions.clone())
+            .collect();
+        sh.tuner
+            .maybe_run(&sh.cfg, committed, &partitions, &sh.metrics, &sh.store);
+        crate::pack::pack_tick(self);
+    }
+
+    /// Spawn background maintenance threads (GC + pack). The paper runs
+    /// these continuously; inline mode is the deterministic default.
+    pub fn spawn_background(&self) {
+        self.sh.background.store(true, Ordering::Relaxed);
+        let n = self.sh.cfg.pack_threads.max(1);
+        let mut threads = self.threads.lock();
+        for i in 0..n {
+            let sh = Arc::clone(&self.sh);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("btrim-maint-{i}"))
+                    .spawn(move || {
+                        let engine = Engine {
+                            sh,
+                            threads: Mutex::new(Vec::new()),
+                        };
+                        while !engine.sh.stop.load(Ordering::Relaxed) {
+                            engine.run_maintenance();
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                    })
+                    .expect("spawn maintenance thread"),
+            );
+        }
+    }
+
+    /// Stop background threads and flush logs + dirty pages.
+    pub fn shutdown(&self) -> Result<()> {
+        self.sh.background.store(false, Ordering::Relaxed);
+        self.sh.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        self.checkpoint()
+    }
+
+    /// Checkpoint: flush dirty pages and both logs; write the
+    /// checkpoint record. IMRS data is *not* flushed (§II) — it is
+    /// recovered from sysimrslogs alone, which therefore cannot be
+    /// truncated here. When the system is quiesced (no transactions in
+    /// flight) the syslogs prefix before the checkpoint is recycled:
+    /// redo starts at the checkpoint and there are no losers whose undo
+    /// images could live in the dropped prefix.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.sh.cache.flush_all()?;
+        let ckpt_lsn = self.sh.syslog.append(&PageLogRecord::Checkpoint)?;
+        self.sh.syslog.flush()?;
+        self.sh.imrslog.flush()?;
+        if self.sh.txns.active_count() == 0 && ckpt_lsn.0 > 0 {
+            self.sh
+                .syslog
+                .sink()
+                .truncate_prefix(btrim_common::Lsn(ckpt_lsn.0 - 1))?;
+        }
+        Ok(())
+    }
+
+    /// Experiment-facing statistics snapshot.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot::collect(self)
+    }
+
+    /// Pre-warm a table: move every page-store row into the IMRS (the
+    /// "pre-warmed IMRS caches" feature the paper's conclusion proposes,
+    /// §X). Typically paired with [`TableOpts::pinned`]. Returns the
+    /// number of rows brought in; rows that are locked or no longer on a
+    /// page are skipped.
+    pub fn prewarm(&self, table: &TableDesc) -> Result<usize> {
+        let mut warmed = 0;
+        for &partition in &table.partitions {
+            // Collect RowIds first: moving rows mutates the heap we
+            // would otherwise be scanning.
+            let mut rows: Vec<RowId> = Vec::new();
+            table.heap(partition).scan(&self.sh.cache, |_, _, payload| {
+                if let Ok((row_id, _)) = unwrap_row(payload) {
+                    rows.push(row_id);
+                }
+                true
+            })?;
+            for row_id in rows {
+                let mover = self.sh.pack.internal_txn_id();
+                if !self.sh.locks.try_lock(mover, row_id, LockMode::Exclusive) {
+                    continue;
+                }
+                let moved =
+                    self.move_to_imrs_locked(table, partition, row_id, RowOrigin::Cached);
+                self.sh.locks.unlock(mover, row_id);
+                if moved.is_ok() {
+                    warmed += 1;
+                }
+            }
+        }
+        Ok(warmed)
+    }
+
+    /// Debug dump of a row's physical state (diagnostics only).
+    #[doc(hidden)]
+    pub fn debug_row(&self, table: &TableDesc, key: &[u8]) -> String {
+        let Ok(Some(rid)) = table.primary.get(key) else {
+            return "no primary entry".into();
+        };
+        let loc = self.sh.ridmap.get(rid);
+        let chain = self
+            .sh
+            .store
+            .get(rid)
+            .map(|r| format!("{:?} last_access={:?}", r.chain_summary(), r.last_access()));
+        format!("rid={rid:?} loc={loc:?} chain={chain:?} now={:?}", self.sh.clock.now())
+    }
+
+    /// Where a row currently lives (introspection: examples, tests,
+    /// experiment probes). `None` when the key does not exist.
+    pub fn locate(&self, table: &TableDesc, key: &[u8]) -> Result<Option<RowLocation>> {
+        match table.primary.get(key)? {
+            Some(rid) => Ok(self.sh.ridmap.get(rid)),
+            None => Ok(None),
+        }
+    }
+
+    /// Fig.-8 probe: walk a partition's ILM queue head→tail, split it
+    /// into `buckets` equal bands, and report the percentage of *cold*
+    /// rows (per the current TSF recency test) in each band. A
+    /// well-behaved relaxed LRU queue has cold rows concentrated at the
+    /// head (§VIII.D.2).
+    pub fn queue_coldness_bands(&self, partition: PartitionId, buckets: usize) -> Vec<f64> {
+        let sh = &self.sh;
+        let now = sh.clock.now();
+        let rows = sh.queues.get(partition).snapshot_all();
+        if rows.is_empty() || buckets == 0 {
+            return vec![0.0; buckets];
+        }
+        let flags: Vec<bool> = rows
+            .iter()
+            .filter_map(|rid| sh.store.get(*rid))
+            .map(|row| !sh.tsf.is_recent(row.last_access(), now))
+            .collect();
+        if flags.is_empty() {
+            return vec![0.0; buckets];
+        }
+        let per = flags.len().div_ceil(buckets);
+        (0..buckets)
+            .map(|b| {
+                let band = &flags[(b * per).min(flags.len())..((b + 1) * per).min(flags.len())];
+                if band.is_empty() {
+                    0.0
+                } else {
+                    100.0 * band.iter().filter(|&&c| c).count() as f64 / band.len() as f64
+                }
+            })
+            .collect()
+    }
+}
+
+pub(crate) fn origin_tag(origin: RowOrigin) -> RowOriginTag {
+    match origin {
+        RowOrigin::Inserted => RowOriginTag::Inserted,
+        RowOrigin::Migrated => RowOriginTag::Migrated,
+        RowOrigin::Cached => RowOriginTag::Cached,
+    }
+}
+
+pub(crate) fn origin_from_tag(tag: RowOriginTag) -> RowOrigin {
+    match tag {
+        RowOriginTag::Inserted => RowOrigin::Inserted,
+        RowOriginTag::Migrated => RowOrigin::Migrated,
+        RowOriginTag::Cached => RowOrigin::Cached,
+    }
+}

@@ -1,0 +1,255 @@
+//! IMRS garbage collection (§II) with piggy-backed queue maintenance
+//! (§VI.B).
+//!
+//! Transactions register the rows they touched at commit; GC later
+//! visits each row to (a) enqueue newly-arrived rows at the tail of
+//! their partition's ILM queue — "GC threads insert a newly created
+//! IMRS row at the tail of the ILM-queue" — (b) truncate version chains
+//! below the oldest active snapshot, and (c) fully remove rows whose
+//! latest committed version is an old tombstone. None of this happens
+//! in a transaction's execution path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use btrim_common::{RowId, Timestamp};
+use btrim_imrs::{ImrsStore, RidMap};
+
+use crate::queues::IlmQueues;
+
+/// Outcome of one GC tick.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Rows visited.
+    pub processed: u64,
+    /// Rows newly placed in an ILM queue.
+    pub enqueued: u64,
+    /// Version-chain bytes reclaimed.
+    pub bytes_freed: u64,
+    /// Rows removed entirely (dead tombstones).
+    pub rows_removed: u64,
+}
+
+/// Pending-row registry plus lifetime counters.
+#[derive(Default)]
+pub struct GcRegistry {
+    pending: Mutex<VecDeque<RowId>>,
+    processed: AtomicU64,
+    bytes_freed: AtomicU64,
+    rows_removed: AtomicU64,
+}
+
+impl GcRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one row for a future GC visit.
+    pub fn register(&self, row: RowId) {
+        self.pending.lock().push_back(row);
+    }
+
+    /// Register a batch.
+    pub fn register_many(&self, rows: impl IntoIterator<Item = RowId>) {
+        let mut q = self.pending.lock();
+        q.extend(rows);
+    }
+
+    /// Rows awaiting a GC visit.
+    pub fn backlog(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Lifetime rows visited.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime bytes reclaimed from version chains.
+    pub fn bytes_freed(&self) -> u64 {
+        self.bytes_freed.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime rows fully removed.
+    pub fn rows_removed(&self) -> u64 {
+        self.rows_removed.load(Ordering::Relaxed)
+    }
+
+    /// Process up to `limit` registered rows.
+    pub fn tick(
+        &self,
+        store: &ImrsStore,
+        queues: &IlmQueues,
+        ridmap: &RidMap,
+        oldest_active: Timestamp,
+        limit: usize,
+    ) -> GcReport {
+        let mut report = GcReport::default();
+        for _ in 0..limit {
+            let Some(row_id) = self.pending.lock().pop_front() else {
+                break;
+            };
+            report.processed += 1;
+            let Some(row) = store.get(row_id) else {
+                continue; // already packed or removed
+            };
+            // (a) Queue maintenance: first visit enqueues at the tail.
+            if row.try_mark_enqueued() {
+                queues.get(row.partition).push_tail(row.origin, row_id);
+                report.enqueued += 1;
+            }
+            // (b) Version truncation below the snapshot horizon.
+            report.bytes_freed += store.truncate_row(&row, oldest_active) as u64;
+            // (c) Dead-tombstone removal: the delete is committed, old
+            // enough that no snapshot can see the pre-image, and the
+            // chain is fully truncated.
+            let dead = row
+                .latest_committed()
+                .is_some_and(|v| {
+                    v.op == btrim_imrs::VersionOp::Delete
+                        && v.commit_ts().is_some_and(|ts| ts <= oldest_active)
+                })
+                && row.version_count() == 1;
+            if dead {
+                store.remove_row(row_id);
+                ridmap.remove(row_id);
+                report.rows_removed += 1;
+            }
+        }
+        self.processed.fetch_add(report.processed, Ordering::Relaxed);
+        self.bytes_freed
+            .fetch_add(report.bytes_freed, Ordering::Relaxed);
+        self.rows_removed
+            .fetch_add(report.rows_removed, Ordering::Relaxed);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrim_common::{PartitionId, TxnId};
+    use btrim_imrs::{RowLocation, RowOrigin, VersionOp};
+
+    fn setup() -> (ImrsStore, IlmQueues, RidMap, GcRegistry) {
+        (
+            ImrsStore::new(1024 * 1024, 64 * 1024),
+            IlmQueues::new(),
+            RidMap::new(),
+            GcRegistry::new(),
+        )
+    }
+
+    #[test]
+    fn first_visit_enqueues_row() {
+        let (store, queues, ridmap, gc) = setup();
+        let row = store
+            .insert_row_committed(
+                RowId(1),
+                PartitionId(3),
+                RowOrigin::Inserted,
+                TxnId(1),
+                b"data",
+                Timestamp(5),
+            )
+            .unwrap();
+        ridmap.set(RowId(1), RowLocation::Imrs);
+        gc.register(RowId(1));
+        gc.register(RowId(1)); // duplicate registration
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(10), 100);
+        assert_eq!(r.processed, 2);
+        assert_eq!(r.enqueued, 1, "row enqueued exactly once");
+        assert_eq!(queues.get(PartitionId(3)).len(), 1);
+        assert_eq!(row.version_count(), 1);
+    }
+
+    #[test]
+    fn truncates_old_versions() {
+        let (store, queues, ridmap, gc) = setup();
+        let row = store
+            .insert_row_committed(
+                RowId(1),
+                PartitionId(0),
+                RowOrigin::Inserted,
+                TxnId(1),
+                &[1u8; 64],
+                Timestamp(5),
+            )
+            .unwrap();
+        let v = store
+            .add_version(&row, TxnId(2), VersionOp::Update, Some(&[2u8; 64]))
+            .unwrap();
+        v.stamp(Timestamp(8));
+        gc.register(RowId(1));
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(20), 100);
+        assert!(r.bytes_freed > 0);
+        assert_eq!(row.version_count(), 1);
+        assert_eq!(gc.bytes_freed(), r.bytes_freed);
+    }
+
+    #[test]
+    fn removes_dead_tombstones_but_not_live_ones() {
+        let (store, queues, ridmap, gc) = setup();
+        let row = store
+            .insert_row_committed(
+                RowId(7),
+                PartitionId(0),
+                RowOrigin::Inserted,
+                TxnId(1),
+                b"x",
+                Timestamp(5),
+            )
+            .unwrap();
+        ridmap.set(RowId(7), RowLocation::Imrs);
+        let tomb = store
+            .add_version(&row, TxnId(2), VersionOp::Delete, None)
+            .unwrap();
+        tomb.stamp(Timestamp(10));
+        // A snapshot at 7 still needs the pre-image: not removable.
+        gc.register(RowId(7));
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(7), 100);
+        assert_eq!(r.rows_removed, 0);
+        assert!(store.contains(RowId(7)));
+        // Horizon past the tombstone: chain truncates to the tombstone
+        // and the row is removed.
+        gc.register(RowId(7));
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(50), 100);
+        assert_eq!(r.rows_removed, 1);
+        assert!(!store.contains(RowId(7)));
+        assert_eq!(ridmap.get(RowId(7)), None);
+    }
+
+    #[test]
+    fn stale_registrations_are_harmless() {
+        let (store, queues, ridmap, gc) = setup();
+        gc.register(RowId(404));
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(1), 100);
+        assert_eq!(r.processed, 1);
+        assert_eq!(r.enqueued, 0);
+        assert_eq!(r.rows_removed, 0);
+    }
+
+    #[test]
+    fn limit_bounds_work_per_tick() {
+        let (store, queues, ridmap, gc) = setup();
+        for i in 0..10u64 {
+            store
+                .insert_row_committed(
+                    RowId(i),
+                    PartitionId(0),
+                    RowOrigin::Inserted,
+                    TxnId(1),
+                    b"d",
+                    Timestamp(1),
+                )
+                .unwrap();
+            gc.register(RowId(i));
+        }
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(5), 4);
+        assert_eq!(r.processed, 4);
+        assert_eq!(gc.backlog(), 6);
+    }
+}

@@ -1,0 +1,55 @@
+//! # BTrim core engine
+//!
+//! The paper's contribution: a hybrid OLTP storage engine that keeps hot
+//! rows in an in-memory row store (IMRS) and cold rows in a traditional
+//! page store, with fully automatic, workload-driven life-cycle
+//! management (ILM).
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`config`] — engine configuration: modes (PageOnly / IlmOff /
+//!   IlmOn), steady cache utilization threshold (§VI.A), tuning-window
+//!   and pack-cycle parameters.
+//! * [`catalog`] — tables, partitions, partitioners, key extractors,
+//!   secondary indexes.
+//! * [`txn_ctx`] — the transaction context: write sets, buffered
+//!   redo-only IMRS log records, held locks, undo information.
+//! * [`engine`] — ISUD execution with transparent dual-store access
+//!   (§II) and ILM placement rules (§IV); commit/abort; recovery.
+//! * [`metrics`] — per-partition workload counters built on sharded
+//!   per-CPU counters (§V.A).
+//! * [`tuner`] — auto IMRS partition tuning with hysteresis (§V.B–D).
+//! * [`queues`] — partition-level relaxed LRU queues, one per row
+//!   origin (§VI.B).
+//! * [`tsf`] — the learned Timestamp Filter Ʈ and partition-aware
+//!   hotness checks (§VI.D).
+//! * [`pack`] — the Pack subsystem: steady/aggressive levels, pack
+//!   cycles, UI/CUI/PI apportioning, small pack transactions (§VI,
+//!   §VII).
+//! * [`gc`] — IMRS garbage collection; piggy-backs ILM queue
+//!   maintenance (§VI.B).
+//! * [`stats`] — experiment-facing snapshots.
+
+pub mod catalog;
+pub mod config;
+pub mod engine;
+pub mod gc;
+pub mod metrics;
+pub mod pack;
+pub mod queues;
+pub mod recovery;
+pub mod stats;
+pub mod tsf;
+pub mod tuner;
+pub mod txn_ctx;
+
+pub use catalog::{Partitioner, TableDesc, TableOpts};
+pub use config::{EngineConfig, EngineMode};
+pub use engine::Engine;
+pub use stats::EngineSnapshot;
+pub use txn_ctx::Transaction;
+
+pub use btrim_common::{
+    BtrimError, PartitionId, Result, RowId, TableId, Timestamp, TxnId,
+};
+pub use btrim_imrs::{RowLocation, RowOrigin};

@@ -1,0 +1,186 @@
+//! Per-partition workload metrics.
+//!
+//! "Some of the important counters used are: Partition-specific
+//! IMRS-memory used, number of rows stored in-memory for a partition,
+//! total number of operations which accessed row stored in-memory for
+//! the partition (re-use count), number of operations performed on
+//! pages in the partition, number of operations on page-store which
+//! observed contention" (§V.A). Memory/row counts live with the IMRS
+//! store; everything rate-like lives here, on sharded per-CPU counters
+//! so the hot path never bounces a cache line.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use btrim_common::{PartitionId, ShardedCounter};
+
+/// Counters for one partition.
+#[derive(Debug, Default)]
+pub struct PartitionMetrics {
+    /// SELECTs served from IMRS rows (re-use).
+    pub imrs_select: ShardedCounter,
+    /// UPDATEs applied to IMRS rows (re-use).
+    pub imrs_update: ShardedCounter,
+    /// DELETEs applied to IMRS rows (re-use).
+    pub imrs_delete: ShardedCounter,
+    /// INSERTs stored directly in the IMRS.
+    pub imrs_insert: ShardedCounter,
+    /// Operations served by the page store.
+    pub page_ops: ShardedCounter,
+    /// Page-store operations that observed latch contention.
+    pub page_contention: ShardedCounter,
+    /// New rows brought into the IMRS (insert + migrate + cache) —
+    /// "new IMRS usage by a partition" (§V.C).
+    pub rows_in: ShardedCounter,
+    /// Rows relocated to the page store by pack.
+    pub rows_packed: ShardedCounter,
+    /// Bytes released by pack.
+    pub bytes_packed: ShardedCounter,
+    /// Rows pack inspected but skipped because they were hot (§VIII's
+    /// NumRowsSkipped).
+    pub rows_skipped_hot: ShardedCounter,
+}
+
+impl PartitionMetrics {
+    /// Re-use operations: S + U + D on in-memory rows (§VI.C's SUD).
+    pub fn reuse_ops(&self) -> u64 {
+        self.imrs_select.load() + self.imrs_update.load() + self.imrs_delete.load()
+    }
+
+    /// All IMRS operations including inserts (hit-rate numerator).
+    pub fn imrs_ops(&self) -> u64 {
+        self.reuse_ops() + self.imrs_insert.load()
+    }
+}
+
+/// Point-in-time copy of a partition's counters, used for
+/// window-over-window deltas by the tuner (§V.B).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Re-use ops (S+U+D on IMRS rows).
+    pub reuse_ops: u64,
+    /// IMRS inserts.
+    pub imrs_insert: u64,
+    /// Page-store ops.
+    pub page_ops: u64,
+    /// Contended page-store ops.
+    pub page_contention: u64,
+    /// New rows brought into the IMRS.
+    pub rows_in: u64,
+    /// Rows packed out.
+    pub rows_packed: u64,
+    /// Rows skipped as hot by pack.
+    pub rows_skipped_hot: u64,
+}
+
+impl MetricsSnapshot {
+    /// Delta `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            reuse_ops: self.reuse_ops.saturating_sub(earlier.reuse_ops),
+            imrs_insert: self.imrs_insert.saturating_sub(earlier.imrs_insert),
+            page_ops: self.page_ops.saturating_sub(earlier.page_ops),
+            page_contention: self.page_contention.saturating_sub(earlier.page_contention),
+            rows_in: self.rows_in.saturating_sub(earlier.rows_in),
+            rows_packed: self.rows_packed.saturating_sub(earlier.rows_packed),
+            rows_skipped_hot: self.rows_skipped_hot.saturating_sub(earlier.rows_skipped_hot),
+        }
+    }
+}
+
+/// Registry of per-partition metric blocks.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    map: RwLock<HashMap<PartitionId, Arc<PartitionMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Metrics for `partition`, created on first touch.
+    pub fn get(&self, partition: PartitionId) -> Arc<PartitionMetrics> {
+        if let Some(m) = self.map.read().get(&partition) {
+            return Arc::clone(m);
+        }
+        let mut map = self.map.write();
+        Arc::clone(map.entry(partition).or_default())
+    }
+
+    /// Snapshot one partition's counters.
+    pub fn snapshot(&self, partition: PartitionId) -> MetricsSnapshot {
+        let m = self.get(partition);
+        MetricsSnapshot {
+            reuse_ops: m.reuse_ops(),
+            imrs_insert: m.imrs_insert.load(),
+            page_ops: m.page_ops.load(),
+            page_contention: m.page_contention.load(),
+            rows_in: m.rows_in.load(),
+            rows_packed: m.rows_packed.load(),
+            rows_skipped_hot: m.rows_skipped_hot.load(),
+        }
+    }
+
+    /// All partitions with metric blocks.
+    pub fn partitions(&self) -> Vec<PartitionId> {
+        self.map.read().keys().copied().collect()
+    }
+
+    /// Sum a projection across all partitions.
+    pub fn total(&self, f: impl Fn(&PartitionMetrics) -> u64) -> u64 {
+        self.map.read().values().map(|m| f(m)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_excludes_inserts() {
+        let m = PartitionMetrics::default();
+        m.imrs_select.add(3);
+        m.imrs_update.add(2);
+        m.imrs_delete.add(1);
+        m.imrs_insert.add(100);
+        assert_eq!(m.reuse_ops(), 6);
+        assert_eq!(m.imrs_ops(), 106);
+    }
+
+    #[test]
+    fn registry_returns_same_block() {
+        let r = MetricsRegistry::new();
+        let a = r.get(PartitionId(1));
+        a.page_ops.add(5);
+        let b = r.get(PartitionId(1));
+        assert_eq!(b.page_ops.load(), 5);
+        assert_eq!(r.partitions(), vec![PartitionId(1)]);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let r = MetricsRegistry::new();
+        let m = r.get(PartitionId(2));
+        m.imrs_select.add(10);
+        let s1 = r.snapshot(PartitionId(2));
+        m.imrs_select.add(7);
+        m.rows_in.add(3);
+        let s2 = r.snapshot(PartitionId(2));
+        let d = s2.delta_since(&s1);
+        assert_eq!(d.reuse_ops, 7);
+        assert_eq!(d.rows_in, 3);
+        assert_eq!(d.page_ops, 0);
+    }
+
+    #[test]
+    fn totals_aggregate_partitions() {
+        let r = MetricsRegistry::new();
+        r.get(PartitionId(1)).page_ops.add(4);
+        r.get(PartitionId(2)).page_ops.add(6);
+        assert_eq!(r.total(|m| m.page_ops.load()), 10);
+    }
+}

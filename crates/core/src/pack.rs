@@ -1,0 +1,499 @@
+//! The Pack subsystem (§VI): harvest cold rows from the IMRS and
+//! relocate them to the page store.
+//!
+//! Pack engages only above the *steady cache utilization* threshold and
+//! works in *pack cycles*: each cycle packs a small percentage of
+//! current utilization (`NumBytesToPack`), apportioned across
+//! partitions by the Packability Index:
+//!
+//! ```text
+//! UI_ρ  = SUD_ρ / Σ SUD            (usefulness: re-use of resident rows)
+//! CUI_ρ = mem_ρ / Σ mem            (relative footprint)
+//! PI_ρ  = (CUI_ρ / UI_ρ) / Σ (CUI/UI)
+//! PACK_BYTES_ρ = NumBytesToPack × PI_ρ
+//! ```
+//!
+//! Within a partition, candidates come from the head of the relaxed
+//! LRU queues; hot rows (per the TSF, §VI.D) are rotated to the tail
+//! instead of packed. Above the *aggressive* threshold the hotness
+//! check is waived; above the *reject-new* threshold the engine stops
+//! placing new rows in the IMRS entirely (§VI.A).
+//!
+//! Rows are moved in small pack transactions that take conditional row
+//! locks and commit frequently (§VII.B).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use btrim_common::{PartitionId, RowId, TxnId};
+use btrim_imrs::{RowLocation, VersionOp};
+use btrim_txn::LockMode;
+use btrim_wal::{ImrsLogRecord, PageLogRecord};
+
+use crate::engine::{wrap_row, Engine};
+use crate::queues::PartitionQueues;
+
+/// Hand a row that could not be packed right now (conditional lock
+/// denied, uncommitted data, or live older versions) back to GC: the GC
+/// visit truncates its chain below the snapshot horizon and re-enqueues
+/// it at the queue tail. Re-queueing directly would make pack re-inspect
+/// the same unpackable row every cycle until its chain settles.
+fn requeue(
+    sh: &crate::engine::Shared,
+    _queues: &PartitionQueues,
+    row_id: RowId,
+    _origin: btrim_imrs::RowOrigin,
+) {
+    if let Some(row) = sh.store.get(row_id) {
+        row.clear_enqueued();
+        sh.gc.register(row_id);
+    }
+}
+
+/// Pack level for the current tick.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PackLevel {
+    /// Below the steady threshold: pack idle.
+    Idle,
+    /// Steady-state pack: only ILM-cold rows are packed.
+    Steady,
+    /// Aggressive pack: hotness heuristics waived (§VI.A).
+    Aggressive,
+}
+
+/// Shared pack-subsystem state and lifetime counters.
+pub struct PackState {
+    reject_new: AtomicBool,
+    cycles: AtomicU64,
+    rows_packed: AtomicU64,
+    bytes_packed: AtomicU64,
+    rows_skipped: AtomicU64,
+    pack_txn_commits: AtomicU64,
+    /// Internal ids for pack/mover pseudo-transactions (top bit set so
+    /// they never collide with client transactions).
+    next_internal: AtomicU64,
+}
+
+impl Default for PackState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PackState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        PackState {
+            reject_new: AtomicBool::new(false),
+            cycles: AtomicU64::new(0),
+            rows_packed: AtomicU64::new(0),
+            bytes_packed: AtomicU64::new(0),
+            rows_skipped: AtomicU64::new(0),
+            pack_txn_commits: AtomicU64::new(0),
+            next_internal: AtomicU64::new(1),
+        }
+    }
+
+    /// Whether the engine should stop placing new rows in the IMRS.
+    pub fn reject_new(&self) -> bool {
+        self.reject_new.load(Ordering::Relaxed)
+    }
+
+    /// Pack cycles completed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Rows relocated to the page store.
+    pub fn rows_packed(&self) -> u64 {
+        self.rows_packed.load(Ordering::Relaxed)
+    }
+
+    /// Bytes released from the IMRS by pack.
+    pub fn bytes_packed(&self) -> u64 {
+        self.bytes_packed.load(Ordering::Relaxed)
+    }
+
+    /// Rows inspected but skipped as hot.
+    pub fn rows_skipped(&self) -> u64 {
+        self.rows_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Pack transactions committed.
+    pub fn pack_txn_commits(&self) -> u64 {
+        self.pack_txn_commits.load(Ordering::Relaxed)
+    }
+
+    /// Allocate an internal pseudo-transaction id (lock owner for pack
+    /// and opportunistic caching).
+    pub(crate) fn internal_txn_id(&self) -> TxnId {
+        TxnId((1 << 63) | self.next_internal.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Decide the pack level for a utilization reading.
+pub fn level_for(util: f64, steady: f64, aggressive: f64) -> PackLevel {
+    if util < steady {
+        PackLevel::Idle
+    } else if util < aggressive {
+        PackLevel::Steady
+    } else {
+        PackLevel::Aggressive
+    }
+}
+
+/// One pack tick: evaluate thresholds and run pack cycles while the
+/// cache sits above the steady threshold (the paper's pack threads run
+/// continuously whenever utilization exceeds it). Stops as soon as the
+/// utilization drops below the threshold or a cycle makes no progress
+/// (everything remaining is hot). Returns bytes packed.
+pub fn pack_tick(engine: &Engine) -> u64 {
+    let sh = &engine.sh;
+    let cfg = &sh.cfg;
+    if !cfg.pack_enabled {
+        return 0;
+    }
+    let mut total = 0u64;
+    // Bounded loop: each cycle targets pack_cycle_fraction of current
+    // use, so ~32 productive cycles can drain the entire overshoot.
+    for _ in 0..32 {
+        let util = sh.store.utilization();
+        let level = level_for(util, cfg.steady_utilization, cfg.aggressive_utilization());
+        // Backpressure (§VI.A): stop storing new rows while utilization
+        // is extreme; release as soon as pack brings it down.
+        sh.pack
+            .reject_new
+            .store(util >= cfg.reject_new_utilization(), Ordering::Relaxed);
+        if level == PackLevel::Idle {
+            break;
+        }
+        let freed = pack_cycle(engine, level);
+        total += freed;
+        if freed == 0 {
+            break; // only hot (or locked) rows remain
+        }
+    }
+    total
+}
+
+/// Execute one pack cycle at the given level. Returns bytes packed.
+pub fn pack_cycle(engine: &Engine, level: PackLevel) -> u64 {
+    let sh = &engine.sh;
+    let cfg = &sh.cfg;
+    let used = sh.store.used_bytes();
+    let num_bytes_to_pack = (used as f64 * cfg.pack_cycle_fraction) as u64;
+    if num_bytes_to_pack == 0 {
+        return 0;
+    }
+
+    let usage = sh.store.all_usage();
+    if usage.is_empty() {
+        return 0;
+    }
+    let total_mem: u64 = usage.iter().map(|(_, b, _)| *b).sum();
+    if total_mem == 0 {
+        return 0;
+    }
+    let shares: Vec<(PartitionId, f64)> = match cfg.pack_policy {
+        crate::config::PackPolicy::Partitioned => {
+            // ---- Apportioning: UI, CUI, PI (§VI.C) ------------------
+            let reuse: Vec<(PartitionId, u64, u64)> = usage
+                .iter()
+                .map(|&(p, bytes, _rows)| {
+                    let m = sh.metrics.get(p);
+                    (p, bytes, m.reuse_ops())
+                })
+                .collect();
+            let total_reuse: u64 = reuse.iter().map(|(_, _, r)| *r).sum();
+            // ratio_ρ = CUI/UI; with an epsilon so zero-reuse partitions
+            // get a large (but finite) packability.
+            const EPS: f64 = 1e-6;
+            let ratios: Vec<(PartitionId, f64)> = reuse
+                .iter()
+                .map(|&(p, bytes, r)| {
+                    let cui = bytes as f64 / total_mem as f64;
+                    let ui = if total_reuse == 0 {
+                        EPS
+                    } else {
+                        (r as f64 / total_reuse as f64).max(EPS)
+                    };
+                    (p, cui / ui)
+                })
+                .collect();
+            let ratio_sum: f64 = ratios.iter().map(|(_, r)| r).sum();
+            if ratio_sum <= 0.0 {
+                return 0;
+            }
+            ratios
+                .into_iter()
+                .map(|(p, ratio)| (p, ratio / ratio_sum))
+                .collect()
+        }
+        crate::config::PackPolicy::UniformNaive => {
+            // The strawman: every active partition gets an equal slice
+            // regardless of footprint or re-use (§VI.C's counterexample).
+            let n = usage.len() as f64;
+            usage.iter().map(|&(p, _, _)| (p, 1.0 / n)).collect()
+        }
+    };
+
+    let mut total_packed = 0u64;
+    for (p, pi) in shares {
+        let target = (num_bytes_to_pack as f64 * pi) as u64;
+        // Partitions apportioned a negligible share of this cycle (the
+        // hot ones, by construction of PI) are not even scanned.
+        if target == 0 || pi < 0.01 {
+            continue;
+        }
+        total_packed += pack_partition(engine, p, target, level);
+    }
+    sh.pack.cycles.fetch_add(1, Ordering::Relaxed);
+    total_packed
+}
+
+/// Pack up to `target_bytes` of cold rows from one partition. Returns
+/// bytes released.
+pub fn pack_partition(
+    engine: &Engine,
+    partition: PartitionId,
+    target_bytes: u64,
+    level: PackLevel,
+) -> u64 {
+    let sh = &engine.sh;
+    let cfg = &sh.cfg;
+    let Some(table) = sh.catalog.table_of_partition(partition) else {
+        return 0;
+    };
+    if table.pinned {
+        return 0; // fully memory-resident: ILM override (§X)
+    }
+    let queues = sh.queues.get(partition);
+    let metrics = sh.metrics.get(partition);
+    let now = sh.clock.now();
+
+    // Partition-aware TSF applicability (§VI.D.2): re-use operations
+    // relative to the rows ever brought into the IMRS for this
+    // partition. Using the cumulative inflow as the denominator keeps
+    // the rate stable while pack shrinks the resident set — dividing by
+    // the *current* resident count would inflate the rate as packing
+    // progresses and wrongly re-arm the TSF for cold partitions.
+    let rows_in = metrics.rows_in.load().max(1);
+    let reuse_rate = metrics.reuse_ops() as f64 / rows_in as f64;
+
+    let mut freed = 0u64;
+    // Inspection budget: proportional to the byte target so that
+    // hot-dominated queues are probed, not fully rotated, each cycle —
+    // "low book-keeping overhead" (§VI.B) — and never more than one
+    // full queue pass (hot rows rotate to the tail and must not be
+    // revisited within the pass).
+    let per_row_guess = 128u64;
+    let mut budget_rows = ((4 * target_bytes / per_row_guess) as usize)
+        .clamp(32, queues.len().max(32))
+        .min(queues.len());
+    // The relaxed LRU keeps cold rows at the head; a run of consecutive
+    // hot rows means the cold prefix is exhausted — stop probing rather
+    // than rotating the whole (hot) queue through.
+    const HOT_RUN_LIMIT: u32 = 16;
+    let mut hot_run = 0u32;
+    let mut batch: Vec<(RowId, btrim_imrs::RowOrigin)> = Vec::with_capacity(cfg.pack_txn_rows);
+
+    while freed < target_bytes && budget_rows > 0 && hot_run < HOT_RUN_LIMIT {
+        let Some((row_id, origin)) = queues.pop_head() else {
+            break;
+        };
+        let Some(row) = sh.store.get(row_id) else {
+            continue; // stale queue entry: free to discard, no budget
+        };
+        budget_rows -= 1;
+        if row.partition != partition {
+            continue;
+        }
+        // Hotness check (waived under aggressive pack, §VI.A, and by
+        // the TSF ablation knob).
+        if level == PackLevel::Steady
+            && cfg.tsf_enabled
+            && sh
+                .tsf
+                .is_hot(row.last_access(), now, reuse_rate, cfg.low_reuse_threshold)
+        {
+            // Hot: rotate to the tail — this is the only queue shuffle
+            // the design ever performs (§VI.B).
+            queues.push_tail(origin, row_id);
+            sh.pack.rows_skipped.fetch_add(1, Ordering::Relaxed);
+            metrics.rows_skipped_hot.inc();
+            hot_run += 1;
+            continue;
+        }
+        hot_run = 0;
+        batch.push((row_id, origin));
+        if batch.len() >= cfg.pack_txn_rows {
+            freed += pack_rows(engine, &table, partition, &batch);
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        freed += pack_rows(engine, &table, partition, &batch);
+    }
+    freed
+}
+
+/// One pack transaction: relocate a batch of rows under conditional
+/// locks, then commit (flushing both logs).
+fn pack_rows(
+    engine: &Engine,
+    table: &crate::catalog::TableDesc,
+    partition: PartitionId,
+    batch: &[(RowId, btrim_imrs::RowOrigin)],
+) -> u64 {
+    let sh = &engine.sh;
+    let pack_txn = sh.pack.internal_txn_id();
+    let metrics = sh.metrics.get(partition);
+    let mut freed = 0u64;
+    let mut wrote = false;
+
+    if sh.syslog.append(&PageLogRecord::Begin { txn: pack_txn }).is_err() {
+        return 0;
+    }
+    let queues = sh.queues.get(partition);
+    for &(row_id, origin) in batch {
+        // Conditional lock: skip rows busy with DMLs (§VII.B). The row
+        // stays queued (tail) so coverage is never silently lost.
+        if !sh.locks.try_lock(pack_txn, row_id, LockMode::Exclusive) {
+            requeue(sh, &queues, row_id, origin);
+            continue;
+        }
+        let result = pack_one_locked(engine, table, partition, row_id, pack_txn);
+        sh.locks.unlock(pack_txn, row_id);
+        match result {
+            Ok(0) => {
+                // Unpackable right now (uncommitted data, live older
+                // versions): revisit in a later cycle.
+                requeue(sh, &queues, row_id, origin);
+            }
+            Ok(bytes) => {
+                freed += bytes;
+                wrote = true;
+                metrics.rows_packed.inc();
+                metrics.bytes_packed.add(bytes);
+                sh.pack.rows_packed.fetch_add(1, Ordering::Relaxed);
+                sh.pack.bytes_packed.fetch_add(bytes, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Pack is best-effort; the row stays resident and will
+                // be revisited in a later cycle.
+                requeue(sh, &queues, row_id, origin);
+            }
+        }
+    }
+    // Commit boundary of the pack transaction: one commit timestamp and
+    // one durable flush for the whole small batch (§VII.B).
+    let commit_ts = sh.clock.tick();
+    let _ = sh.syslog.append(&PageLogRecord::Commit {
+        txn: pack_txn,
+        ts: commit_ts,
+    });
+    if wrote {
+        let _ = sh.syslog.flush();
+        let _ = sh.imrslog.flush();
+        sh.pack.pack_txn_commits.fetch_add(1, Ordering::Relaxed);
+    }
+    freed
+}
+
+/// Relocate one IMRS row to the page store. Caller holds the row lock.
+/// Returns bytes released (0 when the row is skipped).
+fn pack_one_locked(
+    engine: &Engine,
+    table: &crate::catalog::TableDesc,
+    partition: PartitionId,
+    row_id: RowId,
+    pack_txn: TxnId,
+) -> btrim_common::Result<u64> {
+    let sh = &engine.sh;
+    // Revalidate under the lock.
+    if sh.ridmap.get(row_id) != Some(RowLocation::Imrs) {
+        return Ok(0);
+    }
+    let Some(row) = sh.store.get(row_id) else {
+        return Ok(0);
+    };
+    let Some(version) = row.latest_committed() else {
+        return Ok(0); // only uncommitted data: active DML, skip
+    };
+    // A row with live older versions may still be needed by snapshot
+    // readers; pack only fully-settled rows.
+    if row.version_count() > 1 {
+        return Ok(0);
+    }
+    let ts = sh.clock.now();
+    if version.op == VersionOp::Delete {
+        // Packing a deleted row = dropping it (its index entries were
+        // removed by the delete).
+        let bytes = row.memory() as u64;
+        sh.imrslog.append(&ImrsLogRecord::Delete {
+            txn: pack_txn,
+            ts,
+            partition,
+            row: row_id,
+        })?;
+        sh.store.remove_row(row_id);
+        sh.ridmap.remove(row_id);
+        return Ok(bytes.max(1));
+    }
+    let data = version
+        .handle
+        .map(|h| sh.store.allocator().load(h))
+        .unwrap_or_default();
+    let bytes = row.memory() as u64;
+
+    // Logged insert into the page store (the row "finds a location in
+    // the page-store", §II). The enclosing pack transaction's
+    // Begin/Commit records are written by `pack_rows`.
+    let payload = wrap_row(row_id, &data);
+    let (page, slot) = table.heap(partition).insert(&sh.cache, &payload)?;
+    sh.syslog.append(&PageLogRecord::Insert {
+        txn: pack_txn,
+        partition,
+        row: row_id,
+        page,
+        slot,
+        data: payload,
+    })?;
+    // Logged delete from the IMRS.
+    sh.imrslog.append(&ImrsLogRecord::Pack {
+        ts,
+        partition,
+        row: row_id,
+    })?;
+
+    // Flip the RID-Map, drop the hash fast path, release the memory.
+    let key = (table.primary_key)(&data);
+    table.hash.remove(&key);
+    sh.ridmap
+        .set(row_id, RowLocation::Page(page, slot));
+    sh.store.remove_row(row_id);
+    Ok(bytes.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_follow_thresholds() {
+        // steady 0.7 → aggressive 0.85.
+        assert_eq!(level_for(0.5, 0.7, 0.85), PackLevel::Idle);
+        assert_eq!(level_for(0.7, 0.7, 0.85), PackLevel::Steady);
+        assert_eq!(level_for(0.84, 0.7, 0.85), PackLevel::Steady);
+        assert_eq!(level_for(0.85, 0.7, 0.85), PackLevel::Aggressive);
+        assert_eq!(level_for(0.99, 0.7, 0.85), PackLevel::Aggressive);
+    }
+
+    #[test]
+    fn internal_ids_have_top_bit() {
+        let s = PackState::new();
+        let a = s.internal_txn_id();
+        let b = s.internal_txn_id();
+        assert_ne!(a, b);
+        assert!(a.0 & (1 << 63) != 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Crash recovery (§II).
+//!
+//! The two logs are recovered independently, in lock-step order:
+//!
+//! 1. **syslogs** (page store): analysis classifies transactions, then
+//!    a forward redo pass repeats history for committed work and a
+//!    backward undo pass rolls back in-flight losers using the logged
+//!    before-images. Redo is idempotent: slot-directed inserts skip
+//!    already-live slots, deletes skip dead slots.
+//! 2. Heap pages are scanned to rebuild heap page lists, the RID-Map,
+//!    and all B+tree indexes (indexes are rebuilt rather than replayed,
+//!    extending the paper's treatment of the non-logged hash indexes).
+//! 3. **sysimrslogs** (IMRS): a single forward redo-only replay —
+//!    records were written at commit time with their commit timestamps,
+//!    so no undo pass exists. "Checkpoint does not flush any data [for
+//!    the IMRS]; all the IMRS data is recovered by doing a redo-only
+//!    recovery of sysimrslogs."
+//!
+//! The engine's catalog is re-declared by the caller (schema closure);
+//! index pages from the previous incarnation become dead space on the
+//! device, which is the usual cost of rebuild-style index recovery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use btrim_common::{PageId, PartitionId, Result, RowId, SlotId, Timestamp};
+use btrim_imrs::RowLocation;
+use btrim_pagestore::page::PageType;
+use btrim_pagestore::{DiskBackend, SlottedPage};
+use btrim_wal::{analyze_page_log, ImrsLogRecord, LogSink, PageLogRecord};
+
+use crate::catalog::TableDesc;
+use crate::config::EngineConfig;
+use crate::engine::{origin_from_tag, unwrap_row, Engine};
+
+impl Engine {
+    /// Recover an engine from its devices. `schema` re-declares the
+    /// catalog exactly as the original run did (same tables in the same
+    /// order, so partition ids line up).
+    pub fn recover(
+        cfg: EngineConfig,
+        disk: Arc<dyn DiskBackend>,
+        syslog: Arc<dyn LogSink>,
+        imrslog: Arc<dyn LogSink>,
+        schema: impl FnOnce(&Engine) -> Result<()>,
+    ) -> Result<Engine> {
+        let engine = Engine::with_devices(cfg, disk, syslog, imrslog);
+        schema(&engine)?;
+        engine.replay_page_log()?;
+        let heap_locs = engine.rebuild_from_heaps()?;
+        engine.replay_imrs_log(&heap_locs)?;
+        engine.finish_recovery();
+        Ok(engine)
+    }
+
+    /// Redo winners forward, undo losers backward.
+    fn replay_page_log(&self) -> Result<()> {
+        let records = self.sh.syslog.read_all()?;
+        let analysis = analyze_page_log(&records);
+        // Redo may start at the last checkpoint: every page change
+        // below it was flushed (§II's checkpoint contract). Replaying
+        // earlier records would be harmless (redo is idempotent) but
+        // wasteful.
+        let redo_floor = analysis.last_checkpoint.unwrap_or(btrim_common::Lsn::ZERO);
+        // Forward redo of committed transactions (repeat history).
+        for (lsn, rec) in &records {
+            if *lsn <= redo_floor {
+                continue;
+            }
+            let Some(txn) = rec.txn() else { continue };
+            if !analysis.winners.contains_key(&txn) {
+                continue;
+            }
+            match rec {
+                PageLogRecord::Insert {
+                    partition,
+                    page,
+                    slot,
+                    data,
+                    ..
+                } => self.redo_insert(*partition, *page, *slot, data)?,
+                PageLogRecord::Update {
+                    partition,
+                    page,
+                    slot,
+                    new,
+                    ..
+                } => self.redo_update(*partition, *page, *slot, new)?,
+                PageLogRecord::Delete { page, slot, .. } => {
+                    self.redo_delete(*page, *slot)?;
+                }
+                _ => {}
+            }
+        }
+        // Backward undo of losers using before-images.
+        for (_lsn, rec) in records.iter().rev() {
+            let Some(txn) = rec.txn() else { continue };
+            if !analysis.losers.contains(&txn) {
+                continue;
+            }
+            match rec {
+                PageLogRecord::Insert { page, slot, .. } => {
+                    self.redo_delete(*page, *slot)?;
+                }
+                PageLogRecord::Update {
+                    partition,
+                    page,
+                    slot,
+                    old,
+                    ..
+                } => self.redo_update(*partition, *page, *slot, old)?,
+                PageLogRecord::Delete {
+                    partition,
+                    page,
+                    slot,
+                    old,
+                    ..
+                } => self.redo_insert(*partition, *page, *slot, old)?,
+                _ => {}
+            }
+        }
+        self.sh
+            .clock
+            .advance_to(analysis.max_commit_ts);
+        Ok(())
+    }
+
+    fn redo_insert(
+        &self,
+        partition: PartitionId,
+        page: PageId,
+        slot: SlotId,
+        data: &[u8],
+    ) -> Result<()> {
+        let guard = self.sh.cache.fetch(page)?;
+        guard.with_write(|buf| {
+            // A never-flushed page is still zeroed on the device:
+            // format it before applying.
+            if PageType::from_u8(buf[0]) == PageType::Free {
+                SlottedPage::init(buf, PageType::Heap, page, partition);
+            }
+            let mut p = SlottedPage::new(buf);
+            // Idempotent: returns false when the slot is already live.
+            let _ = p.insert_at(slot, data);
+        });
+        Ok(())
+    }
+
+    fn redo_update(
+        &self,
+        partition: PartitionId,
+        page: PageId,
+        slot: SlotId,
+        data: &[u8],
+    ) -> Result<()> {
+        let guard = self.sh.cache.fetch(page)?;
+        guard.with_write(|buf| {
+            if PageType::from_u8(buf[0]) == PageType::Free {
+                SlottedPage::init(buf, PageType::Heap, page, partition);
+            }
+            let mut p = SlottedPage::new(buf);
+            if !p.update(slot, data) {
+                // Slot dead (prior state lost before flush): materialize.
+                let _ = p.insert_at(slot, data);
+            }
+        });
+        Ok(())
+    }
+
+    fn redo_delete(&self, page: PageId, slot: SlotId) -> Result<()> {
+        let guard = self.sh.cache.fetch(page)?;
+        guard.with_page_write(|p| {
+            let _ = p.delete(slot);
+        });
+        Ok(())
+    }
+
+    /// Scan all heap pages: re-attach them to their tables' heaps,
+    /// rebuild the RID-Map and indexes, and remember each row's page
+    /// location (needed by Pack-record replay).
+    fn rebuild_from_heaps(&self) -> Result<HashMap<RowId, (PageId, SlotId)>> {
+        let num_pages = self.sh.cache.backend().num_pages();
+        let mut by_partition: HashMap<PartitionId, Vec<PageId>> = HashMap::new();
+        for raw in 0..num_pages {
+            let pid = PageId(raw);
+            let guard = self.sh.cache.fetch(pid)?;
+            let (ptype, partition) = guard.with_page_read(|v| (v.page_type(), v.partition()));
+            if ptype == PageType::Heap {
+                by_partition.entry(partition).or_default().push(pid);
+            }
+        }
+        let mut heap_locs = HashMap::new();
+        let mut max_row_id = RowId(0);
+        for (partition, pages) in by_partition {
+            let Some(table) = self.sh.catalog.table_of_partition(partition) else {
+                continue; // heap of a table the schema no longer declares
+            };
+            let heap = table.heap(partition);
+            heap.adopt_pages(pages, &self.sh.cache)?;
+            heap.scan(&self.sh.cache, |page, slot, payload| {
+                if let Ok((row_id, data)) = unwrap_row(payload) {
+                    heap_locs.insert(row_id, (page, slot));
+                    max_row_id = max_row_id.max(row_id);
+                    self.sh
+                        .ridmap
+                        .set(row_id, RowLocation::Page(page, slot));
+                    Self::index_row(&table, row_id, data);
+                }
+                true
+            })?;
+        }
+        self.sh.ridmap.bump_row_id_floor(max_row_id);
+        Ok(heap_locs)
+    }
+
+    /// (Re-)insert a row into all of its table's indexes. Replay order
+    /// is oldest-first, so on a key conflict the *later* record wins:
+    /// the stale RowId's entry is replaced (the stale row's own
+    /// Delete/Pack record has already retired or will retire its other
+    /// state).
+    fn index_row(table: &TableDesc, row_id: RowId, data: &[u8]) {
+        let key = (table.primary_key)(data);
+        match table.primary.get(&key) {
+            Ok(Some(existing)) if existing == row_id => {}
+            Ok(Some(stale)) => {
+                let _ = table.primary.delete(&key, Some(stale));
+                let _ = table.primary.insert(&key, row_id);
+            }
+            _ => {
+                let _ = table.primary.insert(&key, row_id);
+            }
+        }
+        for sec in table.secondaries.read().iter() {
+            let skey = (sec.extractor)(data);
+            // Non-unique insert of an existing (key, rid) pair is a
+            // no-op by construction.
+            let _ = sec.tree.insert(&skey, row_id);
+        }
+    }
+
+    /// Forward redo-only replay of the IMRS log.
+    fn replay_imrs_log(&self, heap_locs: &HashMap<RowId, (PageId, SlotId)>) -> Result<()> {
+        let records = self.sh.imrslog.read_all()?;
+        let mut max_ts = Timestamp::ZERO;
+        let mut max_row_id = RowId(0);
+        for (_lsn, rec) in records {
+            max_ts = max_ts.max(rec.ts());
+            max_row_id = max_row_id.max(rec.row());
+            match rec {
+                ImrsLogRecord::Insert {
+                    txn,
+                    ts,
+                    partition,
+                    row,
+                    origin,
+                    data,
+                } => {
+                    let Some(table) = self.sh.catalog.table_of_partition(partition) else {
+                        continue;
+                    };
+                    self.sh.store.insert_row_committed(
+                        row,
+                        partition,
+                        origin_from_tag(origin),
+                        txn,
+                        &data,
+                        ts,
+                    )?;
+                    self.sh.ridmap.set(row, RowLocation::Imrs);
+                    let key = (table.primary_key)(&data);
+                    table.hash.insert(&key, row);
+                    Self::index_row(&table, row, &data);
+                }
+                ImrsLogRecord::Update {
+                    txn,
+                    ts,
+                    partition,
+                    row,
+                    data,
+                } => {
+                    match self.sh.store.get(row) {
+                        Some(imrs_row) => {
+                            let v = self.sh.store.add_version(
+                                &imrs_row,
+                                txn,
+                                btrim_imrs::VersionOp::Update,
+                                Some(&data),
+                            )?;
+                            v.stamp(ts);
+                            if let Some(table) = self.sh.catalog.table_of_partition(partition) {
+                                Self::index_row(&table, row, &data);
+                            }
+                        }
+                        None => {
+                            // Defensive: an update without a resident row
+                            // (should not happen in an intact log).
+                            let Some(table) = self.sh.catalog.table_of_partition(partition)
+                            else {
+                                continue;
+                            };
+                            self.sh.store.insert_row_committed(
+                                row,
+                                partition,
+                                btrim_imrs::RowOrigin::Inserted,
+                                txn,
+                                &data,
+                                ts,
+                            )?;
+                            self.sh.ridmap.set(row, RowLocation::Imrs);
+                            Self::index_row(&table, row, &data);
+                            let key = (table.primary_key)(&data);
+                            table.hash.insert(&key, row);
+                        }
+                    }
+                }
+                ImrsLogRecord::Delete {
+                    partition, row, ..
+                } => {
+                    self.drop_imrs_row(partition, row, true)?;
+                    self.sh.ridmap.remove(row);
+                }
+                ImrsLogRecord::Pack {
+                    partition, row, ..
+                } => {
+                    // The packed copy was re-inserted by syslogs redo —
+                    // unless the row was subsequently deleted from the
+                    // page store (or re-migrated; a later Insert record
+                    // then recreates everything). If the heap does not
+                    // hold the row, its index entries and RID-Map entry
+                    // must go, or they would shadow a later re-insert of
+                    // the same key under a new RowId.
+                    match heap_locs.get(&row) {
+                        Some(&(page, slot)) => {
+                            self.drop_imrs_row(partition, row, false)?;
+                            self.sh
+                                .ridmap
+                                .set(row, RowLocation::Page(page, slot));
+                        }
+                        None => {
+                            self.drop_imrs_row(partition, row, true)?;
+                            self.sh.ridmap.remove(row);
+                        }
+                    }
+                }
+            }
+        }
+        self.sh.clock.advance_to(max_ts);
+        self.sh.ridmap.bump_row_id_floor(max_row_id);
+        Ok(())
+    }
+
+    /// Remove a row from the IMRS during replay. The hash fast path is
+    /// always dropped (it spans IMRS rows only); for a *delete* the
+    /// B+tree entries go too, while a *pack* keeps them — the row still
+    /// exists, on a page, and the caller repoints the RID-Map.
+    fn drop_imrs_row(&self, partition: PartitionId, row: RowId, deleted: bool) -> Result<()> {
+        let Some(imrs_row) = self.sh.store.get(row) else {
+            return Ok(());
+        };
+        if let Some(table) = self.sh.catalog.table_of_partition(partition) {
+            if let Some(v) = imrs_row.latest_committed() {
+                if let Some(h) = v.handle {
+                    let data = self.sh.store.allocator().load(h);
+                    let key = (table.primary_key)(&data);
+                    table.hash.remove(&key);
+                    if deleted {
+                        let _ = table.primary.delete(&key, Some(row));
+                        for sec in table.secondaries.read().iter() {
+                            let skey = (sec.extractor)(&data);
+                            let _ = sec.tree.delete(&skey, Some(row));
+                        }
+                    }
+                }
+            }
+        }
+        self.sh.store.remove_row(row);
+        Ok(())
+    }
+
+    /// Final recovery steps: queue rebuild and a clean checkpoint.
+    fn finish_recovery(&self) {
+        // Re-register every resident row so GC rebuilds the ILM queues.
+        let mut rows = Vec::new();
+        self.sh.store.for_each_row(|r| rows.push(r.row_id));
+        self.sh.gc.register_many(rows);
+        let oldest = self.sh.txns.oldest_active_snapshot();
+        self.sh
+            .gc
+            .tick(&self.sh.store, &self.sh.queues, &self.sh.ridmap, oldest, usize::MAX);
+    }
+}

@@ -1,0 +1,283 @@
+//! Experiment-facing statistics snapshots.
+//!
+//! Everything §VIII's figures plot is derivable from one
+//! [`EngineSnapshot`]: cache utilization (Fig. 2, 9), per-table IMRS
+//! footprints (Fig. 3, 4), pack volume (Fig. 5, 7, 10), re-use counts
+//! (Fig. 6), and the IMRS hit rate (Fig. 1).
+
+use btrim_common::{PartitionId, TableId};
+
+use crate::engine::Engine;
+
+/// Per-partition statistics.
+#[derive(Debug, Clone)]
+pub struct PartitionSnapshot {
+    /// Partition id.
+    pub partition: PartitionId,
+    /// IMRS bytes attributed to the partition.
+    pub imrs_bytes: u64,
+    /// IMRS-resident rows.
+    pub imrs_rows: u64,
+    /// Cumulative re-use operations (S+U+D on IMRS rows).
+    pub reuse_ops: u64,
+    /// Cumulative IMRS inserts.
+    pub imrs_inserts: u64,
+    /// Cumulative page-store operations.
+    pub page_ops: u64,
+    /// Cumulative contended page-store operations.
+    pub page_contention: u64,
+    /// New rows brought into the IMRS.
+    pub rows_in: u64,
+    /// Rows packed out.
+    pub rows_packed: u64,
+    /// Bytes packed out.
+    pub bytes_packed: u64,
+    /// Rows pack skipped as hot.
+    pub rows_skipped_hot: u64,
+    /// Whether ILM currently allows new IMRS use.
+    pub ilm_enabled: bool,
+    /// ILM queue length (all origins).
+    pub queue_len: usize,
+}
+
+/// Per-table statistics (partitions aggregated).
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    /// Table id.
+    pub table: TableId,
+    /// Table name.
+    pub name: String,
+    /// Per-partition detail.
+    pub partitions: Vec<PartitionSnapshot>,
+}
+
+impl TableSnapshot {
+    /// IMRS bytes across partitions.
+    pub fn imrs_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.imrs_bytes).sum()
+    }
+
+    /// IMRS rows across partitions.
+    pub fn imrs_rows(&self) -> u64 {
+        self.partitions.iter().map(|p| p.imrs_rows).sum()
+    }
+
+    /// Re-use ops across partitions.
+    pub fn reuse_ops(&self) -> u64 {
+        self.partitions.iter().map(|p| p.reuse_ops).sum()
+    }
+
+    /// Rows packed across partitions.
+    pub fn rows_packed(&self) -> u64 {
+        self.partitions.iter().map(|p| p.rows_packed).sum()
+    }
+
+    /// Average re-use per resident row (Fig. 6's metric).
+    pub fn avg_reuse_per_row(&self) -> f64 {
+        let rows = self.imrs_rows().max(1);
+        self.reuse_ops() as f64 / rows as f64
+    }
+}
+
+/// Engine-wide snapshot.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Committed transactions.
+    pub committed_txns: u64,
+    /// Aborted transactions.
+    pub aborted_txns: u64,
+    /// Current database commit timestamp.
+    pub commit_ts: u64,
+    /// IMRS bytes in use.
+    pub imrs_used_bytes: u64,
+    /// IMRS budget.
+    pub imrs_budget: u64,
+    /// IMRS utilization in [0, 1].
+    pub imrs_utilization: f64,
+    /// IMRS resident rows.
+    pub imrs_rows: usize,
+    /// Total operations served by the IMRS.
+    pub imrs_ops: u64,
+    /// Total operations served by the page store.
+    pub page_ops: u64,
+    /// Pack cycles run.
+    pub pack_cycles: u64,
+    /// Rows packed out (lifetime).
+    pub rows_packed: u64,
+    /// Bytes packed out (lifetime).
+    pub bytes_packed: u64,
+    /// Rows pack skipped as hot (lifetime).
+    pub rows_skipped_hot: u64,
+    /// Current learned TSF Ʈ.
+    pub tsf_tau: u64,
+    /// Tuning windows executed.
+    pub tuning_windows: u64,
+    /// GC: bytes reclaimed from version chains.
+    pub gc_bytes_freed: u64,
+    /// GC: rows awaiting a GC visit.
+    pub gc_backlog: usize,
+    /// Total ILM-queue entries across all partitions.
+    pub queue_total: usize,
+    /// Buffer cache counters.
+    pub buffer: btrim_pagestore::buffer::BufferStatsSnapshot,
+    /// Per-table detail.
+    pub tables: Vec<TableSnapshot>,
+}
+
+impl EngineSnapshot {
+    /// Fraction of all row operations served by the IMRS (the paper's
+    /// "% operations in the IMRS (hit rate)", Fig. 1).
+    pub fn imrs_hit_rate(&self) -> f64 {
+        let total = self.imrs_ops + self.page_ops;
+        if total == 0 {
+            return 0.0;
+        }
+        self.imrs_ops as f64 / total as f64
+    }
+
+    /// Table detail by name.
+    pub fn table(&self, name: &str) -> Option<&TableSnapshot> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    pub(crate) fn collect(engine: &Engine) -> EngineSnapshot {
+        let sh = &engine.sh;
+        let mut tables = Vec::new();
+        let mut imrs_ops = 0u64;
+        let mut page_ops = 0u64;
+        for table in sh.catalog.tables() {
+            let mut parts = Vec::new();
+            for &p in &table.partitions {
+                let m = sh.metrics.get(p);
+                let usage = sh.store.usage(p);
+                imrs_ops += m.imrs_ops();
+                page_ops += m.page_ops.load();
+                parts.push(PartitionSnapshot {
+                    partition: p,
+                    imrs_bytes: usage.bytes(),
+                    imrs_rows: usage.rows(),
+                    reuse_ops: m.reuse_ops(),
+                    imrs_inserts: m.imrs_insert.load(),
+                    page_ops: m.page_ops.load(),
+                    page_contention: m.page_contention.load(),
+                    rows_in: m.rows_in.load(),
+                    rows_packed: m.rows_packed.load(),
+                    bytes_packed: m.bytes_packed.load(),
+                    rows_skipped_hot: m.rows_skipped_hot.load(),
+                    ilm_enabled: sh.tuner.state(p).enabled(),
+                    queue_len: sh.queues.get(p).len(),
+                });
+            }
+            tables.push(TableSnapshot {
+                table: table.id,
+                name: table.name.clone(),
+                partitions: parts,
+            });
+        }
+        EngineSnapshot {
+            committed_txns: sh.txns.committed_count(),
+            aborted_txns: sh.txns.aborted_count(),
+            commit_ts: sh.clock.now().0,
+            imrs_used_bytes: sh.store.used_bytes(),
+            imrs_budget: sh.store.budget(),
+            imrs_utilization: sh.store.utilization(),
+            imrs_rows: sh.store.row_count(),
+            imrs_ops,
+            page_ops,
+            pack_cycles: sh.pack.cycles(),
+            rows_packed: sh.pack.rows_packed(),
+            bytes_packed: sh.pack.bytes_packed(),
+            rows_skipped_hot: sh.pack.rows_skipped(),
+            tsf_tau: sh.tsf.tau(),
+            tuning_windows: sh.tuner.windows_run(),
+            gc_bytes_freed: sh.gc.bytes_freed(),
+            gc_backlog: sh.gc.backlog(),
+            queue_total: sh.queues.total_len(),
+            buffer: sh.cache.stats(),
+            tables,
+        }
+    }
+}
+
+impl EngineSnapshot {
+    /// Render a human-readable engine dashboard (monitoring demos, the
+    /// `tpcc_demo` example).
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "── engine ─────────────────────────────────────────────\n\
+             txns committed {:>10}   aborted {:>8}   commit-ts {}\n\
+             IMRS {:>6.1} MiB / {:.1} MiB ({:>4.1}%)   rows {:>8}   hit rate {:>5.1}%\n\
+             pack: cycles {} rows {} skipped {} bytes {:.1} MiB   TSF Ʈ {}\n\
+             GC freed {:.1} MiB   tuning windows {}\n\
+             buffer: hits {} misses {} evictions {} contention {}\n",
+            self.committed_txns,
+            self.aborted_txns,
+            self.commit_ts,
+            self.imrs_used_bytes as f64 / (1024.0 * 1024.0),
+            self.imrs_budget as f64 / (1024.0 * 1024.0),
+            self.imrs_utilization * 100.0,
+            self.imrs_rows,
+            self.imrs_hit_rate() * 100.0,
+            self.pack_cycles,
+            self.rows_packed,
+            self.rows_skipped_hot,
+            self.bytes_packed as f64 / (1024.0 * 1024.0),
+            self.tsf_tau,
+            self.gc_bytes_freed as f64 / (1024.0 * 1024.0),
+            self.tuning_windows,
+            self.buffer.hits,
+            self.buffer.misses,
+            self.buffer.evictions,
+            self.buffer.latch_contention,
+        ));
+        out.push_str(&format!(
+            "── tables ─────────────────────────────────────────────\n\
+             {:<12} {:>9} {:>10} {:>9} {:>9} {:>8} {:>5}\n",
+            "name", "imrs_rows", "imrs_KiB", "reuse", "packed", "page_ops", "ilm"
+        ));
+        for t in &self.tables {
+            let page_ops: u64 = t.partitions.iter().map(|p| p.page_ops).sum();
+            let enabled = t.partitions.iter().all(|p| p.ilm_enabled);
+            out.push_str(&format!(
+                "{:<12} {:>9} {:>10} {:>9} {:>9} {:>8} {:>5}\n",
+                t.name,
+                t.imrs_rows(),
+                t.imrs_bytes() / 1024,
+                t.reuse_ops(),
+                t.rows_packed(),
+                page_ops,
+                if enabled { "on" } else { "off" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableOpts;
+    use crate::{EngineConfig, EngineMode};
+    use std::sync::Arc;
+
+    #[test]
+    fn report_renders_every_table_and_headline_numbers() {
+        let e = Engine::new(EngineConfig::with_mode(EngineMode::IlmOn, 8 * 1024 * 1024));
+        let t = e
+            .create_table(TableOpts::new("events", Arc::new(|r: &[u8]| r[..8].to_vec())))
+            .unwrap();
+        let mut txn = e.begin();
+        for i in 0..10u64 {
+            let mut row = i.to_be_bytes().to_vec();
+            row.extend_from_slice(b"payload");
+            e.insert(&mut txn, &t, &row).unwrap();
+        }
+        e.commit(txn).unwrap();
+        let report = e.snapshot().render_report();
+        assert!(report.contains("events"));
+        assert!(report.contains("txns committed"));
+        assert!(report.contains("hit rate"));
+        assert!(report.contains("TSF"));
+    }
+}

@@ -1,0 +1,464 @@
+//! Auto IMRS partition tuning (§V).
+//!
+//! A background pass runs once per *tuning window* (a fixed number of
+//! committed transactions). For every data partition it compares this
+//! window's counters with the previous window's and votes to disable or
+//! re-enable IMRS use for that partition. A vote must repeat for
+//! `hysteresis_windows` consecutive windows before it is applied,
+//! avoiding flapping on dynamic workloads (§V.B).
+//!
+//! Disable heuristics (§V.C) — all must hold:
+//! * overall IMRS utilization is above the tuning floor (plenty of free
+//!   memory ⇒ no reason to disable anything);
+//! * the partition's footprint exceeds the minimum fraction of the
+//!   budget (tiny partitions are never disabled);
+//! * the partition brought enough *new* rows into the IMRS this window
+//!   (slow-growing partitions are left alone);
+//! * average re-use per resident row in the window is below the
+//!   threshold.
+//!
+//! Enable heuristics (§V.D) — either suffices:
+//! * page-store operations on the partition observed contention;
+//! * partition activity (re-use + page ops) grew by the configured
+//!   factor relative to the window in which it was disabled.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use btrim_common::PartitionId;
+use btrim_imrs::ImrsStore;
+
+use crate::config::EngineConfig;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Per-partition ILM enablement state.
+#[derive(Debug)]
+pub struct PartitionIlmState {
+    /// New inserts may go to the IMRS.
+    insert_enabled: AtomicBool,
+    /// Page-store rows may migrate to the IMRS on update.
+    migrate_enabled: AtomicBool,
+    /// Page-store rows may be cached in the IMRS on select.
+    cache_enabled: AtomicBool,
+    disable_votes: AtomicU32,
+    enable_votes: AtomicU32,
+    /// Partition activity (reuse + page ops) in the window where the
+    /// partition was disabled; baseline for re-enable.
+    activity_at_disable: Mutex<Option<u64>>,
+    /// Enable/disable transitions (stats).
+    toggles: AtomicU64,
+}
+
+impl Default for PartitionIlmState {
+    fn default() -> Self {
+        PartitionIlmState {
+            insert_enabled: AtomicBool::new(true),
+            migrate_enabled: AtomicBool::new(true),
+            cache_enabled: AtomicBool::new(true),
+            disable_votes: AtomicU32::new(0),
+            enable_votes: AtomicU32::new(0),
+            activity_at_disable: Mutex::new(None),
+            toggles: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PartitionIlmState {
+    /// Whether new inserts may use the IMRS.
+    pub fn allows_insert(&self) -> bool {
+        self.insert_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether updates may migrate page rows into the IMRS.
+    pub fn allows_migrate(&self) -> bool {
+        self.migrate_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether selects may cache page rows into the IMRS.
+    pub fn allows_cache(&self) -> bool {
+        self.cache_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether any IMRS use is enabled.
+    pub fn enabled(&self) -> bool {
+        self.allows_insert() || self.allows_migrate() || self.allows_cache()
+    }
+
+    /// Number of enable/disable transitions.
+    pub fn toggles(&self) -> u64 {
+        self.toggles.load(Ordering::Relaxed)
+    }
+
+    /// Staged disablement per ISUD class (§V: "disables ... use of
+    /// in-memory storage for certain ISUD operations on certain
+    /// partitions"). The first stage turns off the *speculative*
+    /// placements — select-caching and update-migration of page rows —
+    /// whose payoff is exactly what the low re-use signal refutes; a
+    /// repeated verdict then also stops directing new inserts to the
+    /// IMRS. Returns `true` once the partition is fully disabled.
+    fn escalate_disable(&self) -> bool {
+        self.toggles.fetch_add(1, Ordering::Relaxed);
+        if self.allows_cache() || self.allows_migrate() {
+            self.cache_enabled.store(false, Ordering::Relaxed);
+            self.migrate_enabled.store(false, Ordering::Relaxed);
+            false
+        } else {
+            self.insert_enabled.store(false, Ordering::Relaxed);
+            true
+        }
+    }
+
+    fn enable_all(&self) {
+        self.insert_enabled.store(true, Ordering::Relaxed);
+        self.migrate_enabled.store(true, Ordering::Relaxed);
+        self.cache_enabled.store(true, Ordering::Relaxed);
+        self.toggles.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The auto-tuner.
+#[derive(Default)]
+pub struct Tuner {
+    states: RwLock<HashMap<PartitionId, Arc<PartitionIlmState>>>,
+    last_snapshots: Mutex<HashMap<PartitionId, MetricsSnapshot>>,
+    last_window_at: AtomicU64,
+    windows_run: AtomicU64,
+}
+
+impl Tuner {
+    /// Empty tuner (all partitions enabled by default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// ILM state for a partition (created enabled).
+    pub fn state(&self, partition: PartitionId) -> Arc<PartitionIlmState> {
+        if let Some(s) = self.states.read().get(&partition) {
+            return Arc::clone(s);
+        }
+        let mut map = self.states.write();
+        Arc::clone(map.entry(partition).or_default())
+    }
+
+    /// Tuning windows executed so far.
+    pub fn windows_run(&self) -> u64 {
+        self.windows_run.load(Ordering::Relaxed)
+    }
+
+    /// Run a window if one is due at `committed_txns`. Returns whether
+    /// a window ran.
+    pub fn maybe_run(
+        &self,
+        cfg: &EngineConfig,
+        committed_txns: u64,
+        partitions: &[PartitionId],
+        metrics: &MetricsRegistry,
+        store: &ImrsStore,
+    ) -> bool {
+        let last = self.last_window_at.load(Ordering::Relaxed);
+        if committed_txns.saturating_sub(last) < cfg.tuning_window_txns {
+            return false;
+        }
+        if self
+            .last_window_at
+            .compare_exchange(last, committed_txns, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false; // another thread claimed this window
+        }
+        self.run_window(cfg, partitions, metrics, store);
+        true
+    }
+
+    /// Execute one tuning window unconditionally (tests drive this).
+    pub fn run_window(
+        &self,
+        cfg: &EngineConfig,
+        partitions: &[PartitionId],
+        metrics: &MetricsRegistry,
+        store: &ImrsStore,
+    ) {
+        let util = store.utilization();
+        let budget = store.budget();
+        for &p in partitions {
+            let snap = metrics.snapshot(p);
+            let delta = {
+                let mut last = self.last_snapshots.lock();
+                let prev = last.insert(p, snap).unwrap_or_default();
+                snap.delta_since(&prev)
+            };
+            let state = self.state(p);
+            let usage = store.usage(p);
+            if state.enabled() {
+                let guard_util = util >= cfg.tuning_utilization_floor;
+                let guard_footprint =
+                    usage.bytes() >= (cfg.min_partition_footprint * budget as f64) as u64;
+                let guard_growth = delta.rows_in >= cfg.min_new_rows_for_disable;
+                let avg_reuse = delta.reuse_ops as f64 / usage.rows().max(1) as f64;
+                let vote_disable =
+                    guard_util && guard_footprint && guard_growth && avg_reuse < cfg.low_reuse_threshold;
+                state.enable_votes.store(0, Ordering::Relaxed);
+                if vote_disable {
+                    let votes = state.disable_votes.fetch_add(1, Ordering::Relaxed) + 1;
+                    if votes >= cfg.hysteresis_windows {
+                        let fully = state.escalate_disable();
+                        state.disable_votes.store(0, Ordering::Relaxed);
+                        if fully {
+                            *state.activity_at_disable.lock() =
+                                Some(delta.reuse_ops + delta.page_ops);
+                        }
+                    }
+                } else {
+                    state.disable_votes.store(0, Ordering::Relaxed);
+                }
+            } else {
+                let contention =
+                    delta.page_contention >= cfg.contention_reenable_threshold;
+                let baseline = state.activity_at_disable.lock().unwrap_or(0).max(1);
+                let activity = delta.reuse_ops + delta.page_ops;
+                let demand_growth =
+                    activity as f64 >= cfg.reuse_reenable_factor * baseline as f64;
+                state.disable_votes.store(0, Ordering::Relaxed);
+                if contention || demand_growth {
+                    let votes = state.enable_votes.fetch_add(1, Ordering::Relaxed) + 1;
+                    if votes >= cfg.hysteresis_windows {
+                        state.enable_all();
+                        state.enable_votes.store(0, Ordering::Relaxed);
+                        *state.activity_at_disable.lock() = None;
+                    }
+                } else {
+                    state.enable_votes.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+        self.windows_run.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrim_common::{RowId, Timestamp, TxnId};
+    use btrim_imrs::RowOrigin;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            tuning_window_txns: 100,
+            hysteresis_windows: 2,
+            low_reuse_threshold: 0.5,
+            min_partition_footprint: 0.001,
+            tuning_utilization_floor: 0.0, // disable the floor for tests
+            min_new_rows_for_disable: 4,
+            contention_reenable_threshold: 8,
+            reuse_reenable_factor: 2.0,
+            ..Default::default()
+        }
+    }
+
+    /// Populate a store partition with `rows` rows so footprint guards
+    /// pass.
+    fn fill(store: &ImrsStore, p: PartitionId, rows: u64) {
+        for i in 0..rows {
+            store
+                .insert_row_committed(
+                    RowId(p.0 as u64 * 1_000_000 + i),
+                    p,
+                    RowOrigin::Inserted,
+                    TxnId(1),
+                    &[0u8; 64],
+                    Timestamp(1),
+                )
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn low_reuse_growing_partition_is_disabled_in_stages() {
+        let cfg = cfg();
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        let p = PartitionId(1);
+        fill(&store, p, 100);
+        let parts = [p];
+
+        // Window 1: many new rows, no reuse → first disable vote.
+        metrics.get(p).rows_in.add(50);
+        tuner.run_window(&cfg, &parts, &metrics, &store);
+        assert!(tuner.state(p).allows_cache(), "one vote is not enough");
+
+        // Window 2: second vote → stage 1: the speculative placements
+        // (caching, migration) are disabled, inserts still allowed.
+        metrics.get(p).rows_in.add(50);
+        tuner.run_window(&cfg, &parts, &metrics, &store);
+        let st = tuner.state(p);
+        assert!(!st.allows_cache() && !st.allows_migrate());
+        assert!(st.allows_insert(), "stage 1 keeps inserts in the IMRS");
+        assert!(st.enabled());
+
+        // Windows 3+4: verdict repeats → stage 2: fully disabled.
+        for _ in 0..2 {
+            metrics.get(p).rows_in.add(50);
+            tuner.run_window(&cfg, &parts, &metrics, &store);
+        }
+        assert!(!tuner.state(p).enabled());
+        assert_eq!(tuner.state(p).toggles(), 2);
+    }
+
+    #[test]
+    fn high_reuse_partition_stays_enabled() {
+        let cfg = cfg();
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        let p = PartitionId(2);
+        fill(&store, p, 10);
+        for _ in 0..3 {
+            metrics.get(p).rows_in.add(50);
+            metrics.get(p).imrs_select.add(1_000); // avg reuse 100/row
+            tuner.run_window(&cfg, &[p], &metrics, &store);
+        }
+        assert!(tuner.state(p).enabled());
+    }
+
+    #[test]
+    fn tiny_or_slow_partitions_are_never_disabled() {
+        let cfg = EngineConfig {
+            min_partition_footprint: 0.5, // footprint guard very strict
+            ..cfg()
+        };
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        let p = PartitionId(3);
+        fill(&store, p, 10); // tiny footprint
+        for _ in 0..5 {
+            metrics.get(p).rows_in.add(100);
+            tuner.run_window(&cfg, &[p], &metrics, &store);
+        }
+        assert!(tuner.state(p).enabled(), "footprint guard protects");
+
+        // Slow growth guard: large partition, no new rows.
+        let cfg2 = cfg2_with_growth_guard();
+        let q = PartitionId(4);
+        fill(&store, q, 200);
+        for _ in 0..5 {
+            tuner.run_window(&cfg2, &[q], &metrics, &store);
+        }
+        assert!(tuner.state(q).enabled(), "growth guard protects");
+    }
+
+    fn cfg2_with_growth_guard() -> EngineConfig {
+        EngineConfig {
+            min_new_rows_for_disable: 64,
+            tuning_utilization_floor: 0.0,
+            min_partition_footprint: 0.0001,
+            ..cfg()
+        }
+    }
+
+    #[test]
+    fn utilization_floor_guards_fresh_servers() {
+        // Same disable-worthy pattern, but the floor requires 99% util:
+        // nothing is disabled right after boot (§V.C's guard).
+        let cfg = EngineConfig {
+            tuning_utilization_floor: 0.99,
+            ..cfg()
+        };
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        let p = PartitionId(5);
+        fill(&store, p, 100);
+        for _ in 0..4 {
+            metrics.get(p).rows_in.add(100);
+            tuner.run_window(&cfg, &[p], &metrics, &store);
+        }
+        assert!(tuner.state(p).enabled());
+    }
+
+    #[test]
+    fn contention_reenables_disabled_partition() {
+        let cfg = cfg();
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        let p = PartitionId(6);
+        fill(&store, p, 100);
+        // Disable via four low-reuse windows (two escalation stages).
+        for _ in 0..4 {
+            metrics.get(p).rows_in.add(50);
+            tuner.run_window(&cfg, &[p], &metrics, &store);
+        }
+        assert!(!tuner.state(p).enabled());
+        // Two contended windows re-enable everything at once.
+        for _ in 0..2 {
+            metrics.get(p).page_contention.add(20);
+            metrics.get(p).page_ops.add(100);
+            tuner.run_window(&cfg, &[p], &metrics, &store);
+        }
+        let st = tuner.state(p);
+        assert!(st.allows_insert() && st.allows_migrate() && st.allows_cache());
+        assert_eq!(st.toggles(), 3);
+    }
+
+    #[test]
+    fn demand_growth_reenables() {
+        let cfg = cfg();
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        let p = PartitionId(7);
+        fill(&store, p, 100);
+        // Disable fully (two escalation stages) with a known activity
+        // baseline.
+        for _ in 0..4 {
+            metrics.get(p).rows_in.add(50);
+            metrics.get(p).imrs_select.add(10);
+            tuner.run_window(&cfg, &[p], &metrics, &store);
+        }
+        assert!(!tuner.state(p).enabled());
+        // Activity explodes (page ops, since IMRS is off) for two
+        // windows: re-enabled.
+        for _ in 0..2 {
+            metrics.get(p).page_ops.add(500);
+            tuner.run_window(&cfg, &[p], &metrics, &store);
+        }
+        assert!(tuner.state(p).enabled());
+    }
+
+    #[test]
+    fn maybe_run_respects_window_boundaries() {
+        let cfg = cfg();
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        assert!(!tuner.maybe_run(&cfg, 50, &[], &metrics, &store));
+        assert!(tuner.maybe_run(&cfg, 100, &[], &metrics, &store));
+        assert!(!tuner.maybe_run(&cfg, 150, &[], &metrics, &store));
+        assert!(tuner.maybe_run(&cfg, 200, &[], &metrics, &store));
+        assert_eq!(tuner.windows_run(), 2);
+    }
+
+    #[test]
+    fn hysteresis_resets_on_mixed_votes() {
+        let cfg = cfg();
+        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let metrics = MetricsRegistry::new();
+        let tuner = Tuner::new();
+        let p = PartitionId(8);
+        fill(&store, p, 100);
+        // Vote, then a healthy window, then vote again: never disabled.
+        metrics.get(p).rows_in.add(50);
+        tuner.run_window(&cfg, &[p], &metrics, &store);
+        metrics.get(p).rows_in.add(50);
+        metrics.get(p).imrs_select.add(10_000);
+        tuner.run_window(&cfg, &[p], &metrics, &store);
+        metrics.get(p).rows_in.add(50);
+        tuner.run_window(&cfg, &[p], &metrics, &store);
+        assert!(tuner.state(p).enabled(), "non-consecutive votes reset");
+    }
+}

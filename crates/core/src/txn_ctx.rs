@@ -1,0 +1,180 @@
+//! Transaction context.
+//!
+//! A [`Transaction`] collects everything needed at the commit/abort
+//! boundary: row locks to release, IMRS versions to stamp with the
+//! commit timestamp, redo-only log records to emit (IMRS changes are
+//! logged at commit, §II), rows to hand to GC/queue maintenance, and
+//! undo operations for rollback (page-store changes are undone
+//! physically; IMRS changes by dropping uncommitted versions).
+
+use std::sync::Arc;
+
+use btrim_common::{PageId, PartitionId, RowId, SlotId, TableId};
+use btrim_imrs::{ImrsRow, RowLocation, Version};
+use btrim_txn::TxnHandle;
+use btrim_wal::RowOriginTag;
+
+/// Buffered redo-only IMRS log entry; the commit timestamp is filled in
+/// when the transaction commits.
+#[derive(Debug, Clone)]
+pub(crate) enum PendingImrs {
+    Insert {
+        partition: PartitionId,
+        row: RowId,
+        origin: RowOriginTag,
+        data: Vec<u8>,
+    },
+    Update {
+        partition: PartitionId,
+        row: RowId,
+        data: Vec<u8>,
+    },
+    Delete {
+        partition: PartitionId,
+        row: RowId,
+    },
+}
+
+/// One undoable action, applied in reverse order on abort.
+#[derive(Debug, Clone)]
+pub(crate) enum UndoOp {
+    /// Undo a page-store insert: delete the row again.
+    PageInsert {
+        partition: PartitionId,
+        page: PageId,
+        slot: SlotId,
+    },
+    /// Undo an in-place page-store update: restore the before-image
+    /// (image includes the row-id header).
+    PageUpdate {
+        partition: PartitionId,
+        page: PageId,
+        slot: SlotId,
+        old: Vec<u8>,
+    },
+    /// Undo a page-store delete: re-insert the before-image (the row
+    /// may land at a new address; the RID-Map is repointed).
+    PageDelete {
+        table: TableId,
+        partition: PartitionId,
+        row: RowId,
+        old: Vec<u8>,
+    },
+    /// Undo a primary-index insert.
+    PrimaryAdd { table: TableId, key: Vec<u8> },
+    /// Undo a primary-index delete.
+    PrimaryRemove {
+        table: TableId,
+        key: Vec<u8>,
+        row: RowId,
+    },
+    /// Undo a secondary-index insert.
+    SecondaryAdd {
+        table: TableId,
+        idx: usize,
+        key: Vec<u8>,
+        row: RowId,
+    },
+    /// Undo a secondary-index delete.
+    SecondaryRemove {
+        table: TableId,
+        idx: usize,
+        key: Vec<u8>,
+        row: RowId,
+    },
+    /// Undo a hash-index insert.
+    HashAdd { table: TableId, key: Vec<u8> },
+    /// Undo a hash-index delete.
+    HashRemove {
+        table: TableId,
+        key: Vec<u8>,
+        row: RowId,
+    },
+    /// Restore a RID-Map entry to its previous value (`None` removes).
+    RidSet {
+        row: RowId,
+        prev: Option<RowLocation>,
+    },
+    /// Remove an IMRS row this transaction created.
+    ImrsNewRow { row: RowId },
+}
+
+/// A client transaction.
+pub struct Transaction {
+    /// Identity + snapshot.
+    pub(crate) handle: TxnHandle,
+    /// Rows exclusively/share locked (released at commit/abort).
+    pub(crate) locks: Vec<RowId>,
+    /// Versions created by this transaction, stamped at commit.
+    pub(crate) to_stamp: Vec<Arc<Version>>,
+    /// IMRS rows whose chains carry uncommitted versions from this
+    /// transaction (rolled back on abort).
+    pub(crate) touched_imrs: Vec<Arc<ImrsRow>>,
+    /// Redo-only log records to emit at commit.
+    pub(crate) pending_imrs: Vec<PendingImrs>,
+    /// Rows to register with GC/queue maintenance after commit.
+    pub(crate) gc_rows: Vec<RowId>,
+    /// Undo log, applied in reverse on abort.
+    pub(crate) undo: Vec<UndoOp>,
+    /// Whether any redo-undo (page-store) records were written; decides
+    /// whether a Commit/Abort record goes to syslogs.
+    pub(crate) wrote_syslog: bool,
+    /// Set once commit/abort ran (drop-guard hygiene).
+    pub(crate) finished: bool,
+}
+
+impl Transaction {
+    pub(crate) fn new(handle: TxnHandle) -> Self {
+        Transaction {
+            handle,
+            locks: Vec::new(),
+            to_stamp: Vec::new(),
+            touched_imrs: Vec::new(),
+            pending_imrs: Vec::new(),
+            gc_rows: Vec::new(),
+            undo: Vec::new(),
+            wrote_syslog: false,
+            finished: false,
+        }
+    }
+
+    /// Transaction id.
+    pub fn id(&self) -> btrim_common::TxnId {
+        self.handle.id
+    }
+
+    /// Snapshot timestamp this transaction reads at.
+    pub fn snapshot(&self) -> btrim_common::Timestamp {
+        self.handle.snapshot
+    }
+
+    /// Record a lock so commit/abort releases it.
+    pub(crate) fn remember_lock(&mut self, row: RowId) {
+        if !self.locks.contains(&row) {
+            self.locks.push(row);
+        }
+    }
+
+    /// Record an IMRS row with uncommitted versions from us.
+    pub(crate) fn remember_touched(&mut self, row: &Arc<ImrsRow>) {
+        if !self
+            .touched_imrs
+            .iter()
+            .any(|r| r.row_id == row.row_id)
+        {
+            self.touched_imrs.push(Arc::clone(row));
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        // A transaction dropped without commit/abort is a programming
+        // error in release of locks; surface it loudly in debug builds.
+        debug_assert!(
+            self.finished || self.locks.is_empty(),
+            "transaction {:?} dropped while holding locks — call commit() or abort()",
+            self.handle.id
+        );
+    }
+}

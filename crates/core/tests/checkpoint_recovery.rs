@@ -1,0 +1,219 @@
+//! Checkpoint semantics (§II): checkpoints flush page-store state and
+//! bound redo, but never flush IMRS data — the IMRS is always rebuilt
+//! from the redo-only log.
+
+use std::sync::Arc;
+
+use btrim_core::catalog::{Partitioner, TableOpts};
+use btrim_core::{Engine, EngineConfig, EngineMode};
+use btrim_pagestore::MemDisk;
+use btrim_wal::{analyze_page_log, LogWriter, MemLog, PageLogRecord};
+
+fn mkrow(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut v = key.to_be_bytes().to_vec();
+    v.extend_from_slice(payload);
+    v
+}
+
+fn opts() -> TableOpts {
+    TableOpts {
+        name: "t".into(),
+        imrs_enabled: true,
+        pinned: false,
+        partitioner: Partitioner::Single,
+        primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+    }
+}
+
+fn cfg(mode: EngineMode) -> EngineConfig {
+    EngineConfig {
+        mode,
+        imrs_budget: 4 * 1024 * 1024,
+        imrs_chunk_size: 512 * 1024,
+        buffer_frames: 512,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn recovery_with_mid_run_checkpoint_is_exact() {
+    let disk = Arc::new(MemDisk::new());
+    let syslog = Arc::new(MemLog::new());
+    let imrslog = Arc::new(MemLog::new());
+    {
+        let e = Engine::with_devices(
+            cfg(EngineMode::PageOnly),
+            disk.clone(),
+            syslog.clone(),
+            imrslog.clone(),
+        );
+        let t = e.create_table(opts()).unwrap();
+        // Pre-checkpoint work.
+        let mut txn = e.begin();
+        for i in 0..40u64 {
+            e.insert(&mut txn, &t, &mkrow(i, b"before")).unwrap();
+        }
+        e.commit(txn).unwrap();
+        e.checkpoint().unwrap();
+        // Post-checkpoint work: updates over checkpointed rows plus new
+        // inserts, never flushed.
+        let mut txn = e.begin();
+        for i in 0..20u64 {
+            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, b"after!")).unwrap();
+        }
+        for i in 40..60u64 {
+            e.insert(&mut txn, &t, &mkrow(i, b"late")).unwrap();
+        }
+        e.commit(txn).unwrap();
+        // Crash without a second checkpoint.
+    }
+    // Sanity: the log really contains a checkpoint record, so redo
+    // starts after it.
+    {
+        let reader: LogWriter<PageLogRecord> = LogWriter::new(syslog.clone());
+        let records = reader.read_all().unwrap();
+        let analysis = analyze_page_log(&records);
+        assert!(analysis.last_checkpoint.is_some(), "checkpoint logged");
+    }
+    let e = Engine::recover(cfg(EngineMode::PageOnly), disk, syslog, imrslog, |e| {
+        e.create_table(opts()).map(|_| ())
+    })
+    .unwrap();
+    let t = e.table("t").unwrap();
+    let txn = e.begin();
+    for i in 0..20u64 {
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"after!",
+            "post-checkpoint update {i}"
+        );
+    }
+    for i in 20..40u64 {
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"before",
+            "checkpointed row {i}"
+        );
+    }
+    for i in 40..60u64 {
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"late",
+            "post-checkpoint insert {i}"
+        );
+    }
+    e.commit(txn).unwrap();
+}
+
+#[test]
+fn checkpoint_never_flushes_imrs_data() {
+    // An IlmOn engine with everything resident in the IMRS: checkpoint
+    // flushes pages + logs, but the device must contain NO heap rows —
+    // the IMRS recovers from its redo-only log alone (§II).
+    let disk = Arc::new(MemDisk::new());
+    let syslog = Arc::new(MemLog::new());
+    let imrslog = Arc::new(MemLog::new());
+    {
+        let e = Engine::with_devices(
+            cfg(EngineMode::IlmOn),
+            disk.clone(),
+            syslog.clone(),
+            imrslog.clone(),
+        );
+        let t = e.create_table(opts()).unwrap();
+        let mut txn = e.begin();
+        for i in 0..50u64 {
+            e.insert(&mut txn, &t, &mkrow(i, b"imrs-only")).unwrap();
+        }
+        e.commit(txn).unwrap();
+        e.checkpoint().unwrap();
+        assert_eq!(e.snapshot().imrs_rows, 50);
+    }
+    // Recover: all 50 rows come back from sysimrslogs.
+    let e = Engine::recover(cfg(EngineMode::IlmOn), disk, syslog, imrslog, |e| {
+        e.create_table(opts()).map(|_| ())
+    })
+    .unwrap();
+    let t = e.table("t").unwrap();
+    assert_eq!(e.snapshot().imrs_rows, 50, "IMRS rebuilt from redo-only log");
+    let txn = e.begin();
+    for i in 0..50u64 {
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"imrs-only"
+        );
+    }
+    e.commit(txn).unwrap();
+}
+
+#[test]
+fn durable_commits_flush_logs_eagerly() {
+    let syslog = Arc::new(MemLog::new());
+    let imrslog = Arc::new(MemLog::new());
+    let e = Engine::with_devices(
+        EngineConfig {
+            durable_commits: true,
+            ..cfg(EngineMode::IlmOn)
+        },
+        Arc::new(MemDisk::new()),
+        syslog.clone(),
+        imrslog.clone(),
+    );
+    let t = e.create_table(opts()).unwrap();
+    let mut txn = e.begin();
+    e.insert(&mut txn, &t, &mkrow(1, b"x")).unwrap();
+    e.commit(txn).unwrap();
+    // MemLog flush is a no-op, so this only asserts the records exist
+    // immediately post-commit (the flush path ran without error).
+    use btrim_wal::LogSink;
+    assert!(imrslog.record_count() >= 1);
+}
+
+#[test]
+fn quiesced_checkpoint_truncates_syslogs_and_recovery_still_works() {
+    use btrim_wal::LogSink;
+    let disk = Arc::new(MemDisk::new());
+    let syslog = Arc::new(MemLog::new());
+    let imrslog = Arc::new(MemLog::new());
+    {
+        let e = Engine::with_devices(
+            cfg(EngineMode::PageOnly),
+            disk.clone(),
+            syslog.clone(),
+            imrslog.clone(),
+        );
+        let t = e.create_table(opts()).unwrap();
+        let mut txn = e.begin();
+        for i in 0..30u64 {
+            e.insert(&mut txn, &t, &mkrow(i, b"pre")).unwrap();
+        }
+        e.commit(txn).unwrap();
+        let bytes_before = syslog.byte_size();
+        e.checkpoint().unwrap();
+        assert!(
+            syslog.byte_size() < bytes_before / 4,
+            "quiesced checkpoint recycles the log prefix ({} -> {})",
+            bytes_before,
+            syslog.byte_size()
+        );
+        // Post-checkpoint changes land after the truncation point.
+        let mut txn = e.begin();
+        for i in 0..10u64 {
+            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, b"pst")).unwrap();
+        }
+        e.commit(txn).unwrap();
+    }
+    let e = Engine::recover(cfg(EngineMode::PageOnly), disk, syslog, imrslog, |e| {
+        e.create_table(opts()).map(|_| ())
+    })
+    .unwrap();
+    let t = e.table("t").unwrap();
+    let txn = e.begin();
+    for i in 0..10u64 {
+        assert_eq!(&e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..], b"pst");
+    }
+    for i in 10..30u64 {
+        assert_eq!(&e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..], b"pre");
+    }
+    e.commit(txn).unwrap();
+}

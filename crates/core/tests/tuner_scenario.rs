@@ -1,0 +1,107 @@
+//! End-to-end auto-partition-tuning scenario (§V): an insert-heavy,
+//! never-reused partition is disabled under memory pressure while a hot
+//! partition stays enabled; renewed demand re-enables it.
+
+use std::sync::Arc;
+
+use btrim_core::catalog::{Partitioner, TableOpts};
+use btrim_core::{Engine, EngineConfig, EngineMode, RowLocation};
+
+fn mkrow(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut v = key.to_be_bytes().to_vec();
+    v.extend_from_slice(payload);
+    v
+}
+
+fn opts(name: &str) -> TableOpts {
+    TableOpts {
+        name: name.into(),
+        imrs_enabled: true,
+        pinned: false,
+        partitioner: Partitioner::Single,
+        primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+    }
+}
+
+#[test]
+fn low_reuse_partition_is_disabled_then_reenabled_on_demand() {
+    let e = Engine::new(EngineConfig {
+        mode: EngineMode::IlmOn,
+        imrs_budget: 1024 * 1024,
+        imrs_chunk_size: 128 * 1024,
+        buffer_frames: 2048,
+        maintenance_interval_txns: 8,
+        tuning_window_txns: 64,
+        hysteresis_windows: 2,
+        tuning_utilization_floor: 0.10,
+        min_new_rows_for_disable: 16,
+        min_partition_footprint: 0.01,
+        low_reuse_threshold: 0.5,
+        reuse_reenable_factor: 2.0,
+        ..Default::default()
+    });
+    // `log`: the §V.C history-style partition — insert-only, never read.
+    let log = e.create_table(opts("log")).unwrap();
+    // `conf`: small and constantly re-read.
+    let conf = e.create_table(opts("conf")).unwrap();
+    {
+        let mut txn = e.begin();
+        for i in 0..32u64 {
+            e.insert(&mut txn, &conf, &mkrow(i, &[7u8; 64])).unwrap();
+        }
+        e.commit(txn).unwrap();
+    }
+
+    // Phase 1: hammer inserts into `log` while re-reading `conf`; the
+    // tuner must eventually disable IMRS use for `log` (low reuse, fast
+    // growth, pressure above the floor) and keep `conf` enabled.
+    let mut next_key = 1_000u64;
+    for _ in 0..2_000 {
+        let mut txn = e.begin();
+        e.insert(&mut txn, &log, &mkrow(next_key, &[1u8; 160])).unwrap();
+        next_key += 1;
+        e.get(&txn, &conf, &(next_key % 32).to_be_bytes())
+            .unwrap()
+            .unwrap();
+        e.commit(txn).unwrap();
+    }
+    let snap = e.snapshot();
+    let log_part = &snap.table("log").unwrap().partitions[0];
+    let conf_part = &snap.table("conf").unwrap().partitions[0];
+    assert!(
+        !log_part.ilm_enabled,
+        "insert-only partition must be disabled (util {:.2}, rows_in {})",
+        snap.imrs_utilization, log_part.rows_in
+    );
+    assert!(conf_part.ilm_enabled, "hot partition stays enabled");
+
+    // With IMRS disabled, new `log` inserts land on the page store.
+    {
+        let mut txn = e.begin();
+        e.insert(&mut txn, &log, &mkrow(9_999_999, &[2u8; 160])).unwrap();
+        e.commit(txn).unwrap();
+        assert!(matches!(
+            e.locate(&log, &9_999_999u64.to_be_bytes()).unwrap(),
+            Some(RowLocation::Page(_, _))
+        ));
+    }
+
+    // Phase 2: demand shifts — `log` rows are suddenly read heavily
+    // (page ops + activity growth). The tuner must re-enable it.
+    for round in 0..3_000u64 {
+        let txn = e.begin();
+        for k in 0..8u64 {
+            let key = (1_000 + (round * 8 + k) % 1_500).to_be_bytes();
+            let _ = e.get(&txn, &log, &key).unwrap();
+        }
+        e.commit(txn).unwrap();
+        if e.snapshot().table("log").unwrap().partitions[0].ilm_enabled {
+            break;
+        }
+    }
+    let snap = e.snapshot();
+    assert!(
+        snap.table("log").unwrap().partitions[0].ilm_enabled,
+        "renewed demand must re-enable the partition"
+    );
+}

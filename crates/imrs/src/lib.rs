@@ -1,0 +1,32 @@
+//! The In-Memory Row Store (IMRS).
+//!
+//! The red box of the paper's Fig. 1: a row-oriented in-memory store that
+//! acts both as a *store* (rows inserted directly in memory, no
+//! page-store footprint) and a *cache* (hot page-store rows migrated or
+//! cached in memory). Components:
+//!
+//! * [`alloc`] — the high-performance best-fit *fragment memory manager*
+//!   the paper calls out as a key sub-system (§II).
+//! * [`version`] — immutable row versions with commit-timestamp
+//!   stamping; the basis for in-memory versioning and snapshot
+//!   isolation.
+//! * [`row`] — the in-memory row: version chain, origin (inserted /
+//!   migrated / cached), and the loosely-maintained access timestamp
+//!   used by the Timestamp Filter (§VI.D).
+//! * [`store`] — the sharded row directory plus per-partition memory
+//!   accounting feeding the ILM indexes (§VI.C).
+//! * [`ridmap`] — the RID-Map: `RowId` → current physical location
+//!   (IMRS or page store), the indirection that makes data movement
+//!   invisible to indexes (§II).
+
+pub mod alloc;
+pub mod ridmap;
+pub mod row;
+pub mod store;
+pub mod version;
+
+pub use alloc::{FragHandle, FragmentAllocator};
+pub use ridmap::{RidMap, RowLocation};
+pub use row::{ImrsRow, RowOrigin};
+pub use store::{ImrsStore, PartitionUsage};
+pub use version::{Version, VersionOp};

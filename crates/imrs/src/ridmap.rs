@@ -1,0 +1,174 @@
+//! The RID-Map table.
+//!
+//! "Index access goes through an in-memory lookup table, the RID-Map
+//! table, to locate the row either in the IMRS or in the buffer cache"
+//! (§II). Indexes store `RowId`s; the RID-Map resolves each to its
+//! current physical home. Pack and migration update exactly one entry
+//! and no index changes, which is how online data movement stays
+//! invisible to scans.
+//!
+//! Sharded to keep lookups contention-free under many cores.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use btrim_common::{PageId, RowId, SlotId};
+
+/// Where a row currently lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RowLocation {
+    /// Resident in the IMRS (the `ImrsStore` holds the row object).
+    Imrs,
+    /// At `(page, slot)` in the page store.
+    Page(PageId, SlotId),
+}
+
+const SHARDS: usize = 64;
+
+/// RowId → location map plus the RowId allocator.
+pub struct RidMap {
+    shards: Vec<RwLock<HashMap<RowId, RowLocation>>>,
+    next_row_id: AtomicU64,
+}
+
+impl Default for RidMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RidMap {
+    /// Create an empty map. Row ids start at 1 (0 is reserved).
+    pub fn new() -> Self {
+        RidMap {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_row_id: AtomicU64::new(1),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, row: RowId) -> &RwLock<HashMap<RowId, RowLocation>> {
+        // Multiplicative hash: row ids are sequential, spread them.
+        let h = (row.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        &self.shards[h % SHARDS]
+    }
+
+    /// Allocate a fresh, never-used RowId.
+    pub fn allocate_row_id(&self) -> RowId {
+        RowId(self.next_row_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Make sure future allocations start above `floor` (recovery).
+    pub fn bump_row_id_floor(&self, floor: RowId) {
+        self.next_row_id.fetch_max(floor.0 + 1, Ordering::Relaxed);
+    }
+
+    /// Current location of a row, if known.
+    pub fn get(&self, row: RowId) -> Option<RowLocation> {
+        self.shard(row).read().get(&row).copied()
+    }
+
+    /// Set / replace a row's location.
+    pub fn set(&self, row: RowId, loc: RowLocation) {
+        self.shard(row).write().insert(row, loc);
+    }
+
+    /// Atomically replace the location only if it currently equals
+    /// `expected`. Returns whether the swap happened. Pack uses this so
+    /// a concurrent migration cannot be clobbered.
+    pub fn compare_and_set(&self, row: RowId, expected: RowLocation, new: RowLocation) -> bool {
+        let mut shard = self.shard(row).write();
+        match shard.get(&row) {
+            Some(cur) if *cur == expected => {
+                shard.insert(row, new);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove a row entirely (committed delete fully garbage-collected).
+    pub fn remove(&self, row: RowId) -> Option<RowLocation> {
+        self.shard(row).write().remove(&row)
+    }
+
+    /// Number of mapped rows.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no rows are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_ids_are_unique_and_monotonic() {
+        let m = RidMap::new();
+        let a = m.allocate_row_id();
+        let b = m.allocate_row_id();
+        assert!(b > a);
+        assert!(a.0 >= 1);
+    }
+
+    #[test]
+    fn set_get_remove_roundtrip() {
+        let m = RidMap::new();
+        let r = m.allocate_row_id();
+        assert_eq!(m.get(r), None);
+        m.set(r, RowLocation::Imrs);
+        assert_eq!(m.get(r), Some(RowLocation::Imrs));
+        m.set(r, RowLocation::Page(PageId(3), SlotId(9)));
+        assert_eq!(m.get(r), Some(RowLocation::Page(PageId(3), SlotId(9))));
+        assert_eq!(m.remove(r), Some(RowLocation::Page(PageId(3), SlotId(9))));
+        assert_eq!(m.get(r), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn compare_and_set_guards_concurrent_relocation() {
+        let m = RidMap::new();
+        let r = m.allocate_row_id();
+        m.set(r, RowLocation::Imrs);
+        // Wrong expectation: no change.
+        assert!(!m.compare_and_set(
+            r,
+            RowLocation::Page(PageId(0), SlotId(0)),
+            RowLocation::Page(PageId(1), SlotId(1)),
+        ));
+        assert_eq!(m.get(r), Some(RowLocation::Imrs));
+        // Right expectation: swapped.
+        assert!(m.compare_and_set(
+            r,
+            RowLocation::Imrs,
+            RowLocation::Page(PageId(1), SlotId(1)),
+        ));
+        assert_eq!(m.get(r), Some(RowLocation::Page(PageId(1), SlotId(1))));
+    }
+
+    #[test]
+    fn bump_floor_skips_recovered_ids() {
+        let m = RidMap::new();
+        m.bump_row_id_floor(RowId(500));
+        assert!(m.allocate_row_id().0 > 500);
+    }
+
+    #[test]
+    fn many_rows_distribute_across_shards() {
+        let m = RidMap::new();
+        for _ in 0..10_000 {
+            let r = m.allocate_row_id();
+            m.set(r, RowLocation::Imrs);
+        }
+        assert_eq!(m.len(), 10_000);
+        let populated = m.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(populated > SHARDS / 2, "ids spread over shards");
+    }
+}

@@ -1,0 +1,356 @@
+//! The in-memory row.
+//!
+//! An [`ImrsRow`] owns a chain of versions (newest first) plus the ILM
+//! bookkeeping the paper attaches to each row: the *origin* queue it
+//! belongs to (inserted / migrated / cached, §VI.B), a loosely-updated
+//! last-access timestamp (§V.A: "per-row access timestamps ... updated
+//! occasionally"), and a re-use counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use btrim_common::{PartitionId, RowId, Timestamp, TxnId};
+
+use crate::alloc::FragmentAllocator;
+use crate::version::{Version, VersionOp};
+
+/// Which operation first brought a row into the IMRS. Each origin has
+/// its own relaxed-LRU queue per partition (§VI.B), because hotness
+/// characteristics differ per origin.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RowOrigin {
+    /// Inserted directly into the IMRS (no page-store footprint yet).
+    Inserted,
+    /// Updated from the page store into the IMRS (migration).
+    Migrated,
+    /// Selected from the page store and cached in the IMRS.
+    Cached,
+}
+
+/// A row resident in the IMRS.
+pub struct ImrsRow {
+    /// Stable logical row id.
+    pub row_id: RowId,
+    /// Owning partition.
+    pub partition: PartitionId,
+    /// How the row entered the IMRS.
+    pub origin: RowOrigin,
+    /// Version chain, newest first.
+    versions: Mutex<Vec<Arc<Version>>>,
+    /// Last access (select/update) commit-timestamp, updated loosely.
+    last_access: AtomicU64,
+    /// Re-use operations (S/U/D after arrival) on this row.
+    reuse_count: AtomicU64,
+    /// Whether the row currently sits in an ILM queue (set by GC when it
+    /// enqueues the row; prevents duplicate queue entries).
+    enqueued: std::sync::atomic::AtomicBool,
+}
+
+impl ImrsRow {
+    /// Create a row with one initial (uncommitted) version.
+    pub fn new(
+        row_id: RowId,
+        partition: PartitionId,
+        origin: RowOrigin,
+        first: Arc<Version>,
+        now: Timestamp,
+    ) -> Arc<Self> {
+        Arc::new(ImrsRow {
+            row_id,
+            partition,
+            origin,
+            versions: Mutex::new(vec![first]),
+            last_access: AtomicU64::new(now.0),
+            reuse_count: AtomicU64::new(0),
+            enqueued: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Claim queue membership. Returns `true` when the caller should
+    /// enqueue the row (it was not in a queue before).
+    pub fn try_mark_enqueued(&self) -> bool {
+        !self.enqueued.swap(true, Ordering::AcqRel)
+    }
+
+    /// Release queue membership (row popped and not re-queued).
+    pub fn clear_enqueued(&self) {
+        self.enqueued.store(false, Ordering::Release);
+    }
+
+    /// Record an access for hotness tracking (cheap; relaxed stores).
+    pub fn touch(&self, now: Timestamp) {
+        self.last_access.store(now.0, Ordering::Relaxed);
+        self.reuse_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Last recorded access timestamp.
+    pub fn last_access(&self) -> Timestamp {
+        Timestamp(self.last_access.load(Ordering::Relaxed))
+    }
+
+    /// Total re-use operations recorded on this row.
+    pub fn reuse_count(&self) -> u64 {
+        self.reuse_count.load(Ordering::Relaxed)
+    }
+
+    /// Push a new version (uncommitted) at the head of the chain.
+    pub fn push_version(&self, v: Arc<Version>) {
+        self.versions.lock().insert(0, v);
+    }
+
+    /// Newest version visible to `(snapshot, reader)`; `None` if the row
+    /// did not exist yet at that snapshot.
+    pub fn visible_version(&self, snapshot: Timestamp, reader: TxnId) -> Option<Arc<Version>> {
+        let chain = self.versions.lock();
+        chain
+            .iter()
+            .find(|v| v.visible_to(snapshot, reader))
+            .cloned()
+    }
+
+    /// Newest committed version regardless of snapshot (pack and GC use
+    /// this: they operate on the latest committed image).
+    pub fn latest_committed(&self) -> Option<Arc<Version>> {
+        let chain = self.versions.lock();
+        chain.iter().find(|v| v.commit_ts().is_some()).cloned()
+    }
+
+    /// Newest version (possibly uncommitted). Used by write conflict
+    /// detection.
+    pub fn newest(&self) -> Option<Arc<Version>> {
+        self.versions.lock().first().cloned()
+    }
+
+    /// Remove versions created by an aborted transaction; frees their
+    /// memory. Returns bytes released.
+    pub fn rollback_txn(&self, txn: TxnId, alloc: &FragmentAllocator) -> usize {
+        let mut chain = self.versions.lock();
+        let mut freed = 0;
+        chain.retain(|v| {
+            if v.txn == txn && v.commit_ts().is_none() {
+                if let Some(h) = v.handle {
+                    freed += h.alloc_len();
+                    alloc.free(h);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        freed
+    }
+
+    /// Garbage-collect: drop versions that can never be seen again —
+    /// everything older than the newest version committed at or before
+    /// `oldest_active`. Returns bytes released.
+    ///
+    /// This is the work the paper's IMRS-GC threads perform to "reclaim
+    /// memory from older versions without affecting transaction
+    /// performance" (§II).
+    pub fn truncate_versions(&self, oldest_active: Timestamp, alloc: &FragmentAllocator) -> usize {
+        let mut chain = self.versions.lock();
+        // Find the newest version visible at `oldest_active`; everything
+        // older is unreachable.
+        let keep_until = chain
+            .iter()
+            .position(|v| v.commit_ts().is_some_and(|ts| ts <= oldest_active));
+        let Some(idx) = keep_until else {
+            return 0; // nothing old enough to cut below
+        };
+        let mut freed = 0;
+        for v in chain.drain(idx + 1..) {
+            if let Some(h) = v.handle {
+                freed += h.alloc_len();
+                alloc.free(h);
+            }
+        }
+        freed
+    }
+
+    /// Whether the latest committed version is a delete tombstone.
+    pub fn is_deleted(&self) -> bool {
+        self.latest_committed()
+            .is_some_and(|v| v.op == VersionOp::Delete)
+    }
+
+    /// Number of versions currently chained (tests / stats).
+    pub fn version_count(&self) -> usize {
+        self.versions.lock().len()
+    }
+
+    /// Chain summary, newest first: `(commit_ts, op)` per version
+    /// (debugging / diagnostics).
+    pub fn chain_summary(&self) -> Vec<(Option<Timestamp>, VersionOp)> {
+        self.versions
+            .lock()
+            .iter()
+            .map(|v| (v.commit_ts(), v.op))
+            .collect()
+    }
+
+    /// Total IMRS bytes pinned by this row's chain.
+    pub fn memory(&self) -> usize {
+        self.versions.lock().iter().map(|v| v.memory()).sum()
+    }
+
+    /// Drop the whole chain, freeing all version memory. Called when the
+    /// row leaves the IMRS (pack, or GC of a deleted row). Returns bytes
+    /// released.
+    pub fn free_all(&self, alloc: &FragmentAllocator) -> usize {
+        let mut chain = self.versions.lock();
+        let mut freed = 0;
+        for v in chain.drain(..) {
+            if let Some(h) = v.handle {
+                freed += h.alloc_len();
+                alloc.free(h);
+            }
+        }
+        freed
+    }
+}
+
+impl std::fmt::Debug for ImrsRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImrsRow")
+            .field("row_id", &self.row_id)
+            .field("partition", &self.partition)
+            .field("origin", &self.origin)
+            .field("versions", &self.version_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> FragmentAllocator {
+        FragmentAllocator::new(1024 * 1024, 64 * 1024)
+    }
+
+    fn committed_version(a: &FragmentAllocator, txn: u64, ts: u64, data: &[u8]) -> Arc<Version> {
+        let h = a.alloc(data).unwrap();
+        Arc::new(Version::committed(
+            TxnId(txn),
+            VersionOp::Update,
+            Some(h),
+            Timestamp(ts),
+        ))
+    }
+
+    #[test]
+    fn snapshot_reads_see_correct_version() {
+        let a = alloc();
+        let v1 = committed_version(&a, 1, 10, b"v1");
+        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        row.push_version(committed_version(&a, 2, 20, b"v2"));
+        row.push_version(committed_version(&a, 3, 30, b"v3"));
+
+        let read = |snap: u64| {
+            row.visible_version(Timestamp(snap), TxnId(99))
+                .map(|v| a.load(v.handle.unwrap()))
+        };
+        assert_eq!(read(5), None);
+        assert_eq!(read(10).unwrap(), b"v1");
+        assert_eq!(read(25).unwrap(), b"v2");
+        assert_eq!(read(30).unwrap(), b"v3");
+        assert_eq!(read(999).unwrap(), b"v3");
+    }
+
+    #[test]
+    fn own_uncommitted_writes_visible_only_to_writer() {
+        let a = alloc();
+        let v1 = committed_version(&a, 1, 10, b"committed");
+        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let h = a.alloc(b"pending").unwrap();
+        row.push_version(Arc::new(Version::new(TxnId(7), VersionOp::Update, Some(h))));
+
+        let mine = row.visible_version(Timestamp(10), TxnId(7)).unwrap();
+        assert_eq!(a.load(mine.handle.unwrap()), b"pending");
+        let theirs = row.visible_version(Timestamp(10), TxnId(8)).unwrap();
+        assert_eq!(a.load(theirs.handle.unwrap()), b"committed");
+    }
+
+    #[test]
+    fn truncate_reclaims_old_versions_only() {
+        let a = alloc();
+        let v1 = committed_version(&a, 1, 10, b"v1");
+        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        row.push_version(committed_version(&a, 2, 20, b"v2"));
+        row.push_version(committed_version(&a, 3, 30, b"v3"));
+        assert_eq!(row.version_count(), 3);
+
+        // Oldest active snapshot at 25: v2 (ts 20) is still needed,
+        // v1 is unreachable.
+        let freed = row.truncate_versions(Timestamp(25), &a);
+        assert!(freed > 0);
+        assert_eq!(row.version_count(), 2);
+        // Snapshot at 25 still reads v2.
+        let v = row.visible_version(Timestamp(25), TxnId(99)).unwrap();
+        assert_eq!(a.load(v.handle.unwrap()), b"v2");
+
+        // Oldest active at 100: only v3 remains.
+        row.truncate_versions(Timestamp(100), &a);
+        assert_eq!(row.version_count(), 1);
+    }
+
+    #[test]
+    fn rollback_removes_only_that_txns_uncommitted_versions() {
+        let a = alloc();
+        let v1 = committed_version(&a, 1, 10, b"v1");
+        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let h = a.alloc(b"doomed").unwrap();
+        row.push_version(Arc::new(Version::new(TxnId(5), VersionOp::Update, Some(h))));
+        let used_before = a.used_bytes();
+        let freed = row.rollback_txn(TxnId(5), &a);
+        assert!(freed > 0);
+        assert_eq!(a.used_bytes(), used_before - freed as u64);
+        assert_eq!(row.version_count(), 1);
+        let v = row.visible_version(Timestamp(10), TxnId(5)).unwrap();
+        assert_eq!(a.load(v.handle.unwrap()), b"v1");
+    }
+
+    #[test]
+    fn tombstone_marks_row_deleted() {
+        let a = alloc();
+        let v1 = committed_version(&a, 1, 10, b"v1");
+        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        assert!(!row.is_deleted());
+        row.push_version(Arc::new(Version::committed(
+            TxnId(2),
+            VersionOp::Delete,
+            None,
+            Timestamp(20),
+        )));
+        assert!(row.is_deleted());
+        // Snapshot before the delete still sees the row.
+        let v = row.visible_version(Timestamp(15), TxnId(99)).unwrap();
+        assert_eq!(v.op, VersionOp::Update);
+    }
+
+    #[test]
+    fn touch_updates_hotness() {
+        let a = alloc();
+        let v1 = committed_version(&a, 1, 10, b"v1");
+        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Cached, v1, Timestamp(10));
+        assert_eq!(row.reuse_count(), 0);
+        row.touch(Timestamp(42));
+        row.touch(Timestamp(43));
+        assert_eq!(row.last_access(), Timestamp(43));
+        assert_eq!(row.reuse_count(), 2);
+    }
+
+    #[test]
+    fn free_all_releases_everything() {
+        let a = alloc();
+        let v1 = committed_version(&a, 1, 10, b"version one");
+        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        row.push_version(committed_version(&a, 2, 20, b"version two"));
+        assert!(row.memory() > 0);
+        row.free_all(&a);
+        assert_eq!(row.memory(), 0);
+        assert_eq!(a.used_bytes(), 0);
+    }
+}

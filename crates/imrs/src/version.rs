@@ -1,0 +1,129 @@
+//! Immutable row versions.
+//!
+//! All updates to in-memory rows are performed using in-memory
+//! versioning, which also supports timestamp-based snapshot isolation
+//! (§II). A version is created by exactly one transaction and is
+//! *stamped* with the database commit timestamp when that transaction
+//! commits; until then its commit timestamp reads as `None` and only the
+//! creating transaction can see it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use btrim_common::{Timestamp, TxnId};
+
+use crate::alloc::FragHandle;
+
+/// What a version represents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VersionOp {
+    /// Row created in the IMRS by an INSERT (or by migration/caching
+    /// from the page store — the version carries the row image).
+    Insert,
+    /// New row image from an UPDATE.
+    Update,
+    /// Deletion tombstone; carries no image.
+    Delete,
+}
+
+/// Sentinel meaning "not yet committed".
+const UNCOMMITTED: u64 = 0;
+
+/// One immutable version of a row.
+#[derive(Debug)]
+pub struct Version {
+    /// Transaction that created this version.
+    pub txn: TxnId,
+    /// Commit timestamp; 0 while the creating transaction is in flight.
+    commit_ts: AtomicU64,
+    /// Operation that produced the version.
+    pub op: VersionOp,
+    /// Row image in the fragment allocator; `None` for tombstones.
+    pub handle: Option<FragHandle>,
+}
+
+impl Version {
+    /// New uncommitted version.
+    pub fn new(txn: TxnId, op: VersionOp, handle: Option<FragHandle>) -> Self {
+        debug_assert!(
+            op != VersionOp::Delete || handle.is_none(),
+            "tombstones carry no image"
+        );
+        Version {
+            txn,
+            commit_ts: AtomicU64::new(UNCOMMITTED),
+            op,
+            handle,
+        }
+    }
+
+    /// New version already stamped (recovery replay).
+    pub fn committed(txn: TxnId, op: VersionOp, handle: Option<FragHandle>, ts: Timestamp) -> Self {
+        let v = Version::new(txn, op, handle);
+        v.commit_ts.store(ts.0, Ordering::Release);
+        v
+    }
+
+    /// Commit timestamp if stamped.
+    #[inline]
+    pub fn commit_ts(&self) -> Option<Timestamp> {
+        match self.commit_ts.load(Ordering::Acquire) {
+            UNCOMMITTED => None,
+            ts => Some(Timestamp(ts)),
+        }
+    }
+
+    /// Stamp the commit timestamp (called once, at transaction commit).
+    pub fn stamp(&self, ts: Timestamp) {
+        debug_assert_ne!(ts.0, UNCOMMITTED, "commit ts 0 is reserved");
+        self.commit_ts.store(ts.0, Ordering::Release);
+    }
+
+    /// Whether `snapshot` (a begin-timestamp) can see this version:
+    /// committed at or before the snapshot.
+    #[inline]
+    pub fn visible_to(&self, snapshot: Timestamp, reader: TxnId) -> bool {
+        if self.txn == reader {
+            return true; // own writes
+        }
+        match self.commit_ts() {
+            Some(ts) => ts <= snapshot,
+            None => false,
+        }
+    }
+
+    /// Bytes of IMRS memory pinned by this version.
+    pub fn memory(&self) -> usize {
+        self.handle.map_or(0, |h| h.alloc_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncommitted_version_is_invisible_to_others() {
+        let v = Version::new(TxnId(1), VersionOp::Insert, None);
+        assert_eq!(v.commit_ts(), None);
+        assert!(!v.visible_to(Timestamp(100), TxnId(2)));
+        assert!(v.visible_to(Timestamp(100), TxnId(1)), "own write visible");
+    }
+
+    #[test]
+    fn stamped_version_visibility_follows_snapshot() {
+        let v = Version::new(TxnId(1), VersionOp::Update, None);
+        v.stamp(Timestamp(50));
+        assert_eq!(v.commit_ts(), Some(Timestamp(50)));
+        assert!(!v.visible_to(Timestamp(49), TxnId(2)));
+        assert!(v.visible_to(Timestamp(50), TxnId(2)));
+        assert!(v.visible_to(Timestamp(51), TxnId(2)));
+    }
+
+    #[test]
+    fn committed_constructor_is_prestamped() {
+        let v = Version::committed(TxnId(3), VersionOp::Delete, None, Timestamp(7));
+        assert_eq!(v.commit_ts(), Some(Timestamp(7)));
+        assert_eq!(v.op, VersionOp::Delete);
+        assert_eq!(v.memory(), 0);
+    }
+}

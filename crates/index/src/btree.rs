@@ -1,0 +1,810 @@
+//! Page-based B+tree.
+//!
+//! Nodes live in buffer-cache pages (one serialized node per page), so
+//! the tree pages behave like any other page-store page: they are
+//! cached, evicted, and flushed by the buffer cache. Leaves map
+//! order-preserving byte keys to `RowId`s and are chained through the
+//! page header's next-page link for range scans.
+//!
+//! Concurrency: a tree-level reader-writer latch (simple and correct;
+//! the engine's hash index provides the contention-free fast path for
+//! point lookups, which is exactly the role the paper assigns it in
+//! §II). Deletes do not rebalance — underfull nodes are tolerated and
+//! the root collapses when it empties, a common engineering trade-off
+//! for OLTP trees whose tables rarely shrink.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use btrim_common::codec::{Decoder, Encoder};
+use btrim_common::{BtrimError, PageId, PartitionId, Result, RowId, SlotId};
+use btrim_pagestore::page::PageType;
+use btrim_pagestore::BufferCache;
+
+/// Split a node once its encoding exceeds this many bytes.
+const SPLIT_THRESHOLD: usize = 5800;
+/// Maximum key length accepted.
+pub const MAX_KEY_LEN: usize = 1024;
+
+#[derive(Debug, Clone)]
+struct Node {
+    is_leaf: bool,
+    /// Leaf: `(key, row_id)`. Inner: `(separator_key, child_page)`;
+    /// keys in an inner node are the minimum key reachable through the
+    /// paired child.
+    entries: Vec<(Vec<u8>, u64)>,
+    /// Inner only: child for keys below the first separator.
+    first_child: u64,
+}
+
+impl Node {
+    fn leaf() -> Node {
+        Node {
+            is_leaf: true,
+            entries: Vec::new(),
+            first_child: 0,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(64 + self.entries.len() * 24);
+        e.put_u8(self.is_leaf as u8);
+        e.put_u64(self.first_child);
+        e.put_u32(self.entries.len() as u32);
+        for (k, v) in &self.entries {
+            e.put_bytes(k);
+            e.put_u64(*v);
+        }
+        e.into_vec()
+    }
+
+    fn decode(data: &[u8]) -> Result<Node> {
+        let mut d = Decoder::new(data);
+        let is_leaf = d.get_u8()? != 0;
+        let first_child = d.get_u64()?;
+        let n = d.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = d.get_bytes()?;
+            let v = d.get_u64()?;
+            entries.push((k, v));
+        }
+        Ok(Node {
+            is_leaf,
+            entries,
+            first_child,
+        })
+    }
+
+    fn encoded_size(&self) -> usize {
+        13 + self
+            .entries
+            .iter()
+            .map(|(k, _)| 12 + k.len())
+            .sum::<usize>()
+    }
+
+}
+
+/// Allocation-free view over an encoded node blob. Layout:
+/// `[is_leaf u8][first_child u64][n u32]` then `n × ([len u32][key][val
+/// u64])`, all little-endian.
+struct BlobView<'a> {
+    blob: &'a [u8],
+    is_leaf: bool,
+    first_child: u64,
+    n: usize,
+}
+
+impl<'a> BlobView<'a> {
+    fn new(blob: &'a [u8]) -> BlobView<'a> {
+        debug_assert!(blob.len() >= 13);
+        BlobView {
+            blob,
+            is_leaf: blob[0] != 0,
+            first_child: u64::from_le_bytes(blob[1..9].try_into().unwrap()),
+            n: u32::from_le_bytes(blob[9..13].try_into().unwrap()) as usize,
+        }
+    }
+
+    /// Iterate `(key, value)` pairs without allocating.
+    fn entries(&self) -> impl Iterator<Item = (&'a [u8], u64)> + '_ {
+        let mut off = 13usize;
+        let blob = self.blob;
+        (0..self.n).map(move |_| {
+            let len = u32::from_le_bytes(blob[off..off + 4].try_into().unwrap()) as usize;
+            let key = &blob[off + 4..off + 4 + len];
+            let val =
+                u64::from_le_bytes(blob[off + 4 + len..off + 12 + len].try_into().unwrap());
+            off += 12 + len;
+            (key, val)
+        })
+    }
+
+    /// Routing for inner nodes: child of the last separator <= key.
+    fn route(&self, key: &[u8]) -> u64 {
+        let mut child = self.first_child;
+        for (k, v) in self.entries() {
+            if k <= key {
+                child = v;
+            } else {
+                break;
+            }
+        }
+        child
+    }
+
+    /// Point lookup in a leaf.
+    fn find(&self, key: &[u8]) -> Option<u64> {
+        for (k, v) in self.entries() {
+            if k == key {
+                return Some(v);
+            }
+            if k > key {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// A page-based B+tree index.
+pub struct BTreeIndex {
+    cache: Arc<BufferCache>,
+    partition: PartitionId,
+    unique: bool,
+    /// Root pointer; doubles as the tree latch.
+    root: RwLock<PageId>,
+}
+
+impl BTreeIndex {
+    /// Create an empty tree whose pages are tagged with `partition`.
+    pub fn new(cache: Arc<BufferCache>, partition: PartitionId, unique: bool) -> Result<Self> {
+        let guard = cache.new_page(PageType::BTreeLeaf, partition)?;
+        let root_pid = guard.page_id();
+        let blob = Node::leaf().encode();
+        guard.with_page_write(|p| {
+            p.insert(&blob).expect("empty node fits");
+        });
+        drop(guard);
+        Ok(BTreeIndex {
+            cache,
+            partition,
+            unique,
+            root: RwLock::new(root_pid),
+        })
+    }
+
+    /// Re-attach to an existing tree (recovery).
+    pub fn open(cache: Arc<BufferCache>, partition: PartitionId, unique: bool, root: PageId) -> Self {
+        BTreeIndex {
+            cache,
+            partition,
+            unique,
+            root: RwLock::new(root),
+        }
+    }
+
+    /// Current root page (persisted by the engine catalog).
+    pub fn root_page(&self) -> PageId {
+        *self.root.read()
+    }
+
+    /// Whether duplicate keys are rejected.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    fn read_node(&self, pid: PageId) -> Result<Node> {
+        let guard = self.cache.fetch(pid)?;
+        guard.with_page_read(|p| {
+            let blob = p
+                .get(SlotId(0))
+                .ok_or_else(|| BtrimError::Corrupt(format!("btree node {pid} missing blob")))?;
+            Node::decode(blob)
+        })
+    }
+
+    /// Run `f` over the raw node blob without decoding it (zero-copy
+    /// read path: point lookups and descents stay allocation-free).
+    fn with_node_blob<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let guard = self.cache.fetch(pid)?;
+        guard.with_page_read(|p| {
+            let blob = p
+                .get(SlotId(0))
+                .ok_or_else(|| BtrimError::Corrupt(format!("btree node {pid} missing blob")))?;
+            Ok(f(blob))
+        })
+    }
+
+    fn write_node(&self, pid: PageId, node: &Node) -> Result<()> {
+        let blob = node.encode();
+        let guard = self.cache.fetch(pid)?;
+        let ok = guard.with_page_write(|p| p.update(SlotId(0), &blob));
+        if ok {
+            Ok(())
+        } else {
+            Err(BtrimError::Corrupt(format!(
+                "btree node {pid} overflow: {} bytes",
+                blob.len()
+            )))
+        }
+    }
+
+    fn new_node_page(&self, node: &Node) -> Result<PageId> {
+        let page_type = if node.is_leaf {
+            PageType::BTreeLeaf
+        } else {
+            PageType::BTreeInner
+        };
+        let guard = self.cache.new_page(page_type, self.partition)?;
+        let pid = guard.page_id();
+        let blob = node.encode();
+        guard.with_page_write(|p| {
+            p.insert(&blob).expect("split half fits in fresh page");
+        });
+        Ok(pid)
+    }
+
+    fn leaf_next(&self, pid: PageId) -> Result<PageId> {
+        let guard = self.cache.fetch(pid)?;
+        Ok(guard.with_page_read(|p| p.next_page()))
+    }
+
+    fn set_leaf_next(&self, pid: PageId, next: PageId) -> Result<()> {
+        let guard = self.cache.fetch(pid)?;
+        guard.with_page_write(|p| p.set_next_page(next));
+        Ok(())
+    }
+
+    /// Insert `key → rid`. Errors with [`BtrimError::DuplicateKey`] on a
+    /// unique tree when the key already exists.
+    ///
+    /// The descent is allocation-free (blob routing); only the leaf —
+    /// and, on splits, the affected ancestors — are decoded and
+    /// rewritten.
+    pub fn insert(&self, key: &[u8], rid: RowId) -> Result<()> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(BtrimError::Invalid(format!(
+                "key of {} bytes exceeds MAX_KEY_LEN",
+                key.len()
+            )));
+        }
+        let root_guard = self.root.write();
+        let root_pid = *root_guard;
+        // Record the root→leaf path for split propagation.
+        let mut path: Vec<PageId> = Vec::new();
+        let mut pid = root_pid;
+        loop {
+            enum Step {
+                Leaf,
+                Descend(PageId),
+            }
+            let step = self.with_node_blob(pid, |blob| {
+                let v = BlobView::new(blob);
+                if v.is_leaf {
+                    Step::Leaf
+                } else {
+                    Step::Descend(PageId(v.route(key) as u32))
+                }
+            })?;
+            match step {
+                Step::Leaf => break,
+                Step::Descend(child) => {
+                    path.push(pid);
+                    pid = child;
+                }
+            }
+        }
+        // Mutate the leaf.
+        let mut node = self.read_node(pid)?;
+        let pos = node
+            .entries
+            .partition_point(|(k, v)| (k.as_slice(), *v) < (key, rid.0));
+        if self.unique {
+            if node.entries.iter().any(|(k, _)| k.as_slice() == key) {
+                return Err(BtrimError::DuplicateKey(format!("{key:?}")));
+            }
+        } else if node
+            .entries
+            .get(pos)
+            .is_some_and(|(k, v)| k.as_slice() == key && *v == rid.0)
+        {
+            // Exact (key, rid) pair already present: idempotent.
+            return Ok(());
+        }
+        node.entries.insert(pos, (key.to_vec(), rid.0));
+        let mut split = self.finish_write(pid, node)?;
+        // Propagate splits up the recorded path.
+        while let Some((sep, new_child)) = split {
+            match path.pop() {
+                Some(parent) => {
+                    let mut pnode = self.read_node(parent)?;
+                    let pos = pnode
+                        .entries
+                        .partition_point(|(k, _)| k.as_slice() <= sep.as_slice());
+                    pnode.entries.insert(pos, (sep, new_child.0 as u64));
+                    split = self.finish_write(parent, pnode)?;
+                }
+                None => {
+                    // Root split: build a new root above.
+                    let new_root = Node {
+                        is_leaf: false,
+                        first_child: root_pid.0 as u64,
+                        entries: vec![(sep, new_child.0 as u64)],
+                    };
+                    let new_root_pid = self.new_node_page(&new_root)?;
+                    let mut root_mut = root_guard;
+                    *root_mut = new_root_pid;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `node` back to `pid`, splitting first when oversized.
+    fn finish_write(&self, pid: PageId, mut node: Node) -> Result<Option<(Vec<u8>, PageId)>> {
+        if node.encoded_size() <= SPLIT_THRESHOLD {
+            self.write_node(pid, &node)?;
+            return Ok(None);
+        }
+        let mid = node.entries.len() / 2;
+        let (sep, right) = if node.is_leaf {
+            let right_entries = node.entries.split_off(mid);
+            let sep = right_entries[0].0.clone();
+            (
+                sep,
+                Node {
+                    is_leaf: true,
+                    entries: right_entries,
+                    first_child: 0,
+                },
+            )
+        } else {
+            let mut right_entries = node.entries.split_off(mid);
+            let (sep, right_first) = right_entries.remove(0);
+            (
+                sep,
+                Node {
+                    is_leaf: false,
+                    entries: right_entries,
+                    first_child: right_first,
+                },
+            )
+        };
+        let right_pid = self.new_node_page(&right)?;
+        if node.is_leaf {
+            // Chain: left -> right -> old next.
+            let old_next = self.leaf_next(pid)?;
+            self.set_leaf_next(right_pid, old_next)?;
+        }
+        self.write_node(pid, &node)?;
+        if node.is_leaf {
+            self.set_leaf_next(pid, right_pid)?;
+        }
+        Ok(Some((sep, right_pid)))
+    }
+
+    fn find_leaf(&self, root: PageId, key: &[u8]) -> Result<PageId> {
+        let mut pid = root;
+        loop {
+            enum Step {
+                Leaf,
+                Descend(PageId),
+            }
+            let step = self.with_node_blob(pid, |blob| {
+                let v = BlobView::new(blob);
+                if v.is_leaf {
+                    Step::Leaf
+                } else {
+                    Step::Descend(PageId(v.route(key) as u32))
+                }
+            })?;
+            match step {
+                Step::Leaf => return Ok(pid),
+                Step::Descend(child) => pid = child,
+            }
+        }
+    }
+
+    /// Point lookup (unique trees). Returns the first entry for `key`.
+    /// Allocation-free: descends and searches over the raw node blobs.
+    pub fn get(&self, key: &[u8]) -> Result<Option<RowId>> {
+        let root = self.root.read();
+        let leaf_pid = self.find_leaf(*root, key)?;
+        let found = self.with_node_blob(leaf_pid, |blob| BlobView::new(blob).find(key))?;
+        Ok(found.map(RowId))
+    }
+
+    /// All `RowId`s for `key` (non-unique trees; may cross leaves).
+    pub fn get_all(&self, key: &[u8]) -> Result<Vec<RowId>> {
+        let mut out = Vec::new();
+        self.scan_range(key, Some(&[key, &[0u8][..]].concat()), |_, rid| {
+            out.push(rid);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Remove an entry. On unique trees `rid` may be `None` (remove by
+    /// key); on non-unique trees the exact `(key, rid)` pair is removed.
+    /// Returns whether anything was removed.
+    pub fn delete(&self, key: &[u8], rid: Option<RowId>) -> Result<bool> {
+        let root_guard = self.root.write();
+        let root_pid = *root_guard;
+        let leaf_pid = self.find_leaf(root_pid, key)?;
+        // Duplicates may spill into following leaves; walk until found
+        // or past the key.
+        let mut pid = leaf_pid;
+        loop {
+            let mut node = self.read_node(pid)?;
+            let pos = node.entries.iter().position(|(k, v)| {
+                k.as_slice() == key && rid.is_none_or(|r| *v == r.0)
+            });
+            if let Some(pos) = pos {
+                node.entries.remove(pos);
+                self.write_node(pid, &node)?;
+                return Ok(true);
+            }
+            let past = node
+                .entries
+                .last()
+                .is_some_and(|(k, _)| k.as_slice() > key);
+            if past {
+                return Ok(false);
+            }
+            let next = self.leaf_next(pid)?;
+            if next.is_null() {
+                return Ok(false);
+            }
+            pid = next;
+        }
+    }
+
+    /// Scan keys in `[lo, hi)` (`hi = None` scans to the end), calling
+    /// `f(key, rid)`; `f` returning `false` stops the scan. Copies out
+    /// only the qualifying entries of each visited leaf.
+    pub fn scan_range(
+        &self,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], RowId) -> bool,
+    ) -> Result<()> {
+        let root = self.root.read();
+        let mut pid = self.find_leaf(*root, lo)?;
+        loop {
+            // Copy out the in-range slice of this leaf plus the next
+            // pointer under one latch hold.
+            let (batch, next, done): (Vec<(Vec<u8>, u64)>, PageId, bool) = {
+                let guard = self.cache.fetch(pid)?;
+                guard.with_page_read(|p| {
+                    let blob = p.get(SlotId(0)).unwrap_or(&[]);
+                    let mut out = Vec::new();
+                    let mut done = false;
+                    if blob.len() >= 13 {
+                        let v = BlobView::new(blob);
+                        for (k, val) in v.entries() {
+                            if k < lo {
+                                continue;
+                            }
+                            if let Some(hi) = hi {
+                                if k >= hi {
+                                    done = true;
+                                    break;
+                                }
+                            }
+                            out.push((k.to_vec(), val));
+                        }
+                    }
+                    (out, p.next_page(), done)
+                })
+            };
+            for (k, v) in &batch {
+                if !f(k, RowId(*v)) {
+                    return Ok(());
+                }
+            }
+            if done || next.is_null() {
+                return Ok(());
+            }
+            pid = next;
+        }
+    }
+
+    /// Total entries (full scan; tests and stats).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        self.scan_range(&[], None, |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// Whether the tree has no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Tree height (root to leaf), for stats and split testing.
+    pub fn height(&self) -> Result<usize> {
+        let root = self.root.read();
+        let mut pid = *root;
+        let mut h = 1;
+        loop {
+            let node = self.read_node(pid)?;
+            if node.is_leaf {
+                return Ok(h);
+            }
+            pid = PageId(node.first_child as u32);
+            h += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrim_pagestore::MemDisk;
+
+    fn tree(unique: bool) -> BTreeIndex {
+        let cache = Arc::new(BufferCache::new(Arc::new(MemDisk::new()), 256));
+        BTreeIndex::new(cache, PartitionId(99), unique).unwrap()
+    }
+
+    fn key(n: u64) -> Vec<u8> {
+        n.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let t = tree(true);
+        t.insert(&key(5), RowId(50)).unwrap();
+        t.insert(&key(1), RowId(10)).unwrap();
+        t.insert(&key(9), RowId(90)).unwrap();
+        assert_eq!(t.get(&key(1)).unwrap(), Some(RowId(10)));
+        assert_eq!(t.get(&key(5)).unwrap(), Some(RowId(50)));
+        assert_eq!(t.get(&key(9)).unwrap(), Some(RowId(90)));
+        assert_eq!(t.get(&key(2)).unwrap(), None);
+        assert_eq!(t.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn unique_rejects_duplicates() {
+        let t = tree(true);
+        t.insert(&key(1), RowId(10)).unwrap();
+        assert!(matches!(
+            t.insert(&key(1), RowId(11)),
+            Err(BtrimError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn non_unique_collects_all() {
+        let t = tree(false);
+        for i in 0..10 {
+            t.insert(&key(7), RowId(i)).unwrap();
+        }
+        t.insert(&key(8), RowId(100)).unwrap();
+        let mut rids = t.get_all(&key(7)).unwrap();
+        rids.sort();
+        assert_eq!(rids, (0..10).map(RowId).collect::<Vec<_>>());
+        assert_eq!(t.get_all(&key(6)).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let t = tree(true);
+        let n = 5000u64;
+        // Insert in adversarial (reversed) order.
+        for i in (0..n).rev() {
+            t.insert(&key(i), RowId(i)).unwrap();
+        }
+        assert!(t.height().unwrap() >= 2, "splits must have happened");
+        assert_eq!(t.len().unwrap(), n as usize);
+        // All lookups succeed.
+        for i in (0..n).step_by(97) {
+            assert_eq!(t.get(&key(i)).unwrap(), Some(RowId(i)));
+        }
+        // Full scan is sorted.
+        let mut prev: Option<Vec<u8>> = None;
+        t.scan_range(&[], None, |k, _| {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() <= k);
+            }
+            prev = Some(k.to_vec());
+            true
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn range_scan_honours_bounds() {
+        let t = tree(true);
+        for i in 0..100 {
+            t.insert(&key(i), RowId(i)).unwrap();
+        }
+        let mut seen = Vec::new();
+        t.scan_range(&key(10), Some(&key(20)), |_, rid| {
+            seen.push(rid.0);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, (10..20).collect::<Vec<_>>());
+        // Early stop.
+        let mut count = 0;
+        t.scan_range(&key(0), None, |_, _| {
+            count += 1;
+            count < 5
+        })
+        .unwrap();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn delete_by_key_and_pair() {
+        let t = tree(false);
+        t.insert(&key(1), RowId(10)).unwrap();
+        t.insert(&key(1), RowId(11)).unwrap();
+        // Remove a specific pair.
+        assert!(t.delete(&key(1), Some(RowId(10))).unwrap());
+        assert_eq!(t.get_all(&key(1)).unwrap(), vec![RowId(11)]);
+        // Remove missing pair.
+        assert!(!t.delete(&key(1), Some(RowId(10))).unwrap());
+        // Remove by key.
+        assert!(t.delete(&key(1), None).unwrap());
+        assert!(t.get_all(&key(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_after_splits() {
+        let t = tree(true);
+        let n = 3000u64;
+        for i in 0..n {
+            t.insert(&key(i), RowId(i)).unwrap();
+        }
+        for i in (0..n).step_by(2) {
+            assert!(t.delete(&key(i), None).unwrap(), "delete {i}");
+        }
+        assert_eq!(t.len().unwrap(), (n / 2) as usize);
+        for i in 0..n {
+            let expect = if i % 2 == 0 { None } else { Some(RowId(i)) };
+            assert_eq!(t.get(&key(i)).unwrap(), expect, "key {i}");
+        }
+    }
+
+    #[test]
+    fn variable_length_string_keys() {
+        let t = tree(true);
+        let names = ["BARBAR", "OUGHT", "ABLE", "PRES", "ESE", "ANTI", "CALLY"];
+        for (i, n) in names.iter().enumerate() {
+            let k = crate::keys::KeyBuilder::new().push_str(n).build();
+            t.insert(&k, RowId(i as u64)).unwrap();
+        }
+        for (i, n) in names.iter().enumerate() {
+            let k = crate::keys::KeyBuilder::new().push_str(n).build();
+            assert_eq!(t.get(&k).unwrap(), Some(RowId(i as u64)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use btrim_pagestore::MemDisk;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The unique tree behaves like BTreeMap<Vec<u8>, u64> under any
+        /// interleaving of inserts, deletes, and lookups.
+        #[test]
+        fn btree_matches_model(
+            ops in proptest::collection::vec(
+                (any::<bool>(), 0u64..500, any::<u64>()), 1..400)
+        ) {
+            let cache = Arc::new(BufferCache::new(Arc::new(MemDisk::new()), 512));
+            let t = BTreeIndex::new(cache, PartitionId(0), true).unwrap();
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (is_insert, k, v) in ops {
+                let kb = k.to_be_bytes().to_vec();
+                if is_insert {
+                    match t.insert(&kb, RowId(v)) {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&kb));
+                            model.insert(kb, v);
+                        }
+                        Err(BtrimError::DuplicateKey(_)) => {
+                            prop_assert!(model.contains_key(&kb));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                } else {
+                    let removed = t.delete(&kb, None).unwrap();
+                    prop_assert_eq!(removed, model.remove(&kb).is_some());
+                }
+            }
+            // Final state matches exactly.
+            prop_assert_eq!(t.len().unwrap(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(t.get(k).unwrap(), Some(RowId(*v)));
+            }
+            // Scan order matches model order.
+            let mut scanned = Vec::new();
+            t.scan_range(&[], None, |k, rid| { scanned.push((k.to_vec(), rid.0)); true }).unwrap();
+            let expect: Vec<(Vec<u8>, u64)> =
+                model.into_iter().collect();
+            prop_assert_eq!(scanned, expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use btrim_pagestore::MemDisk;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Readers racing a writer that drives splits: every key inserted
+    /// before a read began must be found, and scans must stay sorted.
+    #[test]
+    fn readers_survive_concurrent_splits() {
+        let cache = Arc::new(BufferCache::new(Arc::new(MemDisk::new()), 1024));
+        let tree = Arc::new(BTreeIndex::new(cache, PartitionId(0), true).unwrap());
+        let inserted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|s| {
+            {
+                let tree = Arc::clone(&tree);
+                let inserted = Arc::clone(&inserted);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) && i < 20_000 {
+                        tree.insert(&i.to_be_bytes(), RowId(i)).unwrap();
+                        inserted.store(i + 1, Ordering::Release);
+                        i += 1;
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                });
+            }
+            for _ in 0..3 {
+                let tree = Arc::clone(&tree);
+                let inserted = Arc::clone(&inserted);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = inserted.load(Ordering::Acquire);
+                        if n == 0 {
+                            continue;
+                        }
+                        // Point lookups over the settled prefix.
+                        for k in (0..n).step_by((n as usize / 7).max(1)) {
+                            assert_eq!(
+                                tree.get(&k.to_be_bytes()).unwrap(),
+                                Some(RowId(k)),
+                                "key {k} of settled prefix {n}"
+                            );
+                        }
+                        // Scans stay sorted even mid-split.
+                        let mut prev: Option<Vec<u8>> = None;
+                        tree.scan_range(&[], None, |k, _| {
+                            if let Some(p) = &prev {
+                                assert!(p.as_slice() <= k, "scan out of order");
+                            }
+                            prev = Some(k.to_vec());
+                            true
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len().unwrap(), 20_000);
+        assert!(tree.height().unwrap() >= 2, "splits happened");
+    }
+}

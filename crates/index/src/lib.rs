@@ -1,0 +1,19 @@
+//! Index structures for the BTrim engine.
+//!
+//! * [`btree`] — a page-based B+tree stored in the buffer cache. Its
+//!   leaves map keys to `RowId`s, never to physical locations: "Page-
+//!   based BTree indexes are enhanced to transparently scan rows either
+//!   in the page-store or in the IMRS" (§II) — the transparency comes
+//!   from resolving `RowId` through the RID-Map.
+//! * [`hash`] — the in-memory, non-logged hash index built over IMRS
+//!   rows only; a fast-path accelerator under unique B+tree indexes
+//!   (§II).
+//! * [`keys`] — order-preserving composite key encoding shared by both.
+
+pub mod btree;
+pub mod hash;
+pub mod keys;
+
+pub use btree::BTreeIndex;
+pub use hash::HashIndex;
+pub use keys::KeyBuilder;

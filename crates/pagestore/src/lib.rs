@@ -1,0 +1,22 @@
+//! Page-oriented disk storage for the BTrim engine.
+//!
+//! This crate is the "traditional" half of the paper's hybrid
+//! architecture (§II, green box of Fig. 1): a paged device behind the
+//! [`disk::DiskBackend`] trait, an 8 KiB slotted-page row layout
+//! ([`page`]), a latched buffer cache with clock replacement and
+//! contention accounting ([`buffer`]), and per-partition heap files
+//! ([`heap`]) providing row-level CRUD addressed by `(PageId, SlotId)`.
+//!
+//! The buffer cache records latch-contention events because the ILM
+//! rules use "operations on page-store which observed contention" as a
+//! signal to re-enable in-memory storage for a partition (§V.D).
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;
+
+pub use buffer::{BufferCache, BufferStats, PageGuard};
+pub use disk::{DiskBackend, FileDisk, MemDisk};
+pub use heap::HeapFile;
+pub use page::{PageType, PageView, SlottedPage, PAGE_SIZE};

@@ -1,0 +1,729 @@
+//! Slotted-page layout.
+//!
+//! Classic slotted page: a fixed header, a row-data region growing up
+//! from the header, and a slot directory growing down from the end of
+//! the page. Row slots survive deletes as tombstones so `(PageId,
+//! SlotId)` addresses stay stable until explicit compaction.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0   u8   page_type
+//! 1   u8   flags
+//! 2   u16  slot_count
+//! 4   u16  free_start        (first free byte of the data region)
+//! 6   u16  dead_bytes        (reclaimable bytes in holes)
+//! 8   u32  page_id
+//! 12  u32  partition_id
+//! 16  u32  next_page
+//! 20  u64  page_lsn          (recovery idempotence)
+//! 28  ...  row data ↑   ...   slot dir ↓  [offset u16, len u16] * slot_count
+//! ```
+
+use btrim_common::{PageId, PartitionId, SlotId, NULL_PAGE_ID};
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Size of the page header.
+pub const HEADER_SIZE: usize = 28;
+/// Size of one slot-directory entry.
+pub const SLOT_ENTRY_SIZE: usize = 4;
+/// Largest row payload a single page can hold.
+pub const MAX_ROW_SIZE: usize = PAGE_SIZE - HEADER_SIZE - SLOT_ENTRY_SIZE;
+
+/// Page type discriminants stored in the header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum PageType {
+    /// Unformatted.
+    Free = 0,
+    /// Heap data page.
+    Heap = 1,
+    /// B+tree interior node.
+    BTreeInner = 2,
+    /// B+tree leaf node.
+    BTreeLeaf = 3,
+}
+
+impl PageType {
+    /// Decode from the header byte.
+    pub fn from_u8(v: u8) -> PageType {
+        match v {
+            1 => PageType::Heap,
+            2 => PageType::BTreeInner,
+            3 => PageType::BTreeLeaf,
+            _ => PageType::Free,
+        }
+    }
+}
+
+const OFF_TYPE: usize = 0;
+const OFF_SLOT_COUNT: usize = 2;
+const OFF_FREE_START: usize = 4;
+const OFF_DEAD_BYTES: usize = 6;
+const OFF_PAGE_ID: usize = 8;
+const OFF_PARTITION: usize = 12;
+const OFF_NEXT_PAGE: usize = 16;
+const OFF_PAGE_LSN: usize = 20;
+
+/// Offset value marking a tombstoned slot (no live data offset can be 0,
+/// valid offsets are >= HEADER_SIZE).
+const TOMBSTONE: u16 = 0;
+
+/// A mutable view over a page buffer with slotted-row operations.
+///
+/// `SlottedPage` borrows the frame buffer; it never owns memory, so the
+/// buffer cache stays in charge of the bytes.
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap an existing formatted page.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        SlottedPage { buf }
+    }
+
+    /// Format a fresh page in `buf`.
+    pub fn init(
+        buf: &'a mut [u8],
+        page_type: PageType,
+        id: PageId,
+        partition: PartitionId,
+    ) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        buf.fill(0);
+        let mut p = SlottedPage { buf };
+        p.buf[OFF_TYPE] = page_type as u8;
+        p.set_u16(OFF_SLOT_COUNT, 0);
+        p.set_u16(OFF_FREE_START, HEADER_SIZE as u16);
+        p.set_u16(OFF_DEAD_BYTES, 0);
+        p.set_u32(OFF_PAGE_ID, id.0);
+        p.set_u32(OFF_PARTITION, partition.0);
+        p.set_u32(OFF_NEXT_PAGE, NULL_PAGE_ID.0);
+        p.set_u64(OFF_PAGE_LSN, 0);
+        p
+    }
+
+    fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+    fn set_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+    fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap())
+    }
+    fn set_u32(&mut self, off: usize, v: u32) {
+        self.buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.buf[off..off + 8].try_into().unwrap())
+    }
+    fn set_u64(&mut self, off: usize, v: u64) {
+        self.buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Page type from the header.
+    pub fn page_type(&self) -> PageType {
+        PageType::from_u8(self.buf[OFF_TYPE])
+    }
+
+    /// This page's id.
+    pub fn page_id(&self) -> PageId {
+        PageId(self.get_u32(OFF_PAGE_ID))
+    }
+
+    /// Owning partition.
+    pub fn partition(&self) -> PartitionId {
+        PartitionId(self.get_u32(OFF_PARTITION))
+    }
+
+    /// Next page in the owning chain (heap page chains, B+tree leaf links).
+    pub fn next_page(&self) -> PageId {
+        PageId(self.get_u32(OFF_NEXT_PAGE))
+    }
+
+    /// Set the next-page link.
+    pub fn set_next_page(&mut self, next: PageId) {
+        self.set_u32(OFF_NEXT_PAGE, next.0);
+    }
+
+    /// Recovery LSN of the last change applied to this page.
+    pub fn page_lsn(&self) -> u64 {
+        self.get_u64(OFF_PAGE_LSN)
+    }
+
+    /// Stamp the recovery LSN.
+    pub fn set_page_lsn(&mut self, lsn: u64) {
+        self.set_u64(OFF_PAGE_LSN, lsn);
+    }
+
+    /// Number of slots ever created on this page (live + tombstoned).
+    pub fn slot_count(&self) -> u16 {
+        self.get_u16(OFF_SLOT_COUNT)
+    }
+
+    fn slot_dir_offset(&self, slot: u16) -> usize {
+        PAGE_SIZE - SLOT_ENTRY_SIZE * (slot as usize + 1)
+    }
+
+    fn slot_entry(&self, slot: u16) -> (u16, u16) {
+        let off = self.slot_dir_offset(slot);
+        (self.get_u16(off), self.get_u16(off + 2))
+    }
+
+    fn set_slot_entry(&mut self, slot: u16, data_off: u16, len: u16) {
+        let off = self.slot_dir_offset(slot);
+        self.set_u16(off, data_off);
+        self.set_u16(off + 2, len);
+    }
+
+    /// Bytes immediately insertable (contiguous free region, not counting
+    /// holes reclaimable by compaction).
+    pub fn contiguous_free(&self) -> usize {
+        let free_start = self.get_u16(OFF_FREE_START) as usize;
+        let dir_start = PAGE_SIZE - SLOT_ENTRY_SIZE * self.slot_count() as usize;
+        dir_start.saturating_sub(free_start)
+    }
+
+    /// Total free bytes including compactable holes.
+    pub fn total_free(&self) -> usize {
+        self.contiguous_free() + self.get_u16(OFF_DEAD_BYTES) as usize
+    }
+
+    /// Whether a payload of `len` bytes can be inserted (possibly after
+    /// compaction).
+    pub fn can_insert(&self, len: usize) -> bool {
+        if len > MAX_ROW_SIZE {
+            return false;
+        }
+        // Reusing a tombstoned slot needs no new dir entry.
+        let dir_cost = if self.find_tombstone().is_some() {
+            0
+        } else {
+            SLOT_ENTRY_SIZE
+        };
+        self.total_free() >= len + dir_cost
+    }
+
+    fn find_tombstone(&self) -> Option<u16> {
+        (0..self.slot_count()).find(|&s| self.slot_entry(s).0 == TOMBSTONE)
+    }
+
+    /// Insert a row payload, compacting if needed. Returns the slot, or
+    /// `None` when the page cannot hold the payload.
+    pub fn insert(&mut self, data: &[u8]) -> Option<SlotId> {
+        if !self.can_insert(data.len()) {
+            return None;
+        }
+        let reuse = self.find_tombstone();
+        let dir_cost = if reuse.is_some() { 0 } else { SLOT_ENTRY_SIZE };
+        if self.contiguous_free() < data.len() + dir_cost {
+            self.compact();
+        }
+        debug_assert!(self.contiguous_free() >= data.len() + dir_cost);
+        let data_off = self.get_u16(OFF_FREE_START);
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                self.set_u16(OFF_SLOT_COUNT, s + 1);
+                s
+            }
+        };
+        let start = data_off as usize;
+        self.buf[start..start + data.len()].copy_from_slice(data);
+        self.set_u16(OFF_FREE_START, data_off + data.len() as u16);
+        self.set_slot_entry(slot, data_off, data.len() as u16);
+        Some(SlotId(slot))
+    }
+
+    /// Insert a payload at a *specific* slot (recovery redo). The slot
+    /// must be tombstoned or beyond the current slot count; intermediate
+    /// slots are materialized as tombstones. Returns `false` when the
+    /// slot is already live (redo already applied) or space is missing.
+    pub fn insert_at(&mut self, slot: SlotId, data: &[u8]) -> bool {
+        if data.len() > MAX_ROW_SIZE {
+            return false;
+        }
+        let count = self.slot_count();
+        if slot.0 < count {
+            if self.slot_entry(slot.0).0 != TOMBSTONE {
+                return false; // already applied
+            }
+        } else {
+            // Materialize slots count..=slot as tombstones.
+            let new_count = slot.0 + 1;
+            let extra_dir = SLOT_ENTRY_SIZE * (new_count - count) as usize;
+            if self.contiguous_free() < extra_dir {
+                self.compact();
+                if self.contiguous_free() < extra_dir {
+                    return false;
+                }
+            }
+            self.set_u16(OFF_SLOT_COUNT, new_count);
+            for s in count..new_count {
+                self.set_slot_entry(s, TOMBSTONE, 0);
+            }
+        }
+        if self.contiguous_free() < data.len() {
+            self.compact();
+            if self.contiguous_free() < data.len() {
+                return false;
+            }
+        }
+        let data_off = self.get_u16(OFF_FREE_START);
+        let start = data_off as usize;
+        self.buf[start..start + data.len()].copy_from_slice(data);
+        self.set_u16(OFF_FREE_START, data_off + data.len() as u16);
+        self.set_slot_entry(slot.0, data_off, data.len() as u16);
+        true
+    }
+
+    /// Read a row payload. `None` for tombstoned or out-of-range slots.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot.0 >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if off == TOMBSTONE {
+            return None;
+        }
+        Some(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Delete a row, tombstoning its slot. Returns the old payload length
+    /// or `None` if the slot was not live.
+    pub fn delete(&mut self, slot: SlotId) -> Option<usize> {
+        if slot.0 >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if off == TOMBSTONE {
+            return None;
+        }
+        self.set_slot_entry(slot.0, TOMBSTONE, 0);
+        let dead = self.get_u16(OFF_DEAD_BYTES);
+        self.set_u16(OFF_DEAD_BYTES, dead + len);
+        Some(len as usize)
+    }
+
+    /// Update a row in place. Returns `false` when the new payload cannot
+    /// fit on this page (caller relocates the row).
+    pub fn update(&mut self, slot: SlotId, data: &[u8]) -> bool {
+        if slot.0 >= self.slot_count() {
+            return false;
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if off == TOMBSTONE {
+            return false;
+        }
+        let (off, len) = (off as usize, len as usize);
+        if data.len() <= len {
+            self.buf[off..off + data.len()].copy_from_slice(data);
+            self.set_slot_entry(slot.0, off as u16, data.len() as u16);
+            let dead = self.get_u16(OFF_DEAD_BYTES);
+            self.set_u16(OFF_DEAD_BYTES, dead + (len - data.len()) as u16);
+            return true;
+        }
+        // Grow: free old space, place at the end of the data region.
+        if self.total_free() + len < data.len() {
+            return false;
+        }
+        self.set_slot_entry(slot.0, TOMBSTONE, 0);
+        let dead = self.get_u16(OFF_DEAD_BYTES);
+        self.set_u16(OFF_DEAD_BYTES, dead + len as u16);
+        if self.contiguous_free() < data.len() {
+            self.compact();
+        }
+        let data_off = self.get_u16(OFF_FREE_START);
+        let start = data_off as usize;
+        self.buf[start..start + data.len()].copy_from_slice(data);
+        self.set_u16(OFF_FREE_START, data_off + data.len() as u16);
+        self.set_slot_entry(slot.0, data_off, data.len() as u16);
+        true
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_rows(&self) -> usize {
+        (0..self.slot_count())
+            .filter(|&s| self.slot_entry(s).0 != TOMBSTONE)
+            .count()
+    }
+
+    /// Iterate live rows as `(SlotId, payload)`.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        (0..self.slot_count()).filter_map(move |s| {
+            let (off, len) = self.slot_entry(s);
+            if off == TOMBSTONE {
+                None
+            } else {
+                Some((
+                    SlotId(s),
+                    &self.buf[off as usize..off as usize + len as usize],
+                ))
+            }
+        })
+    }
+
+    /// Rewrite the data region to squeeze out holes. Slot ids are
+    /// preserved.
+    pub fn compact(&mut self) {
+        let count = self.slot_count();
+        let mut rows: Vec<(u16, Vec<u8>)> = Vec::with_capacity(count as usize);
+        for s in 0..count {
+            let (off, len) = self.slot_entry(s);
+            if off != TOMBSTONE {
+                rows.push((
+                    s,
+                    self.buf[off as usize..off as usize + len as usize].to_vec(),
+                ));
+            }
+        }
+        let mut cursor = HEADER_SIZE as u16;
+        for (s, data) in rows {
+            let start = cursor as usize;
+            self.buf[start..start + data.len()].copy_from_slice(&data);
+            self.set_slot_entry(s, cursor, data.len() as u16);
+            cursor += data.len() as u16;
+        }
+        self.set_u16(OFF_FREE_START, cursor);
+        self.set_u16(OFF_DEAD_BYTES, 0);
+    }
+}
+
+/// Read-only view over a formatted page (used under shared latches).
+pub struct PageView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PageView<'a> {
+    /// Wrap an existing formatted page buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        PageView { buf }
+    }
+
+    fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+    fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap())
+    }
+
+    /// Page type from the header.
+    pub fn page_type(&self) -> PageType {
+        PageType::from_u8(self.buf[OFF_TYPE])
+    }
+
+    /// This page's id.
+    pub fn page_id(&self) -> PageId {
+        PageId(self.get_u32(OFF_PAGE_ID))
+    }
+
+    /// Owning partition.
+    pub fn partition(&self) -> PartitionId {
+        PartitionId(self.get_u32(OFF_PARTITION))
+    }
+
+    /// Next page in the owning chain.
+    pub fn next_page(&self) -> PageId {
+        PageId(self.get_u32(OFF_NEXT_PAGE))
+    }
+
+    /// Recovery LSN stamped on the page.
+    pub fn page_lsn(&self) -> u64 {
+        u64::from_le_bytes(self.buf[OFF_PAGE_LSN..OFF_PAGE_LSN + 8].try_into().unwrap())
+    }
+
+    /// Number of slots ever created (live + tombstoned).
+    pub fn slot_count(&self) -> u16 {
+        self.get_u16(OFF_SLOT_COUNT)
+    }
+
+    fn slot_entry(&self, slot: u16) -> (u16, u16) {
+        let off = PAGE_SIZE - SLOT_ENTRY_SIZE * (slot as usize + 1);
+        (self.get_u16(off), self.get_u16(off + 2))
+    }
+
+    /// Read a row payload. `None` for tombstoned or out-of-range slots.
+    pub fn get(&self, slot: SlotId) -> Option<&'a [u8]> {
+        if slot.0 >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if off == TOMBSTONE {
+            return None;
+        }
+        Some(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> usize {
+        (0..self.slot_count())
+            .filter(|&s| self.slot_entry(s).0 != TOMBSTONE)
+            .count()
+    }
+
+    /// Iterate live rows as `(SlotId, payload)`.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (SlotId, &'a [u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| {
+            let (off, len) = self.slot_entry(s);
+            if off == TOMBSTONE {
+                None
+            } else {
+                Some((
+                    SlotId(s),
+                    &self.buf[off as usize..off as usize + len as usize],
+                ))
+            }
+        })
+    }
+
+    /// Bytes immediately insertable in the contiguous free region.
+    pub fn contiguous_free(&self) -> usize {
+        let free_start = self.get_u16(OFF_FREE_START) as usize;
+        let dir_start = PAGE_SIZE - SLOT_ENTRY_SIZE * self.slot_count() as usize;
+        dir_start.saturating_sub(free_start)
+    }
+
+    /// Total free bytes including compactable holes.
+    pub fn total_free(&self) -> usize {
+        self.contiguous_free() + self.get_u16(OFF_DEAD_BYTES) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn page_view_matches_mutable_page() {
+        let mut buf = fresh();
+        {
+            let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(4), PartitionId(2));
+            p.insert(b"alpha").unwrap();
+            let s = p.insert(b"beta").unwrap();
+            p.insert(b"gamma").unwrap();
+            p.delete(s).unwrap();
+            p.set_page_lsn(77);
+        }
+        let v = PageView::new(&buf);
+        assert_eq!(v.page_type(), PageType::Heap);
+        assert_eq!(v.page_id(), PageId(4));
+        assert_eq!(v.partition(), PartitionId(2));
+        assert_eq!(v.page_lsn(), 77);
+        assert_eq!(v.live_rows(), 2);
+        assert_eq!(v.get(SlotId(0)).unwrap(), b"alpha");
+        assert!(v.get(SlotId(1)).is_none());
+        assert_eq!(v.get(SlotId(2)).unwrap(), b"gamma");
+        let rows: Vec<&[u8]> = v.iter_rows().map(|(_, d)| d).collect();
+        assert_eq!(rows, vec![b"alpha".as_ref(), b"gamma".as_ref()]);
+    }
+
+    #[test]
+    fn init_sets_header() {
+        let mut buf = fresh();
+        let p = SlottedPage::init(&mut buf, PageType::Heap, PageId(9), PartitionId(3));
+        assert_eq!(p.page_type(), PageType::Heap);
+        assert_eq!(p.page_id(), PageId(9));
+        assert_eq!(p.partition(), PartitionId(3));
+        assert_eq!(p.slot_count(), 0);
+        assert!(p.next_page().is_null());
+        assert_eq!(p.contiguous_free(), PAGE_SIZE - HEADER_SIZE);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        let s1 = p.insert(b"hello").unwrap();
+        let s2 = p.insert(b"world!!").unwrap();
+        assert_eq!(p.get(s1).unwrap(), b"hello");
+        assert_eq!(p.get(s2).unwrap(), b"world!!");
+        assert_eq!(p.live_rows(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_and_reuses_slot() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        let s1 = p.insert(b"aaaa").unwrap();
+        let _s2 = p.insert(b"bbbb").unwrap();
+        assert_eq!(p.delete(s1), Some(4));
+        assert!(p.get(s1).is_none());
+        assert_eq!(p.live_rows(), 1);
+        // Next insert reuses the tombstoned slot id.
+        let s3 = p.insert(b"cccc").unwrap();
+        assert_eq!(s3, s1);
+        assert_eq!(p.get(s3).unwrap(), b"cccc");
+        // Double delete returns None.
+        assert_eq!(p.delete(SlotId(99)), None);
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        let s = p.insert(b"0123456789").unwrap();
+        assert!(p.update(s, b"short"));
+        assert_eq!(p.get(s).unwrap(), b"short");
+        assert!(p.update(s, b"a much longer payload than before"));
+        assert_eq!(p.get(s).unwrap(), b"a much longer payload than before");
+    }
+
+    #[test]
+    fn fills_up_and_rejects_then_compacts() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        let row = vec![0xAAu8; 100];
+        let mut slots = Vec::new();
+        while let Some(s) = p.insert(&row) {
+            slots.push(s);
+        }
+        assert!(!p.can_insert(100));
+        let n = slots.len();
+        assert!(n >= (PAGE_SIZE - HEADER_SIZE) / 104 - 1);
+        // Delete every other row; space becomes holes.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s).unwrap();
+        }
+        // A larger row now fits only via compaction.
+        let big = vec![0xBBu8; 150];
+        let s = p.insert(&big).expect("compaction makes room");
+        assert_eq!(p.get(s).unwrap(), &big[..]);
+    }
+
+    #[test]
+    fn oversized_row_rejected() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        assert!(p.insert(&vec![0u8; MAX_ROW_SIZE + 1]).is_none());
+        assert!(p.insert(&vec![0u8; MAX_ROW_SIZE]).is_some());
+    }
+
+    #[test]
+    fn iter_rows_skips_tombstones() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        let a = p.insert(b"a").unwrap();
+        let _b = p.insert(b"b").unwrap();
+        let _c = p.insert(b"c").unwrap();
+        p.delete(a).unwrap();
+        let rows: Vec<Vec<u8>> = p.iter_rows().map(|(_, d)| d.to_vec()).collect();
+        assert_eq!(rows, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn page_lsn_roundtrip() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        assert_eq!(p.page_lsn(), 0);
+        p.set_page_lsn(0xDEAD_BEEF);
+        assert_eq!(p.page_lsn(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn compact_preserves_all_live_rows() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(0), PartitionId(0));
+        let mut expect = std::collections::HashMap::new();
+        for i in 0..30u8 {
+            let data = vec![i; (i as usize % 17) + 1];
+            let s = p.insert(&data).unwrap();
+            expect.insert(s, data);
+        }
+        for i in (0..30u16).step_by(3) {
+            p.delete(SlotId(i)).unwrap();
+            expect.remove(&SlotId(i));
+        }
+        p.compact();
+        for (s, data) in &expect {
+            assert_eq!(p.get(*s).unwrap(), &data[..]);
+        }
+        assert_eq!(p.live_rows(), expect.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>),
+        Delete(usize),
+        Update(usize, Vec<u8>),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 1..300).prop_map(Op::Insert),
+            (any::<usize>()).prop_map(Op::Delete),
+            (any::<usize>(), proptest::collection::vec(any::<u8>(), 1..300))
+                .prop_map(|(i, d)| Op::Update(i, d)),
+        ]
+    }
+
+    proptest! {
+        /// The page behaves exactly like a HashMap<SlotId, Vec<u8>> model
+        /// under any sequence of insert/delete/update, as long as space
+        /// allows.
+        #[test]
+        fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            let mut page = SlottedPage::init(
+                &mut buf, PageType::Heap, PageId(0), PartitionId(0));
+            let mut model: HashMap<SlotId, Vec<u8>> = HashMap::new();
+            let mut live: Vec<SlotId> = Vec::new();
+
+            for op in ops {
+                match op {
+                    Op::Insert(data) => {
+                        if let Some(s) = page.insert(&data) {
+                            model.insert(s, data);
+                            if !live.contains(&s) { live.push(s); }
+                        } else {
+                            prop_assert!(!page.can_insert(data.len()));
+                        }
+                    }
+                    Op::Delete(i) => {
+                        if live.is_empty() { continue; }
+                        let s = live[i % live.len()];
+                        if model.contains_key(&s) {
+                            prop_assert!(page.delete(s).is_some());
+                            model.remove(&s);
+                        } else {
+                            prop_assert!(page.delete(s).is_none());
+                        }
+                    }
+                    Op::Update(i, data) => {
+                        if live.is_empty() { continue; }
+                        let s = live[i % live.len()];
+                        if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(s) {
+                            if page.update(s, &data) {
+                                e.insert(data);
+                            }
+                        } else {
+                            prop_assert!(!page.update(s, &data));
+                        }
+                    }
+                }
+                // Invariants hold after every step.
+                prop_assert_eq!(page.live_rows(), model.len());
+                for (s, d) in &model {
+                    prop_assert_eq!(page.get(*s).unwrap(), &d[..]);
+                }
+                prop_assert!(page.total_free() <= PAGE_SIZE - HEADER_SIZE);
+            }
+        }
+    }
+}

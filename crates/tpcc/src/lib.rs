@@ -1,0 +1,28 @@
+//! TPC-C workload for the BTrim engine.
+//!
+//! A from-scratch implementation of the TPC-C schema, loader, and all
+//! five transaction profiles, matching the access patterns the paper's
+//! evaluation depends on (§VIII, Table 1): the small hot `warehouse` /
+//! `district` tables, the large low-reuse `order_line` / `orders` /
+//! `history` tables, the queue-like `new_order` table, and the NURand
+//! skew over customers and items.
+//!
+//! * [`schema`] — row formats with key-prefixed binary layouts.
+//! * [`random`] — NURand and the TPC-C string/last-name generators.
+//! * [`loader`] — initial database population at a given warehouse
+//!   scale.
+//! * [`txns`] — NewOrder, Payment, OrderStatus, Delivery, StockLevel.
+//! * [`driver`] — mixed-workload driver (standard 45/43/4/4/4 mix),
+//!   single- or multi-threaded, deterministic under a fixed seed.
+//! * [`profile`] — per-table workload profiles (regenerates Table 1).
+
+pub mod driver;
+pub mod loader;
+pub mod profile;
+pub mod random;
+pub mod schema;
+pub mod txns;
+
+pub use driver::{Driver, DriverStats, TpccConfig, TxnType};
+pub use loader::load;
+pub use schema::Tables;

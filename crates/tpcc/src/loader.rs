@@ -1,0 +1,302 @@
+//! Initial database population.
+//!
+//! Follows the TPC-C cardinalities, scaled for laptop-class runs:
+//! per warehouse — 10 districts, `customers_per_district` customers,
+//! one stock row per item, `orders_per_district` historical orders with
+//! 5–15 lines each, the newest third of them still in `new_order`.
+//! Absolute string paddings are trimmed relative to the spec so that
+//! experiments exercise memory pressure at MB rather than GB scale;
+//! relative table sizes (order_line ≫ stock ≫ customer ≫ district)
+//! are preserved, which is what the paper's per-table analysis needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use btrim_core::{Engine, Result};
+
+use crate::random::{astring, last_name, nstring};
+use crate::schema::*;
+
+/// Scale parameters.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Number of warehouses (the TPC-C scale factor).
+    pub warehouses: u32,
+    /// Items in the catalogue (spec: 100_000).
+    pub items: u32,
+    /// Customers per district (spec: 3_000).
+    pub customers_per_district: u32,
+    /// Historical orders per district (spec: 3_000).
+    pub orders_per_district: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            warehouses: 4,
+            items: 2_000,
+            customers_per_district: 300,
+            orders_per_district: 300,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Districts per warehouse (fixed by the spec).
+pub const DISTRICTS_PER_WAREHOUSE: u32 = 10;
+
+/// Populate the engine; returns the table handles.
+pub fn load(engine: &Engine, spec: &LoadSpec) -> Result<Tables> {
+    let tables = Tables::create(engine, spec.warehouses)?;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // item
+    {
+        let mut txn = engine.begin();
+        for i_id in 1..=spec.items {
+            let item = Item {
+                i_id,
+                im_id: rng.gen_range(1..=10_000),
+                name: astring(&mut rng, 14, 24),
+                price: rng.gen_range(1.0..100.0),
+                data: astring(&mut rng, 26, 50),
+            };
+            engine.insert(&mut txn, &tables.item, &item.encode())?;
+            if i_id % 1000 == 0 {
+                let done = std::mem::replace(&mut txn, engine.begin());
+                engine.commit(done)?;
+            }
+        }
+        engine.commit(txn)?;
+    }
+
+    for w_id in 1..=spec.warehouses {
+        let mut txn = engine.begin();
+        let wh = Warehouse {
+            w_id,
+            name: format!("wh-{w_id}"),
+            street: astring(&mut rng, 10, 20),
+            city: astring(&mut rng, 10, 20),
+            state: astring(&mut rng, 2, 2),
+            zip: nstring(&mut rng, 9, 9),
+            tax: rng.gen_range(0.0..0.2),
+            ytd: 300_000.0,
+        };
+        engine.insert(&mut txn, &tables.warehouse, &wh.encode())?;
+
+        // stock
+        for i_id in 1..=spec.items {
+            let stock = Stock {
+                w_id,
+                i_id,
+                quantity: rng.gen_range(10..=100),
+                ytd: 0,
+                order_cnt: 0,
+                remote_cnt: 0,
+                dist_info: astring(&mut rng, 24, 24),
+                data: astring(&mut rng, 26, 50),
+            };
+            engine.insert(&mut txn, &tables.stock, &stock.encode())?;
+            if i_id % 1000 == 0 {
+                let done = std::mem::replace(&mut txn, engine.begin());
+                engine.commit(done)?;
+            }
+        }
+
+        for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
+            let district = District {
+                w_id,
+                d_id,
+                name: format!("d-{d_id}"),
+                street: astring(&mut rng, 10, 20),
+                city: astring(&mut rng, 10, 20),
+                state: astring(&mut rng, 2, 2),
+                zip: nstring(&mut rng, 9, 9),
+                tax: rng.gen_range(0.0..0.2),
+                ytd: 30_000.0,
+                next_o_id: spec.orders_per_district + 1,
+            };
+            engine.insert(&mut txn, &tables.district, &district.encode())?;
+
+            // customers
+            for c_id in 1..=spec.customers_per_district {
+                let last = if c_id <= 1000 {
+                    last_name(c_id - 1)
+                } else {
+                    last_name(rng.gen_range(0..1000))
+                };
+                let customer = Customer {
+                    w_id,
+                    d_id,
+                    c_id,
+                    last,
+                    first: astring(&mut rng, 8, 16),
+                    middle: "OE".into(),
+                    street: astring(&mut rng, 10, 20),
+                    city: astring(&mut rng, 10, 20),
+                    state: astring(&mut rng, 2, 2),
+                    zip: nstring(&mut rng, 9, 9),
+                    phone: nstring(&mut rng, 16, 16),
+                    since: 1,
+                    credit: if rng.gen_bool(0.1) { "BC" } else { "GC" }.into(),
+                    credit_lim: 50_000.0,
+                    discount: rng.gen_range(0.0..0.5),
+                    balance: -10.0,
+                    ytd_payment: 10.0,
+                    payment_cnt: 1,
+                    delivery_cnt: 0,
+                    data: astring(&mut rng, 100, 200),
+                };
+                engine.insert(&mut txn, &tables.customer, &customer.encode())?;
+                if c_id % 500 == 0 {
+                    let done = std::mem::replace(&mut txn, engine.begin());
+                    engine.commit(done)?;
+                }
+            }
+
+            // historical orders + lines + new_orders
+            let new_order_floor = spec.orders_per_district * 2 / 3;
+            for o_id in 1..=spec.orders_per_district {
+                let c_id = rng.gen_range(1..=spec.customers_per_district);
+                let ol_cnt = rng.gen_range(5..=15);
+                let delivered = o_id <= new_order_floor;
+                let order = Order {
+                    w_id,
+                    d_id,
+                    o_id,
+                    c_id,
+                    entry_d: 1,
+                    carrier_id: if delivered { rng.gen_range(1..=10) } else { 0 },
+                    ol_cnt,
+                    all_local: 1,
+                };
+                engine.insert(&mut txn, &tables.orders, &order.encode())?;
+                for ol in 1..=ol_cnt {
+                    let line = OrderLine {
+                        w_id,
+                        d_id,
+                        o_id,
+                        ol_number: ol,
+                        i_id: rng.gen_range(1..=spec.items),
+                        supply_w_id: w_id,
+                        delivery_d: if delivered { 1 } else { 0 },
+                        quantity: 5,
+                        amount: if delivered {
+                            0.0
+                        } else {
+                            rng.gen_range(0.01..9_999.99)
+                        },
+                        dist_info: astring(&mut rng, 24, 24),
+                    };
+                    engine.insert(&mut txn, &tables.order_line, &line.encode())?;
+                }
+                if !delivered {
+                    let no = NewOrder { w_id, d_id, o_id };
+                    engine.insert(&mut txn, &tables.new_order, &no.encode())?;
+                }
+                if o_id % 200 == 0 {
+                    let done = std::mem::replace(&mut txn, engine.begin());
+                    engine.commit(done)?;
+                }
+            }
+
+            // history: one row per customer.
+            for c_id in 1..=spec.customers_per_district {
+                let seq = ((d_id as u64) << 32) | c_id as u64;
+                let h = History {
+                    w_id,
+                    seq,
+                    c_w_id: w_id,
+                    c_d_id: d_id,
+                    c_id,
+                    d_id,
+                    date: 1,
+                    amount: 10.0,
+                    data: astring(&mut rng, 12, 24),
+                };
+                engine.insert(&mut txn, &tables.history, &h.encode())?;
+            }
+        }
+        engine.commit(txn)?;
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrim_core::{EngineConfig, EngineMode};
+
+    #[test]
+    fn load_tiny_scale_and_verify_cardinalities() {
+        let engine = Engine::new(EngineConfig {
+            mode: EngineMode::IlmOff,
+            imrs_budget: 64 * 1024 * 1024,
+            imrs_chunk_size: 4 * 1024 * 1024,
+            ..Default::default()
+        });
+        let spec = LoadSpec {
+            warehouses: 2,
+            items: 100,
+            customers_per_district: 20,
+            orders_per_district: 15,
+            seed: 7,
+        };
+        let t = load(&engine, &spec).unwrap();
+
+        let txn = engine.begin();
+        // warehouse rows exist.
+        for w in 1..=2u32 {
+            let row = engine
+                .get(&txn, &t.warehouse, &Warehouse::key(w))
+                .unwrap()
+                .expect("warehouse exists");
+            let wh = Warehouse::decode(&row).unwrap();
+            assert_eq!(wh.w_id, w);
+        }
+        // district next_o_id primed.
+        let d = District::decode(
+            &engine
+                .get(&txn, &t.district, &District::key(1, 1))
+                .unwrap()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(d.next_o_id, 16);
+        // customer by name secondary works.
+        let hits = engine
+            .get_by_index(
+                &txn,
+                &t.customer,
+                "by_name",
+                &Customer::name_key(1, 1, &crate::random::last_name(0)),
+            )
+            .unwrap();
+        assert!(!hits.is_empty());
+        // stock per item per warehouse.
+        let s = engine
+            .get(&txn, &t.stock, &Stock::key(2, 100))
+            .unwrap()
+            .expect("stock exists");
+        assert_eq!(Stock::decode(&s).unwrap().i_id, 100);
+        // undelivered orders are in new_order.
+        let no_floor = 15 * 2 / 3;
+        let mut undelivered = 0;
+        engine
+            .scan_range(
+                &txn,
+                &t.new_order,
+                &NewOrder::key(1, 1, 0),
+                Some(&NewOrder::key(1, 2, 0)),
+                |_, _, _| {
+                    undelivered += 1;
+                    true
+                },
+            )
+            .unwrap();
+        assert_eq!(undelivered, 15 - no_floor);
+        engine.commit(txn).unwrap();
+    }
+}

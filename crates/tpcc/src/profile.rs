@@ -1,0 +1,163 @@
+//! Per-table workload profiles (regenerates the paper's Table 1).
+//!
+//! After a benchmark run, each table's observed operation mix and size
+//! classify it into the roles of Table 1: the small heavily-updated
+//! `warehouse`/`district`, the insert-only `history`, the queue-like
+//! `new_order`, and so on.
+
+use btrim_core::{Engine, EngineSnapshot};
+
+/// Observed workload profile of one table.
+#[derive(Debug, Clone)]
+pub struct TableProfile {
+    /// Table name.
+    pub name: String,
+    /// IMRS-resident rows.
+    pub imrs_rows: u64,
+    /// IMRS bytes.
+    pub imrs_bytes: u64,
+    /// Inserts (IMRS).
+    pub inserts: u64,
+    /// Re-use operations (select/update/delete on IMRS rows).
+    pub reuse_ops: u64,
+    /// Page-store operations.
+    pub page_ops: u64,
+    /// Descriptive role, derived from the op mix.
+    pub role: String,
+}
+
+/// Build profiles from the engine's counters.
+pub fn table_profiles(engine: &Engine) -> Vec<TableProfile> {
+    snapshot_profiles(&engine.snapshot())
+}
+
+/// Build profiles from an existing snapshot.
+pub fn snapshot_profiles(snap: &EngineSnapshot) -> Vec<TableProfile> {
+    snap.tables
+        .iter()
+        .map(|t| {
+            let inserts: u64 = t.partitions.iter().map(|p| p.imrs_inserts).sum();
+            let reuse = t.reuse_ops();
+            let page_ops: u64 = t.partitions.iter().map(|p| p.page_ops).sum();
+            let rows = t.imrs_rows();
+            let role = classify(&t.name, inserts, reuse, rows);
+            TableProfile {
+                name: t.name.clone(),
+                imrs_rows: rows,
+                imrs_bytes: t.imrs_bytes(),
+                inserts,
+                reuse_ops: reuse,
+                page_ops,
+                role,
+            }
+        })
+        .collect()
+}
+
+fn classify(name: &str, inserts: u64, reuse: u64, rows: u64) -> String {
+    let total = inserts + reuse;
+    if total == 0 {
+        return "idle".into();
+    }
+    let insert_frac = inserts as f64 / total as f64;
+    let reuse_per_row = reuse as f64 / rows.max(1) as f64;
+    let role = if insert_frac > 0.9 && reuse_per_row < 0.5 {
+        "insert-only"
+    } else if insert_frac > 0.4 {
+        "insert-heavy"
+    } else if reuse_per_row > 10.0 {
+        "small/hot: high scan+update rate"
+    } else if reuse_per_row > 1.0 {
+        "update/select-heavy"
+    } else {
+        "read-mostly / low activity"
+    };
+    let _ = name;
+    role.into()
+}
+
+/// Render the profiles as an aligned text table.
+pub fn render(profiles: &[TableProfile]) -> String {
+    let mut out = format!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10} {:>10}  {}\n",
+        "table", "imrs_rows", "imrs_bytes", "inserts", "reuse", "page_ops", "observed role"
+    );
+    for p in profiles {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>12} {:>10} {:>10} {:>10}  {}\n",
+            p.name, p.imrs_rows, p.imrs_bytes, p.inserts, p.reuse_ops, p.page_ops, p.role
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use crate::loader::{load, LoadSpec};
+    use btrim_core::{EngineConfig, EngineMode};
+    use std::sync::Arc;
+
+    #[test]
+    fn profiles_match_table_1_roles() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            mode: EngineMode::IlmOff,
+            imrs_budget: 128 * 1024 * 1024,
+            imrs_chunk_size: 4 * 1024 * 1024,
+            buffer_frames: 2048,
+            ..Default::default()
+        }));
+        let spec = LoadSpec {
+            warehouses: 1,
+            items: 300,
+            customers_per_district: 50,
+            orders_per_district: 50,
+            seed: 3,
+        };
+        let tables = Arc::new(load(&engine, &spec).unwrap());
+        let driver = Driver::new(Arc::clone(&engine), tables, &spec);
+        driver.run(600, 1, 17);
+
+        let profiles = table_profiles(&engine);
+        let get = |n: &str| profiles.iter().find(|p| p.name == n).unwrap();
+
+        // history: essentially pure inserts, no re-use.
+        let h = get("history");
+        assert!(h.inserts > 0);
+        assert!(
+            h.reuse_ops < h.inserts / 10,
+            "history reuse {} vs inserts {}",
+            h.reuse_ops,
+            h.inserts
+        );
+        // warehouse/district: tiny but very hot.
+        let w = get("warehouse");
+        assert!(w.reuse_ops > 100, "warehouse reuse {}", w.reuse_ops);
+        assert!(w.imrs_rows <= 1 + 1);
+        let d = get("district");
+        assert!(d.reuse_ops as f64 / d.imrs_rows.max(1) as f64 > 10.0);
+        // order_line: many inserts, low per-row re-use.
+        let ol = get("order_line");
+        assert!(ol.inserts > 0);
+        assert!(
+            (ol.reuse_ops as f64 / (ol.imrs_rows.max(1)) as f64) < 2.0,
+            "order_line is not hot per row"
+        );
+        // Rendering contains every table.
+        let text = render(&profiles);
+        for name in [
+            "warehouse",
+            "district",
+            "customer",
+            "history",
+            "new_order",
+            "orders",
+            "order_line",
+            "item",
+            "stock",
+        ] {
+            assert!(text.contains(name), "render misses {name}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! TPC-C random-value generators: NURand skew, strings, last names.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The C constant used by NURand (fixed per run; the spec's C-Load /
+/// C-Run distinction does not affect the access-skew shape).
+pub const C_LAST: u32 = 123;
+/// C constant for customer-id NURand.
+pub const C_CID: u32 = 259;
+/// C constant for item-id NURand.
+pub const C_ITEM: u32 = 7911;
+
+/// Non-uniform random: `NURand(A, x, y)` per TPC-C §2.1.6. Produces the
+/// skewed access pattern the paper's hot/cold analysis relies on.
+pub fn nurand(rng: &mut StdRng, a: u32, c: u32, x: u32, y: u32) -> u32 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// Skewed customer id in `1..=max_c`.
+pub fn nurand_customer(rng: &mut StdRng, max_c: u32) -> u32 {
+    nurand(rng, 1023, C_CID, 1, max_c)
+}
+
+/// Skewed item id in `1..=max_i`.
+pub fn nurand_item(rng: &mut StdRng, max_i: u32) -> u32 {
+    nurand(rng, 8191, C_ITEM, 1, max_i)
+}
+
+/// The spec's last-name syllables.
+const SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Last name for a number in 0..=999 (TPC-C §4.3.2.3).
+pub fn last_name(num: u32) -> String {
+    let mut s = String::new();
+    s.push_str(SYLLABLES[(num / 100 % 10) as usize]);
+    s.push_str(SYLLABLES[(num / 10 % 10) as usize]);
+    s.push_str(SYLLABLES[(num % 10) as usize]);
+    s
+}
+
+/// Skewed last-name number for transactions: `NURand(255, 0, 999)`.
+pub fn nurand_last_name(rng: &mut StdRng) -> String {
+    last_name(nurand(rng, 255, C_LAST, 0, 999))
+}
+
+/// Random alphanumeric string with length in `lo..=hi`.
+pub fn astring(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let len = rng.gen_range(lo..=hi);
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
+}
+
+/// Random numeric string with length in `lo..=hi`.
+pub fn nstring(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = rng.gen_range(lo..=hi);
+    (0..len)
+        .map(|_| (b'0' + rng.gen_range(0..10u8)) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nurand_stays_in_range_and_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 3001];
+        for _ in 0..30_000 {
+            let v = nurand_customer(&mut rng, 3000);
+            assert!((1..=3000).contains(&v));
+            counts[v as usize] += 1;
+        }
+        // Skew check: the most popular 10% of ids draw well over 10% of
+        // accesses.
+        let mut sorted: Vec<u32> = counts[1..].to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = sorted[..300].iter().sum();
+        assert!(
+            top10 as f64 > 0.3 * 30_000.0,
+            "top decile draws {top10} of 30000"
+        );
+    }
+
+    #[test]
+    fn last_names_match_spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+        // Longest possible name fits the fixed field.
+        assert!(last_name(111).len() <= crate::schema::LAST_NAME_LEN); // OUGHTx3 = 15
+        assert_eq!(last_name(111), "OUGHTOUGHTOUGHT");
+    }
+
+    #[test]
+    fn strings_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = astring(&mut rng, 8, 16);
+            assert!((8..=16).contains(&s.len()));
+            let n = nstring(&mut rng, 4, 4);
+            assert_eq!(n.len(), 4);
+            assert!(n.bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(nurand_item(&mut a, 10_000), nurand_item(&mut b, 10_000));
+        }
+    }
+}

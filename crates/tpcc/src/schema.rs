@@ -1,0 +1,847 @@
+//! TPC-C row formats.
+//!
+//! Every row starts with its big-endian primary-key bytes (fixed width
+//! per table), so the engine's key extractor is a cheap prefix slice
+//! and keys order correctly in the B+tree. The remainder of the row is
+//! codec-encoded payload. Two tables reserve extra fixed-offset bytes
+//! for secondary keys: `customer` embeds a 16-byte padded last name at
+//! offset 12, `orders` embeds the customer id at offset 12.
+
+use std::sync::Arc;
+
+use btrim_common::codec::{Decoder, Encoder};
+use btrim_common::Result;
+use btrim_core::catalog::{KeyExtractor, Partitioner, TableOpts};
+use btrim_core::{Engine, Result as CoreResult};
+
+/// Pad / truncate a string into a fixed byte array.
+fn fixed<const N: usize>(s: &str) -> [u8; N] {
+    let mut out = [b' '; N];
+    for (i, b) in s.bytes().take(N).enumerate() {
+        out[i] = b;
+    }
+    out
+}
+
+/// Render a fixed field back into a trimmed string.
+pub fn unfixed(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).trim_end().to_string()
+}
+
+// ---------------------------------------------------------------------
+// warehouse
+// ---------------------------------------------------------------------
+
+/// The `warehouse` table: small, heavily scanned and updated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warehouse {
+    pub w_id: u32,
+    pub name: String,
+    pub street: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+    pub tax: f64,
+    pub ytd: f64,
+}
+
+impl Warehouse {
+    /// Primary key bytes for a warehouse id.
+    pub fn key(w_id: u32) -> Vec<u8> {
+        w_id.to_be_bytes().to_vec()
+    }
+
+    /// Serialize (key prefix + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.w_id);
+        let mut body = Encoder::with_capacity(96);
+        body.put_str(&self.name);
+        body.put_str(&self.street);
+        body.put_str(&self.city);
+        body.put_str(&self.state);
+        body.put_str(&self.zip);
+        body.put_f64(self.tax);
+        body.put_f64(self.ytd);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let w_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let mut d = Decoder::new(&data[4..]);
+        Ok(Warehouse {
+            w_id,
+            name: d.get_str()?,
+            street: d.get_str()?,
+            city: d.get_str()?,
+            state: d.get_str()?,
+            zip: d.get_str()?,
+            tax: d.get_f64()?,
+            ytd: d.get_f64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// district
+// ---------------------------------------------------------------------
+
+/// The `district` table: 10 per warehouse, hot counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct District {
+    pub w_id: u32,
+    pub d_id: u32,
+    pub name: String,
+    pub street: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+    pub tax: f64,
+    pub ytd: f64,
+    pub next_o_id: u32,
+}
+
+impl District {
+    /// Primary key bytes.
+    pub fn key(w_id: u32, d_id: u32) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&d_id.to_be_bytes());
+        k
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.w_id, self.d_id);
+        let mut body = Encoder::with_capacity(96);
+        body.put_str(&self.name);
+        body.put_str(&self.street);
+        body.put_str(&self.city);
+        body.put_str(&self.state);
+        body.put_str(&self.zip);
+        body.put_f64(self.tax);
+        body.put_f64(self.ytd);
+        body.put_u32(self.next_o_id);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let w_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let d_id = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        let mut d = Decoder::new(&data[8..]);
+        Ok(District {
+            w_id,
+            d_id,
+            name: d.get_str()?,
+            street: d.get_str()?,
+            city: d.get_str()?,
+            state: d.get_str()?,
+            zip: d.get_str()?,
+            tax: d.get_f64()?,
+            ytd: d.get_f64()?,
+            next_o_id: d.get_u32()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// customer
+// ---------------------------------------------------------------------
+
+/// Width of the fixed last-name field embedded in customer rows.
+pub const LAST_NAME_LEN: usize = 16;
+
+/// The `customer` table: medium, heavy updates and some selects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Customer {
+    pub w_id: u32,
+    pub d_id: u32,
+    pub c_id: u32,
+    pub last: String,
+    pub first: String,
+    pub middle: String,
+    pub street: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+    pub phone: String,
+    pub since: u64,
+    pub credit: String,
+    pub credit_lim: f64,
+    pub discount: f64,
+    pub balance: f64,
+    pub ytd_payment: f64,
+    pub payment_cnt: u32,
+    pub delivery_cnt: u32,
+    pub data: String,
+}
+
+impl Customer {
+    /// Primary key bytes.
+    pub fn key(w_id: u32, d_id: u32, c_id: u32) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&d_id.to_be_bytes());
+        k.extend_from_slice(&c_id.to_be_bytes());
+        k
+    }
+
+    /// Secondary key bytes: (w, d, padded last name).
+    pub fn name_key(w_id: u32, d_id: u32, last: &str) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&d_id.to_be_bytes());
+        k.extend_from_slice(&fixed::<LAST_NAME_LEN>(last));
+        k
+    }
+
+    /// Secondary-key extractor over the encoded row.
+    pub fn name_extractor() -> KeyExtractor {
+        Arc::new(|row: &[u8]| {
+            let mut k = row[..8].to_vec(); // w, d
+            k.extend_from_slice(&row[12..12 + LAST_NAME_LEN]);
+            k
+        })
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.w_id, self.d_id, self.c_id);
+        out.extend_from_slice(&fixed::<LAST_NAME_LEN>(&self.last));
+        let mut body = Encoder::with_capacity(420);
+        body.put_str(&self.first);
+        body.put_str(&self.middle);
+        body.put_str(&self.street);
+        body.put_str(&self.city);
+        body.put_str(&self.state);
+        body.put_str(&self.zip);
+        body.put_str(&self.phone);
+        body.put_u64(self.since);
+        body.put_str(&self.credit);
+        body.put_f64(self.credit_lim);
+        body.put_f64(self.discount);
+        body.put_f64(self.balance);
+        body.put_f64(self.ytd_payment);
+        body.put_u32(self.payment_cnt);
+        body.put_u32(self.delivery_cnt);
+        body.put_str(&self.data);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let w_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let d_id = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        let c_id = u32::from_be_bytes(data[8..12].try_into().unwrap());
+        let last = unfixed(&data[12..12 + LAST_NAME_LEN]);
+        let mut d = Decoder::new(&data[12 + LAST_NAME_LEN..]);
+        Ok(Customer {
+            w_id,
+            d_id,
+            c_id,
+            last,
+            first: d.get_str()?,
+            middle: d.get_str()?,
+            street: d.get_str()?,
+            city: d.get_str()?,
+            state: d.get_str()?,
+            zip: d.get_str()?,
+            phone: d.get_str()?,
+            since: d.get_u64()?,
+            credit: d.get_str()?,
+            credit_lim: d.get_f64()?,
+            discount: d.get_f64()?,
+            balance: d.get_f64()?,
+            ytd_payment: d.get_f64()?,
+            payment_cnt: d.get_u32()?,
+            delivery_cnt: d.get_u32()?,
+            data: d.get_str()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// history
+// ---------------------------------------------------------------------
+
+/// The `history` table: insert-only, never read by the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct History {
+    /// Synthetic key: the spec gives history no primary key; the engine
+    /// wants one.
+    pub w_id: u32,
+    pub seq: u64,
+    pub c_w_id: u32,
+    pub c_d_id: u32,
+    pub c_id: u32,
+    pub d_id: u32,
+    pub date: u64,
+    pub amount: f64,
+    pub data: String,
+}
+
+impl History {
+    /// Primary key bytes.
+    pub fn key(w_id: u32, seq: u64) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&seq.to_be_bytes());
+        k
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.w_id, self.seq);
+        let mut body = Encoder::with_capacity(64);
+        body.put_u32(self.c_w_id);
+        body.put_u32(self.c_d_id);
+        body.put_u32(self.c_id);
+        body.put_u32(self.d_id);
+        body.put_u64(self.date);
+        body.put_f64(self.amount);
+        body.put_str(&self.data);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let w_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let seq = u64::from_be_bytes(data[4..12].try_into().unwrap());
+        let mut d = Decoder::new(&data[12..]);
+        Ok(History {
+            w_id,
+            seq,
+            c_w_id: d.get_u32()?,
+            c_d_id: d.get_u32()?,
+            c_id: d.get_u32()?,
+            d_id: d.get_u32()?,
+            date: d.get_u64()?,
+            amount: d.get_f64()?,
+            data: d.get_str()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// new_order
+// ---------------------------------------------------------------------
+
+/// The `new_order` table: queue-like (inserted by NewOrder, deleted by
+/// Delivery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewOrder {
+    pub w_id: u32,
+    pub d_id: u32,
+    pub o_id: u32,
+}
+
+impl NewOrder {
+    /// Primary key bytes.
+    pub fn key(w_id: u32, d_id: u32, o_id: u32) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&d_id.to_be_bytes());
+        k.extend_from_slice(&o_id.to_be_bytes());
+        k
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        Self::key(self.w_id, self.d_id, self.o_id)
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        Ok(NewOrder {
+            w_id: u32::from_be_bytes(data[..4].try_into().unwrap()),
+            d_id: u32::from_be_bytes(data[4..8].try_into().unwrap()),
+            o_id: u32::from_be_bytes(data[8..12].try_into().unwrap()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// orders
+// ---------------------------------------------------------------------
+
+/// The `orders` table: large, heavy inserts, few scans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Order {
+    pub w_id: u32,
+    pub d_id: u32,
+    pub o_id: u32,
+    pub c_id: u32,
+    pub entry_d: u64,
+    /// 0 encodes NULL (not yet delivered).
+    pub carrier_id: u32,
+    pub ol_cnt: u32,
+    pub all_local: u32,
+}
+
+impl Order {
+    /// Primary key bytes.
+    pub fn key(w_id: u32, d_id: u32, o_id: u32) -> Vec<u8> {
+        NewOrder::key(w_id, d_id, o_id)
+    }
+
+    /// Secondary key bytes: (w, d, c, o) — order-status "latest order
+    /// for customer" scans a (w, d, c) prefix.
+    pub fn customer_key(w_id: u32, d_id: u32, c_id: u32, o_id: u32) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&d_id.to_be_bytes());
+        k.extend_from_slice(&c_id.to_be_bytes());
+        k.extend_from_slice(&o_id.to_be_bytes());
+        k
+    }
+
+    /// Prefix for all of a customer's orders.
+    pub fn customer_prefix(w_id: u32, d_id: u32, c_id: u32) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&d_id.to_be_bytes());
+        k.extend_from_slice(&c_id.to_be_bytes());
+        k
+    }
+
+    /// Secondary extractor over the encoded row (c_id at offset 12).
+    pub fn customer_extractor() -> KeyExtractor {
+        Arc::new(|row: &[u8]| {
+            let mut k = row[..8].to_vec(); // w, d
+            k.extend_from_slice(&row[12..16]); // c
+            k.extend_from_slice(&row[8..12]); // o
+            k
+        })
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.w_id, self.d_id, self.o_id);
+        out.extend_from_slice(&self.c_id.to_be_bytes());
+        let mut body = Encoder::with_capacity(32);
+        body.put_u64(self.entry_d);
+        body.put_u32(self.carrier_id);
+        body.put_u32(self.ol_cnt);
+        body.put_u32(self.all_local);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let w_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let d_id = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        let o_id = u32::from_be_bytes(data[8..12].try_into().unwrap());
+        let c_id = u32::from_be_bytes(data[12..16].try_into().unwrap());
+        let mut d = Decoder::new(&data[16..]);
+        Ok(Order {
+            w_id,
+            d_id,
+            o_id,
+            c_id,
+            entry_d: d.get_u64()?,
+            carrier_id: d.get_u32()?,
+            ol_cnt: d.get_u32()?,
+            all_local: d.get_u32()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// order_line
+// ---------------------------------------------------------------------
+
+/// The `order_line` table: the largest table, heavy inserts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderLine {
+    pub w_id: u32,
+    pub d_id: u32,
+    pub o_id: u32,
+    pub ol_number: u32,
+    pub i_id: u32,
+    pub supply_w_id: u32,
+    /// 0 encodes NULL (not yet delivered).
+    pub delivery_d: u64,
+    pub quantity: u32,
+    pub amount: f64,
+    pub dist_info: String,
+}
+
+impl OrderLine {
+    /// Primary key bytes.
+    pub fn key(w_id: u32, d_id: u32, o_id: u32, ol: u32) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&d_id.to_be_bytes());
+        k.extend_from_slice(&o_id.to_be_bytes());
+        k.extend_from_slice(&ol.to_be_bytes());
+        k
+    }
+
+    /// Prefix covering all lines of one order.
+    pub fn order_prefix(w_id: u32, d_id: u32, o_id: u32) -> Vec<u8> {
+        NewOrder::key(w_id, d_id, o_id)
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.w_id, self.d_id, self.o_id, self.ol_number);
+        let mut body = Encoder::with_capacity(64);
+        body.put_u32(self.i_id);
+        body.put_u32(self.supply_w_id);
+        body.put_u64(self.delivery_d);
+        body.put_u32(self.quantity);
+        body.put_f64(self.amount);
+        body.put_str(&self.dist_info);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let w_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let d_id = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        let o_id = u32::from_be_bytes(data[8..12].try_into().unwrap());
+        let ol_number = u32::from_be_bytes(data[12..16].try_into().unwrap());
+        let mut d = Decoder::new(&data[16..]);
+        Ok(OrderLine {
+            w_id,
+            d_id,
+            o_id,
+            ol_number,
+            i_id: d.get_u32()?,
+            supply_w_id: d.get_u32()?,
+            delivery_d: d.get_u64()?,
+            quantity: d.get_u32()?,
+            amount: d.get_f64()?,
+            dist_info: d.get_str()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// item
+// ---------------------------------------------------------------------
+
+/// The `item` table: read-only catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    pub i_id: u32,
+    pub im_id: u32,
+    pub name: String,
+    pub price: f64,
+    pub data: String,
+}
+
+impl Item {
+    /// Primary key bytes.
+    pub fn key(i_id: u32) -> Vec<u8> {
+        i_id.to_be_bytes().to_vec()
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.i_id);
+        let mut body = Encoder::with_capacity(96);
+        body.put_u32(self.im_id);
+        body.put_str(&self.name);
+        body.put_f64(self.price);
+        body.put_str(&self.data);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let i_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let mut d = Decoder::new(&data[4..]);
+        Ok(Item {
+            i_id,
+            im_id: d.get_u32()?,
+            name: d.get_str()?,
+            price: d.get_f64()?,
+            data: d.get_str()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// stock
+// ---------------------------------------------------------------------
+
+/// The `stock` table: large, frequent updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stock {
+    pub w_id: u32,
+    pub i_id: u32,
+    pub quantity: u32,
+    pub ytd: u32,
+    pub order_cnt: u32,
+    pub remote_cnt: u32,
+    pub dist_info: String,
+    pub data: String,
+}
+
+impl Stock {
+    /// Primary key bytes.
+    pub fn key(w_id: u32, i_id: u32) -> Vec<u8> {
+        let mut k = w_id.to_be_bytes().to_vec();
+        k.extend_from_slice(&i_id.to_be_bytes());
+        k
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::key(self.w_id, self.i_id);
+        let mut body = Encoder::with_capacity(128);
+        body.put_u32(self.quantity);
+        body.put_u32(self.ytd);
+        body.put_u32(self.order_cnt);
+        body.put_u32(self.remote_cnt);
+        body.put_str(&self.dist_info);
+        body.put_str(&self.data);
+        out.extend_from_slice(&body.into_vec());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let w_id = u32::from_be_bytes(data[..4].try_into().unwrap());
+        let i_id = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        let mut d = Decoder::new(&data[8..]);
+        Ok(Stock {
+            w_id,
+            i_id,
+            quantity: d.get_u32()?,
+            ytd: d.get_u32()?,
+            order_cnt: d.get_u32()?,
+            remote_cnt: d.get_u32()?,
+            dist_info: d.get_str()?,
+            data: d.get_str()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table registration
+// ---------------------------------------------------------------------
+
+/// Handles to all nine TPC-C tables.
+pub struct Tables {
+    pub warehouse: Arc<btrim_core::catalog::TableDesc>,
+    pub district: Arc<btrim_core::catalog::TableDesc>,
+    pub customer: Arc<btrim_core::catalog::TableDesc>,
+    pub history: Arc<btrim_core::catalog::TableDesc>,
+    pub new_order: Arc<btrim_core::catalog::TableDesc>,
+    pub orders: Arc<btrim_core::catalog::TableDesc>,
+    pub order_line: Arc<btrim_core::catalog::TableDesc>,
+    pub item: Arc<btrim_core::catalog::TableDesc>,
+    pub stock: Arc<btrim_core::catalog::TableDesc>,
+}
+
+/// Key extractor: the first `n` bytes of the row are the key.
+fn prefix_key(n: usize) -> KeyExtractor {
+    Arc::new(move |row: &[u8]| row[..n].to_vec())
+}
+
+impl Tables {
+    /// Create the nine tables (and the two secondary indexes) in the
+    /// engine. `warehouses` drives partition counts: the big tables are
+    /// partitioned by their leading warehouse id, as §V's examples
+    /// assume.
+    pub fn create(engine: &Engine, warehouses: u32) -> CoreResult<Tables> {
+        let parts = warehouses.clamp(1, 16);
+        let mk = |name: &str, key_len: usize, partitioned: bool| TableOpts {
+            name: name.into(),
+            imrs_enabled: true,
+            pinned: false,
+            partitioner: if partitioned {
+                Partitioner::KeyPrefixU32 { parts }
+            } else {
+                Partitioner::Single
+            },
+            primary_key: prefix_key(key_len),
+        };
+        let warehouse = engine.create_table(mk("warehouse", 4, false))?;
+        let district = engine.create_table(mk("district", 8, false))?;
+        let customer = engine.create_table(mk("customer", 12, true))?;
+        engine.create_secondary_index(&customer, "by_name", Customer::name_extractor())?;
+        let history = engine.create_table(mk("history", 12, true))?;
+        let new_order = engine.create_table(mk("new_order", 12, true))?;
+        let orders = engine.create_table(mk("orders", 12, true))?;
+        engine.create_secondary_index(&orders, "by_customer", Order::customer_extractor())?;
+        let order_line = engine.create_table(mk("order_line", 16, true))?;
+        let item = engine.create_table(mk("item", 4, false))?;
+        let stock = engine.create_table(mk("stock", 8, true))?;
+        Ok(Tables {
+            warehouse,
+            district,
+            customer,
+            history,
+            new_order,
+            orders,
+            order_line,
+            item,
+            stock,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warehouse_roundtrip() {
+        let w = Warehouse {
+            w_id: 7,
+            name: "wh-seven".into(),
+            street: "1 Main St".into(),
+            city: "Pune".into(),
+            state: "MH".into(),
+            zip: "411001".into(),
+            tax: 0.07,
+            ytd: 30000.0,
+        };
+        let enc = w.encode();
+        assert_eq!(&enc[..4], &7u32.to_be_bytes());
+        assert_eq!(Warehouse::decode(&enc).unwrap(), w);
+    }
+
+    #[test]
+    fn district_roundtrip_and_key_order() {
+        let d = District {
+            w_id: 1,
+            d_id: 5,
+            name: "d5".into(),
+            street: "s".into(),
+            city: "c".into(),
+            state: "st".into(),
+            zip: "z".into(),
+            tax: 0.1,
+            ytd: 1.0,
+            next_o_id: 3001,
+        };
+        let enc = d.encode();
+        assert_eq!(District::decode(&enc).unwrap(), d);
+        assert!(District::key(1, 5) < District::key(1, 6));
+        assert!(District::key(1, 9) < District::key(2, 0));
+    }
+
+    #[test]
+    fn customer_roundtrip_and_name_extractor() {
+        let c = Customer {
+            w_id: 2,
+            d_id: 3,
+            c_id: 42,
+            last: "BARBAR".into(),
+            first: "Alice".into(),
+            middle: "OE".into(),
+            street: "street".into(),
+            city: "city".into(),
+            state: "st".into(),
+            zip: "zip".into(),
+            phone: "555-0100".into(),
+            since: 123456,
+            credit: "GC".into(),
+            credit_lim: 50000.0,
+            discount: 0.12,
+            balance: -10.0,
+            ytd_payment: 10.0,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            data: "x".repeat(200),
+        };
+        let enc = c.encode();
+        assert_eq!(Customer::decode(&enc).unwrap(), c);
+        let extracted = (Customer::name_extractor())(&enc);
+        assert_eq!(extracted, Customer::name_key(2, 3, "BARBAR"));
+    }
+
+    #[test]
+    fn order_roundtrip_and_customer_extractor() {
+        let o = Order {
+            w_id: 1,
+            d_id: 2,
+            o_id: 3000,
+            c_id: 17,
+            entry_d: 999,
+            carrier_id: 0,
+            ol_cnt: 8,
+            all_local: 1,
+        };
+        let enc = o.encode();
+        assert_eq!(Order::decode(&enc).unwrap(), o);
+        let extracted = (Order::customer_extractor())(&enc);
+        assert_eq!(extracted, Order::customer_key(1, 2, 17, 3000));
+        // Customer prefix covers the extracted key.
+        let prefix = Order::customer_prefix(1, 2, 17);
+        assert!(extracted.starts_with(&prefix));
+    }
+
+    #[test]
+    fn remaining_tables_roundtrip() {
+        let h = History {
+            w_id: 1,
+            seq: 99,
+            c_w_id: 1,
+            c_d_id: 2,
+            c_id: 3,
+            d_id: 2,
+            date: 5,
+            amount: 10.0,
+            data: "hist".into(),
+        };
+        assert_eq!(History::decode(&h.encode()).unwrap(), h);
+
+        let no = NewOrder {
+            w_id: 1,
+            d_id: 2,
+            o_id: 3,
+        };
+        assert_eq!(NewOrder::decode(&no.encode()).unwrap(), no);
+
+        let ol = OrderLine {
+            w_id: 1,
+            d_id: 2,
+            o_id: 3,
+            ol_number: 4,
+            i_id: 55,
+            supply_w_id: 1,
+            delivery_d: 0,
+            quantity: 5,
+            amount: 42.5,
+            dist_info: "d".repeat(24),
+        };
+        assert_eq!(OrderLine::decode(&ol.encode()).unwrap(), ol);
+
+        let it = Item {
+            i_id: 9,
+            im_id: 1,
+            name: "widget".into(),
+            price: 9.99,
+            data: "ORIGINAL".into(),
+        };
+        assert_eq!(Item::decode(&it.encode()).unwrap(), it);
+
+        let s = Stock {
+            w_id: 1,
+            i_id: 9,
+            quantity: 50,
+            ytd: 0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            dist_info: "i".repeat(24),
+            data: "stockdata".into(),
+        };
+        assert_eq!(Stock::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn tables_create_in_engine() {
+        let engine = Engine::new(btrim_core::EngineConfig::default());
+        let t = Tables::create(&engine, 4).unwrap();
+        assert_eq!(t.warehouse.partitions.len(), 1);
+        assert_eq!(t.stock.partitions.len(), 4);
+        assert_eq!(t.customer.secondaries.read().len(), 1);
+        assert_eq!(t.orders.secondaries.read().len(), 1);
+        assert!(engine.table("order_line").is_some());
+    }
+}

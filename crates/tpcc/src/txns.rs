@@ -1,0 +1,461 @@
+//! The five TPC-C transaction profiles.
+//!
+//! Access patterns follow the spec: NewOrder and Payment dominate and
+//! are update/insert heavy with NURand skew; OrderStatus is read-only;
+//! Delivery drains the `new_order` queue; StockLevel scans recent order
+//! lines. These produce exactly the table temperature profile of the
+//! paper's Table 1.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use btrim_core::{BtrimError, Engine, Transaction};
+
+use crate::random::{astring, nurand_customer, nurand_item, nurand_last_name};
+use crate::schema::*;
+
+/// Scale parameters the transactions need at run time.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Warehouses.
+    pub warehouses: u32,
+    /// Items in the catalogue.
+    pub items: u32,
+    /// Customers per district.
+    pub customers_per_district: u32,
+}
+
+/// Outcome of one transaction attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Committed.
+    Committed,
+    /// Rolled back by the 1% NewOrder invalid-item rule.
+    UserAbort,
+    /// Aborted on an engine error (lock timeout etc.); retryable.
+    EngineAbort,
+}
+
+fn run_in_txn(
+    engine: &Engine,
+    body: impl FnOnce(&mut Transaction) -> btrim_core::Result<bool>,
+) -> Outcome {
+    let mut txn = engine.begin();
+    match body(&mut txn) {
+        Ok(true) => match engine.commit(txn) {
+            Ok(_) => Outcome::Committed,
+            Err(_) => Outcome::EngineAbort,
+        },
+        Ok(false) => {
+            engine.abort(txn);
+            Outcome::UserAbort
+        }
+        Err(_) => {
+            engine.abort(txn);
+            Outcome::EngineAbort
+        }
+    }
+}
+
+/// Sequence source for history rows (no natural primary key).
+pub type HistorySeq = std::sync::atomic::AtomicU64;
+
+/// The NewOrder transaction (§2.4 of the spec; ~45% of the mix).
+pub fn new_order(
+    engine: &Engine,
+    tables: &Tables,
+    scale: &Scale,
+    rng: &mut StdRng,
+    now: u64,
+) -> Outcome {
+    let w_id = rng.gen_range(1..=scale.warehouses);
+    let d_id = rng.gen_range(1..=crate::loader::DISTRICTS_PER_WAREHOUSE);
+    let c_id = nurand_customer(rng, scale.customers_per_district);
+    let ol_cnt = rng.gen_range(5..=15u32);
+    let rollback = rng.gen_bool(0.01);
+    let items: Vec<(u32, u32)> = (0..ol_cnt)
+        .map(|_| (nurand_item(rng, scale.items), rng.gen_range(1..=10u32)))
+        .collect();
+    let dist_info = astring(rng, 24, 24);
+
+    run_in_txn(engine, |txn| {
+        // Warehouse tax (read).
+        let w_row = engine
+            .get(txn, &tables.warehouse, &Warehouse::key(w_id))?
+            .ok_or_else(|| BtrimError::Invalid("warehouse missing".into()))?;
+        let warehouse = Warehouse::decode(&w_row)?;
+
+        // District: allocate the order id (RMW on the hot counter).
+        let mut o_id = 0;
+        engine
+            .update_rmw(txn, &tables.district, &District::key(w_id, d_id), |cur| {
+                let mut d = District::decode(cur).expect("district decodes");
+                o_id = d.next_o_id;
+                d.next_o_id += 1;
+                d.encode()
+            })?
+            .ok_or_else(|| BtrimError::Invalid("district missing".into()))?;
+
+        // Customer discount (read).
+        let c_row = engine
+            .get(txn, &tables.customer, &Customer::key(w_id, d_id, c_id))?
+            .ok_or_else(|| BtrimError::Invalid("customer missing".into()))?;
+        let customer = Customer::decode(&c_row)?;
+
+        let mut all_local = 1;
+        let mut total = 0.0f64;
+        for (ol_number, &(i_id, quantity)) in items.iter().enumerate() {
+            let ol_number = ol_number as u32 + 1;
+            if rollback && ol_number == ol_cnt {
+                // Invalid item: the spec's 1% user rollback.
+                return Ok(false);
+            }
+            let i_row = engine
+                .get(txn, &tables.item, &Item::key(i_id))?
+                .ok_or_else(|| BtrimError::Invalid("item missing".into()))?;
+            let item = Item::decode(&i_row)?;
+
+            // 1% remote warehouse on multi-warehouse runs.
+            let supply_w = if scale.warehouses > 1 && rng_remote(i_id) {
+                all_local = 0;
+                (w_id % scale.warehouses) + 1
+            } else {
+                w_id
+            };
+            engine
+                .update_rmw(txn, &tables.stock, &Stock::key(supply_w, i_id), |cur| {
+                    let mut s = Stock::decode(cur).expect("stock decodes");
+                    s.quantity = if s.quantity > quantity + 10 {
+                        s.quantity - quantity
+                    } else {
+                        s.quantity + 91 - quantity
+                    };
+                    s.ytd += quantity;
+                    s.order_cnt += 1;
+                    if supply_w != w_id {
+                        s.remote_cnt += 1;
+                    }
+                    s.encode()
+                })?
+                .ok_or_else(|| BtrimError::Invalid("stock missing".into()))?;
+
+            let amount = quantity as f64 * item.price;
+            total += amount;
+            let line = OrderLine {
+                w_id,
+                d_id,
+                o_id,
+                ol_number,
+                i_id,
+                supply_w_id: supply_w,
+                delivery_d: 0,
+                quantity,
+                amount,
+                dist_info: dist_info.clone(),
+            };
+            engine.insert(txn, &tables.order_line, &line.encode())?;
+        }
+        let _ = total * (1.0 + warehouse.tax) * (1.0 - customer.discount);
+
+        let order = Order {
+            w_id,
+            d_id,
+            o_id,
+            c_id,
+            entry_d: now,
+            carrier_id: 0,
+            ol_cnt,
+            all_local,
+        };
+        engine.insert(txn, &tables.orders, &order.encode())?;
+        engine.insert(
+            txn,
+            &tables.new_order,
+            &NewOrder { w_id, d_id, o_id }.encode(),
+        )?;
+        Ok(true)
+    })
+}
+
+/// Deterministic pseudo-choice for remote warehouses (1-in-100 by item
+/// id, avoiding a second RNG borrow in the hot loop).
+fn rng_remote(i_id: u32) -> bool {
+    i_id.is_multiple_of(100)
+}
+
+/// The Payment transaction (~43%).
+pub fn payment(
+    engine: &Engine,
+    tables: &Tables,
+    scale: &Scale,
+    rng: &mut StdRng,
+    now: u64,
+    history_seq: &HistorySeq,
+) -> Outcome {
+    let w_id = rng.gen_range(1..=scale.warehouses);
+    let d_id = rng.gen_range(1..=crate::loader::DISTRICTS_PER_WAREHOUSE);
+    let amount = rng.gen_range(1.0..5000.0f64);
+    let by_name = rng.gen_bool(0.4);
+    // 15% of payments are by a remote customer (spec §2.5.1.2) when
+    // more than one warehouse exists.
+    let c_w_id = if scale.warehouses > 1 && rng.gen_bool(0.15) {
+        let mut w = rng.gen_range(1..=scale.warehouses);
+        if w == w_id {
+            w = w % scale.warehouses + 1;
+        }
+        w
+    } else {
+        w_id
+    };
+    let c_id = nurand_customer(rng, scale.customers_per_district);
+    let last = nurand_last_name(rng);
+    let h_data = astring(rng, 12, 24);
+    let seq = history_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+    run_in_txn(engine, |txn| {
+        engine
+            .update_rmw(txn, &tables.warehouse, &Warehouse::key(w_id), |cur| {
+                let mut w = Warehouse::decode(cur).expect("warehouse decodes");
+                w.ytd += amount;
+                w.encode()
+            })?
+            .ok_or_else(|| BtrimError::Invalid("warehouse missing".into()))?;
+        engine
+            .update_rmw(txn, &tables.district, &District::key(w_id, d_id), |cur| {
+                let mut d = District::decode(cur).expect("district decodes");
+                d.ytd += amount;
+                d.encode()
+            })?
+            .ok_or_else(|| BtrimError::Invalid("district missing".into()))?;
+
+        // Customer selection: 60% by id, 40% by last name (pick the
+        // middle match, per the spec); the customer may live at a
+        // remote warehouse.
+        let customer_key = if by_name {
+            let hits = engine.get_by_index(
+                txn,
+                &tables.customer,
+                "by_name",
+                &Customer::name_key(c_w_id, d_id, &last),
+            )?;
+            if hits.is_empty() {
+                Customer::key(c_w_id, d_id, c_id)
+            } else {
+                let (_, row) = &hits[hits.len() / 2];
+                Customer::key(c_w_id, d_id, Customer::decode(row)?.c_id)
+            }
+        } else {
+            Customer::key(c_w_id, d_id, c_id)
+        };
+        let updated = engine
+            .update_rmw(txn, &tables.customer, &customer_key, |cur| {
+                let mut c = Customer::decode(cur).expect("customer decodes");
+                c.balance -= amount;
+                c.ytd_payment += amount;
+                c.payment_cnt += 1;
+                if c.credit == "BC" {
+                    c.data = format!("{}|{}|{}|{:.2}|{}", c.c_id, c.d_id, c.w_id, amount, c.data);
+                    c.data.truncate(200);
+                }
+                c.encode()
+            })?
+            .ok_or_else(|| BtrimError::Invalid("customer missing".into()))?;
+        let customer = Customer::decode(&updated)?;
+
+        let h = History {
+            w_id,
+            seq,
+            c_w_id: customer.w_id,
+            c_d_id: customer.d_id,
+            c_id: customer.c_id,
+            d_id,
+            date: now,
+            amount,
+            data: h_data.clone(),
+        };
+        engine.insert(txn, &tables.history, &h.encode())?;
+        Ok(true)
+    })
+}
+
+/// The OrderStatus transaction (~4%, read-only).
+pub fn order_status(
+    engine: &Engine,
+    tables: &Tables,
+    scale: &Scale,
+    rng: &mut StdRng,
+) -> Outcome {
+    let w_id = rng.gen_range(1..=scale.warehouses);
+    let d_id = rng.gen_range(1..=crate::loader::DISTRICTS_PER_WAREHOUSE);
+    let by_name = rng.gen_bool(0.6);
+    let c_id = nurand_customer(rng, scale.customers_per_district);
+    let last = nurand_last_name(rng);
+
+    run_in_txn(engine, |txn| {
+        let c_id = if by_name {
+            let hits = engine.get_by_index(
+                txn,
+                &tables.customer,
+                "by_name",
+                &Customer::name_key(w_id, d_id, &last),
+            )?;
+            if hits.is_empty() {
+                c_id
+            } else {
+                Customer::decode(&hits[hits.len() / 2].1)?.c_id
+            }
+        } else {
+            c_id
+        };
+        let _balance = engine
+            .get(txn, &tables.customer, &Customer::key(w_id, d_id, c_id))?
+            .map(|r| Customer::decode(&r).map(|c| c.balance))
+            .transpose()?;
+
+        // Latest order of the customer via the secondary index.
+        let lo = Order::customer_prefix(w_id, d_id, c_id);
+        let hi = btrim_index::keys::prefix_successor(&lo);
+        let mut latest: Option<Order> = None;
+        engine.scan_secondary_range(
+            txn,
+            &tables.orders,
+            "by_customer",
+            &lo,
+            hi.as_deref(),
+            |_, _, row| {
+                latest = Order::decode(row).ok();
+                true // keep going: the last hit has the highest o_id
+            },
+        )?;
+        if let Some(order) = latest {
+            let lo = OrderLine::order_prefix(order.w_id, order.d_id, order.o_id);
+            let hi = btrim_index::keys::prefix_successor(&lo);
+            engine.scan_range(txn, &tables.order_line, &lo, hi.as_deref(), |_, _, row| {
+                let _ = OrderLine::decode(row);
+                true
+            })?;
+        }
+        Ok(true)
+    })
+}
+
+/// The Delivery transaction (~4%).
+pub fn delivery(
+    engine: &Engine,
+    tables: &Tables,
+    scale: &Scale,
+    rng: &mut StdRng,
+    now: u64,
+) -> Outcome {
+    let w_id = rng.gen_range(1..=scale.warehouses);
+    let carrier = rng.gen_range(1..=10u32);
+
+    run_in_txn(engine, |txn| {
+        for d_id in 1..=crate::loader::DISTRICTS_PER_WAREHOUSE {
+            // Oldest undelivered order in this district.
+            let lo = NewOrder::key(w_id, d_id, 0);
+            let hi = NewOrder::key(w_id, d_id, u32::MAX);
+            let mut oldest: Option<NewOrder> = None;
+            engine.scan_range(txn, &tables.new_order, &lo, Some(&hi), |_, _, row| {
+                oldest = NewOrder::decode(row).ok();
+                false // first = oldest
+            })?;
+            let Some(no) = oldest else { continue };
+            if !engine.delete(txn, &tables.new_order, &no.encode())? {
+                continue; // raced with another delivery
+            }
+            // Stamp the carrier on the order; pull c_id.
+            let mut c_id = 0;
+            engine
+                .update_rmw(
+                    txn,
+                    &tables.orders,
+                    &Order::key(w_id, d_id, no.o_id),
+                    |cur| {
+                        let mut o = Order::decode(cur).expect("order decodes");
+                        o.carrier_id = carrier;
+                        c_id = o.c_id;
+                        o.encode()
+                    },
+                )?
+                .ok_or_else(|| BtrimError::Invalid("order missing".into()))?;
+
+            // Deliver every line; sum the amounts.
+            let lo = OrderLine::order_prefix(w_id, d_id, no.o_id);
+            let hi = btrim_index::keys::prefix_successor(&lo).expect("prefix bounded");
+            let mut lines: Vec<OrderLine> = Vec::new();
+            engine.scan_range(txn, &tables.order_line, &lo, Some(&hi), |_, _, row| {
+                if let Ok(l) = OrderLine::decode(row) {
+                    lines.push(l);
+                }
+                true
+            })?;
+            let mut total = 0.0;
+            for mut line in lines {
+                total += line.amount;
+                line.delivery_d = now;
+                let key = OrderLine::key(line.w_id, line.d_id, line.o_id, line.ol_number);
+                engine.update(txn, &tables.order_line, &key, &line.encode())?;
+            }
+
+            engine
+                .update_rmw(
+                    txn,
+                    &tables.customer,
+                    &Customer::key(w_id, d_id, c_id),
+                    |cur| {
+                        let mut c = Customer::decode(cur).expect("customer decodes");
+                        c.balance += total;
+                        c.delivery_cnt += 1;
+                        c.encode()
+                    },
+                )?
+                .ok_or_else(|| BtrimError::Invalid("customer missing".into()))?;
+        }
+        Ok(true)
+    })
+}
+
+/// The StockLevel transaction (~4%, read-only).
+pub fn stock_level(
+    engine: &Engine,
+    tables: &Tables,
+    scale: &Scale,
+    rng: &mut StdRng,
+) -> Outcome {
+    let w_id = rng.gen_range(1..=scale.warehouses);
+    let d_id = rng.gen_range(1..=crate::loader::DISTRICTS_PER_WAREHOUSE);
+    let threshold = rng.gen_range(10..=20u32);
+
+    run_in_txn(engine, |txn| {
+        let d_row = engine
+            .get(txn, &tables.district, &District::key(w_id, d_id))?
+            .ok_or_else(|| BtrimError::Invalid("district missing".into()))?;
+        let next_o_id = District::decode(&d_row)?.next_o_id;
+
+        // Lines of the last 20 orders.
+        let first = next_o_id.saturating_sub(20);
+        let lo = OrderLine::key(w_id, d_id, first, 0);
+        let hi = OrderLine::key(w_id, d_id, next_o_id, 0);
+        let mut item_ids: Vec<u32> = Vec::new();
+        engine.scan_range(txn, &tables.order_line, &lo, Some(&hi), |_, _, row| {
+            if let Ok(l) = OrderLine::decode(row) {
+                item_ids.push(l.i_id);
+            }
+            true
+        })?;
+        item_ids.sort_unstable();
+        item_ids.dedup();
+
+        let mut low = 0;
+        for i_id in item_ids {
+            if let Some(s_row) = engine.get(txn, &tables.stock, &Stock::key(w_id, i_id))? {
+                if Stock::decode(&s_row)?.quantity < threshold {
+                    low += 1;
+                }
+            }
+        }
+        let _ = (low, scale);
+        Ok(true)
+    })
+}

@@ -1,0 +1,212 @@
+//! Per-transaction effect tests: each TPC-C profile leaves exactly the
+//! state changes the spec prescribes.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use btrim_core::{Engine, EngineConfig, EngineMode};
+use btrim_tpcc::driver::{Driver, TxnType};
+use btrim_tpcc::loader::{load, LoadSpec};
+use btrim_tpcc::schema::*;
+use btrim_tpcc::txns::Outcome;
+
+fn setup() -> Driver {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        mode: EngineMode::IlmOff,
+        imrs_budget: 64 * 1024 * 1024,
+        imrs_chunk_size: 4 * 1024 * 1024,
+        buffer_frames: 2048,
+        ..Default::default()
+    }));
+    let spec = LoadSpec {
+        warehouses: 1,
+        items: 100,
+        customers_per_district: 20,
+        orders_per_district: 12,
+        seed: 5,
+    };
+    let tables = Arc::new(load(&engine, &spec).unwrap());
+    Driver::new(engine, tables, &spec)
+}
+
+fn district(driver: &Driver, w: u32, d: u32) -> District {
+    let e = driver.engine();
+    let txn = e.begin();
+    let row = e
+        .get(&txn, &driver.tables().district, &District::key(w, d))
+        .unwrap()
+        .unwrap();
+    e.commit(txn).unwrap();
+    District::decode(&row).unwrap()
+}
+
+#[test]
+fn new_order_allocates_ids_and_creates_lines() {
+    let driver = setup();
+    let before: Vec<u32> = (1..=10).map(|d| district(&driver, 1, d).next_o_id).collect();
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut committed = 0;
+    for _ in 0..20 {
+        if driver.run_one(TxnType::NewOrder, &mut rng) == Outcome::Committed {
+            committed += 1;
+        }
+    }
+    assert!(committed > 0);
+    let after: Vec<u32> = (1..=10).map(|d| district(&driver, 1, d).next_o_id).collect();
+    let allocated: u32 = after
+        .iter()
+        .zip(&before)
+        .map(|(a, b)| a - b)
+        .sum();
+    assert_eq!(allocated, committed, "one order id per committed NewOrder");
+
+    // Each new order has its lines and a new_order entry.
+    let e = driver.engine();
+    let t = driver.tables();
+    let txn = e.begin();
+    for d_id in 1..=10u32 {
+        for o_id in before[d_id as usize - 1]..after[d_id as usize - 1] {
+            let o_row = e
+                .get(&txn, &t.orders, &Order::key(1, d_id, o_id))
+                .unwrap()
+                .expect("order exists");
+            let order = Order::decode(&o_row).unwrap();
+            assert_eq!(order.carrier_id, 0, "new order undelivered");
+            let mut lines = 0;
+            e.scan_range(
+                &txn,
+                &t.order_line,
+                &OrderLine::key(1, d_id, o_id, 0),
+                Some(&OrderLine::key(1, d_id, o_id, u32::MAX)),
+                |_, _, _| {
+                    lines += 1;
+                    true
+                },
+            )
+            .unwrap();
+            assert_eq!(lines, order.ol_cnt);
+            assert!(
+                e.get(&txn, &t.new_order, &NewOrder::key(1, d_id, o_id))
+                    .unwrap()
+                    .is_some(),
+                "new_order queue entry"
+            );
+        }
+    }
+    e.commit(txn).unwrap();
+}
+
+#[test]
+fn payment_moves_money_and_writes_history() {
+    let driver = setup();
+    let e = driver.engine();
+    let t = driver.tables();
+    let w_before = {
+        let txn = e.begin();
+        let w = Warehouse::decode(
+            &e.get(&txn, &t.warehouse, &Warehouse::key(1)).unwrap().unwrap(),
+        )
+        .unwrap();
+        e.commit(txn).unwrap();
+        w
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut committed = 0;
+    for _ in 0..10 {
+        if driver.run_one(TxnType::Payment, &mut rng) == Outcome::Committed {
+            committed += 1;
+        }
+    }
+    assert!(committed > 0);
+    let txn = e.begin();
+    let w_after =
+        Warehouse::decode(&e.get(&txn, &t.warehouse, &Warehouse::key(1)).unwrap().unwrap())
+            .unwrap();
+    assert!(w_after.ytd > w_before.ytd, "warehouse YTD grew");
+    // District YTDs grew by exactly the same total.
+    let mut d_delta = 0.0;
+    for d_id in 1..=10u32 {
+        let d = District::decode(
+            &e.get(&txn, &t.district, &District::key(1, d_id)).unwrap().unwrap(),
+        )
+        .unwrap();
+        d_delta += d.ytd - 30_000.0;
+    }
+    assert!((d_delta - (w_after.ytd - w_before.ytd)).abs() < 0.01);
+    // History rows exist for the payments (driver seq space).
+    let mut history_rows = 0;
+    e.scan_range(&txn, &t.history, &History::key(1, 1 << 48), None, |_, _, _| {
+        history_rows += 1;
+        true
+    })
+    .unwrap();
+    assert_eq!(history_rows, committed);
+    e.commit(txn).unwrap();
+}
+
+#[test]
+fn delivery_drains_queue_and_stamps_carrier() {
+    let driver = setup();
+    let e = driver.engine();
+    let t = driver.tables();
+    let count_queue = || {
+        let txn = e.begin();
+        let mut n = 0;
+        e.scan_range(&txn, &t.new_order, &[], None, |_, _, _| {
+            n += 1;
+            true
+        })
+        .unwrap();
+        e.commit(txn).unwrap();
+        n
+    };
+    let before = count_queue();
+    assert!(before > 0, "loader left undelivered orders");
+    let mut rng = StdRng::seed_from_u64(11);
+    assert_eq!(driver.run_one(TxnType::Delivery, &mut rng), Outcome::Committed);
+    let after = count_queue();
+    assert_eq!(before - after, 10, "one order delivered per district");
+
+    // Delivered orders have a carrier and delivered lines.
+    let txn = e.begin();
+    let mut delivered_checked = 0;
+    e.scan_range(&txn, &t.orders, &[], None, |_, _, row| {
+        let o = Order::decode(row).unwrap();
+        if o.carrier_id != 0
+            && e.get(&txn, &t.new_order, &NewOrder::key(o.w_id, o.d_id, o.o_id))
+                .unwrap()
+                .is_none()
+        {
+            delivered_checked += 1;
+        }
+        true
+    })
+    .unwrap();
+    assert!(delivered_checked >= 10);
+    e.commit(txn).unwrap();
+}
+
+#[test]
+fn order_status_and_stock_level_are_read_only() {
+    let driver = setup();
+    let e = driver.engine();
+    let snap_before = e.snapshot();
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..5 {
+        assert_eq!(
+            driver.run_one(TxnType::OrderStatus, &mut rng),
+            Outcome::Committed
+        );
+        assert_eq!(
+            driver.run_one(TxnType::StockLevel, &mut rng),
+            Outcome::Committed
+        );
+    }
+    let snap_after = e.snapshot();
+    // No new rows and no packing; only read counters moved.
+    assert_eq!(snap_after.imrs_rows, snap_before.imrs_rows);
+    assert_eq!(snap_after.rows_packed, snap_before.rows_packed);
+    assert!(snap_after.imrs_ops > snap_before.imrs_ops);
+}

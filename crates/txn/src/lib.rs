@@ -1,0 +1,17 @@
+//! Transactions and row-level locking.
+//!
+//! * [`manager`] — transaction lifecycle: begin (snapshot timestamp),
+//!   commit (ticks the database commit timestamp, §VI.D), abort, the
+//!   oldest-active-snapshot watermark that bounds IMRS garbage
+//!   collection, and the committed-transaction counter that drives ILM
+//!   tuning windows (§V.B).
+//! * [`locks`] — a sharded row lock manager with shared/exclusive
+//!   modes, blocking acquisition with timeout, and the *conditional*
+//!   (try) locks pack threads use so they never block behind active
+//!   DMLs (§VII.B).
+
+pub mod locks;
+pub mod manager;
+
+pub use locks::{LockManager, LockMode};
+pub use manager::{TxnHandle, TxnManager};

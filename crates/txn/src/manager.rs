@@ -1,0 +1,179 @@
+//! Transaction lifecycle management.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use btrim_common::{LogicalClock, Timestamp, TxnId};
+
+/// A live transaction: identity plus its snapshot timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnHandle {
+    /// Unique transaction id.
+    pub id: TxnId,
+    /// Begin timestamp: this transaction sees versions committed at or
+    /// before this point.
+    pub snapshot: Timestamp,
+}
+
+/// Transaction manager: ids, snapshots, the commit clock, and the
+/// oldest-active watermark.
+pub struct TxnManager {
+    clock: Arc<LogicalClock>,
+    next_txn: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    active: Mutex<HashMap<TxnId, Timestamp>>,
+}
+
+impl TxnManager {
+    /// Create a manager over a shared commit clock.
+    pub fn new(clock: Arc<LogicalClock>) -> Self {
+        TxnManager {
+            clock,
+            next_txn: AtomicU64::new(1),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared commit clock.
+    pub fn clock(&self) -> &Arc<LogicalClock> {
+        &self.clock
+    }
+
+    /// Start a transaction with a snapshot at the current timestamp.
+    ///
+    /// The snapshot is read *while holding the active-set lock*: the
+    /// GC horizon ([`oldest_active_snapshot`](Self::oldest_active_snapshot))
+    /// takes the same lock, so a horizon computed before this
+    /// transaction registers is provably ≤ its snapshot — otherwise a
+    /// preemption between reading the clock and registering would let
+    /// GC truncate versions this snapshot still needs.
+    pub fn begin(&self) -> TxnHandle {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        let mut active = self.active.lock();
+        let snapshot = self.clock.now();
+        active.insert(id, snapshot);
+        TxnHandle { id, snapshot }
+    }
+
+    /// Commit: advances the database commit timestamp and returns it.
+    /// The caller stamps this onto the transaction's versions.
+    pub fn commit(&self, txn: TxnHandle) -> Timestamp {
+        let ts = self.clock.tick();
+        self.active.lock().remove(&txn.id);
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        ts
+    }
+
+    /// Abort: no timestamp is consumed.
+    pub fn abort(&self, txn: TxnHandle) {
+        self.active.lock().remove(&txn.id);
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the oldest active transaction, or `now` when idle.
+    /// Versions committed at or before this point and superseded are
+    /// unreachable — the GC horizon.
+    pub fn oldest_active_snapshot(&self) -> Timestamp {
+        self.active
+            .lock()
+            .values()
+            .min()
+            .copied()
+            .unwrap_or_else(|| self.clock.now())
+    }
+
+    /// Number of in-flight transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Total committed transactions — the epoch counter that drives ILM
+    /// tuning windows ("wakes up after some large number of
+    /// transactions complete", §V.B).
+    pub fn committed_count(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Total aborted transactions.
+    pub fn aborted_count(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> TxnManager {
+        TxnManager::new(Arc::new(LogicalClock::new()))
+    }
+
+    #[test]
+    fn begin_commit_lifecycle() {
+        let m = mgr();
+        let t1 = m.begin();
+        assert_eq!(t1.snapshot, Timestamp(0));
+        assert_eq!(m.active_count(), 1);
+        let ts = m.commit(t1);
+        assert_eq!(ts, Timestamp(1));
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.committed_count(), 1);
+        // Next txn sees the new timestamp.
+        let t2 = m.begin();
+        assert_eq!(t2.snapshot, Timestamp(1));
+        m.abort(t2);
+        assert_eq!(m.aborted_count(), 1);
+        assert_eq!(m.committed_count(), 1);
+    }
+
+    #[test]
+    fn txn_ids_are_unique() {
+        let m = mgr();
+        let a = m.begin();
+        let b = m.begin();
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn oldest_active_tracks_minimum() {
+        let m = mgr();
+        let t1 = m.begin(); // snapshot 0
+        m.commit(m.begin()); // ts -> 1
+        m.commit(m.begin()); // ts -> 2
+        let t2 = m.begin(); // snapshot 2
+        assert_eq!(m.oldest_active_snapshot(), Timestamp(0));
+        m.commit(t1);
+        assert_eq!(m.oldest_active_snapshot(), Timestamp(2));
+        m.commit(t2);
+        // Idle: watermark rides the clock.
+        assert_eq!(m.oldest_active_snapshot(), m.clock().now());
+    }
+
+    #[test]
+    fn concurrent_begins_and_commits() {
+        let m = Arc::new(mgr());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let t = m.begin();
+                        m.commit(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.committed_count(), 8 * 500);
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.clock().now(), Timestamp(8 * 500));
+    }
+}

@@ -1,0 +1,180 @@
+//! Group commit: coalesce concurrent durable-commit flushes.
+//!
+//! With `durable_commits` every committing transaction needs its log
+//! records on stable storage before acknowledging. Syncing the device
+//! once per transaction serializes commits behind the sync latency;
+//! the classic fix is leader/follower group commit: the first waiter
+//! becomes the leader and performs one sync that covers every record
+//! appended before it started, and all concurrent waiters ride along.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use btrim_common::Result;
+
+use crate::log::LogSink;
+
+#[derive(Default)]
+struct State {
+    /// Highest flush generation requested by a committer.
+    requested: u64,
+    /// Highest generation known durable.
+    flushed: u64,
+    /// Whether a leader is currently syncing.
+    flushing: bool,
+}
+
+/// Leader/follower flush coalescer over one log sink.
+pub struct GroupCommitter {
+    sink: Arc<dyn LogSink>,
+    state: Mutex<State>,
+    cv: Condvar,
+    syncs: std::sync::atomic::AtomicU64,
+}
+
+impl GroupCommitter {
+    /// Wrap a sink.
+    pub fn new(sink: Arc<dyn LogSink>) -> Self {
+        GroupCommitter {
+            sink,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            syncs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Device syncs actually performed (tests / stats).
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Make everything appended so far durable. Returns once a sync
+    /// covering the caller's records has completed; concurrent callers
+    /// share syncs.
+    pub fn commit_flush(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        st.requested += 1;
+        let my_gen = st.requested;
+        loop {
+            if st.flushed >= my_gen {
+                return Ok(());
+            }
+            if !st.flushing {
+                // Become the leader: sync covers every request made so
+                // far (their appends happened before they requested).
+                st.flushing = true;
+                let covers = st.requested;
+                drop(st);
+                let result = self.sink.flush();
+                self.syncs
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                st = self.state.lock();
+                st.flushing = false;
+                if result.is_ok() {
+                    st.flushed = st.flushed.max(covers);
+                }
+                self.cv.notify_all();
+                result?;
+            } else {
+                // Follow: wait for the in-flight (or next) leader.
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::MemLog;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A sink that counts flushes and makes each one slow, so that
+    /// concurrent committers pile up behind the leader.
+    struct SlowSink {
+        inner: MemLog,
+        flushes: AtomicU64,
+    }
+
+    impl LogSink for SlowSink {
+        fn append(&self, payload: &[u8]) -> Result<btrim_common::Lsn> {
+            self.inner.append(payload)
+        }
+        fn flush(&self) -> Result<()> {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            self.inner.flush()
+        }
+        fn read_all(&self) -> Result<Vec<(btrim_common::Lsn, Vec<u8>)>> {
+            self.inner.read_all()
+        }
+        fn record_count(&self) -> u64 {
+            self.inner.record_count()
+        }
+        fn byte_size(&self) -> u64 {
+            self.inner.byte_size()
+        }
+        fn truncate_prefix(&self, upto: btrim_common::Lsn) -> Result<()> {
+            self.inner.truncate_prefix(upto)
+        }
+    }
+
+    #[test]
+    fn single_committer_flushes_once() {
+        let sink = Arc::new(SlowSink {
+            inner: MemLog::new(),
+            flushes: AtomicU64::new(0),
+        });
+        let g = GroupCommitter::new(sink.clone());
+        sink.append(b"r").unwrap();
+        g.commit_flush().unwrap();
+        assert_eq!(g.sync_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_commits_share_syncs() {
+        let sink = Arc::new(SlowSink {
+            inner: MemLog::new(),
+            flushes: AtomicU64::new(0),
+        });
+        let g = Arc::new(GroupCommitter::new(sink.clone()));
+        let committers = 16;
+        let per = 10;
+        std::thread::scope(|s| {
+            for t in 0..committers {
+                let g = Arc::clone(&g);
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    for i in 0..per {
+                        sink.append(&[t as u8, i as u8]).unwrap();
+                        g.commit_flush().unwrap();
+                    }
+                });
+            }
+        });
+        let total_commits = (committers * per) as u64;
+        let syncs = g.sync_count();
+        assert!(syncs >= 1);
+        assert!(
+            syncs < total_commits / 2,
+            "group commit must coalesce: {syncs} syncs for {total_commits} commits"
+        );
+        assert_eq!(sink.record_count(), total_commits);
+    }
+
+    #[test]
+    fn sequential_commits_each_get_their_own_sync() {
+        let sink = Arc::new(SlowSink {
+            inner: MemLog::new(),
+            flushes: AtomicU64::new(0),
+        });
+        let g = GroupCommitter::new(sink.clone());
+        for i in 0..5u8 {
+            sink.append(&[i]).unwrap();
+            g.commit_flush().unwrap();
+        }
+        // No concurrency to coalesce: every commit sync is real.
+        assert_eq!(g.sync_count(), 5);
+    }
+}

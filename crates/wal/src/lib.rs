@@ -1,0 +1,29 @@
+//! Dual write-ahead logs and recovery scaffolding.
+//!
+//! The BTrim architecture keeps two disk-based transaction logs (§II):
+//!
+//! * **syslogs** — the traditional redo-undo log for page-store
+//!   changes. Page-store recovery is classic checkpoint-based
+//!   redo-undo.
+//! * **sysimrslogs** — a redo-only log for in-memory DMLs. IMRS
+//!   changes are logged at commit time with their commit timestamp, so
+//!   recovery is a single forward redo pass; checkpoint never flushes
+//!   IMRS data.
+//!
+//! [`log`] provides the append-only sinks (in-memory and file-backed)
+//! with CRC-checked framing that tolerates a torn tail; [`record`]
+//! defines the log-record vocabulary for both logs; [`recovery`]
+//! implements log analysis (winners/losers) and the record streams the
+//! engine replays. The two logs are recovered independently with
+//! lock-step ordering — the engine replays syslogs fully before
+//! sysimrslogs — ensuring a consistent database post-recovery (§II).
+
+pub mod group;
+pub mod log;
+pub mod record;
+pub mod recovery;
+
+pub use group::GroupCommitter;
+pub use log::{FileLog, LogSink, LogWriter, MemLog};
+pub use record::{ImrsLogRecord, PageLogRecord, RowOriginTag};
+pub use recovery::{analyze_page_log, LogAnalysis};

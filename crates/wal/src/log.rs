@@ -1,0 +1,521 @@
+//! Append-only log sinks with CRC-checked framing.
+//!
+//! Frame layout: `[len: u32][crc32: u32][payload: len bytes]`. A reader
+//! stops at the first truncated or corrupt frame, which makes a torn
+//! tail after a crash harmless (the incomplete record was, by
+//! definition, unacknowledged).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use btrim_common::{Lsn, Result};
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Small table-free bitwise implementation; the log framing is not a
+    // throughput bottleneck at experiment scale.
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// An append-only, crash-consistent byte log.
+pub trait LogSink: Send + Sync {
+    /// Append one framed record; returns its LSN (sequence number).
+    fn append(&self, payload: &[u8]) -> Result<Lsn>;
+    /// Durably flush all appended records.
+    fn flush(&self) -> Result<()>;
+    /// Read every intact record in order (recovery). LSNs are stable
+    /// across truncation: a truncated prefix leaves a gap at the front.
+    fn read_all(&self) -> Result<Vec<(Lsn, Vec<u8>)>>;
+    /// Number of records appended over the log's lifetime (monotonic;
+    /// not reduced by truncation).
+    fn record_count(&self) -> u64;
+    /// Bytes currently retained (frames included).
+    fn byte_size(&self) -> u64;
+    /// Drop every record with `lsn <= upto` (log recycling after a
+    /// checkpoint). LSNs of the surviving records are unchanged.
+    fn truncate_prefix(&self, upto: Lsn) -> Result<()>;
+}
+
+/// In-memory log (tests and deterministic experiments).
+#[derive(Default)]
+pub struct MemLog {
+    inner: Mutex<MemLogInner>,
+}
+
+#[derive(Default)]
+struct MemLogInner {
+    /// LSN of the first retained record minus one (grows on truncate).
+    base: u64,
+    records: Vec<Vec<u8>>,
+    bytes: u64,
+}
+
+impl MemLog {
+    /// Create an empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogSink for MemLog {
+    fn append(&self, payload: &[u8]) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        inner.records.push(payload.to_vec());
+        inner.bytes += payload.len() as u64 + 8;
+        Ok(Lsn(inner.base + inner.records.len() as u64))
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<(Lsn, Vec<u8>)>> {
+        let inner = self.inner.lock();
+        Ok(inner
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Lsn(inner.base + i as u64 + 1), r.clone()))
+            .collect())
+    }
+
+    fn record_count(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.base + inner.records.len() as u64
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let drop_n = upto.0.saturating_sub(inner.base).min(inner.records.len() as u64) as usize;
+        let dropped_bytes: u64 = inner
+            .records
+            .drain(..drop_n)
+            .map(|r| r.len() as u64 + 8)
+            .sum();
+        inner.bytes -= dropped_bytes;
+        inner.base += drop_n as u64;
+        Ok(())
+    }
+}
+
+/// File-backed log.
+///
+/// Layout: a 16-byte header `[magic u64][base_lsn u64]` followed by
+/// CRC-framed records. `base_lsn` is the LSN of the last truncated
+/// record (0 for a fresh log); it keeps LSNs stable across
+/// [`truncate_prefix`](LogSink::truncate_prefix), which rewrites the
+/// file through a temp file + atomic rename.
+pub struct FileLog {
+    inner: Mutex<FileLogInner>,
+}
+
+const FILE_MAGIC: u64 = 0x4254_5249_4D57_414C; // "BTRIMWAL"
+const HEADER_LEN: u64 = 16;
+
+struct FileLogInner {
+    path: std::path::PathBuf,
+    file: File,
+    base: u64,
+    count: u64,
+    bytes: u64,
+}
+
+impl FileLog {
+    /// Open (or create) a log file, scanning existing intact records to
+    /// position the sequence counter.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let base = if len < HEADER_LEN {
+            // Fresh (or header-less legacy) log: write a header.
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&FILE_MAGIC.to_le_bytes())?;
+            file.write_all(&0u64.to_le_bytes())?;
+            0
+        } else {
+            let mut hdr = [0u8; 16];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut hdr)?;
+            let magic = u64::from_le_bytes(hdr[..8].try_into().unwrap());
+            if magic != FILE_MAGIC {
+                return Err(btrim_common::BtrimError::Corrupt(
+                    "log file header magic mismatch".into(),
+                ));
+            }
+            u64::from_le_bytes(hdr[8..].try_into().unwrap())
+        };
+        let (count, end) = Self::scan(&mut file)?;
+        // Truncate any torn tail so future appends start clean.
+        file.set_len(end)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(FileLog {
+            inner: Mutex::new(FileLogInner {
+                path: path.to_path_buf(),
+                file,
+                base,
+                count: base + count,
+                bytes: end - HEADER_LEN,
+            }),
+        })
+    }
+
+    /// Count intact records and the byte offset where they end.
+    fn scan(file: &mut File) -> Result<(u64, u64)> {
+        file.seek(SeekFrom::Start(HEADER_LEN))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        let mut off = 0usize;
+        let mut count = 0u64;
+        while off + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+            if off + 8 + len > data.len() {
+                break; // torn tail
+            }
+            let payload = &data[off + 8..off + 8 + len];
+            if crc32(payload) != crc {
+                break; // corrupt tail
+            }
+            off += 8 + len;
+            count += 1;
+        }
+        Ok((count, HEADER_LEN + off as u64))
+    }
+
+    /// Read every intact record with its LSN (lock held by caller).
+    fn read_locked(inner: &mut FileLogInner) -> Result<Vec<(Lsn, Vec<u8>)>> {
+        inner.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        let mut data = Vec::new();
+        inner.file.read_to_end(&mut data)?;
+        inner.file.seek(SeekFrom::End(0))?;
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+            if off + 8 + len > data.len() {
+                break;
+            }
+            let payload = &data[off + 8..off + 8 + len];
+            if crc32(payload) != crc {
+                break;
+            }
+            out.push((Lsn(inner.base + out.len() as u64 + 1), payload.to_vec()));
+            off += 8 + len;
+        }
+        Ok(out)
+    }
+}
+
+impl LogSink for FileLog {
+    fn append(&self, payload: &[u8]) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        inner.file.seek(SeekFrom::End(0))?;
+        inner.file.write_all(&frame)?;
+        inner.count += 1;
+        inner.bytes += frame.len() as u64;
+        Ok(Lsn(inner.count))
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.lock().file.sync_data()?;
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<(Lsn, Vec<u8>)>> {
+        let mut inner = self.inner.lock();
+        Self::read_locked(&mut inner)
+    }
+
+    fn record_count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if upto.0 <= inner.base {
+            return Ok(()); // nothing to drop
+        }
+        let keep: Vec<(Lsn, Vec<u8>)> = Self::read_locked(&mut inner)?
+            .into_iter()
+            .filter(|(lsn, _)| *lsn > upto)
+            .collect();
+        let new_base = upto.0.min(inner.count);
+        // Rewrite through a temp file, then rename into place.
+        let tmp_path = inner.path.with_extension("wal.tmp");
+        {
+            let mut tmp = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            tmp.write_all(&FILE_MAGIC.to_le_bytes())?;
+            tmp.write_all(&new_base.to_le_bytes())?;
+            let mut bytes = 0u64;
+            for (_, payload) in &keep {
+                tmp.write_all(&(payload.len() as u32).to_le_bytes())?;
+                tmp.write_all(&crc32(payload).to_le_bytes())?;
+                tmp.write_all(payload)?;
+                bytes += payload.len() as u64 + 8;
+            }
+            tmp.sync_data()?;
+            inner.bytes = bytes;
+        }
+        std::fs::rename(&tmp_path, &inner.path)?;
+        inner.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&inner.path)?;
+        inner.file.seek(SeekFrom::End(0))?;
+        inner.base = new_base;
+        Ok(())
+    }
+}
+
+/// Typed writer over a sink: encodes records and supports group flush.
+pub struct LogWriter<R> {
+    sink: std::sync::Arc<dyn LogSink>,
+    _marker: std::marker::PhantomData<fn(R)>,
+}
+
+impl<R> LogWriter<R>
+where
+    R: crate::record::Encodable,
+{
+    /// Wrap a sink.
+    pub fn new(sink: std::sync::Arc<dyn LogSink>) -> Self {
+        LogWriter {
+            sink,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The underlying sink.
+    pub fn sink(&self) -> &std::sync::Arc<dyn LogSink> {
+        &self.sink
+    }
+
+    /// Append one record.
+    pub fn append(&self, record: &R) -> Result<Lsn> {
+        self.sink.append(&record.encode())
+    }
+
+    /// Durably flush (commit boundary).
+    pub fn flush(&self) -> Result<()> {
+        self.sink.flush()
+    }
+
+    /// Decode every intact record.
+    pub fn read_all(&self) -> Result<Vec<(Lsn, R)>> {
+        self.sink
+            .read_all()?
+            .into_iter()
+            .map(|(lsn, bytes)| R::decode(&bytes).map(|r| (lsn, r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn memlog_append_read_roundtrip() {
+        let log = MemLog::new();
+        assert_eq!(log.append(b"one").unwrap(), Lsn(1));
+        assert_eq!(log.append(b"two").unwrap(), Lsn(2));
+        let all = log.read_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], (Lsn(1), b"one".to_vec()));
+        assert_eq!(all[1], (Lsn(2), b"two".to_vec()));
+        assert_eq!(log.record_count(), 2);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("btrim-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn filelog_roundtrip_and_reopen() {
+        let path = tmp("log1.wal");
+        {
+            let log = FileLog::open(&path).unwrap();
+            log.append(b"alpha").unwrap();
+            log.append(b"beta").unwrap();
+            log.flush().unwrap();
+        }
+        {
+            let log = FileLog::open(&path).unwrap();
+            assert_eq!(log.record_count(), 2);
+            let all = log.read_all().unwrap();
+            assert_eq!(all[1].1, b"beta");
+            // Appends continue the sequence.
+            assert_eq!(log.append(b"gamma").unwrap(), Lsn(3));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filelog_tolerates_torn_tail() {
+        let path = tmp("log2.wal");
+        {
+            let log = FileLog::open(&path).unwrap();
+            log.append(b"good record").unwrap();
+            log.flush().unwrap();
+        }
+        // Simulate a torn write: append garbage half-frame.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[42u8; 7]).unwrap();
+        }
+        {
+            let log = FileLog::open(&path).unwrap();
+            assert_eq!(log.record_count(), 1, "torn tail ignored");
+            let all = log.read_all().unwrap();
+            assert_eq!(all.len(), 1);
+            assert_eq!(all[0].1, b"good record");
+            // New appends after the truncated tail still read back.
+            log.append(b"after crash").unwrap();
+            assert_eq!(log.read_all().unwrap().len(), 2);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filelog_detects_corrupt_payload() {
+        let path = tmp("log3.wal");
+        {
+            let log = FileLog::open(&path).unwrap();
+            log.append(b"aaaa").unwrap();
+            log.append(b"bbbb").unwrap();
+            log.flush().unwrap();
+        }
+        // Flip a byte in the second record's payload.
+        {
+            let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+            let mut data = Vec::new();
+            f.read_to_end(&mut data).unwrap();
+            let last = data.len() - 1;
+            data[last] ^= 0xFF;
+            f.seek(SeekFrom::Start(0)).unwrap();
+            f.write_all(&data).unwrap();
+        }
+        {
+            let log = FileLog::open(&path).unwrap();
+            assert_eq!(log.record_count(), 1, "corrupt record dropped");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod truncation_tests {
+    use super::*;
+
+    #[test]
+    fn memlog_truncation_keeps_lsns_stable() {
+        let log = MemLog::new();
+        for i in 0..10u8 {
+            log.append(&[i]).unwrap();
+        }
+        log.truncate_prefix(Lsn(4)).unwrap();
+        let all = log.read_all().unwrap();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], (Lsn(5), vec![4u8]));
+        assert_eq!(all[5], (Lsn(10), vec![9u8]));
+        // Appends continue the global sequence.
+        assert_eq!(log.append(b"x").unwrap(), Lsn(11));
+        assert_eq!(log.record_count(), 11);
+        // Truncating an already-dropped prefix is a no-op.
+        log.truncate_prefix(Lsn(2)).unwrap();
+        assert_eq!(log.read_all().unwrap().len(), 7);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("btrim-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn filelog_truncation_survives_reopen() {
+        let path = tmp("t1.wal");
+        {
+            let log = FileLog::open(&path).unwrap();
+            for i in 0..10u8 {
+                log.append(&[i; 3]).unwrap();
+            }
+            let bytes_before = log.byte_size();
+            log.truncate_prefix(Lsn(7)).unwrap();
+            assert!(log.byte_size() < bytes_before, "bytes reclaimed");
+            let all = log.read_all().unwrap();
+            assert_eq!(all.len(), 3);
+            assert_eq!(all[0], (Lsn(8), vec![7u8; 3]));
+            // Appends keep the sequence after truncation.
+            assert_eq!(log.append(b"new").unwrap(), Lsn(11));
+        }
+        {
+            let log = FileLog::open(&path).unwrap();
+            assert_eq!(log.record_count(), 11);
+            let all = log.read_all().unwrap();
+            assert_eq!(all.first().unwrap().0, Lsn(8));
+            assert_eq!(all.last().unwrap(), &(Lsn(11), b"new".to_vec()));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filelog_truncate_everything_then_append() {
+        let path = tmp("t2.wal");
+        let log = FileLog::open(&path).unwrap();
+        for i in 0..5u8 {
+            log.append(&[i]).unwrap();
+        }
+        log.truncate_prefix(Lsn(5)).unwrap();
+        assert!(log.read_all().unwrap().is_empty());
+        assert_eq!(log.append(b"a").unwrap(), Lsn(6));
+        assert_eq!(log.read_all().unwrap(), vec![(Lsn(6), b"a".to_vec())]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

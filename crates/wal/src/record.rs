@@ -1,0 +1,509 @@
+//! Log-record vocabulary for the two transaction logs.
+//!
+//! Page-store records ([`PageLogRecord`]) carry before-images for undo;
+//! IMRS records ([`ImrsLogRecord`]) are redo-only and are written at
+//! commit time, already stamped with the commit timestamp.
+
+use btrim_common::codec::{Decoder, Encoder};
+use btrim_common::{BtrimError, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId};
+
+/// A record type that can be framed into a log sink.
+pub trait Encodable: Sized {
+    /// Serialize to bytes.
+    fn encode(&self) -> Vec<u8>;
+    /// Deserialize from bytes.
+    fn decode(data: &[u8]) -> Result<Self>;
+}
+
+/// Compact tag mirroring the IMRS `RowOrigin` enum in log records
+/// (wal does not depend on imrs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum RowOriginTag {
+    /// Row first inserted in the IMRS.
+    Inserted = 0,
+    /// Row migrated (update) from the page store.
+    Migrated = 1,
+    /// Row cached (select) from the page store.
+    Cached = 2,
+}
+
+impl RowOriginTag {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(RowOriginTag::Inserted),
+            1 => Ok(RowOriginTag::Migrated),
+            2 => Ok(RowOriginTag::Cached),
+            _ => Err(BtrimError::Corrupt(format!("bad origin tag {v}"))),
+        }
+    }
+}
+
+/// Records of the redo-undo page-store log (`syslogs`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PageLogRecord {
+    /// Transaction start.
+    Begin { txn: TxnId },
+    /// Transaction commit; `ts` is the database commit timestamp.
+    Commit { txn: TxnId, ts: Timestamp },
+    /// Transaction rollback completed.
+    Abort { txn: TxnId },
+    /// Row inserted on a heap page.
+    Insert {
+        txn: TxnId,
+        partition: PartitionId,
+        row: RowId,
+        page: PageId,
+        slot: SlotId,
+        data: Vec<u8>,
+    },
+    /// Row updated in place (before- and after-image).
+    Update {
+        txn: TxnId,
+        partition: PartitionId,
+        row: RowId,
+        page: PageId,
+        slot: SlotId,
+        old: Vec<u8>,
+        new: Vec<u8>,
+    },
+    /// Row deleted from a heap page (before-image for undo).
+    Delete {
+        txn: TxnId,
+        partition: PartitionId,
+        row: RowId,
+        page: PageId,
+        slot: SlotId,
+        old: Vec<u8>,
+    },
+    /// Checkpoint: every page change below this point is on disk.
+    Checkpoint,
+}
+
+impl Encodable for PageLogRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            PageLogRecord::Begin { txn } => {
+                e.put_u8(0);
+                e.put_u64(txn.0);
+            }
+            PageLogRecord::Commit { txn, ts } => {
+                e.put_u8(1);
+                e.put_u64(txn.0);
+                e.put_u64(ts.0);
+            }
+            PageLogRecord::Abort { txn } => {
+                e.put_u8(2);
+                e.put_u64(txn.0);
+            }
+            PageLogRecord::Insert {
+                txn,
+                partition,
+                row,
+                page,
+                slot,
+                data,
+            } => {
+                e.put_u8(3);
+                e.put_u64(txn.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+                e.put_u32(page.0);
+                e.put_u16(slot.0);
+                e.put_bytes(data);
+            }
+            PageLogRecord::Update {
+                txn,
+                partition,
+                row,
+                page,
+                slot,
+                old,
+                new,
+            } => {
+                e.put_u8(4);
+                e.put_u64(txn.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+                e.put_u32(page.0);
+                e.put_u16(slot.0);
+                e.put_bytes(old);
+                e.put_bytes(new);
+            }
+            PageLogRecord::Delete {
+                txn,
+                partition,
+                row,
+                page,
+                slot,
+                old,
+            } => {
+                e.put_u8(5);
+                e.put_u64(txn.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+                e.put_u32(page.0);
+                e.put_u16(slot.0);
+                e.put_bytes(old);
+            }
+            PageLogRecord::Checkpoint => {
+                e.put_u8(6);
+            }
+        }
+        e.into_vec()
+    }
+
+    fn decode(data: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(data);
+        let tag = d.get_u8()?;
+        Ok(match tag {
+            0 => PageLogRecord::Begin {
+                txn: TxnId(d.get_u64()?),
+            },
+            1 => PageLogRecord::Commit {
+                txn: TxnId(d.get_u64()?),
+                ts: Timestamp(d.get_u64()?),
+            },
+            2 => PageLogRecord::Abort {
+                txn: TxnId(d.get_u64()?),
+            },
+            3 => PageLogRecord::Insert {
+                txn: TxnId(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+                page: PageId(d.get_u32()?),
+                slot: SlotId(d.get_u16()?),
+                data: d.get_bytes()?,
+            },
+            4 => PageLogRecord::Update {
+                txn: TxnId(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+                page: PageId(d.get_u32()?),
+                slot: SlotId(d.get_u16()?),
+                old: d.get_bytes()?,
+                new: d.get_bytes()?,
+            },
+            5 => PageLogRecord::Delete {
+                txn: TxnId(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+                page: PageId(d.get_u32()?),
+                slot: SlotId(d.get_u16()?),
+                old: d.get_bytes()?,
+            },
+            6 => PageLogRecord::Checkpoint,
+            t => return Err(BtrimError::Corrupt(format!("bad page log tag {t}"))),
+        })
+    }
+}
+
+impl PageLogRecord {
+    /// Transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            PageLogRecord::Begin { txn }
+            | PageLogRecord::Commit { txn, .. }
+            | PageLogRecord::Abort { txn }
+            | PageLogRecord::Insert { txn, .. }
+            | PageLogRecord::Update { txn, .. }
+            | PageLogRecord::Delete { txn, .. } => Some(*txn),
+            PageLogRecord::Checkpoint => None,
+        }
+    }
+}
+
+/// Records of the redo-only IMRS log (`sysimrslogs`). Every record is
+/// written at commit with its commit timestamp; recovery is a single
+/// forward replay.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ImrsLogRecord {
+    /// Row entered the IMRS (insert, migration, or caching) with image.
+    Insert {
+        txn: TxnId,
+        ts: Timestamp,
+        partition: PartitionId,
+        row: RowId,
+        origin: RowOriginTag,
+        data: Vec<u8>,
+    },
+    /// New committed image of an IMRS row.
+    Update {
+        txn: TxnId,
+        ts: Timestamp,
+        partition: PartitionId,
+        row: RowId,
+        data: Vec<u8>,
+    },
+    /// Committed delete of an IMRS row.
+    Delete {
+        txn: TxnId,
+        ts: Timestamp,
+        partition: PartitionId,
+        row: RowId,
+    },
+    /// Row packed out of the IMRS (the paired page-store insert lives
+    /// in syslogs).
+    Pack {
+        ts: Timestamp,
+        partition: PartitionId,
+        row: RowId,
+    },
+}
+
+impl Encodable for ImrsLogRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            ImrsLogRecord::Insert {
+                txn,
+                ts,
+                partition,
+                row,
+                origin,
+                data,
+            } => {
+                e.put_u8(0);
+                e.put_u64(txn.0);
+                e.put_u64(ts.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+                e.put_u8(*origin as u8);
+                e.put_bytes(data);
+            }
+            ImrsLogRecord::Update {
+                txn,
+                ts,
+                partition,
+                row,
+                data,
+            } => {
+                e.put_u8(1);
+                e.put_u64(txn.0);
+                e.put_u64(ts.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+                e.put_bytes(data);
+            }
+            ImrsLogRecord::Delete {
+                txn,
+                ts,
+                partition,
+                row,
+            } => {
+                e.put_u8(2);
+                e.put_u64(txn.0);
+                e.put_u64(ts.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+            }
+            ImrsLogRecord::Pack { ts, partition, row } => {
+                e.put_u8(3);
+                e.put_u64(ts.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+            }
+        }
+        e.into_vec()
+    }
+
+    fn decode(data: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(data);
+        let tag = d.get_u8()?;
+        Ok(match tag {
+            0 => ImrsLogRecord::Insert {
+                txn: TxnId(d.get_u64()?),
+                ts: Timestamp(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+                origin: RowOriginTag::from_u8(d.get_u8()?)?,
+                data: d.get_bytes()?,
+            },
+            1 => ImrsLogRecord::Update {
+                txn: TxnId(d.get_u64()?),
+                ts: Timestamp(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+                data: d.get_bytes()?,
+            },
+            2 => ImrsLogRecord::Delete {
+                txn: TxnId(d.get_u64()?),
+                ts: Timestamp(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+            },
+            3 => ImrsLogRecord::Pack {
+                ts: Timestamp(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+            },
+            t => return Err(BtrimError::Corrupt(format!("bad imrs log tag {t}"))),
+        })
+    }
+}
+
+impl ImrsLogRecord {
+    /// Commit timestamp carried by the record.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            ImrsLogRecord::Insert { ts, .. }
+            | ImrsLogRecord::Update { ts, .. }
+            | ImrsLogRecord::Delete { ts, .. }
+            | ImrsLogRecord::Pack { ts, .. } => *ts,
+        }
+    }
+
+    /// Row the record concerns.
+    pub fn row(&self) -> RowId {
+        match self {
+            ImrsLogRecord::Insert { row, .. }
+            | ImrsLogRecord::Update { row, .. }
+            | ImrsLogRecord::Delete { row, .. }
+            | ImrsLogRecord::Pack { row, .. } => *row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_page(r: PageLogRecord) {
+        let bytes = r.encode();
+        assert_eq!(PageLogRecord::decode(&bytes).unwrap(), r);
+    }
+
+    fn roundtrip_imrs(r: ImrsLogRecord) {
+        let bytes = r.encode();
+        assert_eq!(ImrsLogRecord::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn page_records_roundtrip() {
+        roundtrip_page(PageLogRecord::Begin { txn: TxnId(7) });
+        roundtrip_page(PageLogRecord::Commit {
+            txn: TxnId(7),
+            ts: Timestamp(99),
+        });
+        roundtrip_page(PageLogRecord::Abort { txn: TxnId(7) });
+        roundtrip_page(PageLogRecord::Insert {
+            txn: TxnId(1),
+            partition: PartitionId(2),
+            row: RowId(3),
+            page: PageId(4),
+            slot: SlotId(5),
+            data: vec![1, 2, 3],
+        });
+        roundtrip_page(PageLogRecord::Update {
+            txn: TxnId(1),
+            partition: PartitionId(2),
+            row: RowId(3),
+            page: PageId(4),
+            slot: SlotId(5),
+            old: vec![9],
+            new: vec![1, 2, 3],
+        });
+        roundtrip_page(PageLogRecord::Delete {
+            txn: TxnId(1),
+            partition: PartitionId(2),
+            row: RowId(3),
+            page: PageId(4),
+            slot: SlotId(5),
+            old: vec![7, 7],
+        });
+        roundtrip_page(PageLogRecord::Checkpoint);
+    }
+
+    #[test]
+    fn imrs_records_roundtrip() {
+        roundtrip_imrs(ImrsLogRecord::Insert {
+            txn: TxnId(1),
+            ts: Timestamp(10),
+            partition: PartitionId(2),
+            row: RowId(3),
+            origin: RowOriginTag::Migrated,
+            data: b"image".to_vec(),
+        });
+        roundtrip_imrs(ImrsLogRecord::Update {
+            txn: TxnId(1),
+            ts: Timestamp(11),
+            partition: PartitionId(2),
+            row: RowId(3),
+            data: b"image2".to_vec(),
+        });
+        roundtrip_imrs(ImrsLogRecord::Delete {
+            txn: TxnId(1),
+            ts: Timestamp(12),
+            partition: PartitionId(2),
+            row: RowId(3),
+        });
+        roundtrip_imrs(ImrsLogRecord::Pack {
+            ts: Timestamp(13),
+            partition: PartitionId(2),
+            row: RowId(3),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(PageLogRecord::decode(&[99]).is_err());
+        assert!(ImrsLogRecord::decode(&[99]).is_err());
+        assert!(PageLogRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn txn_and_accessors() {
+        assert_eq!(PageLogRecord::Checkpoint.txn(), None);
+        assert_eq!(
+            PageLogRecord::Begin { txn: TxnId(4) }.txn(),
+            Some(TxnId(4))
+        );
+        let r = ImrsLogRecord::Pack {
+            ts: Timestamp(5),
+            partition: PartitionId(1),
+            row: RowId(2),
+        };
+        assert_eq!(r.ts(), Timestamp(5));
+        assert_eq!(r.row(), RowId(2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoders must never panic on arbitrary byte soup — a corrupt
+        /// log tail surfaces as `Err(Corrupt)`, not a crash during
+        /// recovery.
+        #[test]
+        fn page_record_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = PageLogRecord::decode(&bytes);
+        }
+
+        #[test]
+        fn imrs_record_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = ImrsLogRecord::decode(&bytes);
+        }
+
+        /// Round-trip stability under arbitrary payload contents.
+        #[test]
+        fn page_insert_roundtrips_any_payload(
+            txn in any::<u64>(), part in any::<u32>(), row in any::<u64>(),
+            page in any::<u32>(), slot in any::<u16>(),
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let rec = PageLogRecord::Insert {
+                txn: TxnId(txn),
+                partition: PartitionId(part),
+                row: RowId(row),
+                page: PageId(page),
+                slot: SlotId(slot),
+                data,
+            };
+            prop_assert_eq!(PageLogRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Log analysis for recovery.
+//!
+//! The engine drives recovery in lock-step (§II): the page-store log is
+//! analysed and replayed first (redo winners, undo losers), then the
+//! redo-only IMRS log is replayed forward. This module implements the
+//! analysis pass; the physical replay lives in the engine, which owns
+//! the stores the records apply to.
+
+use std::collections::{HashMap, HashSet};
+
+use btrim_common::{Lsn, Timestamp, TxnId};
+
+use crate::record::PageLogRecord;
+
+/// Outcome of the analysis pass over `syslogs`.
+#[derive(Debug, Default)]
+pub struct LogAnalysis {
+    /// Committed transactions and their commit timestamps.
+    pub winners: HashMap<TxnId, Timestamp>,
+    /// Transactions with a Begin but no Commit/Abort (in-flight at
+    /// crash): their changes must be undone.
+    pub losers: HashSet<TxnId>,
+    /// Transactions that aborted cleanly (already undone before the
+    /// crash, because our undo happens online at rollback).
+    pub aborted: HashSet<TxnId>,
+    /// LSN of the last checkpoint record, if any. Redo may start here
+    /// because all earlier page changes were flushed.
+    pub last_checkpoint: Option<Lsn>,
+    /// Highest commit timestamp seen (clock resume point).
+    pub max_commit_ts: Timestamp,
+}
+
+/// Analyse the page-store log: classify transactions and find the last
+/// checkpoint.
+pub fn analyze_page_log(records: &[(Lsn, PageLogRecord)]) -> LogAnalysis {
+    let mut a = LogAnalysis::default();
+    let mut seen: HashSet<TxnId> = HashSet::new();
+    for (lsn, rec) in records {
+        match rec {
+            PageLogRecord::Begin { txn } => {
+                seen.insert(*txn);
+                a.losers.insert(*txn);
+            }
+            PageLogRecord::Commit { txn, ts } => {
+                a.losers.remove(txn);
+                a.winners.insert(*txn, *ts);
+                if *ts > a.max_commit_ts {
+                    a.max_commit_ts = *ts;
+                }
+            }
+            PageLogRecord::Abort { txn } => {
+                a.losers.remove(txn);
+                a.aborted.insert(*txn);
+            }
+            PageLogRecord::Checkpoint => {
+                a.last_checkpoint = Some(*lsn);
+            }
+            PageLogRecord::Insert { txn, .. }
+            | PageLogRecord::Update { txn, .. }
+            | PageLogRecord::Delete { txn, .. } => {
+                // A change record without Begin still marks the txn as
+                // in-flight until a Commit/Abort shows up.
+                if !seen.contains(txn) && !a.winners.contains_key(txn) && !a.aborted.contains(txn)
+                {
+                    seen.insert(*txn);
+                    a.losers.insert(*txn);
+                }
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrim_common::{PageId, PartitionId, RowId, SlotId};
+
+    fn ins(txn: u64) -> PageLogRecord {
+        PageLogRecord::Insert {
+            txn: TxnId(txn),
+            partition: PartitionId(0),
+            row: RowId(1),
+            page: PageId(0),
+            slot: SlotId(0),
+            data: vec![1],
+        }
+    }
+
+    fn with_lsns(recs: Vec<PageLogRecord>) -> Vec<(Lsn, PageLogRecord)> {
+        recs.into_iter()
+            .enumerate()
+            .map(|(i, r)| (Lsn(i as u64 + 1), r))
+            .collect()
+    }
+
+    #[test]
+    fn classifies_winners_losers_aborted() {
+        let log = with_lsns(vec![
+            PageLogRecord::Begin { txn: TxnId(1) },
+            ins(1),
+            PageLogRecord::Commit {
+                txn: TxnId(1),
+                ts: Timestamp(10),
+            },
+            PageLogRecord::Begin { txn: TxnId(2) },
+            ins(2),
+            PageLogRecord::Abort { txn: TxnId(2) },
+            PageLogRecord::Begin { txn: TxnId(3) },
+            ins(3),
+            // txn 3 never finishes: loser.
+        ]);
+        let a = analyze_page_log(&log);
+        assert_eq!(a.winners.get(&TxnId(1)), Some(&Timestamp(10)));
+        assert!(a.aborted.contains(&TxnId(2)));
+        assert!(a.losers.contains(&TxnId(3)));
+        assert!(!a.losers.contains(&TxnId(1)));
+        assert!(!a.losers.contains(&TxnId(2)));
+        assert_eq!(a.max_commit_ts, Timestamp(10));
+    }
+
+    #[test]
+    fn change_without_begin_counts_as_loser() {
+        let log = with_lsns(vec![ins(9)]);
+        let a = analyze_page_log(&log);
+        assert!(a.losers.contains(&TxnId(9)));
+    }
+
+    #[test]
+    fn last_checkpoint_wins() {
+        let log = with_lsns(vec![
+            PageLogRecord::Checkpoint,
+            PageLogRecord::Begin { txn: TxnId(1) },
+            PageLogRecord::Checkpoint,
+            PageLogRecord::Commit {
+                txn: TxnId(1),
+                ts: Timestamp(5),
+            },
+        ]);
+        let a = analyze_page_log(&log);
+        assert_eq!(a.last_checkpoint, Some(Lsn(3)));
+    }
+
+    #[test]
+    fn empty_log_analysis() {
+        let a = analyze_page_log(&[]);
+        assert!(a.winners.is_empty());
+        assert!(a.losers.is_empty());
+        assert_eq!(a.last_checkpoint, None);
+        assert_eq!(a.max_commit_ts, Timestamp::ZERO);
+    }
+}

@@ -1,0 +1,99 @@
+//! Auto IMRS partition tuning in action (§V): watch the engine disable
+//! in-memory storage for a low-value partition — in stages, per ISUD
+//! operation class — and re-enable it when demand returns.
+//!
+//! ```sh
+//! cargo run --release --example partition_tuning
+//! ```
+
+use std::sync::Arc;
+
+use btrim::catalog::TableOpts;
+use btrim::{Engine, EngineConfig, EngineMode};
+
+fn mkrow(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut v = key.to_be_bytes().to_vec();
+    v.extend_from_slice(payload);
+    v
+}
+
+fn status(e: &Engine, name: &str) -> String {
+    let snap = e.snapshot();
+    let t = snap.table(name).unwrap();
+    let p = &t.partitions[0];
+    format!(
+        "{name:>8}: imrs_rows={:<6} ilm_enabled={:<5} rows_in={:<6} reuse={}",
+        p.imrs_rows, p.ilm_enabled, p.rows_in, p.reuse_ops
+    )
+}
+
+fn main() -> btrim::Result<()> {
+    let engine = Engine::new(EngineConfig {
+        mode: EngineMode::IlmOn,
+        imrs_budget: 1024 * 1024,
+        imrs_chunk_size: 128 * 1024,
+        maintenance_interval_txns: 8,
+        tuning_window_txns: 64,
+        hysteresis_windows: 2,
+        tuning_utilization_floor: 0.10,
+        min_new_rows_for_disable: 16,
+        ..Default::default()
+    });
+    // `audit_log`: append-only, never read — the §V.C disable candidate.
+    let audit = engine.create_table(TableOpts::new(
+        "audit",
+        Arc::new(|r: &[u8]| r[..8].to_vec()),
+    ))?;
+    // `settings`: small and re-read constantly.
+    let settings = engine.create_table(TableOpts::new(
+        "settings",
+        Arc::new(|r: &[u8]| r[..8].to_vec()),
+    ))?;
+    let mut txn = engine.begin();
+    for i in 0..32u64 {
+        engine.insert(&mut txn, &settings, &mkrow(i, &[1; 32]))?;
+    }
+    engine.commit(txn)?;
+
+    println!("phase 1: hammering audit-log inserts while re-reading settings…");
+    let mut key = 0u64;
+    for step in 1..=4 {
+        for _ in 0..500 {
+            let mut txn = engine.begin();
+            engine.insert(&mut txn, &audit, &mkrow(1000 + key, &[7; 160]))?;
+            key += 1;
+            engine.get(&txn, &settings, &(key % 32).to_be_bytes())?;
+            engine.commit(txn)?;
+        }
+        println!("  after {} txns:", step * 500);
+        println!("    {}", status(&engine, "audit"));
+        println!("    {}", status(&engine, "settings"));
+    }
+    let snap = engine.snapshot();
+    assert!(
+        !snap.table("audit").unwrap().partitions[0].ilm_enabled,
+        "tuner disabled the audit partition"
+    );
+    assert!(snap.table("settings").unwrap().partitions[0].ilm_enabled);
+    println!("→ the tuner turned IMRS use OFF for `audit` and kept `settings` hot.\n");
+
+    println!("phase 2: the workload shifts — audit rows are suddenly read hot…");
+    for _ in 0..4000 {
+        let txn = engine.begin();
+        for k in 0..4u64 {
+            let probe = 1000 + (key + k * 37) % 1500;
+            let _ = engine.get(&txn, &audit, &probe.to_be_bytes())?;
+        }
+        engine.commit(txn)?;
+        if engine.snapshot().table("audit").unwrap().partitions[0].ilm_enabled {
+            break;
+        }
+    }
+    println!("    {}", status(&engine, "audit"));
+    assert!(
+        engine.snapshot().table("audit").unwrap().partitions[0].ilm_enabled,
+        "tuner re-enabled the audit partition on renewed demand"
+    );
+    println!("→ renewed demand re-enabled IMRS use for `audit`. No configuration, no outage.");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! # BTrim — hybrid in-memory / page-store OLTP engine with ILM
+//!
+//! Facade crate re-exporting the public API of the workspace. See the
+//! `btrim-core` crate for the engine and the paper's ILM contribution.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use btrim::catalog::TableOpts;
+//! use btrim::{Engine, EngineConfig, EngineMode};
+//!
+//! # fn main() -> btrim::Result<()> {
+//! let engine = Engine::new(EngineConfig::with_mode(EngineMode::IlmOn, 8 << 20));
+//! let table = engine.create_table(TableOpts::new(
+//!     "kv",
+//!     Arc::new(|row: &[u8]| row[..8].to_vec()),
+//! ))?;
+//!
+//! let mut txn = engine.begin();
+//! let mut row = 1u64.to_be_bytes().to_vec();
+//! row.extend_from_slice(b"hello");
+//! engine.insert(&mut txn, &table, &row)?;
+//! engine.commit(txn)?;
+//!
+//! let txn = engine.begin();
+//! let got = engine.get(&txn, &table, &1u64.to_be_bytes())?.unwrap();
+//! assert_eq!(&got[8..], b"hello");
+//! engine.commit(txn)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use btrim_common as common;
+pub use btrim_core::*;
+pub use btrim_tpcc as tpcc;

@@ -1,0 +1,143 @@
+//! Property-based model test of the whole engine: any sequence of
+//! inserts, updates, deletes, commits, aborts, maintenance ticks, and
+//! forced pack cycles behaves exactly like a `HashMap<u64, Vec<u8>>`
+//! that only applies committed changes — no matter where the rows
+//! physically live.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use btrim::catalog::TableOpts;
+use btrim::pack::{pack_cycle, PackLevel};
+use btrim::{Engine, EngineConfig, EngineMode};
+
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(u16, u8),
+    Update(u16, u8),
+    Delete(u16),
+    /// Run a whole transaction of the above and then abort it.
+    AbortedBatch(Vec<(u16, u8)>),
+    Maintenance,
+    ForcePack,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Step::Insert(k % 200, v)),
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Step::Update(k % 200, v)),
+        2 => any::<u16>().prop_map(|k| Step::Delete(k % 200)),
+        1 => proptest::collection::vec((any::<u16>(), any::<u8>()), 1..5)
+            .prop_map(|v| Step::AbortedBatch(
+                v.into_iter().map(|(k, x)| (k % 200, x)).collect())),
+        1 => Just(Step::Maintenance),
+        1 => Just(Step::ForcePack),
+    ]
+}
+
+fn mkrow(key: u16, v: u8) -> Vec<u8> {
+    let mut r = (key as u64).to_be_bytes().to_vec();
+    r.extend_from_slice(&[v; 24]);
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn engine_matches_committed_model(steps in proptest::collection::vec(step_strategy(), 1..120)) {
+        let engine = Engine::new(EngineConfig {
+            mode: EngineMode::IlmOn,
+            imrs_budget: 2 * 1024 * 1024,
+            imrs_chunk_size: 256 * 1024,
+            buffer_frames: 512,
+            maintenance_interval_txns: 8,
+            ..Default::default()
+        });
+        let table = engine
+            .create_table(TableOpts::new("model", Arc::new(|r: &[u8]| r[..8].to_vec())))
+            .unwrap();
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+
+        for step in steps {
+            match step {
+                Step::Insert(k, v) => {
+                    let mut txn = engine.begin();
+                    let row = mkrow(k, v);
+                    match engine.insert(&mut txn, &table, &row) {
+                        Ok(_) => {
+                            prop_assert!(!model.contains_key(&k), "duplicate accepted");
+                            engine.commit(txn).unwrap();
+                            model.insert(k, row);
+                        }
+                        Err(btrim::BtrimError::DuplicateKey(_)) => {
+                            prop_assert!(model.contains_key(&k));
+                            engine.abort(txn);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Step::Update(k, v) => {
+                    let mut txn = engine.begin();
+                    let row = mkrow(k, v);
+                    let updated = engine
+                        .update(&mut txn, &table, &(k as u64).to_be_bytes(), &row)
+                        .unwrap();
+                    engine.commit(txn).unwrap();
+                    prop_assert_eq!(updated, model.contains_key(&k));
+                    if updated {
+                        model.insert(k, row);
+                    }
+                }
+                Step::Delete(k) => {
+                    let mut txn = engine.begin();
+                    let deleted = engine
+                        .delete(&mut txn, &table, &(k as u64).to_be_bytes())
+                        .unwrap();
+                    engine.commit(txn).unwrap();
+                    prop_assert_eq!(deleted, model.remove(&k).is_some());
+                }
+                Step::AbortedBatch(ops) => {
+                    let mut txn = engine.begin();
+                    for (k, v) in ops {
+                        let row = mkrow(k, v);
+                        if model.contains_key(&k) {
+                            let _ = engine.update(&mut txn, &table, &(k as u64).to_be_bytes(), &row);
+                        } else {
+                            let _ = engine.insert(&mut txn, &table, &row);
+                        }
+                    }
+                    engine.abort(txn); // the model never learns of these
+                }
+                Step::Maintenance => engine.run_maintenance(),
+                Step::ForcePack => {
+                    engine.run_maintenance();
+                    pack_cycle(&engine, PackLevel::Aggressive);
+                }
+            }
+        }
+
+        // Full equivalence at the end.
+        let txn = engine.begin();
+        for (k, expect) in &model {
+            let got = engine
+                .get(&txn, &table, &(*k as u64).to_be_bytes())
+                .unwrap();
+            prop_assert_eq!(got.as_ref(), Some(expect), "key {}", k);
+        }
+        let mut scanned: Vec<(u16, Vec<u8>)> = Vec::new();
+        engine
+            .scan_range(&txn, &table, &[], None, |_, _, row| {
+                let k = u64::from_be_bytes(row[..8].try_into().unwrap()) as u16;
+                scanned.push((k, row.to_vec()));
+                true
+            })
+            .unwrap();
+        prop_assert_eq!(scanned.len(), model.len(), "scan count matches model");
+        for (k, row) in &scanned {
+            prop_assert_eq!(model.get(k), Some(row), "scanned key {}", k);
+        }
+        engine.commit(txn).unwrap();
+    }
+}

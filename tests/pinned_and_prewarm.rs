@@ -1,0 +1,124 @@
+//! The §X extension features: fully in-memory (pinned) tables and
+//! pre-warmed IMRS caches.
+
+use std::sync::Arc;
+
+use btrim::catalog::TableOpts;
+use btrim::pack::{pack_cycle, PackLevel};
+use btrim::{Engine, EngineConfig, EngineMode, RowLocation};
+
+fn mkrow(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut v = key.to_be_bytes().to_vec();
+    v.extend_from_slice(payload);
+    v
+}
+
+fn opts(name: &str) -> TableOpts {
+    TableOpts::new(name, Arc::new(|row: &[u8]| row[..8].to_vec()))
+}
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        mode: EngineMode::IlmOn,
+        imrs_budget: 8 * 1024 * 1024,
+        imrs_chunk_size: 1024 * 1024,
+        buffer_frames: 1024,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn pinned_tables_survive_aggressive_pack() {
+    let e = engine();
+    let pinned = e.create_table(opts("config").pinned()).unwrap();
+    let normal = e.create_table(opts("events")).unwrap();
+
+    let mut txn = e.begin();
+    for i in 0..200u64 {
+        e.insert(&mut txn, &pinned, &mkrow(i, &[1u8; 64])).unwrap();
+        e.insert(&mut txn, &normal, &mkrow(i, &[2u8; 64])).unwrap();
+    }
+    e.commit(txn).unwrap();
+    e.run_maintenance(); // queues fill
+
+    // Hammer aggressive pack until nothing more moves.
+    for _ in 0..100 {
+        if pack_cycle(&e, PackLevel::Aggressive) == 0 {
+            break;
+        }
+    }
+    let snap = e.snapshot();
+    let pinned_stats = snap.table("config").unwrap();
+    let normal_stats = snap.table("events").unwrap();
+    assert_eq!(
+        pinned_stats.imrs_rows(),
+        200,
+        "pinned table fully memory-resident"
+    );
+    assert_eq!(pinned_stats.rows_packed(), 0, "pack never touches pinned");
+    assert_eq!(normal_stats.imrs_rows(), 0, "normal table fully packed");
+    assert_eq!(normal_stats.rows_packed(), 200);
+
+    // Both remain readable.
+    let txn = e.begin();
+    assert!(e.get(&txn, &pinned, &7u64.to_be_bytes()).unwrap().is_some());
+    assert!(e.get(&txn, &normal, &7u64.to_be_bytes()).unwrap().is_some());
+    e.commit(txn).unwrap();
+}
+
+#[test]
+fn prewarm_loads_page_rows_into_imrs() {
+    let e = engine();
+    let t = e.create_table(opts("lookup")).unwrap();
+    let mut txn = e.begin();
+    for i in 0..150u64 {
+        e.insert(&mut txn, &t, &mkrow(i, &[9u8; 48])).unwrap();
+    }
+    e.commit(txn).unwrap();
+    e.run_maintenance();
+    // Evict everything to the page store first.
+    for _ in 0..100 {
+        if pack_cycle(&e, PackLevel::Aggressive) == 0 {
+            break;
+        }
+    }
+    assert_eq!(e.snapshot().table("lookup").unwrap().imrs_rows(), 0);
+    assert!(matches!(
+        e.locate(&t, &3u64.to_be_bytes()).unwrap(),
+        Some(RowLocation::Page(_, _))
+    ));
+
+    // Pre-warm: everything returns to memory without a single query.
+    let warmed = e.prewarm(&t).unwrap();
+    assert_eq!(warmed, 150);
+    assert_eq!(e.snapshot().table("lookup").unwrap().imrs_rows(), 150);
+    assert_eq!(
+        e.locate(&t, &3u64.to_be_bytes()).unwrap(),
+        Some(RowLocation::Imrs)
+    );
+
+    // Reads after pre-warm are IMRS hits (hash fast path).
+    let before = e.snapshot();
+    let txn = e.begin();
+    for i in 0..150u64 {
+        let row = e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap();
+        assert_eq!(&row[8..], &[9u8; 48]);
+    }
+    e.commit(txn).unwrap();
+    let after = e.snapshot();
+    assert_eq!(after.page_ops, before.page_ops, "no page-store reads");
+}
+
+#[test]
+fn prewarm_on_already_warm_table_is_a_noop() {
+    let e = engine();
+    let t = e.create_table(opts("t")).unwrap();
+    let mut txn = e.begin();
+    for i in 0..20u64 {
+        e.insert(&mut txn, &t, &mkrow(i, b"x")).unwrap();
+    }
+    e.commit(txn).unwrap();
+    // All rows are IMRS-resident: the heap is empty, nothing to warm.
+    assert_eq!(e.prewarm(&t).unwrap(), 0);
+    assert_eq!(e.snapshot().table("t").unwrap().imrs_rows(), 20);
+}

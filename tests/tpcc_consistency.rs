@@ -1,0 +1,210 @@
+//! TPC-C application-level consistency checks over the full stack.
+//!
+//! These mirror the TPC-C specification's consistency conditions: money
+//! and order-id invariants must hold after any mix of transactions, no
+//! matter how often ILM moved the underlying rows between stores.
+
+use std::sync::Arc;
+
+use btrim::tpcc::driver::Driver;
+use btrim::tpcc::loader::{load, LoadSpec, DISTRICTS_PER_WAREHOUSE};
+use btrim::tpcc::schema::{Customer, District, NewOrder, Order, OrderLine, Warehouse};
+use btrim::{Engine, EngineConfig, EngineMode};
+
+fn spec() -> LoadSpec {
+    LoadSpec {
+        warehouses: 2,
+        items: 300,
+        customers_per_district: 40,
+        orders_per_district: 40,
+        seed: 2024,
+    }
+}
+
+/// Build, load, and run `txns` transactions under the given mode and
+/// IMRS budget.
+fn run(mode: EngineMode, budget: u64, txns: u64) -> (Arc<Engine>, Driver) {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        mode,
+        imrs_budget: budget,
+        imrs_chunk_size: 512 * 1024,
+        buffer_frames: 4096,
+        maintenance_interval_txns: 32,
+        tuning_window_txns: 500,
+        ..Default::default()
+    }));
+    let s = spec();
+    let tables = Arc::new(load(&engine, &s).unwrap());
+    let driver = Driver::new(Arc::clone(&engine), tables, &s);
+    let stats = driver.run(txns, 2, 99);
+    assert!(
+        stats.total_committed() > txns * 8 / 10,
+        "most transactions commit: {stats:?}"
+    );
+    (engine, driver)
+}
+
+/// TPC-C consistency condition 1: for every warehouse,
+/// `W_YTD = sum(D_YTD)` over its districts.
+fn check_ytd(engine: &Engine, driver: &Driver) {
+    let t = driver.tables();
+    let txn = engine.begin();
+    for w_id in 1..=spec().warehouses {
+        let w = Warehouse::decode(
+            &engine
+                .get(&txn, &t.warehouse, &Warehouse::key(w_id))
+                .unwrap()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut d_sum = 0.0;
+        for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
+            let d = District::decode(
+                &engine
+                    .get(&txn, &t.district, &District::key(w_id, d_id))
+                    .unwrap()
+                    .unwrap(),
+            )
+            .unwrap();
+            d_sum += d.ytd - 30_000.0; // loader primes districts at 30k
+        }
+        let w_delta = w.ytd - 300_000.0; // loader primes warehouses at 300k
+        assert!(
+            (w_delta - d_sum).abs() < 0.01,
+            "warehouse {w_id}: W_YTD delta {w_delta} != sum(D_YTD deltas) {d_sum}"
+        );
+    }
+    engine.commit(txn).unwrap();
+}
+
+/// TPC-C consistency conditions 2/3/4-ish: `D_NEXT_O_ID - 1` equals the
+/// maximum order id in both `orders` and `new_order`, every order's
+/// line count matches its `ol_cnt`, and no order id is skipped.
+fn check_orders(engine: &Engine, driver: &Driver) {
+    let t = driver.tables();
+    let txn = engine.begin();
+    for w_id in 1..=spec().warehouses {
+        for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
+            let d = District::decode(
+                &engine
+                    .get(&txn, &t.district, &District::key(w_id, d_id))
+                    .unwrap()
+                    .unwrap(),
+            )
+            .unwrap();
+            // Scan orders of this district.
+            let lo = Order::key(w_id, d_id, 0);
+            let hi = Order::key(w_id, d_id, u32::MAX);
+            let mut max_o = 0u32;
+            let mut count = 0u32;
+            let mut orders = Vec::new();
+            engine
+                .scan_range(&txn, &t.orders, &lo, Some(&hi), |_, _, row| {
+                    let o = Order::decode(row).unwrap();
+                    max_o = max_o.max(o.o_id);
+                    count += 1;
+                    orders.push(o);
+                    true
+                })
+                .unwrap();
+            assert_eq!(
+                d.next_o_id - 1,
+                max_o,
+                "w{w_id} d{d_id}: next_o_id coherent with orders"
+            );
+            assert_eq!(count, max_o, "w{w_id} d{d_id}: no gaps in order ids");
+
+            // Each order's line count matches (condition 4).
+            for o in orders.iter().rev().take(5) {
+                let lo = OrderLine::key(w_id, d_id, o.o_id, 0);
+                let hi = OrderLine::key(w_id, d_id, o.o_id, u32::MAX);
+                let mut lines = 0;
+                engine
+                    .scan_range(&txn, &t.order_line, &lo, Some(&hi), |_, _, _| {
+                        lines += 1;
+                        true
+                    })
+                    .unwrap();
+                assert_eq!(lines, o.ol_cnt, "order {o:?} line count");
+            }
+
+            // new_order ids are a suffix of the order ids (condition 3).
+            let lo = NewOrder::key(w_id, d_id, 0);
+            let hi = NewOrder::key(w_id, d_id, u32::MAX);
+            let mut no_ids = Vec::new();
+            engine
+                .scan_range(&txn, &t.new_order, &lo, Some(&hi), |_, _, row| {
+                    no_ids.push(NewOrder::decode(row).unwrap().o_id);
+                    true
+                })
+                .unwrap();
+            for w in no_ids.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "new_order ids contiguous");
+            }
+            if let Some(&last) = no_ids.last() {
+                assert_eq!(last, max_o, "newest order still undelivered");
+            }
+        }
+    }
+    engine.commit(txn).unwrap();
+}
+
+/// Customer balances reflect payments and deliveries: every customer's
+/// balance is finite and decodes; spot totals stay sane.
+fn check_customers(engine: &Engine, driver: &Driver) {
+    let t = driver.tables();
+    let txn = engine.begin();
+    let mut seen = 0;
+    engine
+        .scan_range(&txn, &t.customer, &[], None, |_, _, row| {
+            let c = Customer::decode(row).unwrap();
+            assert!(c.balance.is_finite());
+            assert!(c.payment_cnt >= 1);
+            seen += 1;
+            true
+        })
+        .unwrap();
+    assert_eq!(
+        seen,
+        (spec().warehouses * DISTRICTS_PER_WAREHOUSE * spec().customers_per_district) as usize,
+        "no customer lost"
+    );
+    engine.commit(txn).unwrap();
+}
+
+#[test]
+fn consistency_holds_with_ilm_off() {
+    let (engine, driver) = run(EngineMode::IlmOff, 256 * 1024 * 1024, 1_500);
+    check_ytd(&engine, &driver);
+    check_orders(&engine, &driver);
+    check_customers(&engine, &driver);
+}
+
+#[test]
+fn consistency_holds_with_ilm_on_under_memory_pressure() {
+    // Budget small enough that the initial load alone exceeds the
+    // steady threshold: pack must run during the workload (the tuner
+    // would otherwise shed load first by disabling cold partitions,
+    // which is the other legal outlet).
+    let (engine, driver) = run(EngineMode::IlmOn, 2 * 1024 * 1024, 1_500);
+    let snap = engine.snapshot();
+    assert!(
+        snap.rows_packed > 0,
+        "pressure must trigger pack (packed {}, used {} of {}, util {:.2})",
+        snap.rows_packed,
+        snap.imrs_used_bytes,
+        snap.imrs_budget,
+        snap.imrs_utilization,
+    );
+    check_ytd(&engine, &driver);
+    check_orders(&engine, &driver);
+    check_customers(&engine, &driver);
+}
+
+#[test]
+fn consistency_holds_with_page_only() {
+    let (engine, driver) = run(EngineMode::PageOnly, 16 * 1024 * 1024, 1_000);
+    check_ytd(&engine, &driver);
+    check_orders(&engine, &driver);
+    check_customers(&engine, &driver);
+}

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 
 use btrim_common::ShardedCounter;
 use btrim_core::catalog::{Partitioner, TableOpts};
@@ -166,7 +166,9 @@ fn bench_point_ops(c: &mut Criterion) {
                 i = (i + 7919) % 10_000;
                 let mut row = i.to_be_bytes().to_vec();
                 row.extend_from_slice(&[9u8; 100]);
-                e_imrs2.update(&mut txn, &t_imrs2, &i.to_be_bytes(), &row).unwrap();
+                e_imrs2
+                    .update(&mut txn, &t_imrs2, &i.to_be_bytes(), &row)
+                    .unwrap();
                 e_imrs2.commit(txn).unwrap();
             },
             BatchSize::SmallInput,
@@ -181,7 +183,9 @@ fn bench_point_ops(c: &mut Criterion) {
                 i = (i + 7919) % 10_000;
                 let mut row = i.to_be_bytes().to_vec();
                 row.extend_from_slice(&[9u8; 100]);
-                e_page2.update(&mut txn, &t_page2, &i.to_be_bytes(), &row).unwrap();
+                e_page2
+                    .update(&mut txn, &t_page2, &i.to_be_bytes(), &row)
+                    .unwrap();
                 e_page2.commit(txn).unwrap();
             },
             BatchSize::SmallInput,
@@ -245,7 +249,10 @@ fn bench_commit_path(c: &mut Criterion) {
     // and (for the IMRS) version creation + redo-only logging.
     let mut g = c.benchmark_group("commit_path");
     g.sample_size(20);
-    for (label, mode) in [("insert_txn_imrs", EngineMode::IlmOff), ("insert_txn_page", EngineMode::PageOnly)] {
+    for (label, mode) in [
+        ("insert_txn_imrs", EngineMode::IlmOff),
+        ("insert_txn_page", EngineMode::PageOnly),
+    ] {
         let (engine, table) = make_engine(mode);
         let mut key = 1_000_000u64;
         g.bench_function(label, |b| {
@@ -262,6 +269,119 @@ fn bench_commit_path(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_buffer_cache(c: &mut Criterion) {
+    // Concurrent hit-path throughput of the sharded buffer cache vs the
+    // pre-shard design, where every hit serialized on one process-wide
+    // mutex. All pages stay resident, so the benchmark isolates lookup +
+    // pin cost under lock contention (no disk I/O, no eviction).
+    use btrim_common::{PageId, PartitionId};
+    use btrim_pagestore::PageType;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, RwLock};
+
+    const PAGES: usize = 512;
+    const OPS_PER_THREAD: usize = 4_000;
+
+    type SharedPage = Arc<RwLock<Box<[u8]>>>;
+
+    /// The old design in miniature: one mutex guards the whole page
+    /// table, and every fetch — hit or miss — takes it.
+    struct GlobalMutexCache {
+        map: Mutex<HashMap<PageId, SharedPage>>,
+    }
+
+    impl GlobalMutexCache {
+        fn fetch(&self, id: PageId) -> SharedPage {
+            Arc::clone(self.map.lock().unwrap().get(&id).expect("resident"))
+        }
+    }
+
+    let mut g = c.benchmark_group("buffer_cache");
+    g.sample_size(10);
+
+    let sharded = Arc::new(BufferCache::with_shards(
+        Arc::new(MemDisk::new()),
+        PAGES * 2,
+        8,
+    ));
+    let ids: Arc<Vec<PageId>> = Arc::new(
+        (0..PAGES)
+            .map(|_| {
+                sharded
+                    .new_page(PageType::Heap, PartitionId(0))
+                    .unwrap()
+                    .page_id()
+            })
+            .collect(),
+    );
+
+    let global = Arc::new(GlobalMutexCache {
+        map: Mutex::new(
+            ids.iter()
+                .map(|&id| {
+                    (
+                        id,
+                        Arc::new(RwLock::new(
+                            vec![0u8; btrim_pagestore::PAGE_SIZE].into_boxed_slice(),
+                        )),
+                    )
+                })
+                .collect(),
+        ),
+    });
+
+    for threads in [1usize, 4, 8] {
+        g.bench_function(format!("global_mutex_hit_{threads}thr"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let global = Arc::clone(&global);
+                        let ids = Arc::clone(&ids);
+                        s.spawn(move || {
+                            let mut x = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                            let mut acc = 0u64;
+                            for _ in 0..OPS_PER_THREAD {
+                                x ^= x << 13;
+                                x ^= x >> 7;
+                                x ^= x << 17;
+                                let id = ids[(x % PAGES as u64) as usize];
+                                let page = global.fetch(id);
+                                acc += page.read().unwrap()[0] as u64;
+                            }
+                            black_box(acc)
+                        });
+                    }
+                })
+            })
+        });
+
+        g.bench_function(format!("sharded_hit_{threads}thr"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let cache = Arc::clone(&sharded);
+                        let ids = Arc::clone(&ids);
+                        s.spawn(move || {
+                            let mut x = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                            let mut acc = 0u64;
+                            for _ in 0..OPS_PER_THREAD {
+                                x ^= x << 13;
+                                x ^= x >> 7;
+                                x ^= x << 17;
+                                let id = ids[(x % PAGES as u64) as usize];
+                                let guard = cache.fetch(id).unwrap();
+                                acc += guard.with_read(|buf| buf[0]) as u64;
+                            }
+                            black_box(acc)
+                        });
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_counters,
@@ -269,6 +389,7 @@ criterion_group!(
     bench_point_ops,
     bench_indexes,
     bench_queues,
-    bench_commit_path
+    bench_commit_path,
+    bench_buffer_cache
 );
 criterion_main!(benches);

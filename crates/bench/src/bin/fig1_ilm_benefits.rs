@@ -43,8 +43,7 @@ fn main() {
         let rel = on[i].tpm / off[i].tpm.max(1e-9);
         let hit = on[i].snapshot.imrs_hit_rate();
         let red = 1.0
-            - on[i].snapshot.imrs_used_bytes as f64
-                / off[i].snapshot.imrs_used_bytes.max(1) as f64;
+            - on[i].snapshot.imrs_used_bytes as f64 / off[i].snapshot.imrs_used_bytes.max(1) as f64;
         let gain_on = on[i].tpm / page[i].tpm.max(1e-9);
         let gain_off = off[i].tpm / page[i].tpm.max(1e-9);
         btrim_bench::row(&[

@@ -21,12 +21,7 @@ fn main() {
         mib(cfg_on.imrs_budget),
         cfg_on.steady
     );
-    btrim_bench::header(&[
-        "epoch",
-        "ilm_off_mib",
-        "ilm_on_mib",
-        "ilm_on_utilization",
-    ]);
+    btrim_bench::header(&["epoch", "ilm_off_mib", "ilm_on_mib", "ilm_on_utilization"]);
     for i in 0..on.len() {
         btrim_bench::row(&[
             i.to_string(),
@@ -37,8 +32,16 @@ fn main() {
     }
     // Stability check: max-vs-min over the second half of the run.
     let half = &on[on.len() / 2..];
-    let max = half.iter().map(|r| r.snapshot.imrs_used_bytes).max().unwrap();
-    let min = half.iter().map(|r| r.snapshot.imrs_used_bytes).min().unwrap();
+    let max = half
+        .iter()
+        .map(|r| r.snapshot.imrs_used_bytes)
+        .max()
+        .unwrap();
+    let min = half
+        .iter()
+        .map(|r| r.snapshot.imrs_used_bytes)
+        .min()
+        .unwrap();
     println!(
         "# ILM_ON second-half stability: min {} MiB, max {} MiB (ratio {})",
         mib(min),

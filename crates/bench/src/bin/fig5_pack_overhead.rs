@@ -12,13 +12,17 @@ fn main() {
     let cfg_on = default_config(EngineMode::IlmOn);
     let (_e_off, d_off) = build(&cfg_off);
     let (_e_on, d_on) = build(&cfg_on);
-    let mut recs =
-        btrim_bench::run_epochs_interleaved(&[(&d_off, &cfg_off), (&d_on, &cfg_on)]);
+    let mut recs = btrim_bench::run_epochs_interleaved(&[(&d_off, &cfg_off), (&d_on, &cfg_on)]);
     let on = recs.pop().unwrap();
     let off = recs.pop().unwrap();
 
     println!("# Fig 5 — normalized TpmC vs cumulative data packed (ILM_ON)");
-    btrim_bench::header(&["epoch", "normalized_tpm", "cumulative_packed_mib", "pack_txns"]);
+    btrim_bench::header(&[
+        "epoch",
+        "normalized_tpm",
+        "cumulative_packed_mib",
+        "pack_txns",
+    ]);
     for i in 0..on.len() {
         btrim_bench::row(&[
             i.to_string(),

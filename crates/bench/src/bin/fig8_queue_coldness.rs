@@ -34,7 +34,9 @@ fn main() {
     cols.extend((1..=10).map(|d| format!("d{d}")));
     println!("{}", cols.join("\t"));
     for name in TABLES {
-        let Some(table) = engine.table(name) else { continue };
+        let Some(table) = engine.table(name) else {
+            continue;
+        };
         // Average the bands across the table's partitions, weighting
         // equally (partition queues are per-partition in the design).
         let mut acc = [0.0f64; 10];

@@ -148,9 +148,7 @@ pub fn run_epochs(driver: &Driver, cfg: &ExpConfig) -> Vec<EpochRecord> {
 /// then epoch 1, and so on. Throughput comparisons between the modes
 /// are then computed on *adjacent* measurements, which cancels most of
 /// the host's scheduling noise.
-pub fn run_epochs_interleaved(
-    drivers: &[(&Driver, &ExpConfig)],
-) -> Vec<Vec<EpochRecord>> {
+pub fn run_epochs_interleaved(drivers: &[(&Driver, &ExpConfig)]) -> Vec<Vec<EpochRecord>> {
     let epochs = drivers.iter().map(|(_, c)| c.epochs).min().unwrap_or(0);
     let mut out: Vec<Vec<EpochRecord>> = drivers.iter().map(|_| Vec::new()).collect();
     for epoch in 0..epochs {

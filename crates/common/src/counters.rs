@@ -84,9 +84,7 @@ impl ShardedCounter {
     /// is correct as long as logical adds >= subs.
     #[inline]
     pub fn sub(&self, n: u64) {
-        self.shards[my_slot()]
-            .0
-            .fetch_sub(n, Ordering::Relaxed);
+        self.shards[my_slot()].0.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Aggregate the current value across all shards.

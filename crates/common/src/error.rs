@@ -27,8 +27,11 @@ pub enum BtrimError {
     /// engine is rejecting new in-memory rows (§VI.A "stop storing new
     /// rows in the IMRS").
     ImrsFull { requested: usize, available: usize },
-    /// A buffer-cache frame could not be found or pinned.
-    BufferExhausted,
+    /// Every buffer-cache frame is pinned, so nothing could be evicted
+    /// to make room. `pinned` close to `capacity` with a small capacity
+    /// means the cache is undersized; `pinned` close to `capacity` with
+    /// a generous capacity points at a pin (guard) leak.
+    BufferExhausted { pinned: usize, capacity: usize },
     /// A record or page failed to decode (corruption or version skew).
     Corrupt(String),
     /// Catalog-level misuse: unknown table, duplicate key, schema
@@ -58,7 +61,10 @@ impl fmt::Display for BtrimError {
                 f,
                 "IMRS cache full: requested {requested} bytes, {available} available"
             ),
-            BtrimError::BufferExhausted => write!(f, "buffer cache exhausted"),
+            BtrimError::BufferExhausted { pinned, capacity } => write!(
+                f,
+                "buffer cache exhausted: {pinned} of {capacity} frames pinned"
+            ),
             BtrimError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             BtrimError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
             BtrimError::DuplicateKey(msg) => write!(f, "duplicate key: {msg}"),

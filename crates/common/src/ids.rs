@@ -90,7 +90,16 @@ macro_rules! impl_display {
         }
     )*};
 }
-impl_display!(TableId, PartitionId, PageId, SlotId, RowId, Lsn, TxnId, Timestamp);
+impl_display!(
+    TableId,
+    PartitionId,
+    PageId,
+    SlotId,
+    RowId,
+    Lsn,
+    TxnId,
+    Timestamp
+);
 
 #[cfg(test)]
 mod tests {

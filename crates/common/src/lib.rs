@@ -16,6 +16,4 @@ pub mod ids;
 pub use clock::LogicalClock;
 pub use counters::ShardedCounter;
 pub use error::{BtrimError, Result};
-pub use ids::{
-    Lsn, PageId, PartitionId, RowId, SlotId, TableId, Timestamp, TxnId, NULL_PAGE_ID,
-};
+pub use ids::{Lsn, PageId, PartitionId, RowId, SlotId, TableId, Timestamp, TxnId, NULL_PAGE_ID};

@@ -181,7 +181,11 @@ impl Catalog {
     }
 
     /// Create a table with its heaps and primary/hash indexes.
-    pub fn create_table(&self, cache: &Arc<BufferCache>, opts: TableOpts) -> Result<Arc<TableDesc>> {
+    pub fn create_table(
+        &self,
+        cache: &Arc<BufferCache>,
+        opts: TableOpts,
+    ) -> Result<Arc<TableDesc>> {
         if self.by_name.read().contains_key(&opts.name) {
             return Err(BtrimError::Invalid(format!(
                 "table {} already exists",
@@ -302,10 +306,7 @@ mod tests {
         assert!(cat.table_by_name("warehouse").is_some());
         assert!(cat.table_by_name("nope").is_none());
         assert_eq!(cat.table(t.id).unwrap().id, t.id);
-        assert_eq!(
-            cat.table_of_partition(t.partitions[0]).unwrap().id,
-            t.id
-        );
+        assert_eq!(cat.table_of_partition(t.partitions[0]).unwrap().id, t.id);
     }
 
     #[test]
@@ -367,9 +368,17 @@ mod tests {
     fn secondary_index_attach() {
         let cat = Catalog::new();
         let c = cache();
-        let t = cat.create_table(&c, TableOpts::new("customer", pk())).unwrap();
-        cat.create_secondary_index(&c, &t, "by_last_name", false, Arc::new(|r: &[u8]| r.to_vec()))
+        let t = cat
+            .create_table(&c, TableOpts::new("customer", pk()))
             .unwrap();
+        cat.create_secondary_index(
+            &c,
+            &t,
+            "by_last_name",
+            false,
+            Arc::new(|r: &[u8]| r.to_vec()),
+        )
+        .unwrap();
         assert_eq!(t.secondaries.read().len(), 1);
         assert_eq!(t.secondaries.read()[0].name, "by_last_name");
     }

@@ -40,6 +40,9 @@ pub struct EngineConfig {
     pub imrs_chunk_size: u32,
     /// Buffer cache capacity in frames (8 KiB each).
     pub buffer_frames: usize,
+    /// Buffer cache shard count; 0 picks automatically from
+    /// `buffer_frames` (1 shard for small caches, up to 16 for large).
+    pub buffer_shards: usize,
     /// Steady cache utilization threshold in [0, 1] (§VI.A). Pack
     /// engages above this value; the system hovers around it.
     pub steady_utilization: f64,
@@ -107,6 +110,7 @@ impl Default for EngineConfig {
             imrs_budget: 256 * 1024 * 1024,
             imrs_chunk_size: 4 * 1024 * 1024,
             buffer_frames: 4096,
+            buffer_shards: 0,
             steady_utilization: 0.70,
             pack_cycle_fraction: 0.05,
             pack_txn_rows: 64,
@@ -164,6 +168,10 @@ impl EngineConfig {
         assert!(self.tuning_window_txns > 0);
         assert!(self.imrs_budget >= self.imrs_chunk_size as u64);
         assert!(self.buffer_frames >= 8);
+        assert!(
+            self.buffer_shards <= self.buffer_frames,
+            "more buffer shards than frames"
+        );
     }
 }
 

@@ -124,7 +124,11 @@ impl Engine {
         let group_sys = btrim_wal::GroupCommitter::new(Arc::clone(&syslog));
         let group_imrs = btrim_wal::GroupCommitter::new(Arc::clone(&imrslog));
         let sh = Shared {
-            cache: Arc::new(BufferCache::new(disk, cfg.buffer_frames)),
+            cache: Arc::new(BufferCache::with_shards(
+                disk,
+                cfg.buffer_frames,
+                cfg.buffer_shards,
+            )),
             store: ImrsStore::new(cfg.imrs_budget, cfg.imrs_chunk_size),
             ridmap: RidMap::new(),
             catalog: Catalog::new(),
@@ -312,9 +316,7 @@ impl Engine {
             if contended {
                 m.page_contention.inc();
             }
-            self.sh
-                .ridmap
-                .set(row_id, RowLocation::Page(page, slot));
+            self.sh.ridmap.set(row_id, RowLocation::Page(page, slot));
             self.ensure_begin(txn)?;
             self.sh.syslog.append(&PageLogRecord::Insert {
                 txn: txn.handle.id,
@@ -350,12 +352,7 @@ impl Engine {
 
     /// Point select by primary key. Applies the hash-index fast path
     /// and, for page-resident rows, the §IV caching rule.
-    pub fn get(
-        &self,
-        txn: &Transaction,
-        table: &TableDesc,
-        key: &[u8],
-    ) -> Result<Option<Vec<u8>>> {
+    pub fn get(&self, txn: &Transaction, table: &TableDesc, key: &[u8]) -> Result<Option<Vec<u8>>> {
         // Fast path: the non-logged hash index spans IMRS rows only and
         // resolves the RowId without touching the B+tree.
         if self.sh.cfg.mode != EngineMode::PageOnly {
@@ -487,7 +484,9 @@ impl Engine {
                 let data = v
                     .handle
                     .map(|h| self.sh.store.allocator().load(h))
-                    .ok_or_else(|| BtrimError::Corrupt("non-delete version without image".into()))?;
+                    .ok_or_else(|| {
+                        BtrimError::Corrupt("non-delete version without image".into())
+                    })?;
                 row.touch(self.sh.clock.now());
                 m.imrs_select.inc();
                 Ok(Some(data))
@@ -633,9 +632,9 @@ impl Engine {
                     _ => row.latest_committed(),
                 };
                 match v {
-                    Some(v) if v.op != VersionOp::Delete => Ok(v
-                        .handle
-                        .map(|h| self.sh.store.allocator().load(h))),
+                    Some(v) if v.op != VersionOp::Delete => {
+                        Ok(v.handle.map(|h| self.sh.store.allocator().load(h)))
+                    }
                     _ => Ok(None),
                 }
             }
@@ -1073,14 +1072,11 @@ impl Engine {
         // sees the (already committed) image in its new home.
         let ts_mig = self.sh.txns.oldest_active_snapshot();
         let itxn = self.sh.txns.begin();
-        let imrs_row = match self.sh.store.insert_row_committed(
-            row_id,
-            partition,
-            origin,
-            itxn.id,
-            &data,
-            ts_mig,
-        ) {
+        let imrs_row = match self
+            .sh
+            .store
+            .insert_row_committed(row_id, partition, origin, itxn.id, &data, ts_mig)
+        {
             Ok(r) => r,
             Err(e) => {
                 self.sh.txns.abort(itxn);
@@ -1096,7 +1092,9 @@ impl Engine {
         table.hash.insert(&key, row_id);
         // No double buffering (§II): the page copy is removed.
         heap.delete(&self.sh.cache, page, slot)?;
-        self.sh.syslog.append(&PageLogRecord::Begin { txn: itxn.id })?;
+        self.sh
+            .syslog
+            .append(&PageLogRecord::Begin { txn: itxn.id })?;
         self.sh.syslog.append(&PageLogRecord::Delete {
             txn: itxn.id,
             partition,
@@ -1181,7 +1179,9 @@ impl Engine {
             self.sh.imrslog.append(&rec)?;
         }
         if txn.wrote_syslog {
-            self.sh.syslog.append(&PageLogRecord::Commit { txn: id, ts })?;
+            self.sh
+                .syslog
+                .append(&PageLogRecord::Commit { txn: id, ts })?;
         }
         if self.sh.cfg.durable_commits {
             // Group commit: concurrent committers share device syncs.
@@ -1337,7 +1337,8 @@ impl Engine {
     pub fn run_maintenance(&self) {
         let sh = &self.sh;
         let oldest = sh.txns.oldest_active_snapshot();
-        sh.gc.tick(&sh.store, &sh.queues, &sh.ridmap, oldest, 16_384);
+        sh.gc
+            .tick(&sh.store, &sh.queues, &sh.ridmap, oldest, 16_384);
         if sh.cfg.mode != EngineMode::IlmOn {
             return;
         }
@@ -1429,19 +1430,20 @@ impl Engine {
             // Collect RowIds first: moving rows mutates the heap we
             // would otherwise be scanning.
             let mut rows: Vec<RowId> = Vec::new();
-            table.heap(partition).scan(&self.sh.cache, |_, _, payload| {
-                if let Ok((row_id, _)) = unwrap_row(payload) {
-                    rows.push(row_id);
-                }
-                true
-            })?;
+            table
+                .heap(partition)
+                .scan(&self.sh.cache, |_, _, payload| {
+                    if let Ok((row_id, _)) = unwrap_row(payload) {
+                        rows.push(row_id);
+                    }
+                    true
+                })?;
             for row_id in rows {
                 let mover = self.sh.pack.internal_txn_id();
                 if !self.sh.locks.try_lock(mover, row_id, LockMode::Exclusive) {
                     continue;
                 }
-                let moved =
-                    self.move_to_imrs_locked(table, partition, row_id, RowOrigin::Cached);
+                let moved = self.move_to_imrs_locked(table, partition, row_id, RowOrigin::Cached);
                 self.sh.locks.unlock(mover, row_id);
                 if moved.is_ok() {
                     warmed += 1;
@@ -1463,7 +1465,10 @@ impl Engine {
             .store
             .get(rid)
             .map(|r| format!("{:?} last_access={:?}", r.chain_summary(), r.last_access()));
-        format!("rid={rid:?} loc={loc:?} chain={chain:?} now={:?}", self.sh.clock.now())
+        format!(
+            "rid={rid:?} loc={loc:?} chain={chain:?} now={:?}",
+            self.sh.clock.now()
+        )
     }
 
     /// Where a row currently lives (introspection: examples, tests,

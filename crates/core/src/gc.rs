@@ -106,20 +106,18 @@ impl GcRegistry {
             // (c) Dead-tombstone removal: the delete is committed, old
             // enough that no snapshot can see the pre-image, and the
             // chain is fully truncated.
-            let dead = row
-                .latest_committed()
-                .is_some_and(|v| {
-                    v.op == btrim_imrs::VersionOp::Delete
-                        && v.commit_ts().is_some_and(|ts| ts <= oldest_active)
-                })
-                && row.version_count() == 1;
+            let dead = row.latest_committed().is_some_and(|v| {
+                v.op == btrim_imrs::VersionOp::Delete
+                    && v.commit_ts().is_some_and(|ts| ts <= oldest_active)
+            }) && row.version_count() == 1;
             if dead {
                 store.remove_row(row_id);
                 ridmap.remove(row_id);
                 report.rows_removed += 1;
             }
         }
-        self.processed.fetch_add(report.processed, Ordering::Relaxed);
+        self.processed
+            .fetch_add(report.processed, Ordering::Relaxed);
         self.bytes_freed
             .fetch_add(report.bytes_freed, Ordering::Relaxed);
         self.rows_removed

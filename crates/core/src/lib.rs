@@ -49,7 +49,5 @@ pub use engine::Engine;
 pub use stats::EngineSnapshot;
 pub use txn_ctx::Transaction;
 
-pub use btrim_common::{
-    BtrimError, PartitionId, Result, RowId, TableId, Timestamp, TxnId,
-};
+pub use btrim_common::{BtrimError, PartitionId, Result, RowId, TableId, Timestamp, TxnId};
 pub use btrim_imrs::{RowLocation, RowOrigin};

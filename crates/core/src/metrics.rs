@@ -85,7 +85,9 @@ impl MetricsSnapshot {
             page_contention: self.page_contention.saturating_sub(earlier.page_contention),
             rows_in: self.rows_in.saturating_sub(earlier.rows_in),
             rows_packed: self.rows_packed.saturating_sub(earlier.rows_packed),
-            rows_skipped_hot: self.rows_skipped_hot.saturating_sub(earlier.rows_skipped_hot),
+            rows_skipped_hot: self
+                .rows_skipped_hot
+                .saturating_sub(earlier.rows_skipped_hot),
         }
     }
 }

@@ -350,7 +350,11 @@ fn pack_rows(
     let mut freed = 0u64;
     let mut wrote = false;
 
-    if sh.syslog.append(&PageLogRecord::Begin { txn: pack_txn }).is_err() {
+    if sh
+        .syslog
+        .append(&PageLogRecord::Begin { txn: pack_txn })
+        .is_err()
+    {
         return 0;
     }
     let queues = sh.queues.get(partition);
@@ -468,8 +472,7 @@ fn pack_one_locked(
     // Flip the RID-Map, drop the hash fast path, release the memory.
     let key = (table.primary_key)(&data);
     table.hash.remove(&key);
-    sh.ridmap
-        .set(row_id, RowLocation::Page(page, slot));
+    sh.ridmap.set(row_id, RowLocation::Page(page, slot));
     sh.store.remove_row(row_id);
     Ok(bytes.max(1))
 }

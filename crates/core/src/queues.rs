@@ -158,8 +158,10 @@ mod tests {
     #[test]
     fn registry_is_per_partition() {
         let r = IlmQueues::new();
-        r.get(PartitionId(1)).push_tail(RowOrigin::Inserted, RowId(9));
-        r.get(PartitionId(2)).push_tail(RowOrigin::Inserted, RowId(8));
+        r.get(PartitionId(1))
+            .push_tail(RowOrigin::Inserted, RowId(9));
+        r.get(PartitionId(2))
+            .push_tail(RowOrigin::Inserted, RowId(8));
         assert_eq!(r.get(PartitionId(1)).len(), 1);
         assert_eq!(r.get(PartitionId(2)).len(), 1);
         assert_eq!(r.total_len(), 2);

@@ -119,9 +119,7 @@ impl Engine {
                 _ => {}
             }
         }
-        self.sh
-            .clock
-            .advance_to(analysis.max_commit_ts);
+        self.sh.clock.advance_to(analysis.max_commit_ts);
         Ok(())
     }
 
@@ -201,9 +199,7 @@ impl Engine {
                 if let Ok((row_id, data)) = unwrap_row(payload) {
                     heap_locs.insert(row_id, (page, slot));
                     max_row_id = max_row_id.max(row_id);
-                    self.sh
-                        .ridmap
-                        .set(row_id, RowLocation::Page(page, slot));
+                    self.sh.ridmap.set(row_id, RowLocation::Page(page, slot));
                     Self::index_row(&table, row_id, data);
                 }
                 true
@@ -294,8 +290,7 @@ impl Engine {
                         None => {
                             // Defensive: an update without a resident row
                             // (should not happen in an intact log).
-                            let Some(table) = self.sh.catalog.table_of_partition(partition)
-                            else {
+                            let Some(table) = self.sh.catalog.table_of_partition(partition) else {
                                 continue;
                             };
                             self.sh.store.insert_row_committed(
@@ -313,15 +308,11 @@ impl Engine {
                         }
                     }
                 }
-                ImrsLogRecord::Delete {
-                    partition, row, ..
-                } => {
+                ImrsLogRecord::Delete { partition, row, .. } => {
                     self.drop_imrs_row(partition, row, true)?;
                     self.sh.ridmap.remove(row);
                 }
-                ImrsLogRecord::Pack {
-                    partition, row, ..
-                } => {
+                ImrsLogRecord::Pack { partition, row, .. } => {
                     // The packed copy was re-inserted by syslogs redo —
                     // unless the row was subsequently deleted from the
                     // page store (or re-migrated; a later Insert record
@@ -332,9 +323,7 @@ impl Engine {
                     match heap_locs.get(&row) {
                         Some(&(page, slot)) => {
                             self.drop_imrs_row(partition, row, false)?;
-                            self.sh
-                                .ridmap
-                                .set(row, RowLocation::Page(page, slot));
+                            self.sh.ridmap.set(row, RowLocation::Page(page, slot));
                         }
                         None => {
                             self.drop_imrs_row(partition, row, true)?;
@@ -384,8 +373,12 @@ impl Engine {
         self.sh.store.for_each_row(|r| rows.push(r.row_id));
         self.sh.gc.register_many(rows);
         let oldest = self.sh.txns.oldest_active_snapshot();
-        self.sh
-            .gc
-            .tick(&self.sh.store, &self.sh.queues, &self.sh.ridmap, oldest, usize::MAX);
+        self.sh.gc.tick(
+            &self.sh.store,
+            &self.sh.queues,
+            &self.sh.ridmap,
+            oldest,
+            usize::MAX,
+        );
     }
 }

@@ -210,7 +210,8 @@ impl EngineSnapshot {
              IMRS {:>6.1} MiB / {:.1} MiB ({:>4.1}%)   rows {:>8}   hit rate {:>5.1}%\n\
              pack: cycles {} rows {} skipped {} bytes {:.1} MiB   TSF Ʈ {}\n\
              GC freed {:.1} MiB   tuning windows {}\n\
-             buffer: hits {} misses {} evictions {} contention {}\n",
+             buffer: hits {} misses {} evictions {} contention {} \
+             shard-lock {} io-waits {}\n",
             self.committed_txns,
             self.aborted_txns,
             self.commit_ts,
@@ -230,6 +231,8 @@ impl EngineSnapshot {
             self.buffer.misses,
             self.buffer.evictions,
             self.buffer.latch_contention,
+            self.buffer.shard_lock_contention,
+            self.buffer.io_waits,
         ));
         out.push_str(&format!(
             "── tables ─────────────────────────────────────────────\n\
@@ -265,7 +268,10 @@ mod tests {
     fn report_renders_every_table_and_headline_numbers() {
         let e = Engine::new(EngineConfig::with_mode(EngineMode::IlmOn, 8 * 1024 * 1024));
         let t = e
-            .create_table(TableOpts::new("events", Arc::new(|r: &[u8]| r[..8].to_vec())))
+            .create_table(TableOpts::new(
+                "events",
+                Arc::new(|r: &[u8]| r[..8].to_vec()),
+            ))
             .unwrap();
         let mut txn = e.begin();
         for i in 0..10u64 {

@@ -94,8 +94,7 @@ impl TsfLearner {
                 // Epsilon guards float rounding on threshold compares.
                 if utilization >= c.start_util + self.learn_delta - 1e-9 {
                     let elapsed = now.delta_since(c.start_ts).max(1);
-                    let tau =
-                        (elapsed as f64 * self.steady / self.learn_delta).round() as u64;
+                    let tau = (elapsed as f64 * self.steady / self.learn_delta).round() as u64;
                     self.tau.store(tau.max(1), Ordering::Relaxed);
                     self.last_learned_at
                         .store(committed_txns, Ordering::Relaxed);

@@ -198,8 +198,10 @@ impl Tuner {
                     usage.bytes() >= (cfg.min_partition_footprint * budget as f64) as u64;
                 let guard_growth = delta.rows_in >= cfg.min_new_rows_for_disable;
                 let avg_reuse = delta.reuse_ops as f64 / usage.rows().max(1) as f64;
-                let vote_disable =
-                    guard_util && guard_footprint && guard_growth && avg_reuse < cfg.low_reuse_threshold;
+                let vote_disable = guard_util
+                    && guard_footprint
+                    && guard_growth
+                    && avg_reuse < cfg.low_reuse_threshold;
                 state.enable_votes.store(0, Ordering::Relaxed);
                 if vote_disable {
                     let votes = state.disable_votes.fetch_add(1, Ordering::Relaxed) + 1;
@@ -215,12 +217,10 @@ impl Tuner {
                     state.disable_votes.store(0, Ordering::Relaxed);
                 }
             } else {
-                let contention =
-                    delta.page_contention >= cfg.contention_reenable_threshold;
+                let contention = delta.page_contention >= cfg.contention_reenable_threshold;
                 let baseline = state.activity_at_disable.lock().unwrap_or(0).max(1);
                 let activity = delta.reuse_ops + delta.page_ops;
-                let demand_growth =
-                    activity as f64 >= cfg.reuse_reenable_factor * baseline as f64;
+                let demand_growth = activity as f64 >= cfg.reuse_reenable_factor * baseline as f64;
                 state.disable_votes.store(0, Ordering::Relaxed);
                 if contention || demand_growth {
                     let votes = state.enable_votes.fetch_add(1, Ordering::Relaxed) + 1;

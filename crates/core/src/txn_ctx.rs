@@ -157,11 +157,7 @@ impl Transaction {
 
     /// Record an IMRS row with uncommitted versions from us.
     pub(crate) fn remember_touched(&mut self, row: &Arc<ImrsRow>) {
-        if !self
-            .touched_imrs
-            .iter()
-            .any(|r| r.row_id == row.row_id)
-        {
+        if !self.touched_imrs.iter().any(|r| r.row_id == row.row_id) {
             self.touched_imrs.push(Arc::clone(row));
         }
     }

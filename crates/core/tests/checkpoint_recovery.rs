@@ -59,7 +59,8 @@ fn recovery_with_mid_run_checkpoint_is_exact() {
         // inserts, never flushed.
         let mut txn = e.begin();
         for i in 0..20u64 {
-            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, b"after!")).unwrap();
+            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, b"after!"))
+                .unwrap();
         }
         for i in 40..60u64 {
             e.insert(&mut txn, &t, &mkrow(i, b"late")).unwrap();
@@ -135,7 +136,11 @@ fn checkpoint_never_flushes_imrs_data() {
     })
     .unwrap();
     let t = e.table("t").unwrap();
-    assert_eq!(e.snapshot().imrs_rows, 50, "IMRS rebuilt from redo-only log");
+    assert_eq!(
+        e.snapshot().imrs_rows,
+        50,
+        "IMRS rebuilt from redo-only log"
+    );
     let txn = e.begin();
     for i in 0..50u64 {
         assert_eq!(
@@ -199,7 +204,8 @@ fn quiesced_checkpoint_truncates_syslogs_and_recovery_still_works() {
         // Post-checkpoint changes land after the truncation point.
         let mut txn = e.begin();
         for i in 0..10u64 {
-            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, b"pst")).unwrap();
+            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, b"pst"))
+                .unwrap();
         }
         e.commit(txn).unwrap();
     }
@@ -210,10 +216,16 @@ fn quiesced_checkpoint_truncates_syslogs_and_recovery_still_works() {
     let t = e.table("t").unwrap();
     let txn = e.begin();
     for i in 0..10u64 {
-        assert_eq!(&e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..], b"pst");
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"pst"
+        );
     }
     for i in 10..30u64 {
-        assert_eq!(&e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..], b"pre");
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"pre"
+        );
     }
     e.commit(txn).unwrap();
 }

@@ -24,7 +24,7 @@ fn opts(name: &str) -> TableOpts {
     TableOpts {
         name: name.into(),
         imrs_enabled: true,
-            pinned: false,
+        pinned: false,
         partitioner: Partitioner::Single,
         primary_key: Arc::new(key_of),
     }
@@ -82,7 +82,9 @@ fn update_and_delete_imrs() {
     e.commit(txn).unwrap();
 
     let mut txn = e.begin();
-    assert!(e.update(&mut txn, &t, &1u64.to_be_bytes(), &mkrow(1, b"v2")).unwrap());
+    assert!(e
+        .update(&mut txn, &t, &1u64.to_be_bytes(), &mkrow(1, b"v2"))
+        .unwrap());
     e.commit(txn).unwrap();
 
     let txn = e.begin();
@@ -143,7 +145,9 @@ fn abort_rolls_back_everything() {
 
     let mut txn = e.begin();
     e.insert(&mut txn, &t, &mkrow(2, b"doomed")).unwrap();
-    assert!(e.update(&mut txn, &t, &1u64.to_be_bytes(), &mkrow(1, b"dirty")).unwrap());
+    assert!(e
+        .update(&mut txn, &t, &1u64.to_be_bytes(), &mkrow(1, b"dirty"))
+        .unwrap());
     assert!(e.delete(&mut txn, &t, &1u64.to_be_bytes()).unwrap());
     e.abort(txn);
 
@@ -164,7 +168,9 @@ fn abort_rolls_back_page_store_changes() {
 
     let mut txn = e.begin();
     e.insert(&mut txn, &t, &mkrow(2, b"temp")).unwrap();
-    assert!(e.update(&mut txn, &t, &1u64.to_be_bytes(), &mkrow(1, b"mod")).unwrap());
+    assert!(e
+        .update(&mut txn, &t, &1u64.to_be_bytes(), &mkrow(1, b"mod"))
+        .unwrap());
     e.abort(txn);
 
     let txn = e.begin();
@@ -181,7 +187,8 @@ fn update_rmw_sees_latest_committed() {
     let e = engine(EngineMode::IlmOn);
     let t = e.create_table(opts("counter")).unwrap();
     let mut txn = e.begin();
-    e.insert(&mut txn, &t, &mkrow(1, &0u64.to_be_bytes())).unwrap();
+    e.insert(&mut txn, &t, &mkrow(1, &0u64.to_be_bytes()))
+        .unwrap();
     e.commit(txn).unwrap();
 
     // Sequential increments through RMW never lose updates, even
@@ -410,12 +417,7 @@ fn recovery_restores_imrs_and_page_rows() {
         ..Default::default()
     };
     {
-        let e = Engine::with_devices(
-            cfg.clone(),
-            disk.clone(),
-            syslog.clone(),
-            imrslog.clone(),
-        );
+        let e = Engine::with_devices(cfg.clone(), disk.clone(), syslog.clone(), imrslog.clone());
         let t = e.create_table(opts("t")).unwrap();
         let mut txn = e.begin();
         for i in 0..60u64 {

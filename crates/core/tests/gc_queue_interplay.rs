@@ -43,11 +43,16 @@ fn every_committed_row_reaches_the_queue_exactly_once() {
     // flag prevents duplicates.
     let mut txn = e.begin();
     for i in 0..500u64 {
-        e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, 2)).unwrap();
+        e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, 2))
+            .unwrap();
     }
     e.commit(txn).unwrap();
     e.run_maintenance();
-    assert_eq!(e.snapshot().queue_total, 500, "still exactly one entry per row");
+    assert_eq!(
+        e.snapshot().queue_total,
+        500,
+        "still exactly one entry per row"
+    );
 }
 
 #[test]
@@ -68,7 +73,8 @@ fn version_churn_is_reclaimed_by_gc() {
     for round in 1..=40u8 {
         let mut txn = e.begin();
         for i in 0..50u64 {
-            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, round)).unwrap();
+            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, round))
+                .unwrap();
         }
         e.commit(txn).unwrap();
         e.run_maintenance();

@@ -40,7 +40,8 @@ fn engine(budget: u64) -> Engine {
 fn fill(e: &Engine, t: &btrim_core::catalog::TableDesc, base: u64, rows: u64, size: usize) {
     let mut txn = e.begin();
     for i in 0..rows {
-        e.insert(&mut txn, t, &mkrow(base + i, &vec![0xAA; size])).unwrap();
+        e.insert(&mut txn, t, &mkrow(base + i, &vec![0xAA; size]))
+            .unwrap();
     }
     e.commit(txn).unwrap();
 }

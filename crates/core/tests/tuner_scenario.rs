@@ -58,7 +58,8 @@ fn low_reuse_partition_is_disabled_then_reenabled_on_demand() {
     let mut next_key = 1_000u64;
     for _ in 0..2_000 {
         let mut txn = e.begin();
-        e.insert(&mut txn, &log, &mkrow(next_key, &[1u8; 160])).unwrap();
+        e.insert(&mut txn, &log, &mkrow(next_key, &[1u8; 160]))
+            .unwrap();
         next_key += 1;
         e.get(&txn, &conf, &(next_key % 32).to_be_bytes())
             .unwrap()
@@ -78,7 +79,8 @@ fn low_reuse_partition_is_disabled_then_reenabled_on_demand() {
     // With IMRS disabled, new `log` inserts land on the page store.
     {
         let mut txn = e.begin();
-        e.insert(&mut txn, &log, &mkrow(9_999_999, &[2u8; 160])).unwrap();
+        e.insert(&mut txn, &log, &mkrow(9_999_999, &[2u8; 160]))
+            .unwrap();
         e.commit(txn).unwrap();
         assert!(matches!(
             e.locate(&log, &9_999_999u64.to_be_bytes()).unwrap(),

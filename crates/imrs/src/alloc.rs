@@ -193,7 +193,10 @@ impl FragmentAllocator {
 
     fn insert_free(st: &mut AllocState, chunk: u32, offset: u32, len: u32) {
         st.free_by_size.insert((len, chunk, offset));
-        st.free_by_addr.entry(chunk).or_default().insert(offset, len);
+        st.free_by_addr
+            .entry(chunk)
+            .or_default()
+            .insert(offset, len);
     }
 
     /// Return a fragment to the pool, coalescing with free neighbours.
@@ -329,7 +332,7 @@ mod tests {
             }
         }
         assert_eq!(held.len(), 32); // 32 KiB / 1 KiB
-        // Freeing one makes room again.
+                                    // Freeing one makes room again.
         a.free(held.pop().unwrap());
         assert!(a.alloc(&[0u8; 1024]).is_ok());
     }

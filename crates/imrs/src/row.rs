@@ -244,7 +244,13 @@ mod tests {
     fn snapshot_reads_see_correct_version() {
         let a = alloc();
         let v1 = committed_version(&a, 1, 10, b"v1");
-        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let row = ImrsRow::new(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Inserted,
+            v1,
+            Timestamp(10),
+        );
         row.push_version(committed_version(&a, 2, 20, b"v2"));
         row.push_version(committed_version(&a, 3, 30, b"v3"));
 
@@ -263,7 +269,13 @@ mod tests {
     fn own_uncommitted_writes_visible_only_to_writer() {
         let a = alloc();
         let v1 = committed_version(&a, 1, 10, b"committed");
-        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let row = ImrsRow::new(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Inserted,
+            v1,
+            Timestamp(10),
+        );
         let h = a.alloc(b"pending").unwrap();
         row.push_version(Arc::new(Version::new(TxnId(7), VersionOp::Update, Some(h))));
 
@@ -277,7 +289,13 @@ mod tests {
     fn truncate_reclaims_old_versions_only() {
         let a = alloc();
         let v1 = committed_version(&a, 1, 10, b"v1");
-        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let row = ImrsRow::new(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Inserted,
+            v1,
+            Timestamp(10),
+        );
         row.push_version(committed_version(&a, 2, 20, b"v2"));
         row.push_version(committed_version(&a, 3, 30, b"v3"));
         assert_eq!(row.version_count(), 3);
@@ -300,7 +318,13 @@ mod tests {
     fn rollback_removes_only_that_txns_uncommitted_versions() {
         let a = alloc();
         let v1 = committed_version(&a, 1, 10, b"v1");
-        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let row = ImrsRow::new(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Inserted,
+            v1,
+            Timestamp(10),
+        );
         let h = a.alloc(b"doomed").unwrap();
         row.push_version(Arc::new(Version::new(TxnId(5), VersionOp::Update, Some(h))));
         let used_before = a.used_bytes();
@@ -316,7 +340,13 @@ mod tests {
     fn tombstone_marks_row_deleted() {
         let a = alloc();
         let v1 = committed_version(&a, 1, 10, b"v1");
-        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let row = ImrsRow::new(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Inserted,
+            v1,
+            Timestamp(10),
+        );
         assert!(!row.is_deleted());
         row.push_version(Arc::new(Version::committed(
             TxnId(2),
@@ -334,7 +364,13 @@ mod tests {
     fn touch_updates_hotness() {
         let a = alloc();
         let v1 = committed_version(&a, 1, 10, b"v1");
-        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Cached, v1, Timestamp(10));
+        let row = ImrsRow::new(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Cached,
+            v1,
+            Timestamp(10),
+        );
         assert_eq!(row.reuse_count(), 0);
         row.touch(Timestamp(42));
         row.touch(Timestamp(43));
@@ -346,7 +382,13 @@ mod tests {
     fn free_all_releases_everything() {
         let a = alloc();
         let v1 = committed_version(&a, 1, 10, b"version one");
-        let row = ImrsRow::new(RowId(1), PartitionId(0), RowOrigin::Inserted, v1, Timestamp(10));
+        let row = ImrsRow::new(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Inserted,
+            v1,
+            Timestamp(10),
+        );
         row.push_version(committed_version(&a, 2, 20, b"version two"));
         assert!(row.memory() > 0);
         row.free_all(&a);

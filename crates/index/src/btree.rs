@@ -84,7 +84,6 @@ impl Node {
             .map(|(k, _)| 12 + k.len())
             .sum::<usize>()
     }
-
 }
 
 /// Allocation-free view over an encoded node blob. Layout:
@@ -115,8 +114,7 @@ impl<'a> BlobView<'a> {
         (0..self.n).map(move |_| {
             let len = u32::from_le_bytes(blob[off..off + 4].try_into().unwrap()) as usize;
             let key = &blob[off + 4..off + 4 + len];
-            let val =
-                u64::from_le_bytes(blob[off + 4 + len..off + 12 + len].try_into().unwrap());
+            let val = u64::from_le_bytes(blob[off + 4 + len..off + 12 + len].try_into().unwrap());
             off += 12 + len;
             (key, val)
         })
@@ -177,7 +175,12 @@ impl BTreeIndex {
     }
 
     /// Re-attach to an existing tree (recovery).
-    pub fn open(cache: Arc<BufferCache>, partition: PartitionId, unique: bool, root: PageId) -> Self {
+    pub fn open(
+        cache: Arc<BufferCache>,
+        partition: PartitionId,
+        unique: bool,
+        root: PageId,
+    ) -> Self {
         BTreeIndex {
             cache,
             partition,
@@ -440,18 +443,16 @@ impl BTreeIndex {
         let mut pid = leaf_pid;
         loop {
             let mut node = self.read_node(pid)?;
-            let pos = node.entries.iter().position(|(k, v)| {
-                k.as_slice() == key && rid.is_none_or(|r| *v == r.0)
-            });
+            let pos = node
+                .entries
+                .iter()
+                .position(|(k, v)| k.as_slice() == key && rid.is_none_or(|r| *v == r.0));
             if let Some(pos) = pos {
                 node.entries.remove(pos);
                 self.write_node(pid, &node)?;
                 return Ok(true);
             }
-            let past = node
-                .entries
-                .last()
-                .is_some_and(|(k, _)| k.as_slice() > key);
+            let past = node.entries.last().is_some_and(|(k, _)| k.as_slice() > key);
             if past {
                 return Ok(false);
             }

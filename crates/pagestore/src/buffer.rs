@@ -1,25 +1,53 @@
-//! Buffer cache with clock replacement and latch-contention accounting.
+//! Sharded buffer cache with clock replacement, I/O outside the shard
+//! latch, and latch-contention accounting.
 //!
-//! The buffer cache holds page frames, each protected by a reader-writer
-//! latch. Fetching a page pins its frame (pinned frames are never
-//! evicted); the returned [`PageGuard`] unpins on drop. Replacement is
-//! the clock (second-chance) algorithm over unpinned frames.
+//! The cache is split into N shards, each an independently locked page
+//! table plus clock state; a page's shard is fixed by a hash of its id.
+//! Fetching a page pins its frame (pinned frames are never evicted);
+//! the returned [`PageGuard`] unpins on drop. Replacement is the clock
+//! (second-chance) algorithm over the unpinned frames of one shard.
 //!
-//! Latch acquisition first *tries* the latch and counts a contention
-//! event when it must block — this is the page-store contention signal
-//! the ILM partition tuner consumes (§III, §V.D): "operations on
-//! page-store which observed contention".
+//! **No disk I/O happens under a shard lock.** A miss installs a frame
+//! in `Pending` state, releases the shard, and reads from disk holding
+//! only the frame's own latch; concurrent fetchers of the same page
+//! wait on that frame, not the shard, so a slow read of page A never
+//! blocks a hit on page B. Eviction likewise marks its victim
+//! `Evicting`, drops the shard lock to write the page back, and only
+//! then completes the removal — aborting if the page was re-pinned or
+//! re-dirtied during the flush.
+//!
+//! Capacity is a single global frame budget. Each shard has a base
+//! quota of `capacity / shards` frames plus a small borrow headroom;
+//! a shard may exceed its quota as long as the global budget holds,
+//! and eviction pressure is applied to the over-quota (home) shard
+//! first, so shards drift back toward their quota.
+//!
+//! Page-latch acquisition first *tries* the latch and counts a
+//! contention event when it must block — this is the page-store
+//! contention signal the ILM partition tuner consumes (§III, §V.D):
+//! "operations on page-store which observed contention". Shard-lock
+//! contention is tracked separately and does **not** feed the tuner;
+//! it measures the cache's own bookkeeping overhead.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use btrim_common::{BtrimError, PageId, PartitionId, Result};
 
 use crate::disk::DiskBackend;
 use crate::page::{PageType, PageView, SlottedPage, PAGE_SIZE};
+
+/// Frame is installed but its disk read is still in flight.
+const STATE_PENDING: u8 = 0;
+/// Frame data is valid.
+const STATE_READY: u8 = 1;
+/// The disk read failed; the frame has been unmapped.
+const STATE_FAILED: u8 = 2;
+/// An evictor is writing the (valid) data back outside the shard lock.
+const STATE_EVICTING: u8 = 3;
 
 /// One resident page frame.
 struct Frame {
@@ -28,17 +56,44 @@ struct Frame {
     pin: AtomicU32,
     referenced: AtomicBool,
     dirty: AtomicBool,
+    state: AtomicU8,
+    /// Pairs with `io_cv` so fetchers can sleep until a pending read
+    /// completes; protects nothing but the wait itself.
+    io: Mutex<()>,
+    io_cv: Condvar,
 }
 
 impl Frame {
-    fn new(page_id: PageId, data: Box<[u8]>) -> Arc<Frame> {
+    fn new(page_id: PageId, data: Box<[u8]>, state: u8, dirty: bool) -> Arc<Frame> {
         Arc::new(Frame {
             page_id,
             data: RwLock::new(data),
             pin: AtomicU32::new(1),
             referenced: AtomicBool::new(true),
-            dirty: AtomicBool::new(false),
+            dirty: AtomicBool::new(dirty),
+            state: AtomicU8::new(state),
+            io: Mutex::new(()),
+            io_cv: Condvar::new(),
         })
+    }
+
+    /// Block until the frame leaves `Pending`; returns the final state.
+    fn wait_ready(&self) -> u8 {
+        let mut g = self.io.lock();
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if s != STATE_PENDING {
+                return s;
+            }
+            self.io_cv.wait(&mut g);
+        }
+    }
+
+    /// Publish a state transition and wake any waiting fetchers.
+    fn set_state(&self, s: u8) {
+        let _g = self.io.lock();
+        self.state.store(s, Ordering::Release);
+        self.io_cv.notify_all();
     }
 }
 
@@ -50,6 +105,7 @@ pub struct BufferStats {
     evictions: AtomicU64,
     flushes: AtomicU64,
     latch_contention: AtomicU64,
+    io_waits: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`BufferStats`].
@@ -63,21 +119,24 @@ pub struct BufferStatsSnapshot {
     pub evictions: u64,
     /// Dirty pages written back.
     pub flushes: u64,
-    /// Latch acquisitions that had to block.
+    /// Page-latch acquisitions that had to block (the tuner's §V.D
+    /// contention signal).
     pub latch_contention: u64,
+    /// Shard-lock acquisitions that had to block, summed over shards.
+    /// Cache bookkeeping overhead; not part of the tuner signal.
+    pub shard_lock_contention: u64,
+    /// Fetches that waited for another thread's in-flight disk read of
+    /// the same page.
+    pub io_waits: u64,
 }
 
-impl BufferStats {
-    /// Snapshot all counters.
-    pub fn snapshot(&self) -> BufferStatsSnapshot {
-        BufferStatsSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            latch_contention: self.latch_contention.load(Ordering::Relaxed),
-        }
-    }
+/// Per-shard occupancy and contention, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStat {
+    /// Frames resident in this shard.
+    pub resident: usize,
+    /// Blocking acquisitions of this shard's lock.
+    pub lock_contention: u64,
 }
 
 thread_local! {
@@ -88,32 +147,108 @@ thread_local! {
     static THREAD_CONTENTION: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
-struct Inner {
-    map: HashMap<PageId, Arc<Frame>>,
-    clock: Vec<PageId>,
+/// One independently locked slice of the cache.
+struct Shard {
+    inner: Mutex<ShardInner>,
+    lock_contention: AtomicU64,
+}
+
+struct ShardInner {
+    /// Resident frames in clock order; eviction uses `swap_remove`, so
+    /// the order is a rotation-with-substitution rather than strict
+    /// insertion order (second-chance bits still protect hot pages).
+    frames: Vec<Arc<Frame>>,
+    /// Page id -> index into `frames`.
+    map: HashMap<PageId, usize>,
     hand: usize,
+}
+
+impl ShardInner {
+    /// O(1) removal of the frame at `idx`, fixing up the moved entry's
+    /// map slot and the clock hand.
+    fn remove_at(&mut self, idx: usize) {
+        let frame = self.frames.swap_remove(idx);
+        self.map.remove(&frame.page_id);
+        if idx < self.frames.len() {
+            let moved = self.frames[idx].page_id;
+            self.map.insert(moved, idx);
+        }
+        if self.hand > idx {
+            self.hand -= 1;
+        }
+    }
+}
+
+/// Outcome of one eviction attempt on one shard.
+enum EvictOutcome {
+    /// A frame was removed and the global budget credited.
+    Evicted,
+    /// A victim was chosen but re-pinned/re-dirtied during write-back;
+    /// it was restored. Progress was made (its reference state aged).
+    Aborted,
+    /// No evictable frame in this shard right now.
+    Nothing,
 }
 
 /// The buffer cache.
 pub struct BufferCache {
     backend: Arc<dyn DiskBackend>,
     capacity: usize,
-    inner: Mutex<Inner>,
+    /// Frames currently charged against `capacity` (resident plus
+    /// pending installs).
+    resident: AtomicUsize,
+    shards: Box<[Shard]>,
+    /// Hard per-shard bound: base quota plus borrow headroom.
+    shard_cap: usize,
     stats: BufferStats,
 }
 
+/// Bound on reserve/evict rounds before giving up; only reachable under
+/// pathological contention where other threads keep stealing every
+/// freed slot.
+const MAX_ROOM_ROUNDS: usize = 64;
+
 impl BufferCache {
-    /// Create a cache of `capacity` frames over `backend`.
+    /// Create a cache of `capacity` frames over `backend`, with an
+    /// automatically chosen shard count (1 for small caches, up to 16
+    /// for large ones).
     pub fn new(backend: Arc<dyn DiskBackend>, capacity: usize) -> Self {
+        Self::with_shards(backend, capacity, 0)
+    }
+
+    /// Create a cache with an explicit shard count; `shards == 0`
+    /// selects automatically.
+    pub fn with_shards(backend: Arc<dyn DiskBackend>, capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "buffer cache needs at least one frame");
+        let n = if shards == 0 {
+            auto_shards(capacity)
+        } else {
+            shards
+        };
+        assert!(n <= capacity, "more shards than frames");
+        let quota = capacity / n;
+        let shard_cap = if n == 1 {
+            capacity
+        } else {
+            (quota + (quota / 4).max(2)).min(capacity)
+        };
+        let shards = (0..n)
+            .map(|_| Shard {
+                inner: Mutex::new(ShardInner {
+                    frames: Vec::with_capacity(quota + 1),
+                    map: HashMap::with_capacity(quota + 1),
+                    hand: 0,
+                }),
+                lock_contention: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         BufferCache {
             backend,
             capacity,
-            inner: Mutex::new(Inner {
-                map: HashMap::with_capacity(capacity),
-                clock: Vec::with_capacity(capacity),
-                hand: 0,
-            }),
+            resident: AtomicUsize::new(0),
+            shards,
+            shard_cap,
             stats: BufferStats::default(),
         }
     }
@@ -128,109 +263,345 @@ impl BufferCache {
         self.capacity
     }
 
-    /// Currently resident frames.
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Currently resident frames (including in-flight installs).
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        self.resident.load(Ordering::Acquire)
+    }
+
+    /// Frames currently pinned by outstanding guards.
+    pub fn pinned_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let inner = self.lock_shard(s);
+                inner
+                    .frames
+                    .iter()
+                    .filter(|f| f.pin.load(Ordering::Acquire) > 0)
+                    .count()
+            })
+            .sum()
     }
 
     /// Statistics counters.
     pub fn stats(&self) -> BufferStatsSnapshot {
-        self.stats.snapshot()
+        let mut s = BufferStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            latch_contention: self.stats.latch_contention.load(Ordering::Relaxed),
+            shard_lock_contention: 0,
+            io_waits: self.stats.io_waits.load(Ordering::Relaxed),
+        };
+        for shard in self.shards.iter() {
+            s.shard_lock_contention += shard.lock_contention.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Per-shard occupancy and lock-contention counters.
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.shards
+            .iter()
+            .map(|s| ShardStat {
+                resident: self.lock_shard(s).frames.len(),
+                lock_contention: s.lock_contention.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Latch-contention events seen by the *calling thread* since the
     /// previous call; resets the thread-local counter. Callers bracket a
     /// page operation with this to attribute contention to the partition
-    /// being operated on.
+    /// being operated on. Only page-latch blocking counts here — shard
+    /// locks and I/O waits never feed this signal.
     pub fn take_thread_contention(&self) -> u64 {
         THREAD_CONTENTION.with(|c| c.replace(0))
     }
 
+    fn shard_of(&self, id: PageId) -> usize {
+        // Fibonacci hashing spreads sequential page ids across shards.
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Acquire a shard lock, counting a contention event if it blocks.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardInner> {
+        match shard.inner.try_lock() {
+            Some(g) => g,
+            None => {
+                shard.lock_contention.fetch_add(1, Ordering::Relaxed);
+                shard.inner.lock()
+            }
+        }
+    }
+
+    /// Charge one frame against the global budget if it fits.
+    fn try_reserve(&self) -> bool {
+        self.resident
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < self.capacity).then_some(cur + 1)
+            })
+            .is_ok()
+    }
+
     /// Pin an existing page into the cache, reading from disk on miss.
     pub fn fetch(&self, id: PageId) -> Result<PageGuard<'_>> {
-        let mut inner = self.inner.lock();
-        if let Some(frame) = inner.map.get(&id) {
-            frame.pin.fetch_add(1, Ordering::AcqRel);
-            frame.referenced.store(true, Ordering::Relaxed);
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(PageGuard {
-                cache: self,
-                frame: Arc::clone(frame),
-            });
+        let si = self.shard_of(id);
+        let shard = &self.shards[si];
+        loop {
+            // Hit path: pin under the shard lock so eviction's pin check
+            // is linearized against us, then get off the lock.
+            let hit = {
+                let inner = self.lock_shard(shard);
+                inner.map.get(&id).map(|&idx| {
+                    let f = &inner.frames[idx];
+                    f.pin.fetch_add(1, Ordering::AcqRel);
+                    f.referenced.store(true, Ordering::Relaxed);
+                    Arc::clone(f)
+                })
+            };
+            if let Some(frame) = hit {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                match frame.state.load(Ordering::Acquire) {
+                    // `Evicting` data is still valid; our pin makes the
+                    // evictor abort when it re-checks.
+                    STATE_READY | STATE_EVICTING => return Ok(PageGuard { cache: self, frame }),
+                    _ => {
+                        // Another thread's read is in flight; wait on
+                        // the frame, not the shard.
+                        self.stats.io_waits.fetch_add(1, Ordering::Relaxed);
+                        if frame.wait_ready() == STATE_FAILED {
+                            frame.pin.fetch_sub(1, Ordering::AcqRel);
+                            continue;
+                        }
+                        return Ok(PageGuard { cache: self, frame });
+                    }
+                }
+            }
+
+            // Miss: reserve a frame, install it Pending, then read with
+            // no shard lock held.
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.make_room(si)?;
+            let frame = Frame::new(
+                id,
+                vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                STATE_PENDING,
+                false,
+            );
+            {
+                let mut inner = self.lock_shard(shard);
+                if inner.map.contains_key(&id) {
+                    // Lost the install race; return the slot and join
+                    // the winner's frame via the hit path.
+                    drop(inner);
+                    self.resident.fetch_sub(1, Ordering::Release);
+                    continue;
+                }
+                let idx = inner.frames.len();
+                inner.frames.push(Arc::clone(&frame));
+                inner.map.insert(id, idx);
+            }
+            let read = {
+                let mut data = frame.data.write();
+                self.backend.read_page(id, &mut data)
+            };
+            match read {
+                Ok(()) => {
+                    frame.set_state(STATE_READY);
+                    return Ok(PageGuard { cache: self, frame });
+                }
+                Err(e) => {
+                    {
+                        let mut inner = self.lock_shard(shard);
+                        let idx = *inner.map.get(&id).expect("pending frame resident");
+                        inner.remove_at(idx);
+                    }
+                    self.resident.fetch_sub(1, Ordering::Release);
+                    frame.set_state(STATE_FAILED);
+                    frame.pin.fetch_sub(1, Ordering::AcqRel);
+                    return Err(e);
+                }
+            }
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        self.make_room(&mut inner)?;
-        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        self.backend.read_page(id, &mut data)?;
-        let frame = Frame::new(id, data);
-        inner.map.insert(id, Arc::clone(&frame));
-        inner.clock.push(id);
-        Ok(PageGuard { cache: self, frame })
     }
 
     /// Allocate a brand-new formatted page and pin it.
     pub fn new_page(&self, page_type: PageType, partition: PartitionId) -> Result<PageGuard<'_>> {
         let id = self.backend.allocate_page()?;
-        let mut inner = self.inner.lock();
-        self.make_room(&mut inner)?;
+        let si = self.shard_of(id);
+        self.make_room(si)?;
         let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
         SlottedPage::init(&mut data, page_type, id, partition);
-        let frame = Frame::new(id, data);
-        frame.dirty.store(true, Ordering::Relaxed);
-        inner.map.insert(id, Arc::clone(&frame));
-        inner.clock.push(id);
+        let frame = Frame::new(id, data, STATE_READY, true);
+        let mut inner = self.lock_shard(&self.shards[si]);
+        debug_assert!(!inner.map.contains_key(&id), "fresh page id already mapped");
+        let idx = inner.frames.len();
+        inner.frames.push(Arc::clone(&frame));
+        inner.map.insert(id, idx);
+        drop(inner);
         Ok(PageGuard { cache: self, frame })
     }
 
-    /// Clock sweep: evict one unpinned frame if the cache is full.
-    fn make_room(&self, inner: &mut Inner) -> Result<()> {
-        if inner.map.len() < self.capacity {
-            return Ok(());
-        }
-        let n = inner.clock.len();
-        // Two full sweeps: first clears reference bits, second evicts.
-        for _ in 0..2 * n {
-            let hand = inner.hand % inner.clock.len();
-            let pid = inner.clock[hand];
-            let frame = Arc::clone(inner.map.get(&pid).expect("clock entry resident"));
-            if frame.pin.load(Ordering::Acquire) == 0 {
-                if frame.referenced.swap(false, Ordering::Relaxed) {
-                    inner.hand = hand + 1;
-                    continue;
+    /// Reserve one frame's worth of global budget, evicting as needed.
+    /// Eviction pressure goes to the home shard first so over-quota
+    /// shards shrink back toward `capacity / shards`.
+    fn make_room(&self, home: usize) -> Result<()> {
+        for _ in 0..MAX_ROOM_ROUNDS {
+            // Per-shard overflow bound: borrowing stops at shard_cap
+            // even when the global budget has room.
+            let over = self.lock_shard(&self.shards[home]).frames.len() >= self.shard_cap;
+            if over {
+                match self.evict_one(home)? {
+                    EvictOutcome::Evicted | EvictOutcome::Aborted => continue,
+                    EvictOutcome::Nothing => {
+                        return Err(BtrimError::BufferExhausted {
+                            pinned: self.pinned_frames(),
+                            capacity: self.capacity,
+                        })
+                    }
                 }
-                // Victim found: flush if dirty, then drop.
-                if frame.dirty.swap(false, Ordering::AcqRel) {
-                    let data = frame.data.read();
-                    self.backend.write_page(pid, &data)?;
-                    self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-                }
-                inner.map.remove(&pid);
-                inner.clock.remove(hand);
-                inner.hand = hand;
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.try_reserve() {
                 return Ok(());
             }
-            inner.hand = hand + 1;
+            let n = self.shards.len();
+            let mut progressed = false;
+            for k in 0..n {
+                match self.evict_one((home + k) % n)? {
+                    EvictOutcome::Evicted | EvictOutcome::Aborted => {
+                        progressed = true;
+                        break;
+                    }
+                    EvictOutcome::Nothing => {}
+                }
+            }
+            if !progressed {
+                return Err(BtrimError::BufferExhausted {
+                    pinned: self.pinned_frames(),
+                    capacity: self.capacity,
+                });
+            }
         }
-        Err(BtrimError::BufferExhausted)
+        Err(BtrimError::BufferExhausted {
+            pinned: self.pinned_frames(),
+            capacity: self.capacity,
+        })
+    }
+
+    /// Clock sweep over one shard: pick an unpinned, unreferenced,
+    /// `Ready` victim, write it back *outside* the shard lock, then
+    /// complete the removal — unless the page was re-pinned or
+    /// re-dirtied mid-flush, in which case the eviction aborts and the
+    /// frame stays resident.
+    fn evict_one(&self, si: usize) -> Result<EvictOutcome> {
+        let shard = &self.shards[si];
+        let victim = {
+            let mut inner = self.lock_shard(shard);
+            let len = inner.frames.len();
+            if len == 0 {
+                return Ok(EvictOutcome::Nothing);
+            }
+            let mut found = None;
+            // Two full sweeps: first clears reference bits, second evicts.
+            for _ in 0..2 * len {
+                let hand = inner.hand % len;
+                inner.hand = hand + 1;
+                let frame = &inner.frames[hand];
+                if frame.state.load(Ordering::Acquire) != STATE_READY {
+                    continue;
+                }
+                if frame.pin.load(Ordering::Acquire) > 0 {
+                    continue;
+                }
+                if frame.referenced.swap(false, Ordering::Relaxed) {
+                    continue;
+                }
+                frame.state.store(STATE_EVICTING, Ordering::Release);
+                found = Some(Arc::clone(frame));
+                break;
+            }
+            match found {
+                Some(f) => f,
+                None => return Ok(EvictOutcome::Nothing),
+            }
+        };
+
+        // Write-back with no shard lock held: hits on other pages of
+        // this shard proceed during the flush.
+        if victim.dirty.swap(false, Ordering::AcqRel) {
+            let wrote = {
+                let data = victim.data.read();
+                self.backend.write_page(victim.page_id, &data)
+            };
+            if let Err(e) = wrote {
+                victim.dirty.store(true, Ordering::Release);
+                victim.set_state(STATE_READY);
+                return Err(e);
+            }
+            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let mut inner = self.lock_shard(shard);
+        if victim.pin.load(Ordering::Acquire) > 0 || victim.dirty.load(Ordering::Acquire) {
+            // Re-fetched (or re-dirtied) during the flush: keep it.
+            victim.set_state(STATE_READY);
+            return Ok(EvictOutcome::Aborted);
+        }
+        let idx = *inner
+            .map
+            .get(&victim.page_id)
+            .expect("evicting frame is resident");
+        inner.remove_at(idx);
+        drop(inner);
+        self.resident.fetch_sub(1, Ordering::Release);
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(EvictOutcome::Evicted)
     }
 
     /// Write back every dirty page (checkpoint support). Pages stay
-    /// resident.
+    /// resident. Flushes run without any shard lock held.
     pub fn flush_all(&self) -> Result<()> {
-        let frames: Vec<Arc<Frame>> = {
-            let inner = self.inner.lock();
-            inner.map.values().cloned().collect()
-        };
-        for frame in frames {
-            if frame.dirty.swap(false, Ordering::AcqRel) {
-                let data = frame.data.read();
-                self.backend.write_page(frame.page_id, &data)?;
-                self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        for shard in self.shards.iter() {
+            let frames: Vec<Arc<Frame>> = {
+                let inner = self.lock_shard(shard);
+                inner.frames.to_vec()
+            };
+            for frame in frames {
+                // Pending frames are never dirty; Evicting frames were
+                // already flushed by their evictor.
+                if frame.dirty.swap(false, Ordering::AcqRel) {
+                    let wrote = {
+                        let data = frame.data.read();
+                        self.backend.write_page(frame.page_id, &data)
+                    };
+                    if let Err(e) = wrote {
+                        frame.dirty.store(true, Ordering::Release);
+                        return Err(e);
+                    }
+                    self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         self.backend.sync()
     }
+}
+
+/// Largest power of two ≤ capacity/32, clamped to [1, 16]; tiny caches
+/// stay unsharded so replacement behaves exactly like a single clock.
+fn auto_shards(capacity: usize) -> usize {
+    if capacity < 64 {
+        return 1;
+    }
+    let target = (capacity / 32).clamp(1, 16);
+    1 << (usize::BITS - 1 - target.leading_zeros())
 }
 
 /// A pinned page. Dropping the guard unpins the frame.
@@ -291,6 +662,15 @@ impl PageGuard<'_> {
             let mut page = SlottedPage::new(buf);
             f(&mut page)
         })
+    }
+}
+
+impl std::fmt::Debug for PageGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuard")
+            .field("page_id", &self.frame.page_id)
+            .field("pins", &self.frame.pin.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
@@ -358,11 +738,16 @@ mod tests {
         let c = cache(2);
         let g1 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
         let g2 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
-        // Cache full of pinned pages: another allocation must fail.
-        assert!(matches!(
-            c.new_page(PageType::Heap, PartitionId(0)),
-            Err(BtrimError::BufferExhausted)
-        ));
+        // Cache full of pinned pages: another allocation must fail, and
+        // the error distinguishes "pin leak" from "cache too small".
+        match c.new_page(PageType::Heap, PartitionId(0)) {
+            Err(BtrimError::BufferExhausted { pinned, capacity }) => {
+                assert_eq!(pinned, 2);
+                assert_eq!(capacity, 2);
+            }
+            Err(other) => panic!("expected BufferExhausted, got {other:?}"),
+            Ok(_) => panic!("expected BufferExhausted, got a page"),
+        }
         drop(g2);
         // Now there is an evictable frame.
         let g3 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
@@ -391,7 +776,10 @@ mod tests {
     #[test]
     fn concurrent_fetches_share_one_frame() {
         let c = Arc::new(cache(8));
-        let id = c.new_page(PageType::Heap, PartitionId(0)).unwrap().page_id();
+        let id = c
+            .new_page(PageType::Heap, PartitionId(0))
+            .unwrap()
+            .page_id();
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 let c = Arc::clone(&c);
@@ -416,21 +804,105 @@ mod tests {
     #[test]
     fn clock_gives_second_chance_to_referenced_pages() {
         let c = cache(3);
-        let _a = c.new_page(PageType::Heap, PartitionId(0)).unwrap().page_id();
-        let b = c.new_page(PageType::Heap, PartitionId(0)).unwrap().page_id();
-        let d = c.new_page(PageType::Heap, PartitionId(0)).unwrap().page_id();
+        let _a = c
+            .new_page(PageType::Heap, PartitionId(0))
+            .unwrap()
+            .page_id();
+        let b = c
+            .new_page(PageType::Heap, PartitionId(0))
+            .unwrap()
+            .page_id();
+        let d = c
+            .new_page(PageType::Heap, PartitionId(0))
+            .unwrap()
+            .page_id();
         // First pressure event: sweeps clear every reference bit and
         // evict the oldest page (`a`); `b` and `d` stay with bits clear.
-        let _e = c.new_page(PageType::Heap, PartitionId(0)).unwrap().page_id();
+        let _e = c
+            .new_page(PageType::Heap, PartitionId(0))
+            .unwrap()
+            .page_id();
         // Re-reference `b` so it earns a second chance.
         drop(c.fetch(b).unwrap());
-        // Second pressure event: the hand passes `b` (bit set → spared),
-        // and evicts `d` (bit clear).
-        let _f = c.new_page(PageType::Heap, PartitionId(0)).unwrap().page_id();
+        // Second pressure event: `b`'s bit is set (spared), and `d`
+        // (bit clear) is the victim.
+        let _f = c
+            .new_page(PageType::Heap, PartitionId(0))
+            .unwrap()
+            .page_id();
         let before = c.stats().misses;
         drop(c.fetch(b).unwrap());
         assert_eq!(c.stats().misses, before, "page `b` stayed resident");
         drop(c.fetch(d).unwrap());
         assert_eq!(c.stats().misses, before + 1, "page `d` was the victim");
+    }
+
+    #[test]
+    fn auto_shard_count_scales_with_capacity() {
+        assert_eq!(auto_shards(2), 1);
+        assert_eq!(auto_shards(63), 1);
+        assert_eq!(auto_shards(64), 2);
+        assert_eq!(auto_shards(256), 8);
+        assert_eq!(auto_shards(4096), 16);
+        assert_eq!(cache(4096).shard_count(), 16);
+        assert_eq!(cache(8).shard_count(), 1);
+    }
+
+    #[test]
+    fn explicit_sharding_spreads_pages() {
+        let c = BufferCache::with_shards(Arc::new(MemDisk::new()), 128, 4);
+        assert_eq!(c.shard_count(), 4);
+        let mut ids = Vec::new();
+        for _ in 0..64 {
+            ids.push(
+                c.new_page(PageType::Heap, PartitionId(0))
+                    .unwrap()
+                    .page_id(),
+            );
+        }
+        let stats = c.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.resident).sum::<usize>(), 64);
+        let populated = stats.iter().filter(|s| s.resident > 0).count();
+        assert!(populated >= 3, "pages clustered into {populated} shards");
+        // Everything still readable through the sharded map.
+        for id in ids {
+            drop(c.fetch(id).unwrap());
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn sharded_cache_respects_global_capacity() {
+        let c = BufferCache::with_shards(Arc::new(MemDisk::new()), 32, 4);
+        let mut ids = Vec::new();
+        for i in 0..200u8 {
+            let g = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+            g.with_page_write(|p| {
+                p.insert(&[i; 8]).unwrap();
+            });
+            ids.push(g.page_id());
+        }
+        assert!(c.resident() <= 32, "resident {} > capacity", c.resident());
+        for (i, id) in ids.iter().enumerate() {
+            let g = c.fetch(*id).unwrap();
+            g.with_page_read(|p| {
+                assert_eq!(p.get(btrim_common::SlotId(0)).unwrap(), &[i as u8; 8]);
+            });
+        }
+        assert_eq!(c.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn failed_read_propagates_and_leaves_cache_clean() {
+        let c = cache(4);
+        // Page id that was never allocated: the backend read fails.
+        let err = c.fetch(PageId(u32::MAX)).unwrap_err();
+        assert!(!matches!(err, BtrimError::BufferExhausted { .. }));
+        assert_eq!(c.resident(), 0);
+        assert_eq!(c.pinned_frames(), 0);
+        // The cache still works afterwards.
+        let g = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        drop(g);
+        assert_eq!(c.resident(), 1);
     }
 }

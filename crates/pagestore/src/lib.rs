@@ -16,7 +16,7 @@ pub mod disk;
 pub mod heap;
 pub mod page;
 
-pub use buffer::{BufferCache, BufferStats, PageGuard};
+pub use buffer::{BufferCache, BufferStats, BufferStatsSnapshot, PageGuard, ShardStat};
 pub use disk::{DiskBackend, FileDisk, MemDisk};
 pub use heap::HeapFile;
 pub use page::{PageType, PageView, SlottedPage, PAGE_SIZE};

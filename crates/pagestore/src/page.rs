@@ -668,7 +668,10 @@ mod proptests {
         prop_oneof![
             proptest::collection::vec(any::<u8>(), 1..300).prop_map(Op::Insert),
             (any::<usize>()).prop_map(Op::Delete),
-            (any::<usize>(), proptest::collection::vec(any::<u8>(), 1..300))
+            (
+                any::<usize>(),
+                proptest::collection::vec(any::<u8>(), 1..300)
+            )
                 .prop_map(|(i, d)| Op::Update(i, d)),
         ]
     }

@@ -153,9 +153,7 @@ impl Driver {
 
     /// Execute one transaction of the given type.
     pub fn run_one(&self, t: TxnType, rng: &mut StdRng) -> Outcome {
-        let now = self
-            .now
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let now = self.now.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         match t {
             TxnType::NewOrder => txns::new_order(&self.engine, &self.tables, &self.scale, rng, now),
             TxnType::Payment => txns::payment(
@@ -170,9 +168,7 @@ impl Driver {
                 txns::order_status(&self.engine, &self.tables, &self.scale, rng)
             }
             TxnType::Delivery => txns::delivery(&self.engine, &self.tables, &self.scale, rng, now),
-            TxnType::StockLevel => {
-                txns::stock_level(&self.engine, &self.tables, &self.scale, rng)
-            }
+            TxnType::StockLevel => txns::stock_level(&self.engine, &self.tables, &self.scale, rng),
         }
     }
 

@@ -279,12 +279,7 @@ pub fn payment(
 }
 
 /// The OrderStatus transaction (~4%, read-only).
-pub fn order_status(
-    engine: &Engine,
-    tables: &Tables,
-    scale: &Scale,
-    rng: &mut StdRng,
-) -> Outcome {
+pub fn order_status(engine: &Engine, tables: &Tables, scale: &Scale, rng: &mut StdRng) -> Outcome {
     let w_id = rng.gen_range(1..=scale.warehouses);
     let d_id = rng.gen_range(1..=crate::loader::DISTRICTS_PER_WAREHOUSE);
     let by_name = rng.gen_bool(0.6);
@@ -417,12 +412,7 @@ pub fn delivery(
 }
 
 /// The StockLevel transaction (~4%, read-only).
-pub fn stock_level(
-    engine: &Engine,
-    tables: &Tables,
-    scale: &Scale,
-    rng: &mut StdRng,
-) -> Outcome {
+pub fn stock_level(engine: &Engine, tables: &Tables, scale: &Scale, rng: &mut StdRng) -> Outcome {
     let w_id = rng.gen_range(1..=scale.warehouses);
     let d_id = rng.gen_range(1..=crate::loader::DISTRICTS_PER_WAREHOUSE);
     let threshold = rng.gen_range(10..=20u32);

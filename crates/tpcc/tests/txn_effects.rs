@@ -45,7 +45,9 @@ fn district(driver: &Driver, w: u32, d: u32) -> District {
 #[test]
 fn new_order_allocates_ids_and_creates_lines() {
     let driver = setup();
-    let before: Vec<u32> = (1..=10).map(|d| district(&driver, 1, d).next_o_id).collect();
+    let before: Vec<u32> = (1..=10)
+        .map(|d| district(&driver, 1, d).next_o_id)
+        .collect();
     let mut rng = StdRng::seed_from_u64(100);
     let mut committed = 0;
     for _ in 0..20 {
@@ -54,12 +56,10 @@ fn new_order_allocates_ids_and_creates_lines() {
         }
     }
     assert!(committed > 0);
-    let after: Vec<u32> = (1..=10).map(|d| district(&driver, 1, d).next_o_id).collect();
-    let allocated: u32 = after
-        .iter()
-        .zip(&before)
-        .map(|(a, b)| a - b)
-        .sum();
+    let after: Vec<u32> = (1..=10)
+        .map(|d| district(&driver, 1, d).next_o_id)
+        .collect();
+    let allocated: u32 = after.iter().zip(&before).map(|(a, b)| a - b).sum();
     assert_eq!(allocated, committed, "one order id per committed NewOrder");
 
     // Each new order has its lines and a new_order entry.
@@ -106,7 +106,9 @@ fn payment_moves_money_and_writes_history() {
     let w_before = {
         let txn = e.begin();
         let w = Warehouse::decode(
-            &e.get(&txn, &t.warehouse, &Warehouse::key(1)).unwrap().unwrap(),
+            &e.get(&txn, &t.warehouse, &Warehouse::key(1))
+                .unwrap()
+                .unwrap(),
         )
         .unwrap();
         e.commit(txn).unwrap();
@@ -121,15 +123,20 @@ fn payment_moves_money_and_writes_history() {
     }
     assert!(committed > 0);
     let txn = e.begin();
-    let w_after =
-        Warehouse::decode(&e.get(&txn, &t.warehouse, &Warehouse::key(1)).unwrap().unwrap())
-            .unwrap();
+    let w_after = Warehouse::decode(
+        &e.get(&txn, &t.warehouse, &Warehouse::key(1))
+            .unwrap()
+            .unwrap(),
+    )
+    .unwrap();
     assert!(w_after.ytd > w_before.ytd, "warehouse YTD grew");
     // District YTDs grew by exactly the same total.
     let mut d_delta = 0.0;
     for d_id in 1..=10u32 {
         let d = District::decode(
-            &e.get(&txn, &t.district, &District::key(1, d_id)).unwrap().unwrap(),
+            &e.get(&txn, &t.district, &District::key(1, d_id))
+                .unwrap()
+                .unwrap(),
         )
         .unwrap();
         d_delta += d.ytd - 30_000.0;
@@ -137,10 +144,16 @@ fn payment_moves_money_and_writes_history() {
     assert!((d_delta - (w_after.ytd - w_before.ytd)).abs() < 0.01);
     // History rows exist for the payments (driver seq space).
     let mut history_rows = 0;
-    e.scan_range(&txn, &t.history, &History::key(1, 1 << 48), None, |_, _, _| {
-        history_rows += 1;
-        true
-    })
+    e.scan_range(
+        &txn,
+        &t.history,
+        &History::key(1, 1 << 48),
+        None,
+        |_, _, _| {
+            history_rows += 1;
+            true
+        },
+    )
     .unwrap();
     assert_eq!(history_rows, committed);
     e.commit(txn).unwrap();
@@ -165,7 +178,10 @@ fn delivery_drains_queue_and_stamps_carrier() {
     let before = count_queue();
     assert!(before > 0, "loader left undelivered orders");
     let mut rng = StdRng::seed_from_u64(11);
-    assert_eq!(driver.run_one(TxnType::Delivery, &mut rng), Outcome::Committed);
+    assert_eq!(
+        driver.run_one(TxnType::Delivery, &mut rng),
+        Outcome::Committed
+    );
     let after = count_queue();
     assert_eq!(before - after, 10, "one order delivered per district");
 

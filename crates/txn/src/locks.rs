@@ -181,9 +181,7 @@ impl LockManager {
     pub fn holds(&self, txn: TxnId, row: RowId) -> bool {
         let shard = self.shard(row);
         let table = shard.table.lock();
-        table
-            .get(&row)
-            .is_some_and(|e| e.holders.contains(&txn))
+        table.get(&row).is_some_and(|e| e.holders.contains(&txn))
     }
 
     /// Number of rows with at least one lock (tests/stats).

@@ -6,7 +6,7 @@
 //! definition, unacknowledged).
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use parking_lot::Mutex;
@@ -101,7 +101,10 @@ impl LogSink for MemLog {
 
     fn truncate_prefix(&self, upto: Lsn) -> Result<()> {
         let mut inner = self.inner.lock();
-        let drop_n = upto.0.saturating_sub(inner.base).min(inner.records.len() as u64) as usize;
+        let drop_n = upto
+            .0
+            .saturating_sub(inner.base)
+            .min(inner.records.len() as u64) as usize;
         let dropped_bytes: u64 = inner
             .records
             .drain(..drop_n)
@@ -129,7 +132,10 @@ const HEADER_LEN: u64 = 16;
 
 struct FileLogInner {
     path: std::path::PathBuf,
-    file: File,
+    /// Kept positioned at end-of-file between appends, so the append
+    /// fast path is pure buffered writes — no seek, no syscall until
+    /// the buffer fills or a flush (commit boundary) drains it.
+    writer: BufWriter<File>,
     base: u64,
     count: u64,
     bytes: u64,
@@ -171,7 +177,7 @@ impl FileLog {
         Ok(FileLog {
             inner: Mutex::new(FileLogInner {
                 path: path.to_path_buf(),
-                file,
+                writer: BufWriter::new(file),
                 base,
                 count: base + count,
                 bytes: end - HEADER_LEN,
@@ -203,11 +209,15 @@ impl FileLog {
     }
 
     /// Read every intact record with its LSN (lock held by caller).
+    /// Drains the write buffer, reads through the raw file, and leaves
+    /// the cursor back at end-of-file for the next append.
     fn read_locked(inner: &mut FileLogInner) -> Result<Vec<(Lsn, Vec<u8>)>> {
-        inner.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        inner.writer.flush()?;
+        let file = inner.writer.get_mut();
+        file.seek(SeekFrom::Start(HEADER_LEN))?;
         let mut data = Vec::new();
-        inner.file.read_to_end(&mut data)?;
-        inner.file.seek(SeekFrom::End(0))?;
+        file.read_to_end(&mut data)?;
+        file.seek(SeekFrom::End(0))?;
         let mut out = Vec::new();
         let mut off = 0usize;
         while off + 8 <= data.len() {
@@ -230,19 +240,22 @@ impl FileLog {
 impl LogSink for FileLog {
     fn append(&self, payload: &[u8]) -> Result<Lsn> {
         let mut inner = self.inner.lock();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
-        inner.file.seek(SeekFrom::End(0))?;
-        inner.file.write_all(&frame)?;
+        // Frame header on the stack; the cursor is already at
+        // end-of-file, so this is two buffered writes and nothing else.
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        inner.writer.write_all(&header)?;
+        inner.writer.write_all(payload)?;
         inner.count += 1;
-        inner.bytes += frame.len() as u64;
+        inner.bytes += payload.len() as u64 + 8;
         Ok(Lsn(inner.count))
     }
 
     fn flush(&self) -> Result<()> {
-        self.inner.lock().file.sync_data()?;
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        inner.writer.get_ref().sync_data()?;
         Ok(())
     }
 
@@ -290,11 +303,12 @@ impl LogSink for FileLog {
             inner.bytes = bytes;
         }
         std::fs::rename(&tmp_path, &inner.path)?;
-        inner.file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .open(&inner.path)?;
-        inner.file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::End(0))?;
+        inner.writer = BufWriter::new(file);
         inner.base = new_base;
         Ok(())
     }
@@ -431,7 +445,11 @@ mod tests {
         }
         // Flip a byte in the second record's payload.
         {
-            let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
             let mut data = Vec::new();
             f.read_to_end(&mut data).unwrap();
             let last = data.len() - 1;

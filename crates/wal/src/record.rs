@@ -455,10 +455,7 @@ mod tests {
     #[test]
     fn txn_and_accessors() {
         assert_eq!(PageLogRecord::Checkpoint.txn(), None);
-        assert_eq!(
-            PageLogRecord::Begin { txn: TxnId(4) }.txn(),
-            Some(TxnId(4))
-        );
+        assert_eq!(PageLogRecord::Begin { txn: TxnId(4) }.txn(), Some(TxnId(4)));
         let r = ImrsLogRecord::Pack {
             ts: Timestamp(5),
             partition: PartitionId(1),

@@ -60,8 +60,7 @@ pub fn analyze_page_log(records: &[(Lsn, PageLogRecord)]) -> LogAnalysis {
             | PageLogRecord::Delete { txn, .. } => {
                 // A change record without Begin still marks the txn as
                 // in-flight until a Commit/Abort shows up.
-                if !seen.contains(txn) && !a.winners.contains_key(txn) && !a.aborted.contains(txn)
-                {
+                if !seen.contains(txn) && !a.winners.contains_key(txn) && !a.aborted.contains(txn) {
                     seen.insert(*txn);
                     a.losers.insert(*txn);
                 }

@@ -47,7 +47,10 @@ fn main() -> btrim::Result<()> {
     }
     engine.commit(txn)?;
     let key = 123u64.to_be_bytes();
-    println!("after insert:         row 123 lives in the {}", place(&engine, &events, &key));
+    println!(
+        "after insert:         row 123 lives in the {}",
+        place(&engine, &events, &key)
+    );
     assert_eq!(engine.locate(&events, &key)?, Some(RowLocation::Imrs));
 
     // Phase 2: the rows go cold. GC enqueues them into the partition's
@@ -61,7 +64,10 @@ fn main() -> btrim::Result<()> {
             break;
         }
     }
-    println!("after going cold:     row 123 lives in the {}", place(&engine, &events, &key));
+    println!(
+        "after going cold:     row 123 lives in the {}",
+        place(&engine, &events, &key)
+    );
     assert!(matches!(
         engine.locate(&events, &key)?,
         Some(RowLocation::Page(_, _))
@@ -70,13 +76,18 @@ fn main() -> btrim::Result<()> {
     // The row is still fully readable — scans and point queries are
     // transparently redirected through the RID-Map.
     let txn = engine.begin();
-    let row = engine.get(&txn, &events, &key)?.expect("row readable from page store");
+    let row = engine
+        .get(&txn, &events, &key)?
+        .expect("row readable from page store");
     assert_eq!(&row[8..], &[0xEE; 64]);
     engine.commit(txn)?;
 
     // Phase 3: that point access was through the unique index — the ILM
     // rules anticipate re-access and cached the row back in memory.
-    println!("after hot re-access:  row 123 lives in the {}", place(&engine, &events, &key));
+    println!(
+        "after hot re-access:  row 123 lives in the {}",
+        place(&engine, &events, &key)
+    );
     assert_eq!(engine.locate(&events, &key)?, Some(RowLocation::Imrs));
 
     let snap = engine.snapshot();

@@ -12,10 +12,7 @@ use btrim::{Engine, EngineConfig, EngineMode};
 fn main() -> btrim::Result<()> {
     // An IlmOn engine with a 64 MiB in-memory row store. All devices
     // default to in-memory; see Engine::with_devices for file-backed.
-    let engine = Engine::new(EngineConfig::with_mode(
-        EngineMode::IlmOn,
-        64 * 1024 * 1024,
-    ));
+    let engine = Engine::new(EngineConfig::with_mode(EngineMode::IlmOn, 64 * 1024 * 1024));
 
     // A table's rows are opaque bytes; you provide the primary-key
     // extractor. Here the first 8 bytes are the key.
@@ -62,7 +59,9 @@ fn main() -> btrim::Result<()> {
     let mut writer = engine.begin();
     engine.update(&mut writer, &accounts, &7u64.to_be_bytes(), &row(7, 9_999))?;
     engine.commit(writer)?;
-    let old_view = engine.get(&reader, &accounts, &7u64.to_be_bytes())?.unwrap();
+    let old_view = engine
+        .get(&reader, &accounts, &7u64.to_be_bytes())?
+        .unwrap();
     assert_eq!(balance_of(&old_view), 1_000, "snapshot view is stable");
     engine.commit(reader)?;
     let fresh = engine.begin();
@@ -75,7 +74,9 @@ fn main() -> btrim::Result<()> {
     engine.delete(&mut writer, &accounts, &1u64.to_be_bytes())?;
     engine.commit(writer)?;
     let fresh = engine.begin();
-    assert!(engine.get(&fresh, &accounts, &1u64.to_be_bytes())?.is_none());
+    assert!(engine
+        .get(&fresh, &accounts, &1u64.to_be_bytes())?
+        .is_none());
     engine.commit(fresh)?;
 
     // Range scan over the primary key.

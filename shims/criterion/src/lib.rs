@@ -1,0 +1,217 @@
+//! Offline shim for `criterion` 0.5: same macro and builder surface,
+//! but measurement is a plain wall-clock mean over a fixed number of
+//! timed samples — no outlier analysis, no statistical confidence
+//! intervals, no HTML reports. Results print one line per benchmark:
+//!
+//! ```text
+//! group/name              time: 1234 ns/iter (12 samples, 1000 iters/sample)
+//! ```
+//!
+//! Good enough to rank alternatives on one machine; not comparable
+//! across machines or to real criterion output.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim treats every
+/// variant as per-batch setup.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short samples: these run on shared single-core CI boxes.
+            target_sample_time: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_count: 10,
+            target_sample_time: self.target_sample_time,
+            _life: std::marker::PhantomData,
+        }
+    }
+
+    /// Register a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+        self.benchmark_group(id.as_ref()).bench_function("base", f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    target_sample_time: Duration,
+    #[allow(dead_code)]
+    _life: std::marker::PhantomData<&'a ()>,
+}
+
+// PhantomData keeps the real-criterion lifetime in the signature
+// without borrowing Criterion for the group's whole life.
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Run one benchmark and print its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self {
+        let id = id.as_ref();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up + calibration: grow the per-sample iteration count
+        // until one sample costs roughly target_sample_time.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= self.target_sample_time || b.iters >= 1 << 20 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16.0
+            } else {
+                let need = self.target_sample_time.as_nanos() as f64 / b.elapsed.as_nanos() as f64;
+                need.clamp(1.5, 16.0)
+            };
+            b.iters = ((b.iters as f64 * grow) as u64).max(b.iters + 1);
+        }
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_count {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += b.iters;
+        }
+
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        println!(
+            "{:<40} time: {:>12.1} ns/iter ({} samples, {} iters/sample)",
+            format!("{}/{}", self.name, id),
+            mean_ns,
+            self.sample_count,
+            b.iters,
+        );
+        self
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` run back-to-back for the calibrated iteration
+    /// count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (ignores harness CLI args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -173,7 +173,10 @@ fn lock_conflicts_surface_as_errors_not_corruption() {
     engine.commit(holder).unwrap();
 
     let txn = engine.begin();
-    let row = engine.get(&txn, &table, &1u64.to_be_bytes()).unwrap().unwrap();
+    let row = engine
+        .get(&txn, &table, &1u64.to_be_bytes())
+        .unwrap()
+        .unwrap();
     assert_eq!(u64::from_be_bytes(row[8..16].try_into().unwrap()), 42);
     engine.commit(txn).unwrap();
 }

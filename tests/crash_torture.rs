@@ -128,12 +128,8 @@ fn database_equals_model_across_repeated_crashes() {
                 _ => {
                     // An aborted multi-op transaction the model ignores.
                     let _ = engine.insert(&mut txn, &table, &mkrow(key + 10_000, 1));
-                    let _ = engine.update(
-                        &mut txn,
-                        &table,
-                        &key.to_be_bytes(),
-                        &mkrow(key, 424242),
-                    );
+                    let _ =
+                        engine.update(&mut txn, &table, &key.to_be_bytes(), &mkrow(key, 424242));
                     engine.abort(txn);
                 }
             }

@@ -50,7 +50,9 @@ fn survives_crash_on_real_files() {
 
         let mut txn = engine.begin();
         for i in 0..300u64 {
-            engine.insert(&mut txn, &t, &mkrow(i, &[i as u8; 40])).unwrap();
+            engine
+                .insert(&mut txn, &t, &mkrow(i, &[i as u8; 40]))
+                .unwrap();
         }
         engine.commit(txn).unwrap();
         let mut txn = engine.begin();
@@ -98,7 +100,9 @@ fn survives_crash_on_real_files() {
 
         // Recovered engine continues working and can checkpoint.
         let mut txn = engine.begin();
-        engine.insert(&mut txn, &t, &mkrow(777, b"after-recovery")).unwrap();
+        engine
+            .insert(&mut txn, &t, &mkrow(777, b"after-recovery"))
+            .unwrap();
         engine.commit(txn).unwrap();
         engine.checkpoint().unwrap();
     }

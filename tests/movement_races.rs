@@ -101,8 +101,10 @@ fn concurrent_movement_never_hides_rows() {
                             })
                             .unwrap();
                         if seen.len() != 1_000 {
-                            let missing: Vec<u64> =
-                                (0..1_000u64).filter(|i| !seen.contains(i)).take(4).collect();
+                            let missing: Vec<u64> = (0..1_000u64)
+                                .filter(|i| !seen.contains(i))
+                                .take(4)
+                                .collect();
                             for i in &missing {
                                 let key = i.to_be_bytes();
                                 eprintln!(
@@ -165,6 +167,5 @@ fn concurrent_movement_never_hides_rows() {
             }
         }
         engine.commit(txn).unwrap();
-        
     }
 }

@@ -235,6 +235,30 @@ impl FileLog {
         }
         Ok(out)
     }
+
+    /// After a failed append the `BufWriter` may hold — and the file
+    /// may already contain — part of a frame. Drop the buffered bytes
+    /// *without flushing* and truncate the file back to the end of the
+    /// last intact record, so a later successful flush cannot persist
+    /// a torn frame: recovery stops at the first corrupt frame and
+    /// would otherwise silently discard every acknowledged record
+    /// behind it. Best-effort: if the writer cannot be rebuilt the
+    /// original append error still reaches the caller.
+    fn discard_partial_append(inner: &mut FileLogInner) {
+        let good_end = HEADER_LEN + inner.bytes;
+        let spare = match inner.writer.get_ref().try_clone() {
+            Ok(f) => f,
+            Err(_) => match OpenOptions::new().read(true).write(true).open(&inner.path) {
+                Ok(f) => f,
+                Err(_) => return,
+            },
+        };
+        // `into_parts` discards the buffer without flushing it.
+        let old = std::mem::replace(&mut inner.writer, BufWriter::new(spare));
+        let (file, _partial_frame) = old.into_parts();
+        let _ = file.set_len(good_end);
+        let _ = inner.writer.get_mut().seek(SeekFrom::Start(good_end));
+    }
 }
 
 impl LogSink for FileLog {
@@ -245,8 +269,14 @@ impl LogSink for FileLog {
         let mut header = [0u8; 8];
         header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
-        inner.writer.write_all(&header)?;
-        inner.writer.write_all(payload)?;
+        let wrote = inner
+            .writer
+            .write_all(&header)
+            .and_then(|()| inner.writer.write_all(payload));
+        if let Err(e) = wrote {
+            Self::discard_partial_append(&mut inner);
+            return Err(e.into());
+        }
         inner.count += 1;
         inner.bytes += payload.len() as u64 + 8;
         Ok(Lsn(inner.count))
@@ -431,6 +461,36 @@ mod tests {
             log.append(b"after crash").unwrap();
             assert_eq!(log.read_all().unwrap().len(), 2);
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_append_leaves_no_torn_frame_behind() {
+        let path = tmp("log5.wal");
+        let log = FileLog::open(&path).unwrap();
+        log.append(b"keep").unwrap();
+        log.flush().unwrap();
+        {
+            // Simulate an append that failed mid-frame: part of the
+            // frame already flushed to the file, part still buffered.
+            let mut inner = log.inner.lock();
+            inner.writer.write_all(&[0xAB; 5]).unwrap();
+            inner.writer.flush().unwrap();
+            inner.writer.write_all(&[0xCD; 3]).unwrap();
+            FileLog::discard_partial_append(&mut inner);
+        }
+        // Later appends land right after the last intact record, and
+        // neither the live reader nor a reopen scan sees torn bytes.
+        log.append(b"after").unwrap();
+        log.flush().unwrap();
+        let all = log.read_all().unwrap();
+        assert_eq!(
+            all,
+            vec![(Lsn(1), b"keep".to_vec()), (Lsn(2), b"after".to_vec())]
+        );
+        drop(log);
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.record_count(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -34,6 +34,14 @@ pub enum BtrimError {
     BufferExhausted { pinned: usize, capacity: usize },
     /// A record or page failed to decode (corruption or version skew).
     Corrupt(String),
+    /// A page's stored checksum did not match its contents (torn write
+    /// or media corruption). The page must never be served as valid data.
+    ChecksumMismatch(PageId),
+    /// A page buffer handed to the disk backend had the wrong length.
+    ShortBuffer { expected: usize, got: usize },
+    /// The engine is in the read-only health state (persistent storage
+    /// failure); new writes are rejected until the device recovers.
+    ReadOnly(String),
     /// Catalog-level misuse: unknown table, duplicate key, schema
     /// violation, and similar caller errors.
     Invalid(String),
@@ -66,6 +74,15 @@ impl fmt::Display for BtrimError {
                 "buffer cache exhausted: {pinned} of {capacity} frames pinned"
             ),
             BtrimError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            BtrimError::ChecksumMismatch(p) => {
+                write!(f, "checksum mismatch on {p} (torn write or corruption)")
+            }
+            BtrimError::ShortBuffer { expected, got } => {
+                write!(f, "page buffer length {got}, expected {expected}")
+            }
+            BtrimError::ReadOnly(reason) => {
+                write!(f, "engine is read-only: {reason}")
+            }
             BtrimError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
             BtrimError::DuplicateKey(msg) => write!(f, "duplicate key: {msg}"),
         }
@@ -107,6 +124,21 @@ mod tests {
         let e: BtrimError = io::Error::other("boom").into();
         assert!(matches!(e, BtrimError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn fault_variants_display() {
+        let e = BtrimError::ChecksumMismatch(PageId(5));
+        assert!(e.to_string().contains("PageId(5)"));
+        let e = BtrimError::ShortBuffer {
+            expected: 8192,
+            got: 100,
+        };
+        assert!(e.to_string().contains("8192"));
+        assert!(e.to_string().contains("100"));
+        let e = BtrimError::ReadOnly("log device failed".into());
+        assert!(e.to_string().contains("read-only"));
+        assert!(e.to_string().contains("log device failed"));
     }
 
     #[test]

@@ -101,6 +101,24 @@ pub struct EngineConfig {
     /// Experiments leave this off and flush at pack/checkpoint
     /// boundaries; the file-backed durability tests turn it on.
     pub durable_commits: bool,
+    /// Attempts per page-store read/write before a transient I/O error
+    /// is propagated (1 disables retries).
+    pub io_retry_attempts: u32,
+    /// Base backoff between I/O retries in microseconds (scaled
+    /// linearly by attempt number).
+    pub io_retry_backoff_us: u64,
+    /// Read back and compare every page write-back. Catches torn or
+    /// lying writes while the redo log still covers the page (before a
+    /// checkpoint can truncate that evidence) at the cost of one device
+    /// read per write-back — cheap for this engine, where page writes
+    /// happen only on eviction, pack, and checkpoint.
+    pub verify_page_writes: bool,
+    /// Consecutive storage errors after which the engine reports
+    /// `Degraded` health.
+    pub health_degrade_after: u64,
+    /// Consecutive storage errors after which the engine turns
+    /// `ReadOnly` (sticky; reads keep working, writes are rejected).
+    pub health_readonly_after: u64,
 }
 
 impl Default for EngineConfig {
@@ -130,6 +148,11 @@ impl Default for EngineConfig {
             pack_enabled: true,
             tsf_enabled: true,
             durable_commits: false,
+            io_retry_attempts: 3,
+            io_retry_backoff_us: 200,
+            verify_page_writes: true,
+            health_degrade_after: 3,
+            health_readonly_after: 8,
         }
     }
 }
@@ -171,6 +194,12 @@ impl EngineConfig {
         assert!(
             self.buffer_shards <= self.buffer_frames,
             "more buffer shards than frames"
+        );
+        assert!(self.io_retry_attempts >= 1, "io_retry_attempts must be ≥ 1");
+        assert!(
+            1 <= self.health_degrade_after
+                && self.health_degrade_after <= self.health_readonly_after,
+            "health thresholds must satisfy 1 ≤ degrade ≤ readonly"
         );
     }
 }

@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use btrim_common::{
     BtrimError, LogicalClock, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId,
@@ -38,6 +38,74 @@ use crate::stats::EngineSnapshot;
 use crate::tsf::TsfLearner;
 use crate::tuner::Tuner;
 use crate::txn_ctx::{PendingImrs, Transaction, UndoOp};
+
+/// Engine health, driven by storage-error observations.
+///
+/// * `Healthy` — normal operation.
+/// * `Degraded` — storage errors are accumulating; background work
+///   backs off, but reads and writes still run.
+/// * `ReadOnly` — the engine stopped accepting writes (persistent log
+///   failure, or too many consecutive storage errors). Reads keep
+///   working from memory and the cache; write entry points return
+///   [`BtrimError::ReadOnly`]. Sticky until restart/recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthState {
+    /// Normal operation.
+    Healthy,
+    /// Storage errors are accumulating; still fully operational.
+    Degraded {
+        /// What pushed the engine out of `Healthy`.
+        reason: String,
+    },
+    /// Writes rejected; reads still served. Sticky.
+    ReadOnly {
+        /// What forced the write stop.
+        reason: String,
+    },
+}
+
+impl HealthState {
+    /// Whether write transactions are still accepted.
+    pub fn writable(&self) -> bool {
+        !matches!(self, HealthState::ReadOnly { .. })
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded { reason } => write!(f, "degraded ({reason})"),
+            HealthState::ReadOnly { reason } => write!(f, "read-only ({reason})"),
+        }
+    }
+}
+
+/// What recovery salvaged and what it had to drop. All counters are
+/// zero after a clean start or an undamaged recovery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Page-store log records replayed (decodable prefix).
+    pub syslog_salvaged: u64,
+    /// Page-store log records dropped at the first corrupt frame.
+    pub syslog_dropped: u64,
+    /// IMRS log records replayed (decodable prefix).
+    pub imrslog_salvaged: u64,
+    /// IMRS log records dropped at the first corrupt frame.
+    pub imrslog_dropped: u64,
+    /// Heap pages whose checksum failed during the rebuild scan; the
+    /// page was reset (its rows are reported lost, not silently served).
+    pub pages_reset: u64,
+    /// IMRS log records skipped because their transaction lost.
+    pub imrs_records_skipped: u64,
+}
+
+impl RecoveryReport {
+    /// Whether recovery had to drop or repair anything.
+    pub fn clean(&self) -> bool {
+        self.syslog_dropped == 0 && self.imrslog_dropped == 0 && self.pages_reset == 0
+    }
+}
 
 /// Everything shared between the engine facade, background threads, and
 /// the pack/tuner/GC subsystems.
@@ -68,6 +136,110 @@ pub(crate) struct Shared {
     /// never pay for pack/GC work, as in the paper's deployment.
     background: AtomicBool,
     pub stop: AtomicBool,
+    /// Current health verdict (see [`HealthState`]).
+    health: RwLock<HealthState>,
+    /// Consecutive storage errors since the last success; drives the
+    /// Healthy → Degraded → ReadOnly escalation.
+    consec_storage_errors: AtomicU64,
+    /// Lifetime storage errors observed outside the buffer cache.
+    pub storage_errors: AtomicU64,
+    /// What the last recovery salvaged/dropped (zeroes on clean start).
+    pub recovery: Mutex<RecoveryReport>,
+}
+
+impl Shared {
+    /// Current health verdict.
+    pub fn health(&self) -> HealthState {
+        self.health.read().clone()
+    }
+
+    /// Fail fast when the engine no longer accepts writes.
+    pub fn check_writable(&self) -> Result<()> {
+        match &*self.health.read() {
+            HealthState::ReadOnly { reason } => Err(BtrimError::ReadOnly(reason.clone())),
+            _ => Ok(()),
+        }
+    }
+
+    /// Force the engine read-only immediately (e.g. a failed log append
+    /// may have left a torn record; appending more behind it would make
+    /// the tail unrecoverable).
+    pub fn set_read_only(&self, reason: String) {
+        let mut h = self.health.write();
+        if !matches!(*h, HealthState::ReadOnly { .. }) {
+            *h = HealthState::ReadOnly { reason };
+        }
+    }
+
+    /// Record a storage error from a log or maintenance path and
+    /// escalate health when errors keep coming. Only I/O-class errors
+    /// count; logical errors (duplicate key, lock timeouts, …) do not.
+    pub fn note_storage_error(&self, ctx: &str, e: &BtrimError) {
+        if !matches!(e, BtrimError::Io(_) | BtrimError::ChecksumMismatch(_)) {
+            return;
+        }
+        self.storage_errors.fetch_add(1, Ordering::Relaxed);
+        let n = self.consec_storage_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut h = self.health.write();
+        match &*h {
+            HealthState::ReadOnly { .. } => {}
+            _ if n >= self.cfg.health_readonly_after => {
+                *h = HealthState::ReadOnly {
+                    reason: format!("{ctx}: {e} ({n} consecutive storage errors)"),
+                };
+            }
+            _ if n >= self.cfg.health_degrade_after => {
+                *h = HealthState::Degraded {
+                    reason: format!("{ctx}: {e}"),
+                };
+            }
+            _ => {}
+        }
+    }
+
+    /// Record a storage success: clears the consecutive-error counter
+    /// and recovers Degraded → Healthy. ReadOnly is sticky.
+    pub fn note_storage_ok(&self) {
+        if self.consec_storage_errors.swap(0, Ordering::Relaxed) > 0 {
+            let mut h = self.health.write();
+            if matches!(*h, HealthState::Degraded { .. }) {
+                *h = HealthState::Healthy;
+            }
+        }
+    }
+
+    /// Append to the page-store log. A failed append may have left a
+    /// torn frame on the device; recovery truncates the log at the
+    /// first bad frame, so appending *more* records behind the tear
+    /// would silently drop them. The only safe reaction is to stop
+    /// writing: the engine goes read-only — and this wrapper itself
+    /// enforces it, because in-flight work (a pack cycle mid-batch, a
+    /// commit mid-drain, a checkpoint) reaches here without passing
+    /// the operation-level `check_writable` gate.
+    pub fn append_sys(&self, rec: &PageLogRecord) -> Result<btrim_common::Lsn> {
+        self.check_writable()?;
+        match self.syslog.append(rec) {
+            Ok(l) => Ok(l),
+            Err(e) => {
+                self.storage_errors.fetch_add(1, Ordering::Relaxed);
+                self.set_read_only(format!("syslogs append failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Append to the IMRS log; same failure policy as [`append_sys`](Self::append_sys).
+    pub fn append_imrs(&self, rec: &ImrsLogRecord) -> Result<btrim_common::Lsn> {
+        self.check_writable()?;
+        match self.imrslog.append(rec) {
+            Ok(l) => Ok(l),
+            Err(e) => {
+                self.storage_errors.fetch_add(1, Ordering::Relaxed);
+                self.set_read_only(format!("sysimrslogs append failed: {e}"));
+                Err(e)
+            }
+        }
+    }
 }
 
 /// The engine.
@@ -124,11 +296,14 @@ impl Engine {
         let group_sys = btrim_wal::GroupCommitter::new(Arc::clone(&syslog));
         let group_imrs = btrim_wal::GroupCommitter::new(Arc::clone(&imrslog));
         let sh = Shared {
-            cache: Arc::new(BufferCache::with_shards(
-                disk,
-                cfg.buffer_frames,
-                cfg.buffer_shards,
-            )),
+            cache: Arc::new(
+                BufferCache::with_shards(disk, cfg.buffer_frames, cfg.buffer_shards)
+                    .with_io_retry(
+                        cfg.io_retry_attempts,
+                        std::time::Duration::from_micros(cfg.io_retry_backoff_us),
+                    )
+                    .with_write_verification(cfg.verify_page_writes),
+            ),
             store: ImrsStore::new(cfg.imrs_budget, cfg.imrs_chunk_size),
             ridmap: RidMap::new(),
             catalog: Catalog::new(),
@@ -149,6 +324,10 @@ impl Engine {
             last_maintenance: AtomicU64::new(0),
             background: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            health: RwLock::new(HealthState::Healthy),
+            consec_storage_errors: AtomicU64::new(0),
+            storage_errors: AtomicU64::new(0),
+            recovery: Mutex::new(RecoveryReport::default()),
             cfg,
         };
         Engine {
@@ -249,6 +428,7 @@ impl Engine {
 
     /// Insert a row. The primary key is extracted from the payload.
     pub fn insert(&self, txn: &mut Transaction, table: &TableDesc, row: &[u8]) -> Result<RowId> {
+        self.sh.check_writable()?;
         let key = (table.primary_key)(row);
         let partition = table.partition_of(&key);
         let row_id = self.sh.ridmap.allocate_row_id();
@@ -262,6 +442,11 @@ impl Engine {
             .locks
             .lock(txn.handle.id, row_id, LockMode::Exclusive)?;
         txn.remember_lock(row_id);
+        // Every writing transaction announces itself in syslogs, even
+        // when it only touches the IMRS: recovery gates redo-only IMRS
+        // records on the syslogs commit verdict of their transaction,
+        // which needs the Begin/Commit pair on disk.
+        self.ensure_begin(txn)?;
 
         let m = self.sh.metrics.get(partition);
         let mut to_imrs = self.imrs_for_insert(table, partition);
@@ -317,8 +502,7 @@ impl Engine {
                 m.page_contention.inc();
             }
             self.sh.ridmap.set(row_id, RowLocation::Page(page, slot));
-            self.ensure_begin(txn)?;
-            self.sh.syslog.append(&PageLogRecord::Insert {
+            self.sh.append_sys(&PageLogRecord::Insert {
                 txn: txn.handle.id,
                 partition,
                 row: row_id,
@@ -519,6 +703,7 @@ impl Engine {
         key: &[u8],
         new_row: &[u8],
     ) -> Result<bool> {
+        self.sh.check_writable()?;
         let Some(row_id) = table
             .hash
             .get(key)
@@ -570,6 +755,7 @@ impl Engine {
         key: &[u8],
         f: impl FnOnce(&[u8]) -> Vec<u8>,
     ) -> Result<Option<Vec<u8>>> {
+        self.sh.check_writable()?;
         let Some(row_id) = table
             .hash
             .get(key)
@@ -660,6 +846,7 @@ impl Engine {
         let Some(row) = self.sh.store.get(row_id) else {
             return Ok(false);
         };
+        self.ensure_begin(txn)?;
         // Old image for secondary-index maintenance.
         let old = match row.visible_version(txn.handle.snapshot, txn.handle.id) {
             Some(v) if v.op != VersionOp::Delete => v
@@ -715,7 +902,7 @@ impl Engine {
             if contended {
                 m.page_contention.inc();
             }
-            self.sh.syslog.append(&PageLogRecord::Update {
+            self.sh.append_sys(&PageLogRecord::Update {
                 txn: txn.handle.id,
                 partition,
                 row: row_id,
@@ -746,7 +933,7 @@ impl Engine {
                 .ridmap
                 .set(row_id, RowLocation::Page(new_page, new_slot));
             heap.delete(&self.sh.cache, page, slot)?;
-            self.sh.syslog.append(&PageLogRecord::Delete {
+            self.sh.append_sys(&PageLogRecord::Delete {
                 txn: txn.handle.id,
                 partition,
                 row: row_id,
@@ -754,7 +941,7 @@ impl Engine {
                 slot,
                 old: old_payload.clone(),
             })?;
-            self.sh.syslog.append(&PageLogRecord::Insert {
+            self.sh.append_sys(&PageLogRecord::Insert {
                 txn: txn.handle.id,
                 partition,
                 row: row_id,
@@ -781,6 +968,7 @@ impl Engine {
 
     /// Delete a row by primary key. Returns `false` if absent.
     pub fn delete(&self, txn: &mut Transaction, table: &TableDesc, key: &[u8]) -> Result<bool> {
+        self.sh.check_writable()?;
         let Some(row_id) = table
             .hash
             .get(key)
@@ -806,6 +994,7 @@ impl Engine {
                         .unwrap_or_default(),
                     _ => return Ok(false),
                 };
+                self.ensure_begin(txn)?;
                 let v = self
                     .sh
                     .store
@@ -853,7 +1042,7 @@ impl Engine {
                 let (_, old_data) = unwrap_row(&old_payload)?;
                 let old_data = old_data.to_vec();
                 self.ensure_begin(txn)?;
-                self.sh.syslog.append(&PageLogRecord::Delete {
+                self.sh.append_sys(&PageLogRecord::Delete {
                     txn: txn.handle.id,
                     partition,
                     row: row_id,
@@ -1057,6 +1246,9 @@ impl Engine {
         row_id: RowId,
         origin: RowOrigin,
     ) -> Result<()> {
+        // Data movement writes both logs; a read-only engine must not
+        // start any.
+        self.sh.check_writable()?;
         // Revalidate under the lock.
         let Some(RowLocation::Page(page, slot)) = self.sh.ridmap.get(row_id) else {
             return Ok(());
@@ -1072,6 +1264,14 @@ impl Engine {
         // sees the (already committed) image in its new home.
         let ts_mig = self.sh.txns.oldest_active_snapshot();
         let itxn = self.sh.txns.begin();
+        // The IMRS copy is allocated first: `ImrsFull` must bail before
+        // anything reaches the logs, because its caller falls through to
+        // the page path while the engine stays writable — a loser Delete
+        // record left behind here could be undone at recovery AFTER a
+        // later winner legitimately deletes the slot, resurrecting the
+        // row. The copy is unpublished (the RID-Map still says Page)
+        // and the caller holds the row's exclusive lock, so nobody can
+        // observe it until the logs are safely out.
         let imrs_row = match self
             .sh
             .store
@@ -1083,6 +1283,41 @@ impl Engine {
                 return Err(e);
             }
         };
+        // WAL order: every log record goes out BEFORE any page or
+        // RID-Map mutation. If an append fails, the unpublished IMRS
+        // copy is freed and nothing else has changed; recovery undoes
+        // the logged loser idempotently (`insert_at` no-ops on a live
+        // slot), and the append failure turned the engine read-only, so
+        // no later winner can free the slot out from under that undo.
+        // The reverse order once lost an acknowledged row: the
+        // in-memory slot deletion reached the device via eviction while
+        // its Delete record died in a torn log tail, leaving no redo
+        // anywhere.
+        let logged: Result<()> = (|| {
+            self.sh.append_sys(&PageLogRecord::Begin { txn: itxn.id })?;
+            self.sh.append_sys(&PageLogRecord::Delete {
+                txn: itxn.id,
+                partition,
+                row: row_id,
+                page,
+                slot,
+                old: payload,
+            })?;
+            self.sh.append_imrs(&ImrsLogRecord::Insert {
+                txn: itxn.id,
+                ts: ts_mig,
+                partition,
+                row: row_id,
+                origin: origin_tag(origin),
+                data: data.clone(),
+            })?;
+            Ok(())
+        })();
+        if let Err(e) = logged {
+            self.sh.store.remove_row(row_id);
+            self.sh.txns.abort(itxn);
+            return Err(e);
+        }
         // Publish the new home FIRST: a concurrent reader that catches
         // the stale Page location finds a dead slot, retries the
         // RID-Map once, and lands here. Deleting the page copy before
@@ -1090,29 +1325,16 @@ impl Engine {
         self.sh.ridmap.set(row_id, RowLocation::Imrs);
         let key = (table.primary_key)(&data);
         table.hash.insert(&key, row_id);
-        // No double buffering (§II): the page copy is removed.
-        heap.delete(&self.sh.cache, page, slot)?;
-        self.sh
-            .syslog
-            .append(&PageLogRecord::Begin { txn: itxn.id })?;
-        self.sh.syslog.append(&PageLogRecord::Delete {
-            txn: itxn.id,
-            partition,
-            row: row_id,
-            page,
-            slot,
-            old: payload,
-        })?;
-        self.sh.imrslog.append(&ImrsLogRecord::Insert {
-            txn: itxn.id,
-            ts: ts_mig,
-            partition,
-            row: row_id,
-            origin: origin_tag(origin),
-            data,
-        })?;
+        // No double buffering (§II): the page copy is removed. A
+        // failure here is tolerated rather than propagated — the
+        // migration is already durable in both logs, so the stale page
+        // copy holds the same committed bytes and redo removes it after
+        // a crash; unwinding a logged migration would be worse.
+        if let Err(e) = heap.delete(&self.sh.cache, page, slot) {
+            self.sh.note_storage_error("migrate-page-delete", &e);
+        }
         let commit_ts = self.sh.txns.commit(itxn);
-        self.sh.syslog.append(&PageLogRecord::Commit {
+        self.sh.append_sys(&PageLogRecord::Commit {
             txn: itxn.id,
             ts: commit_ts,
         })?;
@@ -1129,71 +1351,91 @@ impl Engine {
     fn ensure_begin(&self, txn: &mut Transaction) -> Result<()> {
         if !txn.wrote_syslog {
             self.sh
-                .syslog
-                .append(&PageLogRecord::Begin { txn: txn.handle.id })?;
+                .append_sys(&PageLogRecord::Begin { txn: txn.handle.id })?;
             txn.wrote_syslog = true;
         }
         Ok(())
     }
 
     /// Commit a transaction, returning its commit timestamp.
+    ///
+    /// On `Err` the commit was **not acknowledged**: the log write or
+    /// flush failed, so after a crash the transaction may or may not
+    /// survive (its records may have partially reached the device).
+    /// Locks are always released and the engine stays usable; a failed
+    /// log *append* additionally turns the engine read-only, because
+    /// the log tail may be torn (see [`Shared::append_sys`]).
     pub fn commit(&self, mut txn: Transaction) -> Result<Timestamp> {
         let ts = self.sh.txns.commit(txn.handle);
         for v in txn.to_stamp.drain(..) {
             v.stamp(ts);
         }
         let id = txn.handle.id;
-        for p in txn.pending_imrs.drain(..) {
-            let rec = match p {
-                PendingImrs::Insert {
-                    partition,
-                    row,
-                    origin,
-                    data,
-                } => ImrsLogRecord::Insert {
-                    txn: id,
-                    ts,
-                    partition,
-                    row,
-                    origin,
-                    data,
-                },
-                PendingImrs::Update {
-                    partition,
-                    row,
-                    data,
-                } => ImrsLogRecord::Update {
-                    txn: id,
-                    ts,
-                    partition,
-                    row,
-                    data,
-                },
-                PendingImrs::Delete { partition, row } => ImrsLogRecord::Delete {
-                    txn: id,
-                    ts,
-                    partition,
-                    row,
-                },
-            };
-            self.sh.imrslog.append(&rec)?;
-        }
-        if txn.wrote_syslog {
-            self.sh
-                .syslog
-                .append(&PageLogRecord::Commit { txn: id, ts })?;
-        }
-        if self.sh.cfg.durable_commits {
-            // Group commit: concurrent committers share device syncs.
-            self.sh.group_imrs.commit_flush()?;
-            if txn.wrote_syslog {
-                self.sh.group_sys.commit_flush()?;
+        let wrote_any = txn.wrote_syslog || !txn.pending_imrs.is_empty();
+        let logged: Result<()> = (|| {
+            for p in txn.pending_imrs.drain(..) {
+                let rec = match p {
+                    PendingImrs::Insert {
+                        partition,
+                        row,
+                        origin,
+                        data,
+                    } => ImrsLogRecord::Insert {
+                        txn: id,
+                        ts,
+                        partition,
+                        row,
+                        origin,
+                        data,
+                    },
+                    PendingImrs::Update {
+                        partition,
+                        row,
+                        data,
+                    } => ImrsLogRecord::Update {
+                        txn: id,
+                        ts,
+                        partition,
+                        row,
+                        data,
+                    },
+                    PendingImrs::Delete { partition, row } => ImrsLogRecord::Delete {
+                        txn: id,
+                        ts,
+                        partition,
+                        row,
+                    },
+                };
+                self.sh.append_imrs(&rec)?;
             }
+            if txn.wrote_syslog {
+                self.sh.append_sys(&PageLogRecord::Commit { txn: id, ts })?;
+            }
+            if self.sh.cfg.durable_commits && wrote_any {
+                // Group commit: concurrent committers share device
+                // syncs. IMRS records are made durable *before* the
+                // syslogs Commit record so a durable commit verdict
+                // always has durable records behind it. Read-only
+                // transactions skip this entirely — they must commit
+                // cleanly even when the log device is gone.
+                self.sh.group_imrs.commit_flush()?;
+                if txn.wrote_syslog {
+                    self.sh.group_sys.commit_flush()?;
+                }
+            }
+            Ok(())
+        })();
+        match &logged {
+            Ok(()) => self.sh.note_storage_ok(),
+            Err(e) => self.sh.note_storage_error("commit", e),
         }
+        // Cleanup happens regardless of the log outcome — a failed
+        // commit must never leave its locks behind.
         self.sh.gc.register_many(txn.gc_rows.drain(..));
         self.sh.locks.unlock_all(id, txn.locks.iter());
         txn.locks.clear();
         txn.finished = true;
+        logged?;
         self.maybe_maintenance();
         Ok(ts)
     }
@@ -1211,7 +1453,10 @@ impl Engine {
             self.sh.store.rollback_row(&row, id);
         }
         if txn.wrote_syslog {
-            let _ = self.sh.syslog.append(&PageLogRecord::Abort { txn: id });
+            // Best-effort: if the Abort record cannot be written the
+            // transaction is classified as a loser at recovery and
+            // undone there — same outcome, just more work later.
+            let _ = self.sh.append_sys(&PageLogRecord::Abort { txn: id });
         }
         self.sh.txns.abort(txn.handle);
         self.sh.locks.unlock_all(id, txn.locks.iter());
@@ -1354,7 +1599,11 @@ impl Engine {
             .collect();
         sh.tuner
             .maybe_run(&sh.cfg, committed, &partitions, &sh.metrics, &sh.store);
-        crate::pack::pack_tick(self);
+        // Pack writes both logs and the page store; a read-only engine
+        // skips it (GC, TSF, and tuning above are purely in-memory).
+        if sh.health().writable() {
+            crate::pack::pack_tick(self);
+        }
     }
 
     /// Spawn background maintenance threads (GC + pack). The paper runs
@@ -1375,7 +1624,16 @@ impl Engine {
                         };
                         while !engine.sh.stop.load(Ordering::Relaxed) {
                             engine.run_maintenance();
-                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            // Back off when storage is misbehaving:
+                            // hammering a failing device from the
+                            // maintenance loop only amplifies the
+                            // error storm.
+                            let sleep_ms = match engine.sh.health() {
+                                HealthState::Healthy => 5,
+                                HealthState::Degraded { .. } => 50,
+                                HealthState::ReadOnly { .. } => 200,
+                            };
+                            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
                         }
                     })
                     .expect("spawn maintenance thread"),
@@ -1401,22 +1659,40 @@ impl Engine {
     /// redo starts at the checkpoint and there are no losers whose undo
     /// images could live in the dropped prefix.
     pub fn checkpoint(&self) -> Result<()> {
-        self.sh.cache.flush_all()?;
-        let ckpt_lsn = self.sh.syslog.append(&PageLogRecord::Checkpoint)?;
-        self.sh.syslog.flush()?;
-        self.sh.imrslog.flush()?;
-        if self.sh.txns.active_count() == 0 && ckpt_lsn.0 > 0 {
-            self.sh
-                .syslog
-                .sink()
-                .truncate_prefix(btrim_common::Lsn(ckpt_lsn.0 - 1))?;
+        let result: Result<()> = (|| {
+            self.sh.cache.flush_all()?;
+            let ckpt_lsn = self.sh.append_sys(&PageLogRecord::Checkpoint)?;
+            self.sh.syslog.flush()?;
+            self.sh.imrslog.flush()?;
+            if self.sh.txns.active_count() == 0 && ckpt_lsn.0 > 0 {
+                self.sh
+                    .syslog
+                    .sink()
+                    .truncate_prefix(btrim_common::Lsn(ckpt_lsn.0 - 1))?;
+            }
+            Ok(())
+        })();
+        match &result {
+            Ok(()) => self.sh.note_storage_ok(),
+            Err(e) => self.sh.note_storage_error("checkpoint", e),
         }
-        Ok(())
+        result
     }
 
     /// Experiment-facing statistics snapshot.
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot::collect(self)
+    }
+
+    /// Current engine health (storage-error driven).
+    pub fn health(&self) -> HealthState {
+        self.sh.health()
+    }
+
+    /// What the last recovery salvaged/dropped (all-zero on a clean
+    /// start or an undamaged recovery).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.sh.recovery.lock().clone()
     }
 
     /// Pre-warm a table: move every page-store row into the IMRS (the

@@ -45,7 +45,7 @@ pub mod txn_ctx;
 
 pub use catalog::{Partitioner, TableDesc, TableOpts};
 pub use config::{EngineConfig, EngineMode};
-pub use engine::Engine;
+pub use engine::{Engine, HealthState, RecoveryReport};
 pub use stats::EngineSnapshot;
 pub use txn_ctx::Transaction;
 

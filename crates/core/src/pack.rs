@@ -128,6 +128,16 @@ impl PackState {
     pub(crate) fn internal_txn_id(&self) -> TxnId {
         TxnId((1 << 63) | self.next_internal.fetch_add(1, Ordering::Relaxed))
     }
+
+    /// Raise the internal-id counter above `counter_floor` (the counter
+    /// part of the highest internal id seen in the logs). Recovery calls
+    /// this so pack pseudo-transaction ids are never reused across
+    /// incarnations — a reused id would let a prior incarnation's
+    /// discard verdict apply to a fresh pack transaction's records.
+    pub(crate) fn bump_internal_floor(&self, counter_floor: u64) {
+        self.next_internal
+            .fetch_max(counter_floor.saturating_add(1), Ordering::Relaxed);
+    }
 }
 
 /// Decide the pack level for a utilization reading.
@@ -178,6 +188,12 @@ pub fn pack_tick(engine: &Engine) -> u64 {
 /// Execute one pack cycle at the given level. Returns bytes packed.
 pub fn pack_cycle(engine: &Engine, level: PackLevel) -> u64 {
     let sh = &engine.sh;
+    // Pack is pure data movement; on a read-only engine it must not
+    // start. Beyond the (gated) log appends, even dirtying heap pages
+    // risks evicting unlogged state behind a torn log tail.
+    if sh.check_writable().is_err() {
+        return 0;
+    }
     let cfg = &sh.cfg;
     let used = sh.store.used_bytes();
     let num_bytes_to_pack = (used as f64 * cfg.pack_cycle_fraction) as u64;
@@ -350,9 +366,10 @@ fn pack_rows(
     let mut freed = 0u64;
     let mut wrote = false;
 
+    // A failed Begin append turns the engine read-only (torn-tail
+    // hazard, see `Shared::append_sys`); the batch is simply not packed.
     if sh
-        .syslog
-        .append(&PageLogRecord::Begin { txn: pack_txn })
+        .append_sys(&PageLogRecord::Begin { txn: pack_txn })
         .is_err()
     {
         return 0;
@@ -381,23 +398,31 @@ fn pack_rows(
                 sh.pack.rows_packed.fetch_add(1, Ordering::Relaxed);
                 sh.pack.bytes_packed.fetch_add(bytes, Ordering::Relaxed);
             }
-            Err(_) => {
+            Err(ref e) => {
                 // Pack is best-effort; the row stays resident and will
-                // be revisited in a later cycle.
+                // be revisited in a later cycle. Storage errors still
+                // count against engine health.
+                sh.note_storage_error("pack", e);
                 requeue(sh, &queues, row_id, origin);
             }
         }
     }
     // Commit boundary of the pack transaction: one commit timestamp and
-    // one durable flush for the whole small batch (§VII.B).
+    // one durable flush for the whole small batch (§VII.B). Without the
+    // Commit record on disk the pack transaction is a loser at recovery
+    // and every relocation in the batch is rolled back — consistent,
+    // just wasted work, so the append result only feeds health.
     let commit_ts = sh.clock.tick();
-    let _ = sh.syslog.append(&PageLogRecord::Commit {
+    let _ = sh.append_sys(&PageLogRecord::Commit {
         txn: pack_txn,
         ts: commit_ts,
     });
     if wrote {
-        let _ = sh.syslog.flush();
-        let _ = sh.imrslog.flush();
+        let flushed = sh.syslog.flush().and_then(|()| sh.imrslog.flush());
+        match &flushed {
+            Ok(()) => sh.note_storage_ok(),
+            Err(e) => sh.note_storage_error("pack flush", e),
+        }
         sh.pack.pack_txn_commits.fetch_add(1, Ordering::Relaxed);
     }
     freed
@@ -433,7 +458,7 @@ fn pack_one_locked(
         // Packing a deleted row = dropping it (its index entries were
         // removed by the delete).
         let bytes = row.memory() as u64;
-        sh.imrslog.append(&ImrsLogRecord::Delete {
+        sh.append_imrs(&ImrsLogRecord::Delete {
             txn: pack_txn,
             ts,
             partition,
@@ -454,7 +479,7 @@ fn pack_one_locked(
     // Begin/Commit records are written by `pack_rows`.
     let payload = wrap_row(row_id, &data);
     let (page, slot) = table.heap(partition).insert(&sh.cache, &payload)?;
-    sh.syslog.append(&PageLogRecord::Insert {
+    sh.append_sys(&PageLogRecord::Insert {
         txn: pack_txn,
         partition,
         row: row_id,
@@ -462,8 +487,10 @@ fn pack_one_locked(
         slot,
         data: payload,
     })?;
-    // Logged delete from the IMRS.
-    sh.imrslog.append(&ImrsLogRecord::Pack {
+    // Logged delete from the IMRS, tagged with the pack transaction so
+    // recovery can discard it if the pack txn loses (no Commit on disk).
+    sh.append_imrs(&ImrsLogRecord::Pack {
+        txn: pack_txn,
         ts,
         partition,
         row: row_id,

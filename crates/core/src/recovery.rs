@@ -1,42 +1,66 @@
-//! Crash recovery (§II).
+//! Crash recovery (§II), hardened against torn and corrupt media.
 //!
 //! The two logs are recovered independently, in lock-step order:
 //!
-//! 1. **syslogs** (page store): analysis classifies transactions, then
-//!    a forward redo pass repeats history for committed work and a
-//!    backward undo pass rolls back in-flight losers using the logged
-//!    before-images. Redo is idempotent: slot-directed inserts skip
-//!    already-live slots, deletes skip dead slots.
+//! 1. **syslogs** (page store): the decodable prefix is salvaged (a
+//!    torn tail is truncated at the first bad frame and reported),
+//!    analysis classifies transactions, then a forward redo pass
+//!    repeats history for committed work and a backward undo pass
+//!    rolls back in-flight losers using the logged before-images.
+//!    Redo is idempotent: slot-directed inserts skip already-live
+//!    slots, deletes skip dead slots.
 //! 2. Heap pages are scanned to rebuild heap page lists, the RID-Map,
 //!    and all B+tree indexes (indexes are rebuilt rather than replayed,
 //!    extending the paper's treatment of the non-logged hash indexes).
-//! 3. **sysimrslogs** (IMRS): a single forward redo-only replay —
-//!    records were written at commit time with their commit timestamps,
-//!    so no undo pass exists. "Checkpoint does not flush any data [for
-//!    the IMRS]; all the IMRS data is recovered by doing a redo-only
-//!    recovery of sysimrslogs."
+//!    Pages whose on-device image fails its checksum — a torn write —
+//!    are reformatted as free and counted, never served.
+//! 3. **sysimrslogs** (IMRS): a single forward redo-only replay of the
+//!    salvaged prefix — records were written at commit time with their
+//!    commit timestamps, so no undo pass exists. "Checkpoint does not
+//!    flush any data [for the IMRS]; all the IMRS data is recovered by
+//!    doing a redo-only recovery of sysimrslogs."
+//!
+//! **Winner gating.** Every writing transaction appends a syslogs
+//! Begin, and commit appends a syslogs Commit after the transaction's
+//! IMRS records are appended (and, under durable commits, flushed
+//! imrs-before-sys). Replay therefore skips IMRS records of
+//! transactions the syslogs analysis saw begin but not commit (losers)
+//! or saw abort. Transactions with *no* syslogs evidence are treated
+//! as committed: checkpoint truncation drops old Begin/Commit pairs,
+//! so absence means "too old to be in doubt", not "in flight".
+//!
+//! Because sysimrslogs is never truncated while syslogs is, the
+//! loser/aborted verdict would be forgotten once a later checkpoint
+//! truncates the syslogs evidence. Recovery therefore appends a
+//! durable [`ImrsLogRecord::Discard`] poisoning those transaction ids,
+//! and bumps the transaction-id allocators past every id seen in
+//! either log so a verdict can never leak onto a fresh transaction.
 //!
 //! The engine's catalog is re-declared by the caller (schema closure);
 //! index pages from the previous incarnation become dead space on the
 //! device, which is the usual cost of rebuild-style index recovery.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
-use btrim_common::{PageId, PartitionId, Result, RowId, SlotId, Timestamp};
+use btrim_common::{BtrimError, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId};
 use btrim_imrs::RowLocation;
 use btrim_pagestore::page::PageType;
-use btrim_pagestore::{DiskBackend, SlottedPage};
-use btrim_wal::{analyze_page_log, ImrsLogRecord, LogSink, PageLogRecord};
+use btrim_pagestore::{DiskBackend, PageGuard, SlottedPage};
+use btrim_wal::{analyze_page_log, ImrsLogRecord, LogAnalysis, LogSink, PageLogRecord};
 
 use crate::catalog::TableDesc;
 use crate::config::EngineConfig;
 use crate::engine::{origin_from_tag, unwrap_row, Engine};
 
+/// Internal pack/caching pseudo-transaction ids set this bit.
+const INTERNAL_TXN_BIT: u64 = 1 << 63;
+
 impl Engine {
     /// Recover an engine from its devices. `schema` re-declares the
     /// catalog exactly as the original run did (same tables in the same
-    /// order, so partition ids line up).
+    /// order, so partition ids line up). Salvage statistics are left in
+    /// the engine's [`RecoveryReport`](crate::engine::RecoveryReport).
     pub fn recover(
         cfg: EngineConfig,
         disk: Arc<dyn DiskBackend>,
@@ -46,16 +70,52 @@ impl Engine {
     ) -> Result<Engine> {
         let engine = Engine::with_devices(cfg, disk, syslog, imrslog);
         schema(&engine)?;
-        engine.replay_page_log()?;
+        let analysis = engine.replay_page_log()?;
         let heap_locs = engine.rebuild_from_heaps()?;
-        engine.replay_imrs_log(&heap_locs)?;
+        engine.replay_imrs_log(&analysis, &heap_locs)?;
         engine.finish_recovery();
         Ok(engine)
     }
 
+    /// Feed a transaction id seen in a log into the id-floor bookkeeping
+    /// so no future transaction (client or internal pack) reuses it.
+    fn note_txn_floor(&self, id: TxnId) {
+        if id.0 & INTERNAL_TXN_BIT != 0 {
+            self.sh.pack.bump_internal_floor(id.0 & !INTERNAL_TXN_BIT);
+        } else {
+            self.sh.txns.bump_txn_floor(id);
+        }
+    }
+
+    /// Fetch a page for redo, tolerating a corrupt on-device image: a
+    /// checksum mismatch falls back to an unverified fetch and reports
+    /// `corrupt = true` so the caller reformats before applying. The
+    /// reset is counted in the recovery report.
+    fn fetch_for_redo(&self, page: PageId) -> Result<(PageGuard<'_>, bool)> {
+        match self.sh.cache.fetch(page) {
+            Ok(g) => Ok((g, false)),
+            Err(BtrimError::ChecksumMismatch(_)) => {
+                let g = self.sh.cache.fetch_unchecked(page)?;
+                self.sh.recovery.lock().pages_reset += 1;
+                Ok((g, true))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Redo winners forward, undo losers backward.
-    fn replay_page_log(&self) -> Result<()> {
-        let records = self.sh.syslog.read_all()?;
+    fn replay_page_log(&self) -> Result<LogAnalysis> {
+        let (records, dropped) = self.sh.syslog.read_all_salvage()?;
+        {
+            let mut rep = self.sh.recovery.lock();
+            rep.syslog_salvaged = records.len() as u64;
+            rep.syslog_dropped = dropped;
+        }
+        for (_lsn, rec) in &records {
+            if let Some(txn) = rec.txn() {
+                self.note_txn_floor(txn);
+            }
+        }
         let analysis = analyze_page_log(&records);
         // Redo may start at the last checkpoint: every page change
         // below it was flushed (§II's checkpoint contract). Replaying
@@ -86,8 +146,13 @@ impl Engine {
                     new,
                     ..
                 } => self.redo_update(*partition, *page, *slot, new)?,
-                PageLogRecord::Delete { page, slot, .. } => {
-                    self.redo_delete(*page, *slot)?;
+                PageLogRecord::Delete {
+                    partition,
+                    page,
+                    slot,
+                    ..
+                } => {
+                    self.redo_delete(*partition, *page, *slot)?;
                 }
                 _ => {}
             }
@@ -99,8 +164,13 @@ impl Engine {
                 continue;
             }
             match rec {
-                PageLogRecord::Insert { page, slot, .. } => {
-                    self.redo_delete(*page, *slot)?;
+                PageLogRecord::Insert {
+                    partition,
+                    page,
+                    slot,
+                    ..
+                } => {
+                    self.redo_delete(*partition, *page, *slot)?;
                 }
                 PageLogRecord::Update {
                     partition,
@@ -120,7 +190,7 @@ impl Engine {
             }
         }
         self.sh.clock.advance_to(analysis.max_commit_ts);
-        Ok(())
+        Ok(analysis)
     }
 
     fn redo_insert(
@@ -130,11 +200,11 @@ impl Engine {
         slot: SlotId,
         data: &[u8],
     ) -> Result<()> {
-        let guard = self.sh.cache.fetch(page)?;
+        let (guard, corrupt) = self.fetch_for_redo(page)?;
         guard.with_write(|buf| {
-            // A never-flushed page is still zeroed on the device:
-            // format it before applying.
-            if PageType::from_u8(buf[0]) == PageType::Free {
+            // A never-flushed page is still zeroed on the device, and a
+            // torn page is garbage: format before applying.
+            if corrupt || PageType::from_u8(buf[0]) == PageType::Free {
                 SlottedPage::init(buf, PageType::Heap, page, partition);
             }
             let mut p = SlottedPage::new(buf);
@@ -151,9 +221,9 @@ impl Engine {
         slot: SlotId,
         data: &[u8],
     ) -> Result<()> {
-        let guard = self.sh.cache.fetch(page)?;
+        let (guard, corrupt) = self.fetch_for_redo(page)?;
         guard.with_write(|buf| {
-            if PageType::from_u8(buf[0]) == PageType::Free {
+            if corrupt || PageType::from_u8(buf[0]) == PageType::Free {
                 SlottedPage::init(buf, PageType::Heap, page, partition);
             }
             let mut p = SlottedPage::new(buf);
@@ -165,9 +235,16 @@ impl Engine {
         Ok(())
     }
 
-    fn redo_delete(&self, page: PageId, slot: SlotId) -> Result<()> {
-        let guard = self.sh.cache.fetch(page)?;
-        guard.with_page_write(|p| {
+    fn redo_delete(&self, partition: PartitionId, page: PageId, slot: SlotId) -> Result<()> {
+        let (guard, corrupt) = self.fetch_for_redo(page)?;
+        guard.with_write(|buf| {
+            if corrupt || PageType::from_u8(buf[0]) == PageType::Free {
+                // A freshly formatted page has no live slots; the
+                // delete is already in effect.
+                SlottedPage::init(buf, PageType::Heap, page, partition);
+                return;
+            }
+            let mut p = SlottedPage::new(buf);
             let _ = p.delete(slot);
         });
         Ok(())
@@ -175,13 +252,27 @@ impl Engine {
 
     /// Scan all heap pages: re-attach them to their tables' heaps,
     /// rebuild the RID-Map and indexes, and remember each row's page
-    /// location (needed by Pack-record replay).
+    /// location (needed by Pack-record replay). Pages whose device
+    /// image fails its checksum and that no redo record repaired are
+    /// reformatted as free — their contents are unrecoverable, and a
+    /// torn page must never be served as data.
     fn rebuild_from_heaps(&self) -> Result<HashMap<RowId, (PageId, SlotId)>> {
         let num_pages = self.sh.cache.backend().num_pages();
         let mut by_partition: HashMap<PartitionId, Vec<PageId>> = HashMap::new();
         for raw in 0..num_pages {
             let pid = PageId(raw);
-            let guard = self.sh.cache.fetch(pid)?;
+            let guard = match self.sh.cache.fetch(pid) {
+                Ok(g) => g,
+                Err(BtrimError::ChecksumMismatch(_)) => {
+                    let g = self.sh.cache.fetch_unchecked(pid)?;
+                    g.with_write(|buf| {
+                        SlottedPage::init(buf, PageType::Free, pid, PartitionId(0));
+                    });
+                    self.sh.recovery.lock().pages_reset += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let (ptype, partition) = guard.with_page_read(|v| (v.page_type(), v.partition()));
             if ptype == PageType::Heap {
                 by_partition.entry(partition).or_default().push(pid);
@@ -234,14 +325,53 @@ impl Engine {
         }
     }
 
-    /// Forward redo-only replay of the IMRS log.
-    fn replay_imrs_log(&self, heap_locs: &HashMap<RowId, (PageId, SlotId)>) -> Result<()> {
-        let records = self.sh.imrslog.read_all()?;
+    /// Forward redo-only replay of the IMRS log, gated by the syslogs
+    /// verdicts: records of losers and aborted transactions are
+    /// skipped, and those ids are durably poisoned with a `Discard`
+    /// record so a later recovery — after checkpoint truncation has
+    /// dropped the syslogs evidence — still skips them.
+    fn replay_imrs_log(
+        &self,
+        analysis: &LogAnalysis,
+        heap_locs: &HashMap<RowId, (PageId, SlotId)>,
+    ) -> Result<()> {
+        let (records, dropped) = self.sh.imrslog.read_all_salvage()?;
+        {
+            let mut rep = self.sh.recovery.lock();
+            rep.imrslog_salvaged = records.len() as u64;
+            rep.imrslog_dropped = dropped;
+        }
+        // Ids poisoned by prior recoveries: their verdicts are already
+        // durable in this log.
+        let mut old_discards: HashSet<TxnId> = HashSet::new();
+        for (_lsn, rec) in &records {
+            if let ImrsLogRecord::Discard { txns } = rec {
+                old_discards.extend(txns.iter().copied());
+            }
+        }
+        let mut skip: HashSet<TxnId> = old_discards.clone();
+        skip.extend(analysis.losers.iter().copied());
+        skip.extend(analysis.aborted.iter().copied());
+        // Loser/aborted ids whose records we actually skipped and that
+        // no prior Discard covers — these need durable poisoning.
+        // BTreeSet keeps the appended record deterministic.
+        let mut newly_poisoned: BTreeSet<TxnId> = BTreeSet::new();
+        let mut skipped = 0u64;
         let mut max_ts = Timestamp::ZERO;
         let mut max_row_id = RowId(0);
         for (_lsn, rec) in records {
+            // Discard records carry no row data.
+            let Some(txn_id) = rec.txn() else { continue };
+            self.note_txn_floor(txn_id);
             max_ts = max_ts.max(rec.ts());
             max_row_id = max_row_id.max(rec.row());
+            if skip.contains(&txn_id) {
+                skipped += 1;
+                if !old_discards.contains(&txn_id) {
+                    newly_poisoned.insert(txn_id);
+                }
+                continue;
+            }
             match rec {
                 ImrsLogRecord::Insert {
                     txn,
@@ -331,7 +461,17 @@ impl Engine {
                         }
                     }
                 }
+                ImrsLogRecord::Discard { .. } => unreachable!("filtered above"),
             }
+        }
+        self.sh.recovery.lock().imrs_records_skipped = skipped;
+        if !newly_poisoned.is_empty() {
+            // Raw appends on purpose: recovery has not opened the
+            // engine for business, so a failure here should fail the
+            // whole recovery rather than flip health state.
+            let txns: Vec<TxnId> = newly_poisoned.into_iter().collect();
+            self.sh.imrslog.append(&ImrsLogRecord::Discard { txns })?;
+            self.sh.imrslog.flush()?;
         }
         self.sh.clock.advance_to(max_ts);
         self.sh.ridmap.bump_row_id_floor(max_row_id);

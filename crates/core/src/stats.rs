@@ -118,8 +118,17 @@ pub struct EngineSnapshot {
     pub gc_backlog: usize,
     /// Total ILM-queue entries across all partitions.
     pub queue_total: usize,
-    /// Buffer cache counters.
+    /// Buffer cache counters (including `io_errors`, `io_retries`, and
+    /// `checksum_failures`).
     pub buffer: btrim_pagestore::buffer::BufferStatsSnapshot,
+    /// Current engine health (storage-error escalation state).
+    pub health: crate::engine::HealthState,
+    /// Storage errors observed outside the buffer cache (log appends,
+    /// flushes, pack, checkpoint).
+    pub storage_errors: u64,
+    /// Salvage statistics from the last recovery of this engine
+    /// (all-zero for an engine that was not recovered).
+    pub recovery: crate::engine::RecoveryReport,
     /// Per-table detail.
     pub tables: Vec<TableSnapshot>,
 }
@@ -194,6 +203,9 @@ impl EngineSnapshot {
             gc_backlog: sh.gc.backlog(),
             queue_total: sh.queues.total_len(),
             buffer: sh.cache.stats(),
+            health: sh.health(),
+            storage_errors: sh.storage_errors.load(std::sync::atomic::Ordering::Relaxed),
+            recovery: sh.recovery.lock().clone(),
             tables,
         }
     }
@@ -234,6 +246,28 @@ impl EngineSnapshot {
             self.buffer.shard_lock_contention,
             self.buffer.io_waits,
         ));
+        out.push_str(&format!(
+            "health {}   storage-errors {}   io-errors {} (retried {})   \
+             checksum-failures {}\n",
+            self.health,
+            self.storage_errors,
+            self.buffer.io_errors,
+            self.buffer.io_retries,
+            self.buffer.checksum_failures,
+        ));
+        if self.recovery != crate::engine::RecoveryReport::default() {
+            let r = &self.recovery;
+            out.push_str(&format!(
+                "recovery: salvaged sys {} (dropped {}) imrs {} (dropped {})   \
+                 pages-reset {}   records-skipped {}\n",
+                r.syslog_salvaged,
+                r.syslog_dropped,
+                r.imrslog_salvaged,
+                r.imrslog_dropped,
+                r.pages_reset,
+                r.imrs_records_skipped,
+            ));
+        }
         out.push_str(&format!(
             "── tables ─────────────────────────────────────────────\n\
              {:<12} {:>9} {:>10} {:>9} {:>9} {:>8} {:>5}\n",
@@ -285,5 +319,9 @@ mod tests {
         assert!(report.contains("txns committed"));
         assert!(report.contains("hit rate"));
         assert!(report.contains("TSF"));
+        assert!(report.contains("health healthy"));
+        assert!(report.contains("checksum-failures 0"));
+        // No recovery happened: the salvage line is suppressed.
+        assert!(!report.contains("recovery:"));
     }
 }

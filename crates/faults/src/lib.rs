@@ -1,0 +1,534 @@
+//! Deterministic fault injection for the storage stack (test support).
+//!
+//! [`FaultDisk`] wraps any [`DiskBackend`] and [`FaultLog`] wraps any
+//! [`LogSink`]; both consult a shared [`FaultState`] built from a
+//! seeded [`FaultPlan`], so a whole device set (page device + both
+//! logs) misbehaves under one reproducible schedule:
+//!
+//! - **Transient errors**: seeded-probability read/write/sync failures,
+//!   capped by an error budget (so workloads eventually make progress).
+//! - **Torn page writes**: the Nth page write persists only the first
+//!   `torn_prefix_bytes` of the new image over the old one and then
+//!   *reports success* — a lying device. Detection is the checksum's
+//!   job at fetch or recovery time.
+//! - **Partial log appends**: a truncated payload reaches the sink but
+//!   the caller gets an error — the record is framed (CRC-valid) yet
+//!   undecodable, exercising decode-level salvage.
+//! - **Log-device death**: after N successful appends every later
+//!   append/flush fails, permanently — the engine must degrade to
+//!   read-only, not hang or panic.
+//! - **Fail-stop**: after K total device operations the shared crash
+//!   switch flips and *every* wrapped device fails everything —
+//!   a whole-machine crash at a single instant.
+//!
+//! Injected faults never touch `read_all`/`truncate_prefix` plumbing:
+//! recovery reads go straight through, matching the model of a reboot
+//! onto the surviving media.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use btrim_common::{BtrimError, Lsn, PageId, Result};
+use btrim_pagestore::{DiskBackend, PAGE_SIZE};
+use btrim_wal::LogSink;
+
+/// A deterministic schedule of storage faults.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// RNG seed; the same plan + seed reproduces the same fault
+    /// schedule for the same operation sequence.
+    pub seed: u64,
+    /// Probability that a page read fails transiently.
+    pub read_error_prob: f64,
+    /// Probability that a page write fails transiently.
+    pub write_error_prob: f64,
+    /// Probability that a disk/log sync or flush fails transiently.
+    pub sync_error_prob: f64,
+    /// Probability that a log append persists only a truncated payload
+    /// while reporting failure to the caller.
+    pub partial_append_prob: f64,
+    /// Cap on the total number of probabilistic faults injected.
+    pub error_budget: u64,
+    /// Tear the Nth page write (0-based, counted across the plan's
+    /// devices): persist `torn_prefix_bytes` of the new image over the
+    /// old page and report success.
+    pub torn_write_at: Option<u64>,
+    /// Prefix of the new image that survives a torn write.
+    pub torn_prefix_bytes: usize,
+    /// Log device dies permanently after this many successful appends.
+    pub fail_appends_after: Option<u64>,
+    /// Fail-stop the whole device set after this many total operations.
+    pub fail_stop_after_ops: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            read_error_prob: 0.0,
+            write_error_prob: 0.0,
+            sync_error_prob: 0.0,
+            partial_append_prob: 0.0,
+            error_budget: 0,
+            torn_write_at: None,
+            torn_prefix_bytes: 512,
+            fail_appends_after: None,
+            fail_stop_after_ops: None,
+        }
+    }
+}
+
+/// Counters of faults actually injected, for test assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transient read errors injected.
+    pub read_errors: u64,
+    /// Transient write errors injected.
+    pub write_errors: u64,
+    /// Transient sync/flush errors injected.
+    pub sync_errors: u64,
+    /// Torn page writes performed (reported as success).
+    pub torn_writes: u64,
+    /// Partial log appends performed (reported as failure).
+    pub partial_appends: u64,
+    /// Appends rejected by a dead log device.
+    pub dead_appends: u64,
+}
+
+/// Shared fault engine: one per plan, shared by every wrapped device so
+/// budgets, the op counter, and the crash switch are global.
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    ops: AtomicU64,
+    page_writes: AtomicU64,
+    log_appends: AtomicU64,
+    budget_left: AtomicU64,
+    crashed: AtomicBool,
+    log_dead: AtomicBool,
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+    sync_errors: AtomicU64,
+    torn_writes: AtomicU64,
+    partial_appends: AtomicU64,
+    dead_appends: AtomicU64,
+}
+
+fn injected(what: &str) -> BtrimError {
+    BtrimError::Io(std::io::Error::other(format!("injected fault: {what}")))
+}
+
+impl FaultState {
+    /// Build the shared state for one plan.
+    pub fn new(plan: FaultPlan) -> Arc<FaultState> {
+        Arc::new(FaultState {
+            rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
+            budget_left: AtomicU64::new(plan.error_budget),
+            ops: AtomicU64::new(0),
+            page_writes: AtomicU64::new(0),
+            log_appends: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            log_dead: AtomicBool::new(false),
+            read_errors: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            sync_errors: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            partial_appends: AtomicU64::new(0),
+            dead_appends: AtomicU64::new(0),
+            plan,
+        })
+    }
+
+    /// Whether the fail-stop switch has flipped.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Flip the fail-stop switch immediately (all wrapped devices fail
+    /// everything from now on).
+    pub fn crash_now(&self) {
+        self.crashed.store(true, Ordering::Release);
+    }
+
+    /// Whether the log device has died permanently.
+    pub fn log_dead(&self) -> bool {
+        self.log_dead.load(Ordering::Acquire)
+    }
+
+    /// Kill the log device permanently (every later append and flush
+    /// fails), independent of the append-count trigger.
+    pub fn kill_log(&self) {
+        self.log_dead.store(true, Ordering::Release);
+    }
+
+    /// Revive the log device (tests of health-state recovery).
+    pub fn revive_log(&self) {
+        self.log_dead.store(false, Ordering::Release);
+    }
+
+    /// Faults injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            sync_errors: self.sync_errors.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            partial_appends: self.partial_appends.load(Ordering::Relaxed),
+            dead_appends: self.dead_appends.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count one device operation; flips the crash switch at the
+    /// configured op index. Returns an error if the device set is
+    /// (now) crashed.
+    fn tick(&self) -> Result<()> {
+        let op = self.ops.fetch_add(1, Ordering::AcqRel);
+        if let Some(k) = self.plan.fail_stop_after_ops {
+            if op >= k {
+                self.crashed.store(true, Ordering::Release);
+            }
+        }
+        if self.crashed() {
+            return Err(injected("fail-stop"));
+        }
+        Ok(())
+    }
+
+    /// Draw a probabilistic fault if the budget allows.
+    fn draw(&self, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        if !self.rng.lock().gen_bool(prob) {
+            return false;
+        }
+        self.budget_left
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// A [`DiskBackend`] wrapper that injects the plan's disk faults.
+pub struct FaultDisk {
+    inner: Arc<dyn DiskBackend>,
+    state: Arc<FaultState>,
+}
+
+impl FaultDisk {
+    /// Wrap a backend.
+    pub fn new(inner: Arc<dyn DiskBackend>, state: Arc<FaultState>) -> Self {
+        FaultDisk { inner, state }
+    }
+
+    /// The shared fault state.
+    pub fn state(&self) -> &Arc<FaultState> {
+        &self.state
+    }
+}
+
+impl DiskBackend for FaultDisk {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.state.tick()?;
+        if self.state.draw(self.state.plan.read_error_prob) {
+            self.state.read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("transient read"));
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.state.tick()?;
+        let widx = self.state.page_writes.fetch_add(1, Ordering::AcqRel);
+        if self.state.plan.torn_write_at == Some(widx) && buf.len() == PAGE_SIZE {
+            // The lying device: persist a torn image, report success.
+            let n = self.state.plan.torn_prefix_bytes.min(PAGE_SIZE);
+            let mut torn = vec![0u8; PAGE_SIZE];
+            // Old image (a page never written reads back as zeros).
+            if self.inner.read_page(id, &mut torn).is_err() {
+                torn.fill(0);
+            }
+            torn[..n].copy_from_slice(&buf[..n]);
+            self.inner.write_page(id, &torn)?;
+            self.state.torn_writes.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        if self.state.draw(self.state.plan.write_error_prob) {
+            self.state.write_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("transient write"));
+        }
+        self.inner.write_page(id, buf)
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        self.state.tick()?;
+        self.inner.allocate_page()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.state.tick()?;
+        if self.state.draw(self.state.plan.sync_error_prob) {
+            self.state.sync_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("transient sync"));
+        }
+        self.inner.sync()
+    }
+
+    fn reads(&self) -> u64 {
+        self.inner.reads()
+    }
+
+    fn writes(&self) -> u64 {
+        self.inner.writes()
+    }
+}
+
+/// A [`LogSink`] wrapper that injects the plan's log faults.
+pub struct FaultLog {
+    inner: Arc<dyn LogSink>,
+    state: Arc<FaultState>,
+}
+
+impl FaultLog {
+    /// Wrap a sink.
+    pub fn new(inner: Arc<dyn LogSink>, state: Arc<FaultState>) -> Self {
+        FaultLog { inner, state }
+    }
+
+    /// The shared fault state.
+    pub fn state(&self) -> &Arc<FaultState> {
+        &self.state
+    }
+
+    fn check_dead(&self) -> Result<()> {
+        if self.state.log_dead() {
+            self.state.dead_appends.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("log device dead"));
+        }
+        Ok(())
+    }
+}
+
+impl LogSink for FaultLog {
+    fn append(&self, payload: &[u8]) -> Result<Lsn> {
+        self.state.tick()?;
+        self.check_dead()?;
+        let aidx = self.state.log_appends.fetch_add(1, Ordering::AcqRel);
+        if let Some(k) = self.state.plan.fail_appends_after {
+            if aidx >= k {
+                self.state.log_dead.store(true, Ordering::Release);
+                self.state.dead_appends.fetch_add(1, Ordering::Relaxed);
+                return Err(injected("log device dead"));
+            }
+        }
+        if self.state.draw(self.state.plan.partial_append_prob) && payload.len() > 1 {
+            // Persist a truncated payload (CRC-framed over the short
+            // bytes — undecodable) and fail the caller.
+            let _ = self.inner.append(&payload[..payload.len() / 2]);
+            self.state.partial_appends.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("partial append"));
+        }
+        self.inner.append(payload)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.state.tick()?;
+        self.check_dead()?;
+        if self.state.draw(self.state.plan.sync_error_prob) {
+            self.state.sync_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("transient flush"));
+        }
+        self.inner.flush()
+    }
+
+    fn read_all(&self) -> Result<Vec<(Lsn, Vec<u8>)>> {
+        // Recovery reads go straight through: a reboot reads whatever
+        // survived on the media.
+        self.inner.read_all()
+    }
+
+    fn record_count(&self) -> u64 {
+        self.inner.record_count()
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.inner.byte_size()
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> Result<()> {
+        self.state.tick()?;
+        self.inner.truncate_prefix(upto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrim_pagestore::{stamp_page_checksum, verify_page_checksum, MemDisk};
+    use btrim_wal::MemLog;
+
+    fn heap_page(fill: u8) -> Vec<u8> {
+        let mut buf = vec![fill; PAGE_SIZE];
+        buf[0] = 1; // PageType::Heap so the checksum is not exempt
+        stamp_page_checksum(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn passthrough_when_plan_is_empty() {
+        let state = FaultState::new(FaultPlan::default());
+        let disk = FaultDisk::new(Arc::new(MemDisk::new()), state.clone());
+        let p = disk.allocate_page().unwrap();
+        let w = heap_page(7);
+        disk.write_page(p, &w).unwrap();
+        let mut r = vec![0u8; PAGE_SIZE];
+        disk.read_page(p, &mut r).unwrap();
+        assert_eq!(r, w);
+        disk.sync().unwrap();
+        assert_eq!(state.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn transient_errors_are_deterministic_and_budgeted() {
+        let plan = FaultPlan {
+            seed: 42,
+            read_error_prob: 0.5,
+            error_budget: 3,
+            ..FaultPlan::default()
+        };
+        let run = |plan: FaultPlan| {
+            let state = FaultState::new(plan);
+            let disk = FaultDisk::new(Arc::new(MemDisk::new()), state.clone());
+            let p = disk.allocate_page().unwrap();
+            let mut buf = vec![0u8; PAGE_SIZE];
+            let outcomes: Vec<bool> = (0..64)
+                .map(|_| disk.read_page(p, &mut buf).is_ok())
+                .collect();
+            (outcomes, state.counters())
+        };
+        let (a, ca) = run(plan.clone());
+        let (b, cb) = run(plan);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(ca, cb);
+        assert_eq!(ca.read_errors, 3, "budget caps injections");
+        assert!(a.iter().filter(|ok| !**ok).count() == 3);
+    }
+
+    #[test]
+    fn torn_write_is_silent_and_checksum_detected() {
+        let plan = FaultPlan {
+            torn_write_at: Some(1),
+            torn_prefix_bytes: 100,
+            ..FaultPlan::default()
+        };
+        let inner = Arc::new(MemDisk::new());
+        let state = FaultState::new(plan);
+        let disk = FaultDisk::new(inner.clone(), state.clone());
+        let p = disk.allocate_page().unwrap();
+        let v1 = heap_page(0xAA);
+        disk.write_page(p, &v1).unwrap(); // write 0: intact
+        let v2 = heap_page(0xBB);
+        disk.write_page(p, &v2).unwrap(); // write 1: torn, still Ok
+        assert_eq!(state.counters().torn_writes, 1);
+
+        let mut r = vec![0u8; PAGE_SIZE];
+        inner.read_page(p, &mut r).unwrap();
+        assert_eq!(&r[..100], &v2[..100], "new prefix landed");
+        assert_eq!(&r[100..], &v1[100..], "old tail survived");
+        assert!(
+            !verify_page_checksum(&r),
+            "torn page must fail verification"
+        );
+    }
+
+    #[test]
+    fn fail_stop_kills_every_device_at_one_instant() {
+        let plan = FaultPlan {
+            fail_stop_after_ops: Some(5),
+            ..FaultPlan::default()
+        };
+        let state = FaultState::new(plan);
+        let disk = FaultDisk::new(Arc::new(MemDisk::new()), state.clone());
+        let log = FaultLog::new(Arc::new(MemLog::new()), state.clone());
+        let p = disk.allocate_page().unwrap(); // op 0
+        let w = heap_page(1);
+        disk.write_page(p, &w).unwrap(); // op 1
+        log.append(b"a").unwrap(); // op 2
+        log.append(b"b").unwrap(); // op 3
+        disk.sync().unwrap(); // op 4
+                              // Op 5 crosses the threshold: everything fails from here on,
+                              // on both devices.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(disk.read_page(p, &mut buf).is_err());
+        assert!(log.append(b"c").is_err());
+        assert!(disk.write_page(p, &w).is_err());
+        assert!(log.flush().is_err());
+        assert!(state.crashed());
+        // Recovery-style reads still see what landed before the crash.
+        assert_eq!(log.read_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn log_death_after_n_appends_is_permanent() {
+        let plan = FaultPlan {
+            fail_appends_after: Some(2),
+            ..FaultPlan::default()
+        };
+        let state = FaultState::new(plan);
+        let log = FaultLog::new(Arc::new(MemLog::new()), state.clone());
+        log.append(b"one").unwrap();
+        log.append(b"two").unwrap();
+        for _ in 0..5 {
+            assert!(log.append(b"never").is_err());
+            assert!(log.flush().is_err());
+        }
+        assert!(state.log_dead());
+        assert!(state.counters().dead_appends >= 5);
+        // Revive (simulated device replacement): appends work again.
+        state.revive_log();
+        // The count-based trigger stays tripped via log_appends, so
+        // revival is only honored when the trigger is disabled — a
+        // revived state keeps failing here because append index keeps
+        // growing past the threshold.
+        assert!(log.append(b"still dead").is_err());
+    }
+
+    #[test]
+    fn partial_append_persists_garbage_but_reports_failure() {
+        let plan = FaultPlan {
+            seed: 7,
+            partial_append_prob: 1.0,
+            error_budget: 1,
+            ..FaultPlan::default()
+        };
+        let inner = Arc::new(MemLog::new());
+        let state = FaultState::new(plan);
+        let log = FaultLog::new(inner.clone(), state.clone());
+        let payload = b"0123456789abcdef".to_vec();
+        assert!(log.append(&payload).is_err());
+        assert_eq!(state.counters().partial_appends, 1);
+        let on_media = inner.read_all().unwrap();
+        assert_eq!(on_media.len(), 1);
+        assert_eq!(on_media[0].1, payload[..payload.len() / 2].to_vec());
+        // Budget exhausted: the next append goes through intact.
+        assert!(log.append(&payload).is_ok());
+        assert_eq!(inner.read_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crash_now_flips_the_switch() {
+        let state = FaultState::new(FaultPlan::default());
+        let disk = FaultDisk::new(Arc::new(MemDisk::new()), state.clone());
+        disk.allocate_page().unwrap();
+        state.crash_now();
+        assert!(disk.allocate_page().is_err());
+        assert!(disk.sync().is_err());
+    }
+}

@@ -38,6 +38,19 @@ pub trait DiskBackend: Send + Sync {
     fn writes(&self) -> u64;
 }
 
+/// Reject short (or long) page buffers with a typed error instead of a
+/// debug-only assertion, so release builds can't silently transfer
+/// partial pages.
+fn check_buf_len(buf: &[u8]) -> Result<()> {
+    if buf.len() != PAGE_SIZE {
+        return Err(BtrimError::ShortBuffer {
+            expected: PAGE_SIZE,
+            got: buf.len(),
+        });
+    }
+    Ok(())
+}
+
 /// In-memory device: a vector of page buffers.
 #[derive(Default)]
 pub struct MemDisk {
@@ -55,7 +68,7 @@ impl MemDisk {
 
 impl DiskBackend for MemDisk {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        check_buf_len(buf)?;
         let pages = self.pages.read();
         let page = pages
             .get(id.0 as usize)
@@ -66,7 +79,7 @@ impl DiskBackend for MemDisk {
     }
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
-        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        check_buf_len(buf)?;
         let mut pages = self.pages.write();
         let page = pages
             .get_mut(id.0 as usize)
@@ -132,7 +145,7 @@ impl FileDisk {
 
 impl DiskBackend for FileDisk {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        check_buf_len(buf)?;
         if id.0 >= self.next_page.load(Ordering::Acquire) {
             return Err(BtrimError::PageNotFound(id));
         }
@@ -144,7 +157,7 @@ impl DiskBackend for FileDisk {
     }
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
-        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        check_buf_len(buf)?;
         if id.0 >= self.next_page.load(Ordering::Acquire) {
             return Err(BtrimError::PageNotFound(id));
         }
@@ -158,8 +171,19 @@ impl DiskBackend for FileDisk {
     fn allocate_page(&self) -> Result<PageId> {
         let mut file = self.file.lock();
         let id = PageId(self.next_page.load(Ordering::Acquire));
-        file.seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
-        file.write_all(&[0u8; PAGE_SIZE])?;
+        let start = id.0 as u64 * PAGE_SIZE as u64;
+        let zero_fill = (|| -> Result<()> {
+            file.seek(SeekFrom::Start(start))?;
+            file.write_all(&[0u8; PAGE_SIZE])?;
+            Ok(())
+        })();
+        if let Err(e) = zero_fill {
+            // A partial zero-fill may have extended the file; roll the
+            // length back so the cursor and file stay consistent and a
+            // retry (or reopen) sees the same allocation frontier.
+            let _ = file.set_len(start);
+            return Err(e);
+        }
         self.next_page.store(id.0 + 1, Ordering::Release);
         Ok(id)
     }
@@ -247,6 +271,90 @@ mod tests {
             disk.read_page(PageId(0), &mut r).unwrap();
             assert_eq!(r[13], 99);
             assert_eq!(r[0], 7);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn short_buffers_rejected_with_typed_error() {
+        let mem = MemDisk::new();
+        let p = mem.allocate_page().unwrap();
+        let mut short = vec![0u8; PAGE_SIZE - 1];
+        assert!(matches!(
+            mem.read_page(p, &mut short),
+            Err(BtrimError::ShortBuffer { expected, got })
+                if expected == PAGE_SIZE && got == PAGE_SIZE - 1
+        ));
+        let long = vec![0u8; PAGE_SIZE + 8];
+        assert!(matches!(
+            mem.write_page(p, &long),
+            Err(BtrimError::ShortBuffer { .. })
+        ));
+
+        let dir = std::env::temp_dir().join(format!("btrim-disk3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.dat");
+        let _ = std::fs::remove_file(&path);
+        let disk = FileDisk::open(&path).unwrap();
+        let p = disk.allocate_page().unwrap();
+        assert!(matches!(
+            disk.read_page(p, &mut short),
+            Err(BtrimError::ShortBuffer { .. })
+        ));
+        assert!(matches!(
+            disk.write_page(p, &long),
+            Err(BtrimError::ShortBuffer { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A failed zero-fill must not advance the allocation cursor:
+    /// /dev/full accepts the open but fails every write with ENOSPC.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn filedisk_allocate_failure_does_not_advance_cursor() {
+        let path = Path::new("/dev/full");
+        if !path.exists() {
+            return;
+        }
+        let disk = FileDisk::open(path).unwrap();
+        assert_eq!(disk.num_pages(), 0);
+        for _ in 0..3 {
+            assert!(disk.allocate_page().is_err());
+            assert_eq!(disk.num_pages(), 0, "cursor advanced past failed write");
+        }
+    }
+
+    /// A partial trailing page (the residue of an interrupted
+    /// allocation) is ignored by `open` and reclaimed by the next
+    /// allocation instead of shifting the page grid.
+    #[test]
+    fn filedisk_partial_tail_is_reclaimed() {
+        let dir = std::env::temp_dir().join(format!("btrim-disk4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.dat");
+        let _ = std::fs::remove_file(&path);
+        {
+            let disk = FileDisk::open(&path).unwrap();
+            let p = disk.allocate_page().unwrap();
+            disk.write_page(p, &vec![3u8; PAGE_SIZE]).unwrap();
+        }
+        // Simulate an interrupted allocation: a torn half-page tail.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&vec![0xEEu8; PAGE_SIZE / 2]).unwrap();
+        }
+        {
+            let disk = FileDisk::open(&path).unwrap();
+            assert_eq!(disk.num_pages(), 1, "partial tail counted as a page");
+            let p = disk.allocate_page().unwrap();
+            assert_eq!(p, PageId(1));
+            let mut r = vec![0xFFu8; PAGE_SIZE];
+            disk.read_page(p, &mut r).unwrap();
+            assert!(r.iter().all(|&b| b == 0), "reclaimed page not zeroed");
+            disk.read_page(PageId(0), &mut r).unwrap();
+            assert!(r.iter().all(|&b| b == 3), "page 0 disturbed");
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -19,4 +19,7 @@ pub mod page;
 pub use buffer::{BufferCache, BufferStats, BufferStatsSnapshot, PageGuard, ShardStat};
 pub use disk::{DiskBackend, FileDisk, MemDisk};
 pub use heap::HeapFile;
-pub use page::{PageType, PageView, SlottedPage, PAGE_SIZE};
+pub use page::{
+    page_checksum, stamp_page_checksum, verify_page_checksum, PageType, PageView, SlottedPage,
+    FORMAT_EPOCH, HEADER_SIZE, PAGE_SIZE,
+};

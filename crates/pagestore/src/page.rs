@@ -17,15 +17,24 @@
 //! 12  u32  partition_id
 //! 16  u32  next_page
 //! 20  u64  page_lsn          (recovery idempotence)
-//! 28  ...  row data ↑   ...   slot dir ↓  [offset u16, len u16] * slot_count
+//! 28  u32  checksum          (CRC-32 of the page, checksum field zeroed)
+//! 32  u32  format_epoch      (page-layout version; currently 1)
+//! 36  ...  row data ↑   ...   slot dir ↓  [offset u16, len u16] * slot_count
 //! ```
+//!
+//! The checksum is stamped by the buffer cache immediately before each
+//! device write and verified on fetch; `Free` (never-formatted, all
+//! zero) pages are exempt. A mismatch means a torn write or media
+//! corruption — the page must be salvaged, never served as valid data.
 
 use btrim_common::{PageId, PartitionId, SlotId, NULL_PAGE_ID};
 
 /// Size of every page, in bytes.
 pub const PAGE_SIZE: usize = 8192;
 /// Size of the page header.
-pub const HEADER_SIZE: usize = 28;
+pub const HEADER_SIZE: usize = 36;
+/// Current page-layout version stamped in the `format_epoch` field.
+pub const FORMAT_EPOCH: u32 = 1;
 /// Size of one slot-directory entry.
 pub const SLOT_ENTRY_SIZE: usize = 4;
 /// Largest row payload a single page can hold.
@@ -65,10 +74,52 @@ const OFF_PAGE_ID: usize = 8;
 const OFF_PARTITION: usize = 12;
 const OFF_NEXT_PAGE: usize = 16;
 const OFF_PAGE_LSN: usize = 20;
+const OFF_CHECKSUM: usize = 28;
+const OFF_EPOCH: usize = 32;
 
 /// Offset value marking a tombstoned slot (no live data offset can be 0,
 /// valid offsets are >= HEADER_SIZE).
 const TOMBSTONE: u16 = 0;
+
+/// CRC-32 (IEEE) over the page with the checksum field treated as zero.
+/// Bitwise implementation: pages are checksummed once per device write,
+/// not per access, so simplicity wins over table lookups here.
+pub fn page_checksum(buf: &[u8]) -> u32 {
+    debug_assert_eq!(buf.len(), PAGE_SIZE);
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    };
+    feed(&buf[..OFF_CHECKSUM]);
+    feed(&[0u8; 4]);
+    feed(&buf[OFF_CHECKSUM + 4..]);
+    !crc
+}
+
+/// Stamp the checksum and format epoch into a page buffer. Called by the
+/// buffer cache just before handing the bytes to the device.
+pub fn stamp_page_checksum(buf: &mut [u8]) {
+    buf[OFF_EPOCH..OFF_EPOCH + 4].copy_from_slice(&FORMAT_EPOCH.to_le_bytes());
+    let sum = page_checksum(buf);
+    buf[OFF_CHECKSUM..OFF_CHECKSUM + 4].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Verify a page buffer read from the device. `Free` pages (type byte 0,
+/// i.e. allocated-but-never-written) are exempt; everything else must
+/// carry a matching checksum.
+pub fn verify_page_checksum(buf: &[u8]) -> bool {
+    if PageType::from_u8(buf[OFF_TYPE]) == PageType::Free {
+        return true;
+    }
+    let stored = u32::from_le_bytes(buf[OFF_CHECKSUM..OFF_CHECKSUM + 4].try_into().unwrap());
+    stored == page_checksum(buf)
+}
 
 /// A mutable view over a page buffer with slotted-row operations.
 ///
@@ -627,6 +678,42 @@ mod tests {
         assert_eq!(p.page_lsn(), 0);
         p.set_page_lsn(0xDEAD_BEEF);
         assert_eq!(p.page_lsn(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn checksum_roundtrip_and_torn_write_detection() {
+        let mut buf = fresh();
+        {
+            let mut p = SlottedPage::init(&mut buf, PageType::Heap, PageId(1), PartitionId(0));
+            p.insert(b"some row data").unwrap();
+        }
+        stamp_page_checksum(&mut buf);
+        assert!(verify_page_checksum(&buf));
+        // Epoch was stamped.
+        let epoch = u32::from_le_bytes(buf[OFF_EPOCH..OFF_EPOCH + 4].try_into().unwrap());
+        assert_eq!(epoch, FORMAT_EPOCH);
+
+        // A torn write (prefix of a different version) is detected.
+        let mut new_buf = buf.clone();
+        {
+            let mut p = SlottedPage::new(&mut new_buf);
+            p.insert(b"second row").unwrap();
+        }
+        stamp_page_checksum(&mut new_buf);
+        let mut torn = buf.clone();
+        torn[..512].copy_from_slice(&new_buf[..512]);
+        assert!(!verify_page_checksum(&torn));
+
+        // Any single flipped bit in the body is detected.
+        let mut flipped = buf.clone();
+        flipped[HEADER_SIZE + 3] ^= 0x40;
+        assert!(!verify_page_checksum(&flipped));
+    }
+
+    #[test]
+    fn free_pages_are_checksum_exempt() {
+        let buf = fresh();
+        assert!(verify_page_checksum(&buf));
     }
 
     #[test]

@@ -104,6 +104,16 @@ impl TxnManager {
     pub fn aborted_count(&self) -> u64 {
         self.aborted.load(Ordering::Relaxed)
     }
+
+    /// Raise the id allocator above `floor`. Recovery calls this with
+    /// the highest transaction id found in either log so ids are never
+    /// reused across incarnations — replay gates records by id, and a
+    /// reused id would let a past incarnation's verdict (committed,
+    /// discarded) leak onto a fresh transaction's records.
+    pub fn bump_txn_floor(&self, floor: TxnId) {
+        let min_next = floor.0.saturating_add(1);
+        self.next_txn.fetch_max(min_next, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -385,6 +385,28 @@ where
             .map(|(lsn, bytes)| R::decode(&bytes).map(|r| (lsn, r)))
             .collect()
     }
+
+    /// Decode records until the first one that fails, returning the
+    /// decodable prefix plus the number of records dropped behind it.
+    ///
+    /// Frame-level corruption is already truncated by the sink's CRC
+    /// contract; this extends the same truncate-at-first-bad-record
+    /// policy to the decode layer, so recovery can salvage the intact
+    /// prefix of a log whose tail carries a corrupt (but CRC-framed)
+    /// record instead of failing wholesale.
+    pub fn read_all_salvage(&self) -> Result<(Vec<(Lsn, R)>, u64)> {
+        let raw = self.sink.read_all()?;
+        let total = raw.len();
+        let mut out = Vec::with_capacity(total);
+        for (lsn, bytes) in raw {
+            match R::decode(&bytes) {
+                Ok(r) => out.push((lsn, r)),
+                Err(_) => break,
+            }
+        }
+        let dropped = (total - out.len()) as u64;
+        Ok((out, dropped))
+    }
 }
 
 #[cfg(test)]
@@ -492,6 +514,26 @@ mod tests {
         let log = FileLog::open(&path).unwrap();
         assert_eq!(log.record_count(), 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_all_salvage_truncates_at_first_bad_decode() {
+        use crate::record::PageLogRecord;
+        use btrim_common::TxnId;
+        let sink = std::sync::Arc::new(MemLog::new());
+        let w: LogWriter<PageLogRecord> = LogWriter::new(sink.clone());
+        w.append(&PageLogRecord::Begin { txn: TxnId(1) }).unwrap();
+        w.append(&PageLogRecord::Abort { txn: TxnId(1) }).unwrap();
+        // A CRC-framed but undecodable record mid-log (e.g. written by
+        // a lying device), followed by a good one.
+        sink.append(&[0xFF, 0xFF]).unwrap();
+        w.append(&PageLogRecord::Begin { txn: TxnId(2) }).unwrap();
+
+        assert!(w.read_all().is_err(), "strict read fails wholesale");
+        let (salvaged, dropped) = w.read_all_salvage().unwrap();
+        assert_eq!(salvaged.len(), 2, "intact prefix survives");
+        assert_eq!(dropped, 2, "bad record and everything behind it drop");
+        assert_eq!(salvaged[1].1, PageLogRecord::Abort { txn: TxnId(1) });
     }
 
     #[test]

@@ -244,12 +244,25 @@ pub enum ImrsLogRecord {
         row: RowId,
     },
     /// Row packed out of the IMRS (the paired page-store insert lives
-    /// in syslogs).
+    /// in syslogs). Carries the pack transaction's id so replay can
+    /// gate the record on the syslog commit outcome of that
+    /// transaction, exactly like DML records.
     Pack {
+        txn: TxnId,
         ts: Timestamp,
         partition: PartitionId,
         row: RowId,
     },
+    /// Written by recovery: the listed transactions lost (crashed
+    /// in-flight or aborted) and their earlier records in this log must
+    /// never replay. The IMRS log is not truncated at checkpoints, but
+    /// the page-store log — where Begin/Commit evidence lives — is, so
+    /// the loser verdict has to be made durable here or a *second*
+    /// recovery after a checkpoint would mistake stale loser records
+    /// for committed work. Transaction ids are never reused across
+    /// incarnations (recovery bumps the id floors above everything in
+    /// both logs), so poisoning an id is safe forever.
+    Discard { txns: Vec<TxnId> },
 }
 
 impl Encodable for ImrsLogRecord {
@@ -298,11 +311,24 @@ impl Encodable for ImrsLogRecord {
                 e.put_u32(partition.0);
                 e.put_u64(row.0);
             }
-            ImrsLogRecord::Pack { ts, partition, row } => {
+            ImrsLogRecord::Pack {
+                txn,
+                ts,
+                partition,
+                row,
+            } => {
                 e.put_u8(3);
+                e.put_u64(txn.0);
                 e.put_u64(ts.0);
                 e.put_u32(partition.0);
                 e.put_u64(row.0);
+            }
+            ImrsLogRecord::Discard { txns } => {
+                e.put_u8(4);
+                e.put_u32(txns.len() as u32);
+                for t in txns {
+                    e.put_u64(t.0);
+                }
             }
         }
         e.into_vec()
@@ -334,33 +360,56 @@ impl Encodable for ImrsLogRecord {
                 row: RowId(d.get_u64()?),
             },
             3 => ImrsLogRecord::Pack {
+                txn: TxnId(d.get_u64()?),
                 ts: Timestamp(d.get_u64()?),
                 partition: PartitionId(d.get_u32()?),
                 row: RowId(d.get_u64()?),
             },
+            4 => {
+                let n = d.get_u32()? as usize;
+                let mut txns = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    txns.push(TxnId(d.get_u64()?));
+                }
+                ImrsLogRecord::Discard { txns }
+            }
             t => return Err(BtrimError::Corrupt(format!("bad imrs log tag {t}"))),
         })
     }
 }
 
 impl ImrsLogRecord {
-    /// Commit timestamp carried by the record.
+    /// Transaction that produced the record (`None` for the
+    /// recovery-written [`Discard`](ImrsLogRecord::Discard) marker).
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            ImrsLogRecord::Insert { txn, .. }
+            | ImrsLogRecord::Update { txn, .. }
+            | ImrsLogRecord::Delete { txn, .. }
+            | ImrsLogRecord::Pack { txn, .. } => Some(*txn),
+            ImrsLogRecord::Discard { .. } => None,
+        }
+    }
+
+    /// Commit timestamp carried by the record (`ZERO` for `Discard`).
     pub fn ts(&self) -> Timestamp {
         match self {
             ImrsLogRecord::Insert { ts, .. }
             | ImrsLogRecord::Update { ts, .. }
             | ImrsLogRecord::Delete { ts, .. }
             | ImrsLogRecord::Pack { ts, .. } => *ts,
+            ImrsLogRecord::Discard { .. } => Timestamp::ZERO,
         }
     }
 
-    /// Row the record concerns.
+    /// Row the record concerns (`RowId(0)` for `Discard`).
     pub fn row(&self) -> RowId {
         match self {
             ImrsLogRecord::Insert { row, .. }
             | ImrsLogRecord::Update { row, .. }
             | ImrsLogRecord::Delete { row, .. }
             | ImrsLogRecord::Pack { row, .. } => *row,
+            ImrsLogRecord::Discard { .. } => RowId(0),
         }
     }
 }
@@ -439,10 +488,15 @@ mod tests {
             row: RowId(3),
         });
         roundtrip_imrs(ImrsLogRecord::Pack {
+            txn: TxnId(9),
             ts: Timestamp(13),
             partition: PartitionId(2),
             row: RowId(3),
         });
+        roundtrip_imrs(ImrsLogRecord::Discard {
+            txns: vec![TxnId(4), TxnId(9), TxnId(1 << 63 | 5)],
+        });
+        roundtrip_imrs(ImrsLogRecord::Discard { txns: vec![] });
     }
 
     #[test]
@@ -457,12 +511,19 @@ mod tests {
         assert_eq!(PageLogRecord::Checkpoint.txn(), None);
         assert_eq!(PageLogRecord::Begin { txn: TxnId(4) }.txn(), Some(TxnId(4)));
         let r = ImrsLogRecord::Pack {
+            txn: TxnId(8),
             ts: Timestamp(5),
             partition: PartitionId(1),
             row: RowId(2),
         };
+        assert_eq!(r.txn(), Some(TxnId(8)));
         assert_eq!(r.ts(), Timestamp(5));
         assert_eq!(r.row(), RowId(2));
+        let d = ImrsLogRecord::Discard {
+            txns: vec![TxnId(3)],
+        };
+        assert_eq!(d.txn(), None);
+        assert_eq!(d.ts(), Timestamp::ZERO);
     }
 }
 

@@ -269,6 +269,41 @@ fn bench_commit_path(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_obs(c: &mut Criterion) {
+    // The observability hot path in isolation: one histogram record,
+    // and the full start/record_since pair the engine pays per
+    // operation — enabled and disabled. The disabled pair must be
+    // near-free (no clock read), and the enabled pair must stay two
+    // orders of magnitude under the cheapest engine operation.
+    use btrim_common::LatencyHistogram;
+    use btrim_core::{Obs, OpClass};
+
+    let mut g = c.benchmark_group("obs");
+    let h = LatencyHistogram::new();
+    let mut v = 0u64;
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h.record(black_box(v >> 40));
+        })
+    });
+    let on = Obs::new(true, 1024);
+    g.bench_function("timed_record_enabled", |b| {
+        b.iter(|| {
+            let t = on.start();
+            on.record_since(OpClass::Commit, black_box(t));
+        })
+    });
+    let off = Obs::new(false, 0);
+    g.bench_function("timed_record_disabled", |b| {
+        b.iter(|| {
+            let t = off.start();
+            off.record_since(OpClass::Commit, black_box(t));
+        })
+    });
+    g.finish();
+}
+
 fn bench_buffer_cache(c: &mut Criterion) {
     // Concurrent hit-path throughput of the sharded buffer cache vs the
     // pre-shard design, where every hit serialized on one process-wide
@@ -390,6 +425,7 @@ criterion_group!(
     bench_indexes,
     bench_queues,
     bench_commit_path,
+    bench_obs,
     bench_buffer_cache
 );
 criterion_main!(benches);

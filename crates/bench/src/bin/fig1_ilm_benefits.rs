@@ -8,8 +8,8 @@
 //! * % reduction in cache utilization vs ILM_OFF (paper: ~40% by the
 //!   end of the run).
 
-use btrim_bench::{build, default_config, f3};
-use btrim_core::EngineMode;
+use btrim_bench::{build, default_config, f3, latency_cell};
+use btrim_core::{EngineMode, OpClass};
 
 fn main() {
     let cfg_off = default_config(EngineMode::IlmOff);
@@ -38,6 +38,7 @@ fn main() {
         "cache_reduction_vs_off",
         "tpm_gain_on_vs_page",
         "tpm_gain_off_vs_page",
+        "commit_us_on_p50/95/99",
     ]);
     for i in 0..on.len() {
         let rel = on[i].tpm / off[i].tpm.max(1e-9);
@@ -53,6 +54,7 @@ fn main() {
             f3(red),
             f3(gain_on),
             f3(gain_off),
+            latency_cell(&on[i].snapshot, OpClass::Commit),
         ]);
     }
     let last = on.len() - 1;
@@ -76,4 +78,7 @@ fn main() {
             / off[last].snapshot.imrs_used_bytes.max(1) as f64),
         f3(on[last].snapshot.imrs_hit_rate()),
     );
+    btrim_bench::dump_json("fig1_ilm_on", &on[last].snapshot);
+    btrim_bench::dump_json("fig1_ilm_off", &off[last].snapshot);
+    btrim_bench::dump_json("fig1_page_only", &page[last].snapshot);
 }

@@ -4,8 +4,8 @@
 //! TPM stays within ~10% of the ILM_OFF reference (pack is a cheap
 //! background operation).
 
-use btrim_bench::{build, default_config, f3, mib};
-use btrim_core::EngineMode;
+use btrim_bench::{build, default_config, f3, latency_cell, mib};
+use btrim_core::{EngineMode, OpClass};
 
 fn main() {
     let cfg_off = default_config(EngineMode::IlmOff);
@@ -22,6 +22,7 @@ fn main() {
         "normalized_tpm",
         "cumulative_packed_mib",
         "pack_txns",
+        "pack_cycle_us_p50/95/99",
     ]);
     for i in 0..on.len() {
         btrim_bench::row(&[
@@ -29,6 +30,9 @@ fn main() {
             f3(on[i].tpm / off[i].tpm.max(1e-9)),
             mib(on[i].snapshot.bytes_packed),
             on[i].snapshot.pack_cycles.to_string(),
+            latency_cell(&on[i].snapshot, OpClass::PackCycle),
         ]);
     }
+    let last = on.len() - 1;
+    btrim_bench::dump_json("fig5_ilm_on", &on[last].snapshot);
 }

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use btrim_core::{Engine, EngineConfig, EngineMode, EngineSnapshot};
+use btrim_core::{Engine, EngineConfig, EngineMode, EngineSnapshot, OpClass};
 use btrim_tpcc::driver::{Driver, DriverStats};
 use btrim_tpcc::loader::{load, LoadSpec};
 
@@ -189,6 +189,37 @@ pub fn f3(v: f64) -> String {
 /// Bytes → MiB with 2 decimals.
 pub fn mib(bytes: u64) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// `p50/p95/p99` in µs for one operation class of a snapshot, or `-`
+/// if the class never fired. Slash-separated so it stays one TSV cell.
+pub fn latency_cell(snap: &EngineSnapshot, class: OpClass) -> String {
+    snap.latency
+        .iter()
+        .find(|(c, _)| *c == class)
+        .filter(|(_, s)| s.count > 0)
+        .map(|(_, s)| {
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                s.p50 as f64 / 1_000.0,
+                s.p95 as f64 / 1_000.0,
+                s.p99 as f64 / 1_000.0
+            )
+        })
+        .unwrap_or_else(|| "-".to_string())
+}
+
+/// Write a snapshot's JSON export to `$BTRIM_JSON_DIR/<name>.json` for
+/// downstream tooling (plots, regression diffing). A no-op when the
+/// variable is unset, keeping default TSV output clean.
+pub fn dump_json(name: &str, snap: &EngineSnapshot) {
+    let Ok(dir) = std::env::var("BTRIM_JSON_DIR") else {
+        return;
+    };
+    std::fs::create_dir_all(&dir).expect("create BTRIM_JSON_DIR");
+    let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+    std::fs::write(&path, snap.to_json()).expect("write JSON snapshot");
+    eprintln!("# wrote {}", path.display());
 }
 
 /// The nine TPC-C table names, in the paper's reporting order.

@@ -5,15 +5,22 @@
 //! ([`error`]), cache-friendly sharded statistics counters ([`counters`],
 //! the per-CPU counters of §V.A of the paper), a small binary
 //! encode/decode layer ([`codec`]) used by row formats and log records,
-//! and a monotonic logical clock ([`clock`]) used for commit timestamps.
+//! a monotonic logical clock ([`clock`]) used for commit timestamps, and
+//! the observability primitives — lock-free log-scale latency histograms
+//! ([`hist`]) and a bounded trace ring ([`ring`]) — that `btrim-obs`
+//! builds its per-operation-class registry and ILM decision trace on.
 
 pub mod clock;
 pub mod codec;
 pub mod counters;
 pub mod error;
+pub mod hist;
 pub mod ids;
+pub mod ring;
 
 pub use clock::LogicalClock;
 pub use counters::ShardedCounter;
 pub use error::{BtrimError, Result};
+pub use hist::{HistSummary, HistogramSnapshot, LatencyHistogram};
 pub use ids::{Lsn, PageId, PartitionId, RowId, SlotId, TableId, Timestamp, TxnId, NULL_PAGE_ID};
+pub use ring::TraceRing;

@@ -1,0 +1,128 @@
+//! Bounded ring buffer for structured trace events.
+//!
+//! Unlike the latency histograms, ILM decision traces are produced on
+//! cold paths (one tuner window per second, a handful of pack cycles
+//! per maintenance tick), so a short mutex-protected deque is the right
+//! tool: pushes are rare, and the lock guarantees events are never torn
+//! or interleaved (satellite: the 8-thread hammer test in `btrim-obs`).
+//! When the ring is full the oldest event is dropped and counted, so a
+//! reader can always tell whether the window it sees is complete.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct TraceRing<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<T: Clone> TraceRing<T> {
+    /// A capacity of 0 disables the ring entirely: pushes are no-ops
+    /// and are not counted as drops.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity,
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub fn push(&self, event: T) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut q = self.inner.lock();
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of events ever pushed (including ones since evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Number of events evicted to make room. Zero means `events()`
+    /// returns the complete history.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn events(&self) -> Vec<T> {
+        self.inner.lock().iter().cloned().collect()
+    }
+
+    /// Copy out up to the `n` most recent events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<T> {
+        let q = self.inner.lock();
+        let skip = q.len().saturating_sub(n);
+        q.iter().skip(skip).cloned().collect()
+    }
+
+    /// Drop all retained events; the pushed/dropped counters keep their
+    /// lifetime totals.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_and_counts_drops() {
+        let r = TraceRing::new(3);
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        assert_eq!(r.events(), vec![2, 3, 4]);
+        assert_eq!(r.pushed(), 5);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let r = TraceRing::new(0);
+        r.push(1u32);
+        assert!(!r.is_enabled());
+        assert!(r.is_empty());
+        assert_eq!(r.pushed(), 0);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn recent_returns_tail_in_order() {
+        let r = TraceRing::new(10);
+        for i in 0..6u32 {
+            r.push(i);
+        }
+        assert_eq!(r.recent(3), vec![3, 4, 5]);
+        assert_eq!(r.recent(100), vec![0, 1, 2, 3, 4, 5]);
+    }
+}

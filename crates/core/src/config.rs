@@ -119,6 +119,13 @@ pub struct EngineConfig {
     /// Consecutive storage errors after which the engine turns
     /// `ReadOnly` (sticky; reads keep working, writes are rejected).
     pub health_readonly_after: u64,
+    /// Record per-operation-class latency histograms (`btrim-obs`).
+    /// When off, the hot paths skip the clock reads entirely — one
+    /// branch per operation.
+    pub obs_latency: bool,
+    /// Capacity of the ILM decision-trace ring (tuner verdicts, pack
+    /// cycles). 0 disables tracing.
+    pub obs_trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -153,6 +160,8 @@ impl Default for EngineConfig {
             verify_page_writes: true,
             health_degrade_after: 3,
             health_readonly_after: 8,
+            obs_latency: true,
+            obs_trace_capacity: 1024,
         }
     }
 }
@@ -200,6 +209,10 @@ impl EngineConfig {
             1 <= self.health_degrade_after
                 && self.health_degrade_after <= self.health_readonly_after,
             "health thresholds must satisfy 1 ≤ degrade ≤ readonly"
+        );
+        assert!(
+            self.obs_trace_capacity <= 1 << 20,
+            "obs_trace_capacity unreasonably large (cap: 1 MiB of events)"
         );
     }
 }

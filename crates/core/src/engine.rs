@@ -24,6 +24,7 @@ use btrim_common::{
     BtrimError, LogicalClock, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId,
 };
 use btrim_imrs::{ImrsStore, RidMap, RowLocation, RowOrigin, VersionOp};
+use btrim_obs::{Obs, OpClass};
 use btrim_pagestore::{BufferCache, DiskBackend, MemDisk};
 use btrim_txn::{LockManager, LockMode, TxnManager};
 use btrim_wal::{ImrsLogRecord, LogSink, LogWriter, MemLog, PageLogRecord, RowOriginTag};
@@ -129,6 +130,10 @@ pub(crate) struct Shared {
     pub gc: GcRegistry,
     pub tuner: Tuner,
     pub pack: PackState,
+    /// Latency histograms + ILM decision trace. The WAL and buffer
+    /// cache hold bare `Arc<LatencyHistogram>` clones of individual
+    /// classes; everything in this crate records through here.
+    pub obs: Arc<Obs>,
     maintenance_gate: Mutex<()>,
     last_maintenance: AtomicU64,
     /// Set when background maintenance threads are running; disables
@@ -293,8 +298,15 @@ impl Engine {
             cfg.tsf_relearn_txns,
             cfg.tuning_window_txns,
         );
-        let group_sys = btrim_wal::GroupCommitter::new(Arc::clone(&syslog));
-        let group_imrs = btrim_wal::GroupCommitter::new(Arc::clone(&imrslog));
+        let obs = Arc::new(Obs::new(cfg.obs_latency, cfg.obs_trace_capacity));
+        // Lower crates get per-class histogram clones, never the hub:
+        // `None` when latency is off, so their hot paths skip the clock
+        // reads the same way the engine's do.
+        let hook = |class: OpClass| cfg.obs_latency.then(|| Arc::clone(obs.hist(class)));
+        let group_sys = btrim_wal::GroupCommitter::new(Arc::clone(&syslog))
+            .with_histogram(hook(OpClass::WalFsync));
+        let group_imrs = btrim_wal::GroupCommitter::new(Arc::clone(&imrslog))
+            .with_histogram(hook(OpClass::WalFsync));
         let sh = Shared {
             cache: Arc::new(
                 BufferCache::with_shards(disk, cfg.buffer_frames, cfg.buffer_shards)
@@ -302,7 +314,8 @@ impl Engine {
                         cfg.io_retry_attempts,
                         std::time::Duration::from_micros(cfg.io_retry_backoff_us),
                     )
-                    .with_write_verification(cfg.verify_page_writes),
+                    .with_write_verification(cfg.verify_page_writes)
+                    .with_miss_histogram(hook(OpClass::BufferMiss)),
             ),
             store: ImrsStore::new(cfg.imrs_budget, cfg.imrs_chunk_size),
             ridmap: RidMap::new(),
@@ -311,15 +324,18 @@ impl Engine {
             txns: TxnManager::new(Arc::clone(&clock)),
             locks: LockManager::default(),
             clock,
-            syslog: LogWriter::new(syslog),
-            imrslog: LogWriter::new(imrslog),
+            syslog: LogWriter::new(syslog)
+                .with_histograms(hook(OpClass::WalAppend), hook(OpClass::WalFsync)),
+            imrslog: LogWriter::new(imrslog)
+                .with_histograms(hook(OpClass::WalAppend), hook(OpClass::WalFsync)),
             group_sys,
             group_imrs,
             queues: IlmQueues::new(),
             tsf,
             gc: GcRegistry::new(),
-            tuner: Tuner::new(),
+            tuner: Tuner::with_obs(Arc::clone(&obs)),
             pack: PackState::new(),
+            obs,
             maintenance_gate: Mutex::new(()),
             last_maintenance: AtomicU64::new(0),
             background: AtomicBool::new(false),
@@ -429,6 +445,7 @@ impl Engine {
     /// Insert a row. The primary key is extracted from the payload.
     pub fn insert(&self, txn: &mut Transaction, table: &TableDesc, row: &[u8]) -> Result<RowId> {
         self.sh.check_writable()?;
+        let op_start = self.sh.obs.start();
         let key = (table.primary_key)(row);
         let partition = table.partition_of(&key);
         let row_id = self.sh.ridmap.allocate_row_id();
@@ -531,6 +548,16 @@ impl Engine {
                 row: row_id,
             });
         }
+        // Classified by where the row actually landed, not where ILM
+        // first aimed it (ImrsFull fallback flips `to_imrs`).
+        self.sh.obs.record_since(
+            if to_imrs {
+                OpClass::InsertImrs
+            } else {
+                OpClass::InsertPage
+            },
+            op_start,
+        );
         Ok(row_id)
     }
 
@@ -560,6 +587,7 @@ impl Engine {
         row_id: RowId,
         point_access: bool,
     ) -> Result<Option<Vec<u8>>> {
+        let op_start = self.sh.obs.start();
         // Lock-free readers race online data movement (§VII.B): between
         // the RID-Map read and the store access the row can be packed,
         // migrated, or its freed slot reused by another row. Every such
@@ -581,6 +609,7 @@ impl Engine {
                         // now. Resolve again through the RID-Map.
                         continue;
                     }
+                    self.sh.obs.record_since(OpClass::SelectImrs, op_start);
                     return Ok(visible);
                 }
                 Some(RowLocation::Page(page, slot)) => {
@@ -612,6 +641,7 @@ impl Engine {
                             true,
                         );
                     }
+                    self.sh.obs.record_since(OpClass::SelectPage, op_start);
                     return Ok(Some(data));
                 }
             }
@@ -846,6 +876,7 @@ impl Engine {
         let Some(row) = self.sh.store.get(row_id) else {
             return Ok(false);
         };
+        let op_start = self.sh.obs.start();
         self.ensure_begin(txn)?;
         // Old image for secondary-index maintenance.
         let old = match row.visible_version(txn.handle.snapshot, txn.handle.id) {
@@ -870,6 +901,7 @@ impl Engine {
         row.touch(self.sh.clock.now());
         self.sh.metrics.get(row.partition).imrs_update.inc();
         self.maintain_secondaries(txn, table, row_id, &old, Some(new_row))?;
+        self.sh.obs.record_since(OpClass::UpdateImrs, op_start);
         Ok(true)
     }
 
@@ -887,6 +919,7 @@ impl Engine {
     ) -> Result<bool> {
         let heap = table.heap(partition);
         let m = self.sh.metrics.get(partition);
+        let op_start = self.sh.obs.start();
         self.sh.cache.take_thread_contention();
         let Some(old_payload) = heap.get(&self.sh.cache, page, slot)? else {
             return Ok(false);
@@ -963,6 +996,7 @@ impl Engine {
             txn.undo.push(UndoOp::RidSet { row: row_id, prev });
         }
         self.maintain_secondaries(txn, table, row_id, &old_data, Some(new_row))?;
+        self.sh.obs.record_since(OpClass::UpdatePage, op_start);
         Ok(true)
     }
 
@@ -981,6 +1015,7 @@ impl Engine {
             .lock(txn.handle.id, row_id, LockMode::Exclusive)?;
         txn.remember_lock(row_id);
 
+        let op_start = self.sh.obs.start();
         match self.sh.ridmap.get(row_id) {
             None => Ok(false),
             Some(RowLocation::Imrs) => {
@@ -1023,6 +1058,7 @@ impl Engine {
                     });
                 }
                 self.maintain_secondaries(txn, table, row_id, &old, None)?;
+                self.sh.obs.record_since(OpClass::DeleteImrs, op_start);
                 Ok(true)
             }
             Some(RowLocation::Page(page, slot)) => {
@@ -1066,6 +1102,7 @@ impl Engine {
                     });
                 }
                 self.maintain_secondaries(txn, table, row_id, &old_data, None)?;
+                self.sh.obs.record_since(OpClass::DeletePage, op_start);
                 Ok(true)
             }
         }
@@ -1249,6 +1286,7 @@ impl Engine {
         // Data movement writes both logs; a read-only engine must not
         // start any.
         self.sh.check_writable()?;
+        let op_start = self.sh.obs.start();
         // Revalidate under the lock.
         let Some(RowLocation::Page(page, slot)) = self.sh.ridmap.get(row_id) else {
             return Ok(());
@@ -1341,6 +1379,7 @@ impl Engine {
         let _ = imrs_row;
         self.sh.gc.register(row_id);
         self.sh.metrics.get(partition).rows_in.inc();
+        self.sh.obs.record_since(OpClass::Migration, op_start);
         Ok(())
     }
 
@@ -1366,6 +1405,7 @@ impl Engine {
     /// log *append* additionally turns the engine read-only, because
     /// the log tail may be torn (see [`Shared::append_sys`]).
     pub fn commit(&self, mut txn: Transaction) -> Result<Timestamp> {
+        let op_start = self.sh.obs.start();
         let ts = self.sh.txns.commit(txn.handle);
         for v in txn.to_stamp.drain(..) {
             v.stamp(ts);
@@ -1436,6 +1476,10 @@ impl Engine {
         txn.locks.clear();
         txn.finished = true;
         logged?;
+        // The commit histogram measures the commit itself (stamp, log
+        // drain, group flush); the amortized inline-maintenance tick is
+        // timed under its own classes.
+        self.sh.obs.record_since(OpClass::Commit, op_start);
         self.maybe_maintenance();
         Ok(ts)
     }
@@ -1582,8 +1626,10 @@ impl Engine {
     pub fn run_maintenance(&self) {
         let sh = &self.sh;
         let oldest = sh.txns.oldest_active_snapshot();
+        let gc_start = sh.obs.start();
         sh.gc
             .tick(&sh.store, &sh.queues, &sh.ridmap, oldest, 16_384);
+        sh.obs.record_since(OpClass::GcPass, gc_start);
         if sh.cfg.mode != EngineMode::IlmOn {
             return;
         }
@@ -1682,6 +1728,13 @@ impl Engine {
     /// Experiment-facing statistics snapshot.
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot::collect(self)
+    }
+
+    /// The observability hub: per-class latency histograms and the ILM
+    /// decision trace (drivers read percentiles and recent events from
+    /// here; [`EngineSnapshot`] carries a rendered copy).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.sh.obs
     }
 
     /// Current engine health (storage-error driven).

@@ -28,7 +28,9 @@
 //!   §VII).
 //! * [`gc`] — IMRS garbage collection; piggy-backs ILM queue
 //!   maintenance (§VI.B).
-//! * [`stats`] — experiment-facing snapshots.
+//! * [`stats`] — experiment-facing snapshots, now carrying per-class
+//!   latency summaries, the ILM decision trace, and a JSON export
+//!   (`EngineSnapshot::to_json`) built on `btrim-obs`.
 
 pub mod catalog;
 pub mod config;
@@ -50,4 +52,10 @@ pub use stats::EngineSnapshot;
 pub use txn_ctx::Transaction;
 
 pub use btrim_common::{BtrimError, PartitionId, Result, RowId, TableId, Timestamp, TxnId};
+pub use btrim_common::{HistSummary, HistogramSnapshot, LatencyHistogram};
 pub use btrim_imrs::{RowLocation, RowOrigin};
+pub use btrim_obs::{IlmTraceEvent, Obs, OpClass, TunerAction};
+
+/// JSON helpers backing [`EngineSnapshot::to_json`]; re-exported so
+/// harnesses can validate the export without depending on `btrim-obs`.
+pub use btrim_obs::json as obs_json;

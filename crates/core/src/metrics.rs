@@ -44,23 +44,56 @@ pub struct PartitionMetrics {
 }
 
 impl PartitionMetrics {
+    /// Load every counter exactly once into a coherent
+    /// [`PartitionSample`]. All derived rates (re-use, IMRS ops,
+    /// reuse-per-row) must come from one sample: computing them from
+    /// separate `ShardedCounter::load`s lets a concurrent updater slip
+    /// between the loads, so e.g. `imrs_ops()` could come out *smaller*
+    /// than a `reuse_ops()` read a moment earlier — a mid-update
+    /// counter mix the tuner would act on.
+    pub fn sample(&self) -> PartitionSample {
+        PartitionSample {
+            imrs_select: self.imrs_select.load(),
+            imrs_update: self.imrs_update.load(),
+            imrs_delete: self.imrs_delete.load(),
+            imrs_insert: self.imrs_insert.load(),
+            page_ops: self.page_ops.load(),
+            page_contention: self.page_contention.load(),
+            rows_in: self.rows_in.load(),
+            rows_packed: self.rows_packed.load(),
+            bytes_packed: self.bytes_packed.load(),
+            rows_skipped_hot: self.rows_skipped_hot.load(),
+        }
+    }
+
     /// Re-use operations: S + U + D on in-memory rows (§VI.C's SUD).
+    /// Convenience over one sample; callers needing several derived
+    /// values must take a single [`PartitionMetrics::sample`] instead.
     pub fn reuse_ops(&self) -> u64 {
-        self.imrs_select.load() + self.imrs_update.load() + self.imrs_delete.load()
+        self.sample().reuse_ops()
     }
 
     /// All IMRS operations including inserts (hit-rate numerator).
+    /// Derived from one sample, so it can never understate a
+    /// concurrently-read `reuse_ops` component.
     pub fn imrs_ops(&self) -> u64 {
-        self.reuse_ops() + self.imrs_insert.load()
+        self.sample().imrs_ops()
     }
 }
 
-/// Point-in-time copy of a partition's counters, used for
-/// window-over-window deltas by the tuner (§V.B).
+/// Point-in-time copy of a partition's counters, loaded once per use
+/// (§V.B: the tuner diffs consecutive window samples). Every derived
+/// rate is a method over the same sample, so the arithmetic identity
+/// `imrs_ops() == reuse_ops() + imrs_insert` holds *exactly*, no
+/// matter how hot the counters are.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MetricsSnapshot {
-    /// Re-use ops (S+U+D on IMRS rows).
-    pub reuse_ops: u64,
+pub struct PartitionSample {
+    /// SELECTs served from IMRS rows.
+    pub imrs_select: u64,
+    /// UPDATEs applied to IMRS rows.
+    pub imrs_update: u64,
+    /// DELETEs applied to IMRS rows.
+    pub imrs_delete: u64,
     /// IMRS inserts.
     pub imrs_insert: u64,
     /// Page-store ops.
@@ -71,20 +104,35 @@ pub struct MetricsSnapshot {
     pub rows_in: u64,
     /// Rows packed out.
     pub rows_packed: u64,
+    /// Bytes packed out.
+    pub bytes_packed: u64,
     /// Rows skipped as hot by pack.
     pub rows_skipped_hot: u64,
 }
 
-impl MetricsSnapshot {
+impl PartitionSample {
+    /// Re-use ops (S+U+D on IMRS rows) of this sample.
+    pub fn reuse_ops(&self) -> u64 {
+        self.imrs_select + self.imrs_update + self.imrs_delete
+    }
+
+    /// All IMRS ops including inserts, from the same sample.
+    pub fn imrs_ops(&self) -> u64 {
+        self.reuse_ops() + self.imrs_insert
+    }
+
     /// Delta `self - earlier` (saturating).
-    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
-        MetricsSnapshot {
-            reuse_ops: self.reuse_ops.saturating_sub(earlier.reuse_ops),
+    pub fn delta_since(&self, earlier: &PartitionSample) -> PartitionSample {
+        PartitionSample {
+            imrs_select: self.imrs_select.saturating_sub(earlier.imrs_select),
+            imrs_update: self.imrs_update.saturating_sub(earlier.imrs_update),
+            imrs_delete: self.imrs_delete.saturating_sub(earlier.imrs_delete),
             imrs_insert: self.imrs_insert.saturating_sub(earlier.imrs_insert),
             page_ops: self.page_ops.saturating_sub(earlier.page_ops),
             page_contention: self.page_contention.saturating_sub(earlier.page_contention),
             rows_in: self.rows_in.saturating_sub(earlier.rows_in),
             rows_packed: self.rows_packed.saturating_sub(earlier.rows_packed),
+            bytes_packed: self.bytes_packed.saturating_sub(earlier.bytes_packed),
             rows_skipped_hot: self
                 .rows_skipped_hot
                 .saturating_sub(earlier.rows_skipped_hot),
@@ -113,18 +161,9 @@ impl MetricsRegistry {
         Arc::clone(map.entry(partition).or_default())
     }
 
-    /// Snapshot one partition's counters.
-    pub fn snapshot(&self, partition: PartitionId) -> MetricsSnapshot {
-        let m = self.get(partition);
-        MetricsSnapshot {
-            reuse_ops: m.reuse_ops(),
-            imrs_insert: m.imrs_insert.load(),
-            page_ops: m.page_ops.load(),
-            page_contention: m.page_contention.load(),
-            rows_in: m.rows_in.load(),
-            rows_packed: m.rows_packed.load(),
-            rows_skipped_hot: m.rows_skipped_hot.load(),
-        }
+    /// Sample one partition's counters (each loaded exactly once).
+    pub fn sample(&self, partition: PartitionId) -> PartitionSample {
+        self.get(partition).sample()
     }
 
     /// All partitions with metric blocks.
@@ -164,18 +203,60 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_deltas() {
+    fn sample_deltas() {
         let r = MetricsRegistry::new();
         let m = r.get(PartitionId(2));
         m.imrs_select.add(10);
-        let s1 = r.snapshot(PartitionId(2));
+        let s1 = r.sample(PartitionId(2));
         m.imrs_select.add(7);
         m.rows_in.add(3);
-        let s2 = r.snapshot(PartitionId(2));
+        let s2 = r.sample(PartitionId(2));
         let d = s2.delta_since(&s1);
-        assert_eq!(d.reuse_ops, 7);
+        assert_eq!(d.reuse_ops(), 7);
         assert_eq!(d.rows_in, 3);
         assert_eq!(d.page_ops, 0);
+    }
+
+    /// Regression: derived rates must come from ONE sample. The old
+    /// `imrs_ops()` summed four separate `ShardedCounter::load`s on the
+    /// live block, so a reader racing an updater could observe
+    /// `imrs_ops < reuse_ops + imrs_insert` across two calls, or a
+    /// reuse mix where components moved between the loads. A
+    /// `PartitionSample` makes the identity structural; this test
+    /// hammers the sample path under concurrent increments and checks
+    /// the identity plus cross-sample monotonicity on every read.
+    #[test]
+    fn sample_is_internally_consistent_under_concurrency() {
+        let m = Arc::new(PartitionMetrics::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        // One logical "IMRS op" touches several
+                        // counters — the mix a torn read would split.
+                        m.imrs_select.inc();
+                        m.imrs_update.inc();
+                        m.imrs_delete.inc();
+                        m.imrs_insert.inc();
+                    }
+                });
+            }
+            let mut prev = PartitionSample::default();
+            for _ in 0..20_000 {
+                let s = m.sample();
+                // Identity holds exactly within one sample.
+                assert_eq!(s.imrs_ops(), s.reuse_ops() + s.imrs_insert);
+                // Counters are monotone across samples.
+                assert!(s.imrs_select >= prev.imrs_select);
+                assert!(s.reuse_ops() >= prev.reuse_ops());
+                assert!(s.imrs_ops() >= prev.imrs_ops());
+                prev = s;
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
     }
 
     #[test]

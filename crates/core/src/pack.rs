@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use btrim_common::{PartitionId, RowId, TxnId};
 use btrim_imrs::{RowLocation, VersionOp};
+use btrim_obs::{IlmTraceEvent, OpClass, PackCycleTrace, PackPartitionTrace};
 use btrim_txn::LockMode;
 use btrim_wal::{ImrsLogRecord, PageLogRecord};
 
@@ -194,7 +195,9 @@ pub fn pack_cycle(engine: &Engine, level: PackLevel) -> u64 {
     if sh.check_writable().is_err() {
         return 0;
     }
+    let timer = sh.obs.start();
     let cfg = &sh.cfg;
+    let util = sh.store.utilization();
     let used = sh.store.used_bytes();
     let num_bytes_to_pack = (used as f64 * cfg.pack_cycle_fraction) as u64;
     if num_bytes_to_pack == 0 {
@@ -209,7 +212,9 @@ pub fn pack_cycle(engine: &Engine, level: PackLevel) -> u64 {
     if total_mem == 0 {
         return 0;
     }
-    let shares: Vec<(PartitionId, f64)> = match cfg.pack_policy {
+    // Per-partition apportioning inputs `(partition, ui, cui, pi)`; the
+    // uniform strawman has no UI/CUI notion and reports them as 0.
+    let shares: Vec<(PartitionId, f64, f64, f64)> = match cfg.pack_policy {
         crate::config::PackPolicy::Partitioned => {
             // ---- Apportioning: UI, CUI, PI (§VI.C) ------------------
             let reuse: Vec<(PartitionId, u64, u64)> = usage
@@ -223,7 +228,7 @@ pub fn pack_cycle(engine: &Engine, level: PackLevel) -> u64 {
             // ratio_ρ = CUI/UI; with an epsilon so zero-reuse partitions
             // get a large (but finite) packability.
             const EPS: f64 = 1e-6;
-            let ratios: Vec<(PartitionId, f64)> = reuse
+            let ratios: Vec<(PartitionId, f64, f64, f64)> = reuse
                 .iter()
                 .map(|&(p, bytes, r)| {
                     let cui = bytes as f64 / total_mem as f64;
@@ -232,37 +237,93 @@ pub fn pack_cycle(engine: &Engine, level: PackLevel) -> u64 {
                     } else {
                         (r as f64 / total_reuse as f64).max(EPS)
                     };
-                    (p, cui / ui)
+                    (p, ui, cui, cui / ui)
                 })
                 .collect();
-            let ratio_sum: f64 = ratios.iter().map(|(_, r)| r).sum();
+            let ratio_sum: f64 = ratios.iter().map(|(_, _, _, r)| r).sum();
             if ratio_sum <= 0.0 {
                 return 0;
             }
             ratios
                 .into_iter()
-                .map(|(p, ratio)| (p, ratio / ratio_sum))
+                .map(|(p, ui, cui, ratio)| (p, ui, cui, ratio / ratio_sum))
                 .collect()
         }
         crate::config::PackPolicy::UniformNaive => {
             // The strawman: every active partition gets an equal slice
             // regardless of footprint or re-use (§VI.C's counterexample).
             let n = usage.len() as f64;
-            usage.iter().map(|&(p, _, _)| (p, 1.0 / n)).collect()
+            usage
+                .iter()
+                .map(|&(p, _, _)| (p, 0.0, 0.0, 1.0 / n))
+                .collect()
         }
     };
 
+    let tracing = sh.obs.trace.is_enabled();
+    let mut part_traces: Vec<PackPartitionTrace> = Vec::new();
     let mut total_packed = 0u64;
-    for (p, pi) in shares {
+    for (p, ui, cui, pi) in shares {
         let target = (num_bytes_to_pack as f64 * pi) as u64;
         // Partitions apportioned a negligible share of this cycle (the
         // hot ones, by construction of PI) are not even scanned.
         if target == 0 || pi < 0.01 {
+            if tracing {
+                part_traces.push(PackPartitionTrace {
+                    partition: p.0 as u64,
+                    ui,
+                    cui,
+                    pi,
+                    target_bytes: target,
+                    bytes_packed: 0,
+                    rows_skipped_hot: 0,
+                    tsf_bypassed: false,
+                    scanned: false,
+                });
+            }
             continue;
         }
-        total_packed += pack_partition(engine, p, target, level);
+        // Sample before/after so the trace carries exactly this
+        // partition's slice of the cycle (skips are also counted
+        // globally in PackState, which mixes partitions).
+        let before = tracing.then(|| sh.metrics.sample(p));
+        let freed = pack_partition(engine, p, target, level);
+        total_packed += freed;
+        if let Some(before) = before {
+            let after = sh.metrics.sample(p);
+            let d = after.delta_since(&before);
+            // Mirror of pack_partition's TSF applicability input
+            // (§VI.D.2): a low re-use rate bypasses the recency filter.
+            let reuse_rate = before.reuse_ops() as f64 / before.rows_in.max(1) as f64;
+            part_traces.push(PackPartitionTrace {
+                partition: p.0 as u64,
+                ui,
+                cui,
+                pi,
+                target_bytes: target,
+                bytes_packed: freed,
+                rows_skipped_hot: d.rows_skipped_hot,
+                tsf_bypassed: reuse_rate < cfg.low_reuse_threshold,
+                scanned: true,
+            });
+        }
     }
-    sh.pack.cycles.fetch_add(1, Ordering::Relaxed);
+    let cycle = sh.pack.cycles.fetch_add(1, Ordering::Relaxed) + 1;
+    if tracing {
+        sh.obs.trace.push(IlmTraceEvent::Pack(PackCycleTrace {
+            cycle,
+            level: match level {
+                PackLevel::Idle => "idle",
+                PackLevel::Steady => "steady",
+                PackLevel::Aggressive => "aggressive",
+            },
+            utilization: util,
+            num_bytes_to_pack,
+            bytes_packed: total_packed,
+            partitions: part_traces,
+        }));
+    }
+    sh.obs.record_since(OpClass::PackCycle, timer);
     total_packed
 }
 

@@ -5,7 +5,8 @@
 //! footprints (Fig. 3, 4), pack volume (Fig. 5, 7, 10), re-use counts
 //! (Fig. 6), and the IMRS hit rate (Fig. 1).
 
-use btrim_common::{PartitionId, TableId};
+use btrim_common::{HistSummary, PartitionId, TableId};
+use btrim_obs::{json, summary_to_json, IlmTraceEvent, OpClass};
 
 use crate::engine::Engine;
 
@@ -36,6 +37,8 @@ pub struct PartitionSnapshot {
     pub rows_skipped_hot: u64,
     /// Whether ILM currently allows new IMRS use.
     pub ilm_enabled: bool,
+    /// Enable/disable transitions the tuner applied to this partition.
+    pub ilm_toggles: u64,
     /// ILM queue length (all origins).
     pub queue_len: usize,
 }
@@ -131,6 +134,17 @@ pub struct EngineSnapshot {
     pub recovery: crate::engine::RecoveryReport,
     /// Per-table detail.
     pub tables: Vec<TableSnapshot>,
+    /// Latency summaries (nanoseconds) for every operation class that
+    /// recorded at least one value. Empty when `obs_latency` is off.
+    pub latency: Vec<(OpClass, HistSummary)>,
+    /// Most recent ILM decision-trace events (tuner verdicts and pack
+    /// cycles), oldest first. Capped at 256 per snapshot.
+    pub ilm_trace: Vec<IlmTraceEvent>,
+    /// Lifetime trace events pushed (including evicted ones).
+    pub ilm_trace_pushed: u64,
+    /// Trace events evicted from the ring; non-zero means `ilm_trace`
+    /// is an incomplete history.
+    pub ilm_trace_dropped: u64,
 }
 
 impl EngineSnapshot {
@@ -157,23 +171,27 @@ impl EngineSnapshot {
         for table in sh.catalog.tables() {
             let mut parts = Vec::new();
             for &p in &table.partitions {
-                let m = sh.metrics.get(p);
+                // One coherent sample per partition: every derived
+                // value below agrees with every other (no mid-update
+                // counter mixes across separate loads).
+                let s = sh.metrics.sample(p);
                 let usage = sh.store.usage(p);
-                imrs_ops += m.imrs_ops();
-                page_ops += m.page_ops.load();
+                imrs_ops += s.imrs_ops();
+                page_ops += s.page_ops;
                 parts.push(PartitionSnapshot {
                     partition: p,
                     imrs_bytes: usage.bytes(),
                     imrs_rows: usage.rows(),
-                    reuse_ops: m.reuse_ops(),
-                    imrs_inserts: m.imrs_insert.load(),
-                    page_ops: m.page_ops.load(),
-                    page_contention: m.page_contention.load(),
-                    rows_in: m.rows_in.load(),
-                    rows_packed: m.rows_packed.load(),
-                    bytes_packed: m.bytes_packed.load(),
-                    rows_skipped_hot: m.rows_skipped_hot.load(),
+                    reuse_ops: s.reuse_ops(),
+                    imrs_inserts: s.imrs_insert,
+                    page_ops: s.page_ops,
+                    page_contention: s.page_contention,
+                    rows_in: s.rows_in,
+                    rows_packed: s.rows_packed,
+                    bytes_packed: s.bytes_packed,
+                    rows_skipped_hot: s.rows_skipped_hot,
                     ilm_enabled: sh.tuner.state(p).enabled(),
+                    ilm_toggles: sh.tuner.state(p).toggles(),
                     queue_len: sh.queues.get(p).len(),
                 });
             }
@@ -207,6 +225,10 @@ impl EngineSnapshot {
             storage_errors: sh.storage_errors.load(std::sync::atomic::Ordering::Relaxed),
             recovery: sh.recovery.lock().clone(),
             tables,
+            latency: sh.obs.summaries(),
+            ilm_trace: sh.obs.trace.recent(256),
+            ilm_trace_pushed: sh.obs.trace.pushed(),
+            ilm_trace_dropped: sh.obs.trace.dropped(),
         }
     }
 }
@@ -287,7 +309,125 @@ impl EngineSnapshot {
                 if enabled { "on" } else { "off" },
             ));
         }
+        if !self.latency.is_empty() {
+            out.push_str(&format!(
+                "── latency (µs) ───────────────────────────────────────\n\
+                 {:<18} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+                "class", "count", "p50", "p95", "p99", "max"
+            ));
+            for (class, s) in &self.latency {
+                out.push_str(&format!(
+                    "{:<18} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1}\n",
+                    class.name(),
+                    s.count,
+                    s.p50 as f64 / 1_000.0,
+                    s.p95 as f64 / 1_000.0,
+                    s.p99 as f64 / 1_000.0,
+                    s.max as f64 / 1_000.0,
+                ));
+            }
+        }
+        if self.ilm_trace_pushed > 0 {
+            out.push_str(&format!(
+                "ilm trace: {} events ({} retained, {} evicted)\n",
+                self.ilm_trace_pushed,
+                self.ilm_trace.len(),
+                self.ilm_trace_dropped,
+            ));
+        }
         out
+    }
+
+    /// Machine-readable JSON dump: headline counters, per-class latency
+    /// summaries (nanoseconds), the retained ILM decision trace, and
+    /// per-table footprints. Guaranteed parseable — the obs test suite
+    /// and the fault-torture harness run it through a strict validator.
+    pub fn to_json(&self) -> String {
+        let latency: Vec<String> = self
+            .latency
+            .iter()
+            .map(|(c, s)| summary_to_json(*c, s))
+            .collect();
+        let trace: Vec<String> = self.ilm_trace.iter().map(|e| e.to_json()).collect();
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|t| {
+                let parts: Vec<String> = t
+                    .partitions
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            concat!(
+                                "{{\"partition\":{},\"imrs_bytes\":{},\"imrs_rows\":{},",
+                                "\"reuse_ops\":{},\"imrs_inserts\":{},\"page_ops\":{},",
+                                "\"page_contention\":{},\"rows_in\":{},\"rows_packed\":{},",
+                                "\"bytes_packed\":{},\"rows_skipped_hot\":{},",
+                                "\"ilm_enabled\":{},\"ilm_toggles\":{},\"queue_len\":{}}}"
+                            ),
+                            p.partition.0,
+                            p.imrs_bytes,
+                            p.imrs_rows,
+                            p.reuse_ops,
+                            p.imrs_inserts,
+                            p.page_ops,
+                            p.page_contention,
+                            p.rows_in,
+                            p.rows_packed,
+                            p.bytes_packed,
+                            p.rows_skipped_hot,
+                            p.ilm_enabled,
+                            p.ilm_toggles,
+                            p.queue_len,
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"name\":\"{}\",\"partitions\":[{}]}}",
+                    json::escape(&t.name),
+                    parts.join(","),
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"committed_txns\":{},\"aborted_txns\":{},\"commit_ts\":{},",
+                "\"imrs_used_bytes\":{},\"imrs_budget\":{},\"imrs_utilization\":{},",
+                "\"imrs_rows\":{},\"imrs_ops\":{},\"page_ops\":{},\"imrs_hit_rate\":{},",
+                "\"pack_cycles\":{},\"rows_packed\":{},\"bytes_packed\":{},",
+                "\"rows_skipped_hot\":{},\"tsf_tau\":{},\"tuning_windows\":{},",
+                "\"gc_bytes_freed\":{},\"queue_total\":{},\"storage_errors\":{},",
+                "\"health\":\"{}\",",
+                "\"latency_ns\":[{}],",
+                "\"ilm_trace\":{{\"pushed\":{},\"dropped\":{},\"events\":[{}]}},",
+                "\"tables\":[{}]}}"
+            ),
+            self.committed_txns,
+            self.aborted_txns,
+            self.commit_ts,
+            self.imrs_used_bytes,
+            self.imrs_budget,
+            json::num(self.imrs_utilization),
+            self.imrs_rows,
+            self.imrs_ops,
+            self.page_ops,
+            json::num(self.imrs_hit_rate()),
+            self.pack_cycles,
+            self.rows_packed,
+            self.bytes_packed,
+            self.rows_skipped_hot,
+            self.tsf_tau,
+            self.tuning_windows,
+            self.gc_bytes_freed,
+            self.queue_total,
+            self.storage_errors,
+            json::escape(&self.health.to_string()),
+            latency.join(","),
+            self.ilm_trace_pushed,
+            self.ilm_trace_dropped,
+            trace.join(","),
+            tables.join(","),
+        )
     }
 }
 
@@ -314,7 +454,8 @@ mod tests {
             e.insert(&mut txn, &t, &row).unwrap();
         }
         e.commit(txn).unwrap();
-        let report = e.snapshot().render_report();
+        let snap = e.snapshot();
+        let report = snap.render_report();
         assert!(report.contains("events"));
         assert!(report.contains("txns committed"));
         assert!(report.contains("hit rate"));
@@ -323,5 +464,61 @@ mod tests {
         assert!(report.contains("checksum-failures 0"));
         // No recovery happened: the salvage line is suppressed.
         assert!(!report.contains("recovery:"));
+        // Latency recording is on by default: the inserts and the
+        // commit must have produced summaries and a report section.
+        assert!(report.contains("latency (µs)"));
+        assert!(snap
+            .latency
+            .iter()
+            .any(|(c, s)| *c == OpClass::Commit && s.count >= 1));
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_complete() {
+        let e = Engine::new(EngineConfig::with_mode(EngineMode::IlmOn, 8 * 1024 * 1024));
+        let t = e
+            .create_table(TableOpts::new(
+                "orders\"quoted", // name needing JSON escaping
+                Arc::new(|r: &[u8]| r[..8].to_vec()),
+            ))
+            .unwrap();
+        let mut txn = e.begin();
+        for i in 0..50u64 {
+            let mut row = i.to_be_bytes().to_vec();
+            row.extend_from_slice(b"payload");
+            e.insert(&mut txn, &t, &row).unwrap();
+        }
+        e.commit(txn).unwrap();
+        e.run_maintenance();
+        let js = e.snapshot().to_json();
+        json::validate(&js).unwrap_or_else(|err| panic!("{err}\n{js}"));
+        assert!(js.contains("\"latency_ns\":["));
+        assert!(js.contains("\"ilm_trace\":{"));
+        assert!(js.contains("\"class\":\"insert_imrs\""));
+    }
+
+    #[test]
+    fn disabled_obs_yields_empty_latency_and_trace() {
+        let cfg = EngineConfig {
+            obs_latency: false,
+            obs_trace_capacity: 0,
+            ..EngineConfig::with_mode(EngineMode::IlmOn, 8 * 1024 * 1024)
+        };
+        let e = Engine::new(cfg);
+        let t = e
+            .create_table(TableOpts::new(
+                "quiet",
+                Arc::new(|r: &[u8]| r[..8].to_vec()),
+            ))
+            .unwrap();
+        let mut txn = e.begin();
+        e.insert(&mut txn, &t, &42u64.to_be_bytes()).unwrap();
+        e.commit(txn).unwrap();
+        let snap = e.snapshot();
+        assert!(snap.latency.is_empty());
+        assert!(snap.ilm_trace.is_empty());
+        assert_eq!(snap.ilm_trace_pushed, 0);
+        assert!(!snap.render_report().contains("latency (µs)"));
+        json::validate(&snap.to_json()).unwrap();
     }
 }

@@ -30,9 +30,10 @@ use parking_lot::{Mutex, RwLock};
 
 use btrim_common::PartitionId;
 use btrim_imrs::ImrsStore;
+use btrim_obs::{IlmTraceEvent, Obs, OpClass, TunerAction, TunerTrace};
 
 use crate::config::EngineConfig;
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{MetricsRegistry, PartitionSample};
 
 /// Per-partition ILM enablement state.
 #[derive(Debug)]
@@ -123,15 +124,28 @@ impl PartitionIlmState {
 #[derive(Default)]
 pub struct Tuner {
     states: RwLock<HashMap<PartitionId, Arc<PartitionIlmState>>>,
-    last_snapshots: Mutex<HashMap<PartitionId, MetricsSnapshot>>,
+    /// One coherent counter sample per partition from the previous
+    /// window (§V.B window-over-window deltas).
+    last_samples: Mutex<HashMap<PartitionId, PartitionSample>>,
     last_window_at: AtomicU64,
     windows_run: AtomicU64,
+    /// Optional observability hub: verdict tracing + window latency.
+    obs: Option<Arc<Obs>>,
 }
 
 impl Tuner {
     /// Empty tuner (all partitions enabled by default).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Tuner wired to an observability hub: every verdict (vote or
+    /// transition) is traced, and window latency is recorded.
+    pub fn with_obs(obs: Arc<Obs>) -> Self {
+        Tuner {
+            obs: Some(obs),
+            ..Self::default()
+        }
     }
 
     /// ILM state for a partition (created enabled).
@@ -181,23 +195,54 @@ impl Tuner {
         metrics: &MetricsRegistry,
         store: &ImrsStore,
     ) {
+        let timer = self.obs.as_ref().and_then(|o| o.start());
+        let window = self.windows_run.load(Ordering::Relaxed) + 1;
         let util = store.utilization();
         let budget = store.budget();
         for &p in partitions {
-            let snap = metrics.snapshot(p);
+            // One coherent sample per partition per window: every
+            // derived rate below (re-use, activity, reuse-per-row)
+            // comes from the same set of counter loads.
+            let sample = metrics.sample(p);
             let delta = {
-                let mut last = self.last_snapshots.lock();
-                let prev = last.insert(p, snap).unwrap_or_default();
-                snap.delta_since(&prev)
+                let mut last = self.last_samples.lock();
+                let prev = last.insert(p, sample).unwrap_or_default();
+                sample.delta_since(&prev)
             };
             let state = self.state(p);
             let usage = store.usage(p);
+            let activity = delta.reuse_ops() + delta.page_ops;
+            // Closure capturing every input the verdict read, so each
+            // traced decision carries the evidence for the rule it
+            // cites (the consistency test replays these).
+            let trace = |action: TunerAction, rule, baseline: u64, votes: u32| {
+                if let Some(obs) = &self.obs {
+                    obs.trace.push(IlmTraceEvent::Tuner(TunerTrace {
+                        window,
+                        partition: p.0 as u64,
+                        action,
+                        rule,
+                        reuse_ops: delta.reuse_ops(),
+                        rows_in: delta.rows_in,
+                        page_ops: delta.page_ops,
+                        page_contention: delta.page_contention,
+                        avg_reuse: delta.reuse_ops() as f64 / usage.rows().max(1) as f64,
+                        footprint_bytes: usage.bytes(),
+                        resident_rows: usage.rows(),
+                        utilization: util,
+                        activity,
+                        activity_baseline: baseline,
+                        votes,
+                        votes_needed: cfg.hysteresis_windows,
+                    }));
+                }
+            };
             if state.enabled() {
                 let guard_util = util >= cfg.tuning_utilization_floor;
                 let guard_footprint =
                     usage.bytes() >= (cfg.min_partition_footprint * budget as f64) as u64;
                 let guard_growth = delta.rows_in >= cfg.min_new_rows_for_disable;
-                let avg_reuse = delta.reuse_ops as f64 / usage.rows().max(1) as f64;
+                let avg_reuse = delta.reuse_ops() as f64 / usage.rows().max(1) as f64;
                 let vote_disable = guard_util
                     && guard_footprint
                     && guard_growth
@@ -209,9 +254,16 @@ impl Tuner {
                         let fully = state.escalate_disable();
                         state.disable_votes.store(0, Ordering::Relaxed);
                         if fully {
-                            *state.activity_at_disable.lock() =
-                                Some(delta.reuse_ops + delta.page_ops);
+                            *state.activity_at_disable.lock() = Some(activity);
                         }
+                        let action = if fully {
+                            TunerAction::DisabledFull
+                        } else {
+                            TunerAction::DisabledStage1
+                        };
+                        trace(action, "low-reuse", 0, votes);
+                    } else {
+                        trace(TunerAction::VoteDisable, "low-reuse", 0, votes);
                     }
                 } else {
                     state.disable_votes.store(0, Ordering::Relaxed);
@@ -219,15 +271,22 @@ impl Tuner {
             } else {
                 let contention = delta.page_contention >= cfg.contention_reenable_threshold;
                 let baseline = state.activity_at_disable.lock().unwrap_or(0).max(1);
-                let activity = delta.reuse_ops + delta.page_ops;
                 let demand_growth = activity as f64 >= cfg.reuse_reenable_factor * baseline as f64;
                 state.disable_votes.store(0, Ordering::Relaxed);
                 if contention || demand_growth {
+                    let rule = if contention {
+                        "contention"
+                    } else {
+                        "demand-growth"
+                    };
                     let votes = state.enable_votes.fetch_add(1, Ordering::Relaxed) + 1;
                     if votes >= cfg.hysteresis_windows {
                         state.enable_all();
                         state.enable_votes.store(0, Ordering::Relaxed);
                         *state.activity_at_disable.lock() = None;
+                        trace(TunerAction::Reenabled, rule, baseline, votes);
+                    } else {
+                        trace(TunerAction::VoteEnable, rule, baseline, votes);
                     }
                 } else {
                     state.enable_votes.store(0, Ordering::Relaxed);
@@ -235,6 +294,9 @@ impl Tuner {
             }
         }
         self.windows_run.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.record_since(OpClass::TuningWindow, timer);
+        }
     }
 }
 

@@ -1,0 +1,255 @@
+//! Satellite: deterministic trace-vs-snapshot consistency.
+//!
+//! Runs seeded inline workloads (deterministic maintenance, no
+//! background threads) and asserts that the ILM decision trace is a
+//! faithful explanation of what the engine actually did:
+//!
+//! * every tuner disable/re-enable visible in [`EngineSnapshot`] has a
+//!   matching trace event, and the inputs recorded in that event really
+//!   satisfy the rule it cites;
+//! * every pack cycle's per-partition trace bytes sum to the cycle's
+//!   `bytes_packed`, and the cycles sum to the engine-wide counter.
+
+use std::sync::Arc;
+
+use btrim_core::catalog::{Partitioner, TableOpts};
+use btrim_core::pack::{pack_cycle, PackLevel};
+use btrim_core::{Engine, EngineConfig, EngineMode, IlmTraceEvent, TunerAction};
+
+fn mkrow(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut v = key.to_be_bytes().to_vec();
+    v.extend_from_slice(payload);
+    v
+}
+
+fn opts(name: &str) -> TableOpts {
+    TableOpts {
+        name: name.into(),
+        imrs_enabled: true,
+        pinned: false,
+        partitioner: Partitioner::Single,
+        primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+    }
+}
+
+#[test]
+fn tuner_trace_explains_every_toggle() {
+    let cfg = EngineConfig {
+        mode: EngineMode::IlmOn,
+        imrs_budget: 1024 * 1024,
+        imrs_chunk_size: 128 * 1024,
+        buffer_frames: 2048,
+        maintenance_interval_txns: 8,
+        tuning_window_txns: 64,
+        hysteresis_windows: 2,
+        tuning_utilization_floor: 0.10,
+        min_new_rows_for_disable: 16,
+        min_partition_footprint: 0.01,
+        low_reuse_threshold: 0.5,
+        reuse_reenable_factor: 2.0,
+        // Large enough that nothing is evicted: the trace must be the
+        // complete history for the toggle accounting below.
+        obs_trace_capacity: 1 << 16,
+        ..Default::default()
+    };
+    let low_reuse_threshold = cfg.low_reuse_threshold;
+    let min_new_rows = cfg.min_new_rows_for_disable;
+    let util_floor = cfg.tuning_utilization_floor;
+    let min_footprint = cfg.min_partition_footprint;
+    let contention_threshold = cfg.contention_reenable_threshold;
+    let reenable_factor = cfg.reuse_reenable_factor;
+    let hysteresis = cfg.hysteresis_windows;
+    let e = Engine::new(cfg);
+    let log = e.create_table(opts("log")).unwrap();
+    let conf = e.create_table(opts("conf")).unwrap();
+    {
+        let mut txn = e.begin();
+        for i in 0..32u64 {
+            e.insert(&mut txn, &conf, &mkrow(i, &[7u8; 64])).unwrap();
+        }
+        e.commit(txn).unwrap();
+    }
+
+    // Phase 1: insert-only `log` under pressure → tuner disables it.
+    let mut next_key = 1_000u64;
+    for _ in 0..2_000 {
+        let mut txn = e.begin();
+        e.insert(&mut txn, &log, &mkrow(next_key, &[1u8; 160]))
+            .unwrap();
+        next_key += 1;
+        e.get(&txn, &conf, &(next_key % 32).to_be_bytes())
+            .unwrap()
+            .unwrap();
+        e.commit(txn).unwrap();
+    }
+    assert!(
+        !e.snapshot().table("log").unwrap().partitions[0].ilm_enabled,
+        "workload must drive the disable under test"
+    );
+
+    // Phase 2: heavy reads of `log` rows → re-enabled on demand growth.
+    for round in 0..3_000u64 {
+        let txn = e.begin();
+        for k in 0..8u64 {
+            let key = (1_000 + (round * 8 + k) % 1_500).to_be_bytes();
+            let _ = e.get(&txn, &log, &key).unwrap();
+        }
+        e.commit(txn).unwrap();
+        if e.snapshot().table("log").unwrap().partitions[0].ilm_enabled {
+            break;
+        }
+    }
+    let snap = e.snapshot();
+    assert!(snap.table("log").unwrap().partitions[0].ilm_enabled);
+
+    // The trace is complete (nothing evicted) …
+    let obs = e.obs();
+    assert_eq!(obs.trace.dropped(), 0, "ring sized too small for the run");
+    let tuner_events: Vec<_> = obs
+        .trace
+        .events()
+        .into_iter()
+        .filter_map(|ev| match ev {
+            IlmTraceEvent::Tuner(t) => Some(t),
+            IlmTraceEvent::Pack(_) => None,
+        })
+        .collect();
+
+    // … and every toggle the snapshot reports has a trace event: the
+    // per-partition `ilm_toggles` counters and the `is_toggle` events
+    // must agree exactly.
+    let snapshot_toggles: u64 = snap
+        .tables
+        .iter()
+        .flat_map(|t| t.partitions.iter())
+        .map(|p| p.ilm_toggles)
+        .sum();
+    let traced_toggles = tuner_events.iter().filter(|t| t.action.is_toggle()).count() as u64;
+    assert!(snapshot_toggles >= 3, "disable ×2 + re-enable expected");
+    assert_eq!(snapshot_toggles, traced_toggles);
+
+    // Each traced verdict carries inputs that satisfy its cited rule.
+    let budget = snap.imrs_budget;
+    for t in &tuner_events {
+        assert!(t.votes >= 1 && t.votes <= t.votes_needed);
+        assert_eq!(t.votes_needed, hysteresis);
+        let applied = t.action.is_toggle();
+        if applied {
+            assert_eq!(t.votes, t.votes_needed, "toggle before hysteresis met");
+        } else {
+            assert!(t.votes < t.votes_needed, "vote event after threshold");
+        }
+        match t.action {
+            TunerAction::VoteDisable | TunerAction::DisabledStage1 | TunerAction::DisabledFull => {
+                assert_eq!(t.rule, "low-reuse");
+                assert!(
+                    t.avg_reuse < low_reuse_threshold,
+                    "disable with reuse {} ≥ threshold",
+                    t.avg_reuse
+                );
+                assert!(t.rows_in >= min_new_rows, "disable without growth");
+                assert!(t.utilization >= util_floor, "disable below floor");
+                assert!(
+                    t.footprint_bytes >= (min_footprint * budget as f64) as u64,
+                    "disable of negligible partition"
+                );
+            }
+            TunerAction::VoteEnable | TunerAction::Reenabled => match t.rule {
+                "contention" => {
+                    assert!(t.page_contention >= contention_threshold);
+                }
+                "demand-growth" => {
+                    assert!(
+                        t.activity as f64 >= reenable_factor * t.activity_baseline.max(1) as f64,
+                        "re-enable without demand growth: {} vs baseline {}",
+                        t.activity,
+                        t.activity_baseline
+                    );
+                }
+                other => panic!("unknown re-enable rule {other}"),
+            },
+        }
+    }
+    // Window ordinals never decrease and stay within the windows run.
+    let mut prev_window = 0;
+    for t in &tuner_events {
+        assert!(t.window >= prev_window);
+        assert!(t.window <= snap.tuning_windows);
+        prev_window = t.window;
+    }
+}
+
+#[test]
+fn pack_trace_bytes_sum_to_bytes_packed() {
+    let e = Engine::new(EngineConfig {
+        mode: EngineMode::IlmOn,
+        imrs_budget: 4 * 1024 * 1024,
+        imrs_chunk_size: 1024 * 1024,
+        buffer_frames: 1024,
+        maintenance_interval_txns: u64::MAX / 2,
+        obs_trace_capacity: 1 << 16,
+        ..Default::default()
+    });
+    let hot = e.create_table(opts("hot")).unwrap();
+    let cold = e.create_table(opts("cold")).unwrap();
+    let mut txn = e.begin();
+    for i in 0..500u64 {
+        e.insert(&mut txn, &hot, &mkrow(i, &[0xAA; 100])).unwrap();
+        e.insert(&mut txn, &cold, &mkrow(100_000 + i, &[0xBB; 100]))
+            .unwrap();
+    }
+    e.commit(txn).unwrap();
+    // Re-read `hot` rows so the partitions diverge in UI.
+    for _ in 0..20 {
+        let txn = e.begin();
+        for i in 0..500u64 {
+            e.get(&txn, &hot, &i.to_be_bytes()).unwrap().unwrap();
+        }
+        e.commit(txn).unwrap();
+    }
+    e.run_maintenance(); // GC feeds the ILM queues
+
+    for _ in 0..10 {
+        pack_cycle(&e, PackLevel::Steady);
+    }
+
+    let snap = e.snapshot();
+    let obs = e.obs();
+    assert_eq!(obs.trace.dropped(), 0);
+    let pack_events: Vec<_> = obs
+        .trace
+        .events()
+        .into_iter()
+        .filter_map(|ev| match ev {
+            IlmTraceEvent::Pack(p) => Some(p),
+            IlmTraceEvent::Tuner(_) => None,
+        })
+        .collect();
+    assert!(!pack_events.is_empty(), "cycles must have been traced");
+    // One trace event per counted cycle, ordinals strictly increasing.
+    assert_eq!(pack_events.len() as u64, snap.pack_cycles);
+    for w in pack_events.windows(2) {
+        assert!(w[0].cycle < w[1].cycle);
+    }
+    for p in &pack_events {
+        // Per-partition bytes sum exactly to the cycle's total.
+        let part_sum: u64 = p.partitions.iter().map(|s| s.bytes_packed).sum();
+        assert_eq!(part_sum, p.bytes_packed, "cycle {} bytes mismatch", p.cycle);
+        for s in &p.partitions {
+            // Unscanned partitions (pi-gated) packed nothing.
+            if !s.scanned {
+                assert_eq!(s.bytes_packed, 0);
+                assert_eq!(s.rows_skipped_hot, 0);
+            }
+            // Apportioning shares are sane.
+            assert!(s.pi >= 0.0 && s.pi <= 1.0 + 1e-9);
+        }
+        // The PI shares of one cycle sum to 1 (Partitioned policy).
+        let pi_sum: f64 = p.partitions.iter().map(|s| s.pi).sum();
+        assert!((pi_sum - 1.0).abs() < 1e-6, "PI sum {pi_sum}");
+    }
+    // And the cycles sum to the engine-wide pack counter.
+    let traced_total: u64 = pack_events.iter().map(|p| p.bytes_packed).sum();
+    assert_eq!(traced_total, snap.bytes_packed);
+    assert!(traced_total > 0, "workload must actually pack bytes");
+}

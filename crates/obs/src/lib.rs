@@ -1,0 +1,515 @@
+//! `btrim-obs`: the engine's observability layer.
+//!
+//! Three pieces, mirroring what the paper's evaluation (§VIII) needed
+//! to *measure* and what its control loops (§V, §VI) needed to
+//! *explain*:
+//!
+//! 1. A per-operation-class registry of lock-free log-scale latency
+//!    histograms ([`Obs`] over [`btrim_common::LatencyHistogram`]) —
+//!    ISUD split by IMRS-vs-page-store path, commit, WAL append/fsync,
+//!    buffer-cache miss fetches, migration, pack cycles, GC passes,
+//!    and tuning windows.
+//! 2. An ILM decision trace ([`IlmTraceEvent`] in a
+//!    [`btrim_common::TraceRing`]): every tuner verdict with the rule
+//!    that fired and the inputs it saw, and every pack cycle with its
+//!    `NumBytesToPack` apportioning (UI/CUI/PI) and TSF-bypass
+//!    decisions.
+//! 3. JSON export helpers ([`json`]) so benches and the TPC-C driver
+//!    can report latency percentiles alongside throughput without
+//!    serde.
+//!
+//! Cost model: when latency recording is disabled, [`Obs::start`]
+//! returns `None` without reading the clock, so a disabled engine pays
+//! one branch per instrumented operation. When enabled, each record is
+//! two `Instant::now()` calls plus four relaxed atomic RMWs (measured
+//! in EXPERIMENTS.md).
+
+pub mod json;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use btrim_common::{HistSummary, LatencyHistogram, TraceRing};
+
+/// Operation classes with dedicated latency histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum OpClass {
+    /// INSERT placed in the IMRS.
+    InsertImrs,
+    /// INSERT routed to the page store.
+    InsertPage,
+    /// SELECT served from an IMRS row (re-use).
+    SelectImrs,
+    /// SELECT served from the page store.
+    SelectPage,
+    /// UPDATE applied to an IMRS row.
+    UpdateImrs,
+    /// UPDATE applied in the page store.
+    UpdatePage,
+    /// DELETE of an IMRS row.
+    DeleteImrs,
+    /// DELETE of a page-store row.
+    DeletePage,
+    /// Whole commit call (log drain + group flush when durable).
+    Commit,
+    /// One WAL record append (either log).
+    WalAppend,
+    /// One WAL flush/fsync (group-commit leader or direct flush).
+    WalFsync,
+    /// Buffer-cache miss: disk fetch + frame install (hits untimed).
+    BufferMiss,
+    /// Page-store → IMRS movement (migration or select-caching).
+    Migration,
+    /// One pack cycle (§VI.B).
+    PackCycle,
+    /// One GC pass.
+    GcPass,
+    /// One tuning window (§V.B).
+    TuningWindow,
+}
+
+impl OpClass {
+    /// Number of classes; sizes the histogram table.
+    pub const COUNT: usize = 16;
+
+    /// All classes, in display order.
+    pub const ALL: [OpClass; Self::COUNT] = [
+        OpClass::InsertImrs,
+        OpClass::InsertPage,
+        OpClass::SelectImrs,
+        OpClass::SelectPage,
+        OpClass::UpdateImrs,
+        OpClass::UpdatePage,
+        OpClass::DeleteImrs,
+        OpClass::DeletePage,
+        OpClass::Commit,
+        OpClass::WalAppend,
+        OpClass::WalFsync,
+        OpClass::BufferMiss,
+        OpClass::Migration,
+        OpClass::PackCycle,
+        OpClass::GcPass,
+        OpClass::TuningWindow,
+    ];
+
+    /// Stable machine-readable name (JSON keys, report rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::InsertImrs => "insert_imrs",
+            OpClass::InsertPage => "insert_page",
+            OpClass::SelectImrs => "select_imrs",
+            OpClass::SelectPage => "select_page",
+            OpClass::UpdateImrs => "update_imrs",
+            OpClass::UpdatePage => "update_page",
+            OpClass::DeleteImrs => "delete_imrs",
+            OpClass::DeletePage => "delete_page",
+            OpClass::Commit => "commit",
+            OpClass::WalAppend => "wal_append",
+            OpClass::WalFsync => "wal_fsync",
+            OpClass::BufferMiss => "buffer_miss_fetch",
+            OpClass::Migration => "migration",
+            OpClass::PackCycle => "pack_cycle",
+            OpClass::GcPass => "gc_pass",
+            OpClass::TuningWindow => "tuning_window",
+        }
+    }
+}
+
+/// The observability hub: one histogram per [`OpClass`] plus the ILM
+/// decision trace. Shared via `Arc` between the engine facade, its
+/// background threads, and the WAL/buffer-cache hooks (which hold
+/// plain `Arc<LatencyHistogram>` clones so the lower crates never
+/// depend on this one).
+pub struct Obs {
+    latency_enabled: bool,
+    hists: [Arc<LatencyHistogram>; OpClass::COUNT],
+    /// Bounded ring of tuner verdicts and pack-cycle summaries.
+    pub trace: TraceRing<IlmTraceEvent>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new(true, 1024)
+    }
+}
+
+impl Obs {
+    pub fn new(latency_enabled: bool, trace_capacity: usize) -> Self {
+        Obs {
+            latency_enabled,
+            hists: std::array::from_fn(|_| Arc::new(LatencyHistogram::new())),
+            trace: TraceRing::new(trace_capacity),
+        }
+    }
+
+    /// Everything off: no clock reads, no trace retention.
+    pub fn disabled() -> Self {
+        Self::new(false, 0)
+    }
+
+    pub fn latency_enabled(&self) -> bool {
+        self.latency_enabled
+    }
+
+    /// Start timing an operation. `None` (no clock read at all) when
+    /// latency recording is disabled — the caller just threads the
+    /// `Option` through to [`Obs::record_since`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.latency_enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Record the elapsed nanoseconds since `started` under `class`.
+    #[inline]
+    pub fn record_since(&self, class: OpClass, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.hists[class as usize].record(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Record an externally measured value (nanoseconds) under `class`.
+    #[inline]
+    pub fn record_nanos(&self, class: OpClass, nanos: u64) {
+        if self.latency_enabled {
+            self.hists[class as usize].record(nanos);
+        }
+    }
+
+    /// The histogram behind a class — cloned into WAL / buffer-cache
+    /// hooks, merged by multi-engine benches.
+    pub fn hist(&self, class: OpClass) -> &Arc<LatencyHistogram> {
+        &self.hists[class as usize]
+    }
+
+    /// Summaries of every class that recorded at least one value.
+    pub fn summaries(&self) -> Vec<(OpClass, HistSummary)> {
+        OpClass::ALL
+            .iter()
+            .filter_map(|&c| {
+                let s = self.hists[c as usize].summary();
+                (s.count > 0).then_some((c, s))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// ILM decision trace events
+// ---------------------------------------------------------------------
+
+/// What a tuner verdict did to a partition's ILM state (§V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TunerAction {
+    /// A disable vote was cast (hysteresis still counting).
+    VoteDisable,
+    /// Stage 1 applied: select-caching and update-migration off.
+    DisabledStage1,
+    /// Stage 2 applied: inserts off too — partition fully disabled.
+    DisabledFull,
+    /// An enable vote was cast (hysteresis still counting).
+    VoteEnable,
+    /// All IMRS use re-enabled.
+    Reenabled,
+}
+
+impl TunerAction {
+    pub fn name(self) -> &'static str {
+        match self {
+            TunerAction::VoteDisable => "vote_disable",
+            TunerAction::DisabledStage1 => "disabled_stage1",
+            TunerAction::DisabledFull => "disabled_full",
+            TunerAction::VoteEnable => "vote_enable",
+            TunerAction::Reenabled => "reenabled",
+        }
+    }
+
+    /// Whether this action toggled the partition's ILM state (matches
+    /// `PartitionIlmState::toggles`).
+    pub fn is_toggle(self) -> bool {
+        matches!(
+            self,
+            TunerAction::DisabledStage1 | TunerAction::DisabledFull | TunerAction::Reenabled
+        )
+    }
+}
+
+/// One tuner verdict: the rule that fired and every input it read.
+/// Hold verdicts (no vote, no transition) are not traced — they carry
+/// no decision and would flood the bounded ring.
+#[derive(Clone, Debug)]
+pub struct TunerTrace {
+    /// Tuning window ordinal (1-based, `Tuner::windows_run` after).
+    pub window: u64,
+    /// Partition the verdict applies to.
+    pub partition: u64,
+    pub action: TunerAction,
+    /// Which §V rule fired: `low-reuse` (disable path), `contention`
+    /// or `demand-growth` (re-enable path).
+    pub rule: &'static str,
+    /// Window delta of re-use ops (S+U+D on IMRS rows).
+    pub reuse_ops: u64,
+    /// Window delta of new rows brought into the IMRS.
+    pub rows_in: u64,
+    /// Window delta of page-store ops.
+    pub page_ops: u64,
+    /// Window delta of contended page-store ops.
+    pub page_contention: u64,
+    /// Re-use per resident row this window (`low-reuse` input).
+    pub avg_reuse: f64,
+    /// Partition IMRS footprint in bytes (guard input).
+    pub footprint_bytes: u64,
+    /// IMRS-resident rows in the partition.
+    pub resident_rows: u64,
+    /// Overall IMRS utilization at verdict time (guard input).
+    pub utilization: f64,
+    /// Re-use + page ops this window (`demand-growth` numerator).
+    pub activity: u64,
+    /// Activity in the window the partition was disabled (baseline).
+    pub activity_baseline: u64,
+    /// Consecutive same-direction votes including this one.
+    pub votes: u32,
+    /// Votes required before the verdict is applied (hysteresis).
+    pub votes_needed: u32,
+}
+
+/// Per-partition slice of one pack cycle (§VI.C apportioning).
+#[derive(Clone, Debug)]
+pub struct PackPartitionTrace {
+    pub partition: u64,
+    /// Usefulness index `SUD_ρ / Σ SUD` (0 under the uniform policy).
+    pub ui: f64,
+    /// Cache-utilization index `mem_ρ / Σ mem` (0 under uniform).
+    pub cui: f64,
+    /// Packability index — this partition's share of the cycle.
+    pub pi: f64,
+    /// Byte target apportioned to the partition.
+    pub target_bytes: u64,
+    /// Bytes actually packed out.
+    pub bytes_packed: u64,
+    /// Rows inspected but rotated back as hot.
+    pub rows_skipped_hot: u64,
+    /// Whether the TSF was bypassed for this partition (low re-use
+    /// rate, §VI.D.2) — when true, recency could not protect rows.
+    pub tsf_bypassed: bool,
+    /// False when the `pi < 0.01` gate skipped the partition without
+    /// scanning its queue.
+    pub scanned: bool,
+}
+
+/// One pack cycle: the global byte budget and how it was spent.
+#[derive(Clone, Debug)]
+pub struct PackCycleTrace {
+    /// Cycle ordinal (`PackState::cycles` after this cycle).
+    pub cycle: u64,
+    /// Pack level: `steady` or `aggressive`.
+    pub level: &'static str,
+    /// IMRS utilization when the cycle started.
+    pub utilization: f64,
+    /// `NumBytesToPack` for the cycle.
+    pub num_bytes_to_pack: u64,
+    /// Bytes actually packed across all partitions.
+    pub bytes_packed: u64,
+    pub partitions: Vec<PackPartitionTrace>,
+}
+
+/// An entry in the ILM decision trace ring.
+#[derive(Clone, Debug)]
+pub enum IlmTraceEvent {
+    Tuner(TunerTrace),
+    Pack(PackCycleTrace),
+}
+
+impl IlmTraceEvent {
+    /// Machine-readable JSON object for this event.
+    pub fn to_json(&self) -> String {
+        match self {
+            IlmTraceEvent::Tuner(t) => format!(
+                concat!(
+                    "{{\"kind\":\"tuner\",\"window\":{},\"partition\":{},",
+                    "\"action\":\"{}\",\"rule\":\"{}\",\"reuse_ops\":{},",
+                    "\"rows_in\":{},\"page_ops\":{},\"page_contention\":{},",
+                    "\"avg_reuse\":{},\"footprint_bytes\":{},\"resident_rows\":{},",
+                    "\"utilization\":{},\"activity\":{},\"activity_baseline\":{},",
+                    "\"votes\":{},\"votes_needed\":{}}}"
+                ),
+                t.window,
+                t.partition,
+                t.action.name(),
+                json::escape(t.rule),
+                t.reuse_ops,
+                t.rows_in,
+                t.page_ops,
+                t.page_contention,
+                json::num(t.avg_reuse),
+                t.footprint_bytes,
+                t.resident_rows,
+                json::num(t.utilization),
+                t.activity,
+                t.activity_baseline,
+                t.votes,
+                t.votes_needed,
+            ),
+            IlmTraceEvent::Pack(p) => {
+                let parts: Vec<String> = p
+                    .partitions
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            concat!(
+                                "{{\"partition\":{},\"ui\":{},\"cui\":{},\"pi\":{},",
+                                "\"target_bytes\":{},\"bytes_packed\":{},",
+                                "\"rows_skipped_hot\":{},\"tsf_bypassed\":{},",
+                                "\"scanned\":{}}}"
+                            ),
+                            s.partition,
+                            json::num(s.ui),
+                            json::num(s.cui),
+                            json::num(s.pi),
+                            s.target_bytes,
+                            s.bytes_packed,
+                            s.rows_skipped_hot,
+                            s.tsf_bypassed,
+                            s.scanned,
+                        )
+                    })
+                    .collect();
+                format!(
+                    concat!(
+                        "{{\"kind\":\"pack\",\"cycle\":{},\"level\":\"{}\",",
+                        "\"utilization\":{},\"num_bytes_to_pack\":{},",
+                        "\"bytes_packed\":{},\"partitions\":[{}]}}"
+                    ),
+                    p.cycle,
+                    p.level,
+                    json::num(p.utilization),
+                    p.num_bytes_to_pack,
+                    p.bytes_packed,
+                    parts.join(","),
+                )
+            }
+        }
+    }
+}
+
+/// JSON object for one class's [`HistSummary`] (nanosecond unit).
+pub fn summary_to_json(class: OpClass, s: &HistSummary) -> String {
+    format!(
+        concat!(
+            "{{\"class\":\"{}\",\"count\":{},\"mean_ns\":{},\"p50_ns\":{},",
+            "\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}"
+        ),
+        class.name(),
+        s.count,
+        s.mean,
+        s.p50,
+        s.p95,
+        s.p99,
+        s.max,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_have_unique_names_and_indices() {
+        let names: std::collections::HashSet<&str> =
+            OpClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), OpClass::COUNT);
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let obs = Obs::disabled();
+        assert!(obs.start().is_none());
+        obs.record_since(OpClass::Commit, obs.start());
+        obs.record_nanos(OpClass::Commit, 123);
+        assert!(obs.summaries().is_empty());
+        obs.trace.push(IlmTraceEvent::Pack(PackCycleTrace {
+            cycle: 1,
+            level: "steady",
+            utilization: 0.5,
+            num_bytes_to_pack: 10,
+            bytes_packed: 0,
+            partitions: vec![],
+        }));
+        assert!(obs.trace.is_empty());
+    }
+
+    #[test]
+    fn enabled_obs_records_and_summarizes() {
+        let obs = Obs::new(true, 16);
+        let t = obs.start();
+        assert!(t.is_some());
+        obs.record_since(OpClass::SelectImrs, t);
+        obs.record_nanos(OpClass::SelectImrs, 1_000);
+        obs.record_nanos(OpClass::Commit, 5_000);
+        let sums = obs.summaries();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].0, OpClass::SelectImrs);
+        assert_eq!(sums[0].1.count, 2);
+        assert_eq!(sums[1].0, OpClass::Commit);
+    }
+
+    #[test]
+    fn trace_events_serialize_to_valid_json() {
+        let tuner = IlmTraceEvent::Tuner(TunerTrace {
+            window: 3,
+            partition: 7,
+            action: TunerAction::DisabledStage1,
+            rule: "low-reuse",
+            reuse_ops: 1,
+            rows_in: 100,
+            page_ops: 5,
+            page_contention: 0,
+            avg_reuse: 0.01,
+            footprint_bytes: 4096,
+            resident_rows: 80,
+            utilization: 0.83,
+            activity: 6,
+            activity_baseline: 0,
+            votes: 2,
+            votes_needed: 2,
+        });
+        let pack = IlmTraceEvent::Pack(PackCycleTrace {
+            cycle: 9,
+            level: "aggressive",
+            utilization: 0.91,
+            num_bytes_to_pack: 65536,
+            bytes_packed: 60000,
+            partitions: vec![PackPartitionTrace {
+                partition: 7,
+                ui: 0.25,
+                cui: 0.75,
+                pi: 0.9,
+                target_bytes: 58982,
+                bytes_packed: 60000,
+                rows_skipped_hot: 3,
+                tsf_bypassed: true,
+                scanned: true,
+            }],
+        });
+        for ev in [tuner, pack] {
+            let js = ev.to_json();
+            json::validate(&js).unwrap_or_else(|e| panic!("{e}: {js}"));
+        }
+        let s = HistSummary {
+            count: 10,
+            mean: 100,
+            p50: 90,
+            p95: 200,
+            p99: 300,
+            max: 400,
+        };
+        json::validate(&summary_to_json(OpClass::Commit, &s)).unwrap();
+    }
+}

@@ -228,6 +228,11 @@ pub struct BufferCache {
     retry_attempts: u32,
     retry_backoff: std::time::Duration,
     verify_writes: bool,
+    /// Optional latency histogram (nanoseconds) for the miss path:
+    /// room-making + device read + frame install. The hit path is
+    /// never timed — misses are where the latency story lives, and the
+    /// hot hit path must stay untouched.
+    miss_hist: Option<Arc<btrim_common::LatencyHistogram>>,
 }
 
 /// Default attempts per device call (1 initial + 2 retries).
@@ -292,7 +297,19 @@ impl BufferCache {
             retry_attempts: DEFAULT_IO_RETRY_ATTEMPTS,
             retry_backoff: DEFAULT_IO_RETRY_BACKOFF,
             verify_writes: false,
+            miss_hist: None,
         }
+    }
+
+    /// Attach a miss-fetch latency histogram (builder style). Records
+    /// nanoseconds per successful miss resolution; the hit path is
+    /// unaffected.
+    pub fn with_miss_histogram(
+        mut self,
+        hist: Option<Arc<btrim_common::LatencyHistogram>>,
+    ) -> Self {
+        self.miss_hist = hist;
+        self
     }
 
     /// Override the transient-error retry policy (builder style).
@@ -537,6 +554,7 @@ impl BufferCache {
             // Miss: reserve a frame, install it Pending, then read with
             // no shard lock held.
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let miss_start = self.miss_hist.as_ref().map(|_| std::time::Instant::now());
             self.make_room(si)?;
             let frame = Frame::new(
                 id,
@@ -571,6 +589,9 @@ impl BufferCache {
             match read {
                 Ok(()) => {
                     frame.set_state(STATE_READY);
+                    if let (Some(h), Some(t)) = (&self.miss_hist, miss_start) {
+                        h.record(t.elapsed().as_nanos() as u64);
+                    }
                     return Ok(PageGuard { cache: self, frame });
                 }
                 Err(e) => {

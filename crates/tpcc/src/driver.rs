@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use btrim_core::Engine;
+use btrim_core::{Engine, HistSummary, OpClass};
 
 use crate::loader::LoadSpec;
 use crate::schema::Tables;
@@ -74,6 +74,11 @@ pub struct DriverStats {
     pub engine_aborts: [u64; 5],
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Engine-side per-class latency summaries (nanoseconds), captured
+    /// when the run finished. Cumulative over the engine's lifetime,
+    /// not per-run; empty when the engine runs with `obs_latency:
+    /// false`.
+    pub latency: Vec<(OpClass, HistSummary)>,
 }
 
 impl DriverStats {
@@ -89,6 +94,33 @@ impl DriverStats {
             return 0.0;
         }
         self.total_committed() as f64 / mins
+    }
+
+    /// Summary for one operation class, if it ever fired.
+    pub fn latency_for(&self, class: OpClass) -> Option<&HistSummary> {
+        self.latency
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, s)| s)
+    }
+
+    /// One-line latency digest (p50/p95/p99 in µs) for run banners.
+    /// Covers the classes a TPC-C operator reads first: commit and the
+    /// two select paths.
+    pub fn latency_line(&self) -> String {
+        let cell = |class: OpClass| match self.latency_for(class) {
+            Some(s) if s.count > 0 => format!(
+                "{} p50={:.0}/p95={:.0}/p99={:.0}µs",
+                class.name(),
+                s.p50 as f64 / 1_000.0,
+                s.p95 as f64 / 1_000.0,
+                s.p99 as f64 / 1_000.0,
+            ),
+            _ => format!("{} -", class.name()),
+        };
+        [OpClass::Commit, OpClass::SelectImrs, OpClass::SelectPage]
+            .map(cell)
+            .join("  ")
     }
 
     fn merge(&mut self, other: &DriverStats) {
@@ -196,6 +228,7 @@ impl Driver {
             }
         }
         stats.elapsed = start.elapsed();
+        stats.latency = self.engine.obs().summaries();
         stats
     }
 
@@ -292,6 +325,12 @@ mod tests {
             "engine aborts {:?}",
             stats.engine_aborts
         );
+        // The run captures engine latency: every committed transaction
+        // went through the commit histogram.
+        let commit = stats.latency_for(OpClass::Commit).expect("commit summary");
+        assert!(commit.count >= stats.total_committed());
+        assert!(commit.p50 <= commit.p95 && commit.p95 <= commit.p99);
+        assert!(stats.latency_line().contains("commit p50="));
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct GroupCommitter {
     state: Mutex<State>,
     cv: Condvar,
     syncs: std::sync::atomic::AtomicU64,
+    /// Optional fsync latency histogram (nanoseconds): records the
+    /// leader's device sync only — followers ride along for free and
+    /// timing them would double-count the same sync.
+    flush_hist: Option<Arc<btrim_common::LatencyHistogram>>,
 }
 
 impl GroupCommitter {
@@ -41,7 +45,14 @@ impl GroupCommitter {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
             syncs: std::sync::atomic::AtomicU64::new(0),
+            flush_hist: None,
         }
+    }
+
+    /// Attach a leader-sync latency histogram (builder style).
+    pub fn with_histogram(mut self, hist: Option<Arc<btrim_common::LatencyHistogram>>) -> Self {
+        self.flush_hist = hist;
+        self
     }
 
     /// Device syncs actually performed (tests / stats).
@@ -66,7 +77,11 @@ impl GroupCommitter {
                 st.flushing = true;
                 let covers = st.requested;
                 drop(st);
+                let t = self.flush_hist.as_ref().map(|_| std::time::Instant::now());
                 let result = self.sink.flush();
+                if let (Some(h), Some(t)) = (&self.flush_hist, t) {
+                    h.record(t.elapsed().as_nanos() as u64);
+                }
                 self.syncs
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 st = self.state.lock();

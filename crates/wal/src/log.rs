@@ -347,6 +347,11 @@ impl LogSink for FileLog {
 /// Typed writer over a sink: encodes records and supports group flush.
 pub struct LogWriter<R> {
     sink: std::sync::Arc<dyn LogSink>,
+    /// Optional latency histograms (nanoseconds) for appends and
+    /// flushes; attached by the engine's observability layer. Held as
+    /// bare histograms so this crate stays independent of `btrim-obs`.
+    append_hist: Option<std::sync::Arc<btrim_common::LatencyHistogram>>,
+    flush_hist: Option<std::sync::Arc<btrim_common::LatencyHistogram>>,
     _marker: std::marker::PhantomData<fn(R)>,
 }
 
@@ -358,8 +363,22 @@ where
     pub fn new(sink: std::sync::Arc<dyn LogSink>) -> Self {
         LogWriter {
             sink,
+            append_hist: None,
+            flush_hist: None,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Attach append/flush latency histograms (builder style, like the
+    /// buffer cache's `with_io_retry`).
+    pub fn with_histograms(
+        mut self,
+        append: Option<std::sync::Arc<btrim_common::LatencyHistogram>>,
+        flush: Option<std::sync::Arc<btrim_common::LatencyHistogram>>,
+    ) -> Self {
+        self.append_hist = append;
+        self.flush_hist = flush;
+        self
     }
 
     /// The underlying sink.
@@ -369,12 +388,22 @@ where
 
     /// Append one record.
     pub fn append(&self, record: &R) -> Result<Lsn> {
-        self.sink.append(&record.encode())
+        let t = self.append_hist.as_ref().map(|_| std::time::Instant::now());
+        let out = self.sink.append(&record.encode());
+        if let (Some(h), Some(t)) = (&self.append_hist, t) {
+            h.record(t.elapsed().as_nanos() as u64);
+        }
+        out
     }
 
     /// Durably flush (commit boundary).
     pub fn flush(&self) -> Result<()> {
-        self.sink.flush()
+        let t = self.flush_hist.as_ref().map(|_| std::time::Instant::now());
+        let out = self.sink.flush();
+        if let (Some(h), Some(t)) = (&self.flush_hist, t) {
+            h.record(t.elapsed().as_nanos() as u64);
+        }
+        out
     }
 
     /// Decode every intact record.

@@ -45,10 +45,16 @@ fn main() -> btrim::Result<()> {
         "per type (NewOrder/Payment/OrderStatus/Delivery/StockLevel): {:?}",
         stats.committed
     );
+    println!("latency: {}", stats.latency_line());
 
     println!("\nworkload profile (paper's Table 1):");
     print!("{}", profile::render(&profile::table_profiles(&engine)));
 
     println!("\n{}", engine.snapshot().render_report());
+
+    // The same state, machine-readable: per-class latency summaries and
+    // the recent ILM decision trace ride along in the JSON export.
+    println!("machine-readable snapshot (pipe to jq):");
+    println!("{}", engine.snapshot().to_json());
     Ok(())
 }

@@ -287,6 +287,12 @@ fn run_plan(label: &str, plan: FaultPlan, file_disk: bool) -> Arc<FaultState> {
         recovered.commit(txn).unwrap();
         assert_eq!(seen, exact.len(), "plan {label}: post-recovery row count");
     }
+
+    // The observability export survives crash + recovery: the JSON
+    // snapshot must still be well-formed for downstream tooling.
+    let json = recovered.snapshot().to_json();
+    btrim::obs_json::validate(&json)
+        .unwrap_or_else(|e| panic!("plan {label}: post-recovery snapshot JSON invalid: {e}"));
     state
 }
 

@@ -101,6 +101,12 @@ pub struct EngineConfig {
     /// Experiments leave this off and flush at pack/checkpoint
     /// boundaries; the file-backed durability tests turn it on.
     pub durable_commits: bool,
+    /// Emit a committing transaction's staged IMRS records as one
+    /// atomic batch append (one log-lock acquisition per commit; a torn
+    /// tail drops the whole transaction, never a prefix). Off restores
+    /// the pre-batching per-record appends — kept as the migration
+    /// story and as the baseline arm of the commit-path benchmark.
+    pub batched_commit: bool,
     /// Attempts per page-store read/write before a transient I/O error
     /// is propagated (1 disables retries).
     pub io_retry_attempts: u32,
@@ -155,6 +161,7 @@ impl Default for EngineConfig {
             pack_enabled: true,
             tsf_enabled: true,
             durable_commits: false,
+            batched_commit: true,
             io_retry_attempts: 3,
             io_retry_backoff_us: 200,
             verify_page_writes: true,

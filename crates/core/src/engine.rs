@@ -38,7 +38,7 @@ use crate::queues::IlmQueues;
 use crate::stats::EngineSnapshot;
 use crate::tsf::TsfLearner;
 use crate::tuner::Tuner;
-use crate::txn_ctx::{PendingImrs, Transaction, UndoOp};
+use crate::txn_ctx::{Transaction, UndoOp};
 
 /// Engine health, driven by storage-error observations.
 ///
@@ -241,6 +241,39 @@ impl Shared {
             Err(e) => {
                 self.storage_errors.fetch_add(1, Ordering::Relaxed);
                 self.set_read_only(format!("sysimrslogs append failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Append one pre-encoded record to the IMRS log (staged per-record
+    /// commit path); same failure policy as [`append_sys`](Self::append_sys).
+    pub fn append_imrs_raw(&self, payload: &[u8]) -> Result<btrim_common::Lsn> {
+        self.check_writable()?;
+        match self.imrslog.append_raw(payload) {
+            Ok(l) => Ok(l),
+            Err(e) => {
+                self.storage_errors.fetch_add(1, Ordering::Relaxed);
+                self.set_read_only(format!("sysimrslogs append failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Append a committing transaction's staged records to the IMRS log
+    /// as **one atomic batch** (one lock acquisition on the sink; a
+    /// crash persists all of the records or none). Same failure policy
+    /// as [`append_sys`](Self::append_sys) — note that unlike a failed
+    /// single append, a failed batch cannot leave a *partial*
+    /// transaction behind a torn tail, but the tail itself may still be
+    /// torn, so the engine still goes read-only.
+    pub fn append_imrs_batch(&self, payloads: &[&[u8]]) -> Result<btrim_wal::LsnRange> {
+        self.check_writable()?;
+        match self.imrslog.append_batch(payloads) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.storage_errors.fetch_add(1, Ordering::Relaxed);
+                self.set_read_only(format!("sysimrslogs batch append failed: {e}"));
                 Err(e)
             }
         }
@@ -491,12 +524,13 @@ impl Engine {
                     if let Some(v) = imrs_row.newest() {
                         txn.to_stamp.push(v);
                     }
-                    txn.pending_imrs.push(PendingImrs::Insert {
+                    txn.imrs_redo.push_insert(
+                        txn.handle.id,
                         partition,
-                        row: row_id,
-                        origin: RowOriginTag::Inserted,
-                        data: row.to_vec(),
-                    });
+                        row_id,
+                        RowOriginTag::Inserted,
+                        row.to_vec(),
+                    );
                     txn.gc_rows.push(row_id);
                     m.imrs_insert.inc();
                     m.rows_in.inc();
@@ -892,11 +926,8 @@ impl Engine {
             .add_version(&row, txn.handle.id, VersionOp::Update, Some(new_row))?;
         txn.to_stamp.push(v);
         txn.remember_touched(&row);
-        txn.pending_imrs.push(PendingImrs::Update {
-            partition: row.partition,
-            row: row_id,
-            data: new_row.to_vec(),
-        });
+        txn.imrs_redo
+            .push_update(txn.handle.id, row.partition, row_id, new_row.to_vec());
         txn.gc_rows.push(row_id);
         row.touch(self.sh.clock.now());
         self.sh.metrics.get(row.partition).imrs_update.inc();
@@ -1036,10 +1067,8 @@ impl Engine {
                     .add_version(&row, txn.handle.id, VersionOp::Delete, None)?;
                 txn.to_stamp.push(v);
                 txn.remember_touched(&row);
-                txn.pending_imrs.push(PendingImrs::Delete {
-                    partition: row.partition,
-                    row: row_id,
-                });
+                txn.imrs_redo
+                    .push_delete(txn.handle.id, row.partition, row_id);
                 txn.gc_rows.push(row_id);
                 self.sh.metrics.get(row.partition).imrs_delete.inc();
                 // Index removal is immediate (see DESIGN.md trade-offs).
@@ -1411,42 +1440,30 @@ impl Engine {
             v.stamp(ts);
         }
         let id = txn.handle.id;
-        let wrote_any = txn.wrote_syslog || !txn.pending_imrs.is_empty();
+        let wrote_any = txn.wrote_syslog || !txn.imrs_redo.is_empty();
         let logged: Result<()> = (|| {
-            for p in txn.pending_imrs.drain(..) {
-                let rec = match p {
-                    PendingImrs::Insert {
-                        partition,
-                        row,
-                        origin,
-                        data,
-                    } => ImrsLogRecord::Insert {
-                        txn: id,
-                        ts,
-                        partition,
-                        row,
-                        origin,
-                        data,
-                    },
-                    PendingImrs::Update {
-                        partition,
-                        row,
-                        data,
-                    } => ImrsLogRecord::Update {
-                        txn: id,
-                        ts,
-                        partition,
-                        row,
-                        data,
-                    },
-                    PendingImrs::Delete { partition, row } => ImrsLogRecord::Delete {
-                        txn: id,
-                        ts,
-                        partition,
-                        row,
-                    },
-                };
-                self.sh.append_imrs(&rec)?;
+            if !txn.imrs_redo.is_empty() {
+                // The records were serialized at DML time; what's left
+                // on the commit path is stamping the commit timestamp
+                // into each staged record and slicing the buffer.
+                let ser_start = self.sh.obs.start();
+                txn.imrs_redo.stamp(ts);
+                let records = txn.imrs_redo.records();
+                self.sh
+                    .obs
+                    .record_since(OpClass::CommitSerialize, ser_start);
+                if self.sh.cfg.batched_commit {
+                    // One atomic batch append: one lock acquisition on
+                    // the log, and a torn tail can never keep a prefix
+                    // of this transaction's records.
+                    self.sh.append_imrs_batch(&records)?;
+                } else {
+                    // Migration/ablation path: per-record appends, as
+                    // the pre-batching pipeline did.
+                    for r in &records {
+                        self.sh.append_imrs_raw(r)?;
+                    }
+                }
             }
             if txn.wrote_syslog {
                 self.sh.append_sys(&PageLogRecord::Commit { txn: id, ts })?;
@@ -1475,11 +1492,14 @@ impl Engine {
         self.sh.locks.unlock_all(id, txn.locks.iter());
         txn.locks.clear();
         txn.finished = true;
-        logged?;
-        // The commit histogram measures the commit itself (stamp, log
-        // drain, group flush); the amortized inline-maintenance tick is
-        // timed under its own classes.
+        // The commit histogram measures the commit itself (stamp, batch
+        // append, group flush) on *both* outcomes — failed commits are
+        // commits too, and dropping them hid exactly the slow tail
+        // (timed-out syncs, dying devices) a latency histogram exists
+        // to show. The amortized inline-maintenance tick is timed under
+        // its own classes.
         self.sh.obs.record_since(OpClass::Commit, op_start);
+        logged?;
         self.maybe_maintenance();
         Ok(ts)
     }

@@ -9,30 +9,111 @@
 
 use std::sync::Arc;
 
-use btrim_common::{PageId, PartitionId, RowId, SlotId, TableId};
+use btrim_common::{PageId, PartitionId, RowId, SlotId, TableId, Timestamp, TxnId};
 use btrim_imrs::{ImrsRow, RowLocation, Version};
 use btrim_txn::TxnHandle;
-use btrim_wal::RowOriginTag;
+use btrim_wal::record::Encodable;
+use btrim_wal::{ImrsLogRecord, RowOriginTag};
 
-/// Buffered redo-only IMRS log entry; the commit timestamp is filled in
-/// when the transaction commits.
-#[derive(Debug, Clone)]
-pub(crate) enum PendingImrs {
-    Insert {
+/// Byte offset of the `ts` field inside every DML [`ImrsLogRecord`]
+/// encoding: `tag: u8` then `txn: u64` then `ts: u64`. The staged
+/// commit pipeline relies on this to patch the commit timestamp into
+/// records serialized at DML time; `stamp_layout_matches_encoder`
+/// below pins the invariant against encoder drift.
+const TS_OFFSET: usize = 1 + 8;
+
+/// The transaction's staged `sysimrslogs` redo, serialized at DML time.
+///
+/// Each IMRS change is encoded into this buffer the moment it happens
+/// (with a placeholder commit timestamp), so the commit critical path
+/// does no per-record encoding: it stamps the real timestamp over each
+/// record's `ts` field, splits the buffer into payload slices, and
+/// hands them to one atomic `append_batch`.
+#[derive(Debug, Default)]
+pub(crate) struct ImrsRedoBuf {
+    buf: Vec<u8>,
+    /// End offset of each staged record in `buf` (record `i` spans
+    /// `ends[i-1]..ends[i]`).
+    ends: Vec<usize>,
+}
+
+impl ImrsRedoBuf {
+    fn push(&mut self, rec: &ImrsLogRecord) {
+        self.buf.extend_from_slice(&rec.encode());
+        self.ends.push(self.buf.len());
+    }
+
+    /// Stage an IMRS insert (placeholder timestamp).
+    pub(crate) fn push_insert(
+        &mut self,
+        txn: TxnId,
         partition: PartitionId,
         row: RowId,
         origin: RowOriginTag,
         data: Vec<u8>,
-    },
-    Update {
+    ) {
+        self.push(&ImrsLogRecord::Insert {
+            txn,
+            ts: Timestamp(0),
+            partition,
+            row,
+            origin,
+            data,
+        });
+    }
+
+    /// Stage an IMRS update (placeholder timestamp).
+    pub(crate) fn push_update(
+        &mut self,
+        txn: TxnId,
         partition: PartitionId,
         row: RowId,
         data: Vec<u8>,
-    },
-    Delete {
-        partition: PartitionId,
-        row: RowId,
-    },
+    ) {
+        self.push(&ImrsLogRecord::Update {
+            txn,
+            ts: Timestamp(0),
+            partition,
+            row,
+            data,
+        });
+    }
+
+    /// Stage an IMRS delete (placeholder timestamp).
+    pub(crate) fn push_delete(&mut self, txn: TxnId, partition: PartitionId, row: RowId) {
+        self.push(&ImrsLogRecord::Delete {
+            txn,
+            ts: Timestamp(0),
+            partition,
+            row,
+        });
+    }
+
+    /// True when no records are staged.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Patch the commit timestamp into every staged record.
+    pub(crate) fn stamp(&mut self, ts: Timestamp) {
+        let mut start = 0usize;
+        for &end in &self.ends {
+            self.buf[start + TS_OFFSET..start + TS_OFFSET + 8].copy_from_slice(&ts.0.to_le_bytes());
+            start = end;
+        }
+    }
+
+    /// The staged records as payload slices, in DML order — the exact
+    /// shape `LogSink::append_batch` takes.
+    pub(crate) fn records(&self) -> Vec<&[u8]> {
+        let mut out = Vec::with_capacity(self.ends.len());
+        let mut start = 0usize;
+        for &end in &self.ends {
+            out.push(&self.buf[start..end]);
+            start = end;
+        }
+        out
+    }
 }
 
 /// One undoable action, applied in reverse order on abort.
@@ -110,8 +191,9 @@ pub struct Transaction {
     /// IMRS rows whose chains carry uncommitted versions from this
     /// transaction (rolled back on abort).
     pub(crate) touched_imrs: Vec<Arc<ImrsRow>>,
-    /// Redo-only log records to emit at commit.
-    pub(crate) pending_imrs: Vec<PendingImrs>,
+    /// Staged redo-only log records (serialized at DML time), emitted
+    /// as one atomic batch at commit.
+    pub(crate) imrs_redo: ImrsRedoBuf,
     /// Rows to register with GC/queue maintenance after commit.
     pub(crate) gc_rows: Vec<RowId>,
     /// Undo log, applied in reverse on abort.
@@ -130,7 +212,7 @@ impl Transaction {
             locks: Vec::new(),
             to_stamp: Vec::new(),
             touched_imrs: Vec::new(),
-            pending_imrs: Vec::new(),
+            imrs_redo: ImrsRedoBuf::default(),
             gc_rows: Vec::new(),
             undo: Vec::new(),
             wrote_syslog: false,
@@ -172,5 +254,86 @@ impl Drop for Transaction {
             "transaction {:?} dropped while holding locks — call commit() or abort()",
             self.handle.id
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stamping a placeholder-ts buffer must produce byte-identical
+    /// output to encoding with the real timestamp directly — this pins
+    /// `TS_OFFSET` against any drift in the record encoder.
+    #[test]
+    fn stamp_layout_matches_encoder() {
+        let txn = TxnId(42);
+        let ts = Timestamp(0xDEAD_BEEF_1234_5678);
+        let p = PartitionId(3);
+        let mut buf = ImrsRedoBuf::default();
+        buf.push_insert(txn, p, RowId(7), RowOriginTag::Inserted, vec![1, 2, 3]);
+        buf.push_update(txn, p, RowId(8), vec![4, 5]);
+        buf.push_delete(txn, p, RowId(9));
+        buf.push(&ImrsLogRecord::Pack {
+            txn,
+            ts: Timestamp(0),
+            partition: p,
+            row: RowId(10),
+        });
+        assert_eq!(buf.records().len(), 4);
+        buf.stamp(ts);
+        let want: Vec<Vec<u8>> = vec![
+            ImrsLogRecord::Insert {
+                txn,
+                ts,
+                partition: p,
+                row: RowId(7),
+                origin: RowOriginTag::Inserted,
+                data: vec![1, 2, 3],
+            }
+            .encode(),
+            ImrsLogRecord::Update {
+                txn,
+                ts,
+                partition: p,
+                row: RowId(8),
+                data: vec![4, 5],
+            }
+            .encode(),
+            ImrsLogRecord::Delete {
+                txn,
+                ts,
+                partition: p,
+                row: RowId(9),
+            }
+            .encode(),
+            ImrsLogRecord::Pack {
+                txn,
+                ts,
+                partition: p,
+                row: RowId(10),
+            }
+            .encode(),
+        ];
+        let got = buf.records();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(*g, w.as_slice());
+        }
+        // And every staged record decodes back with the stamped ts.
+        for g in got {
+            let rec = ImrsLogRecord::decode(g).unwrap();
+            assert_eq!(rec.ts(), ts);
+        }
+    }
+
+    #[test]
+    fn restamping_overwrites_cleanly() {
+        let mut buf = ImrsRedoBuf::default();
+        buf.push_delete(TxnId(1), PartitionId(0), RowId(2));
+        buf.stamp(Timestamp(111));
+        buf.stamp(Timestamp(222));
+        let rec = ImrsLogRecord::decode(buf.records()[0]).unwrap();
+        assert_eq!(rec.ts(), Timestamp(222));
+        assert!(!buf.is_empty());
     }
 }

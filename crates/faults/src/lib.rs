@@ -61,6 +61,13 @@ pub struct FaultPlan {
     pub torn_prefix_bytes: usize,
     /// Log device dies permanently after this many successful appends.
     pub fail_appends_after: Option<u64>,
+    /// Tear the Nth *batch* append (0-based, counted across the plan's
+    /// wrapped logs): the caller gets an error, and the seeded RNG
+    /// decides whether the media kept the whole batch or none of it —
+    /// the only two outcomes a CRC-covered batch frame allows. A batch
+    /// can never persist a prefix of its records; byte-level tears of
+    /// the frame itself are exercised at the `FileLog` layer.
+    pub torn_batch_at: Option<u64>,
     /// Fail-stop the whole device set after this many total operations.
     pub fail_stop_after_ops: Option<u64>,
 }
@@ -77,6 +84,7 @@ impl Default for FaultPlan {
             torn_write_at: None,
             torn_prefix_bytes: 512,
             fail_appends_after: None,
+            torn_batch_at: None,
             fail_stop_after_ops: None,
         }
     }
@@ -95,6 +103,8 @@ pub struct FaultCounters {
     pub torn_writes: u64,
     /// Partial log appends performed (reported as failure).
     pub partial_appends: u64,
+    /// Torn batch appends performed (reported as failure).
+    pub torn_batches: u64,
     /// Appends rejected by a dead log device.
     pub dead_appends: u64,
 }
@@ -107,6 +117,7 @@ pub struct FaultState {
     ops: AtomicU64,
     page_writes: AtomicU64,
     log_appends: AtomicU64,
+    log_batches: AtomicU64,
     budget_left: AtomicU64,
     crashed: AtomicBool,
     log_dead: AtomicBool,
@@ -115,6 +126,7 @@ pub struct FaultState {
     sync_errors: AtomicU64,
     torn_writes: AtomicU64,
     partial_appends: AtomicU64,
+    torn_batches: AtomicU64,
     dead_appends: AtomicU64,
 }
 
@@ -131,6 +143,7 @@ impl FaultState {
             ops: AtomicU64::new(0),
             page_writes: AtomicU64::new(0),
             log_appends: AtomicU64::new(0),
+            log_batches: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
             log_dead: AtomicBool::new(false),
             read_errors: AtomicU64::new(0),
@@ -138,6 +151,7 @@ impl FaultState {
             sync_errors: AtomicU64::new(0),
             torn_writes: AtomicU64::new(0),
             partial_appends: AtomicU64::new(0),
+            torn_batches: AtomicU64::new(0),
             dead_appends: AtomicU64::new(0),
             plan,
         })
@@ -178,6 +192,7 @@ impl FaultState {
             sync_errors: self.sync_errors.load(Ordering::Relaxed),
             torn_writes: self.torn_writes.load(Ordering::Relaxed),
             partial_appends: self.partial_appends.load(Ordering::Relaxed),
+            torn_batches: self.torn_batches.load(Ordering::Relaxed),
             dead_appends: self.dead_appends.load(Ordering::Relaxed),
         }
     }
@@ -336,6 +351,40 @@ impl LogSink for FaultLog {
             return Err(injected("partial append"));
         }
         self.inner.append(payload)
+    }
+
+    fn append_batch(&self, payloads: &[&[u8]]) -> Result<btrim_wal::LsnRange> {
+        self.state.tick()?;
+        self.check_dead()?;
+        // A batch counts as one append toward the death trigger (one
+        // frame, one device write), and the death never splits it: a
+        // batch that trips the trigger persists nothing.
+        let aidx = self.state.log_appends.fetch_add(1, Ordering::AcqRel);
+        if let Some(k) = self.state.plan.fail_appends_after {
+            if aidx >= k {
+                self.state.log_dead.store(true, Ordering::Release);
+                self.state.dead_appends.fetch_add(1, Ordering::Relaxed);
+                return Err(injected("log device dead"));
+            }
+        }
+        let bidx = self.state.log_batches.fetch_add(1, Ordering::AcqRel);
+        if self.state.plan.torn_batch_at == Some(bidx) {
+            // The frame's CRC covers every record, so a tear leaves the
+            // media holding either the whole batch or nothing — never a
+            // prefix of its records. The seeded RNG picks which; the
+            // caller sees an error either way (the ack never happened).
+            let keep_all = self.state.rng.lock().gen_bool(0.5);
+            if keep_all {
+                let _ = self.inner.append_batch(payloads);
+            }
+            self.state.torn_batches.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("torn batch append"));
+        }
+        // `partial_append_prob` deliberately does not apply here: a
+        // truncated *record* cannot exist inside a CRC-covered batch
+        // frame. Transient whole-batch failures come from the death and
+        // torn-batch triggers above.
+        self.inner.append_batch(payloads)
     }
 
     fn flush(&self) -> Result<()> {
@@ -520,6 +569,57 @@ mod tests {
         // Budget exhausted: the next append goes through intact.
         assert!(log.append(&payload).is_ok());
         assert_eq!(inner.read_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn torn_batch_is_all_or_nothing_and_deterministic() {
+        let run = |seed: u64| {
+            let plan = FaultPlan {
+                seed,
+                torn_batch_at: Some(1),
+                ..FaultPlan::default()
+            };
+            let inner = Arc::new(MemLog::new());
+            let state = FaultState::new(plan);
+            let log = FaultLog::new(inner.clone(), state.clone());
+            log.append_batch(&[b"a0".as_ref(), b"a1".as_ref()]).unwrap();
+            // Batch 1 is torn: error to the caller, media keeps all of
+            // it or none of it.
+            assert!(log
+                .append_batch(&[b"b0".as_ref(), b"b1".as_ref(), b"b2".as_ref()])
+                .is_err());
+            assert_eq!(state.counters().torn_batches, 1);
+            let n = inner.read_all().unwrap().len();
+            assert!(n == 2 || n == 5, "all-or-nothing, got {n} records");
+            // Later batches go through intact.
+            log.append_batch(&[b"c0".as_ref()]).unwrap();
+            n
+        };
+        // Deterministic per seed; different seeds reach both outcomes.
+        for seed in 0..16 {
+            assert_eq!(run(seed), run(seed));
+        }
+        let outcomes: std::collections::BTreeSet<usize> = (0..16).map(run).collect();
+        assert_eq!(outcomes.len(), 2, "both tear outcomes exercised");
+    }
+
+    #[test]
+    fn dead_log_rejects_batches_without_splitting_them() {
+        let plan = FaultPlan {
+            fail_appends_after: Some(1),
+            ..FaultPlan::default()
+        };
+        let inner = Arc::new(MemLog::new());
+        let state = FaultState::new(plan);
+        let log = FaultLog::new(inner.clone(), state.clone());
+        log.append(b"one").unwrap();
+        assert!(log.append_batch(&[b"x".as_ref(), b"y".as_ref()]).is_err());
+        assert!(state.log_dead());
+        assert_eq!(
+            inner.read_all().unwrap().len(),
+            1,
+            "dying device persisted no part of the batch"
+        );
     }
 
     #[test]

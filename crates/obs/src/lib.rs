@@ -53,6 +53,12 @@ pub enum OpClass {
     DeletePage,
     /// Whole commit call (log drain + group flush when durable).
     Commit,
+    /// Commit-time serialization work inside `Commit`: stamping the
+    /// commit timestamp into the transaction's staged WAL buffer and
+    /// building the batch slices. The per-record encode itself happens
+    /// at DML time (inside the ISUD classes), so this measures exactly
+    /// what is left of serialization on the commit critical path.
+    CommitSerialize,
     /// One WAL record append (either log).
     WalAppend,
     /// One WAL flush/fsync (group-commit leader or direct flush).
@@ -71,7 +77,7 @@ pub enum OpClass {
 
 impl OpClass {
     /// Number of classes; sizes the histogram table.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// All classes, in display order.
     pub const ALL: [OpClass; Self::COUNT] = [
@@ -84,6 +90,7 @@ impl OpClass {
         OpClass::DeleteImrs,
         OpClass::DeletePage,
         OpClass::Commit,
+        OpClass::CommitSerialize,
         OpClass::WalAppend,
         OpClass::WalFsync,
         OpClass::BufferMiss,
@@ -105,6 +112,7 @@ impl OpClass {
             OpClass::DeleteImrs => "delete_imrs",
             OpClass::DeletePage => "delete_page",
             OpClass::Commit => "commit",
+            OpClass::CommitSerialize => "commit_serialize",
             OpClass::WalAppend => "wal_append",
             OpClass::WalFsync => "wal_fsync",
             OpClass::BufferMiss => "buffer_miss_fetch",

@@ -178,6 +178,147 @@ mod tests {
         assert_eq!(sink.record_count(), total_commits);
     }
 
+    /// A sink whose flushes block until the device "dies", then fail —
+    /// and keep failing — so concurrent committers are caught mid-sync.
+    struct DyingSink {
+        inner: MemLog,
+        dead: std::sync::atomic::AtomicBool,
+        entered: AtomicU64,
+    }
+
+    impl LogSink for DyingSink {
+        fn append(&self, payload: &[u8]) -> Result<btrim_common::Lsn> {
+            self.inner.append(payload)
+        }
+        fn append_batch(&self, payloads: &[&[u8]]) -> Result<crate::log::LsnRange> {
+            self.inner.append_batch(payloads)
+        }
+        fn flush(&self) -> Result<()> {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            // Hold the leader in the sync until the device dies.
+            while !self.dead.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(btrim_common::BtrimError::Io(std::io::Error::other(
+                "log device died mid-sync",
+            )))
+        }
+        fn read_all(&self) -> Result<Vec<(btrim_common::Lsn, Vec<u8>)>> {
+            self.inner.read_all()
+        }
+        fn record_count(&self) -> u64 {
+            self.inner.record_count()
+        }
+        fn byte_size(&self) -> u64 {
+            self.inner.byte_size()
+        }
+        fn truncate_prefix(&self, upto: btrim_common::Lsn) -> Result<()> {
+            self.inner.truncate_prefix(upto)
+        }
+    }
+
+    #[test]
+    fn device_death_mid_sync_errors_leader_and_all_followers() {
+        let sink = Arc::new(DyingSink {
+            inner: MemLog::new(),
+            dead: std::sync::atomic::AtomicBool::new(false),
+            entered: AtomicU64::new(0),
+        });
+        let g = Arc::new(GroupCommitter::new(sink.clone()));
+        let committers = 8;
+        let (tx, rx) = std::sync::mpsc::channel::<Result<()>>();
+        let mut handles = Vec::new();
+        for t in 0..committers {
+            let g = Arc::clone(&g);
+            let sink = Arc::clone(&sink);
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                sink.append(&[t as u8]).unwrap();
+                let _ = tx.send(g.commit_flush());
+            }));
+        }
+        drop(tx);
+        // Let a leader enter the sync and followers pile up on the
+        // condvar, then kill the device.
+        while sink.entered.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        sink.dead.store(true, Ordering::SeqCst);
+        // Every committer must return an error *promptly* — nobody may
+        // hang on the condvar waiting for a flush that will never come.
+        let deadline = std::time::Duration::from_secs(10);
+        let mut errors = 0;
+        for _ in 0..committers {
+            match rx.recv_timeout(deadline) {
+                Ok(res) => {
+                    assert!(res.is_err(), "sync died: commit_flush must fail");
+                    errors += 1;
+                }
+                Err(_) => panic!("a committer is stranded on the condvar"),
+            }
+        }
+        assert_eq!(errors, committers);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Followers that woke to a failed leader retried as leaders
+        // themselves and hit the dead device; the sync was attempted at
+        // least once and nobody was left flushing.
+        assert!(sink.entered.load(Ordering::SeqCst) >= 1);
+        assert!(!g.state.lock().flushing);
+    }
+
+    #[test]
+    fn generation_covers_batch_lsn_range() {
+        // A batch append reserves its whole LSN range before the flush
+        // request is made, so the leader's sync generation covers every
+        // record of the batch — verified by checking the sink saw all
+        // records at flush time.
+        struct CountAtFlush {
+            inner: MemLog,
+            seen_at_flush: AtomicU64,
+        }
+        impl LogSink for CountAtFlush {
+            fn append(&self, payload: &[u8]) -> Result<btrim_common::Lsn> {
+                self.inner.append(payload)
+            }
+            fn append_batch(&self, payloads: &[&[u8]]) -> Result<crate::log::LsnRange> {
+                self.inner.append_batch(payloads)
+            }
+            fn flush(&self) -> Result<()> {
+                self.seen_at_flush
+                    .store(self.inner.record_count(), Ordering::SeqCst);
+                self.inner.flush()
+            }
+            fn read_all(&self) -> Result<Vec<(btrim_common::Lsn, Vec<u8>)>> {
+                self.inner.read_all()
+            }
+            fn record_count(&self) -> u64 {
+                self.inner.record_count()
+            }
+            fn byte_size(&self) -> u64 {
+                self.inner.byte_size()
+            }
+            fn truncate_prefix(&self, upto: btrim_common::Lsn) -> Result<()> {
+                self.inner.truncate_prefix(upto)
+            }
+        }
+        let sink = Arc::new(CountAtFlush {
+            inner: MemLog::new(),
+            seen_at_flush: AtomicU64::new(0),
+        });
+        let g = GroupCommitter::new(sink.clone());
+        let range = sink
+            .append_batch(&[b"a".as_ref(), b"b".as_ref(), b"c".as_ref(), b"d".as_ref()])
+            .unwrap();
+        g.commit_flush().unwrap();
+        assert!(
+            sink.seen_at_flush.load(Ordering::SeqCst) >= range.last.0,
+            "sync must cover the whole batch LSN range"
+        );
+    }
+
     #[test]
     fn sequential_commits_each_get_their_own_sync() {
         let sink = Arc::new(SlowSink {

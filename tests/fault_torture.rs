@@ -443,6 +443,124 @@ fn log_device_death_degrades_to_read_only() {
 }
 
 #[test]
+fn torn_batch_appends_hold_the_three_way_contract() {
+    for (i, file_disk) in [false, true].into_iter().enumerate() {
+        let plan = FaultPlan {
+            seed: 0xBA7C + i as u64,
+            torn_batch_at: Some(3),
+            ..FaultPlan::default()
+        };
+        let state = run_plan("torn-batch", plan, file_disk);
+        assert!(
+            state.counters().torn_batches >= 1,
+            "the workload never hit the torn batch; nothing was exercised"
+        );
+    }
+}
+
+/// The whole point of the batch frame: a transaction whose commit was
+/// torn must recover with *all* of its rows or *none* of them. Each
+/// workload transaction inserts three keys, so any partially-recovered
+/// group is a smoking gun.
+#[test]
+fn torn_batch_never_splits_a_transaction() {
+    for (i, file_disk) in [false, true].into_iter().enumerate() {
+        let label = format!("torn-batch-atomic-{i}");
+        let inner = inner_devices(&label, file_disk);
+        let plan = FaultPlan {
+            seed: 0xA70_B17C + i as u64,
+            torn_batch_at: Some(5),
+            ..FaultPlan::default()
+        };
+        let state = FaultState::new(plan);
+        // IlmOff pins every row in the IMRS, so each transaction stages
+        // exactly its three inserts into one sysimrslogs batch.
+        let cfg = EngineConfig {
+            mode: EngineMode::IlmOff,
+            maintenance_interval_txns: 1_000_000,
+            ..cfg()
+        };
+        let engine = Engine::with_devices(
+            cfg.clone(),
+            Arc::new(FaultDisk::new(inner.disk.clone(), state.clone())),
+            Arc::new(FaultLog::new(inner.syslog.clone(), state.clone())),
+            Arc::new(FaultLog::new(inner.imrslog.clone(), state.clone())),
+        );
+        engine.create_table(opts()).unwrap();
+        let table = engine.table("faulted").unwrap();
+
+        let mut acked: BTreeSet<u64> = BTreeSet::new();
+        let mut unacked: BTreeSet<u64> = BTreeSet::new();
+        for grp in 0..20u64 {
+            let mut txn = engine.begin();
+            let mut staged = true;
+            for j in 0..3u64 {
+                if engine
+                    .insert(&mut txn, &table, &mkrow(grp * 3 + j, grp))
+                    .is_err()
+                {
+                    staged = false;
+                    break;
+                }
+            }
+            if !staged {
+                engine.abort(txn);
+                continue;
+            }
+            match engine.commit(txn) {
+                Ok(_) => {
+                    acked.insert(grp);
+                }
+                Err(_) => {
+                    unacked.insert(grp);
+                }
+            }
+        }
+        assert!(
+            state.counters().torn_batches >= 1,
+            "plan {label}: the tear never fired"
+        );
+        assert!(!acked.is_empty(), "plan {label}: nothing committed");
+        assert!(!unacked.is_empty(), "plan {label}: nothing was torn");
+
+        // Crash and reboot on the raw media.
+        drop(engine);
+        let recovered = Engine::recover(
+            cfg,
+            inner.disk.clone(),
+            inner.syslog.clone(),
+            inner.imrslog.clone(),
+            |e| e.create_table(opts()).map(|_| ()),
+        )
+        .unwrap();
+        let table = recovered.table("faulted").unwrap();
+        let txn = recovered.begin();
+        for grp in 0..20u64 {
+            let present = (0..3u64)
+                .filter(|j| {
+                    recovered
+                        .get(&txn, &table, &(grp * 3 + j).to_be_bytes())
+                        .unwrap()
+                        .is_some()
+                })
+                .count();
+            if acked.contains(&grp) {
+                assert_eq!(present, 3, "plan {label}: acknowledged txn {grp} lost rows");
+            } else {
+                // Unacknowledged (torn or never staged): the batch frame
+                // guarantees all-or-nothing, never a prefix.
+                assert!(
+                    present == 0 || present == 3,
+                    "plan {label}: txn {grp} recovered {present}/3 rows — \
+                     a torn batch split a transaction"
+                );
+            }
+        }
+        recovered.commit(txn).unwrap();
+    }
+}
+
+#[test]
 fn fail_stop_crash_recovers_to_acknowledged_state() {
     for (i, file_disk) in [false, true].into_iter().enumerate() {
         let plan = FaultPlan {
@@ -481,6 +599,11 @@ fn randomized_plan_from_env_seed() {
         torn_prefix_bytes: rng.gen_range(64..4096),
         fail_appends_after: if rng.gen_bool(0.3) {
             Some(rng.gen_range(100..2000))
+        } else {
+            None
+        },
+        torn_batch_at: if rng.gen_bool(0.4) {
+            Some(rng.gen_range(0..60))
         } else {
             None
         },

@@ -7,6 +7,8 @@
 //! the binaries reproduce the *shapes* (who wins, by what factor, where
 //! the crossovers are). See EXPERIMENTS.md for paper-vs-measured notes.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use btrim_core::{Engine, EngineConfig, EngineMode, EngineSnapshot, OpClass};

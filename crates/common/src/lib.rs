@@ -10,6 +10,8 @@
 //! ([`hist`]) and a bounded trace ring ([`ring`]) — that `btrim-obs`
 //! builds its per-operation-class registry and ILM decision trace on.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod codec;
 pub mod counters;

@@ -297,11 +297,10 @@ pub(crate) fn wrap_row(row_id: RowId, data: &[u8]) -> Vec<u8> {
 
 /// Split a page-store payload into (RowId, user bytes).
 pub(crate) fn unwrap_row(payload: &[u8]) -> Result<(RowId, &[u8])> {
-    if payload.len() < 8 {
+    let Some((id_bytes, data)) = payload.split_first_chunk::<8>() else {
         return Err(BtrimError::Corrupt("page row shorter than header".into()));
-    }
-    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
-    Ok((RowId(id), &payload[8..]))
+    };
+    Ok((RowId(u64::from_le_bytes(*id_bytes)), data))
 }
 
 impl Engine {
@@ -369,7 +368,7 @@ impl Engine {
             tuner: Tuner::with_obs(Arc::clone(&obs)),
             pack: PackState::new(),
             obs,
-            maintenance_gate: Mutex::new(()),
+            maintenance_gate: Mutex::with_rank(parking_lot::lock_rank::ENGINE_STATE, ()),
             last_maintenance: AtomicU64::new(0),
             background: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -1702,7 +1701,7 @@ impl Engine {
                             std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
                         }
                     })
-                    .expect("spawn maintenance thread"),
+                    .expect("spawn maintenance thread"), // lint: allow(no-panic) -- thread spawn fails only on resource exhaustion at startup; an engine without maintenance would silently stop packing
             );
         }
     }

@@ -32,6 +32,8 @@
 //!   latency summaries, the ILM decision trace, and a JSON export
 //!   (`EngineSnapshot::to_json`) built on `btrim-obs`.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod config;
 pub mod engine;

@@ -461,7 +461,7 @@ impl Engine {
                         }
                     }
                 }
-                ImrsLogRecord::Discard { .. } => unreachable!("filtered above"),
+                ImrsLogRecord::Discard { .. } => unreachable!("filtered above"), // lint: allow(no-panic) -- Discard records are drained into `poisoned` by the filter pass immediately above; reaching this arm is a recovery-logic bug worth a loud stop
             }
         }
         self.sh.recovery.lock().imrs_records_skipped = skipped;

@@ -243,8 +243,8 @@ impl EngineSnapshot {
              txns committed {:>10}   aborted {:>8}   commit-ts {}\n\
              IMRS {:>6.1} MiB / {:.1} MiB ({:>4.1}%)   rows {:>8}   hit rate {:>5.1}%\n\
              pack: cycles {} rows {} skipped {} bytes {:.1} MiB   TSF Ʈ {}\n\
-             GC freed {:.1} MiB   tuning windows {}\n\
-             buffer: hits {} misses {} evictions {} contention {} \
+             GC freed {:.1} MiB (backlog {})   tuning windows {}\n\
+             buffer: hits {} misses {} evictions {} flushes {} contention {} \
              shard-lock {} io-waits {}\n",
             self.committed_txns,
             self.aborted_txns,
@@ -260,10 +260,12 @@ impl EngineSnapshot {
             self.bytes_packed as f64 / (1024.0 * 1024.0),
             self.tsf_tau,
             self.gc_bytes_freed as f64 / (1024.0 * 1024.0),
+            self.gc_backlog,
             self.tuning_windows,
             self.buffer.hits,
             self.buffer.misses,
             self.buffer.evictions,
+            self.buffer.flushes,
             self.buffer.latch_contention,
             self.buffer.shard_lock_contention,
             self.buffer.io_waits,

@@ -25,6 +25,8 @@
 //! recovery reads go straight through, matching the model of a reboot
 //! onto the surviving media.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 

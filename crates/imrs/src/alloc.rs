@@ -150,8 +150,12 @@ impl FragmentAllocator {
                         vec![0u8; self.chunk_size as usize].into_boxed_slice(),
                     )));
                     Self::insert_free(&mut st, idx, 0, self.chunk_size);
-                    self.take_best_fit(&mut st, need)
-                        .expect("fresh chunk satisfies any legal allocation")
+                    // A fresh chunk satisfies any allocation that passed
+                    // the `need > chunk_size` guard above; failing here
+                    // means the free indices are corrupt.
+                    self.take_best_fit(&mut st, need).ok_or_else(|| {
+                        BtrimError::Corrupt("fresh IMRS chunk failed best-fit".into())
+                    })?
                 }
             }
         };
@@ -175,11 +179,11 @@ impl FragmentAllocator {
     /// remainder back into the pool.
     fn take_best_fit(&self, st: &mut AllocState, need: u32) -> Option<(u32, u32, u32)> {
         let &(len, chunk, offset) = st.free_by_size.range((need, 0, 0)..).next()?;
+        // The size and addr indices are maintained in lockstep; a
+        // missing addr-side entry would mean allocator corruption, so
+        // report "no fit" without desyncing them further.
+        st.free_by_addr.get_mut(&chunk)?.remove(&offset);
         st.free_by_size.remove(&(len, chunk, offset));
-        st.free_by_addr
-            .get_mut(&chunk)
-            .expect("free block indexed by addr")
-            .remove(&offset);
         let rem = len - need;
         if rem >= MIN_SPLIT {
             Self::insert_free(st, chunk, offset + need, rem);
@@ -211,10 +215,11 @@ impl FragmentAllocator {
             .and_then(|m| m.range(..offset).next_back().map(|(&o, &l)| (o, l)));
         if let Some((poff, plen)) = pred {
             if poff + plen == offset {
-                st.free_by_addr
-                    .get_mut(&h.chunk)
-                    .expect("chunk map exists")
-                    .remove(&poff);
+                // `pred` came from this map an instant ago under the
+                // same lock; the `if let` avoids a panic path anyway.
+                if let Some(m) = st.free_by_addr.get_mut(&h.chunk) {
+                    m.remove(&poff);
+                }
                 st.free_by_size.remove(&(plen, h.chunk, poff));
                 offset = poff;
                 len += plen;
@@ -227,10 +232,9 @@ impl FragmentAllocator {
             .and_then(|m| m.range(offset + len..).next().map(|(&o, &l)| (o, l)));
         if let Some((noff, nlen)) = succ {
             if offset + len == noff {
-                st.free_by_addr
-                    .get_mut(&h.chunk)
-                    .expect("chunk map exists")
-                    .remove(&noff);
+                if let Some(m) = st.free_by_addr.get_mut(&h.chunk) {
+                    m.remove(&noff);
+                }
                 st.free_by_size.remove(&(nlen, h.chunk, noff));
                 len += nlen;
             }

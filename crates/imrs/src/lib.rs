@@ -19,6 +19,8 @@
 //!   (IMRS or page store), the indirection that makes data movement
 //!   invisible to indexes (§II).
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod ridmap;
 pub mod row;

@@ -43,7 +43,9 @@ impl RidMap {
     /// Create an empty map. Row ids start at 1 (0 is reserved).
     pub fn new() -> Self {
         RidMap {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::with_rank(parking_lot::lock_rank::RID_MAP, HashMap::new()))
+                .collect(),
             next_row_id: AtomicU64::new(1),
         }
     }

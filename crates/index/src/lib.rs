@@ -10,6 +10,8 @@
 //!   (§II).
 //! * [`keys`] — order-preserving composite key encoding shared by both.
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod hash;
 pub mod keys;

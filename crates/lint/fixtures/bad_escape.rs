@@ -1,0 +1,18 @@
+//! Fixture: bad-escape rule — malformed or unexplained escapes are
+//! themselves findings. Never compiled.
+
+fn unknown_rule() {
+    let x: Option<u8> = Some(1);
+    x.unwrap(); // lint: allow(no-such-rule) -- FINDING: rule does not exist
+}
+
+fn missing_reason() {
+    let x: Option<u8> = Some(1);
+    x.unwrap(); // lint: allow(no-panic)
+}
+
+fn missing_allow() {
+    // lint: suppress everything please
+    let x: Option<u8> = Some(1);
+    x.unwrap();
+}

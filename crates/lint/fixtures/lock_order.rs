@@ -1,0 +1,47 @@
+//! Fixture: lock-order rule. Fed to the linter under the path
+//! `crates/pagestore/src/buffer.rs`, where `inner` classifies as
+//! buffer-shard (rank 20), `data`/`io` as frame (rank 30), and
+//! `lock_shard(..)` as a guard-returning buffer-shard acquisition.
+//! Never compiled — this file is raw input for the rule engine.
+
+impl Shard {
+    // FINDING: frame (30) held, then buffer-shard (20) — backwards.
+    fn backwards(&self) {
+        let d = self.data.write();
+        let s = self.inner.lock();
+        s.touch(&d);
+    }
+
+    // FINDING: same inversion through a guard-returning function.
+    fn backwards_via_fn(&self, pool: &Pool) {
+        let d = self.data.write();
+        let s = lock_shard(pool, 3);
+        s.touch(&d);
+    }
+
+    // Clean: shard before frame matches the declared hierarchy.
+    fn forwards(&self) {
+        let s = self.inner.lock();
+        let d = self.data.write();
+        d.touch(&s);
+    }
+
+    // Clean: the frame guard's block ends before the shard lock.
+    fn scoped(&self) {
+        {
+            let d = self.data.write();
+            d.touch();
+        }
+        let s = self.inner.lock();
+        s.touch();
+    }
+
+    // Clean: explicit drop ends the guard before the shard lock.
+    fn dropped(&self) {
+        let d = self.data.write();
+        d.touch();
+        drop(d);
+        let s = self.inner.lock();
+        s.touch();
+    }
+}

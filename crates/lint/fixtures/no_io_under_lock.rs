@@ -1,0 +1,26 @@
+//! Fixture: no-io-under-lock rule. Fed under the path
+//! `crates/wal/src/log.rs`, where `inner` classifies as the WAL log
+//! mutex (rank 50). Never compiled.
+
+impl FileLog {
+    // FINDING: device write while holding the log mutex.
+    fn append_bad(&self, payload: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.writer.write_all(payload);
+    }
+
+    // Clean: the guard's block ends before the write.
+    fn append_staged(&self, payload: &[u8]) {
+        {
+            let mut inner = self.inner.lock();
+            inner.pending.push(payload.to_vec());
+        }
+        self.file.write_all(payload);
+    }
+
+    // Clean: annotated I/O that must stay under the lock.
+    fn append_serialized(&self, payload: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.writer.write_all(payload); // lint: allow(no-io-under-lock) -- fixture: the write must serialize with the LSN assignment
+    }
+}

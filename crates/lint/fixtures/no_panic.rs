@@ -1,0 +1,43 @@
+//! Fixture: no-panic rule. Fed under a `crates/wal/` path, where
+//! non-test code must be panic-free. Never compiled.
+
+// FINDING ×2: unwrap and expect in engine code.
+fn parse(data: &[u8]) -> u32 {
+    let b = data.get(0..4).unwrap();
+    u32::from_le_bytes(b.try_into().expect("4 bytes"))
+}
+
+// FINDING: panic! macro.
+fn boom() {
+    panic!("nope");
+}
+
+// FINDING: unreachable! macro.
+fn cant_happen() {
+    unreachable!("never");
+}
+
+// Clean: a trailing escape with a reason suppresses the finding.
+fn annotated() {
+    let x: Option<u8> = Some(1);
+    x.unwrap(); // lint: allow(no-panic) -- fixture: reason recorded here
+}
+
+// Clean: a standalone escape covers the next code line.
+fn annotated_above() {
+    let x: Option<u8> = Some(1);
+    // lint: allow(no-panic) -- fixture: standalone comment form
+    x.unwrap();
+}
+
+// Clean: tests may panic freely.
+#[test]
+fn tests_may_panic() {
+    None::<u8>.unwrap();
+    panic!("fine in tests");
+}
+
+// PEDANTIC FINDING: direct indexing (only with --pedantic).
+fn index(data: &[u8]) -> u8 {
+    data[0]
+}

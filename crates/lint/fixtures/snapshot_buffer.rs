@@ -1,0 +1,7 @@
+//! Fixture: snapshot-completeness, buffer side. `cold_scans` is counted
+//! but never rendered by the stats fixture — one finding. Never compiled.
+
+pub struct BufferStatsSnapshot {
+    pub committed_txns: u64,
+    pub cold_scans: u64,
+}

@@ -1,0 +1,20 @@
+//! Fixture: snapshot-completeness, obs side. `Ghost` is declared but
+//! missing from both `ALL` and `name()` — two findings. Never compiled.
+
+pub enum OpClass {
+    Get,
+    Insert,
+    Ghost,
+}
+
+impl OpClass {
+    pub const ALL: [OpClass; 2] = [OpClass::Get, OpClass::Insert];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Get => "get",
+            OpClass::Insert => "insert",
+            _ => "?",
+        }
+    }
+}

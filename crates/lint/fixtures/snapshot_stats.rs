@@ -1,0 +1,17 @@
+//! Fixture: snapshot-completeness, stats side. `orphan_counter` never
+//! reaches `render_report` or `to_json` — one finding. Never compiled.
+
+pub struct EngineSnapshot {
+    pub committed_txns: u64,
+    pub orphan_counter: u64,
+}
+
+impl EngineSnapshot {
+    pub fn render_report(&self) -> String {
+        format!("commits {}", self.committed_txns)
+    }
+
+    pub fn to_json(&self) -> String {
+        format!("{{\"committed_txns\":{}}}", self.committed_txns)
+    }
+}

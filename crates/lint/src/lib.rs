@@ -1,0 +1,121 @@
+//! `btrim-lint`: the workspace's static-analysis pass.
+//!
+//! A dependency-free Rust tokenizer ([`lexer`]) feeds an
+//! intra-procedural rule engine ([`rules`]) enforcing:
+//!
+//! * **lock-order** — nested lock acquisitions must follow the declared
+//!   hierarchy in [`hierarchy`] (shared, via `include!`, with the
+//!   debug-build lock-rank witness inside the vendored `parking_lot`);
+//! * **no-panic** — no `unwrap`/`expect`/`panic!`-family calls in
+//!   non-test code of the `wal`, `pagestore`, `imrs`, `txn`, and `core`
+//!   crates;
+//! * **no-io-under-lock** — no device I/O lexically inside a classified
+//!   lock-guard scope in `core` and `wal`;
+//! * **snapshot-completeness** — every declared counter/histogram
+//!   reaches `render_report`/`to_json` ([`snapshot`], cross-file).
+//!
+//! Intentional exceptions carry `// lint: allow(<rule>) -- <reason>`
+//! escapes; an escape without a reason is itself a finding.
+//!
+//! Run it as `cargo run -p btrim-lint -- check` from the workspace
+//! root; findings print as `file:line:rule: message` and a non-empty
+//! set exits non-zero.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod snapshot;
+
+/// The declared lock hierarchy (see `src/lock_hierarchy.rs`, the file
+/// also consumed by `shims/parking_lot`'s lock-rank witness).
+pub mod hierarchy {
+    include!("lock_hierarchy.rs");
+}
+
+pub use rules::{check_file, Finding, Options};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable finding keys on
+/// any platform).
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint every crate's `src/` under `<root>/crates`, then run the
+/// cross-file snapshot-completeness rule. Returns sorted findings.
+pub fn check_workspace(root: &Path, opts: Options) -> io::Result<Vec<Finding>> {
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} not found — run from the workspace root",
+                crates.display()
+            ),
+        ));
+    }
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+    let mut sources: std::collections::BTreeMap<String, String> = Default::default();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let key = rel(root, path);
+        findings.extend(check_file(&key, &src, opts));
+        sources.insert(key, src);
+    }
+
+    const OBS: &str = "crates/obs/src/lib.rs";
+    const STATS: &str = "crates/core/src/stats.rs";
+    const BUFFER: &str = "crates/pagestore/src/buffer.rs";
+    if let (Some(obs), Some(stats), Some(buffer)) =
+        (sources.get(OBS), sources.get(STATS), sources.get(BUFFER))
+    {
+        findings.extend(snapshot::check(
+            (OBS, obs),
+            (STATS, stats),
+            (BUFFER, buffer),
+        ));
+    }
+    findings.sort();
+    Ok(findings)
+}

@@ -1,0 +1,62 @@
+// The declared lock hierarchy — the single source of truth shared by
+// the static lock-order lint (`btrim-lint`, which `include!`s this file
+// as `btrim_lint::hierarchy`) and the debug-build lock-rank witness in
+// the vendored `shims/parking_lot` (which `include!`s it as
+// `parking_lot::lock_rank`). Editing a rank here retunes both checkers
+// at once; they cannot drift apart.
+//
+// A lock may only be acquired (blocking) while every lock currently
+// held by the thread has a strictly smaller rank. Rank 0 is "unranked":
+// such locks are invisible to the witness and must be leaves (never
+// held across another classified acquisition). The order below is
+// derived from the engine as built through PR 4:
+//
+// * `maintenance_gate` is taken first and held across an entire
+//   pack/GC/tuner cycle, which fetches pages and appends WAL records —
+//   so engine state ranks below everything.
+// * `evict_one` publishes a frame-state transition (frame `io` mutex)
+//   while still inside the shard lock — so frames rank above shards.
+// * Migration and pack append WAL records *before* touching the
+//   RID-Map, and RID-Map shards are self-contained, so the RID-Map sits
+//   between frames and the log without conflict.
+// * The group-commit leader drops the generation lock before calling
+//   `sink.flush()` (which takes the log's inner lock) — so the
+//   generation lock must rank above the WAL log, making a flush under
+//   the generation lock an immediate witness failure.
+
+/// Engine maintenance gate (`core::engine::Shared::maintenance_gate`).
+pub const ENGINE_STATE: u16 = 10;
+/// Buffer-cache shard locks (`pagestore::buffer::Shard::inner`).
+pub const BUFFER_SHARD: u16 = 20;
+/// Frame latches: page data `RwLock` and the frame-state `io` mutex
+/// (`pagestore::buffer::Frame::{data, io}`). Never nested in each other.
+pub const FRAME: u16 = 30;
+/// RID-Map shards (`imrs::ridmap::RidMap::shards`).
+pub const RID_MAP: u16 = 40;
+/// WAL inner locks (`wal::log::{MemLog, FileLog}::inner`).
+pub const WAL_LOG: u16 = 50;
+/// Group-commit generation state (`wal::group::GroupCommitter::state`).
+pub const GROUP_COMMIT: u16 = 60;
+
+/// `(class name, rank)` pairs, ascending — what the lint rule engine
+/// iterates and what witness panic messages cite.
+pub const LOCK_RANKS: &[(&str, u16)] = &[
+    ("engine-state", ENGINE_STATE),
+    ("buffer-shard", BUFFER_SHARD),
+    ("frame", FRAME),
+    ("rid-map", RID_MAP),
+    ("wal-log", WAL_LOG),
+    ("group-commit", GROUP_COMMIT),
+];
+
+/// Display name for a rank (panic messages, lint findings).
+pub fn rank_name(rank: u16) -> &'static str {
+    let mut i = 0;
+    while i < LOCK_RANKS.len() {
+        if LOCK_RANKS[i].1 == rank {
+            return LOCK_RANKS[i].0;
+        }
+        i += 1;
+    }
+    "unranked"
+}

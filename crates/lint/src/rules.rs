@@ -1,0 +1,663 @@
+//! The intra-procedural rule engine.
+//!
+//! All rules are lexical: they run over the token stream of one file,
+//! with function bodies segmented by brace matching and lock-guard
+//! scopes tracked by `let` bindings and `drop()` calls. That makes them
+//! deliberately shallow — a guard smuggled through a helper function is
+//! invisible here — which is why the same hierarchy is also enforced
+//! dynamically by the `parking_lot` lock-rank witness (see
+//! [`crate::hierarchy`]). The static rule catches mistakes at review
+//! time; the witness catches whatever lexical analysis cannot see.
+
+use crate::hierarchy;
+use crate::lexer::{lex, TokKind, Token};
+
+/// Rule identifiers, as used in findings and `lint: allow(...)` escapes.
+pub const RULES: &[&str] = &[
+    "lock-order",
+    "no-panic",
+    "no-io-under-lock",
+    "snapshot-completeness",
+    "indexing",
+    "bad-escape",
+];
+
+/// Crates whose non-test code must be panic-free.
+const NO_PANIC_CRATES: &[&str] = &["wal", "pagestore", "imrs", "txn", "core"];
+
+/// Crates where I/O must not happen lexically under a classified lock.
+const NO_IO_CRATES: &[&str] = &["core", "wal"];
+
+/// Method names that perform (or directly front) device I/O: `std::io`
+/// calls plus the `DiskBackend`/`LogSink` trait surface.
+const IO_METHODS: &[&str] = &[
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "sync_all",
+    "sync_data",
+    "flush",
+    "set_len",
+    "seek",
+    "read_page",
+    "write_page",
+    "allocate_page",
+    "sync",
+];
+
+/// Macros that abort the process (or thread) when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One lint finding. Ordered and formatted stably so CI diffs and
+/// `grep` pipelines over the output survive refactors of the linter.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Linting options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Options {
+    /// Also flag slice/array indexing in no-panic crates. Off by
+    /// default: indexing after an explicit bounds check is idiomatic in
+    /// the page codecs, and flagging it all would bury real findings.
+    pub pedantic: bool,
+}
+
+/// Classification of lock acquisitions: `(path substring, receiver or
+/// callee name, rank)`. A `.lock()/.read()/.write()` (or `try_`
+/// variant) whose receiver's final field — or, for method-call
+/// receivers like `self.shard(r)`, the method name — matches an entry
+/// for the current file is an acquisition of that class. Names are
+/// file-scoped so `inner` can mean a buffer shard in one crate and the
+/// WAL in another.
+pub const LOCK_SITES: &[(&str, &str, u16)] = &[
+    (
+        "crates/core/src/engine.rs",
+        "maintenance_gate",
+        hierarchy::ENGINE_STATE,
+    ),
+    (
+        "crates/pagestore/src/buffer.rs",
+        "inner",
+        hierarchy::BUFFER_SHARD,
+    ),
+    ("crates/pagestore/src/buffer.rs", "data", hierarchy::FRAME),
+    ("crates/pagestore/src/buffer.rs", "io", hierarchy::FRAME),
+    ("crates/imrs/src/ridmap.rs", "shard", hierarchy::RID_MAP),
+    ("crates/wal/src/log.rs", "inner", hierarchy::WAL_LOG),
+    ("crates/wal/src/group.rs", "state", hierarchy::GROUP_COMMIT),
+];
+
+/// Functions that *themselves* acquire and return a guard (no trailing
+/// `.lock()` at the call site). Kept separate from [`LOCK_SITES`]: a
+/// name here marks the call `lock_shard(…)` as the acquisition, whereas
+/// a name there only classifies the receiver of a `.lock()`-family call
+/// (`self.shard(row)` returns the lock, not a guard).
+pub const LOCK_FNS: &[(&str, &str, u16)] = &[(
+    "crates/pagestore/src/buffer.rs",
+    "lock_shard",
+    hierarchy::BUFFER_SHARD,
+)];
+
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+fn classify(path: &str, name: &str) -> Option<u16> {
+    LOCK_SITES
+        .iter()
+        .find(|(file, n, _)| path.ends_with(file) && *n == name)
+        .map(|&(_, _, rank)| rank)
+}
+
+fn classify_lock_fn(path: &str, name: &str) -> Option<u16> {
+    LOCK_FNS
+        .iter()
+        .find(|(file, n, _)| path.ends_with(file) && *n == name)
+        .map(|&(_, _, rank)| rank)
+}
+
+// ---------------------------------------------------------------------
+// Escapes: `// lint: allow(<rule>) -- <reason>`
+// ---------------------------------------------------------------------
+
+struct Escape {
+    rule: String,
+    /// Lines the escape covers (its own line; plus the next code line
+    /// when the comment stands alone).
+    lines: Vec<u32>,
+}
+
+/// Parse escapes out of comment tokens. A trailing comment covers its
+/// own line; a comment alone on its line covers the next line holding a
+/// significant token. A missing ` -- reason` or an unknown rule name is
+/// itself a finding (`bad-escape`) — escapes without a recorded "why"
+/// rot into unconditional suppressions.
+fn collect_escapes(path: &str, tokens: &[Token<'_>]) -> (Vec<Escape>, Vec<Finding>) {
+    let mut escapes = Vec::new();
+    let mut findings = Vec::new();
+    let mut line_has_code = std::collections::HashSet::new();
+    for t in tokens {
+        if t.is_significant() {
+            line_has_code.insert(t.line);
+        }
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        // Doc comments (`///`, `//!`, `/** */`, `/*! */`) never carry
+        // escapes — they are prose, and this linter's own docs describe
+        // the escape syntax.
+        if t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!")
+        {
+            continue;
+        }
+        // The escape must lead the comment (`// lint: allow(…) -- …`);
+        // a `lint:` buried mid-sentence (or inside a path like
+        // `btrim_lint::hierarchy`) is prose, not an escape.
+        let stripped = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start();
+        let Some(body) = stripped.strip_prefix("lint:") else {
+            continue;
+        };
+        let Some(open) = body.find("allow(") else {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "bad-escape",
+                msg: "lint escape must be `lint: allow(<rule>) -- <reason>`".into(),
+            });
+            continue;
+        };
+        let after = &body[open + "allow(".len()..];
+        let Some(close) = after.find(')') else {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "bad-escape",
+                msg: "unterminated `lint: allow(` escape".into(),
+            });
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        if !RULES.contains(&rule.as_str()) || rule == "bad-escape" {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "bad-escape",
+                msg: format!("unknown rule `{rule}` in lint escape"),
+            });
+            continue;
+        }
+        let reason = after[close + 1..]
+            .trim_start()
+            .strip_prefix("--")
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "bad-escape",
+                msg: format!("lint escape for `{rule}` has no ` -- <reason>`"),
+            });
+            continue;
+        }
+        let mut lines = vec![t.line];
+        if !line_has_code.contains(&t.line) {
+            // Standalone comment: cover the next code line.
+            if let Some(next) = tokens[i + 1..]
+                .iter()
+                .find(|n| n.is_significant())
+                .map(|n| n.line)
+            {
+                lines.push(next);
+            }
+        }
+        escapes.push(Escape { rule, lines });
+    }
+    (escapes, findings)
+}
+
+/// Lines on which a valid escape for `rule` applies in `src`. Used by
+/// cross-file rules whose findings are produced outside [`check_file`].
+pub fn escaped_lines(src: &str, rule: &str) -> std::collections::BTreeSet<u32> {
+    let tokens = lex(src);
+    let (escapes, _) = collect_escapes("", &tokens);
+    escapes
+        .iter()
+        .filter(|e| e.rule == rule)
+        .flat_map(|e| e.lines.iter().copied())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Function segmentation (with test/bench exclusion)
+// ---------------------------------------------------------------------
+
+/// A function body: the significant tokens between its braces.
+struct FnBody<'a> {
+    tokens: Vec<Token<'a>>,
+}
+
+/// Split the significant tokens of a file into function bodies, skipping
+/// anything under a `#[test]`/`#[bench]` function or a `#[cfg(test)]`
+/// (or similar test-mentioning attribute) module.
+fn function_bodies<'a>(sig: &[Token<'a>]) -> Vec<FnBody<'a>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut test_attr = false;
+    while i < sig.len() {
+        let t = &sig[i];
+        match t.text {
+            "#" => {
+                // Attribute: scan the [...] group, noting test markers.
+                let mut j = i + 1;
+                if j < sig.len() && sig[j].text == "[" {
+                    let mut depth = 0usize;
+                    while j < sig.len() {
+                        match sig[j].text {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "test" | "bench" => test_attr = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            "mod" if test_attr => {
+                // `#[cfg(test)] mod …` — skip the whole block.
+                test_attr = false;
+                i = skip_past_block(sig, i);
+                continue;
+            }
+            "fn" => {
+                let is_test = test_attr;
+                test_attr = false;
+                // Find the body's opening brace; a `;` first means a
+                // bodiless declaration (trait method, extern).
+                let mut j = i + 1;
+                while j < sig.len() && sig[j].text != "{" && sig[j].text != ";" {
+                    j += 1;
+                }
+                if j >= sig.len() || sig[j].text == ";" {
+                    i = j + 1;
+                    continue;
+                }
+                let (body_end, body) = brace_block(sig, j);
+                if !is_test {
+                    out.push(FnBody { tokens: body });
+                }
+                i = body_end;
+                continue;
+            }
+            "struct" | "enum" | "trait" | "impl" | "mod" | "let" | "static" | "const" => {
+                test_attr = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// From an item keyword at `i`, advance past the next balanced `{…}`
+/// block (or past a terminating `;`).
+fn skip_past_block(sig: &[Token<'_>], i: usize) -> usize {
+    let mut j = i;
+    while j < sig.len() && sig[j].text != "{" {
+        if sig[j].text == ";" {
+            return j + 1;
+        }
+        j += 1;
+    }
+    if j >= sig.len() {
+        return sig.len();
+    }
+    brace_block(sig, j).0
+}
+
+/// From an opening `{` at `open`, return (index past the matching `}`,
+/// the tokens strictly inside).
+fn brace_block<'a>(sig: &[Token<'a>], open: usize) -> (usize, Vec<Token<'a>>) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut body = Vec::new();
+    while j < sig.len() {
+        match sig[j].text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, body);
+                }
+            }
+            _ => {}
+        }
+        if j > open {
+            body.push(sig[j]);
+        }
+        j += 1;
+    }
+    (sig.len(), body)
+}
+
+// ---------------------------------------------------------------------
+// Per-function rules
+// ---------------------------------------------------------------------
+
+/// A lock guard lexically in scope.
+struct Guard {
+    name: String,
+    rank: u16,
+    /// Brace depth at the binding; the guard dies when the enclosing
+    /// block closes.
+    depth: i32,
+}
+
+/// How an acquisition token was reached.
+enum Acq {
+    Blocking,
+    Try,
+}
+
+fn acquisition_kind(method: &str) -> Option<Acq> {
+    match method {
+        "lock" | "read" | "write" => Some(Acq::Blocking),
+        "try_lock" | "try_read" | "try_write" => Some(Acq::Try),
+        _ => None,
+    }
+}
+
+/// The receiver name to classify for a `.method()` call at `i`: the
+/// field before the dot, or — when the receiver is itself a call like
+/// `self.shard(row)` — the called method's name.
+fn receiver_name<'a>(body: &[Token<'a>], i: usize) -> Option<&'a str> {
+    // body[i] is the method ident; body[i-1] must be `.`.
+    if i < 2 || body[i - 1].text != "." {
+        return None;
+    }
+    let prev = &body[i - 2];
+    if prev.kind == TokKind::Ident {
+        return Some(prev.text);
+    }
+    if prev.text == ")" {
+        // Walk back over the argument list to the method name.
+        let mut depth = 0i32;
+        let mut j = i - 2;
+        loop {
+            match body[j].text {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j >= 1 && body[j - 1].kind == TokKind::Ident {
+            return Some(body[j - 1].text);
+        }
+    }
+    None
+}
+
+/// Run the intra-procedural rules over one function body.
+fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<Finding>) {
+    let krate = crate_of(path).unwrap_or("");
+    let no_panic = NO_PANIC_CRATES.contains(&krate);
+    let no_io = NO_IO_CRATES.contains(&krate);
+
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    // The binding target of the current statement, if any (`let g = …`
+    // or a `g = …` re-acquisition after an explicit `drop(g)`).
+    let mut binding: Option<String> = None;
+    let mut stmt_start = true;
+
+    for i in 0..body.len() {
+        let t = &body[i];
+        let next = body.get(i + 1).map(|n| n.text);
+        match t.text {
+            "{" => {
+                depth += 1;
+                stmt_start = true;
+                continue;
+            }
+            "}" => {
+                depth -= 1;
+                held.retain(|g| g.depth <= depth);
+                stmt_start = true;
+                binding = None;
+                continue;
+            }
+            ";" => {
+                stmt_start = true;
+                binding = None;
+                continue;
+            }
+            _ => {}
+        }
+
+        if stmt_start {
+            if t.text == "let" {
+                binding = body[i + 1..]
+                    .iter()
+                    .take_while(|n| n.text != "=" && n.text != ";")
+                    .find(|n| {
+                        n.kind == TokKind::Ident && !matches!(n.text, "mut" | "Some" | "Ok" | "Err")
+                    })
+                    .map(|n| n.text.to_string());
+            } else if t.kind == TokKind::Ident && next == Some("=") {
+                // Possible re-acquisition: `st = self.state.lock()`.
+                binding = Some(t.text.to_string());
+            }
+        }
+        if t.kind == TokKind::Ident || t.text == "if" {
+            // `if let Some(g) = x.try_lock()` also binds a guard.
+            if t.text == "if" && next == Some("let") {
+                stmt_start = true;
+                continue;
+            }
+        }
+        stmt_start = false;
+
+        // drop(guard) ends a guard's scope early.
+        if t.text == "drop" && next == Some("(") {
+            if let Some(name) = body.get(i + 2) {
+                if body.get(i + 3).map(|n| n.text) == Some(")") {
+                    if let Some(pos) = held.iter().rposition(|g| g.name == name.text) {
+                        held.remove(pos);
+                    }
+                }
+            }
+            continue;
+        }
+
+        if t.kind != TokKind::Ident || next != Some("(") {
+            continue;
+        }
+
+        // Lock acquisitions: `.lock()` family on classified receivers,
+        // plus guard-returning callables like `lock_shard(…)`.
+        let acq = if let Some(kind) = acquisition_kind(t.text) {
+            receiver_name(body, i)
+                .and_then(|r| classify(path, r))
+                .map(|rank| (kind, rank))
+        } else {
+            classify_lock_fn(path, t.text).map(|rank| (Acq::Blocking, rank))
+        };
+        if let Some((kind, rank)) = acq {
+            match kind {
+                Acq::Blocking => {
+                    for g in &held {
+                        if g.rank >= rank {
+                            findings.push(Finding {
+                                file: path.to_string(),
+                                line: t.line,
+                                rule: "lock-order",
+                                msg: format!(
+                                    "acquires {} (rank {rank}) while holding {} (rank {}); \
+                                     declared order: {}",
+                                    hierarchy::rank_name(rank),
+                                    hierarchy::rank_name(g.rank),
+                                    g.rank,
+                                    order_string(),
+                                ),
+                            });
+                        }
+                    }
+                    if let Some(name) = binding.take() {
+                        held.push(Guard { name, rank, depth });
+                    }
+                }
+                // `try_*` cannot block, so it cannot deadlock at the
+                // acquisition itself, and lexically the call often sits
+                // in a fallback (`match x.try_read() { None => x.read() }`)
+                // where nothing is held when it fails. Guards it *does*
+                // produce are invisible to this pass; the runtime
+                // lock-rank witness tracks them instead. The binding is
+                // left in place so a blocking retry in the fallback arm
+                // claims it.
+                Acq::Try => {}
+            }
+            continue;
+        }
+
+        // I/O under a classified guard.
+        if no_io
+            && IO_METHODS.contains(&t.text)
+            && i >= 1
+            && body[i - 1].text == "."
+            && !held.is_empty()
+        {
+            let worst = held.iter().map(|g| g.rank).max().unwrap_or(0);
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "no-io-under-lock",
+                msg: format!(
+                    "calls `{}` while holding {} — move the I/O outside the \
+                     critical section or annotate why it must stay",
+                    t.text,
+                    hierarchy::rank_name(worst),
+                ),
+            });
+        }
+
+        // Panicking calls.
+        if no_panic && matches!(t.text, "unwrap" | "expect") && i >= 1 && body[i - 1].text == "." {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "no-panic",
+                msg: format!(
+                    "`.{}()` in non-test engine code — return a typed \
+                     `BtrimError` instead",
+                    t.text
+                ),
+            });
+        }
+    }
+
+    // Panic macros and pedantic indexing need their own scans (the main
+    // loop above keys on `ident (`-shaped calls).
+    if no_panic {
+        for (i, t) in body.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text)
+                && body.get(i + 1).map(|n| n.text) == Some("!")
+            {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "no-panic",
+                    msg: format!("`{}!` in non-test engine code", t.text),
+                });
+            }
+            if opts.pedantic
+                && t.text == "["
+                && i >= 1
+                && (body[i - 1].kind == TokKind::Ident
+                    || body[i - 1].text == ")"
+                    || body[i - 1].text == "]")
+            {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "indexing",
+                    msg: "slice indexing can panic; prefer `.get(..)` (pedantic)".into(),
+                });
+            }
+        }
+    }
+}
+
+fn order_string() -> String {
+    hierarchy::LOCK_RANKS
+        .iter()
+        .map(|(n, _)| *n)
+        .collect::<Vec<_>>()
+        .join(" < ")
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Lint one file's source. `path` is the workspace-relative path (it
+/// selects which crates' rules apply and how receivers classify).
+/// Returns findings with escapes already applied.
+pub fn check_file(path: &str, src: &str, opts: Options) -> Vec<Finding> {
+    let tokens = lex(src);
+    let (escapes, mut findings) = collect_escapes(path, &tokens);
+    let sig: Vec<Token<'_>> = tokens
+        .iter()
+        .filter(|t| t.is_significant())
+        .copied()
+        .collect();
+    for body in function_bodies(&sig) {
+        check_body(path, &body.tokens, opts, &mut findings);
+    }
+    findings.retain(|f| {
+        f.rule == "bad-escape"
+            || !escapes
+                .iter()
+                .any(|e| e.rule == f.rule && e.lines.contains(&f.line))
+    });
+    findings.sort();
+    findings.dedup();
+    findings
+}

@@ -1,0 +1,253 @@
+//! The `snapshot-completeness` rule: every counter/histogram the
+//! observability layer declares must actually reach the human- and
+//! machine-readable reports. This is the one cross-file rule — it reads
+//! three files:
+//!
+//! * `crates/obs/src/lib.rs` — every `OpClass` variant must appear in
+//!   `OpClass::ALL` and have an arm in `OpClass::name` (a variant
+//!   missing from either silently vanishes from every report);
+//! * `crates/core/src/stats.rs` — every `EngineSnapshot` field must be
+//!   referenced in `render_report` or `to_json`;
+//! * `crates/pagestore/src/buffer.rs` — every `BufferStatsSnapshot`
+//!   field must be referenced somewhere in `stats.rs` (the snapshot is
+//!   embedded whole, so a counter nobody renders is dead weight).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules::{escaped_lines, Finding};
+
+const RULE: &str = "snapshot-completeness";
+
+/// Significant tokens of one source.
+fn sig(src: &str) -> Vec<Token<'_>> {
+    lex(src).into_iter().filter(Token::is_significant).collect()
+}
+
+/// Fields of `struct name { … }`: `(field, line)` at brace depth 1.
+fn struct_fields(toks: &[Token<'_>], name: &str) -> Vec<(String, u32)> {
+    let Some(open) = item_open(toks, "struct", name) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if depth == 1 => {
+                let prev = toks[j - 1].text;
+                let colon = toks.get(j + 1).map(|t| t.text) == Some(":")
+                    && toks.get(j + 2).map(|t| t.text) != Some(":");
+                if toks[j].kind == TokKind::Ident
+                    && colon
+                    && matches!(prev, "{" | "," | "pub" | "]")
+                {
+                    out.push((toks[j].text.to_string(), toks[j].line));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Unit variants of `enum name { … }` at depth 1.
+fn enum_variants(toks: &[Token<'_>], name: &str) -> Vec<(String, u32)> {
+    let Some(open) = item_open(toks, "enum", name) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if depth == 1 => {
+                let prev = toks[j - 1].text;
+                let next = toks.get(j + 1).map(|t| t.text);
+                if toks[j].kind == TokKind::Ident
+                    && matches!(prev, "{" | ",")
+                    && matches!(next, Some(",") | Some("}") | Some("(") | Some("="))
+                {
+                    out.push((toks[j].text.to_string(), toks[j].line));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Index of the `{` opening `kw name … {` (skipping generics and
+/// attributes between the name and the brace).
+fn item_open(toks: &[Token<'_>], kw: &str, name: &str) -> Option<usize> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].text == kw && toks[i + 1].text == name {
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "{" {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Identifier set inside the body of `fn name`.
+fn fn_body_idents(toks: &[Token<'_>], name: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].text == "fn" && toks[i + 1].text == name {
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if toks[j].kind == TokKind::Ident {
+                            out.insert(toks[j].text.to_string());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Identifiers inside the `[…]` initializer of `const name`.
+fn const_array_idents(toks: &[Token<'_>], name: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].text == "const" && toks[i + 1].text == name {
+            // Skip the type annotation (`: [OpClass; COUNT]`) — only the
+            // initializer after `=` names the variants.
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "=" && toks[j].text != ";" {
+                j += 1;
+            }
+            while j < toks.len() && toks[j].text != "[" {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if toks[j].kind == TokKind::Ident {
+                            out.insert(toks[j].text.to_string());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Run the rule. Paths are used verbatim in findings; sources may be
+/// synthetic (the fixture corpus feeds known-bad snippets).
+pub fn check(obs: (&str, &str), stats: (&str, &str), buffer: (&str, &str)) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // 1. OpClass variants ⊆ ALL ∩ name() arms.
+    let obs_toks = sig(obs.1);
+    let all = const_array_idents(&obs_toks, "ALL");
+    let name_arms = fn_body_idents(&obs_toks, "name");
+    for (variant, line) in enum_variants(&obs_toks, "OpClass") {
+        for (place, set) in [("`OpClass::ALL`", &all), ("`OpClass::name`", &name_arms)] {
+            if !set.contains(&variant) {
+                findings.push(Finding {
+                    file: obs.0.to_string(),
+                    line,
+                    rule: RULE,
+                    msg: format!(
+                        "OpClass::{variant} is declared but missing from {place} — \
+                         it would never appear in any report"
+                    ),
+                });
+            }
+        }
+    }
+
+    // 2. EngineSnapshot fields referenced by render_report ∪ to_json.
+    let stats_toks = sig(stats.1);
+    let mut rendered = fn_body_idents(&stats_toks, "render_report");
+    rendered.extend(fn_body_idents(&stats_toks, "to_json"));
+    for (field, line) in struct_fields(&stats_toks, "EngineSnapshot") {
+        if !rendered.contains(&field) {
+            findings.push(Finding {
+                file: stats.0.to_string(),
+                line,
+                rule: RULE,
+                msg: format!("EngineSnapshot::{field} never reaches render_report or to_json"),
+            });
+        }
+    }
+
+    // 3. BufferStatsSnapshot fields referenced from stats.rs.
+    let buffer_toks = sig(buffer.1);
+    for (field, line) in struct_fields(&buffer_toks, "BufferStatsSnapshot") {
+        if !rendered.contains(&field) {
+            findings.push(Finding {
+                file: buffer.0.to_string(),
+                line,
+                rule: RULE,
+                msg: format!(
+                    "BufferStatsSnapshot::{field} is counted but never rendered \
+                     by EngineSnapshot::render_report/to_json"
+                ),
+            });
+        }
+    }
+
+    // Apply per-file escapes.
+    for (path, src) in [obs, stats, buffer] {
+        let allowed = escaped_lines(src, RULE);
+        findings.retain(|f| f.file != path || !allowed.contains(&f.line));
+    }
+    findings.sort();
+    findings
+}

@@ -1,0 +1,173 @@
+//! Fixture corpus: every rule must fire on its known-bad fixture and
+//! stay silent on the adjacent known-good code. These tests pin the
+//! rule engine's behavior so a refactor that silently stops detecting
+//! a class of violation fails CI instead of passing quietly.
+
+use btrim_lint::rules::{check_file, Options};
+use btrim_lint::snapshot;
+
+fn rules_hit(findings: &[btrim_lint::rules::Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn lock_order_fires_on_inversions_only() {
+    let src = include_str!("../fixtures/lock_order.rs");
+    // The buffer.rs path activates the shard/frame classifications.
+    let findings = check_file("crates/pagestore/src/buffer.rs", src, Options::default());
+    let hits = rules_hit(&findings);
+    assert_eq!(
+        hits.len(),
+        2,
+        "exactly the two inversions, none of the clean functions: {findings:?}"
+    );
+    assert!(hits.iter().all(|(r, _)| *r == "lock-order"));
+    // The findings land on the second (inverted) acquisition of each
+    // bad function: `self.inner.lock()` and `lock_shard(pool, 3)`.
+    let bad_lines: Vec<u32> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("self.inner.lock()") && l.trim().starts_with("let s"))
+        .map(|(i, _)| i as u32 + 1)
+        .take(1)
+        .chain(
+            src.lines()
+                .enumerate()
+                .filter(|(_, l)| l.contains("lock_shard(pool"))
+                .map(|(i, _)| i as u32 + 1),
+        )
+        .collect();
+    for line in bad_lines {
+        assert!(
+            hits.iter().any(|(_, l)| *l == line),
+            "expected a finding on line {line}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn lock_order_is_path_scoped() {
+    // The same source under an unclassified path has no lock sites, so
+    // the rule cannot fire.
+    let src = include_str!("../fixtures/lock_order.rs");
+    let findings = check_file("crates/obs/src/lib.rs", src, Options::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_panic_fires_outside_tests_and_respects_escapes() {
+    let src = include_str!("../fixtures/no_panic.rs");
+    let findings = check_file("crates/wal/src/fixture.rs", src, Options::default());
+    let panics: Vec<_> = findings.iter().filter(|f| f.rule == "no-panic").collect();
+    // unwrap + expect in parse(), panic! in boom(), unreachable! in
+    // cant_happen(). The two annotated unwraps and the #[test] fn are
+    // silent.
+    assert_eq!(panics.len(), 4, "{findings:?}");
+    assert!(
+        findings.iter().all(|f| f.rule == "no-panic"),
+        "no stray findings: {findings:?}"
+    );
+}
+
+#[test]
+fn pedantic_indexing_is_opt_in() {
+    let src = include_str!("../fixtures/no_panic.rs");
+    let quiet = check_file("crates/wal/src/fixture.rs", src, Options::default());
+    assert!(quiet.iter().all(|f| f.rule != "indexing"));
+    let pedantic = check_file("crates/wal/src/fixture.rs", src, Options { pedantic: true });
+    assert!(
+        pedantic.iter().any(|f| f.rule == "indexing"),
+        "{pedantic:?}"
+    );
+}
+
+#[test]
+fn no_io_under_lock_fires_inside_critical_sections_only() {
+    let src = include_str!("../fixtures/no_io_under_lock.rs");
+    let findings = check_file("crates/wal/src/log.rs", src, Options::default());
+    let io: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "no-io-under-lock")
+        .collect();
+    // append_bad only: append_staged's guard scope ended, and
+    // append_serialized is escape-annotated.
+    assert_eq!(io.len(), 1, "{findings:?}");
+    let bad_line = src
+        .lines()
+        .position(|l| l.contains("inner.writer.write_all") && !l.contains("lint:"))
+        .map(|i| i as u32 + 1)
+        .expect("fixture contains the bad write");
+    assert_eq!(io[0].line, bad_line);
+}
+
+#[test]
+fn bad_escape_flags_malformed_escapes() {
+    let src = include_str!("../fixtures/bad_escape.rs");
+    // obs is neither a no-panic nor a no-io crate, isolating the rule.
+    let findings = check_file("crates/obs/src/fixture.rs", src, Options::default());
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "bad-escape"));
+    let msgs: Vec<&str> = findings.iter().map(|f| f.msg.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("unknown rule")));
+    assert!(msgs.iter().any(|m| m.contains("no ` -- <reason>`")));
+    assert!(msgs.iter().any(|m| m.contains("must be `lint: allow")));
+}
+
+#[test]
+fn malformed_escape_does_not_suppress() {
+    // An invalid escape must not silence the finding it sits on.
+    let src = include_str!("../fixtures/bad_escape.rs");
+    let findings = check_file("crates/wal/src/fixture.rs", src, Options::default());
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "no-panic").count(),
+        3,
+        "all three unwraps still fire: {findings:?}"
+    );
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "bad-escape").count(),
+        3
+    );
+}
+
+#[test]
+fn snapshot_completeness_finds_unreachable_counters() {
+    let obs = include_str!("../fixtures/snapshot_obs.rs");
+    let stats = include_str!("../fixtures/snapshot_stats.rs");
+    let buffer = include_str!("../fixtures/snapshot_buffer.rs");
+    let findings = snapshot::check(
+        ("fixtures/snapshot_obs.rs", obs),
+        ("fixtures/snapshot_stats.rs", stats),
+        ("fixtures/snapshot_buffer.rs", buffer),
+    );
+    assert!(findings.iter().all(|f| f.rule == "snapshot-completeness"));
+    // Ghost missing from ALL and from name() = 2; orphan_counter = 1;
+    // cold_scans = 1.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    let msgs: Vec<&str> = findings.iter().map(|f| f.msg.as_str()).collect();
+    assert_eq!(
+        msgs.iter().filter(|m| m.contains("OpClass::Ghost")).count(),
+        2
+    );
+    assert!(msgs.iter().any(|m| m.contains("orphan_counter")));
+    assert!(msgs.iter().any(|m| m.contains("cold_scans")));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The repo itself must lint clean — same invocation CI runs. Walk
+    // up from the manifest dir so the test works from any cwd.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let findings = btrim_lint::check_workspace(root, Options::default()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

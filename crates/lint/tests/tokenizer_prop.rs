@@ -1,0 +1,122 @@
+//! Property tests for the hand-rolled tokenizer.
+//!
+//! The lexer runs over every source file in the workspace on every CI
+//! run, including files mid-edit; it must never panic and its spans
+//! must tile the input exactly — any byte lost or double-counted
+//! desynchronizes line numbers, and line numbers are how escapes attach
+//! to findings.
+
+use btrim_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Fragments that stress the tricky lexer states: comment nesting,
+/// raw strings, char-vs-lifetime disambiguation, escapes.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f() { x.lock(); }".to_string()),
+        Just("// line comment\n".to_string()),
+        Just("/* block /* nested */ still */".to_string()),
+        Just("/* unterminated".to_string()),
+        Just("\"str with \\\" escape\"".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("r#\"raw \" string\"#".to_string()),
+        Just("r##\"nested # raw\"##".to_string()),
+        Just("'c'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("'static".to_string()),
+        Just("b\"bytes\"".to_string()),
+        Just("ident_123".to_string()),
+        Just("0x1F_u64".to_string()),
+        Just("{ } [ ] ( ) ; , . :: -> => # !".to_string()),
+        Just("\n\n\t  \r\n".to_string()),
+        Just("€ 日本語 \u{1F600}".to_string()),
+        Just("'".to_string()),
+        Just("r#".to_string()),
+        Just("\\".to_string()),
+    ]
+}
+
+fn source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(fragment(), 0..24).prop_map(|v| v.concat())
+}
+
+proptest! {
+    /// The lexer never panics and every token's span is in-bounds,
+    /// non-decreasing, and char-aligned.
+    #[test]
+    fn lex_never_panics_and_spans_tile(src in source()) {
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            let end = t.start + t.text.len();
+            prop_assert!(t.start >= prev_end, "overlapping spans");
+            prop_assert!(end <= src.len(), "span out of bounds");
+            prop_assert_eq!(&src[t.start..end], t.text);
+            prev_end = end;
+        }
+    }
+
+    /// Line numbers are exactly 1 + the newlines before the token.
+    #[test]
+    fn line_numbers_match_newline_count(src in source()) {
+        for t in lex(&src) {
+            let expect = 1 + src[..t.start].bytes().filter(|b| *b == b'\n').count() as u32;
+            prop_assert_eq!(t.line, expect, "token {:?} at byte {}", t.text, t.start);
+        }
+    }
+
+    /// Concatenating all tokens plus the gaps between them recovers the
+    /// input byte-for-byte (gaps are pure whitespace).
+    #[test]
+    fn tokens_and_whitespace_reconstruct_input(src in source()) {
+        let tokens = lex(&src);
+        let mut rebuilt = String::new();
+        let mut pos = 0usize;
+        for t in &tokens {
+            let gap = &src[pos..t.start];
+            prop_assert!(
+                gap.chars().all(char::is_whitespace),
+                "non-whitespace byte skipped: {gap:?}"
+            );
+            rebuilt.push_str(gap);
+            rebuilt.push_str(t.text);
+            pos = t.start + t.text.len();
+        }
+        rebuilt.push_str(&src[pos..]);
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// Comments are classified as comments — a comment never leaks out
+    /// as an identifier or punctuation (that would let `lint:` escapes
+    /// or `unwrap()` text inside comments confuse the rules).
+    #[test]
+    fn comment_text_stays_in_comment_tokens(src in source()) {
+        for t in lex(&src) {
+            if t.text.starts_with("//") {
+                prop_assert_eq!(t.kind, TokKind::LineComment);
+            }
+            if t.text.starts_with("/*") {
+                prop_assert_eq!(t.kind, TokKind::BlockComment);
+            }
+        }
+    }
+}
+
+/// Deterministic regression cases that proptest shrinking found awkward
+/// or that encode known-tricky Rust lexical corners.
+#[test]
+fn lexer_corner_cases() {
+    // Lifetime vs char literal.
+    let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+    assert!(toks.iter().any(|t| t.text == "'a"));
+    assert!(toks.iter().any(|t| t.text == "'x'"));
+    // Raw string containing what looks like a comment and an escape.
+    let toks = lex(r####"let s = r#"// lint: allow(no-panic) -- not real"#;"####);
+    assert!(
+        toks.iter().all(|t| t.kind != TokKind::LineComment),
+        "comment-looking text inside a raw string must stay a string"
+    );
+    // Unterminated block comment consumes to EOF without panicking.
+    let toks = lex("code(); /* trailing");
+    assert_eq!(toks.last().unwrap().kind, TokKind::BlockComment);
+}

@@ -24,6 +24,8 @@
 //! two `Instant::now()` calls plus four relaxed atomic RMWs (measured
 //! in EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use std::sync::Arc;

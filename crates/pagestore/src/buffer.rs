@@ -72,12 +72,12 @@ impl Frame {
     fn new(page_id: PageId, data: Box<[u8]>, state: u8, dirty: bool) -> Arc<Frame> {
         Arc::new(Frame {
             page_id,
-            data: RwLock::new(data),
+            data: RwLock::with_rank(parking_lot::lock_rank::FRAME, data),
             pin: AtomicU32::new(1),
             referenced: AtomicBool::new(true),
             dirty: AtomicBool::new(dirty),
             state: AtomicU8::new(state),
-            io: Mutex::new(()),
+            io: Mutex::with_rank(parking_lot::lock_rank::FRAME, ()),
             io_cv: Condvar::new(),
         })
     }
@@ -278,11 +278,14 @@ impl BufferCache {
         };
         let shards = (0..n)
             .map(|_| Shard {
-                inner: Mutex::new(ShardInner {
-                    frames: Vec::with_capacity(quota + 1),
-                    map: HashMap::with_capacity(quota + 1),
-                    hand: 0,
-                }),
+                inner: Mutex::with_rank(
+                    parking_lot::lock_rank::BUFFER_SHARD,
+                    ShardInner {
+                        frames: Vec::with_capacity(quota + 1),
+                        map: HashMap::with_capacity(quota + 1),
+                        hand: 0,
+                    },
+                ),
                 lock_contention: AtomicU64::new(0),
             })
             .collect::<Vec<_>>()
@@ -597,8 +600,13 @@ impl BufferCache {
                 Err(e) => {
                     {
                         let mut inner = self.lock_shard(shard);
-                        let idx = *inner.map.get(&id).expect("pending frame resident");
-                        inner.remove_at(idx);
+                        // The pending frame was installed above and only
+                        // this thread may remove it; missing means the
+                        // shard map is corrupt, so keep the frame and
+                        // surface the read error.
+                        if let Some(&idx) = inner.map.get(&id) {
+                            inner.remove_at(idx);
+                        }
                     }
                     self.resident.fetch_sub(1, Ordering::Release);
                     frame.set_state(STATE_FAILED);
@@ -748,10 +756,12 @@ impl BufferCache {
             victim.set_state(STATE_READY);
             return Ok(EvictOutcome::Aborted);
         }
-        let idx = *inner
-            .map
-            .get(&victim.page_id)
-            .expect("evicting frame is resident");
+        // The victim was chosen from this shard's map under the same
+        // lock discipline; it cannot have been removed while STATE_IO
+        // was published. Treat a miss as map corruption.
+        let idx = *inner.map.get(&victim.page_id).ok_or_else(|| {
+            BtrimError::Corrupt("evicting frame not resident in its shard map".into())
+        })?;
         inner.remove_at(idx);
         drop(inner);
         self.resident.fetch_sub(1, Ordering::Release);

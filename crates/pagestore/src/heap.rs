@@ -130,7 +130,7 @@ impl HeapFile {
         let guard = cache.new_page(PageType::Heap, self.partition)?;
         let pid = guard.page_id();
         let (slot, free) = guard.with_page_write(|p| {
-            let slot = p.insert(data).expect("fresh page holds any legal row");
+            let slot = p.insert(data);
             (slot, p.total_free())
         });
         {
@@ -143,6 +143,11 @@ impl HeapFile {
             inner.pages.push(pid);
             inner.set_free(pid, free);
         }
+        // A fresh page holds any legal row; a `None` here means the
+        // caller handed us a row larger than a page, which no layer
+        // above ever produces — but surface it as an error, not a panic.
+        // (The empty page stays linked into the chain for future use.)
+        let slot = slot.ok_or_else(|| BtrimError::Invalid("row exceeds page capacity".into()))?;
         Ok((pid, slot))
     }
 

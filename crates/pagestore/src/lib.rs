@@ -11,6 +11,8 @@
 //! rules use "operations on page-store which observed contention" as a
 //! signal to re-enable in-memory storage for a partition (§V.D).
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod disk;
 pub mod heap;

@@ -117,7 +117,14 @@ pub fn verify_page_checksum(buf: &[u8]) -> bool {
     if PageType::from_u8(buf[OFF_TYPE]) == PageType::Free {
         return true;
     }
-    let stored = u32::from_le_bytes(buf[OFF_CHECKSUM..OFF_CHECKSUM + 4].try_into().unwrap());
+    // A buffer too short to carry the checksum field cannot verify.
+    let Some(stored) = buf
+        .get(OFF_CHECKSUM..)
+        .and_then(|t| t.first_chunk::<4>())
+        .map(|b| u32::from_le_bytes(*b))
+    else {
+        return false;
+    };
     stored == page_checksum(buf)
 }
 
@@ -164,13 +171,20 @@ impl<'a> SlottedPage<'a> {
         self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
     }
     fn get_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap())
+        u32::from_le_bytes([
+            self.buf[off],
+            self.buf[off + 1],
+            self.buf[off + 2],
+            self.buf[off + 3],
+        ])
     }
     fn set_u32(&mut self, off: usize, v: u32) {
         self.buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
     }
     fn get_u64(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.buf[off..off + 8].try_into().unwrap())
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[off..off + 8]);
+        u64::from_le_bytes(b)
     }
     fn set_u64(&mut self, off: usize, v: u64) {
         self.buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
@@ -461,7 +475,12 @@ impl<'a> PageView<'a> {
         u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
     }
     fn get_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap())
+        u32::from_le_bytes([
+            self.buf[off],
+            self.buf[off + 1],
+            self.buf[off + 2],
+            self.buf[off + 3],
+        ])
     }
 
     /// Page type from the header.
@@ -486,7 +505,9 @@ impl<'a> PageView<'a> {
 
     /// Recovery LSN stamped on the page.
     pub fn page_lsn(&self) -> u64 {
-        u64::from_le_bytes(self.buf[OFF_PAGE_LSN..OFF_PAGE_LSN + 8].try_into().unwrap())
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[OFF_PAGE_LSN..OFF_PAGE_LSN + 8]);
+        u64::from_le_bytes(b)
     }
 
     /// Number of slots ever created (live + tombstoned).

@@ -16,6 +16,8 @@
 //!   single- or multi-threaded, deterministic under a fixed seed.
 //! * [`profile`] — per-table workload profiles (regenerates Table 1).
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod loader;
 pub mod profile;

@@ -10,6 +10,8 @@
 //!   (try) locks pack threads use so they never block behind active
 //!   DMLs (§VII.B).
 
+#![forbid(unsafe_code)]
+
 pub mod locks;
 pub mod manager;
 

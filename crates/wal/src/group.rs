@@ -42,7 +42,7 @@ impl GroupCommitter {
     pub fn new(sink: Arc<dyn LogSink>) -> Self {
         GroupCommitter {
             sink,
-            state: Mutex::new(State::default()),
+            state: Mutex::with_rank(parking_lot::lock_rank::GROUP_COMMIT, State::default()),
             cv: Condvar::new(),
             syncs: std::sync::atomic::AtomicU64::new(0),
             flush_hist: None,

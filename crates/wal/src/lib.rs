@@ -18,6 +18,8 @@
 //! lock-step ordering — the engine replays syslogs fully before
 //! sysimrslogs — ensuring a consistent database post-recovery (§II).
 
+#![forbid(unsafe_code)]
+
 pub mod group;
 pub mod log;
 pub mod record;

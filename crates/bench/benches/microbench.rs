@@ -140,6 +140,25 @@ fn bench_point_ops(c: &mut Criterion) {
         )
     });
 
+    // Same selects through the lock-free snapshot path: no row locks,
+    // no metrics bumps — the gap vs `select_imrs` is the cost the
+    // locking read pays even without any writer contention.
+    g.bench_function("select_snapshot_imrs", |b| {
+        let mut i = 0u64;
+        b.iter_batched(
+            || e_imrs.begin_snapshot(),
+            |snap| {
+                i = (i + 7919) % 10_000;
+                let r = e_imrs
+                    .get_snapshot(&snap, &t_imrs, &i.to_be_bytes())
+                    .unwrap();
+                e_imrs.end_snapshot(snap);
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
     // Page-store point selects.
     let (e_page, t_page) = make_engine(EngineMode::PageOnly);
     g.bench_function("select_pagestore", |b| {

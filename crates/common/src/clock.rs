@@ -5,6 +5,27 @@
 //! when a transaction in the database completes" (§VI.D). `LogicalClock`
 //! is that counter. Using logical time instead of wall-clock time also
 //! makes every experiment in `btrim-bench` deterministic.
+//!
+//! # Reservation vs. publication
+//!
+//! Snapshot reads pin their visibility horizon to `now()` at begin. If a
+//! committing transaction made its timestamp visible to `now()` *before*
+//! stamping that timestamp onto its versions, a reader beginning in the
+//! window would hold a snapshot that covers the commit yet observe only
+//! part of it — a torn snapshot. The clock therefore splits commit into
+//! two steps:
+//!
+//! 1. [`reserve`](LogicalClock::reserve) allocates the next timestamp
+//!    without making it visible; the committer stamps every version,
+//!    redo record, and side-store entry with it.
+//! 2. [`publish`](LogicalClock::publish) makes it visible to `now()`.
+//!    Publication is in timestamp order: a publish waits (brief spin —
+//!    the window covers only memory stores, never I/O) for all smaller
+//!    reservations to publish first, so `now() == t` guarantees every
+//!    transaction with commit timestamp ≤ `t` is fully stamped.
+//!
+//! [`tick`](LogicalClock::tick) remains for callers with nothing to
+//! stamp between the two steps.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,7 +34,11 @@ use crate::ids::Timestamp;
 /// A shared, monotonically increasing logical clock.
 #[derive(Debug, Default)]
 pub struct LogicalClock {
-    now: AtomicU64,
+    /// Highest timestamp handed out by [`reserve`](Self::reserve).
+    allocated: AtomicU64,
+    /// Highest timestamp visible to [`now`](Self::now). Invariant:
+    /// `published ≤ allocated`, except transiently inside `advance_to`.
+    published: AtomicU64,
 }
 
 impl LogicalClock {
@@ -26,26 +51,73 @@ impl LogicalClock {
     /// resume past the highest recovered commit timestamp).
     pub fn starting_at(ts: Timestamp) -> Self {
         LogicalClock {
-            now: AtomicU64::new(ts.0),
+            allocated: AtomicU64::new(ts.0),
+            published: AtomicU64::new(ts.0),
         }
     }
 
-    /// Read the current timestamp without advancing.
+    /// Read the current timestamp without advancing. Only published
+    /// timestamps are visible: every transaction with a commit timestamp
+    /// ≤ the returned value has finished stamping its versions.
     #[inline]
     pub fn now(&self) -> Timestamp {
-        Timestamp(self.now.load(Ordering::Acquire))
+        Timestamp(self.published.load(Ordering::Acquire))
     }
 
-    /// Advance the clock and return the *new* timestamp. Called once per
-    /// transaction commit.
+    /// Allocate the next commit timestamp without making it visible to
+    /// [`now`](Self::now). The caller must eventually
+    /// [`publish`](Self::publish) it (commit has no fallible step
+    /// between the two — stamping is memory-only).
+    #[inline]
+    pub fn reserve(&self) -> Timestamp {
+        Timestamp(self.allocated.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Make a reserved timestamp visible. Publishes in timestamp order:
+    /// spins until every smaller reservation has published (or the clock
+    /// was advanced past `ts` by recovery).
+    #[inline]
+    pub fn publish(&self, ts: Timestamp) {
+        debug_assert!(
+            ts.0 <= self.allocated.load(Ordering::Acquire),
+            "publish({}) beyond allocated {}",
+            ts.0,
+            self.allocated.load(Ordering::Acquire)
+        );
+        loop {
+            match self.published.compare_exchange_weak(
+                ts.0 - 1,
+                ts.0,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(cur) => {
+                    if cur >= ts.0 {
+                        // Recovery advanced past us; nothing to do.
+                        return;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Advance the clock and return the *new* timestamp: a
+    /// reserve+publish pair for callers with nothing to stamp in
+    /// between (internal maintenance transactions, tests).
     #[inline]
     pub fn tick(&self) -> Timestamp {
-        Timestamp(self.now.fetch_add(1, Ordering::AcqRel) + 1)
+        let ts = self.reserve();
+        self.publish(ts);
+        ts
     }
 
-    /// Ensure the clock is at least `ts` (recovery replay).
+    /// Ensure the clock is at least `ts` (recovery replay; no concurrent
+    /// reservations are in flight during recovery).
     pub fn advance_to(&self, ts: Timestamp) {
-        self.now.fetch_max(ts.0, Ordering::AcqRel);
+        self.allocated.fetch_max(ts.0, Ordering::AcqRel);
+        self.published.fetch_max(ts.0, Ordering::AcqRel);
     }
 }
 
@@ -80,6 +152,36 @@ mod tests {
     }
 
     #[test]
+    fn reserved_timestamps_stay_invisible_until_published() {
+        let c = LogicalClock::new();
+        let t1 = c.reserve();
+        assert_eq!(t1, Timestamp(1));
+        assert_eq!(c.now(), Timestamp(0), "reservation must not be visible");
+        let t2 = c.reserve();
+        assert_eq!(t2, Timestamp(2));
+        c.publish(t1);
+        assert_eq!(c.now(), Timestamp(1), "t2 unpublished: now() stops at t1");
+        c.publish(t2);
+        assert_eq!(c.now(), Timestamp(2));
+    }
+
+    #[test]
+    fn publication_is_in_timestamp_order() {
+        // Reserve two timestamps, publish the larger one from another
+        // thread: it must wait until the smaller one publishes.
+        let c = Arc::new(LogicalClock::new());
+        let t1 = c.reserve();
+        let t2 = c.reserve();
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.publish(t2));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(c.now(), Timestamp(0), "t2 must not publish before t1");
+        c.publish(t1);
+        h.join().unwrap();
+        assert_eq!(c.now(), t2);
+    }
+
+    #[test]
     fn concurrent_ticks_are_unique() {
         let c = Arc::new(LogicalClock::new());
         let handles: Vec<_> = (0..8)
@@ -96,5 +198,28 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 8 * 1000);
         assert_eq!(c.now(), Timestamp(8 * 1000));
+    }
+
+    #[test]
+    fn concurrent_reserve_publish_pairs_interleave_safely() {
+        let c = Arc::new(LogicalClock::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let ts = c.reserve();
+                        // Simulate stamping work between the halves.
+                        std::hint::spin_loop();
+                        c.publish(ts);
+                        assert!(c.now() >= ts);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), Timestamp(8 * 500));
     }
 }

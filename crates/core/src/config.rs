@@ -125,6 +125,13 @@ pub struct EngineConfig {
     /// Consecutive storage errors after which the engine turns
     /// `ReadOnly` (sticky; reads keep working, writes are rejected).
     pub health_readonly_after: u64,
+    /// Serve read-only transactions from MVCC snapshots: lock-free
+    /// version-chain reads on the IMRS path, before-image side-store
+    /// consultation on the page path. Off falls back to the lock-based
+    /// baseline (snapshot reads take shared row locks and block behind
+    /// writers) — kept as the comparison arm of the read-mostly
+    /// benchmark.
+    pub snapshot_reads: bool,
     /// Record per-operation-class latency histograms (`btrim-obs`).
     /// When off, the hot paths skip the clock reads entirely — one
     /// branch per operation.
@@ -167,6 +174,7 @@ impl Default for EngineConfig {
             verify_page_writes: true,
             health_degrade_after: 3,
             health_readonly_after: 8,
+            snapshot_reads: true,
             obs_latency: true,
             obs_trace_capacity: 1024,
         }

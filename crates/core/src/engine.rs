@@ -26,7 +26,7 @@ use btrim_common::{
 use btrim_imrs::{ImrsStore, RidMap, RowLocation, RowOrigin, VersionOp};
 use btrim_obs::{Obs, OpClass};
 use btrim_pagestore::{BufferCache, DiskBackend, MemDisk};
-use btrim_txn::{LockManager, LockMode, TxnManager};
+use btrim_txn::{LockManager, LockMode, TxnHandle, TxnManager};
 use btrim_wal::{ImrsLogRecord, LogSink, LogWriter, MemLog, PageLogRecord, RowOriginTag};
 
 use crate::catalog::{Catalog, KeyExtractor, TableDesc, TableOpts};
@@ -35,6 +35,7 @@ use crate::gc::GcRegistry;
 use crate::metrics::MetricsRegistry;
 use crate::pack::PackState;
 use crate::queues::IlmQueues;
+use crate::sidestore::{SideImage, SideStore};
 use crate::stats::EngineSnapshot;
 use crate::tsf::TsfLearner;
 use crate::tuner::Tuner;
@@ -114,7 +115,12 @@ pub(crate) struct Shared {
     pub cfg: EngineConfig,
     pub cache: Arc<BufferCache>,
     pub store: ImrsStore,
-    pub ridmap: RidMap,
+    /// Shared with the store: version-chain heads and row locations
+    /// live in the same dense entry, so lock-free readers resolve and
+    /// walk without ever fetching an `ImrsRow`.
+    pub ridmap: Arc<RidMap>,
+    /// Before-image side store for page-resident rows (snapshot reads).
+    pub side: SideStore,
     pub catalog: Catalog,
     pub metrics: MetricsRegistry,
     pub txns: TxnManager,
@@ -295,6 +301,35 @@ pub(crate) fn wrap_row(row_id: RowId, data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// A read-only snapshot transaction.
+///
+/// Holds a begin-timestamp and a slot in the transaction registry, so
+/// the GC/pack horizon cannot advance past the snapshot while it is
+/// live. It takes no locks, writes no log records, and is retired with
+/// [`Engine::end_snapshot`] without touching the commit/abort counters.
+///
+/// With `snapshot_reads` enabled (the default), reads through this
+/// handle are **lock-free on the IMRS path**: RID-Map resolution,
+/// version-chain walk, and fragment load are all atomics; page-resident
+/// rows additionally pin the page and consult the before-image side
+/// store. With it disabled, reads fall back to the lock-based baseline
+/// (shared row locks that queue behind writers).
+pub struct SnapshotTxn {
+    pub(crate) handle: TxnHandle,
+}
+
+impl SnapshotTxn {
+    /// Registry identity of this snapshot reader.
+    pub fn id(&self) -> TxnId {
+        self.handle.id
+    }
+
+    /// The begin-timestamp all reads through this handle observe.
+    pub fn snapshot(&self) -> Timestamp {
+        self.handle.snapshot
+    }
+}
+
 /// Split a page-store payload into (RowId, user bytes).
 pub(crate) fn unwrap_row(payload: &[u8]) -> Result<(RowId, &[u8])> {
     let Some((id_bytes, data)) = payload.split_first_chunk::<8>() else {
@@ -339,6 +374,7 @@ impl Engine {
             .with_histogram(hook(OpClass::WalFsync));
         let group_imrs = btrim_wal::GroupCommitter::new(Arc::clone(&imrslog))
             .with_histogram(hook(OpClass::WalFsync));
+        let ridmap = Arc::new(RidMap::new());
         let sh = Shared {
             cache: Arc::new(
                 BufferCache::with_shards(disk, cfg.buffer_frames, cfg.buffer_shards)
@@ -349,8 +385,9 @@ impl Engine {
                     .with_write_verification(cfg.verify_page_writes)
                     .with_miss_histogram(hook(OpClass::BufferMiss)),
             ),
-            store: ImrsStore::new(cfg.imrs_budget, cfg.imrs_chunk_size),
-            ridmap: RidMap::new(),
+            store: ImrsStore::new(cfg.imrs_budget, cfg.imrs_chunk_size, Arc::clone(&ridmap)),
+            ridmap,
+            side: SideStore::new(),
             catalog: Catalog::new(),
             metrics: MetricsRegistry::new(),
             txns: TxnManager::new(Arc::clone(&clock)),
@@ -508,7 +545,7 @@ impl Engine {
                 row,
                 self.sh.clock.now(),
             ) {
-                Ok(imrs_row) => {
+                Ok((_, vref)) => {
                     self.sh.ridmap.set(row_id, RowLocation::Imrs);
                     table.hash.insert(&key, row_id);
                     txn.undo.push(UndoOp::HashAdd {
@@ -520,9 +557,7 @@ impl Engine {
                         row: row_id,
                         prev: None,
                     });
-                    if let Some(v) = imrs_row.newest() {
-                        txn.to_stamp.push(v);
-                    }
+                    txn.to_stamp.push(vref);
                     txn.imrs_redo.push_insert(
                         txn.handle.id,
                         partition,
@@ -551,6 +586,14 @@ impl Engine {
             if contended {
                 m.page_contention.inc();
             }
+            // Absent marker for snapshot readers: until this insert
+            // commits (and for any snapshot older than its commit), the
+            // row does not exist, even though its bytes sit on the page.
+            // Stashed before the RID-Map publishes the location.
+            self.sh
+                .side
+                .stash(page, slot, row_id, txn.handle.id, None, false);
+            txn.side_keys.push((page, slot));
             self.sh.ridmap.set(row_id, RowLocation::Page(page, slot));
             self.sh.append_sys(&PageLogRecord::Insert {
                 txn: txn.handle.id,
@@ -621,6 +664,10 @@ impl Engine {
         point_access: bool,
     ) -> Result<Option<Vec<u8>>> {
         let op_start = self.sh.obs.start();
+        // One clock read for the whole resolution: the loose access
+        // timestamp does not need per-attempt freshness, and the retry
+        // loop must not pay per-probe atomics it can avoid.
+        let now = self.sh.clock.now();
         // Lock-free readers race online data movement (§VII.B): between
         // the RID-Map read and the store access the row can be packed,
         // migrated, or its freed slot reused by another row. Every such
@@ -630,13 +677,13 @@ impl Engine {
         // attempts always suffices.
         for _attempt in 0..4 {
             match self.sh.ridmap.get(row_id) {
-                None => return Ok(None),
+                None | Some(RowLocation::Tombstone(..)) => return Ok(None),
                 Some(RowLocation::Imrs) => {
                     let Some(row) = self.sh.store.get(row_id) else {
                         continue; // packed out concurrently
                     };
-                    let visible = self.read_imrs_visible(txn, &row)?;
-                    if visible.is_none() && row.version_count() == 0 {
+                    let visible = self.read_imrs_visible(txn, &row, now)?;
+                    if visible.is_none() && self.sh.ridmap.head(row_id) == 0 {
                         // We caught the row's Arc just as pack drained
                         // its chain: the row lives on the page store
                         // now. Resolve again through the RID-Map.
@@ -694,9 +741,9 @@ impl Engine {
             std::time::Duration::from_millis(500),
         )?;
         let result = (|| match self.sh.ridmap.get(row_id) {
-            None => Ok(None),
+            None | Some(RowLocation::Tombstone(..)) => Ok(None),
             Some(RowLocation::Imrs) => match self.sh.store.get(row_id) {
-                Some(row) => self.read_imrs_visible(txn, &row),
+                Some(row) => self.read_imrs_visible(txn, &row, now),
                 None => Ok(None),
             },
             Some(RowLocation::Page(page, slot)) => {
@@ -717,12 +764,15 @@ impl Engine {
     }
 
     /// Read the snapshot-visible version of a resident IMRS row.
+    /// `now` is hoisted to the caller so retry loops read the clock
+    /// once; the partition-metrics lookup (a registry `RwLock` + `Arc`
+    /// clone) happens only on the success path.
     fn read_imrs_visible(
         &self,
         txn: &Transaction,
         row: &Arc<btrim_imrs::ImrsRow>,
+        now: Timestamp,
     ) -> Result<Option<Vec<u8>>> {
-        let m = self.sh.metrics.get(row.partition);
         match row.visible_version(txn.handle.snapshot, txn.handle.id) {
             Some(v) => {
                 if v.op == VersionOp::Delete {
@@ -734,8 +784,8 @@ impl Engine {
                     .ok_or_else(|| {
                         BtrimError::Corrupt("non-delete version without image".into())
                     })?;
-                row.touch(self.sh.clock.now());
-                m.imrs_select.inc();
+                row.touch(now);
+                self.sh.metrics.get(row.partition).imrs_select.inc();
                 Ok(Some(data))
             }
             None => Ok(None),
@@ -755,6 +805,227 @@ impl Engine {
                 table.name
             )))
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot reads (read-only MVCC transactions)
+    // ------------------------------------------------------------------
+
+    /// Begin a read-only snapshot transaction. Cheap: one registry slot
+    /// reservation and one clock read; no locks, no log records.
+    pub fn begin_snapshot(&self) -> SnapshotTxn {
+        SnapshotTxn {
+            handle: self.sh.txns.begin(),
+        }
+    }
+
+    /// Retire a snapshot transaction, releasing its registry slot so
+    /// the GC/pack/side-store horizon can advance past its snapshot.
+    pub fn end_snapshot(&self, snap: SnapshotTxn) {
+        self.sh.txns.release(snap.handle);
+    }
+
+    /// Point select by primary key at the snapshot.
+    pub fn get_snapshot(
+        &self,
+        snap: &SnapshotTxn,
+        table: &TableDesc,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        if self.sh.cfg.mode != EngineMode::PageOnly {
+            if let Some(row_id) = table.hash.get(key) {
+                return self.read_row_snapshot(snap, table, row_id);
+            }
+        }
+        let Some(row_id) = table.primary.get(key)? else {
+            return Ok(None);
+        };
+        self.read_row_snapshot(snap, table, row_id)
+    }
+
+    /// Read a row by RowId as of the snapshot.
+    ///
+    /// IMRS-resident rows are served entirely from atomics: location
+    /// and chain head from the RID-Map entry, visibility from the
+    /// version arena, image bytes from the fragment allocator. The
+    /// access never takes a shard, row, or engine lock, never bumps
+    /// partition metrics (the registry lookup is a lock), and never
+    /// triggers caching/migration — readers must not block or be
+    /// blocked by writers, and must not cause data movement.
+    pub fn read_row_snapshot(
+        &self,
+        snap: &SnapshotTxn,
+        table: &TableDesc,
+        row_id: RowId,
+    ) -> Result<Option<Vec<u8>>> {
+        let op_start = self.sh.obs.start();
+        let result = if self.sh.cfg.snapshot_reads {
+            self.read_row_mvcc(snap, table, row_id)
+        } else {
+            self.read_row_lock_baseline(snap, table, row_id)
+        };
+        self.sh.obs.record_since(OpClass::SnapshotRead, op_start);
+        result
+    }
+
+    fn read_row_mvcc(
+        &self,
+        snap: &SnapshotTxn,
+        table: &TableDesc,
+        row_id: RowId,
+    ) -> Result<Option<Vec<u8>>> {
+        let snapshot = snap.handle.snapshot;
+        let reader = snap.handle.id;
+        for _attempt in 0..4 {
+            match self.sh.ridmap.get(row_id) {
+                None => return Ok(None),
+                Some(RowLocation::Imrs) => {
+                    let head = self.sh.ridmap.head(row_id);
+                    if head == 0 {
+                        // Chain drained: the row was packed/removed
+                        // between the location read and the head read.
+                        // Re-resolve; the RID-Map says Page by now.
+                        continue;
+                    }
+                    // The walk is safe against concurrent rollback,
+                    // truncation, and pack: nodes and fragments are
+                    // quarantined, and reclamation requires the horizon
+                    // to pass their retirement — impossible while this
+                    // registered snapshot is live.
+                    return match self.sh.store.arena().visible_from(head, snapshot, reader) {
+                        Some(v) if v.op != VersionOp::Delete => {
+                            let data = v
+                                .handle
+                                .map(|h| self.sh.store.allocator().load(h))
+                                .ok_or_else(|| {
+                                    BtrimError::Corrupt("non-delete version without image".into())
+                                })?;
+                            Ok(Some(data))
+                        }
+                        // Deleted at the snapshot, or the row's oldest
+                        // version is newer than the snapshot.
+                        _ => Ok(None),
+                    };
+                }
+                Some(RowLocation::Page(page, slot)) => {
+                    let partition = self.partition_of_page(table, page)?;
+                    // Page bytes FIRST, side store second: a writer
+                    // stashes before it mutates, so a reader that saw
+                    // the new bytes is guaranteed to see the stash. The
+                    // opposite order could miss both.
+                    let payload = table.heap(partition).get(&self.sh.cache, page, slot)?;
+                    match self.sh.side.lookup(page, slot, row_id, snapshot, reader) {
+                        SideImage::Absent => return Ok(None),
+                        SideImage::Image(img) => return Ok(Some(img)),
+                        SideImage::UsePage => {
+                            let Some(payload) = payload else {
+                                continue; // row moved: dead slot
+                            };
+                            let (rid, data) = unwrap_row(&payload)?;
+                            if rid != row_id {
+                                continue; // slot recycled by another row
+                            }
+                            return Ok(Some(data.to_vec()));
+                        }
+                    }
+                }
+                Some(RowLocation::Tombstone(page, slot)) => {
+                    // Row deleted from the page store; the slot is dead
+                    // but the image may still be visible to us.
+                    return match self.sh.side.lookup(page, slot, row_id, snapshot, reader) {
+                        SideImage::Image(img) => Ok(Some(img)),
+                        // Delete is older than every stash we could
+                        // need (or already purged): gone at this
+                        // snapshot too.
+                        SideImage::Absent | SideImage::UsePage => Ok(None),
+                    };
+                }
+            }
+        }
+        // Pathological ping-pong (pack ↔ migrate on a contended row):
+        // fall back to the paper's freeze-under-lock rule, like
+        // `read_row` does. Never reached by steady-state readers.
+        let reader_lock = self.sh.pack.internal_txn_id();
+        self.sh.locks.lock_timeout(
+            reader_lock,
+            row_id,
+            LockMode::Shared,
+            std::time::Duration::from_millis(500),
+        )?;
+        let result = (|| match self.sh.ridmap.get(row_id) {
+            None => Ok(None),
+            Some(RowLocation::Imrs) => {
+                let head = self.sh.ridmap.head(row_id);
+                match self.sh.store.arena().visible_from(head, snapshot, reader) {
+                    Some(v) if v.op != VersionOp::Delete => {
+                        Ok(v.handle.map(|h| self.sh.store.allocator().load(h)))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            Some(RowLocation::Page(page, slot)) => {
+                let partition = self.partition_of_page(table, page)?;
+                let payload = table.heap(partition).get(&self.sh.cache, page, slot)?;
+                match self.sh.side.lookup(page, slot, row_id, snapshot, reader) {
+                    SideImage::Absent => Ok(None),
+                    SideImage::Image(img) => Ok(Some(img)),
+                    SideImage::UsePage => match payload {
+                        Some(p) => Ok(Some(unwrap_row(&p)?.1.to_vec())),
+                        None => Ok(None),
+                    },
+                }
+            }
+            Some(RowLocation::Tombstone(page, slot)) => {
+                match self.sh.side.lookup(page, slot, row_id, snapshot, reader) {
+                    SideImage::Image(img) => Ok(Some(img)),
+                    _ => Ok(None),
+                }
+            }
+        })();
+        self.sh.locks.unlock(reader_lock, row_id);
+        result
+    }
+
+    /// The lock-based comparison arm (`snapshot_reads = false`): a
+    /// shared row lock per read, released immediately. Readers queue
+    /// behind writers' exclusive locks — exactly the blocking the MVCC
+    /// path exists to remove — and read the latest committed image.
+    fn read_row_lock_baseline(
+        &self,
+        snap: &SnapshotTxn,
+        table: &TableDesc,
+        row_id: RowId,
+    ) -> Result<Option<Vec<u8>>> {
+        let reader = snap.handle.id;
+        self.sh.locks.lock_timeout(
+            reader,
+            row_id,
+            LockMode::Shared,
+            std::time::Duration::from_secs(10),
+        )?;
+        let result = (|| match self.sh.ridmap.get(row_id) {
+            None | Some(RowLocation::Tombstone(..)) => Ok(None),
+            Some(RowLocation::Imrs) => {
+                let Some(row) = self.sh.store.get(row_id) else {
+                    return Ok(None);
+                };
+                match row.latest_committed() {
+                    Some(v) if v.op != VersionOp::Delete => {
+                        Ok(v.handle.map(|h| self.sh.store.allocator().load(h)))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            Some(RowLocation::Page(page, slot)) => {
+                let partition = self.partition_of_page(table, page)?;
+                match table.heap(partition).get(&self.sh.cache, page, slot)? {
+                    Some(payload) => Ok(Some(unwrap_row(&payload)?.1.to_vec())),
+                    None => Ok(None),
+                }
+            }
+        })();
+        self.sh.locks.unlock(reader, row_id);
+        result
     }
 
     /// Update a row by primary key. Returns `false` when the key does
@@ -780,7 +1051,7 @@ impl Engine {
         txn.remember_lock(row_id);
 
         match self.sh.ridmap.get(row_id) {
-            None => Ok(false),
+            None | Some(RowLocation::Tombstone(..)) => Ok(false),
             Some(RowLocation::Imrs) => self.update_imrs(txn, table, key, row_id, new_row),
             Some(RowLocation::Page(page, slot)) => {
                 let partition = self.partition_of_page(table, page)?;
@@ -794,7 +1065,8 @@ impl Engine {
                         RowOrigin::Migrated,
                         false,
                     ) {
-                        Ok(()) => return self.update_imrs(txn, table, key, row_id, new_row),
+                        Ok(true) => return self.update_imrs(txn, table, key, row_id, new_row),
+                        Ok(false) => { /* history-pinned: stay on the page path */ }
                         Err(BtrimError::ImrsFull { .. }) => { /* fall through to page path */ }
                         Err(e) => return Err(e),
                     }
@@ -847,8 +1119,8 @@ impl Engine {
                         RowOrigin::Migrated,
                         false,
                     ) {
-                        Ok(()) => self.update_imrs(txn, table, key, row_id, &new_row)?,
-                        Err(BtrimError::ImrsFull { .. }) => self.update_page(
+                        Ok(true) => self.update_imrs(txn, table, key, row_id, &new_row)?,
+                        Ok(false) | Err(BtrimError::ImrsFull { .. }) => self.update_page(
                             txn, table, key, row_id, partition, page, slot, &new_row,
                         )?,
                         Err(e) => return Err(e),
@@ -857,7 +1129,7 @@ impl Engine {
                     self.update_page(txn, table, key, row_id, partition, page, slot, &new_row)?
                 }
             }
-            None => false,
+            None | Some(RowLocation::Tombstone(..)) => false,
         };
         Ok(updated.then_some(new_row))
     }
@@ -877,7 +1149,7 @@ impl Engine {
                     return Ok(None);
                 };
                 let v = match row.newest() {
-                    Some(v) if v.txn == txn.handle.id || v.commit_ts().is_some() => Some(v),
+                    Some(v) if v.txn == txn.handle.id || v.commit_ts.is_some() => Some(v),
                     _ => row.latest_committed(),
                 };
                 match v {
@@ -894,7 +1166,7 @@ impl Engine {
                     None => Ok(None),
                 }
             }
-            None => Ok(None),
+            None | Some(RowLocation::Tombstone(..)) => Ok(None),
         }
     }
 
@@ -957,6 +1229,19 @@ impl Engine {
         let (_, old_data) = unwrap_row(&old_payload)?;
         let old_data = old_data.to_vec();
         let new_payload = wrap_row(row_id, new_row);
+        // Snapshot readers roll in-place changes back through the side
+        // store; the before image must be stashed BEFORE the page bytes
+        // change, so a reader that observes the new bytes (it read the
+        // page after us, under the frame latch) also observes the stash.
+        self.sh.side.stash(
+            page,
+            slot,
+            row_id,
+            txn.handle.id,
+            Some(old_data.clone()),
+            false,
+        );
+        txn.side_keys.push((page, slot));
         let in_place = heap.try_update_in_place(&self.sh.cache, page, slot, &new_payload)?;
         self.ensure_begin(txn)?;
         if in_place {
@@ -991,6 +1276,18 @@ impl Engine {
             if contended {
                 m.page_contention.inc();
             }
+            // The old image must also be findable at the row's NEW
+            // address: once the RID-Map repoints, snapshot readers
+            // resolve there and would otherwise see the new bytes.
+            self.sh.side.stash(
+                new_page,
+                new_slot,
+                row_id,
+                txn.handle.id,
+                Some(old_data.clone()),
+                false,
+            );
+            txn.side_keys.push((new_page, new_slot));
             let prev = self.sh.ridmap.get(row_id);
             self.sh
                 .ridmap
@@ -1047,7 +1344,7 @@ impl Engine {
 
         let op_start = self.sh.obs.start();
         match self.sh.ridmap.get(row_id) {
-            None => Ok(false),
+            None | Some(RowLocation::Tombstone(..)) => Ok(false),
             Some(RowLocation::Imrs) => {
                 let Some(row) = self.sh.store.get(row_id) else {
                     return Ok(false);
@@ -1097,14 +1394,28 @@ impl Engine {
                 let Some(old_payload) = heap.get(&self.sh.cache, page, slot)? else {
                     return Ok(false);
                 };
+                let (_, old_data) = unwrap_row(&old_payload)?;
+                let old_data = old_data.to_vec();
+                // Keep the deleted image reachable for older snapshots:
+                // stash it (before the slot dies) and leave a tombstone
+                // in the RID-Map instead of unmapping the row. The
+                // tombstone is cleared when the stash ages past the
+                // snapshot horizon.
+                self.sh.side.stash(
+                    page,
+                    slot,
+                    row_id,
+                    txn.handle.id,
+                    Some(old_data.clone()),
+                    true,
+                );
+                txn.side_keys.push((page, slot));
                 heap.delete(&self.sh.cache, page, slot)?;
                 let contended = self.sh.cache.take_thread_contention() > 0;
                 m.page_ops.inc();
                 if contended {
                     m.page_contention.inc();
                 }
-                let (_, old_data) = unwrap_row(&old_payload)?;
-                let old_data = old_data.to_vec();
                 self.ensure_begin(txn)?;
                 self.sh.append_sys(&PageLogRecord::Delete {
                     txn: txn.handle.id,
@@ -1114,14 +1425,15 @@ impl Engine {
                     slot,
                     old: old_payload.clone(),
                 })?;
-                let prev = self.sh.ridmap.remove(row_id);
+                self.sh
+                    .ridmap
+                    .set(row_id, RowLocation::Tombstone(page, slot));
                 txn.undo.push(UndoOp::PageDelete {
                     table: table.id,
                     partition,
                     row: row_id,
                     old: old_payload,
                 });
-                let _ = prev;
                 if table.primary.delete(key, Some(row_id))? {
                     txn.undo.push(UndoOp::PrimaryRemove {
                         table: table.id,
@@ -1277,7 +1589,11 @@ impl Engine {
     /// mini-transaction. The caller either already holds the row's
     /// exclusive lock (`opportunistic = false`, update/migrate path) or
     /// asks for a conditional lock (`opportunistic = true`, select/cache
-    /// path — skipped silently on contention).
+    /// path — skipped silently on contention). Returns whether the row
+    /// actually moved: `Ok(false)` means the row stays page-resident
+    /// (contended, already gone, or pinned to the page by snapshot
+    /// history — see the horizon gate below) and the caller must keep
+    /// using the page path.
     pub(crate) fn move_to_imrs(
         &self,
         _caller: TxnId,
@@ -1286,7 +1602,7 @@ impl Engine {
         row_id: RowId,
         origin: RowOrigin,
         opportunistic: bool,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         if opportunistic {
             // Use a dedicated internal lock owner: if the calling
             // transaction (or anyone else) holds the row, the
@@ -1294,7 +1610,7 @@ impl Engine {
             // never piggy-back on (and then release) a caller's lock.
             let mover = self.sh.pack.internal_txn_id();
             if !self.sh.locks.try_lock(mover, row_id, LockMode::Exclusive) {
-                return Ok(()); // contended: skip caching
+                return Ok(false); // contended: skip caching
             }
             let result = self.move_to_imrs_locked(table, partition, row_id, origin);
             self.sh.locks.unlock(mover, row_id);
@@ -1310,25 +1626,42 @@ impl Engine {
         partition: PartitionId,
         row_id: RowId,
         origin: RowOrigin,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         // Data movement writes both logs; a read-only engine must not
         // start any.
         self.sh.check_writable()?;
         let op_start = self.sh.obs.start();
         // Revalidate under the lock.
         let Some(RowLocation::Page(page, slot)) = self.sh.ridmap.get(row_id) else {
-            return Ok(());
+            return Ok(false);
         };
         let heap = table.heap(partition);
         let Some(payload) = heap.get(&self.sh.cache, page, slot)? else {
-            return Ok(());
+            return Ok(false);
         };
         let (_, data) = unwrap_row(&payload)?;
         let data = data.to_vec();
 
         // Stamp with the oldest active snapshot so every live reader
-        // sees the (already committed) image in its new home.
+        // sees the (already committed) image in its new home. That
+        // stamp is only truthful if the row's last change is at or
+        // below the horizon: a change newer than the horizon always
+        // left a stamped side-store entry (in-place updates stash
+        // before-images, pack stashes absent markers, and purge cannot
+        // touch entries above the horizon), and re-stamping such a row
+        // at the horizon would make the change visible to snapshots
+        // that predate it. Those rows stay page-resident — the side
+        // store keeps serving their history — until the horizon passes;
+        // the row lock we hold keeps the check stable.
         let ts_mig = self.sh.txns.oldest_active_snapshot();
+        if self
+            .sh
+            .side
+            .newest_stamped_ts(page, slot, row_id)
+            .is_some_and(|t| t > ts_mig)
+        {
+            return Ok(false);
+        }
         let itxn = self.sh.txns.begin();
         // The IMRS copy is allocated first: `ImrsFull` must bail before
         // anything reaches the logs, because its caller falls through to
@@ -1338,7 +1671,7 @@ impl Engine {
         // row. The copy is unpublished (the RID-Map still says Page)
         // and the caller holds the row's exclusive lock, so nobody can
         // observe it until the logs are safely out.
-        let imrs_row = match self
+        let (imrs_row, _vref) = match self
             .sh
             .store
             .insert_row_committed(row_id, partition, origin, itxn.id, &data, ts_mig)
@@ -1380,7 +1713,7 @@ impl Engine {
             Ok(())
         })();
         if let Err(e) = logged {
-            self.sh.store.remove_row(row_id);
+            self.sh.store.remove_row(row_id, || self.sh.clock.now());
             self.sh.txns.abort(itxn);
             return Err(e);
         }
@@ -1408,7 +1741,7 @@ impl Engine {
         self.sh.gc.register(row_id);
         self.sh.metrics.get(partition).rows_in.inc();
         self.sh.obs.record_since(OpClass::Migration, op_start);
-        Ok(())
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -1434,11 +1767,23 @@ impl Engine {
     /// the log tail may be torn (see [`Shared::append_sys`]).
     pub fn commit(&self, mut txn: Transaction) -> Result<Timestamp> {
         let op_start = self.sh.obs.start();
-        let ts = self.sh.txns.commit(txn.handle);
+        let id = txn.handle.id;
+        // Reserve the commit timestamp, stamp every artifact the
+        // transaction created (version chains, side-store entries),
+        // and only then publish the timestamp to the clock. A snapshot
+        // reader whose begin-timestamp admits this commit therefore
+        // began *after* publication — and publication happens after
+        // every stamp, so the reader can never catch a version still
+        // carrying the placeholder and wrongly skip (or a side entry
+        // still pending and wrongly apply) it.
+        let ts = self.sh.txns.reserve_commit();
         for v in txn.to_stamp.drain(..) {
             v.stamp(ts);
         }
-        let id = txn.handle.id;
+        if !txn.side_keys.is_empty() {
+            self.sh.side.stamp(&txn.side_keys, id, ts);
+        }
+        self.sh.txns.finish_commit(txn.handle, ts);
         let wrote_any = txn.wrote_syslog || !txn.imrs_redo.is_empty();
         let logged: Result<()> = (|| {
             if !txn.imrs_redo.is_empty() {
@@ -1513,7 +1858,13 @@ impl Engine {
             self.apply_undo(op);
         }
         for row in txn.touched_imrs.drain(..) {
-            self.sh.store.rollback_row(&row, id);
+            self.sh.store.rollback_row(&row, id, || self.sh.clock.now());
+        }
+        // After the page undo restored the before images, the pending
+        // stashes are redundant — readers get the same bytes from the
+        // pages again.
+        if !txn.side_keys.is_empty() {
+            self.sh.side.drop_pending(&txn.side_keys, id);
         }
         if txn.wrote_syslog {
             // Best-effort: if the Abort record cannot be written the
@@ -1615,7 +1966,7 @@ impl Engine {
                 }
             },
             UndoOp::ImrsNewRow { row } => {
-                self.sh.store.remove_row(row);
+                self.sh.store.remove_row(row, || self.sh.clock.now());
             }
         }
     }
@@ -1646,8 +1997,19 @@ impl Engine {
         let sh = &self.sh;
         let oldest = sh.txns.oldest_active_snapshot();
         let gc_start = sh.obs.start();
-        sh.gc
-            .tick(&sh.store, &sh.queues, &sh.ridmap, oldest, 16_384);
+        sh.gc.tick(
+            &sh.store,
+            &sh.queues,
+            &sh.ridmap,
+            oldest,
+            || sh.clock.now(),
+            16_384,
+        );
+        // Quarantined version nodes / fragments and side-store images
+        // are reclaimed once the snapshot horizon has passed them — no
+        // registered reader can still be standing on any of it.
+        sh.store.reclaim(oldest);
+        sh.side.purge(oldest, &sh.ridmap);
         sh.obs.record_since(OpClass::GcPass, gc_start);
         if sh.cfg.mode != EngineMode::IlmOn {
             return;
@@ -1793,7 +2155,7 @@ impl Engine {
                 }
                 let moved = self.move_to_imrs_locked(table, partition, row_id, RowOrigin::Cached);
                 self.sh.locks.unlock(mover, row_id);
-                if moved.is_ok() {
+                if matches!(moved, Ok(true)) {
                     warmed += 1;
                 }
             }

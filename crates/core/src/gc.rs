@@ -78,13 +78,19 @@ impl GcRegistry {
         self.rows_removed.load(Ordering::Relaxed)
     }
 
-    /// Process up to `limit` registered rows.
+    /// Process up to `limit` registered rows. `now` (the commit clock)
+    /// timestamps quarantined nodes of removed rows; it is read after
+    /// each removal detaches the chain head, so a reader that captured
+    /// the head necessarily began at or before the resulting timestamp
+    /// and reclamation at a later horizon cannot free memory under its
+    /// feet.
     pub fn tick(
         &self,
         store: &ImrsStore,
         queues: &IlmQueues,
         ridmap: &RidMap,
         oldest_active: Timestamp,
+        now: impl Fn() -> Timestamp,
         limit: usize,
     ) -> GcReport {
         let mut report = GcReport::default();
@@ -108,10 +114,10 @@ impl GcRegistry {
             // chain is fully truncated.
             let dead = row.latest_committed().is_some_and(|v| {
                 v.op == btrim_imrs::VersionOp::Delete
-                    && v.commit_ts().is_some_and(|ts| ts <= oldest_active)
+                    && v.commit_ts.is_some_and(|ts| ts <= oldest_active)
             }) && row.version_count() == 1;
             if dead {
-                store.remove_row(row_id);
+                store.remove_row(row_id, &now);
                 ridmap.remove(row_id);
                 report.rows_removed += 1;
             }
@@ -132,11 +138,12 @@ mod tests {
     use btrim_common::{PartitionId, TxnId};
     use btrim_imrs::{RowLocation, RowOrigin, VersionOp};
 
-    fn setup() -> (ImrsStore, IlmQueues, RidMap, GcRegistry) {
+    fn setup() -> (ImrsStore, IlmQueues, std::sync::Arc<RidMap>, GcRegistry) {
+        let ridmap = std::sync::Arc::new(RidMap::new());
         (
-            ImrsStore::new(1024 * 1024, 64 * 1024),
+            ImrsStore::new(1024 * 1024, 64 * 1024, std::sync::Arc::clone(&ridmap)),
             IlmQueues::new(),
-            RidMap::new(),
+            ridmap,
             GcRegistry::new(),
         )
     }
@@ -153,11 +160,19 @@ mod tests {
                 b"data",
                 Timestamp(5),
             )
-            .unwrap();
+            .unwrap()
+            .0;
         ridmap.set(RowId(1), RowLocation::Imrs);
         gc.register(RowId(1));
         gc.register(RowId(1)); // duplicate registration
-        let r = gc.tick(&store, &queues, &ridmap, Timestamp(10), 100);
+        let r = gc.tick(
+            &store,
+            &queues,
+            &ridmap,
+            Timestamp(10),
+            || Timestamp(10),
+            100,
+        );
         assert_eq!(r.processed, 2);
         assert_eq!(r.enqueued, 1, "row enqueued exactly once");
         assert_eq!(queues.get(PartitionId(3)).len(), 1);
@@ -176,13 +191,21 @@ mod tests {
                 &[1u8; 64],
                 Timestamp(5),
             )
-            .unwrap();
+            .unwrap()
+            .0;
         let v = store
             .add_version(&row, TxnId(2), VersionOp::Update, Some(&[2u8; 64]))
             .unwrap();
         v.stamp(Timestamp(8));
         gc.register(RowId(1));
-        let r = gc.tick(&store, &queues, &ridmap, Timestamp(20), 100);
+        let r = gc.tick(
+            &store,
+            &queues,
+            &ridmap,
+            Timestamp(20),
+            || Timestamp(20),
+            100,
+        );
         assert!(r.bytes_freed > 0);
         assert_eq!(row.version_count(), 1);
         assert_eq!(gc.bytes_freed(), r.bytes_freed);
@@ -200,7 +223,8 @@ mod tests {
                 b"x",
                 Timestamp(5),
             )
-            .unwrap();
+            .unwrap()
+            .0;
         ridmap.set(RowId(7), RowLocation::Imrs);
         let tomb = store
             .add_version(&row, TxnId(2), VersionOp::Delete, None)
@@ -208,13 +232,27 @@ mod tests {
         tomb.stamp(Timestamp(10));
         // A snapshot at 7 still needs the pre-image: not removable.
         gc.register(RowId(7));
-        let r = gc.tick(&store, &queues, &ridmap, Timestamp(7), 100);
+        let r = gc.tick(
+            &store,
+            &queues,
+            &ridmap,
+            Timestamp(7),
+            || Timestamp(12),
+            100,
+        );
         assert_eq!(r.rows_removed, 0);
         assert!(store.contains(RowId(7)));
         // Horizon past the tombstone: chain truncates to the tombstone
         // and the row is removed.
         gc.register(RowId(7));
-        let r = gc.tick(&store, &queues, &ridmap, Timestamp(50), 100);
+        let r = gc.tick(
+            &store,
+            &queues,
+            &ridmap,
+            Timestamp(50),
+            || Timestamp(50),
+            100,
+        );
         assert_eq!(r.rows_removed, 1);
         assert!(!store.contains(RowId(7)));
         assert_eq!(ridmap.get(RowId(7)), None);
@@ -224,7 +262,7 @@ mod tests {
     fn stale_registrations_are_harmless() {
         let (store, queues, ridmap, gc) = setup();
         gc.register(RowId(404));
-        let r = gc.tick(&store, &queues, &ridmap, Timestamp(1), 100);
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(1), || Timestamp(1), 100);
         assert_eq!(r.processed, 1);
         assert_eq!(r.enqueued, 0);
         assert_eq!(r.rows_removed, 0);
@@ -246,7 +284,7 @@ mod tests {
                 .unwrap();
             gc.register(RowId(i));
         }
-        let r = gc.tick(&store, &queues, &ridmap, Timestamp(5), 4);
+        let r = gc.tick(&store, &queues, &ridmap, Timestamp(5), || Timestamp(5), 4);
         assert_eq!(r.processed, 4);
         assert_eq!(gc.backlog(), 6);
     }

@@ -28,6 +28,8 @@
 //!   §VII).
 //! * [`gc`] — IMRS garbage collection; piggy-backs ILM queue
 //!   maintenance (§VI.B).
+//! * [`sidestore`] — bounded before-image side store letting snapshot
+//!   readers roll in-place page-store changes back to their snapshot.
 //! * [`stats`] — experiment-facing snapshots, now carrying per-class
 //!   latency summaries, the ILM decision trace, and a JSON export
 //!   (`EngineSnapshot::to_json`) built on `btrim-obs`.
@@ -42,6 +44,7 @@ pub mod metrics;
 pub mod pack;
 pub mod queues;
 pub mod recovery;
+pub(crate) mod sidestore;
 pub mod stats;
 pub mod tsf;
 pub mod tuner;
@@ -49,7 +52,7 @@ pub mod txn_ctx;
 
 pub use catalog::{Partitioner, TableDesc, TableOpts};
 pub use config::{EngineConfig, EngineMode};
-pub use engine::{Engine, HealthState, RecoveryReport};
+pub use engine::{Engine, HealthState, RecoveryReport, SnapshotTxn};
 pub use stats::EngineSnapshot;
 pub use txn_ctx::Transaction;
 

@@ -168,12 +168,23 @@ pub fn pack_tick(engine: &Engine) -> u64 {
     // use, so ~32 productive cycles can drain the entire overshoot.
     for _ in 0..32 {
         let util = sh.store.utilization();
-        let level = level_for(util, cfg.steady_utilization, cfg.aggressive_utilization());
         // Backpressure (§VI.A): stop storing new rows while utilization
-        // is extreme; release as soon as pack brings it down.
+        // is extreme; release as soon as pack brings it down. This uses
+        // *total* utilization (quarantined bytes included): memory a
+        // straggling snapshot reader pins is still memory.
         sh.pack
             .reject_new
             .store(util >= cfg.reject_new_utilization(), Ordering::Relaxed);
+        // The drain level, by contrast, is gauged on *live* bytes only —
+        // quarantined chains are already packed/freed and waiting out
+        // the snapshot horizon; packing cannot shrink them, so counting
+        // them would make pack overshoot far below the steady threshold.
+        let live_util = sh.store.used_bytes() as f64 / sh.store.budget().max(1) as f64;
+        let level = level_for(
+            live_util,
+            cfg.steady_utilization,
+            cfg.aggressive_utilization(),
+        );
         if level == PackLevel::Idle {
             break;
         }
@@ -525,7 +536,11 @@ fn pack_one_locked(
             partition,
             row: row_id,
         })?;
-        sh.store.remove_row(row_id);
+        // A single-version tombstone implies commit_ts ≤ the snapshot
+        // horizon (otherwise truncation would have kept the pre-image),
+        // so no active snapshot can see the pre-delete row and the
+        // RID-Map entry can go entirely.
+        sh.store.remove_row(row_id, || sh.clock.now());
         sh.ridmap.remove(row_id);
         return Ok(bytes.max(1));
     }
@@ -557,11 +572,22 @@ fn pack_one_locked(
         row: row_id,
     })?;
 
+    // A packed single-version row whose commit is newer than some
+    // active snapshot must still read as absent for those snapshots
+    // (the only way the chain is that short is a fresh insert): leave
+    // an already-committed absent marker in the side store *before*
+    // the RID-Map publishes the page location.
+    if let Some(commit_ts) = version.commit_ts {
+        if commit_ts > sh.txns.oldest_active_snapshot() {
+            sh.side
+                .stash_committed(page, slot, row_id, pack_txn, commit_ts, None);
+        }
+    }
     // Flip the RID-Map, drop the hash fast path, release the memory.
     let key = (table.primary_key)(&data);
     table.hash.remove(&key);
     sh.ridmap.set(row_id, RowLocation::Page(page, slot));
-    sh.store.remove_row(row_id);
+    sh.store.remove_row(row_id, || sh.clock.now());
     Ok(bytes.max(1))
 }
 

@@ -502,7 +502,7 @@ impl Engine {
                 }
             }
         }
-        self.sh.store.remove_row(row);
+        self.sh.store.remove_row(row, || self.sh.clock.now());
         Ok(())
     }
 
@@ -518,6 +518,7 @@ impl Engine {
             &self.sh.queues,
             &self.sh.ridmap,
             oldest,
+            || self.sh.clock.now(),
             usize::MAX,
         );
     }

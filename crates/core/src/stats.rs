@@ -119,6 +119,12 @@ pub struct EngineSnapshot {
     pub gc_bytes_freed: u64,
     /// GC: rows awaiting a GC visit.
     pub gc_backlog: usize,
+    /// Transactions currently registered (snapshot holders included).
+    pub txns_active: usize,
+    /// Before-image side-store entries awaiting the snapshot horizon.
+    pub side_store_entries: u64,
+    /// Before-image side-store footprint in bytes.
+    pub side_store_bytes: u64,
     /// Total ILM-queue entries across all partitions.
     pub queue_total: usize,
     /// Buffer cache counters (including `io_errors`, `io_retries`, and
@@ -219,6 +225,9 @@ impl EngineSnapshot {
             tuning_windows: sh.tuner.windows_run(),
             gc_bytes_freed: sh.gc.bytes_freed(),
             gc_backlog: sh.gc.backlog(),
+            txns_active: sh.txns.active_count(),
+            side_store_entries: sh.side.entries(),
+            side_store_bytes: sh.side.bytes(),
             queue_total: sh.queues.total_len(),
             buffer: sh.cache.stats(),
             health: sh.health(),
@@ -244,6 +253,7 @@ impl EngineSnapshot {
              IMRS {:>6.1} MiB / {:.1} MiB ({:>4.1}%)   rows {:>8}   hit rate {:>5.1}%\n\
              pack: cycles {} rows {} skipped {} bytes {:.1} MiB   TSF Ʈ {}\n\
              GC freed {:.1} MiB (backlog {})   tuning windows {}\n\
+             snapshots: active txns {}   side-store {} entries ({:.1} KiB)\n\
              buffer: hits {} misses {} evictions {} flushes {} contention {} \
              shard-lock {} io-waits {}\n",
             self.committed_txns,
@@ -262,6 +272,9 @@ impl EngineSnapshot {
             self.gc_bytes_freed as f64 / (1024.0 * 1024.0),
             self.gc_backlog,
             self.tuning_windows,
+            self.txns_active,
+            self.side_store_entries,
+            self.side_store_bytes as f64 / 1024.0,
             self.buffer.hits,
             self.buffer.misses,
             self.buffer.evictions,
@@ -399,6 +412,7 @@ impl EngineSnapshot {
                 "\"pack_cycles\":{},\"rows_packed\":{},\"bytes_packed\":{},",
                 "\"rows_skipped_hot\":{},\"tsf_tau\":{},\"tuning_windows\":{},",
                 "\"gc_bytes_freed\":{},\"queue_total\":{},\"storage_errors\":{},",
+                "\"txns_active\":{},\"side_store_entries\":{},\"side_store_bytes\":{},",
                 "\"health\":\"{}\",",
                 "\"latency_ns\":[{}],",
                 "\"ilm_trace\":{{\"pushed\":{},\"dropped\":{},\"events\":[{}]}},",
@@ -423,6 +437,9 @@ impl EngineSnapshot {
             self.gc_bytes_freed,
             self.queue_total,
             self.storage_errors,
+            self.txns_active,
+            self.side_store_entries,
+            self.side_store_bytes,
             json::escape(&self.health.to_string()),
             latency.join(","),
             self.ilm_trace_pushed,

@@ -340,7 +340,11 @@ mod tests {
     #[test]
     fn low_reuse_growing_partition_is_disabled_in_stages() {
         let cfg = cfg();
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         let p = PartitionId(1);
@@ -373,7 +377,11 @@ mod tests {
     #[test]
     fn high_reuse_partition_stays_enabled() {
         let cfg = cfg();
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         let p = PartitionId(2);
@@ -392,7 +400,11 @@ mod tests {
             min_partition_footprint: 0.5, // footprint guard very strict
             ..cfg()
         };
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         let p = PartitionId(3);
@@ -430,7 +442,11 @@ mod tests {
             tuning_utilization_floor: 0.99,
             ..cfg()
         };
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         let p = PartitionId(5);
@@ -445,7 +461,11 @@ mod tests {
     #[test]
     fn contention_reenables_disabled_partition() {
         let cfg = cfg();
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         let p = PartitionId(6);
@@ -470,7 +490,11 @@ mod tests {
     #[test]
     fn demand_growth_reenables() {
         let cfg = cfg();
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         let p = PartitionId(7);
@@ -495,7 +519,11 @@ mod tests {
     #[test]
     fn maybe_run_respects_window_boundaries() {
         let cfg = cfg();
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         assert!(!tuner.maybe_run(&cfg, 50, &[], &metrics, &store));
@@ -508,7 +536,11 @@ mod tests {
     #[test]
     fn hysteresis_resets_on_mixed_votes() {
         let cfg = cfg();
-        let store = ImrsStore::new(1024 * 1024, 64 * 1024);
+        let store = ImrsStore::new(
+            1024 * 1024,
+            64 * 1024,
+            std::sync::Arc::new(btrim_imrs::RidMap::new()),
+        );
         let metrics = MetricsRegistry::new();
         let tuner = Tuner::new();
         let p = PartitionId(8);

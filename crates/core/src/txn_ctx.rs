@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use btrim_common::{PageId, PartitionId, RowId, SlotId, TableId, Timestamp, TxnId};
-use btrim_imrs::{ImrsRow, RowLocation, Version};
+use btrim_imrs::{ImrsRow, RowLocation, VersionRef};
 use btrim_txn::TxnHandle;
 use btrim_wal::record::Encodable;
 use btrim_wal::{ImrsLogRecord, RowOriginTag};
@@ -187,7 +187,10 @@ pub struct Transaction {
     /// Rows exclusively/share locked (released at commit/abort).
     pub(crate) locks: Vec<RowId>,
     /// Versions created by this transaction, stamped at commit.
-    pub(crate) to_stamp: Vec<Arc<Version>>,
+    pub(crate) to_stamp: Vec<VersionRef>,
+    /// Side-store keys (page, slot) this transaction stashed
+    /// before-images under — stamped at commit, dropped on abort.
+    pub(crate) side_keys: Vec<(PageId, SlotId)>,
     /// IMRS rows whose chains carry uncommitted versions from this
     /// transaction (rolled back on abort).
     pub(crate) touched_imrs: Vec<Arc<ImrsRow>>,
@@ -211,6 +214,7 @@ impl Transaction {
             handle,
             locks: Vec::new(),
             to_stamp: Vec::new(),
+            side_keys: Vec::new(),
             touched_imrs: Vec::new(),
             imrs_redo: ImrsRedoBuf::default(),
             gc_rows: Vec::new(),

@@ -13,13 +13,13 @@
 //! so an allocation is written exactly once at `alloc` time and read
 //! many times.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use btrim_common::{BtrimError, Result};
+use btrim_common::{BtrimError, Result, Timestamp};
 
 /// Allocation granularity; all block sizes are multiples of this.
 const ALIGN: u32 = 16;
@@ -47,6 +47,26 @@ impl FragHandle {
     pub fn alloc_len(&self) -> usize {
         self.alloc_len as usize
     }
+
+    /// Pack into two words so version-arena nodes can hold a handle in
+    /// plain atomics (the lock-free read path loads it back with
+    /// [`unpack`](Self::unpack)).
+    pub(crate) fn pack(self) -> (u64, u64) {
+        (
+            ((self.chunk as u64) << 32) | self.offset as u64,
+            ((self.alloc_len as u64) << 32) | self.data_len as u64,
+        )
+    }
+
+    /// Inverse of [`pack`](Self::pack).
+    pub(crate) fn unpack(a: u64, b: u64) -> FragHandle {
+        FragHandle {
+            chunk: (a >> 32) as u32,
+            offset: a as u32,
+            alloc_len: (b >> 32) as u32,
+            data_len: b as u32,
+        }
+    }
 }
 
 struct AllocState {
@@ -69,6 +89,11 @@ pub struct FragmentAllocator {
     used: AtomicU64,
     alloc_calls: AtomicU64,
     free_calls: AtomicU64,
+    /// Fragments whose owner retired them while lock-free readers might
+    /// still hold the handle: `(retire timestamp, handle)`, reclaimed
+    /// once the snapshot horizon proves those readers are gone.
+    quarantine: Mutex<VecDeque<(u64, FragHandle)>>,
+    quarantined: AtomicU64,
 }
 
 impl FragmentAllocator {
@@ -90,6 +115,8 @@ impl FragmentAllocator {
             used: AtomicU64::new(0),
             alloc_calls: AtomicU64::new(0),
             free_calls: AtomicU64::new(0),
+            quarantine: Mutex::new(VecDeque::new()),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -103,9 +130,17 @@ impl FragmentAllocator {
         self.used.load(Ordering::Relaxed)
     }
 
-    /// Used bytes as a fraction of the budget, in [0, 1].
+    /// Bytes retired but not yet reclaimable (waiting for the snapshot
+    /// horizon to pass their retirement timestamp).
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Used bytes as a fraction of the budget, in [0, 1]. Quarantined
+    /// bytes count: they are not reusable yet, and the utilization
+    /// signal drives ILM pressure decisions.
     pub fn utilization(&self) -> f64 {
-        self.used_bytes() as f64 / self.budget() as f64
+        (self.used_bytes() + self.quarantined_bytes()) as f64 / self.budget() as f64
     }
 
     /// Total `alloc` calls served.
@@ -204,7 +239,57 @@ impl FragmentAllocator {
     }
 
     /// Return a fragment to the pool, coalescing with free neighbours.
+    ///
+    /// Only legal when no concurrent reader can still hold the handle —
+    /// rollback of uncommitted versions (invisible to the lock-free
+    /// walk, which checks visibility before loading a handle) and GC
+    /// truncation below the snapshot horizon (unreachable: every active
+    /// snapshot stops at a newer version). Anything a reader might
+    /// still be copying must go through [`retire`](Self::retire)
+    /// instead.
     pub fn free(&self, h: FragHandle) {
+        self.used.fetch_sub(h.alloc_len as u64, Ordering::Relaxed);
+        self.release_block(h);
+    }
+
+    /// Retire a fragment that lock-free readers may still be loading
+    /// (pack / row removal free the latest committed image). The bytes
+    /// leave `used` immediately but stay unavailable in quarantine
+    /// until [`reclaim`](Self::reclaim) proves the readers are gone.
+    ///
+    /// `now` is the clock at retirement: any reader that captured the
+    /// handle was active then, so its snapshot is ≤ `now`, and once the
+    /// horizon (≤ every active snapshot) moves *past* `now`, that
+    /// reader has finished.
+    pub fn retire(&self, h: FragHandle, now: Timestamp) {
+        self.used.fetch_sub(h.alloc_len as u64, Ordering::Relaxed);
+        self.quarantined
+            .fetch_add(h.alloc_len as u64, Ordering::Relaxed);
+        self.quarantine.lock().push_back((now.0, h));
+    }
+
+    /// Release every quarantined fragment whose retirement timestamp is
+    /// strictly below `horizon`. Returns bytes made reusable.
+    pub fn reclaim(&self, horizon: Timestamp) -> u64 {
+        let mut freed = 0u64;
+        loop {
+            let h = {
+                let mut q = self.quarantine.lock();
+                match q.front() {
+                    Some(&(ts, _)) if ts < horizon.0 => q.pop_front().map(|(_, h)| h),
+                    _ => None,
+                }
+            };
+            let Some(h) = h else { break };
+            self.quarantined
+                .fetch_sub(h.alloc_len as u64, Ordering::Relaxed);
+            freed += h.alloc_len as u64;
+            self.release_block(h);
+        }
+        freed
+    }
+
+    fn release_block(&self, h: FragHandle) {
         let mut st = self.state.lock();
         let mut offset = h.offset;
         let mut len = h.alloc_len;
@@ -240,7 +325,6 @@ impl FragmentAllocator {
             }
         }
         Self::insert_free(&mut st, h.chunk, offset, len);
-        self.used.fetch_sub(h.alloc_len as u64, Ordering::Relaxed);
         self.free_calls.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -339,6 +423,40 @@ mod tests {
                                     // Freeing one makes room again.
         a.free(held.pop().unwrap());
         assert!(a.alloc(&[0u8; 1024]).is_ok());
+    }
+
+    #[test]
+    fn quarantine_defers_reuse_until_horizon_passes() {
+        let a = FragmentAllocator::new(32 * 1024, 16 * 1024);
+        let h = a.alloc(&[7u8; 1000]).unwrap();
+        let used = a.used_bytes();
+        a.retire(h, Timestamp(10));
+        // Leaves `used` immediately, but is not reusable…
+        assert_eq!(a.used_bytes(), used - h.alloc_len() as u64);
+        assert_eq!(a.quarantined_bytes(), h.alloc_len() as u64);
+        // …and the payload is still readable by a straggling reader.
+        assert_eq!(a.load(h), vec![7u8; 1000]);
+        // A horizon at the retirement timestamp is not enough (a reader
+        // active at retirement could hold snapshot == 10).
+        assert_eq!(a.reclaim(Timestamp(10)), 0);
+        assert_eq!(a.quarantined_bytes(), h.alloc_len() as u64);
+        // Strictly past it: reclaimed.
+        assert_eq!(a.reclaim(Timestamp(11)), h.alloc_len() as u64);
+        assert_eq!(a.quarantined_bytes(), 0);
+        // The block is allocatable again.
+        let h2 = a.alloc(&[8u8; 1000]).unwrap();
+        assert_eq!(h2.offset, h.offset);
+    }
+
+    #[test]
+    fn utilization_counts_quarantined_bytes() {
+        let a = FragmentAllocator::new(100 * 1024, 10 * 1024);
+        let h = a.alloc(&vec![0u8; 10 * 1024]).unwrap();
+        let before = a.utilization();
+        a.retire(h, Timestamp(1));
+        assert_eq!(a.utilization(), before, "pressure signal unchanged");
+        a.reclaim(Timestamp(2));
+        assert_eq!(a.utilization(), 0.0);
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //!
 //! * [`alloc`] — the high-performance best-fit *fragment memory manager*
 //!   the paper calls out as a key sub-system (§II).
-//! * [`version`] — immutable row versions with commit-timestamp
-//!   stamping; the basis for in-memory versioning and snapshot
-//!   isolation.
-//! * [`row`] — the in-memory row: version chain, origin (inserted /
-//!   migrated / cached), and the loosely-maintained access timestamp
-//!   used by the Timestamp Filter (§VI.D).
+//! * [`version`] — version vocabulary (operations, the snapshot
+//!   visibility predicate); the basis for in-memory versioning and
+//!   snapshot isolation.
+//! * [`arena`] — the version arena: all-atomic, index-linked version
+//!   chains that snapshot readers walk without taking any lock.
+//! * [`row`] — the in-memory row: version chain façade, origin
+//!   (inserted / migrated / cached), and the loosely-maintained access
+//!   timestamp used by the Timestamp Filter (§VI.D).
 //! * [`store`] — the sharded row directory plus per-partition memory
 //!   accounting feeding the ILM indexes (§VI.C).
 //! * [`ridmap`] — the RID-Map: `RowId` → current physical location
@@ -22,13 +24,15 @@
 #![forbid(unsafe_code)]
 
 pub mod alloc;
+pub mod arena;
 pub mod ridmap;
 pub mod row;
 pub mod store;
 pub mod version;
 
 pub use alloc::{FragHandle, FragmentAllocator};
+pub use arena::{VersionArena, VersionRef, VersionView};
 pub use ridmap::{RidMap, RowLocation};
 pub use row::{ImrsRow, RowOrigin};
 pub use store::{ImrsStore, PartitionUsage};
-pub use version::{Version, VersionOp};
+pub use version::{visible_to, VersionOp};

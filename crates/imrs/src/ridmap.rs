@@ -7,14 +7,25 @@
 //! and no index changes, which is how online data movement stays
 //! invisible to scans.
 //!
-//! Sharded to keep lookups contention-free under many cores.
+//! # Layout
+//!
+//! Row ids are dense (allocated sequentially from 1), so the map is a
+//! chunked direct-index table of all-atomic entries rather than a
+//! sharded hash map: a lookup is two shifts and two loads, never a
+//! lock. Each entry also carries the per-row state the lock-free read
+//! path needs without fetching the `ImrsRow` object from the store
+//! shards — the version-chain head link, the owning partition, and the
+//! ILM hotness counters (§V.A "per-row access timestamps ... updated
+//! occasionally").
+//!
+//! The location is packed into one word, `page << 32 | slot << 8 |
+//! tag`, so relocation (pack, migration) is a single CAS and a reader
+//! always sees a coherent `(page, slot)` pair.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-use parking_lot::RwLock;
-
-use btrim_common::{PageId, RowId, SlotId};
+use btrim_common::{PageId, PartitionId, RowId, SlotId, Timestamp};
 
 /// Where a row currently lives.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -23,14 +34,64 @@ pub enum RowLocation {
     Imrs,
     /// At `(page, slot)` in the page store.
     Page(PageId, SlotId),
+    /// Deleted from the page store, entry kept so snapshot readers can
+    /// find the before-image in the side store; purged at the horizon.
+    Tombstone(PageId, SlotId),
 }
 
-const SHARDS: usize = 64;
+const TAG_ABSENT: u64 = 0;
+const TAG_IMRS: u64 = 1;
+const TAG_PAGE: u64 = 2;
+const TAG_TOMBSTONE: u64 = 3;
+
+fn encode(loc: RowLocation) -> u64 {
+    match loc {
+        RowLocation::Imrs => TAG_IMRS,
+        RowLocation::Page(p, s) => ((p.0 as u64) << 32) | ((s.0 as u64) << 8) | TAG_PAGE,
+        RowLocation::Tombstone(p, s) => ((p.0 as u64) << 32) | ((s.0 as u64) << 8) | TAG_TOMBSTONE,
+    }
+}
+
+fn decode(word: u64) -> Option<RowLocation> {
+    let page = PageId((word >> 32) as u32);
+    let slot = SlotId(((word >> 8) & 0xFFFF) as u16);
+    match word & 0xFF {
+        TAG_ABSENT => None,
+        TAG_IMRS => Some(RowLocation::Imrs),
+        TAG_PAGE => Some(RowLocation::Page(page, slot)),
+        _ => Some(RowLocation::Tombstone(page, slot)),
+    }
+}
+
+/// log2 of entries per chunk.
+const CHUNK_BITS: usize = 13;
+/// Entries per chunk.
+const CHUNK_ENTRIES: usize = 1 << CHUNK_BITS;
+/// Maximum number of chunks (caps the table at ~268M rows).
+const MAX_CHUNKS: usize = 1 << 15;
+
+/// Per-row atomic state.
+#[derive(Default)]
+struct Entry {
+    /// Packed [`RowLocation`] (0 = absent).
+    loc: AtomicU64,
+    /// Version-chain head link into the `VersionArena` (0 = none).
+    head: AtomicU64,
+    /// Owning partition + 1 (0 = unknown); written before the location
+    /// is published so the lock-free read path can attribute metrics.
+    part: AtomicU64,
+    /// Last access (select/update) timestamp, updated loosely.
+    last_access: AtomicU64,
+    /// Re-use operations (S/U/D after arrival) on this row.
+    reuse: AtomicU64,
+}
 
 /// RowId → location map plus the RowId allocator.
 pub struct RidMap {
-    shards: Vec<RwLock<HashMap<RowId, RowLocation>>>,
+    chunks: Box<[OnceLock<Box<[Entry]>>]>,
     next_row_id: AtomicU64,
+    /// Mapped-row count, maintained on tag transitions.
+    mapped: AtomicI64,
 }
 
 impl Default for RidMap {
@@ -43,18 +104,33 @@ impl RidMap {
     /// Create an empty map. Row ids start at 1 (0 is reserved).
     pub fn new() -> Self {
         RidMap {
-            shards: (0..SHARDS)
-                .map(|_| RwLock::with_rank(parking_lot::lock_rank::RID_MAP, HashMap::new()))
-                .collect(),
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
             next_row_id: AtomicU64::new(1),
+            mapped: AtomicI64::new(0),
         }
     }
 
-    #[inline]
-    fn shard(&self, row: RowId) -> &RwLock<HashMap<RowId, RowLocation>> {
-        // Multiplicative hash: row ids are sequential, spread them.
-        let h = (row.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
-        &self.shards[h % SHARDS]
+    /// Entry for `row`, creating its chunk on demand.
+    fn entry(&self, row: RowId) -> &Entry {
+        let idx = row.0 as usize;
+        let c = idx >> CHUNK_BITS;
+        assert!(c < MAX_CHUNKS, "row id beyond RID-Map capacity");
+        let chunk =
+            self.chunks[c].get_or_init(|| (0..CHUNK_ENTRIES).map(|_| Entry::default()).collect());
+        &chunk[idx & (CHUNK_ENTRIES - 1)]
+    }
+
+    /// Entry for `row` if its chunk exists (read paths: an absent chunk
+    /// means the row was never mapped).
+    fn try_entry(&self, row: RowId) -> Option<&Entry> {
+        let idx = row.0 as usize;
+        let c = idx >> CHUNK_BITS;
+        if c >= MAX_CHUNKS {
+            return None;
+        }
+        self.chunks[c]
+            .get()
+            .map(|chunk| &chunk[idx & (CHUNK_ENTRIES - 1)])
     }
 
     /// Allocate a fresh, never-used RowId.
@@ -69,41 +145,110 @@ impl RidMap {
 
     /// Current location of a row, if known.
     pub fn get(&self, row: RowId) -> Option<RowLocation> {
-        self.shard(row).read().get(&row).copied()
+        self.try_entry(row)
+            .and_then(|e| decode(e.loc.load(Ordering::Acquire)))
     }
 
-    /// Set / replace a row's location.
+    /// Set / replace a row's location. The `Release` store publishes
+    /// everything written to the entry beforehand (partition, chain
+    /// head) to lock-free readers.
     pub fn set(&self, row: RowId, loc: RowLocation) {
-        self.shard(row).write().insert(row, loc);
+        let prev = self.entry(row).loc.swap(encode(loc), Ordering::AcqRel);
+        if prev & 0xFF == TAG_ABSENT {
+            self.mapped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Atomically replace the location only if it currently equals
     /// `expected`. Returns whether the swap happened. Pack uses this so
     /// a concurrent migration cannot be clobbered.
     pub fn compare_and_set(&self, row: RowId, expected: RowLocation, new: RowLocation) -> bool {
-        let mut shard = self.shard(row).write();
-        match shard.get(&row) {
-            Some(cur) if *cur == expected => {
-                shard.insert(row, new);
-                true
-            }
-            _ => false,
-        }
+        let Some(e) = self.try_entry(row) else {
+            return false;
+        };
+        e.loc
+            .compare_exchange(
+                encode(expected),
+                encode(new),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
     }
 
     /// Remove a row entirely (committed delete fully garbage-collected).
     pub fn remove(&self, row: RowId) -> Option<RowLocation> {
-        self.shard(row).write().remove(&row)
+        let e = self.try_entry(row)?;
+        let prev = decode(e.loc.swap(TAG_ABSENT, Ordering::AcqRel));
+        if prev.is_some() {
+            self.mapped.fetch_sub(1, Ordering::Relaxed);
+        }
+        prev
     }
 
     /// Number of mapped rows.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.mapped.load(Ordering::Relaxed).max(0) as usize
     }
 
     /// Whether no rows are mapped.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    // ---- per-row atomic state used by the lock-free read path ----
+
+    /// The version-chain head cell for `row` (the arena publishes new
+    /// versions into it with a `Release` store).
+    pub fn head_cell(&self, row: RowId) -> &AtomicU64 {
+        &self.entry(row).head
+    }
+
+    /// Current version-chain head link (0 = no chain published yet).
+    pub fn head(&self, row: RowId) -> u64 {
+        self.try_entry(row)
+            .map_or(0, |e| e.head.load(Ordering::Acquire))
+    }
+
+    /// Owning partition, if recorded.
+    pub fn partition(&self, row: RowId) -> Option<PartitionId> {
+        let part = self.try_entry(row)?.part.load(Ordering::Relaxed);
+        (part != 0).then(|| PartitionId((part - 1) as u32))
+    }
+
+    /// Record the owning partition (done before the location is
+    /// published, so readers that see the location see the partition).
+    pub fn set_partition(&self, row: RowId, part: PartitionId) {
+        self.entry(row)
+            .part
+            .store(part.0 as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// Seed the access timestamp without counting a re-use (row
+    /// arrival in the IMRS).
+    pub fn set_last_access(&self, row: RowId, now: Timestamp) {
+        self.entry(row).last_access.store(now.0, Ordering::Relaxed);
+    }
+
+    /// Record an access for hotness tracking (cheap; relaxed stores).
+    pub fn touch(&self, row: RowId, now: Timestamp) {
+        let e = self.entry(row);
+        e.last_access.store(now.0, Ordering::Relaxed);
+        e.reuse.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Last recorded access timestamp for `row`.
+    pub fn last_access(&self, row: RowId) -> Timestamp {
+        Timestamp(
+            self.try_entry(row)
+                .map_or(0, |e| e.last_access.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Total re-use operations recorded on `row`.
+    pub fn reuse_count(&self, row: RowId) -> u64 {
+        self.try_entry(row)
+            .map_or(0, |e| e.reuse.load(Ordering::Relaxed))
     }
 }
 
@@ -135,6 +280,20 @@ mod tests {
     }
 
     #[test]
+    fn location_packing_roundtrips_extremes() {
+        for loc in [
+            RowLocation::Imrs,
+            RowLocation::Page(PageId(0), SlotId(0)),
+            RowLocation::Page(PageId(u32::MAX), SlotId(u16::MAX)),
+            RowLocation::Tombstone(PageId(7), SlotId(3)),
+            RowLocation::Tombstone(PageId(u32::MAX), SlotId(u16::MAX)),
+        ] {
+            assert_eq!(decode(encode(loc)), Some(loc));
+        }
+        assert_eq!(decode(TAG_ABSENT), None);
+    }
+
+    #[test]
     fn compare_and_set_guards_concurrent_relocation() {
         let m = RidMap::new();
         let r = m.allocate_row_id();
@@ -156,6 +315,23 @@ mod tests {
     }
 
     #[test]
+    fn tombstones_are_distinct_from_live_page_slots() {
+        let m = RidMap::new();
+        let r = m.allocate_row_id();
+        m.set(r, RowLocation::Page(PageId(4), SlotId(2)));
+        assert!(m.compare_and_set(
+            r,
+            RowLocation::Page(PageId(4), SlotId(2)),
+            RowLocation::Tombstone(PageId(4), SlotId(2)),
+        ));
+        assert_eq!(m.get(r), Some(RowLocation::Tombstone(PageId(4), SlotId(2))));
+        // A tombstone still counts as mapped until purged.
+        assert_eq!(m.len(), 1);
+        m.remove(r);
+        assert!(m.is_empty());
+    }
+
+    #[test]
     fn bump_floor_skips_recovered_ids() {
         let m = RidMap::new();
         m.bump_row_id_floor(RowId(500));
@@ -163,14 +339,29 @@ mod tests {
     }
 
     #[test]
-    fn many_rows_distribute_across_shards() {
+    fn per_row_state_tracks_hotness_and_partition() {
         let m = RidMap::new();
-        for _ in 0..10_000 {
+        let r = m.allocate_row_id();
+        assert_eq!(m.partition(r), None);
+        m.set_partition(r, PartitionId(0));
+        m.set(r, RowLocation::Imrs);
+        assert_eq!(m.partition(r), Some(PartitionId(0)));
+        assert_eq!(m.reuse_count(r), 0);
+        m.touch(r, Timestamp(42));
+        m.touch(r, Timestamp(43));
+        assert_eq!(m.last_access(r), Timestamp(43));
+        assert_eq!(m.reuse_count(r), 2);
+    }
+
+    #[test]
+    fn many_rows_fill_multiple_chunks() {
+        let m = RidMap::new();
+        for _ in 0..(CHUNK_ENTRIES * 2 + 10) {
             let r = m.allocate_row_id();
             m.set(r, RowLocation::Imrs);
         }
-        assert_eq!(m.len(), 10_000);
-        let populated = m.shards.iter().filter(|s| !s.read().is_empty()).count();
-        assert!(populated > SHARDS / 2, "ids spread over shards");
+        assert_eq!(m.len(), CHUNK_ENTRIES * 2 + 10);
+        let populated = m.chunks.iter().filter(|c| c.get().is_some()).count();
+        assert!(populated >= 2, "sequential ids span chunks");
     }
 }

@@ -1,12 +1,18 @@
 //! The IMRS row directory with per-partition memory accounting.
 //!
-//! [`ImrsStore`] owns the fragment allocator and a sharded map from
-//! `RowId` to [`ImrsRow`]. Every mutation goes through the store so the
-//! per-partition counters — "Partition-specific IMRS-memory used,
-//! number of rows stored in-memory for a partition" (§V.A) — never
-//! drift from the allocator. Those counters are the raw input to the
-//! Cache Utilization Index and the pack-cycle byte apportioning
-//! (§VI.C).
+//! [`ImrsStore`] owns the fragment allocator, the version arena and a
+//! sharded map from `RowId` to [`ImrsRow`]. Every mutation goes through
+//! the store so the per-partition counters — "Partition-specific
+//! IMRS-memory used, number of rows stored in-memory for a partition"
+//! (§V.A) — never drift from the allocator. Those counters are the raw
+//! input to the Cache Utilization Index and the pack-cycle byte
+//! apportioning (§VI.C).
+//!
+//! The store shards are a *writer-side* directory: the snapshot read
+//! path never touches them — it resolves rows through the RID-Map entry
+//! (head link) and the arena, both lock-free. Teardown paths therefore
+//! take a `now` timestamp so freed chain nodes and fragments quarantine
+//! until the snapshot horizon passes (see [`reclaim`](ImrsStore::reclaim)).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -17,8 +23,10 @@ use parking_lot::RwLock;
 use btrim_common::{PartitionId, Result, RowId, Timestamp, TxnId};
 
 use crate::alloc::FragmentAllocator;
+use crate::arena::{VersionArena, VersionRef};
+use crate::ridmap::RidMap;
 use crate::row::{ImrsRow, RowOrigin};
-use crate::version::{Version, VersionOp};
+use crate::version::VersionOp;
 
 const SHARDS: usize = 64;
 
@@ -44,15 +52,20 @@ impl PartitionUsage {
 /// The in-memory row store.
 pub struct ImrsStore {
     alloc: Arc<FragmentAllocator>,
+    arena: Arc<VersionArena>,
+    ridmap: Arc<RidMap>,
     shards: Vec<RwLock<HashMap<RowId, Arc<ImrsRow>>>>,
     usage: RwLock<HashMap<PartitionId, Arc<PartitionUsage>>>,
 }
 
 impl ImrsStore {
-    /// Create a store with a memory budget.
-    pub fn new(budget_bytes: u64, chunk_size: u32) -> Self {
+    /// Create a store with a memory budget. The RID-Map is shared with
+    /// the engine: version-chain heads live in its entries.
+    pub fn new(budget_bytes: u64, chunk_size: u32, ridmap: Arc<RidMap>) -> Self {
         ImrsStore {
             alloc: Arc::new(FragmentAllocator::new(budget_bytes, chunk_size)),
+            arena: Arc::new(VersionArena::new()),
+            ridmap,
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             usage: RwLock::new(HashMap::new()),
         }
@@ -63,12 +76,18 @@ impl ImrsStore {
         &self.alloc
     }
 
+    /// The version arena (the snapshot read path walks it directly).
+    pub fn arena(&self) -> &Arc<VersionArena> {
+        &self.arena
+    }
+
     /// IMRS bytes in use (all partitions).
     pub fn used_bytes(&self) -> u64 {
         self.alloc.used_bytes()
     }
 
-    /// Cache utilization in [0, 1] relative to the configured budget.
+    /// Cache utilization in [0, 1] relative to the configured budget
+    /// (includes quarantined bytes awaiting the snapshot horizon).
     pub fn utilization(&self) -> f64 {
         self.alloc.utilization()
     }
@@ -76,6 +95,15 @@ impl ImrsStore {
     /// Configured budget in bytes.
     pub fn budget(&self) -> u64 {
         self.alloc.budget()
+    }
+
+    /// Recycle quarantined chain nodes and fragments whose retirement
+    /// timestamp the snapshot `horizon` has strictly passed. Returns
+    /// (nodes, bytes) recycled.
+    pub fn reclaim(&self, horizon: Timestamp) -> (usize, u64) {
+        let nodes = self.arena.reclaim(horizon);
+        let bytes = self.alloc.reclaim(horizon);
+        (nodes, bytes)
     }
 
     #[inline]
@@ -103,6 +131,7 @@ impl ImrsStore {
     }
 
     /// Bring a row into the IMRS with its first (uncommitted) version.
+    /// Returns the row plus the version reference to stamp at commit.
     pub fn insert_row(
         &self,
         row_id: RowId,
@@ -111,16 +140,8 @@ impl ImrsStore {
         txn: TxnId,
         data: &[u8],
         now: Timestamp,
-    ) -> Result<Arc<ImrsRow>> {
-        let handle = self.alloc.alloc(data)?;
-        let bytes = handle.alloc_len() as i64;
-        let version = Arc::new(Version::new(txn, VersionOp::Insert, Some(handle)));
-        let row = ImrsRow::new(row_id, partition, origin, version, now);
-        self.shard(row_id).write().insert(row_id, Arc::clone(&row));
-        let u = self.usage(partition);
-        u.bytes.fetch_add(bytes, Ordering::Relaxed);
-        u.rows.fetch_add(1, Ordering::Relaxed);
-        Ok(row)
+    ) -> Result<(Arc<ImrsRow>, VersionRef)> {
+        self.insert_with(row_id, partition, origin, txn, data, now, None)
     }
 
     /// Same as [`insert_row`](Self::insert_row) but with a pre-stamped
@@ -133,16 +154,37 @@ impl ImrsStore {
         txn: TxnId,
         data: &[u8],
         ts: Timestamp,
-    ) -> Result<Arc<ImrsRow>> {
+    ) -> Result<(Arc<ImrsRow>, VersionRef)> {
+        self.insert_with(row_id, partition, origin, txn, data, ts, Some(ts))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_with(
+        &self,
+        row_id: RowId,
+        partition: PartitionId,
+        origin: RowOrigin,
+        txn: TxnId,
+        data: &[u8],
+        now: Timestamp,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<(Arc<ImrsRow>, VersionRef)> {
         let handle = self.alloc.alloc(data)?;
         let bytes = handle.alloc_len() as i64;
-        let version = Arc::new(Version::committed(txn, VersionOp::Insert, Some(handle), ts));
-        let row = ImrsRow::new(row_id, partition, origin, version, ts);
+        let row = ImrsRow::new(
+            row_id,
+            partition,
+            origin,
+            Arc::clone(&self.ridmap),
+            Arc::clone(&self.arena),
+            now,
+        );
+        let vref = row.push_version(txn, VersionOp::Insert, Some(handle), commit_ts);
         self.shard(row_id).write().insert(row_id, Arc::clone(&row));
         let u = self.usage(partition);
         u.bytes.fetch_add(bytes, Ordering::Relaxed);
         u.rows.fetch_add(1, Ordering::Relaxed);
-        Ok(row)
+        Ok((row, vref))
     }
 
     /// Add an (uncommitted) version to a resident row.
@@ -152,18 +194,17 @@ impl ImrsStore {
         txn: TxnId,
         op: VersionOp,
         data: Option<&[u8]>,
-    ) -> Result<Arc<Version>> {
+    ) -> Result<VersionRef> {
         let handle = match data {
             Some(d) => Some(self.alloc.alloc(d)?),
             None => None,
         };
         let bytes = handle.map_or(0, |h| h.alloc_len()) as i64;
-        let version = Arc::new(Version::new(txn, op, handle));
-        row.push_version(Arc::clone(&version));
+        let vref = row.push_version(txn, op, handle, None);
         self.usage(row.partition)
             .bytes
             .fetch_add(bytes, Ordering::Relaxed);
-        Ok(version)
+        Ok(vref)
     }
 
     /// Fetch a resident row.
@@ -176,11 +217,15 @@ impl ImrsStore {
         self.shard(row_id).read().contains_key(&row_id)
     }
 
-    /// Remove a row and free all its memory (pack completion, or GC of a
-    /// fully-dead row). Returns the row if it was resident.
-    pub fn remove_row(&self, row_id: RowId) -> Option<Arc<ImrsRow>> {
+    /// Remove a row (pack completion, or GC of a fully-dead row). Its
+    /// chain is quarantined — accounting drops immediately, physical
+    /// reuse waits for the snapshot horizon — because a lock-free
+    /// reader may still be walking it. `now` is a closure (usually the
+    /// commit clock) read *after* the chain head is detached; see
+    /// [`ImrsRow::free_all`]. Returns the row if it was resident.
+    pub fn remove_row(&self, row_id: RowId, now: impl Fn() -> Timestamp) -> Option<Arc<ImrsRow>> {
         let row = self.shard(row_id).write().remove(&row_id)?;
-        let freed = row.free_all(&self.alloc) as i64;
+        let freed = row.free_all(&self.alloc, now) as i64;
         let u = self.usage(row.partition);
         u.bytes.fetch_sub(freed, Ordering::Relaxed);
         u.rows.fetch_sub(1, Ordering::Relaxed);
@@ -188,8 +233,9 @@ impl ImrsStore {
     }
 
     /// Roll back a transaction's versions on a row, with accounting.
-    pub fn rollback_row(&self, row: &ImrsRow, txn: TxnId) {
-        let freed = row.rollback_txn(txn, &self.alloc) as i64;
+    /// `now` (read after the unlinks) timestamps the node quarantine.
+    pub fn rollback_row(&self, row: &ImrsRow, txn: TxnId, now: impl Fn() -> Timestamp) {
+        let freed = row.rollback_txn(txn, &self.alloc, now) as i64;
         if freed > 0 {
             self.usage(row.partition)
                 .bytes
@@ -229,13 +275,13 @@ mod tests {
     use super::*;
 
     fn store() -> ImrsStore {
-        ImrsStore::new(1024 * 1024, 64 * 1024)
+        ImrsStore::new(1024 * 1024, 64 * 1024, Arc::new(RidMap::new()))
     }
 
     #[test]
     fn insert_and_get() {
         let s = store();
-        let row = s
+        let (row, _) = s
             .insert_row(
                 RowId(1),
                 PartitionId(2),
@@ -272,7 +318,7 @@ mod tests {
         assert!(u.bytes() >= 1000);
 
         for i in 0..5u64 {
-            s.remove_row(RowId(i)).unwrap();
+            s.remove_row(RowId(i), || Timestamp(2)).unwrap();
         }
         assert_eq!(u.rows(), 5);
         assert_eq!(u.bytes(), s.used_bytes());
@@ -281,7 +327,7 @@ mod tests {
     #[test]
     fn add_version_grows_partition_bytes() {
         let s = store();
-        let row = s
+        let (row, _) = s
             .insert_row(
                 RowId(1),
                 PartitionId(0),
@@ -301,7 +347,7 @@ mod tests {
     #[test]
     fn truncate_row_returns_bytes_to_partition() {
         let s = store();
-        let row = s
+        let (row, v1) = s
             .insert_row(
                 RowId(1),
                 PartitionId(0),
@@ -311,7 +357,7 @@ mod tests {
                 Timestamp(1),
             )
             .unwrap();
-        row.newest().unwrap().stamp(Timestamp(5));
+        v1.stamp(Timestamp(5));
         let v2 = s
             .add_version(&row, TxnId(2), VersionOp::Update, Some(&[2u8; 64]))
             .unwrap();
@@ -326,7 +372,7 @@ mod tests {
     #[test]
     fn rollback_restores_accounting() {
         let s = store();
-        let row = s
+        let (row, v1) = s
             .insert_row(
                 RowId(1),
                 PartitionId(0),
@@ -336,18 +382,18 @@ mod tests {
                 Timestamp(1),
             )
             .unwrap();
-        row.newest().unwrap().stamp(Timestamp(2));
+        v1.stamp(Timestamp(2));
         let before = s.usage(PartitionId(0)).bytes();
         s.add_version(&row, TxnId(9), VersionOp::Update, Some(&[0u8; 200]))
             .unwrap();
-        s.rollback_row(&row, TxnId(9));
+        s.rollback_row(&row, TxnId(9), || Timestamp(3));
         assert_eq!(s.usage(PartitionId(0)).bytes(), before);
         assert_eq!(row.version_count(), 1);
     }
 
     #[test]
     fn budget_exhaustion_propagates() {
-        let s = ImrsStore::new(16 * 1024, 16 * 1024);
+        let s = ImrsStore::new(16 * 1024, 16 * 1024, Arc::new(RidMap::new()));
         let mut i = 0u64;
         loop {
             match s.insert_row(
@@ -364,6 +410,27 @@ mod tests {
             }
         }
         assert_eq!(i, 16);
+    }
+
+    #[test]
+    fn removed_row_bytes_recycle_after_horizon() {
+        let s = store();
+        s.insert_row(
+            RowId(1),
+            PartitionId(0),
+            RowOrigin::Inserted,
+            TxnId(1),
+            &[7u8; 128],
+            Timestamp(1),
+        )
+        .unwrap();
+        s.remove_row(RowId(1), || Timestamp(5)).unwrap();
+        assert_eq!(s.used_bytes(), 0);
+        assert!(s.allocator().quarantined_bytes() > 0);
+        let (nodes, bytes) = s.reclaim(Timestamp(6));
+        assert_eq!(nodes, 1);
+        assert!(bytes > 0);
+        assert_eq!(s.allocator().quarantined_bytes(), 0);
     }
 
     #[test]

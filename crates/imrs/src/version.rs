@@ -1,17 +1,17 @@
-//! Immutable row versions.
+//! Row version vocabulary.
 //!
 //! All updates to in-memory rows are performed using in-memory
 //! versioning, which also supports timestamp-based snapshot isolation
 //! (§II). A version is created by exactly one transaction and is
 //! *stamped* with the database commit timestamp when that transaction
-//! commits; until then its commit timestamp reads as `None` and only the
-//! creating transaction can see it.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//! commits; until then its commit timestamp reads as `None` and only
+//! the creating transaction can see it.
+//!
+//! Versions themselves live in the [`crate::arena::VersionArena`] as
+//! all-atomic nodes so the read path can walk a chain without taking
+//! any lock; this module holds the shared vocabulary.
 
 use btrim_common::{Timestamp, TxnId};
-
-use crate::alloc::FragHandle;
 
 /// What a version represents.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -25,75 +25,43 @@ pub enum VersionOp {
     Delete,
 }
 
-/// Sentinel meaning "not yet committed".
-const UNCOMMITTED: u64 = 0;
+impl VersionOp {
+    /// Two-bit encoding for the arena's atomic `meta` word.
+    pub(crate) fn code(self) -> u64 {
+        match self {
+            VersionOp::Insert => 0,
+            VersionOp::Update => 1,
+            VersionOp::Delete => 2,
+        }
+    }
 
-/// One immutable version of a row.
-#[derive(Debug)]
-pub struct Version {
-    /// Transaction that created this version.
-    pub txn: TxnId,
-    /// Commit timestamp; 0 while the creating transaction is in flight.
-    commit_ts: AtomicU64,
-    /// Operation that produced the version.
-    pub op: VersionOp,
-    /// Row image in the fragment allocator; `None` for tombstones.
-    pub handle: Option<FragHandle>,
+    /// Inverse of [`code`](Self::code).
+    pub(crate) fn from_code(code: u64) -> VersionOp {
+        match code & 0b11 {
+            0 => VersionOp::Insert,
+            1 => VersionOp::Update,
+            _ => VersionOp::Delete,
+        }
+    }
 }
 
-impl Version {
-    /// New uncommitted version.
-    pub fn new(txn: TxnId, op: VersionOp, handle: Option<FragHandle>) -> Self {
-        debug_assert!(
-            op != VersionOp::Delete || handle.is_none(),
-            "tombstones carry no image"
-        );
-        Version {
-            txn,
-            commit_ts: AtomicU64::new(UNCOMMITTED),
-            op,
-            handle,
-        }
+/// Snapshot-visibility predicate shared by the arena walk and the
+/// before-image side store: `reader` sees a version stamped `commit_ts`
+/// iff it wrote it itself or the version committed at or before the
+/// reader's snapshot. `None` means "not yet committed".
+#[inline]
+pub fn visible_to(
+    commit_ts: Option<Timestamp>,
+    writer: TxnId,
+    snapshot: Timestamp,
+    reader: TxnId,
+) -> bool {
+    if writer == reader {
+        return true; // own writes
     }
-
-    /// New version already stamped (recovery replay).
-    pub fn committed(txn: TxnId, op: VersionOp, handle: Option<FragHandle>, ts: Timestamp) -> Self {
-        let v = Version::new(txn, op, handle);
-        v.commit_ts.store(ts.0, Ordering::Release);
-        v
-    }
-
-    /// Commit timestamp if stamped.
-    #[inline]
-    pub fn commit_ts(&self) -> Option<Timestamp> {
-        match self.commit_ts.load(Ordering::Acquire) {
-            UNCOMMITTED => None,
-            ts => Some(Timestamp(ts)),
-        }
-    }
-
-    /// Stamp the commit timestamp (called once, at transaction commit).
-    pub fn stamp(&self, ts: Timestamp) {
-        debug_assert_ne!(ts.0, UNCOMMITTED, "commit ts 0 is reserved");
-        self.commit_ts.store(ts.0, Ordering::Release);
-    }
-
-    /// Whether `snapshot` (a begin-timestamp) can see this version:
-    /// committed at or before the snapshot.
-    #[inline]
-    pub fn visible_to(&self, snapshot: Timestamp, reader: TxnId) -> bool {
-        if self.txn == reader {
-            return true; // own writes
-        }
-        match self.commit_ts() {
-            Some(ts) => ts <= snapshot,
-            None => false,
-        }
-    }
-
-    /// Bytes of IMRS memory pinned by this version.
-    pub fn memory(&self) -> usize {
-        self.handle.map_or(0, |h| h.alloc_len())
+    match commit_ts {
+        Some(ts) => ts <= snapshot,
+        None => false,
     }
 }
 
@@ -102,28 +70,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn uncommitted_version_is_invisible_to_others() {
-        let v = Version::new(TxnId(1), VersionOp::Insert, None);
-        assert_eq!(v.commit_ts(), None);
-        assert!(!v.visible_to(Timestamp(100), TxnId(2)));
-        assert!(v.visible_to(Timestamp(100), TxnId(1)), "own write visible");
+    fn op_codes_roundtrip() {
+        for op in [VersionOp::Insert, VersionOp::Update, VersionOp::Delete] {
+            assert_eq!(VersionOp::from_code(op.code()), op);
+        }
     }
 
     #[test]
-    fn stamped_version_visibility_follows_snapshot() {
-        let v = Version::new(TxnId(1), VersionOp::Update, None);
-        v.stamp(Timestamp(50));
-        assert_eq!(v.commit_ts(), Some(Timestamp(50)));
-        assert!(!v.visible_to(Timestamp(49), TxnId(2)));
-        assert!(v.visible_to(Timestamp(50), TxnId(2)));
-        assert!(v.visible_to(Timestamp(51), TxnId(2)));
+    fn uncommitted_is_invisible_to_others() {
+        assert!(!visible_to(None, TxnId(1), Timestamp(100), TxnId(2)));
+        assert!(visible_to(None, TxnId(1), Timestamp(100), TxnId(1)));
     }
 
     #[test]
-    fn committed_constructor_is_prestamped() {
-        let v = Version::committed(TxnId(3), VersionOp::Delete, None, Timestamp(7));
-        assert_eq!(v.commit_ts(), Some(Timestamp(7)));
-        assert_eq!(v.op, VersionOp::Delete);
-        assert_eq!(v.memory(), 0);
+    fn stamped_visibility_follows_snapshot() {
+        let ts = Some(Timestamp(50));
+        assert!(!visible_to(ts, TxnId(1), Timestamp(49), TxnId(2)));
+        assert!(visible_to(ts, TxnId(1), Timestamp(50), TxnId(2)));
+        assert!(visible_to(ts, TxnId(1), Timestamp(51), TxnId(2)));
     }
 }

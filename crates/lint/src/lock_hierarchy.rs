@@ -26,6 +26,13 @@
 
 /// Engine maintenance gate (`core::engine::Shared::maintenance_gate`).
 pub const ENGINE_STATE: u16 = 10;
+/// Transaction-registry overflow table (`txn::manager::TxnRegistry::
+/// overflow`). Taken only when more transactions are in flight than the
+/// registry has lock-free slots; begin/commit/abort on the slot path and
+/// every snapshot read are atomics-only and never touch it. Ranks below
+/// the storage locks because `begin` can run under the maintenance gate
+/// (internal migration transactions) but never inside a shard or frame.
+pub const TXN_REGISTRY: u16 = 15;
 /// Buffer-cache shard locks (`pagestore::buffer::Shard::inner`).
 pub const BUFFER_SHARD: u16 = 20;
 /// Frame latches: page data `RwLock` and the frame-state `io` mutex
@@ -33,6 +40,11 @@ pub const BUFFER_SHARD: u16 = 20;
 pub const FRAME: u16 = 30;
 /// RID-Map shards (`imrs::ridmap::RidMap::shards`).
 pub const RID_MAP: u16 = 40;
+/// Before-image side-store shards (`core::sidestore::SideStore::shards`).
+/// Writers stash a pre-update image *before* touching the page (so they
+/// hold no frame latch), and purge runs from maintenance before WAL
+/// appends — between the RID-Map and the log.
+pub const SIDE_STORE: u16 = 45;
 /// WAL inner locks (`wal::log::{MemLog, FileLog}::inner`).
 pub const WAL_LOG: u16 = 50;
 /// Group-commit generation state (`wal::group::GroupCommitter::state`).
@@ -42,9 +54,11 @@ pub const GROUP_COMMIT: u16 = 60;
 /// iterates and what witness panic messages cite.
 pub const LOCK_RANKS: &[(&str, u16)] = &[
     ("engine-state", ENGINE_STATE),
+    ("txn-registry", TXN_REGISTRY),
     ("buffer-shard", BUFFER_SHARD),
     ("frame", FRAME),
     ("rid-map", RID_MAP),
+    ("side-store", SIDE_STORE),
     ("wal-log", WAL_LOG),
     ("group-commit", GROUP_COMMIT),
 ];

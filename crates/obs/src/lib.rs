@@ -45,6 +45,12 @@ pub enum OpClass {
     SelectImrs,
     /// SELECT served from the page store.
     SelectPage,
+    /// Snapshot (MVCC) read by a read-only transaction: version-chain
+    /// walk on the IMRS path, page bytes + before-image side store on
+    /// the page path. Tracked separately from `SelectImrs`/`SelectPage`
+    /// because this is the lock-free path whose tail latency must stay
+    /// flat as writers scale.
+    SnapshotRead,
     /// UPDATE applied to an IMRS row.
     UpdateImrs,
     /// UPDATE applied in the page store.
@@ -79,7 +85,7 @@ pub enum OpClass {
 
 impl OpClass {
     /// Number of classes; sizes the histogram table.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// All classes, in display order.
     pub const ALL: [OpClass; Self::COUNT] = [
@@ -87,6 +93,7 @@ impl OpClass {
         OpClass::InsertPage,
         OpClass::SelectImrs,
         OpClass::SelectPage,
+        OpClass::SnapshotRead,
         OpClass::UpdateImrs,
         OpClass::UpdatePage,
         OpClass::DeleteImrs,
@@ -109,6 +116,7 @@ impl OpClass {
             OpClass::InsertPage => "insert_page",
             OpClass::SelectImrs => "select_imrs",
             OpClass::SelectPage => "select_page",
+            OpClass::SnapshotRead => "snapshot_read",
             OpClass::UpdateImrs => "update_imrs",
             OpClass::UpdatePage => "update_page",
             OpClass::DeleteImrs => "delete_imrs",

@@ -35,10 +35,18 @@ pub mod lock_rank {
 /// it could cause.
 #[cfg(debug_assertions)]
 mod witness {
-    use std::cell::RefCell;
+    use std::cell::{Cell, RefCell};
 
     thread_local! {
         static HELD: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+        static ACQUIRED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Lifetime count of ranked acquisitions on this thread (blocking
+    /// and successful `try_*` alike). Lock-free-path tests assert this
+    /// stays flat across a workload.
+    pub fn ranked_acquisitions() -> u64 {
+        ACQUIRED.with(|c| c.get())
     }
 
     /// Assert the hierarchy allows acquiring `rank` now, then record it.
@@ -46,6 +54,7 @@ mod witness {
         if rank == 0 {
             return;
         }
+        ACQUIRED.with(|c| c.set(c.get() + 1));
         HELD.with(|h| {
             let mut held = h.borrow_mut();
             let worst = held.iter().copied().max().unwrap_or(0);
@@ -67,6 +76,7 @@ mod witness {
         if rank == 0 {
             return;
         }
+        ACQUIRED.with(|c| c.set(c.get() + 1));
         HELD.with(|h| h.borrow_mut().push(rank));
     }
 
@@ -90,6 +100,25 @@ mod witness {
             .map(|(n, _)| *n)
             .collect::<Vec<_>>()
             .join(" < ")
+    }
+}
+
+/// Lifetime count of *ranked* lock acquisitions performed by the
+/// calling thread (blocking and successful `try_*` alike; unranked
+/// locks are invisible, exactly as they are to the rank witness).
+///
+/// Debug builds only — release builds always return 0. Lock-free-path
+/// tests snapshot this before and after a workload to prove a code path
+/// acquired no classified lock at all.
+#[inline]
+pub fn ranked_acquisitions() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        witness::ranked_acquisitions()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
     }
 }
 
@@ -523,6 +552,19 @@ mod tests {
             // …and its release must leave the stack balanced.
             let _a = low.lock();
             let _b = high.lock();
+        }
+
+        #[test]
+        fn acquisition_counter_sees_only_ranked_locks() {
+            let before = ranked_acquisitions();
+            let unranked = Mutex::new(());
+            drop(unranked.lock());
+            let _ = unranked.try_lock().map(drop);
+            assert_eq!(ranked_acquisitions(), before, "unranked locks are invisible");
+            let ranked = Mutex::with_rank(lock_rank::ENGINE_STATE, ());
+            drop(ranked.lock());
+            drop(ranked.try_lock().expect("uncontended"));
+            assert_eq!(ranked_acquisitions(), before + 2);
         }
 
         #[test]

@@ -143,6 +143,26 @@ fn run_plan(label: &str, plan: FaultPlan, file_disk: bool) -> Arc<FaultState> {
         if state.crashed() {
             break;
         }
+        if i % 25 == 24 {
+            // Snapshot probes against the live faulted engine: an
+            // unacknowledged commit is already published in memory, so
+            // the acceptable-outcome set covers whatever a snapshot can
+            // see. Reads may fail under injected storage errors; only a
+            // successful read is checked.
+            let snap = engine.begin_snapshot();
+            for _ in 0..5 {
+                let k = rng.gen_range(0..120u64);
+                if let Ok(got) = engine.get_snapshot(&snap, &table, &k.to_be_bytes()) {
+                    let got = got.map(|row| u64::from_be_bytes(row[8..16].try_into().unwrap()));
+                    let acc = acceptable(&model, k);
+                    assert!(
+                        acc.contains(&got),
+                        "plan {label}: snapshot read of key {k} saw {got:?}, acceptable {acc:?}"
+                    );
+                }
+            }
+            engine.end_snapshot(snap);
+        }
         let op: u8 = rng.gen_range(0..10);
         let key = rng.gen_range(0..120u64);
         let mut txn = engine.begin();
@@ -270,6 +290,24 @@ fn run_plan(label: &str, plan: FaultPlan, file_disk: bool) -> Arc<FaultState> {
         }
         recovered.commit(txn).unwrap();
         exact.insert(key, v);
+    }
+    // Snapshot reads must also work on the recovered engine: with no
+    // concurrent writers a fresh snapshot sees exactly the latest
+    // committed state.
+    {
+        let snap = recovered.begin_snapshot();
+        for (k, v) in &exact {
+            let got = recovered
+                .get_snapshot(&snap, &table, &k.to_be_bytes())
+                .unwrap()
+                .map(|row| u64::from_be_bytes(row[8..16].try_into().unwrap()));
+            assert_eq!(
+                got,
+                Some(*v),
+                "plan {label}: post-recovery snapshot read of key {k}"
+            );
+        }
+        recovered.end_snapshot(snap);
     }
     recovered.checkpoint().unwrap();
     {

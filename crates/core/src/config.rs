@@ -132,6 +132,24 @@ pub struct EngineConfig {
     /// writers) — kept as the comparison arm of the read-mostly
     /// benchmark.
     pub snapshot_reads: bool,
+    /// Fuzzy incremental checkpoints: `checkpoint()` writes a
+    /// Begin/End record pair around rate-limited dirty-page flush
+    /// batches and truncates the syslog prefix at the recorded
+    /// low-water LSN, never quiescing writers. Off restores the
+    /// stop-the-world path (`flush_all` + a single Checkpoint record,
+    /// truncation only when fully quiesced) — kept as the comparison
+    /// arm of the recovery-time benchmark.
+    pub fuzzy_checkpoint: bool,
+    /// Dirty pages written back per fuzzy-checkpoint flush batch.
+    pub checkpoint_flush_batch: usize,
+    /// Pause between fuzzy-checkpoint flush batches in microseconds —
+    /// the rate limiter that keeps checkpoint I/O from monopolizing
+    /// the device against foreground writes. 0 disables the pause.
+    pub checkpoint_batch_pause_us: u64,
+    /// Worker threads for partitioned forward replay during recovery.
+    /// 0 picks automatically from available parallelism (capped at 8);
+    /// 1 forces serial replay.
+    pub recovery_workers: usize,
     /// Record per-operation-class latency histograms (`btrim-obs`).
     /// When off, the hot paths skip the clock reads entirely — one
     /// branch per operation.
@@ -175,6 +193,10 @@ impl Default for EngineConfig {
             health_degrade_after: 3,
             health_readonly_after: 8,
             snapshot_reads: true,
+            fuzzy_checkpoint: true,
+            checkpoint_flush_batch: 128,
+            checkpoint_batch_pause_us: 50,
+            recovery_workers: 0,
             obs_latency: true,
             obs_trace_capacity: 1024,
         }
@@ -228,6 +250,14 @@ impl EngineConfig {
         assert!(
             self.obs_trace_capacity <= 1 << 20,
             "obs_trace_capacity unreasonably large (cap: 1 MiB of events)"
+        );
+        assert!(
+            self.checkpoint_flush_batch >= 1,
+            "checkpoint_flush_batch must be ≥ 1"
+        );
+        assert!(
+            self.recovery_workers <= 256,
+            "recovery_workers unreasonably large"
         );
     }
 }

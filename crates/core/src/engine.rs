@@ -15,6 +15,7 @@
 //! either inline every `maintenance_interval_txns` commits — fully
 //! deterministic, the default — or on background threads.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,7 +25,7 @@ use btrim_common::{
     BtrimError, LogicalClock, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId,
 };
 use btrim_imrs::{ImrsStore, RidMap, RowLocation, RowOrigin, VersionOp};
-use btrim_obs::{Obs, OpClass};
+use btrim_obs::{CheckpointTrace, IlmTraceEvent, Obs, OpClass};
 use btrim_pagestore::{BufferCache, DiskBackend, MemDisk};
 use btrim_txn::{LockManager, LockMode, TxnHandle, TxnManager};
 use btrim_wal::{ImrsLogRecord, LogSink, LogWriter, MemLog, PageLogRecord, RowOriginTag};
@@ -100,6 +101,23 @@ pub struct RecoveryReport {
     pub pages_reset: u64,
     /// IMRS log records skipped because their transaction lost.
     pub imrs_records_skipped: u64,
+    /// Redo workers that replayed the page log (1 = serial).
+    pub replay_workers: u64,
+    /// Page-log change records actually redone (forward pass).
+    pub syslog_redo_replayed: u64,
+    /// Page-log change records skipped by the checkpoint redo floor —
+    /// after a fuzzy checkpoint only the post-low-water suffix replays.
+    pub syslog_redo_skipped: u64,
+    /// IMRS log records re-applied to the in-memory row store.
+    pub imrs_records_replayed: u64,
+    /// Wall-clock microseconds in the salvage + analysis pass.
+    pub analysis_micros: u64,
+    /// Wall-clock microseconds in the forward page redo (all workers).
+    pub page_redo_micros: u64,
+    /// Wall-clock microseconds in the heap-scan rebuild.
+    pub heap_rebuild_micros: u64,
+    /// Wall-clock microseconds replaying the IMRS log.
+    pub imrs_replay_micros: u64,
 }
 
 impl RecoveryReport {
@@ -156,6 +174,24 @@ pub(crate) struct Shared {
     pub storage_errors: AtomicU64,
     /// What the last recovery salvaged/dropped (zeroes on clean start).
     pub recovery: Mutex<RecoveryReport>,
+    /// First syslogs LSN of every transaction currently alive on the
+    /// page log (Begin appended, Commit/Abort not yet). The fuzzy
+    /// checkpoint reads the minimum as its low-water truncation mark.
+    /// Entries are pre-registered with a conservative bound *before*
+    /// the Begin append goes out, so a concurrent floor read can never
+    /// miss a transaction whose Begin is still in flight — and they are
+    /// removed only *after* the Commit/Abort append returns, by which
+    /// point every page the transaction dirtied has been mutated and is
+    /// visible to the checkpoint's dirty-page enumeration.
+    pub txn_syslog_floor: Mutex<HashMap<TxnId, btrim_common::Lsn>>,
+    /// Serializes checkpointers (shutdown vs explicit vs background);
+    /// never held while the maintenance gate is, and vice versa.
+    ckpt_gate: Mutex<()>,
+    /// Lifetime checkpoint count (trace ordinals).
+    pub ckpt_ordinal: AtomicU64,
+    /// Highest LSN ever handed to `truncate_prefix` — the delta per
+    /// checkpoint is the number of records that truncation recycled.
+    pub last_truncate_upto: AtomicU64,
 }
 
 impl Shared {
@@ -229,9 +265,38 @@ impl Shared {
     /// the operation-level `check_writable` gate.
     pub fn append_sys(&self, rec: &PageLogRecord) -> Result<btrim_common::Lsn> {
         self.check_writable()?;
+        // Maintain the checkpoint floor table around the append. A
+        // `Begin` is pre-registered with `record_count() + 1` — a lower
+        // bound on the LSN the append is about to receive — so a fuzzy
+        // checkpoint reading the table between this insert and the
+        // append still picks a floor at or below the transaction's
+        // first record and cannot truncate its undo images away.
+        let begin_txn = if let PageLogRecord::Begin { txn } = rec {
+            let bound = btrim_common::Lsn(self.syslog.sink().record_count() + 1);
+            self.txn_syslog_floor.lock().entry(*txn).or_insert(bound);
+            Some(*txn)
+        } else {
+            None
+        };
         match self.syslog.append(rec) {
-            Ok(l) => Ok(l),
+            Ok(l) => {
+                // The transaction leaves the floor table only after its
+                // outcome record is in the log — by then every page it
+                // dirtied has been mutated (DML and undo both write the
+                // page before the outcome append), so the checkpoint's
+                // dirty-page enumeration is guaranteed to see them.
+                if let PageLogRecord::Commit { txn, .. } | PageLogRecord::Abort { txn } = rec {
+                    self.txn_syslog_floor.lock().remove(txn);
+                }
+                Ok(l)
+            }
             Err(e) => {
+                if let Some(txn) = begin_txn {
+                    // The Begin never (reliably) made the log; the
+                    // engine goes read-only below, so no further
+                    // checkpoint can truncate anything anyway.
+                    self.txn_syslog_floor.lock().remove(&txn);
+                }
                 self.storage_errors.fetch_add(1, Ordering::Relaxed);
                 self.set_read_only(format!("syslogs append failed: {e}"));
                 Err(e)
@@ -413,6 +478,13 @@ impl Engine {
             consec_storage_errors: AtomicU64::new(0),
             storage_errors: AtomicU64::new(0),
             recovery: Mutex::new(RecoveryReport::default()),
+            txn_syslog_floor: Mutex::with_rank(
+                parking_lot::lock_rank::TXN_LOG_FLOOR,
+                HashMap::new(),
+            ),
+            ckpt_gate: Mutex::with_rank(parking_lot::lock_rank::ENGINE_STATE, ()),
+            ckpt_ordinal: AtomicU64::new(0),
+            last_truncate_upto: AtomicU64::new(0),
             cfg,
         };
         Engine {
@@ -2078,32 +2150,131 @@ impl Engine {
         self.checkpoint()
     }
 
-    /// Checkpoint: flush dirty pages and both logs; write the
-    /// checkpoint record. IMRS data is *not* flushed (§II) — it is
-    /// recovered from sysimrslogs alone, which therefore cannot be
-    /// truncated here. When the system is quiesced (no transactions in
-    /// flight) the syslogs prefix before the checkpoint is recycled:
-    /// redo starts at the checkpoint and there are no losers whose undo
-    /// images could live in the dropped prefix.
+    /// Checkpoint: make dirty pages durable and recycle the syslogs
+    /// prefix no recovery will ever read. IMRS data is *not* flushed
+    /// (§II) — it is recovered from sysimrslogs alone, which therefore
+    /// cannot be truncated here.
+    ///
+    /// With `fuzzy_checkpoint` on (the default) this is the fuzzy
+    /// incremental path: writers keep running throughout, pages flush
+    /// in small rate-limited batches, and the prefix below the
+    /// low-water mark (the first record of the oldest transaction still
+    /// alive on the page log) is recycled on *every* checkpoint — not
+    /// only when the system happens to be quiesced. With it off, the
+    /// legacy stop-the-world record is written and truncation waits for
+    /// a quiet instant, as before PR 7.
     pub fn checkpoint(&self) -> Result<()> {
-        let result: Result<()> = (|| {
-            self.sh.cache.flush_all()?;
-            let ckpt_lsn = self.sh.append_sys(&PageLogRecord::Checkpoint)?;
-            self.sh.syslog.flush()?;
-            self.sh.imrslog.flush()?;
-            if self.sh.txns.active_count() == 0 && ckpt_lsn.0 > 0 {
-                self.sh
-                    .syslog
-                    .sink()
-                    .truncate_prefix(btrim_common::Lsn(ckpt_lsn.0 - 1))?;
-            }
-            Ok(())
-        })();
+        let result = if self.sh.cfg.fuzzy_checkpoint {
+            self.fuzzy_checkpoint()
+        } else {
+            self.quiesced_checkpoint()
+        };
         match &result {
             Ok(()) => self.sh.note_storage_ok(),
             Err(e) => self.sh.note_storage_error("checkpoint", e),
         }
         result
+    }
+
+    /// The pre-PR-7 checkpoint: flush everything at once, write the
+    /// single legacy `Checkpoint` record, truncate only if quiesced.
+    /// Kept as the `fuzzy_checkpoint = false` ablation arm.
+    fn quiesced_checkpoint(&self) -> Result<()> {
+        let sh = &self.sh;
+        let _gate = sh.ckpt_gate.lock();
+        sh.cache.flush_all()?;
+        let ckpt_lsn = sh.append_sys(&PageLogRecord::Checkpoint)?;
+        sh.syslog.flush()?;
+        sh.imrslog.flush()?;
+        if sh.txns.active_count() == 0 && ckpt_lsn.0 > 0 {
+            let upto = ckpt_lsn.0 - 1;
+            sh.syslog.sink().truncate_prefix(btrim_common::Lsn(upto))?;
+            sh.last_truncate_upto.fetch_max(upto, Ordering::Relaxed);
+        }
+        sh.ckpt_ordinal.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fuzzy incremental checkpoint. The ordering below is the whole
+    /// correctness argument — each step licenses the next:
+    ///
+    /// 1. Read the low-water floor: the minimum first-LSN over
+    ///    transactions alive on the page log, bounded above by
+    ///    `record_count() + 1` (so a transaction that begins *after*
+    ///    this read necessarily has all its records above the floor).
+    /// 2. Enumerate the dirty-page table **after** the floor read: any
+    ///    page dirtied by a record below the floor was mutated before
+    ///    its transaction's outcome append, which finished before the
+    ///    floor read — so the page is either in this enumeration or
+    ///    already clean on disk.
+    /// 3. Append `CheckpointBegin { low_water, dirty_pages }`; flush
+    ///    the enumerated pages in rate-limited batches — writers keep
+    ///    committing and re-dirtying pages the whole time, which is
+    ///    fine: redo above the floor covers everything newer.
+    /// 4. Sync the page device, then append `CheckpointEnd`. Analysis
+    ///    certifies the pair only when End matches Begin, so a crash
+    ///    anywhere in between falls back to the previous checkpoint.
+    /// 5. Only after End is durable, truncate the prefix below the
+    ///    floor: every dropped record is redone (its page is durable)
+    ///    and belongs to no transaction that could still need undo.
+    fn fuzzy_checkpoint(&self) -> Result<()> {
+        let sh = &self.sh;
+        let _gate = sh.ckpt_gate.lock();
+        let next_lsn = btrim_common::Lsn(sh.syslog.sink().record_count() + 1);
+        let floor = {
+            let floors = sh.txn_syslog_floor.lock();
+            floors
+                .values()
+                .copied()
+                .min()
+                .map_or(next_lsn, |m| m.min(next_lsn))
+        };
+        let dirty = sh.cache.dirty_page_ids();
+        let begin_lsn = sh.append_sys(&PageLogRecord::CheckpointBegin {
+            low_water: floor,
+            dirty_pages: dirty.clone(),
+        })?;
+        let batch = sh.cfg.checkpoint_flush_batch.max(1);
+        let mut pages_flushed = 0u64;
+        let mut batches = 0u64;
+        let mut stall_nanos = 0u64;
+        for chunk in dirty.chunks(batch) {
+            let t = sh.obs.start();
+            pages_flushed += sh.cache.flush_pages(chunk)? as u64;
+            sh.obs.record_since(OpClass::CheckpointFlush, t);
+            batches += 1;
+            if sh.cfg.checkpoint_batch_pause_us > 0 {
+                let pause = std::time::Instant::now();
+                std::thread::sleep(std::time::Duration::from_micros(
+                    sh.cfg.checkpoint_batch_pause_us,
+                ));
+                stall_nanos += pause.elapsed().as_nanos() as u64;
+            }
+        }
+        sh.cache.sync_backend()?;
+        sh.append_sys(&PageLogRecord::CheckpointEnd { begin_lsn })?;
+        sh.syslog.flush()?;
+        sh.imrslog.flush()?;
+        let mut truncated_records = 0u64;
+        if floor.0 > 1 {
+            let upto = floor.0 - 1;
+            sh.syslog.sink().truncate_prefix(btrim_common::Lsn(upto))?;
+            let prev = sh.last_truncate_upto.fetch_max(upto, Ordering::Relaxed);
+            truncated_records = upto.saturating_sub(prev);
+        }
+        let ordinal = sh.ckpt_ordinal.fetch_add(1, Ordering::Relaxed);
+        sh.obs
+            .trace
+            .push(IlmTraceEvent::Checkpoint(CheckpointTrace {
+                ordinal,
+                dirty_pages: dirty.len() as u64,
+                pages_flushed,
+                batches,
+                low_water_lsn: floor.0,
+                truncated_records,
+                stall_nanos,
+            }));
+        Ok(())
     }
 
     /// Experiment-facing statistics snapshot.

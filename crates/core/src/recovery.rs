@@ -49,6 +49,8 @@ use btrim_pagestore::page::PageType;
 use btrim_pagestore::{DiskBackend, PageGuard, SlottedPage};
 use btrim_wal::{analyze_page_log, ImrsLogRecord, LogAnalysis, LogSink, PageLogRecord};
 
+use btrim_obs::OpClass;
+
 use crate::catalog::TableDesc;
 use crate::config::EngineConfig;
 use crate::engine::{origin_from_tag, unwrap_row, Engine};
@@ -87,6 +89,43 @@ impl Engine {
         }
     }
 
+    /// Fan record shards across scoped worker threads: each shard
+    /// replays in order on exactly one worker (shard assignment is what
+    /// guarantees per-object order), empty shards spawn nothing, and
+    /// the first worker error fails the whole pass. Each worker's
+    /// wall-clock lands in the `RecoveryReplay` histogram.
+    fn run_replay_workers<R: Sync>(
+        &self,
+        shards: Vec<Vec<&R>>,
+        apply: impl Fn(&R) -> Result<()> + Sync,
+    ) -> Result<()> {
+        std::thread::scope(|scope| {
+            let apply = &apply;
+            let handles: Vec<_> = shards
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .map(|shard| {
+                    scope.spawn(move || -> Result<()> {
+                        let t = self.sh.obs.start();
+                        for rec in shard {
+                            apply(rec)?;
+                        }
+                        self.sh.obs.record_since(OpClass::RecoveryReplay, t);
+                        Ok(())
+                    })
+                })
+                .collect();
+            let mut first_err = Ok(());
+            for h in handles {
+                let res = h.join().expect("replay worker panicked"); // lint: allow(no-panic) -- a panicking worker means a half-replayed store; recovery must stop loudly rather than open for business
+                if res.is_err() && first_err.is_ok() {
+                    first_err = res;
+                }
+            }
+            first_err
+        })
+    }
+
     /// Fetch a page for redo, tolerating a corrupt on-device image: a
     /// checksum mismatch falls back to an unverified fetch and reports
     /// `corrupt = true` so the caller reformats before applying. The
@@ -103,59 +142,108 @@ impl Engine {
         }
     }
 
+    /// Replay workers for the partitioned redo passes: the configured
+    /// count, or (at 0 = auto) the machine's parallelism capped at 8.
+    fn recovery_worker_count(&self) -> usize {
+        match self.sh.cfg.recovery_workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            n => n.max(1),
+        }
+    }
+
+    /// Apply one page-log change record (forward redo direction).
+    fn redo_change(&self, rec: &PageLogRecord) -> Result<()> {
+        match rec {
+            PageLogRecord::Insert {
+                partition,
+                page,
+                slot,
+                data,
+                ..
+            } => self.redo_insert(*partition, *page, *slot, data),
+            PageLogRecord::Update {
+                partition,
+                page,
+                slot,
+                new,
+                ..
+            } => self.redo_update(*partition, *page, *slot, new),
+            PageLogRecord::Delete {
+                partition,
+                page,
+                slot,
+                ..
+            } => self.redo_delete(*partition, *page, *slot),
+            _ => Ok(()),
+        }
+    }
+
     /// Redo winners forward, undo losers backward.
     fn replay_page_log(&self) -> Result<LogAnalysis> {
+        let analysis_start = std::time::Instant::now();
         let (records, dropped) = self.sh.syslog.read_all_salvage()?;
-        {
-            let mut rep = self.sh.recovery.lock();
-            rep.syslog_salvaged = records.len() as u64;
-            rep.syslog_dropped = dropped;
-        }
         for (_lsn, rec) in &records {
             if let Some(txn) = rec.txn() {
                 self.note_txn_floor(txn);
             }
         }
         let analysis = analyze_page_log(&records);
-        // Redo may start at the last checkpoint: every page change
-        // below it was flushed (§II's checkpoint contract). Replaying
-        // earlier records would be harmless (redo is idempotent) but
-        // wasteful.
-        let redo_floor = analysis.last_checkpoint.unwrap_or(btrim_common::Lsn::ZERO);
-        // Forward redo of committed transactions (repeat history).
+        let workers = self.recovery_worker_count();
+        {
+            let mut rep = self.sh.recovery.lock();
+            rep.syslog_salvaged = records.len() as u64;
+            rep.syslog_dropped = dropped;
+            rep.replay_workers = workers as u64;
+            rep.analysis_micros = analysis_start.elapsed().as_micros() as u64;
+        }
+        // Redo may start at the certified redo floor: every page change
+        // below it is durable — a legacy checkpoint flushed everything
+        // before its record, a fuzzy one flushed its dirty-page table
+        // between Begin and End (anything below the low-water mark was
+        // already applied to a page by then, see `fuzzy_checkpoint`).
+        // Replaying earlier records would be harmless (redo is
+        // idempotent) but wasteful.
+        let redo_floor = analysis.redo_floor();
+        // Forward redo of committed transactions (repeat history),
+        // sharded by PageId: every record of a given page lands on the
+        // same worker in log order, so per-page replay order — the only
+        // order redo depends on — is preserved while distinct pages
+        // replay concurrently.
+        let redo_start = std::time::Instant::now();
+        let mut shards: Vec<Vec<&PageLogRecord>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut redo_skipped = 0u64;
         for (lsn, rec) in &records {
-            if *lsn <= redo_floor {
-                continue;
-            }
             let Some(txn) = rec.txn() else { continue };
             if !analysis.winners.contains_key(&txn) {
                 continue;
             }
-            match rec {
-                PageLogRecord::Insert {
-                    partition,
-                    page,
-                    slot,
-                    data,
-                    ..
-                } => self.redo_insert(*partition, *page, *slot, data)?,
-                PageLogRecord::Update {
-                    partition,
-                    page,
-                    slot,
-                    new,
-                    ..
-                } => self.redo_update(*partition, *page, *slot, new)?,
-                PageLogRecord::Delete {
-                    partition,
-                    page,
-                    slot,
-                    ..
-                } => {
-                    self.redo_delete(*partition, *page, *slot)?;
-                }
-                _ => {}
+            let page = match rec {
+                PageLogRecord::Insert { page, .. }
+                | PageLogRecord::Update { page, .. }
+                | PageLogRecord::Delete { page, .. } => *page,
+                _ => continue,
+            };
+            if *lsn < redo_floor {
+                redo_skipped += 1;
+                continue;
             }
+            shards[(page.0 as usize) % workers].push(rec);
+        }
+        let redo_replayed: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        if workers <= 1 {
+            let t = self.sh.obs.start();
+            for rec in shards.into_iter().flatten() {
+                self.redo_change(rec)?;
+            }
+            self.sh.obs.record_since(OpClass::RecoveryReplay, t);
+        } else {
+            self.run_replay_workers(shards, |rec| self.redo_change(rec))?;
+        }
+        {
+            let mut rep = self.sh.recovery.lock();
+            rep.syslog_redo_replayed = redo_replayed;
+            rep.syslog_redo_skipped = redo_skipped;
+            rep.page_redo_micros = redo_start.elapsed().as_micros() as u64;
         }
         // Backward undo of losers using before-images.
         for (_lsn, rec) in records.iter().rev() {
@@ -257,6 +345,7 @@ impl Engine {
     /// reformatted as free — their contents are unrecoverable, and a
     /// torn page must never be served as data.
     fn rebuild_from_heaps(&self) -> Result<HashMap<RowId, (PageId, SlotId)>> {
+        let rebuild_start = std::time::Instant::now();
         let num_pages = self.sh.cache.backend().num_pages();
         let mut by_partition: HashMap<PartitionId, Vec<PageId>> = HashMap::new();
         for raw in 0..num_pages {
@@ -297,6 +386,7 @@ impl Engine {
             })?;
         }
         self.sh.ridmap.bump_row_id_floor(max_row_id);
+        self.sh.recovery.lock().heap_rebuild_micros = rebuild_start.elapsed().as_micros() as u64;
         Ok(heap_locs)
     }
 
@@ -335,6 +425,7 @@ impl Engine {
         analysis: &LogAnalysis,
         heap_locs: &HashMap<RowId, (PageId, SlotId)>,
     ) -> Result<()> {
+        let replay_start = std::time::Instant::now();
         let (records, dropped) = self.sh.imrslog.read_all_salvage()?;
         {
             let mut rep = self.sh.recovery.lock();
@@ -359,7 +450,15 @@ impl Engine {
         let mut skipped = 0u64;
         let mut max_ts = Timestamp::ZERO;
         let mut max_row_id = RowId(0);
-        for (_lsn, rec) in records {
+        // Serial classification pass; surviving records are grouped by
+        // partition. A partition is the replay-order unit: partition ids
+        // are a pure function of the primary key, so all records that
+        // could ever touch the same row, hash entry, or unique-index
+        // key share a partition — replaying whole partitions on
+        // separate workers keeps every order that matters while the
+        // partitions proceed concurrently.
+        let mut by_partition: HashMap<PartitionId, Vec<&ImrsLogRecord>> = HashMap::new();
+        for (_lsn, rec) in &records {
             // Discard records carry no row data.
             let Some(txn_id) = rec.txn() else { continue };
             self.note_txn_floor(txn_id);
@@ -372,99 +471,43 @@ impl Engine {
                 }
                 continue;
             }
-            match rec {
-                ImrsLogRecord::Insert {
-                    txn,
-                    ts,
-                    partition,
-                    row,
-                    origin,
-                    data,
-                } => {
-                    let Some(table) = self.sh.catalog.table_of_partition(partition) else {
-                        continue;
-                    };
-                    self.sh.store.insert_row_committed(
-                        row,
-                        partition,
-                        origin_from_tag(origin),
-                        txn,
-                        &data,
-                        ts,
-                    )?;
-                    self.sh.ridmap.set(row, RowLocation::Imrs);
-                    let key = (table.primary_key)(&data);
-                    table.hash.insert(&key, row);
-                    Self::index_row(&table, row, &data);
-                }
-                ImrsLogRecord::Update {
-                    txn,
-                    ts,
-                    partition,
-                    row,
-                    data,
-                } => {
-                    match self.sh.store.get(row) {
-                        Some(imrs_row) => {
-                            let v = self.sh.store.add_version(
-                                &imrs_row,
-                                txn,
-                                btrim_imrs::VersionOp::Update,
-                                Some(&data),
-                            )?;
-                            v.stamp(ts);
-                            if let Some(table) = self.sh.catalog.table_of_partition(partition) {
-                                Self::index_row(&table, row, &data);
-                            }
-                        }
-                        None => {
-                            // Defensive: an update without a resident row
-                            // (should not happen in an intact log).
-                            let Some(table) = self.sh.catalog.table_of_partition(partition) else {
-                                continue;
-                            };
-                            self.sh.store.insert_row_committed(
-                                row,
-                                partition,
-                                btrim_imrs::RowOrigin::Inserted,
-                                txn,
-                                &data,
-                                ts,
-                            )?;
-                            self.sh.ridmap.set(row, RowLocation::Imrs);
-                            Self::index_row(&table, row, &data);
-                            let key = (table.primary_key)(&data);
-                            table.hash.insert(&key, row);
-                        }
-                    }
-                }
-                ImrsLogRecord::Delete { partition, row, .. } => {
-                    self.drop_imrs_row(partition, row, true)?;
-                    self.sh.ridmap.remove(row);
-                }
-                ImrsLogRecord::Pack { partition, row, .. } => {
-                    // The packed copy was re-inserted by syslogs redo —
-                    // unless the row was subsequently deleted from the
-                    // page store (or re-migrated; a later Insert record
-                    // then recreates everything). If the heap does not
-                    // hold the row, its index entries and RID-Map entry
-                    // must go, or they would shadow a later re-insert of
-                    // the same key under a new RowId.
-                    match heap_locs.get(&row) {
-                        Some(&(page, slot)) => {
-                            self.drop_imrs_row(partition, row, false)?;
-                            self.sh.ridmap.set(row, RowLocation::Page(page, slot));
-                        }
-                        None => {
-                            self.drop_imrs_row(partition, row, true)?;
-                            self.sh.ridmap.remove(row);
-                        }
-                    }
-                }
-                ImrsLogRecord::Discard { .. } => unreachable!("filtered above"), // lint: allow(no-panic) -- Discard records are drained into `poisoned` by the filter pass immediately above; reaching this arm is a recovery-logic bug worth a loud stop
-            }
+            let partition = match rec {
+                ImrsLogRecord::Insert { partition, .. }
+                | ImrsLogRecord::Update { partition, .. }
+                | ImrsLogRecord::Delete { partition, .. }
+                | ImrsLogRecord::Pack { partition, .. } => *partition,
+                ImrsLogRecord::Discard { .. } => continue,
+            };
+            by_partition.entry(partition).or_default().push(rec);
         }
-        self.sh.recovery.lock().imrs_records_skipped = skipped;
+        let replayed: u64 = by_partition.values().map(|v| v.len() as u64).sum();
+        let workers = self.recovery_worker_count();
+        if workers <= 1 || by_partition.len() <= 1 {
+            let t = self.sh.obs.start();
+            let mut parts: Vec<_> = by_partition.into_iter().collect();
+            parts.sort_by_key(|(p, _)| p.0);
+            for (_p, recs) in parts {
+                for rec in recs {
+                    self.apply_imrs_record(rec, heap_locs)?;
+                }
+            }
+            self.sh.obs.record_since(OpClass::RecoveryReplay, t);
+        } else {
+            // Deterministic round-robin of partitions over workers.
+            let mut parts: Vec<_> = by_partition.into_iter().collect();
+            parts.sort_by_key(|(p, _)| p.0);
+            let mut shards: Vec<Vec<&ImrsLogRecord>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, (_p, recs)) in parts.into_iter().enumerate() {
+                shards[i % workers].extend(recs);
+            }
+            self.run_replay_workers(shards, |rec| self.apply_imrs_record(rec, heap_locs))?;
+        }
+        {
+            let mut rep = self.sh.recovery.lock();
+            rep.imrs_records_skipped = skipped;
+            rep.imrs_records_replayed = replayed;
+            rep.imrs_replay_micros = replay_start.elapsed().as_micros() as u64;
+        }
         if !newly_poisoned.is_empty() {
             // Raw appends on purpose: recovery has not opened the
             // engine for business, so a failure here should fail the
@@ -475,6 +518,109 @@ impl Engine {
         }
         self.sh.clock.advance_to(max_ts);
         self.sh.ridmap.bump_row_id_floor(max_row_id);
+        Ok(())
+    }
+
+    /// Re-apply one surviving (winner) IMRS log record to the row
+    /// store, indexes, and RID-Map. Called from one replay worker per
+    /// partition; everything it touches is either row/key-scoped (and
+    /// thus partition-local) or internally synchronized.
+    fn apply_imrs_record(
+        &self,
+        rec: &ImrsLogRecord,
+        heap_locs: &HashMap<RowId, (PageId, SlotId)>,
+    ) -> Result<()> {
+        match rec {
+            ImrsLogRecord::Insert {
+                txn,
+                ts,
+                partition,
+                row,
+                origin,
+                data,
+            } => {
+                let Some(table) = self.sh.catalog.table_of_partition(*partition) else {
+                    return Ok(());
+                };
+                self.sh.store.insert_row_committed(
+                    *row,
+                    *partition,
+                    origin_from_tag(*origin),
+                    *txn,
+                    data,
+                    *ts,
+                )?;
+                self.sh.ridmap.set(*row, RowLocation::Imrs);
+                let key = (table.primary_key)(data);
+                table.hash.insert(&key, *row);
+                Self::index_row(&table, *row, data);
+            }
+            ImrsLogRecord::Update {
+                txn,
+                ts,
+                partition,
+                row,
+                data,
+            } => {
+                match self.sh.store.get(*row) {
+                    Some(imrs_row) => {
+                        let v = self.sh.store.add_version(
+                            &imrs_row,
+                            *txn,
+                            btrim_imrs::VersionOp::Update,
+                            Some(data),
+                        )?;
+                        v.stamp(*ts);
+                        if let Some(table) = self.sh.catalog.table_of_partition(*partition) {
+                            Self::index_row(&table, *row, data);
+                        }
+                    }
+                    None => {
+                        // Defensive: an update without a resident row
+                        // (should not happen in an intact log).
+                        let Some(table) = self.sh.catalog.table_of_partition(*partition) else {
+                            return Ok(());
+                        };
+                        self.sh.store.insert_row_committed(
+                            *row,
+                            *partition,
+                            btrim_imrs::RowOrigin::Inserted,
+                            *txn,
+                            data,
+                            *ts,
+                        )?;
+                        self.sh.ridmap.set(*row, RowLocation::Imrs);
+                        Self::index_row(&table, *row, data);
+                        let key = (table.primary_key)(data);
+                        table.hash.insert(&key, *row);
+                    }
+                }
+            }
+            ImrsLogRecord::Delete { partition, row, .. } => {
+                self.drop_imrs_row(*partition, *row, true)?;
+                self.sh.ridmap.remove(*row);
+            }
+            ImrsLogRecord::Pack { partition, row, .. } => {
+                // The packed copy was re-inserted by syslogs redo —
+                // unless the row was subsequently deleted from the
+                // page store (or re-migrated; a later Insert record
+                // then recreates everything). If the heap does not
+                // hold the row, its index entries and RID-Map entry
+                // must go, or they would shadow a later re-insert of
+                // the same key under a new RowId.
+                match heap_locs.get(row) {
+                    Some(&(page, slot)) => {
+                        self.drop_imrs_row(*partition, *row, false)?;
+                        self.sh.ridmap.set(*row, RowLocation::Page(page, slot));
+                    }
+                    None => {
+                        self.drop_imrs_row(*partition, *row, true)?;
+                        self.sh.ridmap.remove(*row);
+                    }
+                }
+            }
+            ImrsLogRecord::Discard { .. } => unreachable!("filtered by the caller"), // lint: allow(no-panic) -- Discard records never reach the per-partition shards (the classification pass drops them); reaching this arm is a recovery-logic bug worth a loud stop
+        }
         Ok(())
     }
 

@@ -296,13 +296,25 @@ impl EngineSnapshot {
             let r = &self.recovery;
             out.push_str(&format!(
                 "recovery: salvaged sys {} (dropped {}) imrs {} (dropped {})   \
-                 pages-reset {}   records-skipped {}\n",
+                 pages-reset {}   records-skipped {}\n\
+                 recovery replay: workers {}   redo {} (floor-skipped {})   \
+                 imrs-replayed {}\n\
+                 recovery phases (µs): analysis {} page-redo {} heap-rebuild {} \
+                 imrs-replay {}\n",
                 r.syslog_salvaged,
                 r.syslog_dropped,
                 r.imrslog_salvaged,
                 r.imrslog_dropped,
                 r.pages_reset,
                 r.imrs_records_skipped,
+                r.replay_workers,
+                r.syslog_redo_replayed,
+                r.syslog_redo_skipped,
+                r.imrs_records_replayed,
+                r.analysis_micros,
+                r.page_redo_micros,
+                r.heap_rebuild_micros,
+                r.imrs_replay_micros,
             ));
         }
         out.push_str(&format!(
@@ -414,6 +426,13 @@ impl EngineSnapshot {
                 "\"gc_bytes_freed\":{},\"queue_total\":{},\"storage_errors\":{},",
                 "\"txns_active\":{},\"side_store_entries\":{},\"side_store_bytes\":{},",
                 "\"health\":\"{}\",",
+                "\"recovery\":{{\"syslog_salvaged\":{},\"syslog_dropped\":{},",
+                "\"imrslog_salvaged\":{},\"imrslog_dropped\":{},\"pages_reset\":{},",
+                "\"imrs_records_skipped\":{},\"replay_workers\":{},",
+                "\"syslog_redo_replayed\":{},\"syslog_redo_skipped\":{},",
+                "\"imrs_records_replayed\":{},\"analysis_micros\":{},",
+                "\"page_redo_micros\":{},\"heap_rebuild_micros\":{},",
+                "\"imrs_replay_micros\":{}}},",
                 "\"latency_ns\":[{}],",
                 "\"ilm_trace\":{{\"pushed\":{},\"dropped\":{},\"events\":[{}]}},",
                 "\"tables\":[{}]}}"
@@ -441,6 +460,20 @@ impl EngineSnapshot {
             self.side_store_entries,
             self.side_store_bytes,
             json::escape(&self.health.to_string()),
+            self.recovery.syslog_salvaged,
+            self.recovery.syslog_dropped,
+            self.recovery.imrslog_salvaged,
+            self.recovery.imrslog_dropped,
+            self.recovery.pages_reset,
+            self.recovery.imrs_records_skipped,
+            self.recovery.replay_workers,
+            self.recovery.syslog_redo_replayed,
+            self.recovery.syslog_redo_skipped,
+            self.recovery.imrs_records_replayed,
+            self.recovery.analysis_micros,
+            self.recovery.page_redo_micros,
+            self.recovery.heap_rebuild_micros,
+            self.recovery.imrs_replay_micros,
             latency.join(","),
             self.ilm_trace_pushed,
             self.ilm_trace_dropped,

@@ -174,8 +174,14 @@ fn durable_commits_flush_logs_eagerly() {
     assert!(imrslog.record_count() >= 1);
 }
 
+/// Regression for the quiesced-only truncation gap: the old
+/// stop-the-world checkpoint recycled the syslog prefix only when
+/// `active_count() == 0`, so a busy engine never reclaimed log space.
+/// The fuzzy checkpoint truncates up to the low-water mark — the first
+/// log record of the oldest in-flight transaction — with writers still
+/// active.
 #[test]
-fn quiesced_checkpoint_truncates_syslogs_and_recovery_still_works() {
+fn fuzzy_checkpoint_truncates_with_a_writer_in_flight() {
     use btrim_wal::LogSink;
     let disk = Arc::new(MemDisk::new());
     let syslog = Arc::new(MemLog::new());
@@ -183,6 +189,321 @@ fn quiesced_checkpoint_truncates_syslogs_and_recovery_still_works() {
     {
         let e = Engine::with_devices(
             cfg(EngineMode::PageOnly),
+            disk.clone(),
+            syslog.clone(),
+            imrslog.clone(),
+        );
+        let t = e.create_table(opts()).unwrap();
+        let mut txn = e.begin();
+        for i in 0..200u64 {
+            e.insert(&mut txn, &t, &mkrow(i, b"bulk--")).unwrap();
+        }
+        e.commit(txn).unwrap();
+
+        // Held open across the checkpoint: the engine is NOT quiesced.
+        let mut open = e.begin();
+        e.insert(&mut open, &t, &mkrow(10_000, b"opentx")).unwrap();
+
+        let bytes_before = syslog.byte_size();
+        e.checkpoint().unwrap();
+        assert!(
+            syslog.byte_size() < bytes_before / 2,
+            "checkpoint under load must recycle the prefix ({} -> {})",
+            bytes_before,
+            syslog.byte_size()
+        );
+
+        e.commit(open).unwrap();
+        // Crash without shutdown.
+    }
+    let e = Engine::recover(cfg(EngineMode::PageOnly), disk, syslog, imrslog, |e| {
+        e.create_table(opts()).map(|_| ())
+    })
+    .unwrap();
+    let t = e.table("t").unwrap();
+    let txn = e.begin();
+    for i in 0..200u64 {
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"bulk--",
+            "checkpointed row {i}"
+        );
+    }
+    assert_eq!(
+        &e.get(&txn, &t, &10_000u64.to_be_bytes()).unwrap().unwrap()[8..],
+        b"opentx",
+        "the in-flight transaction's insert survives the truncation"
+    );
+    e.commit(txn).unwrap();
+}
+
+/// The fuzzy checkpoint never quiesces: eight writer threads must keep
+/// committing while the checkpoint's rate-limited flush batches run.
+#[test]
+fn writers_make_progress_during_a_fuzzy_checkpoint() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let e = Engine::with_devices(
+        EngineConfig {
+            // Small batches with a real pause: the checkpoint window is
+            // wide enough that writer overlap is deterministic in
+            // practice, not a scheduling accident.
+            checkpoint_flush_batch: 4,
+            checkpoint_batch_pause_us: 500,
+            ..cfg(EngineMode::PageOnly)
+        },
+        Arc::new(MemDisk::new()),
+        Arc::new(MemLog::new()),
+        Arc::new(MemLog::new()),
+    );
+    let t = e.create_table(opts()).unwrap();
+    // Seed plenty of dirty pages so the checkpoint runs many batches.
+    {
+        let mut txn = e.begin();
+        for i in 0..6_000u64 {
+            e.insert(&mut txn, &t, &mkrow(i, b"seed--")).unwrap();
+        }
+        e.commit(txn).unwrap();
+    }
+    let stop = AtomicBool::new(false);
+    let counters: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|s| {
+        let (e, t, stop, counters) = (&e, &t, &stop, &counters);
+        for w in 0..8u64 {
+            s.spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = 1_000_000 * (w + 1) + n;
+                    let mut txn = e.begin();
+                    e.insert(&mut txn, t, &mkrow(key, b"writer")).unwrap();
+                    e.commit(txn).unwrap();
+                    counters[w as usize].fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                }
+            });
+        }
+        let total = || {
+            counters
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum::<u64>()
+        };
+        // Let every writer get going before checkpointing under load.
+        while total() < 64 {
+            std::thread::yield_now();
+        }
+        let before = total();
+        let ckpt = e.checkpoint();
+        let after = total();
+        stop.store(true, Ordering::Relaxed);
+        ckpt.unwrap();
+        assert!(
+            after >= before + 8,
+            "writers stalled during the checkpoint window ({before} -> {after})"
+        );
+    });
+    for (w, c) in counters.iter().enumerate() {
+        assert!(
+            c.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "writer {w} never committed"
+        );
+    }
+}
+
+/// After a fuzzy checkpoint, redo covers only the post-low-water
+/// suffix — asserted through the [`RecoveryReport`] counters, not just
+/// the recovered values.
+#[test]
+fn redo_after_fuzzy_checkpoint_replays_only_the_suffix() {
+    let disk = Arc::new(MemDisk::new());
+    let syslog = Arc::new(MemLog::new());
+    let imrslog = Arc::new(MemLog::new());
+    {
+        let e = Engine::with_devices(
+            cfg(EngineMode::PageOnly),
+            disk.clone(),
+            syslog.clone(),
+            imrslog.clone(),
+        );
+        let t = e.create_table(opts()).unwrap();
+        // 60 pre-checkpoint change records...
+        let mut txn = e.begin();
+        for i in 0..60u64 {
+            e.insert(&mut txn, &t, &mkrow(i, b"before")).unwrap();
+        }
+        e.commit(txn).unwrap();
+        e.checkpoint().unwrap();
+        // ...and exactly 15 after it.
+        let mut txn = e.begin();
+        for i in 0..15u64 {
+            e.update(&mut txn, &t, &i.to_be_bytes(), &mkrow(i, b"after!"))
+                .unwrap();
+        }
+        e.commit(txn).unwrap();
+        // Crash without a second checkpoint.
+    }
+    let e = Engine::recover(
+        EngineConfig {
+            recovery_workers: 4,
+            ..cfg(EngineMode::PageOnly)
+        },
+        disk,
+        syslog,
+        imrslog,
+        |e| e.create_table(opts()).map(|_| ()),
+    )
+    .unwrap();
+    let r = e.recovery_report();
+    assert_eq!(
+        r.syslog_redo_skipped, 0,
+        "the checkpoint truncates the prefix; nothing should be left to skip: {r:?}"
+    );
+    assert_eq!(
+        r.syslog_redo_replayed, 15,
+        "redo must cover exactly the post-checkpoint suffix: {r:?}"
+    );
+    assert!(r.replay_workers >= 1, "worker count missing: {r:?}");
+    let t = e.table("t").unwrap();
+    let txn = e.begin();
+    for i in 0..15u64 {
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"after!"
+        );
+    }
+    for i in 15..60u64 {
+        assert_eq!(
+            &e.get(&txn, &t, &i.to_be_bytes()).unwrap().unwrap()[8..],
+            b"before"
+        );
+    }
+    e.commit(txn).unwrap();
+}
+
+/// Serial and parallel replay agree, and recovery is idempotent: the
+/// same crashed media recovered with 1 worker, then recovered *again*
+/// with 8 (including the first recovery's own writes), lands in the
+/// same committed state.
+#[test]
+fn parallel_recovery_matches_serial_and_is_idempotent() {
+    use btrim_core::pack::{pack_cycle, PackLevel};
+    use std::collections::BTreeMap;
+
+    fn opts_parts() -> TableOpts {
+        TableOpts {
+            name: "t".into(),
+            imrs_enabled: true,
+            pinned: false,
+            partitioner: Partitioner::HashKey { parts: 8 },
+            primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+        }
+    }
+    fn scan(e: &Engine) -> BTreeMap<u64, Vec<u8>> {
+        let t = e.table("t").unwrap();
+        let txn = e.begin();
+        let mut out = BTreeMap::new();
+        e.scan_range(&txn, &t, &[], None, |k, _, row| {
+            out.insert(u64::from_be_bytes(k[..8].try_into().unwrap()), row.to_vec());
+            true
+        })
+        .unwrap();
+        e.commit(txn).unwrap();
+        out
+    }
+
+    let disk = Arc::new(MemDisk::new());
+    let syslog = Arc::new(MemLog::new());
+    let imrslog = Arc::new(MemLog::new());
+    let mut expect: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    {
+        let e = Engine::with_devices(
+            cfg(EngineMode::IlmOn),
+            disk.clone(),
+            syslog.clone(),
+            imrslog.clone(),
+        );
+        let t = e.create_table(opts_parts()).unwrap();
+        for i in 0..300u64 {
+            let row = mkrow(i, b"v1----");
+            let mut txn = e.begin();
+            e.insert(&mut txn, &t, &row).unwrap();
+            e.commit(txn).unwrap();
+            expect.insert(i, row);
+        }
+        // Push a slice of the rows onto pages so both the page log and
+        // the IMRS log carry real replay work across all 8 partitions.
+        e.run_maintenance();
+        pack_cycle(&e, PackLevel::Aggressive);
+        for i in 0..150u64 {
+            let row = mkrow(i, b"v2----");
+            let mut txn = e.begin();
+            assert!(e.update(&mut txn, &t, &i.to_be_bytes(), &row).unwrap());
+            e.commit(txn).unwrap();
+            expect.insert(i, row);
+        }
+        for i in 280..300u64 {
+            let mut txn = e.begin();
+            assert!(e.delete(&mut txn, &t, &i.to_be_bytes()).unwrap());
+            e.commit(txn).unwrap();
+            expect.remove(&i);
+        }
+        // Crash without shutdown.
+    }
+    let serial = {
+        let e = Engine::recover(
+            EngineConfig {
+                recovery_workers: 1,
+                ..cfg(EngineMode::IlmOn)
+            },
+            disk.clone(),
+            syslog.clone(),
+            imrslog.clone(),
+            |e| e.create_table(opts_parts()).map(|_| ()),
+        )
+        .unwrap();
+        assert_eq!(e.recovery_report().replay_workers, 1);
+        scan(&e)
+        // Dropped without shutdown: the second recovery also proves
+        // replay is re-enterable over a previous recovery's writes.
+    };
+    let parallel = {
+        let e = Engine::recover(
+            EngineConfig {
+                recovery_workers: 8,
+                ..cfg(EngineMode::IlmOn)
+            },
+            disk,
+            syslog,
+            imrslog,
+            |e| e.create_table(opts_parts()).map(|_| ()),
+        )
+        .unwrap();
+        let r = e.recovery_report();
+        assert_eq!(r.replay_workers, 8);
+        assert!(
+            r.imrs_records_replayed > 0,
+            "IMRS replay was exercised: {r:?}"
+        );
+        scan(&e)
+    };
+    assert_eq!(serial, expect, "serial recovery state");
+    assert_eq!(parallel, expect, "parallel recovery state");
+}
+
+#[test]
+fn quiesced_checkpoint_truncates_syslogs_and_recovery_still_works() {
+    use btrim_wal::LogSink;
+    // Pin the legacy stop-the-world path: fuzzy checkpoints have their
+    // own tests above.
+    let quiesced = |mode| EngineConfig {
+        fuzzy_checkpoint: false,
+        ..cfg(mode)
+    };
+    let disk = Arc::new(MemDisk::new());
+    let syslog = Arc::new(MemLog::new());
+    let imrslog = Arc::new(MemLog::new());
+    {
+        let e = Engine::with_devices(
+            quiesced(EngineMode::PageOnly),
             disk.clone(),
             syslog.clone(),
             imrslog.clone(),
@@ -209,7 +530,7 @@ fn quiesced_checkpoint_truncates_syslogs_and_recovery_still_works() {
         }
         e.commit(txn).unwrap();
     }
-    let e = Engine::recover(cfg(EngineMode::PageOnly), disk, syslog, imrslog, |e| {
+    let e = Engine::recover(quiesced(EngineMode::PageOnly), disk, syslog, imrslog, |e| {
         e.create_table(opts()).map(|_| ())
     })
     .unwrap();

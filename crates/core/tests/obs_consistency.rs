@@ -111,7 +111,7 @@ fn tuner_trace_explains_every_toggle() {
         .into_iter()
         .filter_map(|ev| match ev {
             IlmTraceEvent::Tuner(t) => Some(t),
-            IlmTraceEvent::Pack(_) => None,
+            _ => None,
         })
         .collect();
 
@@ -222,7 +222,7 @@ fn pack_trace_bytes_sum_to_bytes_packed() {
         .into_iter()
         .filter_map(|ev| match ev {
             IlmTraceEvent::Pack(p) => Some(p),
-            IlmTraceEvent::Tuner(_) => None,
+            _ => None,
         })
         .collect();
     assert!(!pack_events.is_empty(), "cycles must have been traced");

@@ -117,6 +117,11 @@ pub struct FaultState {
     plan: FaultPlan,
     rng: Mutex<StdRng>,
     ops: AtomicU64,
+    /// Dynamically armed fail-stop: absolute op index at which the
+    /// crash switch flips (`u64::MAX` = disarmed). Lets a test observe
+    /// the system, then schedule a crash "N device ops from now" —
+    /// e.g. mid-checkpoint — without knowing absolute counts up front.
+    dynamic_fail_stop: AtomicU64,
     page_writes: AtomicU64,
     log_appends: AtomicU64,
     log_batches: AtomicU64,
@@ -143,6 +148,7 @@ impl FaultState {
             rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
             budget_left: AtomicU64::new(plan.error_budget),
             ops: AtomicU64::new(0),
+            dynamic_fail_stop: AtomicU64::new(u64::MAX),
             page_writes: AtomicU64::new(0),
             log_appends: AtomicU64::new(0),
             log_batches: AtomicU64::new(0),
@@ -162,6 +168,22 @@ impl FaultState {
     /// Whether the fail-stop switch has flipped.
     pub fn crashed(&self) -> bool {
         self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Total device operations ticked so far (reads, writes, appends,
+    /// flushes, truncations — everything that consults the plan).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Acquire)
+    }
+
+    /// Arm a fail-stop `ops_from_now` device operations from the
+    /// current count: op index `ops() + ops_from_now` and everything
+    /// after it fails on every wrapped device. Arming again re-targets
+    /// the crash; a plan-level `fail_stop_after_ops` still applies
+    /// independently (whichever trips first wins).
+    pub fn fail_stop_in(&self, ops_from_now: u64) {
+        let at = self.ops().saturating_add(ops_from_now);
+        self.dynamic_fail_stop.store(at, Ordering::Release);
     }
 
     /// Flip the fail-stop switch immediately (all wrapped devices fail
@@ -208,6 +230,9 @@ impl FaultState {
             if op >= k {
                 self.crashed.store(true, Ordering::Release);
             }
+        }
+        if op >= self.dynamic_fail_stop.load(Ordering::Acquire) {
+            self.crashed.store(true, Ordering::Release);
         }
         if self.crashed() {
             return Err(injected("fail-stop"));
@@ -622,6 +647,26 @@ mod tests {
             1,
             "dying device persisted no part of the batch"
         );
+    }
+
+    #[test]
+    fn dynamic_fail_stop_counts_from_now() {
+        let state = FaultState::new(FaultPlan::default());
+        let disk = FaultDisk::new(Arc::new(MemDisk::new()), state.clone());
+        let log = FaultLog::new(Arc::new(MemLog::new()), state.clone());
+        let p = disk.allocate_page().unwrap(); // op 0
+        log.append(b"a").unwrap(); // op 1
+        assert_eq!(state.ops(), 2);
+        // Crash two ops from now: ops 2 and 3 succeed, op 4 fails.
+        state.fail_stop_in(2);
+        let w = heap_page(3);
+        disk.write_page(p, &w).unwrap(); // op 2
+        log.append(b"b").unwrap(); // op 3
+        assert!(disk.sync().is_err()); // op 4: crash
+        assert!(state.crashed());
+        assert!(log.append(b"c").is_err());
+        // Recovery-style reads still pass through.
+        assert_eq!(log.read_all().unwrap().len(), 2);
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub const RID_MAP: u16 = 40;
 pub const SIDE_STORE: u16 = 45;
 /// WAL inner locks (`wal::log::{MemLog, FileLog}::inner`).
 pub const WAL_LOG: u16 = 50;
+/// Active-transaction syslog floor table (`core::engine::Shared::
+/// txn_syslog_floor`): first-record LSN of every transaction alive on
+/// the page log, read by the fuzzy checkpoint to pick its low-water
+/// truncation LSN. Maintained right after `append_sys` returns — the
+/// log lock is already released, but DML callers may still hold locks
+/// up to the WAL tier, so the table ranks just above the log.
+pub const TXN_LOG_FLOOR: u16 = 55;
 /// Group-commit generation state (`wal::group::GroupCommitter::state`).
 pub const GROUP_COMMIT: u16 = 60;
 
@@ -60,6 +67,7 @@ pub const LOCK_RANKS: &[(&str, u16)] = &[
     ("rid-map", RID_MAP),
     ("side-store", SIDE_STORE),
     ("wal-log", WAL_LOG),
+    ("txn-log-floor", TXN_LOG_FLOOR),
     ("group-commit", GROUP_COMMIT),
 ];
 

@@ -81,11 +81,17 @@ pub enum OpClass {
     GcPass,
     /// One tuning window (§V.B).
     TuningWindow,
+    /// One fuzzy-checkpoint flush batch (dirty pages written back
+    /// without quiescing writers).
+    CheckpointFlush,
+    /// One recovery replay worker's shard of forward redo (page-log
+    /// redo or IMRS replay).
+    RecoveryReplay,
 }
 
 impl OpClass {
     /// Number of classes; sizes the histogram table.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// All classes, in display order.
     pub const ALL: [OpClass; Self::COUNT] = [
@@ -107,6 +113,8 @@ impl OpClass {
         OpClass::PackCycle,
         OpClass::GcPass,
         OpClass::TuningWindow,
+        OpClass::CheckpointFlush,
+        OpClass::RecoveryReplay,
     ];
 
     /// Stable machine-readable name (JSON keys, report rows).
@@ -130,6 +138,8 @@ impl OpClass {
             OpClass::PackCycle => "pack_cycle",
             OpClass::GcPass => "gc_pass",
             OpClass::TuningWindow => "tuning_window",
+            OpClass::CheckpointFlush => "checkpoint_flush",
+            OpClass::RecoveryReplay => "recovery_replay",
         }
     }
 }
@@ -335,11 +345,36 @@ pub struct PackCycleTrace {
     pub partitions: Vec<PackPartitionTrace>,
 }
 
+/// One fuzzy checkpoint, begin to end: how much it wrote, in how many
+/// rate-limited batches, the low-water LSN it certified, and how long
+/// the flushing stalled the checkpoint thread (writers are never
+/// stalled — that is the contract this trace exists to audit).
+#[derive(Clone, Debug)]
+pub struct CheckpointTrace {
+    /// Checkpoint ordinal (1-based over the engine's lifetime).
+    pub ordinal: u64,
+    /// Dirty pages enumerated at begin.
+    pub dirty_pages: u64,
+    /// Pages actually written back (≤ `dirty_pages`: pages evicted or
+    /// cleaned mid-checkpoint are skipped).
+    pub pages_flushed: u64,
+    /// Flush batches issued.
+    pub batches: u64,
+    /// Redo low-water LSN the completed pair certified.
+    pub low_water_lsn: u64,
+    /// Syslog records dropped by the post-checkpoint prefix truncation.
+    pub truncated_records: u64,
+    /// Wall time the checkpoint thread spent flushing + syncing
+    /// (excludes the deliberate inter-batch pauses).
+    pub stall_nanos: u64,
+}
+
 /// An entry in the ILM decision trace ring.
 #[derive(Clone, Debug)]
 pub enum IlmTraceEvent {
     Tuner(TunerTrace),
     Pack(PackCycleTrace),
+    Checkpoint(CheckpointTrace),
 }
 
 impl IlmTraceEvent {
@@ -410,6 +445,20 @@ impl IlmTraceEvent {
                     parts.join(","),
                 )
             }
+            IlmTraceEvent::Checkpoint(c) => format!(
+                concat!(
+                    "{{\"kind\":\"checkpoint\",\"ordinal\":{},\"dirty_pages\":{},",
+                    "\"pages_flushed\":{},\"batches\":{},\"low_water_lsn\":{},",
+                    "\"truncated_records\":{},\"stall_nanos\":{}}}"
+                ),
+                c.ordinal,
+                c.dirty_pages,
+                c.pages_flushed,
+                c.batches,
+                c.low_water_lsn,
+                c.truncated_records,
+                c.stall_nanos,
+            ),
         }
     }
 }
@@ -516,7 +565,16 @@ mod tests {
                 scanned: true,
             }],
         });
-        for ev in [tuner, pack] {
+        let ckpt = IlmTraceEvent::Checkpoint(CheckpointTrace {
+            ordinal: 4,
+            dirty_pages: 120,
+            pages_flushed: 118,
+            batches: 2,
+            low_water_lsn: 501,
+            truncated_records: 480,
+            stall_nanos: 2_000_000,
+        });
+        for ev in [tuner, pack, ckpt] {
             let js = ev.to_json();
             json::validate(&js).unwrap_or_else(|e| panic!("{e}: {js}"));
         }

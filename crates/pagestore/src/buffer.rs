@@ -819,6 +819,78 @@ impl BufferCache {
         }
         self.backend.sync()
     }
+
+    /// Page ids of every dirty resident frame — the dirty-page table a
+    /// fuzzy checkpoint snapshots at begin. One shard lock at a time;
+    /// the result is a moment-in-time view, which is all a fuzzy
+    /// checkpoint needs (pages dirtied after the snapshot carry log
+    /// records above the checkpoint's low-water LSN).
+    pub fn dirty_page_ids(&self) -> Vec<PageId> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let inner = self.lock_shard(shard);
+            out.extend(
+                inner
+                    .frames
+                    .iter()
+                    .filter(|f| f.dirty.load(Ordering::Acquire))
+                    .map(|f| f.page_id),
+            );
+        }
+        out
+    }
+
+    /// Write back the named pages (one fuzzy-checkpoint batch),
+    /// returning how many were actually flushed. Pages stay resident;
+    /// writers are never quiesced — the shard lock is held only to pin,
+    /// each write runs lock-free under the frame latch, exactly the
+    /// [`flush_all`](Self::flush_all) discipline. A page that was
+    /// evicted (its eviction write-back already persisted it) or
+    /// cleaned since enumeration is skipped. Does **not** sync the
+    /// backend; the checkpoint syncs once after its last batch.
+    pub fn flush_pages(&self, pages: &[PageId]) -> Result<usize> {
+        let mut flushed = 0usize;
+        for &id in pages {
+            let shard = &self.shards[self.shard_of(id)];
+            let frame = {
+                let inner = self.lock_shard(shard);
+                inner.map.get(&id).map(|&idx| {
+                    let f = &inner.frames[idx];
+                    f.pin.fetch_add(1, Ordering::AcqRel);
+                    Arc::clone(f)
+                })
+            };
+            let Some(frame) = frame else { continue };
+            let mut flush_err = None;
+            if frame.dirty.swap(false, Ordering::AcqRel) {
+                let wrote = {
+                    let data = frame.data.read();
+                    self.write_with_retry(frame.page_id, &data)
+                };
+                match wrote {
+                    Ok(()) => {
+                        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                        flushed += 1;
+                    }
+                    Err(e) => {
+                        frame.dirty.store(true, Ordering::Release);
+                        flush_err = Some(e);
+                    }
+                }
+            }
+            frame.pin.fetch_sub(1, Ordering::AcqRel);
+            if let Some(e) = flush_err {
+                return Err(e);
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Durably sync the backing device (the fuzzy checkpoint's single
+    /// sync after its last [`flush_pages`](Self::flush_pages) batch).
+    pub fn sync_backend(&self) -> Result<()> {
+        self.backend.sync()
+    }
 }
 
 /// Largest power of two ≤ capacity/32, clamped to [1, 16]; tiny caches
@@ -979,6 +1051,80 @@ mod tests {
         // Now there is an evictable frame.
         let g3 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
         assert_ne!(g1.page_id(), g3.page_id());
+    }
+
+    #[test]
+    fn dirty_page_ids_and_batched_flush() {
+        let backend = Arc::new(MemDisk::new());
+        let c = BufferCache::new(backend.clone(), 8);
+        let mut ids = Vec::new();
+        for i in 0..4u8 {
+            let g = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+            g.with_page_write(|p| {
+                p.insert(&[i; 8]).unwrap();
+            });
+            ids.push(g.page_id());
+        }
+        let mut dirty = c.dirty_page_ids();
+        dirty.sort();
+        let mut want = ids.clone();
+        want.sort();
+        assert_eq!(dirty, want);
+
+        // Flush in two batches; a made-up id (never resident) and a
+        // repeated id (already clean on the second pass) are skipped.
+        let flushed = c.flush_pages(&[ids[0], ids[1], PageId(9999)]).unwrap();
+        assert_eq!(flushed, 2);
+        assert_eq!(c.dirty_page_ids().len(), 2);
+        let flushed = c.flush_pages(&[ids[0], ids[2], ids[3]]).unwrap();
+        assert_eq!(flushed, 2);
+        c.sync_backend().unwrap();
+        assert!(c.dirty_page_ids().is_empty());
+        // Pages stayed resident and the bytes reached the device.
+        assert_eq!(c.resident(), 4);
+        for (i, id) in ids.iter().enumerate() {
+            let mut raw = vec![0u8; PAGE_SIZE];
+            backend.read_page(*id, &mut raw).unwrap();
+            let page = SlottedPage::new(&mut raw);
+            assert_eq!(page.get(btrim_common::SlotId(0)).unwrap(), &[i as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn flush_pages_keeps_writers_running() {
+        // A frame being flushed stays writable: flush_pages must never
+        // hold the shard lock across the device write, so a concurrent
+        // writer re-dirtying the page cannot stall behind the flush.
+        let c = Arc::new(cache(8));
+        let id = {
+            let g = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+            g.with_page_write(|p| {
+                p.insert(b"v0").unwrap();
+            });
+            g.page_id()
+        };
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let c = Arc::clone(&c);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut writes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let g = c.fetch(id).unwrap();
+                    g.with_page_write(|p| {
+                        assert!(p.update(btrim_common::SlotId(0), b"vN"));
+                    });
+                    writes += 1;
+                }
+                writes
+            })
+        };
+        for _ in 0..200 {
+            c.flush_pages(&[id]).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let writes = writer.join().unwrap();
+        assert!(writes > 0, "writer must make progress during flushes");
     }
 
     #[test]

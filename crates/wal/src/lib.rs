@@ -27,5 +27,5 @@ pub mod recovery;
 
 pub use group::GroupCommitter;
 pub use log::{FileLog, FormatEpoch, LogSink, LogWriter, LsnRange, MemLog};
-pub use record::{ImrsLogRecord, PageLogRecord, RowOriginTag};
+pub use record::{Encodable, ImrsLogRecord, PageLogRecord, RowOriginTag};
 pub use recovery::{analyze_page_log, LogAnalysis};

@@ -5,7 +5,7 @@
 //! commit time, already stamped with the commit timestamp.
 
 use btrim_common::codec::{Decoder, Encoder};
-use btrim_common::{BtrimError, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId};
+use btrim_common::{BtrimError, Lsn, PageId, PartitionId, Result, RowId, SlotId, Timestamp, TxnId};
 
 /// A record type that can be framed into a log sink.
 pub trait Encodable: Sized {
@@ -77,7 +77,28 @@ pub enum PageLogRecord {
         old: Vec<u8>,
     },
     /// Checkpoint: every page change below this point is on disk.
+    /// Legacy stop-the-world form; still decoded and honored by
+    /// analysis, no longer written by the fuzzy checkpoint path.
     Checkpoint,
+    /// Fuzzy checkpoint opened. `low_water` is the redo floor this
+    /// checkpoint will certify **once its matching
+    /// [`CheckpointEnd`](PageLogRecord::CheckpointEnd) lands**: the
+    /// minimum of this record's own LSN and the first-record LSN of
+    /// every transaction in flight when the checkpoint began
+    /// (`Lsn::ZERO` encodes "no in-flight writers — use this record's
+    /// own LSN"). `dirty_pages` is the dirty-page table snapshotted at
+    /// begin; the checkpoint flushes exactly these pages, in batches,
+    /// without quiescing writers. A Begin with no matching End is a
+    /// torn checkpoint and certifies nothing.
+    CheckpointBegin {
+        low_water: Lsn,
+        dirty_pages: Vec<PageId>,
+    },
+    /// Fuzzy checkpoint closed: every page named in the
+    /// [`CheckpointBegin`](PageLogRecord::CheckpointBegin) at
+    /// `begin_lsn` has been written back and synced. Only the pair
+    /// (matched by `begin_lsn`) moves the redo floor.
+    CheckpointEnd { begin_lsn: Lsn },
 }
 
 impl Encodable for PageLogRecord {
@@ -150,6 +171,21 @@ impl Encodable for PageLogRecord {
             PageLogRecord::Checkpoint => {
                 e.put_u8(6);
             }
+            PageLogRecord::CheckpointBegin {
+                low_water,
+                dirty_pages,
+            } => {
+                e.put_u8(7);
+                e.put_u64(low_water.0);
+                e.put_u32(dirty_pages.len() as u32);
+                for p in dirty_pages {
+                    e.put_u32(p.0);
+                }
+            }
+            PageLogRecord::CheckpointEnd { begin_lsn } => {
+                e.put_u8(8);
+                e.put_u64(begin_lsn.0);
+            }
         }
         e.into_vec()
     }
@@ -194,6 +230,21 @@ impl Encodable for PageLogRecord {
                 old: d.get_bytes()?,
             },
             6 => PageLogRecord::Checkpoint,
+            7 => {
+                let low_water = Lsn(d.get_u64()?);
+                let n = d.get_u32()? as usize;
+                let mut dirty_pages = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    dirty_pages.push(PageId(d.get_u32()?));
+                }
+                PageLogRecord::CheckpointBegin {
+                    low_water,
+                    dirty_pages,
+                }
+            }
+            8 => PageLogRecord::CheckpointEnd {
+                begin_lsn: Lsn(d.get_u64()?),
+            },
             t => return Err(BtrimError::Corrupt(format!("bad page log tag {t}"))),
         })
     }
@@ -209,7 +260,9 @@ impl PageLogRecord {
             | PageLogRecord::Insert { txn, .. }
             | PageLogRecord::Update { txn, .. }
             | PageLogRecord::Delete { txn, .. } => Some(*txn),
-            PageLogRecord::Checkpoint => None,
+            PageLogRecord::Checkpoint
+            | PageLogRecord::CheckpointBegin { .. }
+            | PageLogRecord::CheckpointEnd { .. } => None,
         }
     }
 }
@@ -462,6 +515,15 @@ mod tests {
             old: vec![7, 7],
         });
         roundtrip_page(PageLogRecord::Checkpoint);
+        roundtrip_page(PageLogRecord::CheckpointBegin {
+            low_water: Lsn(42),
+            dirty_pages: vec![PageId(1), PageId(9), PageId(4000)],
+        });
+        roundtrip_page(PageLogRecord::CheckpointBegin {
+            low_water: Lsn::ZERO,
+            dirty_pages: vec![],
+        });
+        roundtrip_page(PageLogRecord::CheckpointEnd { begin_lsn: Lsn(43) });
     }
 
     #[test]
@@ -509,6 +571,18 @@ mod tests {
     #[test]
     fn txn_and_accessors() {
         assert_eq!(PageLogRecord::Checkpoint.txn(), None);
+        assert_eq!(
+            PageLogRecord::CheckpointBegin {
+                low_water: Lsn(1),
+                dirty_pages: vec![],
+            }
+            .txn(),
+            None
+        );
+        assert_eq!(
+            PageLogRecord::CheckpointEnd { begin_lsn: Lsn(1) }.txn(),
+            None
+        );
         assert_eq!(PageLogRecord::Begin { txn: TxnId(4) }.txn(), Some(TxnId(4)));
         let r = ImrsLogRecord::Pack {
             txn: TxnId(8),

@@ -23,11 +23,33 @@ pub struct LogAnalysis {
     /// Transactions that aborted cleanly (already undone before the
     /// crash, because our undo happens online at rollback).
     pub aborted: HashSet<TxnId>,
-    /// LSN of the last checkpoint record, if any. Redo may start here
-    /// because all earlier page changes were flushed.
+    /// LSN of the last **complete** checkpoint, if any: a legacy
+    /// [`Checkpoint`](PageLogRecord::Checkpoint) record, or the
+    /// `CheckpointBegin` of a begin/end pair whose end arrived. A torn
+    /// pair (Begin without End) is ignored, falling back to the
+    /// previous complete checkpoint.
     pub last_checkpoint: Option<Lsn>,
+    /// Redo floor certified by the last complete checkpoint: every
+    /// page change with `lsn < redo_low_water` is durably on disk.
+    /// For a legacy checkpoint this equals its LSN; for a fuzzy pair
+    /// it is the `low_water` carried by the Begin record (or the
+    /// Begin's own LSN when the record encodes `Lsn::ZERO`, meaning no
+    /// writers were in flight).
+    pub redo_low_water: Option<Lsn>,
+    /// Checkpoint Begin records left open at the log tail (crash
+    /// mid-checkpoint). Diagnostic only — torn pairs certify nothing.
+    pub torn_checkpoints: u64,
     /// Highest commit timestamp seen (clock resume point).
     pub max_commit_ts: Timestamp,
+}
+
+impl LogAnalysis {
+    /// LSN below which forward redo may skip change records. Records
+    /// with `lsn < redo_floor()` are certified durable; the floor
+    /// itself must still replay.
+    pub fn redo_floor(&self) -> Lsn {
+        self.redo_low_water.unwrap_or(Lsn::ZERO)
+    }
 }
 
 /// Analyse the page-store log: classify transactions and find the last
@@ -35,6 +57,8 @@ pub struct LogAnalysis {
 pub fn analyze_page_log(records: &[(Lsn, PageLogRecord)]) -> LogAnalysis {
     let mut a = LogAnalysis::default();
     let mut seen: HashSet<TxnId> = HashSet::new();
+    // Open fuzzy checkpoint, if any: (begin lsn, effective low-water).
+    let mut pending_ckpt: Option<(Lsn, Lsn)> = None;
     for (lsn, rec) in records {
         match rec {
             PageLogRecord::Begin { txn } => {
@@ -54,6 +78,26 @@ pub fn analyze_page_log(records: &[(Lsn, PageLogRecord)]) -> LogAnalysis {
             }
             PageLogRecord::Checkpoint => {
                 a.last_checkpoint = Some(*lsn);
+                a.redo_low_water = Some(*lsn);
+            }
+            PageLogRecord::CheckpointBegin { low_water, .. } => {
+                // A Begin overtaking an earlier unmatched Begin means
+                // the earlier checkpoint crashed mid-flight: torn.
+                if pending_ckpt.is_some() {
+                    a.torn_checkpoints += 1;
+                }
+                let floor = if low_water.0 == 0 { *lsn } else { *low_water };
+                pending_ckpt = Some((*lsn, floor));
+            }
+            PageLogRecord::CheckpointEnd { begin_lsn } => {
+                // Only the matching pair certifies; an End whose Begin
+                // was truncated away (or never written) is ignored.
+                if let Some((begin, floor)) = pending_ckpt.take() {
+                    if begin == *begin_lsn {
+                        a.last_checkpoint = Some(begin);
+                        a.redo_low_water = Some(floor);
+                    }
+                }
             }
             PageLogRecord::Insert { txn, .. }
             | PageLogRecord::Update { txn, .. }
@@ -66,6 +110,9 @@ pub fn analyze_page_log(records: &[(Lsn, PageLogRecord)]) -> LogAnalysis {
                 }
             }
         }
+    }
+    if pending_ckpt.is_some() {
+        a.torn_checkpoints += 1;
     }
     a
 }
@@ -146,6 +193,86 @@ mod tests {
         assert!(a.winners.is_empty());
         assert!(a.losers.is_empty());
         assert_eq!(a.last_checkpoint, None);
+        assert_eq!(a.redo_low_water, None);
+        assert_eq!(a.redo_floor(), Lsn::ZERO);
         assert_eq!(a.max_commit_ts, Timestamp::ZERO);
+    }
+
+    fn ckpt_begin(low_water: u64) -> PageLogRecord {
+        PageLogRecord::CheckpointBegin {
+            low_water: Lsn(low_water),
+            dirty_pages: vec![PageId(3)],
+        }
+    }
+
+    #[test]
+    fn complete_fuzzy_pair_sets_floor_from_low_water() {
+        let log = with_lsns(vec![
+            PageLogRecord::Begin { txn: TxnId(1) }, // lsn 1, still active
+            ins(1),                                 // lsn 2
+            ckpt_begin(1),                          // lsn 3, low-water = txn 1's Begin
+            PageLogRecord::CheckpointEnd { begin_lsn: Lsn(3) }, // lsn 4
+        ]);
+        let a = analyze_page_log(&log);
+        assert_eq!(a.last_checkpoint, Some(Lsn(3)));
+        assert_eq!(a.redo_low_water, Some(Lsn(1)));
+        assert_eq!(a.redo_floor(), Lsn(1));
+        assert_eq!(a.torn_checkpoints, 0);
+    }
+
+    #[test]
+    fn zero_low_water_means_begin_own_lsn() {
+        let log = with_lsns(vec![
+            ckpt_begin(0), // lsn 1: no in-flight writers at begin
+            PageLogRecord::CheckpointEnd { begin_lsn: Lsn(1) },
+        ]);
+        let a = analyze_page_log(&log);
+        assert_eq!(a.redo_low_water, Some(Lsn(1)));
+    }
+
+    #[test]
+    fn torn_pair_falls_back_to_previous_complete_checkpoint() {
+        let log = with_lsns(vec![
+            ckpt_begin(0),                                      // lsn 1: completes below
+            PageLogRecord::CheckpointEnd { begin_lsn: Lsn(1) }, // lsn 2
+            PageLogRecord::Begin { txn: TxnId(5) },             // lsn 3
+            ckpt_begin(3), // lsn 4: crash before its End — torn
+        ]);
+        let a = analyze_page_log(&log);
+        assert_eq!(
+            a.last_checkpoint,
+            Some(Lsn(1)),
+            "torn pair must not move the floor"
+        );
+        assert_eq!(a.redo_low_water, Some(Lsn(1)));
+        assert_eq!(a.torn_checkpoints, 1);
+    }
+
+    #[test]
+    fn end_without_matching_begin_is_ignored() {
+        // An End whose Begin was truncated away, plus an End that
+        // names the wrong Begin (overlapping checkpoints can't happen,
+        // but a corrupt record could claim anything).
+        let log = with_lsns(vec![
+            PageLogRecord::CheckpointEnd { begin_lsn: Lsn(77) }, // lsn 1: orphan
+            ckpt_begin(0),                                       // lsn 2
+            PageLogRecord::CheckpointEnd { begin_lsn: Lsn(99) }, // lsn 3: mismatched
+        ]);
+        let a = analyze_page_log(&log);
+        assert_eq!(a.last_checkpoint, None);
+        assert_eq!(a.redo_low_water, None);
+    }
+
+    #[test]
+    fn later_torn_begin_then_legacy_checkpoint_still_counts_torn() {
+        let log = with_lsns(vec![
+            ckpt_begin(0),             // lsn 1: torn (overtaken)
+            ckpt_begin(0),             // lsn 2: torn (never ends)
+            PageLogRecord::Checkpoint, // lsn 3: legacy, complete
+        ]);
+        let a = analyze_page_log(&log);
+        assert_eq!(a.last_checkpoint, Some(Lsn(3)));
+        assert_eq!(a.redo_low_water, Some(Lsn(3)));
+        assert_eq!(a.torn_checkpoints, 2);
     }
 }

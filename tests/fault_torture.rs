@@ -611,6 +611,217 @@ fn fail_stop_crash_recovers_to_acknowledged_state() {
     }
 }
 
+/// Crash *inside* the checkpoint pipeline, swept across device-op
+/// offsets so the fail-stop lands at every interesting point: before
+/// the `CheckpointBegin` record, between the rate-limited flush
+/// batches, before `CheckpointEnd`, during the prefix truncation, or
+/// after completion. One complete Begin/End pair is on disk before the
+/// faulted checkpoint, so a torn second pair must fall back to it.
+/// Every commit here is acknowledged fault-free, so recovery must
+/// reproduce the exact committed state — no three-way slack.
+#[test]
+fn crash_during_checkpoint_holds_acknowledged_state() {
+    use btrim_wal::{analyze_page_log, LogWriter, PageLogRecord};
+
+    let mut mid_checkpoint_crashes = 0u32;
+    let mut torn_pairs_recovered = 0u64;
+    for (case, ops_in) in [1u64, 2, 3, 4, 6, 9, 14, 22, 40, 4_000]
+        .into_iter()
+        .enumerate()
+    {
+        let label = format!("ckpt-crash-{case}");
+        let inner = inner_devices(&label, false);
+        let state = FaultState::new(FaultPlan::default());
+        let engine = Engine::with_devices(
+            cfg(),
+            Arc::new(FaultDisk::new(inner.disk.clone(), state.clone())),
+            Arc::new(FaultLog::new(inner.syslog.clone(), state.clone())),
+            Arc::new(FaultLog::new(inner.imrslog.clone(), state.clone())),
+        );
+        engine.create_table(opts()).unwrap();
+        let table = engine.table("faulted").unwrap();
+
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        for key in 0..80u64 {
+            let mut txn = engine.begin();
+            engine
+                .insert(&mut txn, &table, &mkrow(key, key * 3))
+                .unwrap();
+            engine.commit(txn).unwrap();
+            exact.insert(key, key * 3);
+        }
+        engine.run_maintenance();
+        pack_cycle(&engine, PackLevel::Aggressive);
+        engine.checkpoint().unwrap(); // complete pair #1: the fallback
+
+        for key in 0..40u64 {
+            let mut txn = engine.begin();
+            assert!(engine
+                .update(
+                    &mut txn,
+                    &table,
+                    &key.to_be_bytes(),
+                    &mkrow(key, key * 7 + 1)
+                )
+                .unwrap());
+            engine.commit(txn).unwrap();
+            exact.insert(key, key * 7 + 1);
+        }
+        for key in 80..120u64 {
+            let mut txn = engine.begin();
+            engine.insert(&mut txn, &table, &mkrow(key, key)).unwrap();
+            engine.commit(txn).unwrap();
+            exact.insert(key, key);
+        }
+        engine.run_maintenance();
+        pack_cycle(&engine, PackLevel::Aggressive); // dirty pages for pair #2
+
+        state.fail_stop_in(ops_in);
+        let _ = engine.checkpoint(); // typed failure tolerated
+        if state.crashed() {
+            mid_checkpoint_crashes += 1;
+        }
+        drop(engine);
+
+        // What did the tear leave behind? (Counted across the sweep so
+        // the test proves a torn pair was actually exercised.)
+        let reader: LogWriter<PageLogRecord> = LogWriter::new(inner.syslog.clone());
+        let analysis = analyze_page_log(&reader.read_all().unwrap());
+        torn_pairs_recovered += analysis.torn_checkpoints;
+
+        let recovered = Engine::recover(
+            cfg(),
+            inner.disk.clone(),
+            inner.syslog.clone(),
+            inner.imrslog.clone(),
+            |e| e.create_table(opts()).map(|_| ()),
+        )
+        .unwrap_or_else(|e| panic!("plan {label}: recovery failed: {e}"));
+        let table = recovered.table("faulted").unwrap();
+        let mut seen = 0usize;
+        let txn = recovered.begin();
+        recovered
+            .scan_range(&txn, &table, &[], None, |k, _, row| {
+                let key = u64::from_be_bytes(k[..8].try_into().unwrap());
+                let val = u64::from_be_bytes(row[8..16].try_into().unwrap());
+                assert_eq!(exact.get(&key), Some(&val), "plan {label}: key {key}");
+                seen += 1;
+                true
+            })
+            .unwrap();
+        recovered.commit(txn).unwrap();
+        assert_eq!(seen, exact.len(), "plan {label}: acknowledged rows lost");
+
+        // The survivor is fully operational, checkpoint included.
+        let mut txn = recovered.begin();
+        assert!(recovered
+            .update(&mut txn, &table, &0u64.to_be_bytes(), &mkrow(0, 999))
+            .unwrap());
+        recovered.commit(txn).unwrap();
+        recovered.checkpoint().unwrap();
+    }
+    assert!(
+        mid_checkpoint_crashes >= 3,
+        "the sweep barely touched the checkpoint pipeline ({mid_checkpoint_crashes} crashes)"
+    );
+    assert!(
+        torn_pairs_recovered >= 1,
+        "no offset produced a torn Begin/End pair; widen the sweep"
+    );
+}
+
+/// Double crash: the first reboot's recovery is itself killed by a
+/// fail-stop mid-replay, then a second reboot on the raw media must
+/// succeed — recovery is idempotent and re-enterable even over media a
+/// half-finished recovery already wrote to.
+#[test]
+fn double_crash_during_recovery_is_reenterable() {
+    let mut first_recovery_died = 0u32;
+    for (case, ops_in) in [0u64, 1, 2, 4, 8, 16, 32, 64, 128].into_iter().enumerate() {
+        let label = format!("double-crash-{case}");
+        let inner = inner_devices(&label, false);
+
+        // Crash #1: a clean workload dropped without shutdown. Every
+        // commit is acknowledged, so the surviving model is exact.
+        let engine = Engine::with_devices(
+            cfg(),
+            inner.disk.clone(),
+            inner.syslog.clone(),
+            inner.imrslog.clone(),
+        );
+        engine.create_table(opts()).unwrap();
+        let table = engine.table("faulted").unwrap();
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        for key in 0..150u64 {
+            let mut txn = engine.begin();
+            engine
+                .insert(&mut txn, &table, &mkrow(key, key ^ 0xABCD))
+                .unwrap();
+            engine.commit(txn).unwrap();
+            exact.insert(key, key ^ 0xABCD);
+            if key % 50 == 49 {
+                // Real page-redo work for the recovery to crash inside.
+                engine.run_maintenance();
+                pack_cycle(&engine, PackLevel::Aggressive);
+            }
+        }
+        drop(engine);
+
+        // Crash #2: recovery over fault-wrapped devices, armed to die
+        // `ops_in` device ops in. A typed error — never a panic, never
+        // an engine claiming success.
+        let rstate = FaultState::new(FaultPlan::default());
+        rstate.fail_stop_in(ops_in);
+        match Engine::recover(
+            cfg(),
+            Arc::new(FaultDisk::new(inner.disk.clone(), rstate.clone())),
+            Arc::new(FaultLog::new(inner.syslog.clone(), rstate.clone())),
+            Arc::new(FaultLog::new(inner.imrslog.clone(), rstate.clone())),
+            |e| e.create_table(opts()).map(|_| ()),
+        ) {
+            Err(_) => first_recovery_died += 1,
+            // Recovery finished under the op budget: dropping it still
+            // exercises recover-after-recover below.
+            Ok(e) => drop(e),
+        }
+
+        // Reboot #2 on the raw media: must land on the exact state.
+        let recovered = Engine::recover(
+            cfg(),
+            inner.disk.clone(),
+            inner.syslog.clone(),
+            inner.imrslog.clone(),
+            |e| e.create_table(opts()).map(|_| ()),
+        )
+        .unwrap_or_else(|e| panic!("plan {label}: second recovery failed: {e}"));
+        let table = recovered.table("faulted").unwrap();
+        let mut seen = 0usize;
+        let txn = recovered.begin();
+        recovered
+            .scan_range(&txn, &table, &[], None, |k, _, row| {
+                let key = u64::from_be_bytes(k[..8].try_into().unwrap());
+                let val = u64::from_be_bytes(row[8..16].try_into().unwrap());
+                assert_eq!(exact.get(&key), Some(&val), "plan {label}: key {key}");
+                seen += 1;
+                true
+            })
+            .unwrap();
+        recovered.commit(txn).unwrap();
+        assert_eq!(seen, exact.len(), "plan {label}: acknowledged rows lost");
+
+        let mut txn = recovered.begin();
+        assert!(recovered
+            .update(&mut txn, &table, &5u64.to_be_bytes(), &mkrow(5, 31_337))
+            .unwrap());
+        recovered.commit(txn).unwrap();
+        recovered.checkpoint().unwrap();
+    }
+    assert!(
+        first_recovery_died >= 3,
+        "the sweep never killed a recovery mid-replay ({first_recovery_died} deaths)"
+    );
+}
+
 /// One randomized plan per run: `RUST_SEED` (env) picks the schedule,
 /// and the chosen seed is always printed so any failure is replayable
 /// with `RUST_SEED=<seed> cargo test --test fault_torture randomized`.

@@ -108,6 +108,7 @@ fn make_engine(mode: EngineMode) -> (Arc<Engine>, Arc<btrim_core::catalog::Table
             pinned: false,
             partitioner: Partitioner::Single,
             primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+            layout: None,
         })
         .unwrap();
     let mut txn = engine.begin();
@@ -326,6 +327,7 @@ fn bench_commit_batching(c: &mut Criterion) {
                                 pinned: false,
                                 partitioner: Partitioner::Single,
                                 primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+                                layout: None,
                             })
                             .unwrap();
                         (engine, table)

@@ -42,6 +42,7 @@ fn opts() -> TableOpts {
         pinned: false,
         partitioner: Partitioner::HashKey { parts: PARTS },
         primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+        layout: None,
     }
 }
 

@@ -18,6 +18,146 @@ use btrim_pagestore::{BufferCache, HeapFile};
 /// Extracts an index key from a row payload.
 pub type KeyExtractor = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 
+/// How one field of a row payload is encoded. A [`RowLayout`] is a flat
+/// sequence of these; together they must cover the payload exactly.
+///
+/// The two integer flavors mirror the engine's row conventions: key
+/// prefixes are big-endian (so byte order equals key order in the
+/// B+tree), codec-encoded bodies are little-endian.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldKind {
+    /// 4 bytes, big-endian u32 (key-prefix fields).
+    BeU32,
+    /// 4 bytes, little-endian u32 (codec body fields).
+    U32,
+    /// 8 bytes, little-endian u64.
+    U64,
+    /// 8 bytes, little-endian f64, surfaced as its raw bit pattern so
+    /// columnar storage and aggregation stay byte-exact.
+    F64Bits,
+    /// u32 little-endian length prefix + that many bytes (the codec's
+    /// `put_str`/`put_bytes` shape).
+    Str,
+}
+
+impl FieldKind {
+    /// Whether values of this kind surface as `u64` (vs raw bytes).
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, FieldKind::Str)
+    }
+}
+
+/// One decoded field value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Numeric kinds (including f64 bit patterns).
+    U64(u64),
+    /// String/bytes kinds (without the length prefix).
+    Bytes(Vec<u8>),
+}
+
+/// A declarative description of a table's row encoding, used by the
+/// HTAP freeze step to shred rows into per-field columns (and by
+/// analytic scans to evaluate filters on row-format sources). Optional:
+/// tables without a layout still freeze, as a single opaque bytes
+/// column, and merely lose per-column compression and zone maps.
+#[derive(Clone, Debug)]
+pub struct RowLayout {
+    /// `(field name, kind)` in payload order.
+    pub fields: Vec<(String, FieldKind)>,
+}
+
+impl RowLayout {
+    /// Build a layout from `(name, kind)` pairs.
+    pub fn new(fields: &[(&str, FieldKind)]) -> Self {
+        RowLayout {
+            fields: fields.iter().map(|(n, k)| (n.to_string(), *k)).collect(),
+        }
+    }
+
+    /// Split a row payload into one value per field. Returns `None`
+    /// when the payload does not match the layout exactly (wrong
+    /// length, truncated string field) — callers fall back to treating
+    /// the row as opaque bytes, so a mismatch is never an error.
+    pub fn split(&self, row: &[u8]) -> Option<Vec<FieldValue>> {
+        let mut out = Vec::with_capacity(self.fields.len());
+        let mut off = 0usize;
+        for (_, kind) in &self.fields {
+            match kind {
+                FieldKind::BeU32 => {
+                    let b = row.get(off..off + 4)?;
+                    out.push(FieldValue::U64(
+                        u32::from_be_bytes(b.try_into().ok()?) as u64
+                    ));
+                    off += 4;
+                }
+                FieldKind::U32 => {
+                    let b = row.get(off..off + 4)?;
+                    out.push(FieldValue::U64(
+                        u32::from_le_bytes(b.try_into().ok()?) as u64
+                    ));
+                    off += 4;
+                }
+                FieldKind::U64 | FieldKind::F64Bits => {
+                    let b = row.get(off..off + 8)?;
+                    out.push(FieldValue::U64(u64::from_le_bytes(b.try_into().ok()?)));
+                    off += 8;
+                }
+                FieldKind::Str => {
+                    let b = row.get(off..off + 4)?;
+                    let len = u32::from_le_bytes(b.try_into().ok()?) as usize;
+                    off += 4;
+                    out.push(FieldValue::Bytes(row.get(off..off + len)?.to_vec()));
+                    off += len;
+                }
+            }
+        }
+        // The layout must cover the payload exactly: trailing bytes
+        // mean the layout is wrong for this row.
+        (off == row.len()).then_some(out)
+    }
+
+    /// Reassemble a row payload from field values. Returns `None` on a
+    /// kind/value mismatch or a value out of the field's range.
+    pub fn assemble(&self, values: &[FieldValue]) -> Option<Vec<u8>> {
+        if values.len() != self.fields.len() {
+            return None;
+        }
+        let mut out = Vec::new();
+        for ((_, kind), v) in self.fields.iter().zip(values) {
+            match (kind, v) {
+                (FieldKind::BeU32, FieldValue::U64(x)) => {
+                    out.extend_from_slice(&u32::try_from(*x).ok()?.to_be_bytes());
+                }
+                (FieldKind::U32, FieldValue::U64(x)) => {
+                    out.extend_from_slice(&u32::try_from(*x).ok()?.to_le_bytes());
+                }
+                (FieldKind::U64 | FieldKind::F64Bits, FieldValue::U64(x)) => {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                (FieldKind::Str, FieldValue::Bytes(b)) => {
+                    out.extend_from_slice(&u32::try_from(b.len()).ok()?.to_le_bytes());
+                    out.extend_from_slice(b);
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Read one numeric field straight out of a row payload (no full
+    /// shred). `None` when the field is unknown, non-numeric, or the
+    /// payload does not match the layout.
+    pub fn get_u64(&self, row: &[u8], name: &str) -> Option<u64> {
+        let values = self.split(row)?;
+        let i = self.fields.iter().position(|(n, _)| n == name)?;
+        match values.get(i)? {
+            FieldValue::U64(x) => Some(*x),
+            FieldValue::Bytes(_) => None,
+        }
+    }
+}
+
 /// How rows map to partitions.
 #[derive(Clone, Copy, Debug)]
 pub enum Partitioner {
@@ -84,6 +224,9 @@ pub struct TableOpts {
     pub partitioner: Partitioner,
     /// Primary-key extractor over the row payload.
     pub primary_key: KeyExtractor,
+    /// Optional field-level row description (columnar freeze + analytic
+    /// filters). `None` freezes rows as opaque bytes.
+    pub layout: Option<RowLayout>,
 }
 
 impl TableOpts {
@@ -95,12 +238,19 @@ impl TableOpts {
             pinned: false,
             partitioner: Partitioner::Single,
             primary_key,
+            layout: None,
         }
     }
 
     /// Mark the table fully memory-resident.
     pub fn pinned(mut self) -> Self {
         self.pinned = true;
+        self
+    }
+
+    /// Attach a row layout (enables columnar freeze + analytic scans).
+    pub fn with_layout(mut self, layout: RowLayout) -> Self {
+        self.layout = Some(layout);
         self
     }
 }
@@ -139,6 +289,8 @@ pub struct TableDesc {
     pub primary_key: KeyExtractor,
     /// Secondary indexes.
     pub secondaries: RwLock<Vec<SecondaryIndex>>,
+    /// Optional field-level row description (see [`RowLayout`]).
+    pub layout: Option<RowLayout>,
 }
 
 impl TableDesc {
@@ -217,6 +369,7 @@ impl Catalog {
             hash: HashIndex::new(),
             primary_key: opts.primary_key,
             secondaries: RwLock::new(Vec::new()),
+            layout: opts.layout,
         });
         self.tables.write().push(Arc::clone(&table));
         self.by_name.write().insert(opts.name, id);
@@ -349,6 +502,7 @@ mod tests {
                     pinned: false,
                     partitioner: Partitioner::KeyPrefixU32 { parts: 4 },
                     primary_key: pk(),
+                    layout: None,
                 },
             )
             .unwrap();
@@ -362,6 +516,38 @@ mod tests {
         // Key routing lands inside the table's partitions.
         let p = t.partition_of(&7u32.to_be_bytes());
         assert!(t.partitions.contains(&p));
+    }
+
+    #[test]
+    fn row_layout_splits_and_reassembles() {
+        let layout = RowLayout::new(&[
+            ("w_id", FieldKind::BeU32),
+            ("qty", FieldKind::U32),
+            ("when", FieldKind::U64),
+            ("amount", FieldKind::F64Bits),
+            ("info", FieldKind::Str),
+        ]);
+        let mut row = 7u32.to_be_bytes().to_vec();
+        row.extend_from_slice(&5u32.to_le_bytes());
+        row.extend_from_slice(&99u64.to_le_bytes());
+        row.extend_from_slice(&42.5f64.to_bits().to_le_bytes());
+        row.extend_from_slice(&4u32.to_le_bytes());
+        row.extend_from_slice(b"dist");
+        let values = layout.split(&row).expect("split");
+        assert_eq!(values[0], FieldValue::U64(7));
+        assert_eq!(values[1], FieldValue::U64(5));
+        assert_eq!(values[2], FieldValue::U64(99));
+        assert_eq!(values[3], FieldValue::U64(42.5f64.to_bits()));
+        assert_eq!(values[4], FieldValue::Bytes(b"dist".to_vec()));
+        assert_eq!(layout.assemble(&values).expect("assemble"), row);
+        assert_eq!(layout.get_u64(&row, "qty"), Some(5));
+        assert_eq!(layout.get_u64(&row, "info"), None, "non-numeric");
+        assert_eq!(layout.get_u64(&row, "nope"), None, "unknown field");
+        // Trailing garbage / truncation do not match.
+        let mut long = row.clone();
+        long.push(0);
+        assert!(layout.split(&long).is_none());
+        assert!(layout.split(&row[..row.len() - 1]).is_none());
     }
 
     #[test]

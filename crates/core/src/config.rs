@@ -150,6 +150,18 @@ pub struct EngineConfig {
     /// 0 picks automatically from available parallelism (capped at 8);
     /// 1 forces serial replay.
     pub recovery_workers: usize,
+    /// HTAP freeze: let pack maintenance promote whole batches of cold
+    /// page-resident rows into immutable compressed columnar extents
+    /// served to analytic scans. Off (the default) keeps the two-tier
+    /// IMRS/page-store life cycle — freeze is opt-in the same way
+    /// `durable_commits` is, so OLTP-only setups never pay for it.
+    pub freeze_enabled: bool,
+    /// Minimum cold rows a partition must yield before a freeze batch
+    /// is worth an extent (tiny extents waste the columnar framing).
+    pub freeze_min_rows: usize,
+    /// Maximum rows per frozen extent (capped by the format's
+    /// `MAX_EXTENT_ROWS`).
+    pub freeze_max_rows: usize,
     /// Record per-operation-class latency histograms (`btrim-obs`).
     /// When off, the hot paths skip the clock reads entirely — one
     /// branch per operation.
@@ -197,6 +209,9 @@ impl Default for EngineConfig {
             checkpoint_flush_batch: 128,
             checkpoint_batch_pause_us: 50,
             recovery_workers: 0,
+            freeze_enabled: false,
+            freeze_min_rows: 32,
+            freeze_max_rows: 4096,
             obs_latency: true,
             obs_trace_capacity: 1024,
         }
@@ -259,6 +274,14 @@ impl EngineConfig {
             self.recovery_workers <= 256,
             "recovery_workers unreasonably large"
         );
+        assert!(
+            self.freeze_min_rows >= 1 && self.freeze_min_rows <= self.freeze_max_rows,
+            "freeze row bounds must satisfy 1 ≤ min ≤ max"
+        );
+        assert!(
+            self.freeze_max_rows <= btrim_pagestore::MAX_EXTENT_ROWS,
+            "freeze_max_rows exceeds the extent format's row cap"
+        );
     }
 }
 
@@ -287,6 +310,18 @@ mod tests {
             ..Default::default()
         };
         assert!((c.aggressive_utilization() - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn freeze_bounds_inverted_panics() {
+        EngineConfig {
+            freeze_enabled: true,
+            freeze_min_rows: 100,
+            freeze_max_rows: 10,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -154,6 +154,10 @@ pub(crate) struct Shared {
     pub gc: GcRegistry,
     pub tuner: Tuner,
     pub pack: PackState,
+    /// Immutable columnar extents holding frozen rows (HTAP tier).
+    pub extents: btrim_pagestore::ExtentStore,
+    /// Freeze/thaw counters for stats and the oracle tests.
+    pub freeze: crate::freeze::FreezeStats,
     /// Latency histograms + ILM decision trace. The WAL and buffer
     /// cache hold bare `Arc<LatencyHistogram>` clones of individual
     /// classes; everything in this crate records through here.
@@ -469,6 +473,8 @@ impl Engine {
             gc: GcRegistry::new(),
             tuner: Tuner::with_obs(Arc::clone(&obs)),
             pack: PackState::new(),
+            extents: btrim_pagestore::ExtentStore::new(),
+            freeze: crate::freeze::FreezeStats::new(),
             obs,
             maintenance_gate: Mutex::with_rank(parking_lot::lock_rank::ENGINE_STATE, ()),
             last_maintenance: AtomicU64::new(0),
@@ -796,6 +802,17 @@ impl Engine {
                     self.sh.obs.record_since(OpClass::SelectPage, op_start);
                     return Ok(Some(data));
                 }
+                Some(RowLocation::Frozen(ext, idx)) => {
+                    // Frozen rows are immutable and, by the freeze-time
+                    // horizon gate, their image is the latest committed
+                    // one. A dead extent slot means the row thawed
+                    // concurrently — re-resolve through the RID-Map.
+                    let Some(data) = self.frozen_row_bytes(table, ext, idx, row_id) else {
+                        continue;
+                    };
+                    self.sh.obs.record_since(OpClass::SelectPage, op_start);
+                    return Ok(Some(data));
+                }
             }
         }
         // The row kept moving under us (possible when pack and
@@ -829,6 +846,11 @@ impl Engine {
                     }
                     None => Ok(None),
                 }
+            }
+            Some(RowLocation::Frozen(ext, idx)) => {
+                // Thaw needs the exclusive lock; under our shared lock
+                // the extent slot cannot die.
+                Ok(self.frozen_row_bytes(table, ext, idx, row_id))
             }
         })();
         self.sh.locks.unlock(reader, row_id);
@@ -1012,6 +1034,18 @@ impl Engine {
                         SideImage::Absent | SideImage::UsePage => Ok(None),
                     };
                 }
+                Some(RowLocation::Frozen(ext, idx)) => {
+                    // The freeze-time horizon gate proved no live (or
+                    // future) snapshot needs an older or newer image
+                    // than the frozen one: serve it unconditionally. A
+                    // dead slot means the row thawed back to a page
+                    // concurrently — re-resolve and let the side store
+                    // arbitrate as usual.
+                    let Some(data) = self.frozen_row_bytes(table, ext, idx, row_id) else {
+                        continue;
+                    };
+                    return Ok(Some(data));
+                }
             }
         }
         // Pathological ping-pong (pack ↔ migrate on a contended row):
@@ -1052,6 +1086,9 @@ impl Engine {
                     SideImage::Image(img) => Ok(Some(img)),
                     _ => Ok(None),
                 }
+            }
+            Some(RowLocation::Frozen(ext, idx)) => {
+                Ok(self.frozen_row_bytes(table, ext, idx, row_id))
             }
         })();
         self.sh.locks.unlock(reader_lock, row_id);
@@ -1094,6 +1131,9 @@ impl Engine {
                     Some(payload) => Ok(Some(unwrap_row(&payload)?.1.to_vec())),
                     None => Ok(None),
                 }
+            }
+            Some(RowLocation::Frozen(ext, idx)) => {
+                Ok(self.frozen_row_bytes(table, ext, idx, row_id))
             }
         })();
         self.sh.locks.unlock(reader, row_id);
@@ -1144,6 +1184,16 @@ impl Engine {
                     }
                 }
                 self.update_page(txn, table, key, row_id, partition, page, slot, new_row)
+            }
+            Some(RowLocation::Frozen(ext, idx)) => {
+                // Thaw back to a slotted page (an internally-committed
+                // mini-transaction, like migration), then re-dispatch:
+                // the RID-Map now says Page and the ordinary paths —
+                // including migrate-to-IMRS — apply.
+                if self.thaw_frozen(table, row_id, ext, idx)?.is_none() {
+                    return Ok(false);
+                }
+                self.update(txn, table, key, new_row)
             }
         }
     }
@@ -1201,6 +1251,14 @@ impl Engine {
                     self.update_page(txn, table, key, row_id, partition, page, slot, &new_row)?
                 }
             }
+            Some(RowLocation::Frozen(ext, idx)) => {
+                match self.thaw_frozen(table, row_id, ext, idx)? {
+                    Some((partition, page, slot)) => {
+                        self.update_page(txn, table, key, row_id, partition, page, slot, &new_row)?
+                    }
+                    None => false,
+                }
+            }
             None | Some(RowLocation::Tombstone(..)) => false,
         };
         Ok(updated.then_some(new_row))
@@ -1237,6 +1295,11 @@ impl Engine {
                     Some(payload) => Ok(Some(unwrap_row(&payload)?.1.to_vec())),
                     None => Ok(None),
                 }
+            }
+            Some(RowLocation::Frozen(ext, idx)) => {
+                // Frozen = immutable latest-committed; the caller's
+                // exclusive lock keeps the slot live.
+                Ok(self.frozen_row_bytes(table, ext, idx, row_id))
             }
             None | Some(RowLocation::Tombstone(..)) => Ok(None),
         }
@@ -1516,6 +1579,16 @@ impl Engine {
                 self.maintain_secondaries(txn, table, row_id, &old_data, None)?;
                 self.sh.obs.record_since(OpClass::DeletePage, op_start);
                 Ok(true)
+            }
+            Some(RowLocation::Frozen(ext, idx)) => {
+                // Thaw to a slotted page first, then run the ordinary
+                // page-path delete (tombstone + side-store stash) by
+                // re-dispatching; the re-entrant lock grant makes the
+                // recursion cheap.
+                if self.thaw_frozen(table, row_id, ext, idx)?.is_none() {
+                    return Ok(false);
+                }
+                self.delete(txn, table, key)
             }
         }
     }
@@ -1817,6 +1890,123 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Data movement (frozen extent → page store): thaw
+    // ------------------------------------------------------------------
+
+    /// Read the current image of a frozen row. `None` when the extent
+    /// slot is dead (row thawed concurrently), the extent is unknown,
+    /// or the slot holds a different row — all signals to re-resolve
+    /// through the RID-Map.
+    pub(crate) fn frozen_row_bytes(
+        &self,
+        table: &TableDesc,
+        ext_id: u32,
+        idx: u16,
+        row_id: RowId,
+    ) -> Option<Vec<u8>> {
+        let ext = self.sh.extents.get(ext_id)?;
+        let i = idx as usize;
+        if ext.row_id(i) != Some(row_id) || !ext.is_live(i) {
+            return None;
+        }
+        crate::freeze::extent_row_bytes(table.layout.as_ref(), &ext, i)
+    }
+
+    /// Move a frozen row back to a slotted page so the ordinary DML
+    /// paths can mutate it. The caller holds the row's exclusive lock.
+    /// Runs as an internally-committed mini-transaction (the mirror of
+    /// freeze): heap insert first (unpublished), WAL records on both
+    /// logs, then RID-Map publication and extent-slot retirement.
+    /// Returns the row's new page address, or `None` when the location
+    /// changed or the extent slot is already dead.
+    fn thaw_frozen(
+        &self,
+        table: &TableDesc,
+        row_id: RowId,
+        ext_id: u32,
+        idx: u16,
+    ) -> Result<Option<(PartitionId, PageId, SlotId)>> {
+        self.sh.check_writable()?;
+        let Some(ext) = self.sh.extents.get(ext_id) else {
+            return Ok(None);
+        };
+        let i = idx as usize;
+        if ext.row_id(i) != Some(row_id) || !ext.is_live(i) {
+            return Ok(None);
+        }
+        let Some(data) = crate::freeze::extent_row_bytes(table.layout.as_ref(), &ext, i) else {
+            return Err(BtrimError::Corrupt(format!(
+                "frozen row {row_id} unreadable from extent {ext_id} slot {idx}"
+            )));
+        };
+        let partition = ext.partition();
+        let heap = table.heap(partition);
+        let payload = wrap_row(row_id, &data);
+        let itxn = self.sh.txns.begin();
+        // The page copy is unpublished until the logs are out (the
+        // RID-Map still says Frozen and we hold the exclusive lock), so
+        // the same WAL-before-publication discipline as migration holds.
+        let (page, slot) = match heap.insert(&self.sh.cache, &payload) {
+            Ok(x) => x,
+            Err(e) => {
+                self.sh.txns.abort(itxn);
+                return Err(e);
+            }
+        };
+        let logged: Result<()> = (|| {
+            self.sh.append_sys(&PageLogRecord::Begin { txn: itxn.id })?;
+            self.sh.append_sys(&PageLogRecord::Insert {
+                txn: itxn.id,
+                partition,
+                row: row_id,
+                page,
+                slot,
+                data: payload,
+            })?;
+            self.sh.append_imrs(&ImrsLogRecord::ExtentRowGone {
+                txn: itxn.id,
+                ts: self.sh.clock.now(),
+                partition,
+                row: row_id,
+                extent: ext_id,
+                idx,
+            })?;
+            Ok(())
+        })();
+        if let Err(e) = logged {
+            // Engine just went read-only; best-effort removal of the
+            // unpublished page copy (a stale copy is harmless — redo
+            // never reaches it because the loser's records are undone).
+            let _ = heap.delete(&self.sh.cache, page, slot);
+            self.sh.txns.abort(itxn);
+            return Err(e);
+        }
+        // Publish the page home first, then retire the extent slot: a
+        // reader that caught the Frozen location either finds the slot
+        // still live (same bytes) or retries into the new location.
+        self.sh.ridmap.set(row_id, RowLocation::Page(page, slot));
+        ext.mark_gone(i);
+        let commit_ts = self.sh.txns.commit(itxn);
+        self.sh.append_sys(&PageLogRecord::Commit {
+            txn: itxn.id,
+            ts: commit_ts,
+        })?;
+        self.sh.freeze.rows_thawed.fetch_add(1, Ordering::Relaxed);
+        Ok(Some((partition, page, slot)))
+    }
+
+    /// The frozen-extent directory (read-only view for scans, stats,
+    /// and tests).
+    pub fn extent_store(&self) -> &btrim_pagestore::ExtentStore {
+        &self.sh.extents
+    }
+
+    /// Freeze/thaw lifetime counters.
+    pub fn freeze_stats(&self) -> &crate::freeze::FreezeStats {
+        &self.sh.freeze
+    }
+
+    // ------------------------------------------------------------------
     // Commit / abort
     // ------------------------------------------------------------------
 
@@ -2102,6 +2292,11 @@ impl Engine {
         // skips it (GC, TSF, and tuning above are purely in-memory).
         if sh.health().writable() {
             crate::pack::pack_tick(self);
+            // Freeze runs after pack so the rows pack just landed on
+            // pages are freeze candidates on a later tick, once cold.
+            if sh.cfg.freeze_enabled {
+                crate::freeze::freeze_tick(self);
+            }
         }
     }
 

@@ -1,0 +1,365 @@
+//! HTAP freeze: promote cold page-resident rows into immutable,
+//! compressed, columnar extents.
+//!
+//! The paper's life cycle ends at the page store; the freeze step adds
+//! a third, colder tier for analytic workloads. Page residency is
+//! itself the coldness signal — pack only evicts rows the ILM rules
+//! declared cold, and a frozen candidate must additionally have no
+//! snapshot-visible history above the horizon (same gate as
+//! migration). Each freeze batch runs as an internal mini-transaction
+//! in the style of pack: conditional row locks, WAL records on both
+//! logs *before* any in-memory mutation, one commit + flush per batch.
+//!
+//! Crash safety mirrors pack: the batch's `PageLogRecord::Delete`
+//! records and the `ImrsLogRecord::Freeze` record (which carries the
+//! full encoded extent) are gated on the internal transaction's commit
+//! verdict. A loser leaves the rows on their slotted pages; a winner
+//! re-installs the extent at recovery and repoints the RID-Map.
+//!
+//! Visibility: the horizon gate guarantees every active snapshot (and
+//! every future one) sees exactly the frozen image, so frozen rows are
+//! served unconditionally to all snapshots. A later update or delete
+//! first *thaws* the row back to a slotted page
+//! ([`crate::engine::Engine`]'s thaw path), after which the ordinary
+//! page-path MVCC machinery takes over.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use btrim_common::{PartitionId, RowId};
+use btrim_imrs::RowLocation;
+use btrim_obs::{FreezeTrace, IlmTraceEvent};
+use btrim_pagestore::{ColumnData, FrozenExtent};
+use btrim_txn::LockMode;
+use btrim_wal::{ImrsLogRecord, PageLogRecord};
+
+use crate::catalog::{FieldValue, RowLayout, TableDesc};
+use crate::engine::{unwrap_row, Engine};
+
+/// Column name used when a batch is frozen opaquely (no declared
+/// layout, or a row that does not parse as the layout): one bytes
+/// column holding the full row images.
+pub const OPAQUE_COLUMN: &str = "__row";
+
+/// Freeze/thaw lifetime counters.
+pub struct FreezeStats {
+    /// Extents built and installed.
+    pub extents_frozen: AtomicU64,
+    /// Rows frozen into extents.
+    pub rows_frozen: AtomicU64,
+    /// Raw bytes of the row images that were frozen.
+    pub raw_bytes: AtomicU64,
+    /// Encoded (compressed) bytes of the installed extents.
+    pub encoded_bytes: AtomicU64,
+    /// Frozen rows moved back to slotted pages by updates/deletes.
+    pub rows_thawed: AtomicU64,
+    /// Candidates skipped because their row lock was held.
+    pub rows_skipped_hot: AtomicU64,
+    /// Candidates skipped because they carry snapshot history newer
+    /// than the horizon.
+    pub rows_skipped_recent: AtomicU64,
+}
+
+impl Default for FreezeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FreezeStats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        FreezeStats {
+            extents_frozen: AtomicU64::new(0),
+            rows_frozen: AtomicU64::new(0),
+            raw_bytes: AtomicU64::new(0),
+            encoded_bytes: AtomicU64::new(0),
+            rows_thawed: AtomicU64::new(0),
+            rows_skipped_hot: AtomicU64::new(0),
+            rows_skipped_recent: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Reassemble the row image stored at slot `i` of a frozen extent,
+/// using the table's declared layout (or the opaque fallback column).
+pub(crate) fn extent_row_bytes(
+    layout: Option<&RowLayout>,
+    ext: &FrozenExtent,
+    i: usize,
+) -> Option<Vec<u8>> {
+    if let Some(col) = ext.column(OPAQUE_COLUMN) {
+        return col.get_bytes(i).map(<[u8]>::to_vec);
+    }
+    let layout = layout?;
+    let mut values = Vec::with_capacity(layout.fields.len());
+    for (name, kind) in &layout.fields {
+        let col = ext.column(name)?;
+        if kind.is_numeric() {
+            values.push(FieldValue::U64(col.get_u64(i)?));
+        } else {
+            values.push(FieldValue::Bytes(col.get_bytes(i)?.to_vec()));
+        }
+    }
+    layout.assemble(&values)
+}
+
+/// Split a batch of row images into per-field columns. Falls back to
+/// the opaque single-column shape unless *every* row parses as the
+/// layout and reassembles byte-identically — the frozen form must
+/// never lose information.
+fn build_columns(
+    layout: Option<&RowLayout>,
+    rows: &[Vec<u8>],
+) -> (Vec<(String, ColumnData)>, bool) {
+    'schema: {
+        let Some(layout) = layout else {
+            break 'schema;
+        };
+        let mut split: Vec<Vec<FieldValue>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let Some(values) = layout.split(row) else {
+                break 'schema;
+            };
+            if layout.assemble(&values).as_deref() != Some(row.as_slice()) {
+                break 'schema;
+            }
+            split.push(values);
+        }
+        let mut columns = Vec::with_capacity(layout.fields.len());
+        for (fi, (name, kind)) in layout.fields.iter().enumerate() {
+            let data = if kind.is_numeric() {
+                ColumnData::U64(
+                    split
+                        .iter()
+                        .map(|vs| match &vs[fi] {
+                            FieldValue::U64(v) => *v,
+                            FieldValue::Bytes(_) => 0, // unreachable: kind is numeric
+                        })
+                        .collect(),
+                )
+            } else {
+                ColumnData::Bytes(
+                    split
+                        .iter()
+                        .map(|vs| match &vs[fi] {
+                            FieldValue::Bytes(b) => b.clone(),
+                            FieldValue::U64(_) => Vec::new(), // unreachable
+                        })
+                        .collect(),
+                )
+            };
+            columns.push((name.clone(), data));
+        }
+        return (columns, true);
+    }
+    (
+        vec![(OPAQUE_COLUMN.to_string(), ColumnData::Bytes(rows.to_vec()))],
+        false,
+    )
+}
+
+/// One freeze tick: visit every non-pinned table partition and freeze
+/// at most one extent per partition. Returns rows frozen.
+pub fn freeze_tick(engine: &Engine) -> u64 {
+    let sh = &engine.sh;
+    if !sh.cfg.freeze_enabled || sh.check_writable().is_err() {
+        return 0;
+    }
+    let mut total = 0u64;
+    for table in sh.catalog.tables() {
+        if table.pinned {
+            continue;
+        }
+        for &partition in &table.partitions {
+            total += freeze_partition(engine, &table, partition);
+        }
+    }
+    total
+}
+
+/// Freeze up to `freeze_max_rows` cold rows of one partition into a
+/// single extent. Returns rows frozen (0 when the batch was too small
+/// or everything was hot/recent).
+pub fn freeze_partition(engine: &Engine, table: &TableDesc, partition: PartitionId) -> u64 {
+    let sh = &engine.sh;
+    let cfg = &sh.cfg;
+    let heap = table.heap(partition);
+    if heap.live_rows() < cfg.freeze_min_rows as u64 {
+        return 0;
+    }
+    // Candidate pass: page-resident rows, coldest-first by virtue of
+    // pack having already evicted them. Addresses only — the payload is
+    // re-read under the row lock.
+    let mut candidates: Vec<(btrim_common::PageId, btrim_common::SlotId, RowId)> = Vec::new();
+    let scan = heap.scan(&sh.cache, |page, slot, payload| {
+        if let Ok((row_id, _)) = unwrap_row(payload) {
+            candidates.push((page, slot, row_id));
+        }
+        candidates.len() < cfg.freeze_max_rows
+    });
+    if scan.is_err() || candidates.len() < cfg.freeze_min_rows {
+        return 0;
+    }
+
+    let freeze_txn = sh.pack.internal_txn_id();
+    let horizon = sh.txns.oldest_active_snapshot();
+    let mut skipped_hot = 0u64;
+    let mut skipped_recent = 0u64;
+    // (row, page, slot, wrapped payload, user bytes)
+    type Kept = (
+        RowId,
+        btrim_common::PageId,
+        btrim_common::SlotId,
+        Vec<u8>,
+        Vec<u8>,
+    );
+    let mut kept: Vec<Kept> = Vec::with_capacity(candidates.len());
+    let unlock_all = |kept: &[Kept]| {
+        for (row_id, ..) in kept {
+            sh.locks.unlock(freeze_txn, *row_id);
+        }
+    };
+    for (page, slot, row_id) in candidates {
+        // Snapshot history newer than the horizon pins the row to its
+        // page: the side store must keep serving its before-images, and
+        // the unconditional visibility rule for frozen rows would lie.
+        if sh
+            .side
+            .newest_stamped_ts(page, slot, row_id)
+            .is_some_and(|t| t > horizon)
+        {
+            skipped_recent += 1;
+            continue;
+        }
+        // Conditional lock, as in pack: busy rows are simply not cold.
+        if !sh.locks.try_lock(freeze_txn, row_id, LockMode::Exclusive) {
+            skipped_hot += 1;
+            continue;
+        }
+        // Revalidate under the lock; the row may have moved or died.
+        if sh.ridmap.get(row_id) != Some(RowLocation::Page(page, slot)) {
+            sh.locks.unlock(freeze_txn, row_id);
+            continue;
+        }
+        match heap.get(&sh.cache, page, slot) {
+            Ok(Some(payload)) => match unwrap_row(&payload) {
+                Ok((rid, data)) if rid == row_id => {
+                    let data = data.to_vec();
+                    kept.push((row_id, page, slot, payload, data));
+                }
+                _ => sh.locks.unlock(freeze_txn, row_id),
+            },
+            _ => sh.locks.unlock(freeze_txn, row_id),
+        }
+    }
+    sh.freeze
+        .rows_skipped_hot
+        .fetch_add(skipped_hot, Ordering::Relaxed);
+    sh.freeze
+        .rows_skipped_recent
+        .fetch_add(skipped_recent, Ordering::Relaxed);
+    if kept.len() < cfg.freeze_min_rows {
+        unlock_all(&kept);
+        return 0;
+    }
+
+    // Build the extent (pure memory; nothing published yet).
+    let rows: Vec<Vec<u8>> = kept.iter().map(|(.., d)| d.clone()).collect();
+    let raw_len: u64 = rows.iter().map(|r| r.len() as u64).sum();
+    let (columns, schema_columns) = build_columns(table.layout.as_ref(), &rows);
+    let row_ids: Vec<RowId> = kept.iter().map(|(r, ..)| *r).collect();
+    let ext_id = sh.extents.allocate_id();
+    let ext = match FrozenExtent::build(ext_id, table.id, partition, row_ids, columns, raw_len) {
+        Ok(e) => e,
+        Err(_) => {
+            unlock_all(&kept);
+            return 0;
+        }
+    };
+    let encoded = ext.encode();
+
+    // WAL first, strictly before any page/RID-Map mutation (same
+    // discipline as migration): a failed append turns the engine
+    // read-only with nothing published, and recovery discards the
+    // loser's records.
+    let logged: btrim_common::Result<()> = (|| {
+        sh.append_sys(&PageLogRecord::Begin { txn: freeze_txn })?;
+        for (row_id, page, slot, payload, _) in &kept {
+            sh.append_sys(&PageLogRecord::Delete {
+                txn: freeze_txn,
+                partition,
+                row: *row_id,
+                page: *page,
+                slot: *slot,
+                old: payload.clone(),
+            })?;
+        }
+        sh.append_imrs(&ImrsLogRecord::Freeze {
+            txn: freeze_txn,
+            ts: sh.clock.now(),
+            partition,
+            extent: ext_id,
+            data: encoded.clone(),
+        })?;
+        Ok(())
+    })();
+    if let Err(e) = logged {
+        sh.note_storage_error("freeze", &e);
+        unlock_all(&kept);
+        return 0;
+    }
+    let commit_ts = sh.clock.tick();
+    let _ = sh.append_sys(&PageLogRecord::Commit {
+        txn: freeze_txn,
+        ts: commit_ts,
+    });
+    let flushed = sh.syslog.flush().and_then(|()| sh.imrslog.flush());
+    match &flushed {
+        Ok(()) => sh.note_storage_ok(),
+        Err(e) => sh.note_storage_error("freeze flush", e),
+    }
+
+    // Publish: extent first (so a reader that catches a Frozen location
+    // always resolves it), then per-row RID-Map flips, then the page
+    // deletes. A heap failure is tolerated — the extent is durable, and
+    // redo removes the stale page copy after a crash.
+    let rows_frozen = kept.len() as u64;
+    let ext = Arc::new(ext);
+    if let Err(e) = sh.extents.install(Arc::clone(&ext)) {
+        // Unreachable (ids are allocated uniquely), but never panic.
+        sh.note_storage_error("freeze install", &e);
+        unlock_all(&kept);
+        return 0;
+    }
+    for (i, (row_id, page, slot, _, _)) in kept.iter().enumerate() {
+        sh.ridmap
+            .set(*row_id, RowLocation::Frozen(ext_id, i as u16));
+        if let Err(e) = heap.delete(&sh.cache, *page, *slot) {
+            sh.note_storage_error("freeze page delete", &e);
+        }
+        sh.locks.unlock(freeze_txn, *row_id);
+    }
+
+    sh.freeze.extents_frozen.fetch_add(1, Ordering::Relaxed);
+    sh.freeze
+        .rows_frozen
+        .fetch_add(rows_frozen, Ordering::Relaxed);
+    sh.freeze.raw_bytes.fetch_add(raw_len, Ordering::Relaxed);
+    sh.freeze
+        .encoded_bytes
+        .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+    if sh.obs.trace.is_enabled() {
+        sh.obs.trace.push(IlmTraceEvent::Freeze(FreezeTrace {
+            extent: ext_id as u64,
+            partition: partition.0 as u64,
+            rows: rows_frozen,
+            raw_bytes: raw_len,
+            encoded_bytes: encoded.len() as u64,
+            rows_skipped_hot: skipped_hot,
+            rows_skipped_recent: skipped_recent,
+            schema_columns,
+        }));
+    }
+    rows_frozen
+}

@@ -30,6 +30,10 @@
 //!   maintenance (§VI.B).
 //! * [`sidestore`] — bounded before-image side store letting snapshot
 //!   readers roll in-place page-store changes back to their snapshot.
+//! * [`freeze`] — the HTAP freeze step: cold page-resident rows are
+//!   promoted into immutable compressed columnar extents.
+//! * [`scan`] — snapshot-isolated analytic scans merging frozen
+//!   extents, IMRS deltas, and page-resident rows.
 //! * [`stats`] — experiment-facing snapshots, now carrying per-class
 //!   latency summaries, the ILM decision trace, and a JSON export
 //!   (`EngineSnapshot::to_json`) built on `btrim-obs`.
@@ -39,20 +43,24 @@
 pub mod catalog;
 pub mod config;
 pub mod engine;
+pub mod freeze;
 pub mod gc;
 pub mod metrics;
 pub mod pack;
 pub mod queues;
 pub mod recovery;
+pub mod scan;
 pub(crate) mod sidestore;
 pub mod stats;
 pub mod tsf;
 pub mod tuner;
 pub mod txn_ctx;
 
-pub use catalog::{Partitioner, TableDesc, TableOpts};
+pub use catalog::{FieldKind, FieldValue, Partitioner, RowLayout, TableDesc, TableOpts};
 pub use config::{EngineConfig, EngineMode};
 pub use engine::{Engine, HealthState, RecoveryReport, SnapshotTxn};
+pub use freeze::FreezeStats;
+pub use scan::{ScanResult, ScanSpec};
 pub use stats::EngineSnapshot;
 pub use txn_ctx::Transaction;
 

@@ -475,7 +475,9 @@ impl Engine {
                 ImrsLogRecord::Insert { partition, .. }
                 | ImrsLogRecord::Update { partition, .. }
                 | ImrsLogRecord::Delete { partition, .. }
-                | ImrsLogRecord::Pack { partition, .. } => *partition,
+                | ImrsLogRecord::Pack { partition, .. }
+                | ImrsLogRecord::Freeze { partition, .. }
+                | ImrsLogRecord::ExtentRowGone { partition, .. } => *partition,
                 ImrsLogRecord::Discard { .. } => continue,
             };
             by_partition.entry(partition).or_default().push(rec);
@@ -616,6 +618,98 @@ impl Engine {
                     None => {
                         self.drop_imrs_row(*partition, *row, true)?;
                         self.sh.ridmap.remove(*row);
+                    }
+                }
+            }
+            ImrsLogRecord::Freeze {
+                partition,
+                extent,
+                data,
+                ..
+            } => {
+                let Some(table) = self.sh.catalog.table_of_partition(*partition) else {
+                    return Ok(());
+                };
+                let ext = btrim_pagestore::FrozenExtent::decode(data)?;
+                if ext.id() != *extent {
+                    return Err(BtrimError::Corrupt(format!(
+                        "freeze record extent id {} does not match payload id {}",
+                        extent,
+                        ext.id()
+                    )));
+                }
+                let ext = Arc::new(ext);
+                self.sh.extents.bump_floor(*extent);
+                for i in 0..ext.row_count() {
+                    let Some(row) = ext.row_id(i) else { continue };
+                    // A thaw that won re-inserted the row into a heap;
+                    // page state (already rebuilt and indexed) is then
+                    // authoritative, and the ExtentRowGone record that
+                    // follows in this shard retires the slot. Do not
+                    // clobber it with the older frozen image.
+                    if heap_locs.contains_key(&row) {
+                        continue;
+                    }
+                    let Some(bytes) =
+                        crate::freeze::extent_row_bytes(table.layout.as_ref(), &ext, i)
+                    else {
+                        return Err(BtrimError::Corrupt(format!(
+                            "extent {} slot {} unreadable during replay",
+                            extent, i
+                        )));
+                    };
+                    self.sh
+                        .ridmap
+                        .set(row, RowLocation::Frozen(*extent, i as u16));
+                    Self::index_row(&table, row, &bytes);
+                }
+                self.sh.extents.install(ext)?;
+            }
+            ImrsLogRecord::ExtentRowGone {
+                partition,
+                row,
+                extent,
+                idx,
+                ..
+            } => {
+                if let Some(ext) = self.sh.extents.get(*extent) {
+                    if ext.row_id(*idx as usize) == Some(*row) {
+                        ext.mark_gone(*idx as usize);
+                    }
+                }
+                match heap_locs.get(row) {
+                    Some(&(page, slot)) => {
+                        // The thawed copy was re-inserted by syslogs
+                        // redo and indexed by the heap rebuild.
+                        self.sh.ridmap.set(*row, RowLocation::Page(page, slot));
+                    }
+                    None => {
+                        // Thawed then deleted (or re-migrated; a later
+                        // Insert record recreates everything). Retire
+                        // the index entries built from the frozen image
+                        // or they would shadow a re-insert of the key.
+                        if let (Some(table), Some(ext)) = (
+                            self.sh.catalog.table_of_partition(*partition),
+                            self.sh.extents.get(*extent),
+                        ) {
+                            if ext.row_id(*idx as usize) == Some(*row) {
+                                if let Some(bytes) = crate::freeze::extent_row_bytes(
+                                    table.layout.as_ref(),
+                                    &ext,
+                                    *idx as usize,
+                                ) {
+                                    let key = (table.primary_key)(&bytes);
+                                    let _ = table.primary.delete(&key, Some(*row));
+                                    for sec in table.secondaries.read().iter() {
+                                        let skey = (sec.extractor)(&bytes);
+                                        let _ = sec.tree.delete(&skey, Some(*row));
+                                    }
+                                }
+                            }
+                        }
+                        if self.sh.ridmap.get(*row) == Some(RowLocation::Frozen(*extent, *idx)) {
+                            self.sh.ridmap.remove(*row);
+                        }
                     }
                 }
             }

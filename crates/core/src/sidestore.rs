@@ -315,6 +315,26 @@ impl SideStore {
         (dropped, freed)
     }
 
+    /// Rows whose most recent change under their slot was a delete,
+    /// with the delete's stash still present. Analytic scans enumerate
+    /// these so a row deleted *after* the scan's snapshot (RID-Map now
+    /// a tombstone, primary index entry already removed) is still
+    /// visited and served from its stash.
+    pub(crate) fn tombstoned_rows(&self) -> Vec<(PageId, SlotId, RowId)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (&(page, slot), list) in shard.iter() {
+                for e in list {
+                    if e.tombstone {
+                        out.push((page, slot, e.row));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Payload + overhead bytes currently stashed.
     pub(crate) fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)

@@ -111,6 +111,16 @@ pub struct EngineSnapshot {
     pub bytes_packed: u64,
     /// Rows pack skipped as hot (lifetime).
     pub rows_skipped_hot: u64,
+    /// Frozen columnar extents currently installed.
+    pub frozen_extents: u64,
+    /// Rows frozen into extents (lifetime).
+    pub rows_frozen: u64,
+    /// Rows thawed back out of extents for writes (lifetime).
+    pub rows_thawed: u64,
+    /// Uncompressed row-image bytes represented by installed extents.
+    pub frozen_raw_bytes: u64,
+    /// Encoded bytes of the installed extents.
+    pub frozen_encoded_bytes: u64,
     /// Current learned TSF Ʈ.
     pub tsf_tau: u64,
     /// Tuning windows executed.
@@ -221,6 +231,17 @@ impl EngineSnapshot {
             rows_packed: sh.pack.rows_packed(),
             bytes_packed: sh.pack.bytes_packed(),
             rows_skipped_hot: sh.pack.rows_skipped(),
+            frozen_extents: sh.extents.count(),
+            rows_frozen: sh
+                .freeze
+                .rows_frozen
+                .load(std::sync::atomic::Ordering::Relaxed),
+            rows_thawed: sh
+                .freeze
+                .rows_thawed
+                .load(std::sync::atomic::Ordering::Relaxed),
+            frozen_raw_bytes: sh.extents.raw_bytes(),
+            frozen_encoded_bytes: sh.extents.encoded_bytes(),
             tsf_tau: sh.tsf.tau(),
             tuning_windows: sh.tuner.windows_run(),
             gc_bytes_freed: sh.gc.bytes_freed(),
@@ -251,11 +272,7 @@ impl EngineSnapshot {
             "── engine ─────────────────────────────────────────────\n\
              txns committed {:>10}   aborted {:>8}   commit-ts {}\n\
              IMRS {:>6.1} MiB / {:.1} MiB ({:>4.1}%)   rows {:>8}   hit rate {:>5.1}%\n\
-             pack: cycles {} rows {} skipped {} bytes {:.1} MiB   TSF Ʈ {}\n\
-             GC freed {:.1} MiB (backlog {})   tuning windows {}\n\
-             snapshots: active txns {}   side-store {} entries ({:.1} KiB)\n\
-             buffer: hits {} misses {} evictions {} flushes {} contention {} \
-             shard-lock {} io-waits {}\n",
+             pack: cycles {} rows {} skipped {} bytes {:.1} MiB   TSF Ʈ {}\n",
             self.committed_txns,
             self.aborted_txns,
             self.commit_ts,
@@ -269,6 +286,24 @@ impl EngineSnapshot {
             self.rows_skipped_hot,
             self.bytes_packed as f64 / (1024.0 * 1024.0),
             self.tsf_tau,
+        ));
+        if self.frozen_extents > 0 || self.rows_frozen > 0 {
+            out.push_str(&format!(
+                "freeze: extents {} rows {} thawed {}   {:.1} KiB raw → {:.1} KiB \
+                 encoded ({:.2}x)\n",
+                self.frozen_extents,
+                self.rows_frozen,
+                self.rows_thawed,
+                self.frozen_raw_bytes as f64 / 1024.0,
+                self.frozen_encoded_bytes as f64 / 1024.0,
+                self.frozen_raw_bytes as f64 / (self.frozen_encoded_bytes.max(1)) as f64,
+            ));
+        }
+        out.push_str(&format!(
+            "GC freed {:.1} MiB (backlog {})   tuning windows {}\n\
+             snapshots: active txns {}   side-store {} entries ({:.1} KiB)\n\
+             buffer: hits {} misses {} evictions {} flushes {} contention {} \
+             shard-lock {} io-waits {}\n",
             self.gc_bytes_freed as f64 / (1024.0 * 1024.0),
             self.gc_backlog,
             self.tuning_windows,
@@ -422,7 +457,9 @@ impl EngineSnapshot {
                 "\"imrs_used_bytes\":{},\"imrs_budget\":{},\"imrs_utilization\":{},",
                 "\"imrs_rows\":{},\"imrs_ops\":{},\"page_ops\":{},\"imrs_hit_rate\":{},",
                 "\"pack_cycles\":{},\"rows_packed\":{},\"bytes_packed\":{},",
-                "\"rows_skipped_hot\":{},\"tsf_tau\":{},\"tuning_windows\":{},",
+                "\"rows_skipped_hot\":{},\"frozen_extents\":{},\"rows_frozen\":{},",
+                "\"rows_thawed\":{},\"frozen_raw_bytes\":{},\"frozen_encoded_bytes\":{},",
+                "\"tsf_tau\":{},\"tuning_windows\":{},",
                 "\"gc_bytes_freed\":{},\"queue_total\":{},\"storage_errors\":{},",
                 "\"txns_active\":{},\"side_store_entries\":{},\"side_store_bytes\":{},",
                 "\"health\":\"{}\",",
@@ -451,6 +488,11 @@ impl EngineSnapshot {
             self.rows_packed,
             self.bytes_packed,
             self.rows_skipped_hot,
+            self.frozen_extents,
+            self.rows_frozen,
+            self.rows_thawed,
+            self.frozen_raw_bytes,
+            self.frozen_encoded_bytes,
             self.tsf_tau,
             self.tuning_windows,
             self.gc_bytes_freed,

@@ -22,6 +22,7 @@ fn opts() -> TableOpts {
         pinned: false,
         partitioner: Partitioner::Single,
         primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+        layout: None,
     }
 }
 
@@ -395,6 +396,7 @@ fn parallel_recovery_matches_serial_and_is_idempotent() {
             pinned: false,
             partitioner: Partitioner::HashKey { parts: 8 },
             primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+            layout: None,
         }
     }
     fn scan(e: &Engine) -> BTreeMap<u64, Vec<u8>> {

@@ -27,6 +27,7 @@ fn opts(name: &str) -> TableOpts {
         pinned: false,
         partitioner: Partitioner::Single,
         primary_key: Arc::new(key_of),
+        layout: None,
     }
 }
 
@@ -522,6 +523,7 @@ fn multi_partition_table_routes_by_key_prefix() {
             pinned: false,
             partitioner: Partitioner::KeyPrefixU32 { parts: 4 },
             primary_key: Arc::new(key_of),
+            layout: None,
         })
         .unwrap();
     let mut txn = e.begin();

@@ -34,6 +34,7 @@ fn opts(name: &str) -> TableOpts {
         pinned: false,
         partitioner: Partitioner::Single,
         primary_key: Arc::new(|row: &[u8]| row[..8].to_vec()),
+        layout: None,
     }
 }
 

@@ -1,0 +1,191 @@
+//! HTAP stress: analytic scans racing committed writers.
+//!
+//! Four writer threads rewrite whole 4-row groups transactionally,
+//! always preserving each group's `val` sum, while four scanner
+//! threads run snapshot [`analytic_scan`]s over the same table — which
+//! also holds a fully frozen columnar prefix. Every scan must see the
+//! invariant total (no torn aggregates: a scan that mixed two
+//! generations of one group would break the sum), the exact row count,
+//! and the full frozen prefix on the columnar fast path. In debug
+//! builds the lock-rank witness additionally proves the scanner
+//! threads acquired **zero** ranked locks: with empty heaps and a
+//! drained side store, the analytic read path is lock-free end to end.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use btrim_core::catalog::{FieldKind, RowLayout, TableOpts};
+use btrim_core::freeze::freeze_tick;
+use btrim_core::pack::{pack_cycle, PackLevel};
+use btrim_core::{Engine, EngineConfig, EngineMode, ScanSpec};
+
+const FROZEN_ROWS: u64 = 64;
+const GROUPS: u64 = 32;
+const GROUP_ROWS: u64 = 4;
+const GROUP_SUM: u64 = 10_000;
+const WRITER_KEY_BASE: u64 = 1_000;
+
+fn opts() -> TableOpts {
+    TableOpts::new("hts", Arc::new(|row: &[u8]| row[..8].to_vec())).with_layout(RowLayout::new(&[
+        ("k_hi", FieldKind::BeU32),
+        ("k_lo", FieldKind::BeU32),
+        ("val", FieldKind::U64),
+    ]))
+}
+
+fn mkrow(key: u64, val: u64) -> Vec<u8> {
+    let mut r = key.to_be_bytes().to_vec();
+    r.extend_from_slice(&val.to_le_bytes());
+    r
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+#[test]
+fn writers_vs_scanners_no_torn_aggregates_no_scanner_locks() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        mode: EngineMode::IlmOn,
+        imrs_budget: 8 * 1024 * 1024,
+        imrs_chunk_size: 256 * 1024,
+        buffer_frames: 64,
+        // No auto-maintenance: the writer rows must stay IMRS-resident
+        // so the scan never needs the (lock-taking) page pass.
+        maintenance_interval_txns: u64::MAX / 2,
+        freeze_enabled: true,
+        freeze_min_rows: 2,
+        freeze_max_rows: 64,
+        ..Default::default()
+    }));
+    engine.create_table(opts()).unwrap();
+    let table = engine.table("hts").unwrap();
+
+    // Phase 1: a cold prefix, packed to pages and frozen columnar.
+    let frozen_sum: u64 = (0..FROZEN_ROWS).map(|k| k * 3).sum();
+    let mut txn = engine.begin();
+    for k in 0..FROZEN_ROWS {
+        engine.insert(&mut txn, &table, &mkrow(k, k * 3)).unwrap();
+    }
+    engine.commit(txn).unwrap();
+    engine.run_maintenance();
+    while pack_cycle(&engine, PackLevel::Aggressive) > 0 {}
+    while freeze_tick(&engine) > 0 {}
+    assert_eq!(
+        engine.snapshot().rows_frozen,
+        FROZEN_ROWS,
+        "the whole cold prefix must freeze before the stress starts"
+    );
+    // Drain any straggling side-store tombstones from the migration so
+    // the scanners' side check short-circuits without locking.
+    engine.run_maintenance();
+
+    // Phase 2: hot group rows, inserted after the freeze so they are
+    // IMRS-resident and stay there (no maintenance runs below). Rows
+    // 2j/2j+1 of a group pair up as x / GROUP_SUM - x, so each group —
+    // and therefore the table — has a constant `val` sum.
+    let mut txn = engine.begin();
+    for g in 0..GROUPS {
+        for j in 0..GROUP_ROWS {
+            let key = WRITER_KEY_BASE + g * GROUP_ROWS + j;
+            let val = if j % 2 == 0 { 0 } else { GROUP_SUM };
+            engine.insert(&mut txn, &table, &mkrow(key, val)).unwrap();
+        }
+    }
+    engine.commit(txn).unwrap();
+
+    let total_rows = FROZEN_ROWS + GROUPS * GROUP_ROWS;
+    let total_sum = (frozen_sum + GROUPS * 2 * GROUP_SUM) as u128;
+    let spec = Arc::new(ScanSpec {
+        filters: vec![("val".into(), 0, u64::MAX)],
+        sums: vec!["val".into()],
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scans = Arc::new(AtomicU64::new(0));
+
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let engine = Arc::clone(&engine);
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                let mut rng = 0x5CA1_AB1E + w as u64;
+                for _ in 0..600 {
+                    let g = xorshift(&mut rng) % GROUPS;
+                    let x = xorshift(&mut rng) % GROUP_SUM;
+                    let mut txn = engine.begin();
+                    let mut ok = true;
+                    for j in 0..GROUP_ROWS {
+                        let key = WRITER_KEY_BASE + g * GROUP_ROWS + j;
+                        let val = if j % 2 == 0 { x } else { GROUP_SUM - x };
+                        match engine.update(&mut txn, &table, &key.to_be_bytes(), &mkrow(key, val))
+                        {
+                            Ok(true) => {}
+                            // Row-lock conflict with a sibling writer:
+                            // abandon the whole group rewrite.
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        engine.commit(txn).unwrap();
+                    } else {
+                        engine.abort(txn);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let scanners: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let table = Arc::clone(&table);
+            let spec = Arc::clone(&spec);
+            let stop = Arc::clone(&stop);
+            let scans = Arc::clone(&scans);
+            std::thread::spawn(move || {
+                let locks_before = parking_lot::ranked_acquisitions();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = engine.begin_snapshot();
+                    let res = engine.analytic_scan(&snap, &table, &spec).unwrap();
+                    engine.end_snapshot(snap);
+                    assert_eq!(res.rows_scanned, total_rows, "rows appeared or vanished");
+                    assert_eq!(res.rows_matched, total_rows);
+                    assert_eq!(
+                        res.sums[0], total_sum,
+                        "torn aggregate: a scan mixed two generations of a group"
+                    );
+                    assert_eq!(
+                        res.frozen_rows, FROZEN_ROWS,
+                        "the frozen prefix must stay on the columnar fast path"
+                    );
+                    scans.fetch_add(1, Ordering::Relaxed);
+                }
+                parking_lot::ranked_acquisitions() - locks_before
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for s in scanners {
+        let scanner_lock_acquisitions = s.join().unwrap();
+        if cfg!(debug_assertions) {
+            assert_eq!(
+                scanner_lock_acquisitions, 0,
+                "a scanner acquired a ranked lock — the analytic read path is not lock-free"
+            );
+        }
+    }
+
+    assert!(scans.load(Ordering::Relaxed) > 0, "scanners never ran");
+    assert_eq!(engine.snapshot().txns_active, 0);
+}

@@ -37,18 +37,26 @@ pub enum RowLocation {
     /// Deleted from the page store, entry kept so snapshot readers can
     /// find the before-image in the side store; purged at the horizon.
     Tombstone(PageId, SlotId),
+    /// Slot `idx` of frozen columnar extent `extent` (the `ExtentStore`
+    /// holds the immutable compressed image). Same packed shape as
+    /// `Page` — extent id where the page would be, slot index where the
+    /// slot would be — so relocation to or from cold storage stays one
+    /// CAS.
+    Frozen(u32, u16),
 }
 
 const TAG_ABSENT: u64 = 0;
 const TAG_IMRS: u64 = 1;
 const TAG_PAGE: u64 = 2;
 const TAG_TOMBSTONE: u64 = 3;
+const TAG_FROZEN: u64 = 4;
 
 fn encode(loc: RowLocation) -> u64 {
     match loc {
         RowLocation::Imrs => TAG_IMRS,
         RowLocation::Page(p, s) => ((p.0 as u64) << 32) | ((s.0 as u64) << 8) | TAG_PAGE,
         RowLocation::Tombstone(p, s) => ((p.0 as u64) << 32) | ((s.0 as u64) << 8) | TAG_TOMBSTONE,
+        RowLocation::Frozen(ext, idx) => ((ext as u64) << 32) | ((idx as u64) << 8) | TAG_FROZEN,
     }
 }
 
@@ -59,6 +67,7 @@ fn decode(word: u64) -> Option<RowLocation> {
         TAG_ABSENT => None,
         TAG_IMRS => Some(RowLocation::Imrs),
         TAG_PAGE => Some(RowLocation::Page(page, slot)),
+        TAG_FROZEN => Some(RowLocation::Frozen(page.0, slot.0)),
         _ => Some(RowLocation::Tombstone(page, slot)),
     }
 }
@@ -287,10 +296,31 @@ mod tests {
             RowLocation::Page(PageId(u32::MAX), SlotId(u16::MAX)),
             RowLocation::Tombstone(PageId(7), SlotId(3)),
             RowLocation::Tombstone(PageId(u32::MAX), SlotId(u16::MAX)),
+            RowLocation::Frozen(0, 0),
+            RowLocation::Frozen(u32::MAX, u16::MAX),
+            RowLocation::Frozen(9, 65535),
         ] {
             assert_eq!(decode(encode(loc)), Some(loc));
         }
         assert_eq!(decode(TAG_ABSENT), None);
+    }
+
+    #[test]
+    fn frozen_locations_relocate_by_cas() {
+        let m = RidMap::new();
+        let r = m.allocate_row_id();
+        m.set(r, RowLocation::Page(PageId(4), SlotId(2)));
+        // Freeze: page slot → extent slot.
+        assert!(m.compare_and_set(
+            r,
+            RowLocation::Page(PageId(4), SlotId(2)),
+            RowLocation::Frozen(12, 7),
+        ));
+        assert_eq!(m.get(r), Some(RowLocation::Frozen(12, 7)));
+        // Thaw: extent slot → IMRS.
+        assert!(m.compare_and_set(r, RowLocation::Frozen(12, 7), RowLocation::Imrs));
+        assert_eq!(m.get(r), Some(RowLocation::Imrs));
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Fixture: lock-order rule for the extent-store publish lock. Fed to
+//! the linter under the path `crates/pagestore/src/extent.rs`, where
+//! `publish` classifies as extent-store (rank 48). Never compiled —
+//! this file is raw input for the rule engine.
+
+impl ExtentStore {
+    // FINDING: publish (48) re-acquired while already held — the
+    // directory publish lock is not re-entrant, and rank >= rank is an
+    // ordering violation by definition.
+    fn backwards(&self, other: &ExtentStore) {
+        let a = self.publish.lock();
+        let b = other.publish.lock();
+        b.touch(&a);
+    }
+
+    // Clean: the first guard's scope ends before the second
+    // acquisition.
+    fn scoped(&self, other: &ExtentStore) {
+        {
+            let a = self.publish.lock();
+            a.touch();
+        }
+        let b = other.publish.lock();
+        b.touch();
+    }
+
+    // Clean: explicit drop ends the guard first.
+    fn dropped(&self, other: &ExtentStore) {
+        let a = self.publish.lock();
+        a.touch();
+        drop(a);
+        let b = other.publish.lock();
+        b.touch();
+    }
+}

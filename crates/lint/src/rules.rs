@@ -94,6 +94,11 @@ pub const LOCK_SITES: &[(&str, &str, u16)] = &[
     ("crates/pagestore/src/buffer.rs", "data", hierarchy::FRAME),
     ("crates/pagestore/src/buffer.rs", "io", hierarchy::FRAME),
     ("crates/imrs/src/ridmap.rs", "shard", hierarchy::RID_MAP),
+    (
+        "crates/pagestore/src/extent.rs",
+        "publish",
+        hierarchy::EXTENT_STORE,
+    ),
     ("crates/wal/src/log.rs", "inner", hierarchy::WAL_LOG),
     ("crates/wal/src/group.rs", "state", hierarchy::GROUP_COMMIT),
 ];

@@ -55,6 +55,30 @@ fn lock_order_is_path_scoped() {
 }
 
 #[test]
+fn extent_store_publish_lock_is_classified() {
+    let src = include_str!("../fixtures/extent_store.rs");
+    // The extent.rs path activates the publish classification.
+    let findings = check_file("crates/pagestore/src/extent.rs", src, Options::default());
+    let hits = rules_hit(&findings);
+    assert_eq!(
+        hits.len(),
+        1,
+        "exactly the held-publish re-acquisition, none of the clean \
+         functions: {findings:?}"
+    );
+    assert!(hits.iter().all(|(r, _)| *r == "lock-order"));
+    let bad_line = src
+        .lines()
+        .position(|l| l.contains("other.publish.lock()") && l.contains("let b"))
+        .map(|i| i as u32 + 1)
+        .expect("fixture contains the bad acquisition");
+    assert_eq!(hits[0].1, bad_line, "{findings:?}");
+    // Under an unclassified path the same source is silent.
+    let elsewhere = check_file("crates/obs/src/lib.rs", src, Options::default());
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
 fn no_panic_fires_outside_tests_and_respects_escapes() {
     let src = include_str!("../fixtures/no_panic.rs");
     let findings = check_file("crates/wal/src/fixture.rs", src, Options::default());

@@ -87,11 +87,14 @@ pub enum OpClass {
     /// One recovery replay worker's shard of forward redo (page-log
     /// redo or IMRS replay).
     RecoveryReplay,
+    /// One snapshot-isolated analytic scan merging frozen extents,
+    /// IMRS deltas, and page-resident rows.
+    AnalyticScan,
 }
 
 impl OpClass {
     /// Number of classes; sizes the histogram table.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 21;
 
     /// All classes, in display order.
     pub const ALL: [OpClass; Self::COUNT] = [
@@ -115,6 +118,7 @@ impl OpClass {
         OpClass::TuningWindow,
         OpClass::CheckpointFlush,
         OpClass::RecoveryReplay,
+        OpClass::AnalyticScan,
     ];
 
     /// Stable machine-readable name (JSON keys, report rows).
@@ -140,6 +144,7 @@ impl OpClass {
             OpClass::TuningWindow => "tuning_window",
             OpClass::CheckpointFlush => "checkpoint_flush",
             OpClass::RecoveryReplay => "recovery_replay",
+            OpClass::AnalyticScan => "analytic_scan",
         }
     }
 }
@@ -369,12 +374,38 @@ pub struct CheckpointTrace {
     pub stall_nanos: u64,
 }
 
+/// One freeze decision: a batch of cold page-resident rows promoted
+/// into an immutable compressed columnar extent, with the compression
+/// achieved and why candidate rows were passed over.
+#[derive(Clone, Debug)]
+pub struct FreezeTrace {
+    /// Extent id assigned to the new extent.
+    pub extent: u64,
+    /// Partition the rows were harvested from.
+    pub partition: u64,
+    /// Rows frozen into the extent.
+    pub rows: u64,
+    /// Uncompressed row-image bytes represented by the extent.
+    pub raw_bytes: u64,
+    /// Encoded (dictionary + bit-packed) extent size on the log.
+    pub encoded_bytes: u64,
+    /// Candidates skipped because their row lock was held.
+    pub rows_skipped_hot: u64,
+    /// Candidates skipped because a snapshot older than their newest
+    /// stamped version was still pinned.
+    pub rows_skipped_recent: u64,
+    /// Whether the extent used the declared per-column layout (true)
+    /// or fell back to a single opaque byte column (false).
+    pub schema_columns: bool,
+}
+
 /// An entry in the ILM decision trace ring.
 #[derive(Clone, Debug)]
 pub enum IlmTraceEvent {
     Tuner(TunerTrace),
     Pack(PackCycleTrace),
     Checkpoint(CheckpointTrace),
+    Freeze(FreezeTrace),
 }
 
 impl IlmTraceEvent {
@@ -458,6 +489,22 @@ impl IlmTraceEvent {
                 c.low_water_lsn,
                 c.truncated_records,
                 c.stall_nanos,
+            ),
+            IlmTraceEvent::Freeze(f) => format!(
+                concat!(
+                    "{{\"kind\":\"freeze\",\"extent\":{},\"partition\":{},",
+                    "\"rows\":{},\"raw_bytes\":{},\"encoded_bytes\":{},",
+                    "\"rows_skipped_hot\":{},\"rows_skipped_recent\":{},",
+                    "\"schema_columns\":{}}}"
+                ),
+                f.extent,
+                f.partition,
+                f.rows,
+                f.raw_bytes,
+                f.encoded_bytes,
+                f.rows_skipped_hot,
+                f.rows_skipped_recent,
+                f.schema_columns,
             ),
         }
     }
@@ -574,7 +621,17 @@ mod tests {
             truncated_records: 480,
             stall_nanos: 2_000_000,
         });
-        for ev in [tuner, pack, ckpt] {
+        let freeze = IlmTraceEvent::Freeze(FreezeTrace {
+            extent: 3,
+            partition: 9,
+            rows: 512,
+            raw_bytes: 40_960,
+            encoded_bytes: 12_288,
+            rows_skipped_hot: 2,
+            rows_skipped_recent: 1,
+            schema_columns: true,
+        });
+        for ev in [tuner, pack, ckpt, freeze] {
             let js = ev.to_json();
             json::validate(&js).unwrap_or_else(|e| panic!("{e}: {js}"));
         }

@@ -9,6 +9,7 @@
 //! last touch, so inserts do not scan the chain.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -21,6 +22,11 @@ use crate::page::PageType;
 pub struct HeapFile {
     partition: PartitionId,
     inner: Mutex<HeapInner>,
+    /// Live-row count, maintained on insert/delete/relocation. Lets
+    /// scans skip the buffer cache entirely for empty heaps — the
+    /// analytic scan path relies on this to stay latch-free once a
+    /// partition is fully frozen.
+    live_rows: AtomicU64,
 }
 
 struct HeapInner {
@@ -52,6 +58,7 @@ impl HeapFile {
                 fsm: BTreeMap::new(),
                 by_free: BTreeSet::new(),
             }),
+            live_rows: AtomicU64::new(0),
         }
     }
 
@@ -71,10 +78,14 @@ impl HeapFile {
     /// found on disk for this partition). Rebuilds the free-space map.
     pub fn adopt_pages(&self, pages: Vec<PageId>, cache: &BufferCache) -> Result<()> {
         let mut frees = Vec::with_capacity(pages.len());
+        let mut rows = 0u64;
         for &pid in &pages {
             let g = cache.fetch(pid)?;
-            frees.push((pid, g.with_page_read(|p| p.total_free())));
+            let (free, live) = g.with_page_read(|p| (p.total_free(), p.iter_rows().count() as u64));
+            frees.push((pid, free));
+            rows += live;
         }
+        self.live_rows.store(rows, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         inner.pages = pages;
         inner.fsm.clear();
@@ -93,6 +104,11 @@ impl HeapFile {
     /// Snapshot of the heap's page list (scan planning, recovery dumps).
     pub fn pages(&self) -> Vec<PageId> {
         self.inner.lock().pages.clone()
+    }
+
+    /// Live-row count without touching a single page (pure atomic read).
+    pub fn live_rows(&self) -> u64 {
+        self.live_rows.load(Ordering::Relaxed)
     }
 
     /// Insert a row payload, returning its physical address.
@@ -123,6 +139,7 @@ impl HeapFile {
             });
             self.inner.lock().set_free(pid, free);
             if let Some(slot) = slot {
+                self.live_rows.fetch_add(1, Ordering::Relaxed);
                 return Ok((pid, slot));
             }
         }
@@ -148,6 +165,7 @@ impl HeapFile {
         // above ever produces — but surface it as an error, not a panic.
         // (The empty page stays linked into the chain for future use.)
         let slot = slot.ok_or_else(|| BtrimError::Invalid("row exceeds page capacity".into()))?;
+        self.live_rows.fetch_add(1, Ordering::Relaxed);
         Ok((pid, slot))
     }
 
@@ -197,6 +215,9 @@ impl HeapFile {
                 "update of dead slot {slot} on {pid}"
             )));
         }
+        // The re-insert below re-counts the row; balance the page-level
+        // delete that just happened.
+        self.live_rows.fetch_sub(1, Ordering::Relaxed);
         self.insert(cache, data)
     }
 
@@ -205,6 +226,9 @@ impl HeapFile {
         let guard = cache.fetch(pid)?;
         let (len, free) = guard.with_page_write(|p| (p.delete(slot), p.total_free()));
         self.inner.lock().set_free(pid, free);
+        if len.is_some() {
+            self.live_rows.fetch_sub(1, Ordering::Relaxed);
+        }
         len.ok_or(BtrimError::Invalid(format!(
             "delete of dead slot {slot} on {pid}"
         )))
@@ -217,6 +241,9 @@ impl HeapFile {
         cache: &BufferCache,
         mut f: impl FnMut(PageId, SlotId, &[u8]) -> bool,
     ) -> Result<()> {
+        if self.live_rows() == 0 {
+            return Ok(());
+        }
         let pages = self.pages();
         for pid in pages {
             let guard = cache.fetch(pid)?;
@@ -336,6 +363,30 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn live_rows_tracks_mutations_without_page_reads() {
+        let (cache, heap) = setup();
+        assert_eq!(heap.live_rows(), 0);
+        let mut addrs = Vec::new();
+        for i in 0..12u8 {
+            addrs.push(heap.insert(&cache, &vec![i; 400]).unwrap());
+        }
+        assert_eq!(heap.live_rows(), 12);
+        // Relocating update keeps the count stable.
+        let (pid, slot) = addrs[0];
+        heap.update(&cache, pid, slot, &vec![0u8; 7000]).unwrap();
+        assert_eq!(heap.live_rows(), 12);
+        for (pid, slot) in &addrs[1..] {
+            heap.delete(&cache, *pid, *slot).unwrap();
+        }
+        assert_eq!(heap.live_rows(), 1);
+        assert_eq!(heap.count_rows(&cache).unwrap(), 1);
+        // adopt_pages recomputes from the pages themselves.
+        let pages = heap.pages();
+        let rebuilt = HeapFile::from_pages(PartitionId(7), pages, &cache);
+        assert_eq!(rebuilt.live_rows(), 1);
     }
 
     #[test]

@@ -10,16 +10,23 @@
 //! The buffer cache records latch-contention events because the ILM
 //! rules use "operations on page-store which observed contention" as a
 //! signal to re-enable in-memory storage for a partition (§V.D).
+//!
+//! The HTAP freeze step adds a third storage form beyond IMRS rows and
+//! slotted pages: immutable compressed columnar [`extent`]s, holding
+//! rows the ILM signal declared cold-for-good, served to analytic scans
+//! without the buffer cache.
 
 #![forbid(unsafe_code)]
 
 pub mod buffer;
 pub mod disk;
+pub mod extent;
 pub mod heap;
 pub mod page;
 
 pub use buffer::{BufferCache, BufferStats, BufferStatsSnapshot, PageGuard, ShardStat};
 pub use disk::{DiskBackend, FileDisk, MemDisk};
+pub use extent::{Column, ColumnData, ExtentColumn, ExtentStore, FrozenExtent, MAX_EXTENT_ROWS};
 pub use heap::HeapFile;
 pub use page::{
     page_checksum, stamp_page_checksum, verify_page_checksum, PageType, PageView, SlottedPage,

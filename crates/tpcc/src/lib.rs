@@ -15,9 +15,12 @@
 //! * [`driver`] — mixed-workload driver (standard 45/43/4/4/4 mix),
 //!   single- or multi-threaded, deterministic under a fixed seed.
 //! * [`profile`] — per-table workload profiles (regenerates Table 1).
+//! * [`analytics`] — CH-benCHmark-style filtered aggregates evaluated
+//!   by the engine's snapshot-isolated analytic scan (HTAP read path).
 
 #![forbid(unsafe_code)]
 
+pub mod analytics;
 pub mod driver;
 pub mod loader;
 pub mod profile;

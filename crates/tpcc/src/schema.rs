@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use btrim_common::codec::{Decoder, Encoder};
 use btrim_common::Result;
-use btrim_core::catalog::{KeyExtractor, Partitioner, TableOpts};
+use btrim_core::catalog::{FieldKind, KeyExtractor, Partitioner, RowLayout, TableOpts};
 use btrim_core::{Engine, Result as CoreResult};
 
 /// Pad / truncate a string into a fixed byte array.
@@ -514,6 +514,22 @@ impl OrderLine {
             dist_info: d.get_str()?,
         })
     }
+
+    /// Field-accurate row layout mirroring `encode()`.
+    pub fn layout() -> RowLayout {
+        RowLayout::new(&[
+            ("w_id", FieldKind::BeU32),
+            ("d_id", FieldKind::BeU32),
+            ("o_id", FieldKind::BeU32),
+            ("ol_number", FieldKind::BeU32),
+            ("i_id", FieldKind::U32),
+            ("supply_w_id", FieldKind::U32),
+            ("delivery_d", FieldKind::U64),
+            ("quantity", FieldKind::U32),
+            ("amount", FieldKind::F64Bits),
+            ("dist_info", FieldKind::Str),
+        ])
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -617,6 +633,20 @@ impl Stock {
             data: d.get_str()?,
         })
     }
+
+    /// Field-accurate row layout mirroring `encode()`.
+    pub fn layout() -> RowLayout {
+        RowLayout::new(&[
+            ("w_id", FieldKind::BeU32),
+            ("i_id", FieldKind::BeU32),
+            ("quantity", FieldKind::U32),
+            ("ytd", FieldKind::U32),
+            ("order_cnt", FieldKind::U32),
+            ("remote_cnt", FieldKind::U32),
+            ("dist_info", FieldKind::Str),
+            ("data", FieldKind::Str),
+        ])
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -658,6 +688,7 @@ impl Tables {
                 Partitioner::Single
             },
             primary_key: prefix_key(key_len),
+            layout: None,
         };
         let warehouse = engine.create_table(mk("warehouse", 4, false))?;
         let district = engine.create_table(mk("district", 8, false))?;
@@ -667,9 +698,15 @@ impl Tables {
         let new_order = engine.create_table(mk("new_order", 12, true))?;
         let orders = engine.create_table(mk("orders", 12, true))?;
         engine.create_secondary_index(&orders, "by_customer", Order::customer_extractor())?;
-        let order_line = engine.create_table(mk("order_line", 16, true))?;
+        // The two analytics targets declare their row encodings so the
+        // freeze step can shred them into real per-field columns and
+        // analytic scans can evaluate predicates field-wise. The field
+        // kinds mirror `encode()` exactly: BE key prefix, then the
+        // LE-encoded body.
+        let order_line =
+            engine.create_table(mk("order_line", 16, true).with_layout(OrderLine::layout()))?;
         let item = engine.create_table(mk("item", 4, false))?;
-        let stock = engine.create_table(mk("stock", 8, true))?;
+        let stock = engine.create_table(mk("stock", 8, true).with_layout(Stock::layout()))?;
         Ok(Tables {
             warehouse,
             district,

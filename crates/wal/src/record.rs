@@ -306,6 +306,30 @@ pub enum ImrsLogRecord {
         partition: PartitionId,
         row: RowId,
     },
+    /// A batch of page-resident rows re-encoded into an immutable
+    /// columnar frozen extent. `data` is the complete encoded extent
+    /// (magic through CRC, self-validating); the paired page-store
+    /// deletes live in syslogs under the same freeze transaction, so
+    /// replay gates this record on that transaction's syslog verdict,
+    /// exactly like Pack in the opposite direction.
+    Freeze {
+        txn: TxnId,
+        ts: Timestamp,
+        partition: PartitionId,
+        extent: u32,
+        data: Vec<u8>,
+    },
+    /// A single slot of a frozen extent stopped being the current
+    /// version of its row: the row was thawed back to the IMRS for an
+    /// update, or deleted outright. Redo re-marks the slot dead.
+    ExtentRowGone {
+        txn: TxnId,
+        ts: Timestamp,
+        partition: PartitionId,
+        row: RowId,
+        extent: u32,
+        idx: u16,
+    },
     /// Written by recovery: the listed transactions lost (crashed
     /// in-flight or aborted) and their earlier records in this log must
     /// never replay. The IMRS log is not truncated at checkpoints, but
@@ -376,6 +400,36 @@ impl Encodable for ImrsLogRecord {
                 e.put_u32(partition.0);
                 e.put_u64(row.0);
             }
+            ImrsLogRecord::Freeze {
+                txn,
+                ts,
+                partition,
+                extent,
+                data,
+            } => {
+                e.put_u8(5);
+                e.put_u64(txn.0);
+                e.put_u64(ts.0);
+                e.put_u32(partition.0);
+                e.put_u32(*extent);
+                e.put_bytes(data);
+            }
+            ImrsLogRecord::ExtentRowGone {
+                txn,
+                ts,
+                partition,
+                row,
+                extent,
+                idx,
+            } => {
+                e.put_u8(6);
+                e.put_u64(txn.0);
+                e.put_u64(ts.0);
+                e.put_u32(partition.0);
+                e.put_u64(row.0);
+                e.put_u32(*extent);
+                e.put_u16(*idx);
+            }
             ImrsLogRecord::Discard { txns } => {
                 e.put_u8(4);
                 e.put_u32(txns.len() as u32);
@@ -426,6 +480,21 @@ impl Encodable for ImrsLogRecord {
                 }
                 ImrsLogRecord::Discard { txns }
             }
+            5 => ImrsLogRecord::Freeze {
+                txn: TxnId(d.get_u64()?),
+                ts: Timestamp(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                extent: d.get_u32()?,
+                data: d.get_bytes()?,
+            },
+            6 => ImrsLogRecord::ExtentRowGone {
+                txn: TxnId(d.get_u64()?),
+                ts: Timestamp(d.get_u64()?),
+                partition: PartitionId(d.get_u32()?),
+                row: RowId(d.get_u64()?),
+                extent: d.get_u32()?,
+                idx: d.get_u16()?,
+            },
             t => return Err(BtrimError::Corrupt(format!("bad imrs log tag {t}"))),
         })
     }
@@ -439,7 +508,9 @@ impl ImrsLogRecord {
             ImrsLogRecord::Insert { txn, .. }
             | ImrsLogRecord::Update { txn, .. }
             | ImrsLogRecord::Delete { txn, .. }
-            | ImrsLogRecord::Pack { txn, .. } => Some(*txn),
+            | ImrsLogRecord::Pack { txn, .. }
+            | ImrsLogRecord::Freeze { txn, .. }
+            | ImrsLogRecord::ExtentRowGone { txn, .. } => Some(*txn),
             ImrsLogRecord::Discard { .. } => None,
         }
     }
@@ -450,19 +521,23 @@ impl ImrsLogRecord {
             ImrsLogRecord::Insert { ts, .. }
             | ImrsLogRecord::Update { ts, .. }
             | ImrsLogRecord::Delete { ts, .. }
-            | ImrsLogRecord::Pack { ts, .. } => *ts,
+            | ImrsLogRecord::Pack { ts, .. }
+            | ImrsLogRecord::Freeze { ts, .. }
+            | ImrsLogRecord::ExtentRowGone { ts, .. } => *ts,
             ImrsLogRecord::Discard { .. } => Timestamp::ZERO,
         }
     }
 
-    /// Row the record concerns (`RowId(0)` for `Discard`).
+    /// Row the record concerns (`RowId(0)` for `Discard` and for
+    /// `Freeze`, which carries a whole batch of rows in its extent).
     pub fn row(&self) -> RowId {
         match self {
             ImrsLogRecord::Insert { row, .. }
             | ImrsLogRecord::Update { row, .. }
             | ImrsLogRecord::Delete { row, .. }
-            | ImrsLogRecord::Pack { row, .. } => *row,
-            ImrsLogRecord::Discard { .. } => RowId(0),
+            | ImrsLogRecord::Pack { row, .. }
+            | ImrsLogRecord::ExtentRowGone { row, .. } => *row,
+            ImrsLogRecord::Discard { .. } | ImrsLogRecord::Freeze { .. } => RowId(0),
         }
     }
 }
@@ -559,6 +634,21 @@ mod tests {
             txns: vec![TxnId(4), TxnId(9), TxnId(1 << 63 | 5)],
         });
         roundtrip_imrs(ImrsLogRecord::Discard { txns: vec![] });
+        roundtrip_imrs(ImrsLogRecord::Freeze {
+            txn: TxnId(1 << 63 | 7),
+            ts: Timestamp(14),
+            partition: PartitionId(2),
+            extent: 11,
+            data: vec![0xBB; 300],
+        });
+        roundtrip_imrs(ImrsLogRecord::ExtentRowGone {
+            txn: TxnId(5),
+            ts: Timestamp(15),
+            partition: PartitionId(2),
+            row: RowId(77),
+            extent: 11,
+            idx: 42,
+        });
     }
 
     #[test]
@@ -598,6 +688,26 @@ mod tests {
         };
         assert_eq!(d.txn(), None);
         assert_eq!(d.ts(), Timestamp::ZERO);
+        let f = ImrsLogRecord::Freeze {
+            txn: TxnId(6),
+            ts: Timestamp(7),
+            partition: PartitionId(1),
+            extent: 3,
+            data: vec![],
+        };
+        assert_eq!(f.txn(), Some(TxnId(6)));
+        assert_eq!(f.ts(), Timestamp(7));
+        assert_eq!(f.row(), RowId(0), "freeze carries a batch, not one row");
+        let g = ImrsLogRecord::ExtentRowGone {
+            txn: TxnId(6),
+            ts: Timestamp(8),
+            partition: PartitionId(1),
+            row: RowId(9),
+            extent: 3,
+            idx: 0,
+        };
+        assert_eq!(g.txn(), Some(TxnId(6)));
+        assert_eq!(g.row(), RowId(9));
     }
 }
 

@@ -21,6 +21,7 @@ fn place(engine: &Engine, table: &btrim::catalog::TableDesc, key: &[u8]) -> &'st
     match engine.locate(table, key).unwrap() {
         Some(RowLocation::Imrs) => "IMRS (in-memory row store)",
         Some(RowLocation::Page(_, _)) => "page store",
+        Some(RowLocation::Frozen(_, _)) => "frozen columnar extent",
         Some(RowLocation::Tombstone(_, _)) | None => "nowhere",
     }
 }

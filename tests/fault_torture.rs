@@ -822,6 +822,175 @@ fn double_crash_during_recovery_is_reenterable() {
     );
 }
 
+/// Crash *inside* the freeze pipeline, swept across device-op offsets
+/// so the fail-stop lands at every interesting point: before the
+/// `Begin` record, among the per-row `Delete` records, before or after
+/// the `Freeze` record (which carries the whole encoded extent),
+/// around the `Commit`, during the flush, or after completion. The
+/// freeze batch is an internal transaction, so recovery must land on
+/// exactly one of two states — the rows still on their old slotted
+/// pages (loser) or a complete installed extent (winner) — never a
+/// half-frozen mix, and never a lost or duplicated row. Every commit
+/// here is acknowledged fault-free, so there is no three-way slack:
+/// scans and analytic aggregates must reproduce the exact model.
+#[test]
+fn crash_during_freeze_leaves_pages_or_a_complete_extent() {
+    use btrim::catalog::{FieldKind, RowLayout, TableOpts};
+    use btrim::freeze::freeze_tick;
+    use btrim::ScanSpec;
+
+    fn fopts() -> TableOpts {
+        TableOpts::new("frosty", Arc::new(|r: &[u8]| r[..8].to_vec())).with_layout(RowLayout::new(
+            &[
+                ("k_hi", FieldKind::BeU32),
+                ("k_lo", FieldKind::BeU32),
+                ("val", FieldKind::U64),
+            ],
+        ))
+    }
+    fn frow(key: u64, val: u64) -> Vec<u8> {
+        let mut r = key.to_be_bytes().to_vec();
+        r.extend_from_slice(&val.to_le_bytes());
+        r
+    }
+    let fcfg = || EngineConfig {
+        // Manual maintenance only: the test controls exactly when rows
+        // move, so the fail-stop offset aims at the freeze alone.
+        maintenance_interval_txns: u64::MAX / 2,
+        freeze_enabled: true,
+        freeze_min_rows: 2,
+        freeze_max_rows: 64,
+        ..cfg()
+    };
+
+    let mut mid_freeze_crashes = 0u32;
+    let mut losers = 0u32; // recovery found the rows back on pages
+    let mut winners = 0u32; // recovery reinstalled a complete extent
+    for (case, ops_in) in [1u64, 2, 3, 4, 6, 9, 14, 22, 40, 4_000]
+        .into_iter()
+        .enumerate()
+    {
+        let label = format!("freeze-crash-{case}");
+        let inner = inner_devices(&label, false);
+        let state = FaultState::new(FaultPlan::default());
+        let engine = Engine::with_devices(
+            fcfg(),
+            Arc::new(FaultDisk::new(inner.disk.clone(), state.clone())),
+            Arc::new(FaultLog::new(inner.syslog.clone(), state.clone())),
+            Arc::new(FaultLog::new(inner.imrslog.clone(), state.clone())),
+        );
+        engine.create_table(fopts()).unwrap();
+        let table = engine.table("frosty").unwrap();
+
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        for key in 0..48u64 {
+            let mut txn = engine.begin();
+            engine
+                .insert(&mut txn, &table, &frow(key, key * 5))
+                .unwrap();
+            engine.commit(txn).unwrap();
+            exact.insert(key, key * 5);
+        }
+        // Cold path: everything packed to slotted pages, fault-free.
+        engine.run_maintenance();
+        while pack_cycle(&engine, PackLevel::Aggressive) > 0 {}
+
+        state.fail_stop_in(ops_in);
+        let _ = freeze_tick(&engine); // typed failure tolerated
+        if state.crashed() {
+            mid_freeze_crashes += 1;
+        }
+        drop(engine);
+
+        let recovered = Engine::recover(
+            fcfg(),
+            inner.disk.clone(),
+            inner.syslog.clone(),
+            inner.imrslog.clone(),
+            |e| e.create_table(fopts()).map(|_| ()),
+        )
+        .unwrap_or_else(|e| panic!("plan {label}: recovery failed: {e}"));
+        let table = recovered.table("frosty").unwrap();
+
+        // Index scan: exactly the acknowledged rows, no loss, no dupes.
+        let mut seen = 0usize;
+        let txn = recovered.begin();
+        recovered
+            .scan_range(&txn, &table, &[], None, |k, _, row| {
+                let key = u64::from_be_bytes(k[..8].try_into().unwrap());
+                let val = u64::from_le_bytes(row[8..16].try_into().unwrap());
+                assert_eq!(exact.get(&key), Some(&val), "plan {label}: key {key}");
+                seen += 1;
+                true
+            })
+            .unwrap();
+        recovered.commit(txn).unwrap();
+        assert_eq!(seen, exact.len(), "plan {label}: acknowledged rows lost");
+
+        // Analytic scan merges every tier with per-row dedup: a row
+        // living both on a page and in an extent (or in neither) would
+        // break the count or the sum.
+        let snap = recovered.begin_snapshot();
+        let res = recovered
+            .analytic_scan(
+                &snap,
+                &table,
+                &ScanSpec {
+                    filters: vec![("val".into(), 0, u64::MAX)],
+                    sums: vec!["val".into()],
+                },
+            )
+            .unwrap();
+        recovered.end_snapshot(snap);
+        assert_eq!(res.rows_scanned, exact.len() as u64, "plan {label}");
+        assert_eq!(res.rows_matched, exact.len() as u64, "plan {label}");
+        assert_eq!(
+            res.sums[0],
+            exact.values().map(|&v| v as u128).sum::<u128>(),
+            "plan {label}: aggregate diverged after the crash"
+        );
+
+        // All-or-nothing per batch: a discarded Freeze record leaves
+        // the rows on their pages (zero columnar hits), a replayed one
+        // reinstalls the whole extent. The exact count + sum above
+        // already rule out a half-frozen mix; here we pin that both
+        // outcomes exist across the sweep and that extents and
+        // columnar service agree.
+        let snap_stats = recovered.snapshot();
+        if res.frozen_rows == 0 {
+            losers += 1;
+        } else {
+            assert!(
+                snap_stats.frozen_extents >= 1,
+                "plan {label}: columnar rows served with no installed extent"
+            );
+            winners += 1;
+        }
+
+        // The survivor is fully operational across the freeze life
+        // cycle: thaw a row by update, then freeze again.
+        let mut txn = recovered.begin();
+        assert!(recovered
+            .update(&mut txn, &table, &3u64.to_be_bytes(), &frow(3, 31_337))
+            .unwrap());
+        recovered.commit(txn).unwrap();
+        recovered.run_maintenance();
+        while pack_cycle(&recovered, PackLevel::Aggressive) > 0 {}
+        while freeze_tick(&recovered) > 0 {}
+        assert!(
+            recovered.snapshot().frozen_extents > 0,
+            "plan {label}: post-recovery freeze never installed an extent"
+        );
+        recovered.checkpoint().unwrap();
+    }
+    assert!(
+        mid_freeze_crashes >= 3,
+        "the sweep barely touched the freeze pipeline ({mid_freeze_crashes} crashes)"
+    );
+    assert!(losers >= 1, "no offset left the rows on their pages");
+    assert!(winners >= 1, "no offset completed the freeze");
+}
+
 /// One randomized plan per run: `RUST_SEED` (env) picks the schedule,
 /// and the chosen seed is always printed so any failure is replayable
 /// with `RUST_SEED=<seed> cargo test --test fault_torture randomized`.

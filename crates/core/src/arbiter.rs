@@ -1,0 +1,363 @@
+//! Unified memory arbiter: dynamic IMRS ↔ buffer-cache budget.
+//!
+//! The §V.D tuner decides *which rows* deserve IMRS residency; this
+//! module generalizes the idea to *how much memory* each pool deserves
+//! (ROADMAP item 3, after the adaptive memory tuner of "Breaking Down
+//! Memory Walls"). Both pools are carved from one globally accounted
+//! `total_memory_budget`, and every `arbiter_window_txns` commits the
+//! arbiter compares their **marginal utilities**:
+//!
+//! * **IMRS**: window delta of operations on IMRS-*enabled* partitions
+//!   that nonetheless fell through to the page store, per MiB of IMRS
+//!   budget. Each such op is a row ILM would keep resident if the
+//!   budget allowed — the IMRS's own "miss counter" (its hit-rate gain
+//!   from growth).
+//! * **Buffer cache**: window delta of buffer misses per MiB of cache
+//!   budget.
+//!
+//! Both sides are weighted by the measured p50 miss-fetch latency (the
+//! obs `BufferMiss` histogram): a buffered miss costs one device read,
+//! and a hot row squeezed out of the IMRS comes back as roughly one
+//! such read, so the same weight puts the two signals in the same
+//! unit (microseconds of avoided I/O per MiB per window). The two
+//! signals self-balance: over-shrinking the IMRS squeezes hot rows
+//! into page ops, raising its own marginal utility until the flow
+//! reverses — the budget settles where the marginal utilities agree.
+//!
+//! The side ahead by more than [`VOTE_MARGIN`] earns a vote; a mixed
+//! or quiet window resets both counters (the tuner's hysteresis rule).
+//! Once `arbiter_hysteresis_windows` consecutive votes agree, budget
+//! moves: at most `arbiter_max_shift_fraction` of the total per shift,
+//! never below either pool's floor, quantized down to whole IMRS
+//! chunks (so both pools change by exactly the same byte count — the
+//! IMRS allocator rounds budgets up to chunk granularity, and an
+//! unquantized shift would leak bytes into the total), and only in
+//! steps of at least `arbiter_min_shift_bytes` (smaller clamped shifts
+//! are deferred and the vote is kept). Shrinking is always lazy — the
+//! IMRS drains its overage through GC/pack/freeze, the buffer cache
+//! through shrink debt — so no DML operation ever blocks on a budget
+//! move.
+//!
+//! Every vote and shift is traced to the ILM ring as an
+//! [`ArbiterTrace`] carrying the exact inputs the verdict read; the
+//! `arbiter_scenario` consistency test replays them against this rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use btrim_imrs::ImrsStore;
+use btrim_obs::{ArbiterAction, ArbiterTrace, IlmTraceEvent, Obs, OpClass};
+use btrim_pagestore::{BufferCache, PAGE_SIZE};
+
+use btrim_common::PartitionId;
+
+use crate::config::EngineConfig;
+use crate::metrics::MetricsRegistry;
+
+/// Factor by which one side's marginal utility must exceed the other's
+/// before a vote is cast; anything closer is a hold.
+pub const VOTE_MARGIN: f64 = 1.25;
+
+/// Miss weight used before the miss histogram has any samples (or with
+/// latency recording off): a nominal 20 µs device read.
+pub const DEFAULT_MISS_NS: u64 = 20_000;
+
+/// Counter values at the previous window boundary plus the hysteresis
+/// vote state. Guarded by the `window` mutex (rank `MEM_ARBITER`),
+/// taken only from maintenance — never on the DML path, never held
+/// across a budget apply (which may do eviction I/O).
+struct WindowState {
+    last_imrs_miss_ops: u64,
+    last_hits: u64,
+    last_misses: u64,
+    imrs_votes: u32,
+    buffer_votes: u32,
+}
+
+/// What one window decided; computed under the `window` lock, applied
+/// after it is released.
+struct Verdict {
+    action: ArbiterAction,
+    votes: u32,
+    imrs_miss_ops: u64,
+    hits: u64,
+    misses: u64,
+    miss_ns: u64,
+    imrs_mu: f64,
+    buffer_mu: f64,
+    shift_bytes: u64,
+}
+
+/// The memory arbiter. One per engine, driven from maintenance.
+pub struct MemoryArbiter {
+    window: Mutex<WindowState>,
+    last_window_at: AtomicU64,
+    windows_run: AtomicU64,
+    shifts_applied: AtomicU64,
+    bytes_to_imrs: AtomicU64,
+    bytes_to_buffer: AtomicU64,
+    obs: Option<Arc<Obs>>,
+}
+
+impl MemoryArbiter {
+    pub fn new() -> Self {
+        Self::with_obs_opt(None)
+    }
+
+    pub fn with_obs(obs: Arc<Obs>) -> Self {
+        Self::with_obs_opt(Some(obs))
+    }
+
+    fn with_obs_opt(obs: Option<Arc<Obs>>) -> Self {
+        MemoryArbiter {
+            window: Mutex::with_rank(
+                parking_lot::lock_rank::MEM_ARBITER,
+                WindowState {
+                    last_imrs_miss_ops: 0,
+                    last_hits: 0,
+                    last_misses: 0,
+                    imrs_votes: 0,
+                    buffer_votes: 0,
+                },
+            ),
+            last_window_at: AtomicU64::new(0),
+            windows_run: AtomicU64::new(0),
+            shifts_applied: AtomicU64::new(0),
+            bytes_to_imrs: AtomicU64::new(0),
+            bytes_to_buffer: AtomicU64::new(0),
+            obs,
+        }
+    }
+
+    /// Arbiter windows executed so far.
+    pub fn windows_run(&self) -> u64 {
+        self.windows_run.load(Ordering::Relaxed)
+    }
+
+    /// Budget shifts actually applied (vote windows excluded).
+    pub fn shifts_applied(&self) -> u64 {
+        self.shifts_applied.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved into the IMRS over the engine's lifetime.
+    pub fn bytes_to_imrs(&self) -> u64 {
+        self.bytes_to_imrs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved into the buffer cache.
+    pub fn bytes_to_buffer(&self) -> u64 {
+        self.bytes_to_buffer.load(Ordering::Relaxed)
+    }
+
+    /// Run a window if one is due at `committed_txns`. Returns whether
+    /// a window ran. No-op unless the unified budget is active.
+    /// `imrs_partitions` names the partitions of IMRS-enabled tables —
+    /// their page ops are the IMRS's miss signal.
+    pub fn maybe_run(
+        &self,
+        cfg: &EngineConfig,
+        committed_txns: u64,
+        metrics: &MetricsRegistry,
+        imrs_partitions: &[PartitionId],
+        store: &ImrsStore,
+        cache: &BufferCache,
+    ) -> bool {
+        if !cfg.arbiter_active() {
+            return false;
+        }
+        let last = self.last_window_at.load(Ordering::Relaxed);
+        if committed_txns.saturating_sub(last) < cfg.arbiter_window_txns {
+            return false;
+        }
+        if self
+            .last_window_at
+            .compare_exchange(last, committed_txns, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false; // another thread claimed this window
+        }
+        self.run_window(cfg, metrics, imrs_partitions, store, cache);
+        true
+    }
+
+    /// Execute one arbiter window unconditionally (tests drive this).
+    pub fn run_window(
+        &self,
+        cfg: &EngineConfig,
+        metrics: &MetricsRegistry,
+        imrs_partitions: &[PartitionId],
+        store: &ImrsStore,
+        cache: &BufferCache,
+    ) {
+        let timer = self.obs.as_ref().and_then(|o| o.start());
+        let window = self.windows_run.load(Ordering::Relaxed) + 1;
+
+        // One coherent read of every input the verdict will cite. Page
+        // ops on IMRS-enabled partitions are rows ILM would keep
+        // resident with more budget — the IMRS's miss counter.
+        let imrs_miss_total: u64 = imrs_partitions
+            .iter()
+            .map(|&p| metrics.get(p).page_ops.load())
+            .sum();
+        let bstats = cache.stats();
+        let imrs_bytes = store.budget();
+        let buffer_bytes = cache.capacity() as u64 * PAGE_SIZE as u64;
+        let utilization = store.utilization();
+        let miss_ns = self
+            .obs
+            .as_ref()
+            .map(|o| o.hist(OpClass::BufferMiss).summary())
+            .filter(|s| s.count > 0)
+            .map(|s| s.p50)
+            .unwrap_or(DEFAULT_MISS_NS);
+
+        let verdict = {
+            let mut st = self.window.lock();
+            let imrs_missed = imrs_miss_total.saturating_sub(st.last_imrs_miss_ops);
+            let hits = bstats.hits.saturating_sub(st.last_hits);
+            let misses = bstats.misses.saturating_sub(st.last_misses);
+            st.last_imrs_miss_ops = imrs_miss_total;
+            st.last_hits = bstats.hits;
+            st.last_misses = bstats.misses;
+
+            let miss_us = (miss_ns as f64 / 1_000.0).max(1.0);
+            let imrs_mib = (imrs_bytes as f64 / (1024.0 * 1024.0)).max(1.0);
+            let buffer_mib = (buffer_bytes as f64 / (1024.0 * 1024.0)).max(1.0);
+            let imrs_mu = imrs_missed as f64 * miss_us / imrs_mib;
+            let buffer_mu = misses as f64 * miss_us / buffer_mib;
+
+            let vote_imrs = imrs_mu > 0.0 && imrs_mu > VOTE_MARGIN * buffer_mu;
+            let vote_buffer = buffer_mu > 0.0 && buffer_mu > VOTE_MARGIN * imrs_mu;
+            // Streaks saturate at the hysteresis bar: a deferred shift
+            // (floor headroom below one chunk) keeps its standing vote
+            // without letting the count grow past what it can cite.
+            if vote_imrs {
+                st.buffer_votes = 0;
+                st.imrs_votes = (st.imrs_votes + 1).min(cfg.arbiter_hysteresis_windows);
+            } else if vote_buffer {
+                st.imrs_votes = 0;
+                st.buffer_votes = (st.buffer_votes + 1).min(cfg.arbiter_hysteresis_windows);
+            } else {
+                // Mixed or quiet window: hysteresis starts over.
+                st.imrs_votes = 0;
+                st.buffer_votes = 0;
+            }
+            if !vote_imrs && !vote_buffer {
+                None
+            } else {
+                let (votes, to_imrs) = if vote_imrs {
+                    (st.imrs_votes, true)
+                } else {
+                    (st.buffer_votes, false)
+                };
+                let mut shift_bytes = 0u64;
+                let mut action = if to_imrs {
+                    ArbiterAction::VoteImrs
+                } else {
+                    ArbiterAction::VoteBuffer
+                };
+                if votes >= cfg.arbiter_hysteresis_windows {
+                    let max_shift =
+                        (cfg.total_memory_budget as f64 * cfg.arbiter_max_shift_fraction) as u64;
+                    // Clamp to the shrinking pool's floor headroom,
+                    // then quantize down to whole IMRS chunks: the
+                    // allocator rounds budgets up to chunk granularity,
+                    // so only chunk-multiple shifts keep the two pools'
+                    // total exactly conserved.
+                    let headroom = if to_imrs {
+                        buffer_bytes.saturating_sub(cfg.arbiter_buffer_floor_bytes())
+                    } else {
+                        imrs_bytes.saturating_sub(cfg.arbiter_imrs_floor_bytes())
+                    };
+                    let chunk = u64::from(cfg.imrs_chunk_size).max(1);
+                    let clamped = max_shift.min(headroom) / chunk * chunk;
+                    if clamped >= cfg.arbiter_min_shift_bytes.max(chunk) {
+                        shift_bytes = clamped;
+                        action = if to_imrs {
+                            ArbiterAction::ShiftToImrs
+                        } else {
+                            ArbiterAction::ShiftToBuffer
+                        };
+                        st.imrs_votes = 0;
+                        st.buffer_votes = 0;
+                    }
+                    // Else: below min-shift / chunk granularity. The
+                    // (saturated) vote streak stands and the shift is
+                    // deferred until headroom reappears.
+                }
+                Some(Verdict {
+                    action,
+                    votes,
+                    imrs_miss_ops: imrs_missed,
+                    hits,
+                    misses,
+                    miss_ns,
+                    imrs_mu,
+                    buffer_mu,
+                    shift_bytes,
+                })
+            }
+        };
+
+        // Apply with the window lock released: a buffer shrink may
+        // evict (shard locks + write-back I/O).
+        if let Some(v) = &verdict {
+            if v.shift_bytes > 0 {
+                match v.action {
+                    ArbiterAction::ShiftToImrs => {
+                        cache.set_capacity(
+                            (buffer_bytes.saturating_sub(v.shift_bytes) / PAGE_SIZE as u64)
+                                as usize,
+                        );
+                        store.set_budget(imrs_bytes + v.shift_bytes);
+                        self.bytes_to_imrs
+                            .fetch_add(v.shift_bytes, Ordering::Relaxed);
+                    }
+                    ArbiterAction::ShiftToBuffer => {
+                        store.set_budget(imrs_bytes.saturating_sub(v.shift_bytes));
+                        cache.set_capacity(
+                            ((buffer_bytes + v.shift_bytes) / PAGE_SIZE as u64) as usize,
+                        );
+                        self.bytes_to_buffer
+                            .fetch_add(v.shift_bytes, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                self.shifts_applied.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(obs) = &self.obs {
+                obs.trace.push(IlmTraceEvent::Arbiter(ArbiterTrace {
+                    window,
+                    action: v.action,
+                    imrs_miss_ops: v.imrs_miss_ops,
+                    buffer_hits: v.hits,
+                    buffer_misses: v.misses,
+                    miss_ns: v.miss_ns,
+                    imrs_bytes,
+                    buffer_bytes,
+                    imrs_utilization: utilization,
+                    imrs_mu: v.imrs_mu,
+                    buffer_mu: v.buffer_mu,
+                    shift_bytes: v.shift_bytes,
+                    imrs_bytes_after: store.budget(),
+                    buffer_frames_after: cache.capacity() as u64,
+                    votes: v.votes,
+                    votes_needed: cfg.arbiter_hysteresis_windows,
+                }));
+            }
+        }
+
+        self.windows_run.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.record_since(OpClass::TuningWindow, timer);
+        }
+    }
+}
+
+impl Default for MemoryArbiter {
+    fn default() -> Self {
+        Self::new()
+    }
+}

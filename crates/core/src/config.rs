@@ -162,6 +162,34 @@ pub struct EngineConfig {
     /// Maximum rows per frozen extent (capped by the format's
     /// `MAX_EXTENT_ROWS`).
     pub freeze_max_rows: usize,
+    /// Unified memory budget in bytes shared by the IMRS and the buffer
+    /// cache. 0 (the default) keeps the legacy fixed split: the pools
+    /// are sized independently from `imrs_budget` and `buffer_frames`
+    /// and the memory arbiter stays off. Non-zero activates the
+    /// arbiter: the IMRS starts at `arbiter_initial_imrs_fraction` of
+    /// the total, the buffer cache gets the remainder in 8 KiB frames,
+    /// and the split moves at runtime along the marginal-utility
+    /// signal. `imrs_budget` and `buffer_frames` are ignored then.
+    pub total_memory_budget: u64,
+    /// Fraction of `total_memory_budget` initially given to the IMRS.
+    pub arbiter_initial_imrs_fraction: f64,
+    /// Arbiter window length in committed transactions. Each window the
+    /// arbiter compares the pools' marginal utilities and votes.
+    pub arbiter_window_txns: u64,
+    /// Consecutive same-direction votes required before budget actually
+    /// moves (hysteresis against thrash, same idea as §V.B's tuner).
+    pub arbiter_hysteresis_windows: u32,
+    /// Smallest budget shift worth applying, in bytes; votes whose
+    /// clamped shift would fall below this are deferred.
+    pub arbiter_min_shift_bytes: u64,
+    /// Per-shift cap as a fraction of `total_memory_budget`.
+    pub arbiter_max_shift_fraction: f64,
+    /// Floor on the IMRS share of the total budget, as a fraction; the
+    /// arbiter never shrinks the IMRS below it.
+    pub arbiter_imrs_floor: f64,
+    /// Floor on the buffer-cache share of the total budget, as a
+    /// fraction; the arbiter never shrinks the cache below it.
+    pub arbiter_buffer_floor: f64,
     /// Record per-operation-class latency histograms (`btrim-obs`).
     /// When off, the hot paths skip the clock reads entirely — one
     /// branch per operation.
@@ -212,6 +240,14 @@ impl Default for EngineConfig {
             freeze_enabled: false,
             freeze_min_rows: 32,
             freeze_max_rows: 4096,
+            total_memory_budget: 0,
+            arbiter_initial_imrs_fraction: 0.5,
+            arbiter_window_txns: 4_000,
+            arbiter_hysteresis_windows: 2,
+            arbiter_min_shift_bytes: 1024 * 1024,
+            arbiter_max_shift_fraction: 0.10,
+            arbiter_imrs_floor: 0.10,
+            arbiter_buffer_floor: 0.10,
             obs_latency: true,
             obs_trace_capacity: 1024,
         }
@@ -239,6 +275,46 @@ impl EngineConfig {
     /// (§VI.A: ensures pack only has to drain existing cold data).
     pub fn reject_new_utilization(&self) -> f64 {
         (self.aggressive_utilization() + 1.0) / 2.0
+    }
+
+    /// Whether the unified budget (and with it the memory arbiter) is
+    /// active. Legacy fixed-split configs leave it off.
+    pub fn arbiter_active(&self) -> bool {
+        self.total_memory_budget > 0
+    }
+
+    /// Resolve the initial (IMRS bytes, buffer frames) split.
+    ///
+    /// With `total_memory_budget == 0` this is the legacy fixed split —
+    /// exactly the independent `imrs_budget` and `buffer_frames` knobs.
+    /// Otherwise the IMRS takes `arbiter_initial_imrs_fraction` of the
+    /// total (at least one allocator chunk) and the buffer cache gets
+    /// the remainder in whole frames (at least 8).
+    pub fn memory_split(&self) -> (u64, usize) {
+        if !self.arbiter_active() {
+            return (self.imrs_budget, self.buffer_frames);
+        }
+        let imrs = ((self.total_memory_budget as f64 * self.arbiter_initial_imrs_fraction) as u64)
+            .max(self.imrs_chunk_size as u64);
+        let frames = (self
+            .total_memory_budget
+            .saturating_sub(imrs)
+            .min(usize::MAX as u64) as usize
+            / btrim_pagestore::PAGE_SIZE)
+            .max(8);
+        (imrs, frames)
+    }
+
+    /// Smallest IMRS budget the arbiter may shrink to, in bytes.
+    pub fn arbiter_imrs_floor_bytes(&self) -> u64 {
+        ((self.total_memory_budget as f64 * self.arbiter_imrs_floor) as u64)
+            .max(self.imrs_chunk_size as u64)
+    }
+
+    /// Smallest buffer-cache budget the arbiter may shrink to, in bytes.
+    pub fn arbiter_buffer_floor_bytes(&self) -> u64 {
+        ((self.total_memory_budget as f64 * self.arbiter_buffer_floor) as u64)
+            .max(8 * btrim_pagestore::PAGE_SIZE as u64)
     }
 
     /// Validate invariants; panic early on nonsense configs.
@@ -282,6 +358,54 @@ impl EngineConfig {
             self.freeze_max_rows <= btrim_pagestore::MAX_EXTENT_ROWS,
             "freeze_max_rows exceeds the extent format's row cap"
         );
+        assert!(
+            self.arbiter_imrs_floor > 0.0 && self.arbiter_imrs_floor <= 0.5,
+            "arbiter_imrs_floor out of (0, 0.5]"
+        );
+        assert!(
+            self.arbiter_buffer_floor > 0.0 && self.arbiter_buffer_floor <= 0.5,
+            "arbiter_buffer_floor out of (0, 0.5]"
+        );
+        assert!(
+            self.arbiter_max_shift_fraction > 0.0 && self.arbiter_max_shift_fraction <= 0.5,
+            "arbiter_max_shift_fraction out of (0, 0.5]"
+        );
+        assert!(
+            self.arbiter_window_txns > 0,
+            "arbiter_window_txns must be > 0"
+        );
+        assert!(
+            self.arbiter_min_shift_bytes > 0,
+            "arbiter_min_shift_bytes must be > 0"
+        );
+        if self.arbiter_active() {
+            assert!(
+                self.arbiter_initial_imrs_fraction >= self.arbiter_imrs_floor
+                    && self.arbiter_initial_imrs_fraction <= 1.0 - self.arbiter_buffer_floor,
+                "arbiter_initial_imrs_fraction outside [imrs_floor, 1 - buffer_floor]"
+            );
+            // memory_split clamps each pool up to its minimum viable
+            // size, so the total must actually cover both minima or the
+            // split would silently over-commit.
+            assert!(
+                self.total_memory_budget
+                    >= self.imrs_chunk_size as u64 + 8 * btrim_pagestore::PAGE_SIZE as u64,
+                "total_memory_budget too small for one IMRS chunk plus 8 frames"
+            );
+            assert!(
+                self.arbiter_min_shift_bytes <= self.total_memory_budget,
+                "arbiter_min_shift_bytes exceeds the total budget"
+            );
+            // Shifts are quantized down to whole IMRS chunks (budget
+            // conservation); a per-shift cap below one chunk would
+            // quantize every shift to zero and freeze the arbiter.
+            assert!(
+                (self.total_memory_budget as f64 * self.arbiter_max_shift_fraction) as u64
+                    >= self.imrs_chunk_size as u64,
+                "arbiter_max_shift_fraction of the total is below one IMRS chunk; \
+                 no shift could ever apply"
+            );
+        }
     }
 }
 
@@ -329,6 +453,89 @@ mod tests {
     fn bad_config_panics() {
         EngineConfig {
             steady_utilization: 1.5,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn legacy_fixed_split_still_validates_and_resolves_identically() {
+        // A pre-arbiter config — independent pools, no total budget —
+        // must keep validating and resolve to exactly its own knobs.
+        let c = EngineConfig {
+            imrs_budget: 64 * 1024 * 1024,
+            buffer_frames: 2048,
+            total_memory_budget: 0,
+            ..Default::default()
+        };
+        c.validate();
+        assert!(!c.arbiter_active());
+        assert_eq!(c.memory_split(), (64 * 1024 * 1024, 2048));
+    }
+
+    #[test]
+    fn unified_budget_splits_by_initial_fraction() {
+        let total = 128 * 1024 * 1024u64;
+        let c = EngineConfig {
+            total_memory_budget: total,
+            arbiter_initial_imrs_fraction: 0.25,
+            ..Default::default()
+        };
+        c.validate();
+        assert!(c.arbiter_active());
+        let (imrs, frames) = c.memory_split();
+        assert_eq!(imrs, total / 4);
+        assert_eq!(
+            frames,
+            (total - total / 4) as usize / btrim_pagestore::PAGE_SIZE
+        );
+        // Floors resolve against the total, clamped to viable minima.
+        assert_eq!(c.arbiter_imrs_floor_bytes(), total / 10);
+        assert_eq!(c.arbiter_buffer_floor_bytes(), total / 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arbiter_floor_out_of_range_panics() {
+        EngineConfig {
+            total_memory_budget: 128 * 1024 * 1024,
+            arbiter_imrs_floor: 0.8,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn arbiter_initial_fraction_below_floor_panics() {
+        EngineConfig {
+            total_memory_budget: 128 * 1024 * 1024,
+            arbiter_initial_imrs_fraction: 0.05,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn arbiter_total_budget_too_small_panics() {
+        EngineConfig {
+            // One chunk is 4 MiB by default; 1 MiB cannot cover it.
+            total_memory_budget: 1024 * 1024,
+            arbiter_min_shift_bytes: 1024,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn arbiter_shift_cap_below_chunk_panics() {
+        EngineConfig {
+            // 5% of 64 MiB is 3.2 MiB — below the default 4 MiB chunk,
+            // so chunk quantization would zero out every shift.
+            total_memory_budget: 64 * 1024 * 1024,
+            arbiter_max_shift_fraction: 0.05,
             ..Default::default()
         }
         .validate();

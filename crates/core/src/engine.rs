@@ -153,6 +153,9 @@ pub(crate) struct Shared {
     pub tsf: TsfLearner,
     pub gc: GcRegistry,
     pub tuner: Tuner,
+    /// Unified-budget memory arbiter (active only with
+    /// `total_memory_budget > 0`; see `crate::arbiter`).
+    pub arbiter: crate::arbiter::MemoryArbiter,
     pub pack: PackState,
     /// Immutable columnar extents holding frozen rows (HTAP tier).
     pub extents: btrim_pagestore::ExtentStore,
@@ -444,9 +447,12 @@ impl Engine {
         let group_imrs = btrim_wal::GroupCommitter::new(Arc::clone(&imrslog))
             .with_histogram(hook(OpClass::WalFsync));
         let ridmap = Arc::new(RidMap::new());
+        // One globally accounted split: legacy configs resolve to their
+        // fixed pools, a unified budget to the arbiter's initial split.
+        let (imrs_budget, buffer_frames) = cfg.memory_split();
         let sh = Shared {
             cache: Arc::new(
-                BufferCache::with_shards(disk, cfg.buffer_frames, cfg.buffer_shards)
+                BufferCache::with_shards(disk, buffer_frames, cfg.buffer_shards)
                     .with_io_retry(
                         cfg.io_retry_attempts,
                         std::time::Duration::from_micros(cfg.io_retry_backoff_us),
@@ -454,7 +460,7 @@ impl Engine {
                     .with_write_verification(cfg.verify_page_writes)
                     .with_miss_histogram(hook(OpClass::BufferMiss)),
             ),
-            store: ImrsStore::new(cfg.imrs_budget, cfg.imrs_chunk_size, Arc::clone(&ridmap)),
+            store: ImrsStore::new(imrs_budget, cfg.imrs_chunk_size, Arc::clone(&ridmap)),
             ridmap,
             side: SideStore::new(),
             catalog: Catalog::new(),
@@ -472,6 +478,7 @@ impl Engine {
             tsf,
             gc: GcRegistry::new(),
             tuner: Tuner::with_obs(Arc::clone(&obs)),
+            arbiter: crate::arbiter::MemoryArbiter::with_obs(Arc::clone(&obs)),
             pack: PackState::new(),
             extents: btrim_pagestore::ExtentStore::new(),
             freeze: crate::freeze::FreezeStats::new(),
@@ -2273,6 +2280,26 @@ impl Engine {
         sh.store.reclaim(oldest);
         sh.side.purge(oldest, &sh.ridmap);
         sh.obs.record_since(OpClass::GcPass, gc_start);
+        // The memory arbiter runs in every mode (its no-op guard is the
+        // unified budget, not ILM): window-boundary work only, never on
+        // the DML path.
+        if sh.cfg.arbiter_active() {
+            let imrs_partitions: Vec<_> = sh
+                .catalog
+                .tables()
+                .iter()
+                .filter(|t| t.imrs_enabled)
+                .flat_map(|t| t.partitions.iter().copied())
+                .collect();
+            sh.arbiter.maybe_run(
+                &sh.cfg,
+                sh.txns.committed_count(),
+                &sh.metrics,
+                &imrs_partitions,
+                &sh.store,
+                &sh.cache,
+            );
+        }
         if sh.cfg.mode != EngineMode::IlmOn {
             return;
         }

@@ -14,7 +14,7 @@
 //! many times.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -83,7 +83,12 @@ type Chunk = Arc<RwLock<Box<[u8]>>>;
 /// Best-fit allocator over a budget of lazily-created chunks.
 pub struct FragmentAllocator {
     chunk_size: u32,
-    max_chunks: u32,
+    /// Budget ceiling in chunks. Atomic so the memory arbiter can raise
+    /// or lower it at runtime: raising lets `alloc` grow again
+    /// immediately; lowering below `chunks_created` stops further chunk
+    /// growth while existing free space stays usable, and GC/pack drain
+    /// the overage (utilization may read above 1.0 meanwhile).
+    max_chunks: AtomicU32,
     chunks: RwLock<Vec<Chunk>>,
     state: Mutex<AllocState>,
     used: AtomicU64,
@@ -105,7 +110,7 @@ impl FragmentAllocator {
         let max_chunks = budget_bytes.div_ceil(chunk_size as u64).max(1) as u32;
         FragmentAllocator {
             chunk_size,
-            max_chunks,
+            max_chunks: AtomicU32::new(max_chunks),
             chunks: RwLock::new(Vec::new()),
             state: Mutex::new(AllocState {
                 free_by_size: BTreeSet::new(),
@@ -122,7 +127,16 @@ impl FragmentAllocator {
 
     /// Configured budget in bytes.
     pub fn budget(&self) -> u64 {
-        self.chunk_size as u64 * self.max_chunks as u64
+        self.chunk_size as u64 * self.max_chunks.load(Ordering::Acquire) as u64
+    }
+
+    /// Retarget the budget to `budget_bytes` (rounded up to at least one
+    /// chunk). Growing takes effect on the next `alloc`; shrinking never
+    /// frees live chunks — it only blocks further growth, leaving
+    /// GC / pack / freeze to drain the overage.
+    pub fn set_budget(&self, budget_bytes: u64) {
+        let max_chunks = budget_bytes.div_ceil(self.chunk_size as u64).max(1) as u32;
+        self.max_chunks.store(max_chunks, Ordering::Release);
     }
 
     /// Payload-plus-padding bytes currently allocated.
@@ -173,10 +187,12 @@ impl FragmentAllocator {
                 Some(block) => block,
                 None => {
                     // Grow by one chunk if the budget allows.
-                    if st.chunks_created >= self.max_chunks {
+                    if st.chunks_created >= self.max_chunks.load(Ordering::Acquire) {
                         return Err(BtrimError::ImrsFull {
                             requested: data.len(),
-                            available: (self.budget() - self.used_bytes()) as usize,
+                            // Saturating: a shrunk budget may sit below
+                            // the bytes still in use while GC drains.
+                            available: self.budget().saturating_sub(self.used_bytes()) as usize,
                         });
                     }
                     let idx = st.chunks_created;
@@ -422,6 +438,33 @@ mod tests {
         assert_eq!(held.len(), 32); // 32 KiB / 1 KiB
                                     // Freeing one makes room again.
         a.free(held.pop().unwrap());
+        assert!(a.alloc(&[0u8; 1024]).is_ok());
+    }
+
+    #[test]
+    fn set_budget_grows_and_shrinks_without_evicting() {
+        let a = FragmentAllocator::new(32 * 1024, 16 * 1024);
+        let mut held = Vec::new();
+        while let Ok(h) = a.alloc(&[0u8; 1024]) {
+            held.push(h);
+        }
+        assert_eq!(held.len(), 32);
+        // Raising the budget immediately unblocks growth.
+        a.set_budget(64 * 1024);
+        assert_eq!(a.budget(), 64 * 1024);
+        assert!(a.alloc(&[0u8; 1024]).is_ok());
+        // Shrinking below current use never touches live data: existing
+        // fragments stay readable and freeable, only growth stops.
+        a.set_budget(16 * 1024);
+        assert_eq!(a.budget(), 16 * 1024);
+        assert!(a.utilization() > 1.0, "overage is visible as pressure");
+        assert!(matches!(
+            a.alloc(&vec![0u8; 16 * 1024]),
+            Err(BtrimError::ImrsFull { .. })
+        ));
+        // Freed space inside already-created chunks is still usable.
+        let h = held.pop().unwrap();
+        a.free(h);
         assert!(a.alloc(&[0u8; 1024]).is_ok());
     }
 

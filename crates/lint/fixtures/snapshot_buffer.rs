@@ -1,7 +1,11 @@
-//! Fixture: snapshot-completeness, buffer side. `cold_scans` is counted
-//! but never rendered by the stats fixture — one finding. Never compiled.
+//! Fixture: snapshot-completeness, buffer side. `cold_scans` and
+//! `capacity_shifts` are counted but never rendered by the stats
+//! fixture — two findings. `shrink_debt` is rendered there, so it
+//! stays silent. Never compiled.
 
 pub struct BufferStatsSnapshot {
     pub committed_txns: u64,
+    pub shrink_debt: u64,
     pub cold_scans: u64,
+    pub capacity_shifts: u64,
 }

@@ -1,14 +1,19 @@
 //! Fixture: snapshot-completeness, stats side. `orphan_counter` never
-//! reaches `render_report` or `to_json` — one finding. Never compiled.
+//! reaches `render_report` or `to_json` — one finding. `arbiter_shifts`
+//! is rendered, so it stays silent. Never compiled.
 
 pub struct EngineSnapshot {
     pub committed_txns: u64,
+    pub arbiter_shifts: u64,
     pub orphan_counter: u64,
 }
 
 impl EngineSnapshot {
     pub fn render_report(&self) -> String {
-        format!("commits {}", self.committed_txns)
+        format!(
+            "commits {} shifts {} debt {}",
+            self.committed_txns, self.arbiter_shifts, self.buffer.shrink_debt
+        )
     }
 
     pub fn to_json(&self) -> String {

@@ -87,6 +87,11 @@ pub const LOCK_SITES: &[(&str, &str, u16)] = &[
         hierarchy::ENGINE_STATE,
     ),
     (
+        "crates/core/src/arbiter.rs",
+        "window",
+        hierarchy::MEM_ARBITER,
+    ),
+    (
         "crates/pagestore/src/buffer.rs",
         "inner",
         hierarchy::BUFFER_SHARD,

@@ -79,6 +79,30 @@ fn extent_store_publish_lock_is_classified() {
 }
 
 #[test]
+fn arbiter_window_lock_is_classified() {
+    let src = include_str!("../fixtures/arbiter_window.rs");
+    // The arbiter.rs path activates the window classification.
+    let findings = check_file("crates/core/src/arbiter.rs", src, Options::default());
+    let hits = rules_hit(&findings);
+    assert_eq!(
+        hits.len(),
+        1,
+        "exactly the held-window re-acquisition, none of the clean \
+         functions: {findings:?}"
+    );
+    assert!(hits.iter().all(|(r, _)| *r == "lock-order"));
+    let bad_line = src
+        .lines()
+        .position(|l| l.contains("other.window.lock()") && l.contains("let b"))
+        .map(|i| i as u32 + 1)
+        .expect("fixture contains the bad acquisition");
+    assert_eq!(hits[0].1, bad_line, "{findings:?}");
+    // Under an unclassified path the same source is silent.
+    let elsewhere = check_file("crates/obs/src/lib.rs", src, Options::default());
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
 fn no_panic_fires_outside_tests_and_respects_escapes() {
     let src = include_str!("../fixtures/no_panic.rs");
     let findings = check_file("crates/wal/src/fixture.rs", src, Options::default());
@@ -165,8 +189,9 @@ fn snapshot_completeness_finds_unreachable_counters() {
     );
     assert!(findings.iter().all(|f| f.rule == "snapshot-completeness"));
     // Ghost missing from ALL and from name() = 2; orphan_counter = 1;
-    // cold_scans = 1.
-    assert_eq!(findings.len(), 4, "{findings:?}");
+    // cold_scans + capacity_shifts = 2. The rendered arbiter_shifts and
+    // shrink_debt fields stay silent.
+    assert_eq!(findings.len(), 5, "{findings:?}");
     let msgs: Vec<&str> = findings.iter().map(|f| f.msg.as_str()).collect();
     assert_eq!(
         msgs.iter().filter(|m| m.contains("OpClass::Ghost")).count(),
@@ -174,6 +199,9 @@ fn snapshot_completeness_finds_unreachable_counters() {
     );
     assert!(msgs.iter().any(|m| m.contains("orphan_counter")));
     assert!(msgs.iter().any(|m| m.contains("cold_scans")));
+    assert!(msgs.iter().any(|m| m.contains("capacity_shifts")));
+    assert!(!msgs.iter().any(|m| m.contains("arbiter_shifts")));
+    assert!(!msgs.iter().any(|m| m.contains("shrink_debt")));
 }
 
 #[test]

@@ -114,6 +114,7 @@ pub struct BufferStats {
     io_errors: AtomicU64,
     io_retries: AtomicU64,
     checksum_failures: AtomicU64,
+    capacity_shifts: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`BufferStats`].
@@ -144,6 +145,13 @@ pub struct BufferStatsSnapshot {
     /// Pages whose checksum did not match on fetch (torn write or
     /// corruption); such pages are never served as valid data.
     pub checksum_failures: u64,
+    /// Current global frame budget (the arbiter moves this at runtime).
+    pub capacity: u64,
+    /// Frames resident beyond the budget after a shrink — pins holding
+    /// reclamation back; drains to zero as they release.
+    pub shrink_debt: u64,
+    /// `set_capacity` calls served (arbiter shifts plus manual resizes).
+    pub capacity_shifts: u64,
 }
 
 /// Per-shard occupancy and contention, for diagnostics.
@@ -209,7 +217,12 @@ enum EvictOutcome {
 /// The buffer cache.
 pub struct BufferCache {
     backend: Arc<dyn DiskBackend>,
-    capacity: usize,
+    /// Global frame budget. Atomic so the memory arbiter can retarget
+    /// it at runtime: growing takes effect on the next reserve; a
+    /// shrink leaves `resident` above `capacity` (the *shrink debt*)
+    /// and is drained lazily by eviction — pinned frames are never
+    /// failed, they simply hold their part of the debt until unpinned.
+    capacity: AtomicUsize,
     /// Frames currently charged against `capacity` (resident plus
     /// pending installs).
     resident: AtomicUsize,
@@ -219,8 +232,9 @@ pub struct BufferCache {
     /// acquisitions and may briefly overshoot in unison, and a shard
     /// whose over-cap frames are all pinned is allowed past it as long
     /// as the global budget holds. Eviction pressure targets the home
-    /// shard first, pulling over-cap shards back down.
-    shard_cap: usize,
+    /// shard first, pulling over-cap shards back down. Recomputed by
+    /// [`BufferCache::set_capacity`], hence atomic.
+    shard_cap: AtomicUsize,
     stats: BufferStats,
     /// Bounded retry policy for transient device errors: total attempts
     /// per logical read/write, and the base backoff between attempts
@@ -271,11 +285,7 @@ impl BufferCache {
         };
         assert!(n <= capacity, "more shards than frames");
         let quota = capacity / n;
-        let shard_cap = if n == 1 {
-            capacity
-        } else {
-            (quota + (quota / 4).max(2)).min(capacity)
-        };
+        let shard_cap = soft_shard_cap(capacity, n);
         let shards = (0..n)
             .map(|_| Shard {
                 inner: Mutex::with_rank(
@@ -292,10 +302,10 @@ impl BufferCache {
             .into_boxed_slice();
         BufferCache {
             backend,
-            capacity,
+            capacity: AtomicUsize::new(capacity),
             resident: AtomicUsize::new(0),
             shards,
-            shard_cap,
+            shard_cap: AtomicUsize::new(shard_cap),
             stats: BufferStats::default(),
             retry_attempts: DEFAULT_IO_RETRY_ATTEMPTS,
             retry_backoff: DEFAULT_IO_RETRY_BACKOFF,
@@ -404,7 +414,72 @@ impl BufferCache {
 
     /// Cache capacity in frames.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Acquire)
+    }
+
+    /// Retarget the global frame budget (the memory arbiter's knob).
+    ///
+    /// Growing takes effect immediately: the next reserve sees the
+    /// larger budget. Shrinking never fails a pinned frame: the new
+    /// (lower) capacity is published first, a best-effort eviction
+    /// sweep drains what it can right away, and whatever remains —
+    /// frames that are pinned, referenced, or mid-I/O — stays resident
+    /// as *shrink debt* ([`BufferCache::shrink_debt`]) that ordinary
+    /// eviction pressure pays down as pins are released. Write-back
+    /// errors during the sweep leave the victim resident (counted in
+    /// `io_errors`) rather than failing the capacity change.
+    ///
+    /// Returns the shrink debt remaining after the sweep (0 on grow).
+    pub fn set_capacity(&self, frames: usize) -> usize {
+        let frames = frames.max(1);
+        let n = self.shards.len();
+        self.capacity.store(frames, Ordering::Release);
+        self.shard_cap
+            .store(soft_shard_cap(frames, n), Ordering::Release);
+        self.stats.capacity_shifts.fetch_add(1, Ordering::Relaxed);
+        self.drain_shrink_debt();
+        self.shrink_debt()
+    }
+
+    /// Frames resident beyond the current capacity — the unpaid part of
+    /// a shrink. Zero except after [`BufferCache::set_capacity`]
+    /// lowered the budget below what pins and in-flight I/O allow
+    /// eviction to reclaim immediately.
+    pub fn shrink_debt(&self) -> usize {
+        self.resident
+            .load(Ordering::Acquire)
+            .saturating_sub(self.capacity.load(Ordering::Acquire))
+    }
+
+    /// Best-effort eviction sweep until `resident <= capacity` or no
+    /// shard can make progress (everything left is pinned, referenced,
+    /// or mid-I/O). Never blocks on pins; write-back failures skip the
+    /// victim. Bounded so a frame that keeps getting re-pinned
+    /// mid-flush cannot spin this loop forever.
+    fn drain_shrink_debt(&self) {
+        let n = self.shards.len();
+        let mut rounds = 2 * self.resident.load(Ordering::Acquire) + 2 * n;
+        let mut start = 0usize;
+        while rounds > 0 && self.shrink_debt() > 0 {
+            let mut progressed = false;
+            for k in 0..n {
+                rounds = rounds.saturating_sub(1);
+                match self.evict_one((start + k) % n) {
+                    Ok(EvictOutcome::Evicted | EvictOutcome::Aborted) => {
+                        start = (start + k + 1) % n;
+                        progressed = true;
+                        break;
+                    }
+                    // Write-back failure: the victim stays resident and
+                    // the error is already counted; keep sweeping other
+                    // shards.
+                    Ok(EvictOutcome::Nothing) | Err(_) => {}
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
     }
 
     /// Number of shards.
@@ -445,6 +520,9 @@ impl BufferCache {
             io_errors: self.stats.io_errors.load(Ordering::Relaxed),
             io_retries: self.stats.io_retries.load(Ordering::Relaxed),
             checksum_failures: self.stats.checksum_failures.load(Ordering::Relaxed),
+            capacity: self.capacity() as u64,
+            shrink_debt: self.shrink_debt() as u64,
+            capacity_shifts: self.stats.capacity_shifts.load(Ordering::Relaxed),
         };
         for shard in self.shards.iter() {
             s.shard_lock_contention += shard.lock_contention.load(Ordering::Relaxed);
@@ -491,9 +569,10 @@ impl BufferCache {
 
     /// Charge one frame against the global budget if it fits.
     fn try_reserve(&self) -> bool {
+        let cap = self.capacity.load(Ordering::Acquire);
         self.resident
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
-                (cur < self.capacity).then_some(cur + 1)
+                (cur < cap).then_some(cur + 1)
             })
             .is_ok()
     }
@@ -649,7 +728,8 @@ impl BufferCache {
             // Per-shard overflow bound: borrowing pauses at shard_cap
             // so over-quota shards shed load before dipping into the
             // global budget again.
-            let over = self.lock_shard(&self.shards[home]).frames.len() >= self.shard_cap;
+            let over = self.lock_shard(&self.shards[home]).frames.len()
+                >= self.shard_cap.load(Ordering::Acquire);
             if over {
                 match self.evict_one(home) {
                     Ok(EvictOutcome::Evicted | EvictOutcome::Aborted) => continue,
@@ -681,7 +761,7 @@ impl BufferCache {
                     Some(e) => e,
                     None => BtrimError::BufferExhausted {
                         pinned: self.pinned_frames(),
-                        capacity: self.capacity,
+                        capacity: self.capacity.load(Ordering::Acquire),
                     },
                 });
             }
@@ -690,7 +770,7 @@ impl BufferCache {
             Some(e) => e,
             None => BtrimError::BufferExhausted {
                 pinned: self.pinned_frames(),
-                capacity: self.capacity,
+                capacity: self.capacity.load(Ordering::Acquire),
             },
         })
     }
@@ -893,6 +973,16 @@ impl BufferCache {
     }
 }
 
+/// Soft per-shard bound for a given global capacity: base quota plus a
+/// 25% (min 2) borrow headroom, never above the global capacity.
+fn soft_shard_cap(capacity: usize, shards: usize) -> usize {
+    if shards <= 1 {
+        return capacity;
+    }
+    let quota = capacity / shards;
+    (quota + (quota / 4).max(2)).min(capacity)
+}
+
 /// Largest power of two ≤ capacity/32, clamped to [1, 16]; tiny caches
 /// stay unsharded so replacement behaves exactly like a single clock.
 fn auto_shards(capacity: usize) -> usize {
@@ -1051,6 +1141,77 @@ mod tests {
         // Now there is an evictable frame.
         let g3 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
         assert_ne!(g1.page_id(), g3.page_id());
+    }
+
+    #[test]
+    fn set_capacity_grow_takes_effect_immediately() {
+        let c = cache(2);
+        let _g1 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        let _g2 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        assert!(matches!(
+            c.new_page(PageType::Heap, PartitionId(0)),
+            Err(BtrimError::BufferExhausted { .. })
+        ));
+        assert_eq!(c.set_capacity(4), 0);
+        assert_eq!(c.capacity(), 4);
+        // The freshly granted frames are usable at once, pins intact.
+        let _g3 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        let _g4 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        assert_eq!(c.stats().capacity_shifts, 1);
+    }
+
+    #[test]
+    fn set_capacity_shrink_evicts_unpinned_lazily() {
+        let c = cache(8);
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            let g = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+            g.with_page_write(|p| {
+                p.insert(&[i; 16]).unwrap();
+            });
+            ids.push(g.page_id());
+        }
+        assert_eq!(c.resident(), 8);
+        // Nothing pinned: the shrink sweep drains the debt in full,
+        // writing dirty victims back on the way out.
+        assert_eq!(c.set_capacity(3), 0);
+        assert!(c.resident() <= 3);
+        assert_eq!(c.shrink_debt(), 0);
+        // Evicted pages reload intact.
+        for (i, id) in ids.iter().enumerate() {
+            let g = c.fetch(*id).unwrap();
+            g.with_page_read(|p| {
+                assert_eq!(p.get(btrim_common::SlotId(0)).unwrap(), &[i as u8; 16]);
+            });
+        }
+    }
+
+    #[test]
+    fn set_capacity_shrink_below_pins_leaves_debt_then_drains() {
+        let c = cache(4);
+        let g1 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        let g2 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        let g3 = c.new_page(PageType::Heap, PartitionId(0)).unwrap();
+        // Shrink below the pinned count: pins must survive, the
+        // uncovered frames stay resident as shrink debt.
+        let debt = c.set_capacity(1);
+        assert_eq!(debt, 2);
+        assert_eq!(c.shrink_debt(), 2);
+        assert_eq!(c.stats().shrink_debt, 2);
+        // The pinned frames are still fully usable.
+        g1.with_page_write(|p| {
+            p.insert(b"still-writable").unwrap();
+        });
+        // Each unpin lets eviction pay one frame of debt down.
+        drop(g2);
+        c.drain_shrink_debt();
+        assert_eq!(c.shrink_debt(), 1);
+        drop(g3);
+        c.drain_shrink_debt();
+        assert_eq!(c.shrink_debt(), 0);
+        // The last pinned frame fits inside the new capacity and stays.
+        assert_eq!(c.resident(), 1);
+        drop(g1);
     }
 
     #[test]
@@ -1280,7 +1441,7 @@ mod tests {
             } // other shards' guards drop here and stay evictable
         }
         assert!(
-            c.shard_stats()[0].resident > c.shard_cap,
+            c.shard_stats()[0].resident > c.shard_cap.load(Ordering::Relaxed),
             "test must actually push shard 0 past its soft cap"
         );
         assert!(c.resident() <= c.capacity());

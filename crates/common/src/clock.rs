@@ -29,7 +29,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::atomics::AtomicOp;
 use crate::ids::Timestamp;
+
+/// This file's key in the shared atomics-discipline table.
+const CLOCK_FILE: &str = "crates/common/src/clock.rs";
 
 /// A shared, monotonically increasing logical clock.
 #[derive(Debug, Default)]
@@ -61,6 +65,7 @@ impl LogicalClock {
     /// ≤ the returned value has finished stamping its versions.
     #[inline]
     pub fn now(&self) -> Timestamp {
+        crate::atomics::witness(CLOCK_FILE, "published", AtomicOp::Load, Ordering::Acquire);
         Timestamp(self.published.load(Ordering::Acquire))
     }
 
@@ -70,6 +75,7 @@ impl LogicalClock {
     /// between the two — stamping is memory-only).
     #[inline]
     pub fn reserve(&self) -> Timestamp {
+        crate::atomics::witness(CLOCK_FILE, "allocated", AtomicOp::Rmw, Ordering::AcqRel);
         Timestamp(self.allocated.fetch_add(1, Ordering::AcqRel) + 1)
     }
 
@@ -84,6 +90,7 @@ impl LogicalClock {
             ts.0,
             self.allocated.load(Ordering::Acquire)
         );
+        crate::atomics::witness(CLOCK_FILE, "published", AtomicOp::Rmw, Ordering::AcqRel);
         loop {
             match self.published.compare_exchange_weak(
                 ts.0 - 1,

@@ -122,8 +122,8 @@ impl LatencyHistogram {
     /// Reset all buckets to zero. Not atomic with respect to concurrent
     /// records; intended for quiesced use (tests, epoch boundaries).
     pub fn reset(&self) {
-        for b in self.buckets.iter() {
-            b.store(0, Ordering::Relaxed);
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
@@ -136,7 +136,7 @@ impl LatencyHistogram {
         let buckets: Vec<u64> = self
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|bucket| bucket.load(Ordering::Relaxed))
             .collect();
         HistogramSnapshot {
             buckets,

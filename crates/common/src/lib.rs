@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod atomics;
 pub mod clock;
 pub mod codec;
 pub mod counters;

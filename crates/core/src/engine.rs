@@ -679,7 +679,17 @@ impl Engine {
                 .side
                 .stash(page, slot, row_id, txn.handle.id, None, false);
             txn.side_keys.push((page, slot));
-            self.sh.ridmap.set(row_id, RowLocation::Page(page, slot));
+            // The heap insert above is additive (commit-gated at
+            // recovery), but its undo must be on record before the
+            // append below can fail, and the RID-Map must not publish
+            // the location until the Insert record is in the log —
+            // otherwise a failed append leaves a dangling RID that
+            // abort cannot reclaim.
+            txn.undo.push(UndoOp::PageInsert {
+                partition,
+                page,
+                slot,
+            });
             self.sh.append_sys(&PageLogRecord::Insert {
                 txn: txn.handle.id,
                 partition,
@@ -688,15 +698,11 @@ impl Engine {
                 slot,
                 data: payload,
             })?;
-            txn.undo.push(UndoOp::PageInsert {
-                partition,
-                page,
-                slot,
-            });
             txn.undo.push(UndoOp::RidSet {
                 row: row_id,
                 prev: None,
             });
+            self.sh.ridmap.set(row_id, RowLocation::Page(page, slot));
         }
         // Secondary index maintenance.
         for (idx, sec) in table.secondaries.read().iter().enumerate() {
@@ -1384,23 +1390,32 @@ impl Engine {
             false,
         );
         txn.side_keys.push((page, slot));
-        let in_place = heap.try_update_in_place(&self.sh.cache, page, slot, &new_payload)?;
         self.ensure_begin(txn)?;
+        // WAL-first: the Update record is appended from under the
+        // frame's write latch, after the fit probe and before the page
+        // bytes change. A failed append leaves the page untouched; a
+        // mis-fit returns false without logging and the relocation arm
+        // below writes its own records.
+        let in_place =
+            heap.try_update_in_place_logged(&self.sh.cache, page, slot, &new_payload, || {
+                self.sh
+                    .append_sys(&PageLogRecord::Update {
+                        txn: txn.handle.id,
+                        partition,
+                        row: row_id,
+                        page,
+                        slot,
+                        old: old_payload.clone(),
+                        new: new_payload.clone(),
+                    })
+                    .map(|_| ())
+            })?;
         if in_place {
             let contended = self.sh.cache.take_thread_contention() > 0;
             m.page_ops.inc();
             if contended {
                 m.page_contention.inc();
             }
-            self.sh.append_sys(&PageLogRecord::Update {
-                txn: txn.handle.id,
-                partition,
-                row: row_id,
-                page,
-                slot,
-                old: old_payload.clone(),
-                new: new_payload,
-            })?;
             txn.undo.push(UndoOp::PageUpdate {
                 partition,
                 page,
@@ -1413,6 +1428,15 @@ impl Engine {
             // raced the RID-Map read finds either the old live slot or,
             // after one retry, the new location; never a dead end.
             let (new_page, new_slot) = heap.insert(&self.sh.cache, &new_payload)?;
+            // The insert is additive (recovery discards it if the txn
+            // never commits) and so may precede the appends — but its
+            // undo must be recorded NOW, so an abort forced by a failed
+            // append below still reclaims the orphan copy.
+            txn.undo.push(UndoOp::PageInsert {
+                partition,
+                page: new_page,
+                slot: new_slot,
+            });
             let contended = self.sh.cache.take_thread_contention() > 0;
             m.page_ops.inc();
             if contended {
@@ -1430,11 +1454,9 @@ impl Engine {
                 false,
             );
             txn.side_keys.push((new_page, new_slot));
-            let prev = self.sh.ridmap.get(row_id);
-            self.sh
-                .ridmap
-                .set(row_id, RowLocation::Page(new_page, new_slot));
-            heap.delete(&self.sh.cache, page, slot)?;
+            // WAL-first: both records precede the destructive steps
+            // (the RID-Map flip and the old slot's delete); a failed
+            // append aborts with only the additive insert to undo.
             self.sh.append_sys(&PageLogRecord::Delete {
                 txn: txn.handle.id,
                 partition,
@@ -1457,12 +1479,16 @@ impl Engine {
                 row: row_id,
                 old: old_payload,
             });
-            txn.undo.push(UndoOp::PageInsert {
-                partition,
-                page: new_page,
-                slot: new_slot,
-            });
+            let prev = self.sh.ridmap.get(row_id);
             txn.undo.push(UndoOp::RidSet { row: row_id, prev });
+            // Repoint, only then delete the old copy — a concurrent
+            // reader that raced the RID-Map read finds either the old
+            // live slot or, after one retry, the new location; never a
+            // dead end.
+            self.sh
+                .ridmap
+                .set(row_id, RowLocation::Page(new_page, new_slot));
+            heap.delete(&self.sh.cache, page, slot)?;
         }
         self.maintain_secondaries(txn, table, row_id, &old_data, Some(new_row))?;
         self.sh.obs.record_since(OpClass::UpdatePage, op_start);
@@ -1552,12 +1578,9 @@ impl Engine {
                     true,
                 );
                 txn.side_keys.push((page, slot));
-                heap.delete(&self.sh.cache, page, slot)?;
-                let contended = self.sh.cache.take_thread_contention() > 0;
-                m.page_ops.inc();
-                if contended {
-                    m.page_contention.inc();
-                }
+                // WAL-first: the Delete record must be durable-ordered
+                // before the slot dies or the RID-Map flips, so a crash
+                // between the two can always be replayed.
                 self.ensure_begin(txn)?;
                 self.sh.append_sys(&PageLogRecord::Delete {
                     txn: txn.handle.id,
@@ -1576,6 +1599,14 @@ impl Engine {
                     row: row_id,
                     old: old_payload,
                 });
+                // Tombstone is published first so concurrent readers
+                // consult the stash instead of racing the dying slot.
+                heap.delete(&self.sh.cache, page, slot)?;
+                let contended = self.sh.cache.take_thread_contention() > 0;
+                m.page_ops.inc();
+                if contended {
+                    m.page_contention.inc();
+                }
                 if table.primary.delete(key, Some(row_id))? {
                     txn.undo.push(UndoOp::PrimaryRemove {
                         table: table.id,

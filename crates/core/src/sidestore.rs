@@ -188,6 +188,9 @@ impl SideStore {
             let shard = self.shard(page).read();
             if let Some(list) = shard.get(&(page, slot)) {
                 for e in list {
+                    // lint: allow(atomics-ordering) -- pending(0)→stamped
+                    // is only ever written by the owning txn's thread;
+                    // this load just filters our own pending entries.
                     if e.txn == txn && e.ts.load(Ordering::Relaxed) == 0 {
                         e.ts.store(ts.0, Ordering::Release);
                     }
@@ -203,6 +206,9 @@ impl SideStore {
             let mut shard = self.shard(page).write();
             if let Some(list) = shard.get_mut(&(page, slot)) {
                 list.retain(|e| {
+                    // lint: allow(atomics-ordering) -- abort path: only the
+                    // owning txn stamps its entries, and it is the caller,
+                    // so 0-vs-stamped needs no cross-thread ordering.
                     let drop = e.txn == txn && e.ts.load(Ordering::Relaxed) == 0;
                     if drop {
                         self.bytes.fetch_sub(e.bytes(), Ordering::Relaxed);
@@ -294,6 +300,9 @@ impl SideStore {
             let mut shard = shard.write();
             shard.retain(|_, list| {
                 list.retain(|e| {
+                    // lint: allow(atomics-ordering) -- the shard write lock
+                    // held here orders us after any stamp() that ran under
+                    // the same lock, so the Release stamp is visible.
                     let ts = e.ts.load(Ordering::Relaxed);
                     let drop = ts != 0 && ts <= horizon.0;
                     if drop {
@@ -301,6 +310,10 @@ impl SideStore {
                         freed += e.bytes();
                         if e.tombstone {
                             if let Some(RowLocation::Tombstone(..)) = ridmap.get(e.row) {
+                                // lint: allow(wal-before-mutation) -- purge
+                                // clears the tombstone of a delete whose
+                                // record fell below the snapshot horizon;
+                                // the Delete WAL record is already durable.
                                 ridmap.remove(e.row);
                             }
                         }

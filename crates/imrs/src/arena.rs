@@ -48,7 +48,11 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use btrim_common::atomics::AtomicOp;
 use btrim_common::{Timestamp, TxnId};
+
+/// This file's key in the shared atomics-discipline table.
+const ARENA_FILE: &str = "crates/imrs/src/arena.rs";
 
 use crate::alloc::FragHandle;
 use crate::version::{visible_to, VersionOp};
@@ -165,6 +169,9 @@ impl VersionArena {
         let link = self.alloc_node();
         let n = self.node(link);
         n.txn.store(txn.0, Ordering::Relaxed);
+        // lint: allow(atomics-ordering) -- pre-publish init: the node is
+        // unreachable until the Release store of `head` below, which
+        // publishes every field written here.
         n.commit_ts
             .store(commit_ts.map_or(0, |ts| ts.0), Ordering::Relaxed);
         let (meta, ha, hb) = match handle {
@@ -177,8 +184,12 @@ impl VersionArena {
         n.meta.store(meta, Ordering::Relaxed);
         n.ha.store(ha, Ordering::Relaxed);
         n.hb.store(hb, Ordering::Relaxed);
+        // lint: allow(atomics-ordering) -- writes to one row's chain are
+        // serialized (doc above), so the head read races nothing; the prev
+        // link itself is pre-publish init covered by the Release below.
         n.prev
             .store(head.load(Ordering::Relaxed), Ordering::Relaxed);
+        btrim_common::atomics::witness(ARENA_FILE, "head", AtomicOp::Store, Ordering::Release);
         head.store(link, Ordering::Release);
         link
     }
@@ -208,6 +219,7 @@ impl VersionArena {
 
     /// The `prev` link of a node (0 = end of chain).
     pub fn prev(&self, link: u64) -> u64 {
+        btrim_common::atomics::witness(ARENA_FILE, "prev", AtomicOp::Load, Ordering::Acquire);
         self.node(link).prev.load(Ordering::Acquire)
     }
 
@@ -216,12 +228,14 @@ impl VersionArena {
     /// unlinked node still follow its unchanged `prev` into the
     /// surviving chain.
     pub fn set_prev(&self, link: u64, prev: u64) {
+        btrim_common::atomics::witness(ARENA_FILE, "prev", AtomicOp::Store, Ordering::Release);
         self.node(link).prev.store(prev, Ordering::Release);
     }
 
     /// Stamp the commit timestamp (called once, at transaction commit).
     pub fn stamp(&self, link: u64, ts: Timestamp) {
         debug_assert_ne!(ts.0, 0, "commit ts 0 is reserved");
+        btrim_common::atomics::witness(ARENA_FILE, "commit_ts", AtomicOp::Store, Ordering::Release);
         self.node(link).commit_ts.store(ts.0, Ordering::Release);
     }
 

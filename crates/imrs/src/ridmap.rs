@@ -25,7 +25,11 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
+use btrim_common::atomics::AtomicOp;
 use btrim_common::{PageId, PartitionId, RowId, SlotId, Timestamp};
+
+/// This file's key in the shared atomics-discipline table.
+const RIDMAP_FILE: &str = "crates/imrs/src/ridmap.rs";
 
 /// Where a row currently lives.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -154,6 +158,7 @@ impl RidMap {
 
     /// Current location of a row, if known.
     pub fn get(&self, row: RowId) -> Option<RowLocation> {
+        btrim_common::atomics::witness(RIDMAP_FILE, "loc", AtomicOp::Load, Ordering::Acquire);
         self.try_entry(row)
             .and_then(|e| decode(e.loc.load(Ordering::Acquire)))
     }
@@ -162,6 +167,7 @@ impl RidMap {
     /// everything written to the entry beforehand (partition, chain
     /// head) to lock-free readers.
     pub fn set(&self, row: RowId, loc: RowLocation) {
+        btrim_common::atomics::witness(RIDMAP_FILE, "loc", AtomicOp::Rmw, Ordering::AcqRel);
         let prev = self.entry(row).loc.swap(encode(loc), Ordering::AcqRel);
         if prev & 0xFF == TAG_ABSENT {
             self.mapped.fetch_add(1, Ordering::Relaxed);
@@ -175,6 +181,8 @@ impl RidMap {
         let Some(e) = self.try_entry(row) else {
             return false;
         };
+        btrim_common::atomics::witness(RIDMAP_FILE, "loc", AtomicOp::Rmw, Ordering::AcqRel);
+        btrim_common::atomics::witness(RIDMAP_FILE, "loc", AtomicOp::Load, Ordering::Acquire);
         e.loc
             .compare_exchange(
                 encode(expected),
@@ -188,6 +196,7 @@ impl RidMap {
     /// Remove a row entirely (committed delete fully garbage-collected).
     pub fn remove(&self, row: RowId) -> Option<RowLocation> {
         let e = self.try_entry(row)?;
+        btrim_common::atomics::witness(RIDMAP_FILE, "loc", AtomicOp::Rmw, Ordering::AcqRel);
         let prev = decode(e.loc.swap(TAG_ABSENT, Ordering::AcqRel));
         if prev.is_some() {
             self.mapped.fetch_sub(1, Ordering::Relaxed);
@@ -215,6 +224,7 @@ impl RidMap {
 
     /// Current version-chain head link (0 = no chain published yet).
     pub fn head(&self, row: RowId) -> u64 {
+        btrim_common::atomics::witness(RIDMAP_FILE, "head", AtomicOp::Load, Ordering::Acquire);
         self.try_entry(row)
             .map_or(0, |e| e.head.load(Ordering::Acquire))
     }

@@ -83,6 +83,12 @@ impl ImrsRow {
     /// Claim queue membership. Returns `true` when the caller should
     /// enqueue the row (it was not in a queue before).
     pub fn try_mark_enqueued(&self) -> bool {
+        btrim_common::atomics::witness(
+            "crates/imrs/src/row.rs",
+            "enqueued",
+            btrim_common::atomics::AtomicOp::Rmw,
+            Ordering::AcqRel,
+        );
         !self.enqueued.swap(true, Ordering::AcqRel)
     }
 

@@ -1,0 +1,47 @@
+//! Fixture for the atomics-ordering rule. Checked under the
+//! `crates/imrs/src/arena.rs` path so the `commit_ts` (acq-rel) and
+//! `head` (acq-rel) protocol declarations apply. Not compiled — the
+//! tests `include_str!` it and run the linter over the text.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Node {
+    commit_ts: AtomicU64,
+    head: AtomicU64,
+    // Undeclared atomic field: decl-completeness finding.
+    mystery_flag: AtomicU64,
+}
+
+impl Node {
+    // BAD: Relaxed publish store on an acq-rel field.
+    pub fn publish_relaxed(&self, ts: u64) {
+        self.commit_ts.store(ts, Ordering::Relaxed);
+    }
+
+    // BAD: Relaxed load on an acq-rel field.
+    pub fn read_relaxed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    // GOOD: the declared protocol.
+    pub fn publish(&self, ts: u64) {
+        self.commit_ts.store(ts, Ordering::Release);
+    }
+
+    // GOOD: acquire side of the declared protocol.
+    pub fn read(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    // GOOD: SeqCst is never weaker than the declaration.
+    pub fn read_strong(&self) -> u64 {
+        self.head.load(Ordering::SeqCst)
+    }
+
+    // GOOD: a reasoned escape suppresses the weak access.
+    pub fn read_escaped(&self) -> u64 {
+        // lint: allow(atomics-ordering) -- fixture: a chain lock held by
+        // every caller orders this load after the publishing store
+        self.head.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture for the atomics-ordering rule's RMW/CAS slots. Checked
+//! under the `crates/txn/src/manager.rs` path so the `slots` (seq-cst)
+//! declaration applies. Not compiled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// BAD twice: the seq-cst protocol demands SeqCst on both the RMW and
+// the CAS failure load; AcqRel/Acquire are weaker.
+pub fn claim_weak(slots: &AtomicU64, stamp: u64) -> bool {
+    slots
+        .compare_exchange(0, stamp, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}
+
+// GOOD: full-strength CAS.
+pub fn claim(slots: &AtomicU64, stamp: u64) -> bool {
+    slots
+        .compare_exchange(0, stamp, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+}
+
+// GOOD: SeqCst RMW.
+pub fn release(slots: &AtomicU64) -> u64 {
+    slots.swap(0, Ordering::SeqCst)
+}

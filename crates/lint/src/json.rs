@@ -1,0 +1,242 @@
+//! JSON output for findings — hand-rolled, like everything else in this
+//! crate (the linter must stay dependency-free so it can lint the
+//! workspace that builds it).
+//!
+//! [`render`] emits one stable document:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "count": 2,
+//!   "findings": [
+//!     {"file": "crates/...", "line": 10, "rule": "lock-order", "message": "..."}
+//!   ]
+//! }
+//! ```
+//!
+//! [`validate`] is a minimal RFC 8259 syntax checker used by the tests
+//! (and available to CI) to prove the renderer never emits malformed
+//! output, whatever bytes end up in finding messages.
+
+use crate::rules::Finding;
+
+/// Render findings as a JSON document (sorted order is the caller's
+/// job; `check_workspace` already returns findings sorted).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(64 + findings.len() * 128);
+    out.push_str("{\n  \"version\": 1,\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        escape_into(&f.file, &mut out);
+        out.push_str(", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": ");
+        escape_into(f.rule, &mut out);
+        out.push_str(", \"message\": ");
+        escape_into(&f.msg, &mut out);
+        out.push('}');
+    }
+    if findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// JSON string escaping per RFC 8259: `"`, `\`, and control characters.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let v = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let d = (v >> shift) & 0xF;
+                    out.push(char::from_digit(d, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Check that `s` is one syntactically valid JSON value (with nothing
+/// but whitespace after it). Returns the byte offset and a message on
+/// the first error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let Some(&c) = b.get(*i) else {
+        return Err(format!("unexpected end of input at offset {i}", i = *i));
+    };
+    match c {
+        b'{' => object(b, i),
+        b'[' => array(b, i),
+        b'"' => string(b, i),
+        b'-' | b'0'..=b'9' => number(b, i),
+        b't' => literal(b, i, "true"),
+        b'f' => literal(b, i, "false"),
+        b'n' => literal(b, i, "null"),
+        _ => Err(format!("unexpected byte {c:#04x} at offset {i}", i = *i)),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {i}", i = *i))
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at offset {i}", i = *i));
+        }
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at offset {i}", i = *i));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(&b',') => *i += 1,
+            Some(&b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {i}", i = *i)),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(&b',') => *i += 1,
+            Some(&b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {i}", i = *i)),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '"'
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        *i += 1;
+                        for _ in 0..4 {
+                            if !b.get(*i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at offset {i}", i = *i));
+                            }
+                            *i += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at offset {i}", i = *i)),
+                }
+            }
+            0x00..=0x1F => return Err(format!("raw control char in string at offset {i}", i = *i)),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let mut digits = 0;
+    while b.get(*i).is_some_and(u8::is_ascii_digit) {
+        *i += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !b.get(*i).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad fraction at offset {i}", i = *i));
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !b.get(*i).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad exponent at offset {i}", i = *i));
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    Ok(())
+}

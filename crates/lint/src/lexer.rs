@@ -35,7 +35,8 @@ pub enum TokKind {
     BlockComment,
     /// Whitespace run.
     Whitespace,
-    /// Any other single character.
+    /// Any other character — single, except the structural two-char
+    /// operators `::`, `=>`, and `->`, which lex as one token.
     Punct,
 }
 
@@ -180,7 +181,20 @@ fn next_kind(cur: &mut Cursor<'_>) -> TokKind {
             TokKind::Ident
         }
         _ => {
-            cur.bump();
+            let first = cur.bump();
+            // The structural two-char operators the rule engine keys on
+            // lex as single tokens: `::` (path separator — the atomics
+            // rule distinguishes `Ordering::X` arguments from struct
+            // field declarations `name: T`), `=>` (match arms in the
+            // CFG builder), `->` (return types). Everything else stays
+            // single-char; no rule needs `==`, `&&`, or the compound
+            // assignments, and splitting them keeps the lexer total.
+            match (first, cur.peek()) {
+                (Some(':'), Some(':')) | (Some('='), Some('>')) | (Some('-'), Some('>')) => {
+                    cur.bump();
+                }
+                _ => {}
+            }
             TokKind::Punct
         }
     }

@@ -1,7 +1,9 @@
 //! `btrim-lint`: the workspace's static-analysis pass.
 //!
-//! A dependency-free Rust tokenizer ([`lexer`]) feeds an
-//! intra-procedural rule engine ([`rules`]) enforcing:
+//! A dependency-free Rust tokenizer ([`lexer`]) feeds a rule engine
+//! ([`rules`]) that segments function bodies, parses each into a
+//! CFG-lite statement tree ([`cfg`]), and consults a workspace symbol
+//! index ([`index`]) built in a first pass over every crate. Rules:
 //!
 //! * **lock-order** — nested lock acquisitions must follow the declared
 //!   hierarchy in [`hierarchy`] (shared, via `include!`, with the
@@ -12,17 +14,28 @@
 //! * **no-io-under-lock** — no device I/O lexically inside a classified
 //!   lock-guard scope in `core` and `wal`;
 //! * **snapshot-completeness** — every declared counter/histogram
-//!   reaches `render_report`/`to_json` ([`snapshot`], cross-file).
+//!   reaches `render_report`/`to_json` ([`snapshot`], cross-file);
+//! * **atomics-ordering** — every cross-thread atomic field declares a
+//!   publish/consume protocol in [`atomics`] (`atomics_discipline.rs`,
+//!   also `include!`d by the debug-build witness in
+//!   `btrim_common::atomics`), and no access uses a weaker ordering;
+//! * **wal-before-mutation** — every destructive page/RID-Map/IMRS
+//!   mutation in `core` is dominated by a WAL append on all control-flow
+//!   paths, per the tables in [`waldisc`] (`wal_discipline.rs`), unless
+//!   it is replay/recovery context.
 //!
 //! Intentional exceptions carry `// lint: allow(<rule>) -- <reason>`
 //! escapes; an escape without a reason is itself a finding.
 //!
 //! Run it as `cargo run -p btrim-lint -- check` from the workspace
-//! root; findings print as `file:line:rule: message` and a non-empty
-//! set exits non-zero.
+//! root; findings print as `file:line:rule: message` (or `--format
+//! json`) and a non-empty set exits non-zero.
 
 #![forbid(unsafe_code)]
 
+pub mod cfg;
+pub mod index;
+pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod snapshot;
@@ -33,7 +46,20 @@ pub mod hierarchy {
     include!("lock_hierarchy.rs");
 }
 
-pub use rules::{check_file, Finding, Options};
+/// The declared atomics discipline (see `src/atomics_discipline.rs`,
+/// the file also consumed by `btrim_common::atomics`' debug witness).
+pub mod atomics {
+    include!("atomics_discipline.rs");
+}
+
+/// The declared WAL-first mutation discipline
+/// (see `src/wal_discipline.rs`).
+pub mod waldisc {
+    include!("wal_discipline.rs");
+}
+
+pub use index::{build_index, WorkspaceIndex};
+pub use rules::{check_file, check_file_with, Finding, Options};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -67,9 +93,9 @@ fn rel(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Lint every crate's `src/` under `<root>/crates`, then run the
-/// cross-file snapshot-completeness rule. Returns sorted findings.
-pub fn check_workspace(root: &Path, opts: Options) -> io::Result<Vec<Finding>> {
+/// Read every crate's sources under `<root>/crates` as
+/// `(workspace-relative path, source)` pairs, sorted by path.
+fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let crates = root.join("crates");
     if !crates.is_dir() {
         return Err(io::Error::new(
@@ -87,8 +113,6 @@ pub fn check_workspace(root: &Path, opts: Options) -> io::Result<Vec<Finding>> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
-
-    let mut findings = Vec::new();
     let mut files = Vec::new();
     for dir in crate_dirs {
         let src = dir.join("src");
@@ -96,26 +120,80 @@ pub fn check_workspace(root: &Path, opts: Options) -> io::Result<Vec<Finding>> {
             rs_files(&src, &mut files)?;
         }
     }
-    let mut sources: std::collections::BTreeMap<String, String> = Default::default();
+    let mut sources = Vec::new();
     for path in &files {
-        let src = std::fs::read_to_string(path)?;
-        let key = rel(root, path);
-        findings.extend(check_file(&key, &src, opts));
-        sources.insert(key, src);
+        sources.push((rel(root, path), std::fs::read_to_string(path)?));
     }
+    Ok(sources)
+}
 
-    const OBS: &str = "crates/obs/src/lib.rs";
-    const STATS: &str = "crates/core/src/stats.rs";
-    const BUFFER: &str = "crates/pagestore/src/buffer.rs";
-    if let (Some(obs), Some(stats), Some(buffer)) =
-        (sources.get(OBS), sources.get(STATS), sources.get(BUFFER))
-    {
-        findings.extend(snapshot::check(
-            (OBS, obs),
-            (STATS, stats),
-            (BUFFER, buffer),
-        ));
+/// The three files the cross-file snapshot-completeness rule reads.
+const SNAPSHOT_FILES: &[&str] = &[
+    "crates/obs/src/lib.rs",
+    "crates/core/src/stats.rs",
+    "crates/pagestore/src/buffer.rs",
+];
+
+fn snapshot_findings(sources: &[(String, String)]) -> Vec<Finding> {
+    let get = |key: &str| {
+        sources
+            .iter()
+            .find(|(p, _)| p == key)
+            .map(|(_, s)| s.as_str())
+    };
+    if let (Some(obs), Some(stats), Some(buffer)) = (
+        get(SNAPSHOT_FILES[0]),
+        get(SNAPSHOT_FILES[1]),
+        get(SNAPSHOT_FILES[2]),
+    ) {
+        snapshot::check(
+            (SNAPSHOT_FILES[0], obs),
+            (SNAPSHOT_FILES[1], stats),
+            (SNAPSHOT_FILES[2], buffer),
+        )
+    } else {
+        Vec::new()
+    }
+}
+
+/// Lint every crate's `src/` under `<root>/crates`: pass one builds the
+/// workspace symbol index, pass two runs the per-file rules with it,
+/// then the cross-file snapshot-completeness rule runs. Returns sorted
+/// findings.
+pub fn check_workspace(root: &Path, opts: Options) -> io::Result<Vec<Finding>> {
+    let sources = workspace_sources(root)?;
+    let idx = build_index(&sources);
+    let mut findings = Vec::new();
+    for (path, src) in &sources {
+        findings.extend(check_file_with(path, src, opts, &idx));
+    }
+    findings.extend(snapshot_findings(&sources));
+    findings.sort();
+    Ok(findings)
+}
+
+/// Incremental mode: lint only the files whose workspace-relative paths
+/// are in `filter`, but build the symbol index (and escape context)
+/// from the whole workspace, so findings on a changed file are exactly
+/// the findings a full run would report for it. Cross-file snapshot
+/// findings are included when any of the files they read changed.
+pub fn check_files(
+    root: &Path,
+    opts: Options,
+    filter: &std::collections::BTreeSet<String>,
+) -> io::Result<Vec<Finding>> {
+    let sources = workspace_sources(root)?;
+    let idx = build_index(&sources);
+    let mut findings = Vec::new();
+    for (path, src) in &sources {
+        if filter.contains(path) {
+            findings.extend(check_file_with(path, src, opts, &idx));
+        }
+    }
+    if SNAPSHOT_FILES.iter().any(|f| filter.contains(*f)) {
+        findings.extend(snapshot_findings(&sources));
     }
     findings.sort();
+    findings.dedup();
     Ok(findings)
 }

@@ -1,16 +1,25 @@
 //! The intra-procedural rule engine.
 //!
 //! All rules are lexical: they run over the token stream of one file,
-//! with function bodies segmented by brace matching and lock-guard
-//! scopes tracked by `let` bindings and `drop()` calls. That makes them
-//! deliberately shallow — a guard smuggled through a helper function is
-//! invisible here — which is why the same hierarchy is also enforced
-//! dynamically by the `parking_lot` lock-rank witness (see
-//! [`crate::hierarchy`]). The static rule catches mistakes at review
-//! time; the witness catches whatever lexical analysis cannot see.
+//! with function bodies segmented by brace matching and then parsed
+//! into a CFG-lite statement tree ([`crate::cfg`]). Guard scopes and
+//! the WAL-first dataflow fork per branch arm and join at the merge
+//! point, so a guard dropped on one path stays held on the other and a
+//! mutation is only clean when *every* surviving path logged first.
+//! That is still deliberately shallow — a guard smuggled through a
+//! helper function is invisible here — which is why the same hierarchy
+//! is also enforced dynamically by the `parking_lot` lock-rank witness
+//! (see [`crate::hierarchy`]), and the atomics discipline by the
+//! debug-build witness in `btrim_common::atomics`. The static rules
+//! catch mistakes at review time; the witnesses catch whatever lexical
+//! analysis cannot see.
 
+use crate::atomics as adisc;
+use crate::cfg::{self, Node};
 use crate::hierarchy;
+use crate::index::WorkspaceIndex;
 use crate::lexer::{lex, TokKind, Token};
+use crate::waldisc;
 
 /// Rule identifiers, as used in findings and `lint: allow(...)` escapes.
 pub const RULES: &[&str] = &[
@@ -19,6 +28,8 @@ pub const RULES: &[&str] = &[
     "no-io-under-lock",
     "snapshot-completeness",
     "indexing",
+    "atomics-ordering",
+    "wal-before-mutation",
     "bad-escape",
 ];
 
@@ -27,6 +38,28 @@ const NO_PANIC_CRATES: &[&str] = &["wal", "pagestore", "imrs", "txn", "core"];
 
 /// Crates where I/O must not happen lexically under a classified lock.
 const NO_IO_CRATES: &[&str] = &["core", "wal"];
+
+/// Crates whose atomic fields must declare a protocol in
+/// `atomics_discipline.rs` (and whose access sites are checked
+/// against it).
+const ATOMICS_CRATES: &[&str] = &["common", "imrs", "txn", "pagestore", "core"];
+
+/// The `std::sync::atomic` type names the declaration-completeness
+/// scan recognises. An exact list (not an `Atomic` prefix test) so
+/// project types like `AtomicOp` don't trip it.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+];
 
 /// Method names that perform (or directly front) device I/O: `std::io`
 /// calls plus the `DiskBackend`/`LogSink` trait surface.
@@ -233,13 +266,15 @@ fn collect_escapes(path: &str, tokens: &[Token<'_>]) -> (Vec<Escape>, Vec<Findin
         }
         let mut lines = vec![t.line];
         if !line_has_code.contains(&t.line) {
-            // Standalone comment: cover the next code line.
-            if let Some(next) = tokens[i + 1..]
-                .iter()
-                .find(|n| n.is_significant())
-                .map(|n| n.line)
-            {
-                lines.push(next);
+            // Standalone comment: cover the next statement — every line
+            // from the next significant token up to its terminating `;`
+            // or opening `{` (rustfmt wraps method chains, so the access
+            // the escape vouches for often sits on a continuation line).
+            for n in tokens[i + 1..].iter().filter(|n| n.is_significant()) {
+                lines.push(n.line);
+                if n.text == ";" || n.text == "{" {
+                    break;
+                }
             }
         }
         escapes.push(Escape { rule, lines });
@@ -263,16 +298,30 @@ pub fn escaped_lines(src: &str, rule: &str) -> std::collections::BTreeSet<u32> {
 // Function segmentation (with test/bench exclusion)
 // ---------------------------------------------------------------------
 
-/// A function body: the significant tokens between its braces.
-struct FnBody<'a> {
-    tokens: Vec<Token<'a>>,
+/// A function body: the significant tokens between its braces, plus the
+/// function's name (used by the wal-before-mutation replay classifier
+/// and the workspace appender index).
+pub struct FnBody<'a> {
+    pub name: Option<&'a str>,
+    pub tokens: Vec<Token<'a>>,
 }
 
-/// Split the significant tokens of a file into function bodies, skipping
-/// anything under a `#[test]`/`#[bench]` function or a `#[cfg(test)]`
-/// (or similar test-mentioning attribute) module.
-fn function_bodies<'a>(sig: &[Token<'a>]) -> Vec<FnBody<'a>> {
-    let mut out = Vec::new();
+/// A file split into its checkable parts.
+pub struct Segmented<'a> {
+    /// Non-test function bodies, in source order.
+    pub fns: Vec<FnBody<'a>>,
+    /// Every significant token outside test functions and test modules
+    /// (struct declarations, constants, *and* the fn bodies again) —
+    /// the stream the atomics declaration/access scans run over.
+    pub nontest: Vec<Token<'a>>,
+}
+
+/// Split the significant tokens of a file, skipping anything under a
+/// `#[test]`/`#[bench]` function or a `#[cfg(test)]` (or similar
+/// test-mentioning attribute) module.
+pub fn segment<'a>(sig: &[Token<'a>]) -> Segmented<'a> {
+    let mut fns = Vec::new();
+    let mut nontest = Vec::new();
     let mut i = 0;
     let mut test_attr = false;
     while i < sig.len() {
@@ -310,6 +359,10 @@ fn function_bodies<'a>(sig: &[Token<'a>]) -> Vec<FnBody<'a>> {
             "fn" => {
                 let is_test = test_attr;
                 test_attr = false;
+                let name = sig
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokKind::Ident)
+                    .map(|n| n.text);
                 // Find the body's opening brace; a `;` first means a
                 // bodiless declaration (trait method, extern).
                 let mut j = i + 1;
@@ -317,24 +370,32 @@ fn function_bodies<'a>(sig: &[Token<'a>]) -> Vec<FnBody<'a>> {
                     j += 1;
                 }
                 if j >= sig.len() || sig[j].text == ";" {
+                    if !is_test {
+                        nontest.extend_from_slice(&sig[i..j.min(sig.len())]);
+                    }
                     i = j + 1;
                     continue;
                 }
                 let (body_end, body) = brace_block(sig, j);
                 if !is_test {
-                    out.push(FnBody { tokens: body });
+                    nontest.extend_from_slice(&sig[i..j]);
+                    nontest.extend_from_slice(&body);
+                    fns.push(FnBody { name, tokens: body });
                 }
                 i = body_end;
                 continue;
             }
             "struct" | "enum" | "trait" | "impl" | "mod" | "let" | "static" | "const" => {
                 test_attr = false;
+                nontest.push(*t);
             }
-            _ => {}
+            _ => {
+                nontest.push(*t);
+            }
         }
         i += 1;
     }
-    out
+    Segmented { fns, nontest }
 }
 
 /// From an item keyword at `i`, advance past the next balanced `{…}`
@@ -379,48 +440,50 @@ fn brace_block<'a>(sig: &[Token<'a>], open: usize) -> (usize, Vec<Token<'a>>) {
 }
 
 // ---------------------------------------------------------------------
-// Per-function rules
+// Shared token helpers
 // ---------------------------------------------------------------------
 
-/// A lock guard lexically in scope.
-struct Guard {
-    name: String,
-    rank: u16,
-    /// Brace depth at the binding; the guard dies when the enclosing
-    /// block closes.
-    depth: i32,
-}
-
-/// How an acquisition token was reached.
-enum Acq {
-    Blocking,
-    Try,
-}
-
-fn acquisition_kind(method: &str) -> Option<Acq> {
-    match method {
-        "lock" | "read" | "write" => Some(Acq::Blocking),
-        "try_lock" | "try_read" | "try_write" => Some(Acq::Try),
-        _ => None,
-    }
-}
-
 /// The receiver name to classify for a `.method()` call at `i`: the
-/// field before the dot, or — when the receiver is itself a call like
-/// `self.shard(row)` — the called method's name.
+/// field before the dot, the collection behind an index expression
+/// (`self.slots[i].load(…)` → `slots`), or — when the receiver is
+/// itself a call like `self.shard(row)` — the called method's name.
 fn receiver_name<'a>(body: &[Token<'a>], i: usize) -> Option<&'a str> {
     // body[i] is the method ident; body[i-1] must be `.`.
     if i < 2 || body[i - 1].text != "." {
         return None;
     }
-    let prev = &body[i - 2];
+    let mut j = i - 2;
+    if body[j].text == "]" {
+        // Index expression: walk back over `[…]` to the collection.
+        let mut depth = 0i32;
+        loop {
+            match body[j].text {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    let prev = &body[j];
     if prev.kind == TokKind::Ident {
         return Some(prev.text);
     }
     if prev.text == ")" {
         // Walk back over the argument list to the method name.
         let mut depth = 0i32;
-        let mut j = i - 2;
         loop {
             match body[j].text {
                 ")" => depth += 1,
@@ -444,38 +507,162 @@ fn receiver_name<'a>(body: &[Token<'a>], i: usize) -> Option<&'a str> {
     None
 }
 
-/// Run the intra-procedural rules over one function body.
-fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<Finding>) {
-    let krate = crate_of(path).unwrap_or("");
-    let no_panic = NO_PANIC_CRATES.contains(&krate);
-    let no_io = NO_IO_CRATES.contains(&krate);
+// ---------------------------------------------------------------------
+// Guard tracking over the CFG tree (lock-order, no-io-under-lock)
+// ---------------------------------------------------------------------
 
-    let mut held: Vec<Guard> = Vec::new();
-    let mut depth: i32 = 0;
-    // The binding target of the current statement, if any (`let g = …`
-    // or a `g = …` re-acquisition after an explicit `drop(g)`).
-    let mut binding: Option<String> = None;
+/// A lock guard in scope on some path.
+#[derive(Clone)]
+struct Guard {
+    name: String,
+    rank: u16,
+    /// Tree depth at the binding; the guard dies when the enclosing
+    /// scope/arm closes.
+    depth: i32,
+}
+
+/// How an acquisition token was reached.
+enum Acq {
+    Blocking,
+    Try,
+}
+
+fn acquisition_kind(method: &str) -> Option<Acq> {
+    match method {
+        "lock" | "read" | "write" => Some(Acq::Blocking),
+        "try_lock" | "try_read" | "try_write" => Some(Acq::Try),
+        _ => None,
+    }
+}
+
+/// Path state for the guard walk.
+#[derive(Clone, Default)]
+struct GuardState {
+    held: Vec<Guard>,
+    /// The binding target of the current statement, if any (`let g = …`
+    /// or a `g = …` re-acquisition after an explicit `drop(g)`).
+    binding: Option<String>,
+    /// A `return`/`break`/`continue` was seen; the path diverges once
+    /// its expression finishes (at `;` or scope/arm end).
+    pending: bool,
+    /// This path has exited the function/loop; nothing after runs.
+    diverged: bool,
+}
+
+impl GuardState {
+    fn settle(&mut self) {
+        if self.pending {
+            self.pending = false;
+            self.diverged = true;
+        }
+    }
+}
+
+struct GuardCtx<'p> {
+    path: &'p str,
+    no_io: bool,
+}
+
+fn walk_guards(
+    ctx: &GuardCtx<'_>,
+    nodes: &[Node<'_>],
+    st: &mut GuardState,
+    depth: i32,
+    findings: &mut Vec<Finding>,
+) {
+    for n in nodes {
+        if st.diverged {
+            return;
+        }
+        match n {
+            Node::Run(toks) => scan_guard_run(ctx, toks, st, depth, findings),
+            Node::Scope { nodes, diverging } => {
+                if *diverging {
+                    // `let … else { … }`: the block only runs on the
+                    // refuted path, which must diverge — walk a copy
+                    // (to check its contents) and discard it.
+                    let mut sub = st.clone();
+                    sub.pending = false;
+                    walk_guards(ctx, nodes, &mut sub, depth + 1, findings);
+                } else {
+                    walk_guards(ctx, nodes, st, depth + 1, findings);
+                    st.held.retain(|g| g.depth <= depth);
+                    st.settle();
+                    st.binding = None;
+                }
+            }
+            Node::Branch { arms, exhaustive } => {
+                let base = st.clone();
+                let mut merged: Vec<Guard> = Vec::new();
+                let mut any_live = false;
+                if !*exhaustive {
+                    // Fall-through path: the branch did not run.
+                    any_live = true;
+                    merged = base.held.clone();
+                }
+                for arm in arms {
+                    let mut sub = base.clone();
+                    sub.pending = false;
+                    walk_guards(ctx, arm, &mut sub, depth + 1, findings);
+                    sub.held.retain(|g| g.depth <= depth);
+                    sub.settle();
+                    if !sub.diverged {
+                        any_live = true;
+                        for g in sub.held {
+                            if !merged.iter().any(|m| m.name == g.name && m.rank == g.rank) {
+                                merged.push(g);
+                            }
+                        }
+                    }
+                }
+                st.held = merged;
+                st.binding = None;
+                st.pending = base.pending;
+                st.diverged = !any_live;
+            }
+            Node::Loop(body) => {
+                // Zero-or-more iterations: check the body on a copy of
+                // the incoming state, then keep the incoming state
+                // (guards acquired inside die at the body's scope; a
+                // drop() of an outer guard on some iteration must not
+                // un-hold it, so union-with-incoming == incoming).
+                let mut sub = st.clone();
+                sub.pending = false;
+                walk_guards(ctx, body, &mut sub, depth + 1, findings);
+                st.binding = None;
+            }
+        }
+    }
+}
+
+/// Straight-line guard tracking inside one [`Node::Run`].
+fn scan_guard_run(
+    ctx: &GuardCtx<'_>,
+    toks: &[Token<'_>],
+    st: &mut GuardState,
+    depth: i32,
+    findings: &mut Vec<Finding>,
+) {
+    let path = ctx.path;
     let mut stmt_start = true;
-
-    for i in 0..body.len() {
-        let t = &body[i];
-        let next = body.get(i + 1).map(|n| n.text);
+    for i in 0..toks.len() {
+        if st.diverged {
+            return;
+        }
+        let t = &toks[i];
+        let next = toks.get(i + 1).map(|n| n.text);
         match t.text {
-            "{" => {
-                depth += 1;
-                stmt_start = true;
-                continue;
-            }
-            "}" => {
-                depth -= 1;
-                held.retain(|g| g.depth <= depth);
-                stmt_start = true;
-                binding = None;
-                continue;
-            }
             ";" => {
+                st.settle();
                 stmt_start = true;
-                binding = None;
+                st.binding = None;
+                continue;
+            }
+            "return" | "break" | "continue" => {
+                // The trailing expression (if any) still executes; the
+                // path diverges when the statement ends.
+                st.pending = true;
+                stmt_start = false;
                 continue;
             }
             _ => {}
@@ -483,7 +670,7 @@ fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<
 
         if stmt_start {
             if t.text == "let" {
-                binding = body[i + 1..]
+                st.binding = toks[i + 1..]
                     .iter()
                     .take_while(|n| n.text != "=" && n.text != ";")
                     .find(|n| {
@@ -492,24 +679,22 @@ fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<
                     .map(|n| n.text.to_string());
             } else if t.kind == TokKind::Ident && next == Some("=") {
                 // Possible re-acquisition: `st = self.state.lock()`.
-                binding = Some(t.text.to_string());
+                st.binding = Some(t.text.to_string());
             }
         }
-        if t.kind == TokKind::Ident || t.text == "if" {
-            // `if let Some(g) = x.try_lock()` also binds a guard.
-            if t.text == "if" && next == Some("let") {
-                stmt_start = true;
-                continue;
-            }
+        // `if let Some(g) = x.try_lock()` also binds a guard.
+        if t.text == "if" && next == Some("let") {
+            stmt_start = true;
+            continue;
         }
         stmt_start = false;
 
         // drop(guard) ends a guard's scope early.
         if t.text == "drop" && next == Some("(") {
-            if let Some(name) = body.get(i + 2) {
-                if body.get(i + 3).map(|n| n.text) == Some(")") {
-                    if let Some(pos) = held.iter().rposition(|g| g.name == name.text) {
-                        held.remove(pos);
+            if let Some(name) = toks.get(i + 2) {
+                if toks.get(i + 3).map(|n| n.text) == Some(")") {
+                    if let Some(pos) = st.held.iter().rposition(|g| g.name == name.text) {
+                        st.held.remove(pos);
                     }
                 }
             }
@@ -523,7 +708,7 @@ fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<
         // Lock acquisitions: `.lock()` family on classified receivers,
         // plus guard-returning callables like `lock_shard(…)`.
         let acq = if let Some(kind) = acquisition_kind(t.text) {
-            receiver_name(body, i)
+            receiver_name(toks, i)
                 .and_then(|r| classify(path, r))
                 .map(|rank| (kind, rank))
         } else {
@@ -532,7 +717,7 @@ fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<
         if let Some((kind, rank)) = acq {
             match kind {
                 Acq::Blocking => {
-                    for g in &held {
+                    for g in &st.held {
                         if g.rank >= rank {
                             findings.push(Finding {
                                 file: path.to_string(),
@@ -549,8 +734,8 @@ fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<
                             });
                         }
                     }
-                    if let Some(name) = binding.take() {
-                        held.push(Guard { name, rank, depth });
+                    if let Some(name) = st.binding.take() {
+                        st.held.push(Guard { name, rank, depth });
                     }
                 }
                 // `try_*` cannot block, so it cannot deadlock at the
@@ -567,13 +752,13 @@ fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<
         }
 
         // I/O under a classified guard.
-        if no_io
+        if ctx.no_io
             && IO_METHODS.contains(&t.text)
             && i >= 1
-            && body[i - 1].text == "."
-            && !held.is_empty()
+            && toks[i - 1].text == "."
+            && !st.held.is_empty()
         {
-            let worst = held.iter().map(|g| g.rank).max().unwrap_or(0);
+            let worst = st.held.iter().map(|g| g.rank).max().unwrap_or(0);
             findings.push(Finding {
                 file: path.to_string(),
                 line: t.line,
@@ -585,52 +770,6 @@ fn check_body(path: &str, body: &[Token<'_>], opts: Options, findings: &mut Vec<
                     hierarchy::rank_name(worst),
                 ),
             });
-        }
-
-        // Panicking calls.
-        if no_panic && matches!(t.text, "unwrap" | "expect") && i >= 1 && body[i - 1].text == "." {
-            findings.push(Finding {
-                file: path.to_string(),
-                line: t.line,
-                rule: "no-panic",
-                msg: format!(
-                    "`.{}()` in non-test engine code — return a typed \
-                     `BtrimError` instead",
-                    t.text
-                ),
-            });
-        }
-    }
-
-    // Panic macros and pedantic indexing need their own scans (the main
-    // loop above keys on `ident (`-shaped calls).
-    if no_panic {
-        for (i, t) in body.iter().enumerate() {
-            if t.kind == TokKind::Ident
-                && PANIC_MACROS.contains(&t.text)
-                && body.get(i + 1).map(|n| n.text) == Some("!")
-            {
-                findings.push(Finding {
-                    file: path.to_string(),
-                    line: t.line,
-                    rule: "no-panic",
-                    msg: format!("`{}!` in non-test engine code", t.text),
-                });
-            }
-            if opts.pedantic
-                && t.text == "["
-                && i >= 1
-                && (body[i - 1].kind == TokKind::Ident
-                    || body[i - 1].text == ")"
-                    || body[i - 1].text == "]")
-            {
-                findings.push(Finding {
-                    file: path.to_string(),
-                    line: t.line,
-                    rule: "indexing",
-                    msg: "slice indexing can panic; prefer `.get(..)` (pedantic)".into(),
-                });
-            }
         }
     }
 }
@@ -644,13 +783,349 @@ fn order_string() -> String {
 }
 
 // ---------------------------------------------------------------------
-// Entry point
+// Structure-blind per-function scans (no-panic, pedantic indexing)
 // ---------------------------------------------------------------------
 
-/// Lint one file's source. `path` is the workspace-relative path (it
-/// selects which crates' rules apply and how receivers classify).
+fn check_flat(
+    path: &str,
+    body: &[Token<'_>],
+    opts: Options,
+    no_panic: bool,
+    findings: &mut Vec<Finding>,
+) {
+    if !no_panic {
+        return;
+    }
+    for (i, t) in body.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && matches!(t.text, "unwrap" | "expect")
+            && body.get(i + 1).map(|n| n.text) == Some("(")
+            && i >= 1
+            && body[i - 1].text == "."
+        {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "no-panic",
+                msg: format!(
+                    "`.{}()` in non-test engine code — return a typed \
+                     `BtrimError` instead",
+                    t.text
+                ),
+            });
+        }
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text)
+            && body.get(i + 1).map(|n| n.text) == Some("!")
+        {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "no-panic",
+                msg: format!("`{}!` in non-test engine code", t.text),
+            });
+        }
+        if opts.pedantic
+            && t.text == "["
+            && i >= 1
+            && (body[i - 1].kind == TokKind::Ident
+                || body[i - 1].text == ")"
+                || body[i - 1].text == "]")
+        {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "indexing",
+                msg: "slice indexing can panic; prefer `.get(..)` (pedantic)".into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// wal-before-mutation: WAL-first dataflow over the CFG tree
+// ---------------------------------------------------------------------
+
+/// Path state for the WAL-first dataflow: has this path definitely
+/// appended to the log yet?
+#[derive(Clone, Copy, Default)]
+struct WalState {
+    appended: bool,
+    pending: bool,
+    diverged: bool,
+}
+
+impl WalState {
+    fn settle(&mut self) {
+        if self.pending {
+            self.pending = false;
+            self.diverged = true;
+        }
+    }
+}
+
+fn walk_wal(
+    path: &str,
+    index: &WorkspaceIndex,
+    nodes: &[Node<'_>],
+    st: &mut WalState,
+    findings: &mut Vec<Finding>,
+) {
+    for n in nodes {
+        if st.diverged {
+            return;
+        }
+        match n {
+            Node::Run(toks) => {
+                for i in 0..toks.len() {
+                    if st.diverged {
+                        break;
+                    }
+                    let t = &toks[i];
+                    match t.text {
+                        ";" => {
+                            st.settle();
+                            continue;
+                        }
+                        "return" | "break" | "continue" => {
+                            st.pending = true;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if t.kind != TokKind::Ident || toks.get(i + 1).map(|n| n.text) != Some("(") {
+                        continue;
+                    }
+                    if index.is_appender(t.text) {
+                        st.appended = true;
+                        continue;
+                    }
+                    let hit = waldisc::MUTATION_METHODS
+                        .iter()
+                        .find(|(recv, m, _)| *m == t.text && receiver_name(toks, i) == Some(*recv));
+                    if let Some(&(recv, m, label)) = hit {
+                        if !st.appended {
+                            findings.push(Finding {
+                                file: path.to_string(),
+                                line: t.line,
+                                rule: "wal-before-mutation",
+                                msg: format!(
+                                    "`{recv}.{m}` ({label}) is not dominated by a WAL append \
+                                     on this path — log first, mutate second \
+                                     (see wal_discipline.rs)"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            Node::Scope { nodes, diverging } => {
+                if *diverging {
+                    let mut sub = *st;
+                    sub.pending = false;
+                    walk_wal(path, index, nodes, &mut sub, findings);
+                } else {
+                    walk_wal(path, index, nodes, st, findings);
+                    st.settle();
+                }
+            }
+            Node::Branch { arms, exhaustive } => {
+                let base = *st;
+                let mut all_appended = true;
+                let mut any_live = false;
+                if !*exhaustive {
+                    // Fall-through path: the branch may not run at all.
+                    any_live = true;
+                    all_appended &= base.appended;
+                }
+                for arm in arms {
+                    let mut sub = base;
+                    sub.pending = false;
+                    walk_wal(path, index, arm, &mut sub, findings);
+                    sub.settle();
+                    if !sub.diverged {
+                        any_live = true;
+                        all_appended &= sub.appended;
+                    }
+                }
+                st.appended = any_live && all_appended;
+                st.pending = base.pending;
+                st.diverged = !any_live;
+            }
+            Node::Loop(body) => {
+                // Zero-iteration path: an append inside the loop proves
+                // nothing for the code after it. Mutations inside are
+                // checked against the loop-entry state.
+                let mut sub = *st;
+                sub.pending = false;
+                walk_wal(path, index, body, &mut sub, findings);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// atomics-ordering: declaration completeness + access-site checks
+// ---------------------------------------------------------------------
+
+/// The access slots an atomic method fills, in argument order. A CAS
+/// checks its success ordering as an RMW and its failure ordering as a
+/// load.
+fn atomic_slots(method: &str) -> Option<&'static [u8]> {
+    match method {
+        "load" => Some(&[adisc::OP_LOAD]),
+        "store" => Some(&[adisc::OP_STORE]),
+        "swap" | "fetch_add" | "fetch_sub" | "fetch_and" | "fetch_or" | "fetch_xor"
+        | "fetch_nand" | "fetch_max" | "fetch_min" => Some(&[adisc::OP_RMW]),
+        "compare_exchange" | "compare_exchange_weak" | "fetch_update" => {
+            Some(&[adisc::OP_RMW, adisc::OP_LOAD])
+        }
+        _ => None,
+    }
+}
+
+fn ord_code(name: &str) -> Option<u8> {
+    Some(match name {
+        "Relaxed" => adisc::O_RELAXED,
+        "Acquire" => adisc::O_ACQUIRE,
+        "Release" => adisc::O_RELEASE,
+        "AcqRel" => adisc::O_ACQREL,
+        "SeqCst" => adisc::O_SEQCST,
+        _ => return None,
+    })
+}
+
+fn op_name(op: u8) -> &'static str {
+    match op {
+        adisc::OP_LOAD => "load",
+        adisc::OP_STORE => "store",
+        _ => "rmw",
+    }
+}
+
+/// Run the atomics discipline over a file's non-test token stream:
+/// every `name: AtomicX` field declaration must have a protocol entry
+/// in `atomics_discipline.rs`, and every access site on a declared
+/// name must use orderings at least as strong as the protocol.
+fn check_atomics(path: &str, toks: &[Token<'_>], findings: &mut Vec<Finding>) {
+    let krate = crate_of(path).unwrap_or("");
+    if !ATOMICS_CRATES.contains(&krate) {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+
+        // --- Declaration completeness: `name: [wrappers] AtomicX` ----
+        if ATOMIC_TYPES.contains(&t.text)
+            && toks.get(i + 1).map(|n| n.text) != Some("::")
+            && (i == 0 || toks[i - 1].text != "&")
+        {
+            // Walk back over type wrappers (`Box<[…]>`, `Vec<…>`, …).
+            let mut j = i;
+            while j > 0 {
+                let p = &toks[j - 1];
+                let is_wrapper_name =
+                    p.kind == TokKind::Ident && toks.get(j).map(|n| n.text) == Some("<");
+                if p.text == "<" || p.text == "[" || is_wrapper_name {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].kind == TokKind::Ident {
+                let name = &toks[j - 2];
+                let local = j >= 3 && matches!(toks[j - 3].text, "let" | "mut");
+                if !local && adisc::declared_protocol(path, name.text).is_none() {
+                    findings.push(Finding {
+                        file: path.to_string(),
+                        line: name.line,
+                        rule: "atomics-ordering",
+                        msg: format!(
+                            "atomic field `{}` has no declared publish/consume protocol — \
+                             add an entry to atomics_discipline.rs",
+                            name.text
+                        ),
+                    });
+                }
+            }
+            continue;
+        }
+
+        // --- Access sites: `recv.method(…, Ordering::X, …)` ----------
+        let Some(slots) = atomic_slots(t.text) else {
+            continue;
+        };
+        if toks.get(i + 1).map(|n| n.text) != Some("(") || i < 1 || toks[i - 1].text != "." {
+            continue;
+        }
+        let Some(recv) = receiver_name(toks, i) else {
+            continue;
+        };
+        let Some(proto) = adisc::declared_protocol(path, recv) else {
+            continue;
+        };
+        // Collect `Ordering::X` arguments at the call's own paren depth
+        // (orderings inside nested calls belong to those calls).
+        let mut ords: Vec<(&str, u32)> = Vec::new();
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "Ordering" if depth == 1 && toks.get(j + 1).map(|n| n.text) == Some("::") => {
+                    if let Some(o) = toks.get(j + 2) {
+                        ords.push((o.text, o.line));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for (slot, (ord, line)) in slots.iter().zip(ords.iter()) {
+            let Some(code) = ord_code(ord) else { continue };
+            if !adisc::ordering_ok(proto, *slot, code) {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: *line,
+                    rule: "atomics-ordering",
+                    msg: format!(
+                        "`{recv}.{}` uses Ordering::{ord} for its {} — weaker than the \
+                         declared `{}` protocol (see atomics_discipline.rs)",
+                        t.text,
+                        op_name(*slot),
+                        adisc::protocol_name(proto),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Lint one file's source with cross-file context. `path` is the
+/// workspace-relative path (it selects which crates' rules apply and
+/// how receivers classify); `index` supplies the workspace appender
+/// set for one-level call-graph propagation in `wal-before-mutation`.
 /// Returns findings with escapes already applied.
-pub fn check_file(path: &str, src: &str, opts: Options) -> Vec<Finding> {
+pub fn check_file_with(
+    path: &str,
+    src: &str,
+    opts: Options,
+    index: &WorkspaceIndex,
+) -> Vec<Finding> {
     let tokens = lex(src);
     let (escapes, mut findings) = collect_escapes(path, &tokens);
     let sig: Vec<Token<'_>> = tokens
@@ -658,9 +1133,28 @@ pub fn check_file(path: &str, src: &str, opts: Options) -> Vec<Finding> {
         .filter(|t| t.is_significant())
         .copied()
         .collect();
-    for body in function_bodies(&sig) {
-        check_body(path, &body.tokens, opts, &mut findings);
+    let seg = segment(&sig);
+
+    let krate = crate_of(path).unwrap_or("");
+    let no_panic = NO_PANIC_CRATES.contains(&krate);
+    let guard_ctx = GuardCtx {
+        path,
+        no_io: NO_IO_CRATES.contains(&krate),
+    };
+    let wal_applies = krate == "core" && !waldisc::REPLAY_FILES.iter().any(|f| path.ends_with(f));
+
+    for f in &seg.fns {
+        let tree = cfg::build(&f.tokens);
+        let mut gst = GuardState::default();
+        walk_guards(&guard_ctx, &tree, &mut gst, 0, &mut findings);
+        check_flat(path, &f.tokens, opts, no_panic, &mut findings);
+        if wal_applies && !f.name.is_some_and(|n| waldisc::REPLAY_FNS.contains(&n)) {
+            let mut wst = WalState::default();
+            walk_wal(path, index, &tree, &mut wst, &mut findings);
+        }
     }
+    check_atomics(path, &seg.nontest, &mut findings);
+
     findings.retain(|f| {
         f.rule == "bad-escape"
             || !escapes
@@ -670,4 +1164,11 @@ pub fn check_file(path: &str, src: &str, opts: Options) -> Vec<Finding> {
     findings.sort();
     findings.dedup();
     findings
+}
+
+/// Lint one file without workspace context (fixture tests, single-file
+/// callers). `wal-before-mutation` still recognises the seed append
+/// functions; only helper-propagated appends need the index.
+pub fn check_file(path: &str, src: &str, opts: Options) -> Vec<Finding> {
+    check_file_with(path, src, opts, &WorkspaceIndex::default())
 }

@@ -205,6 +205,150 @@ fn snapshot_completeness_finds_unreachable_counters() {
 }
 
 #[test]
+fn atomics_ordering_fires_on_weak_accesses() {
+    let src = include_str!("../fixtures/atomics.rs");
+    // The arena.rs path activates the `commit_ts`/`head` declarations.
+    let findings = check_file("crates/imrs/src/arena.rs", src, Options::default());
+    assert!(
+        findings.iter().all(|f| f.rule == "atomics-ordering"),
+        "no stray findings: {findings:?}"
+    );
+    // Relaxed publish store + Relaxed load + undeclared field. The
+    // correct, stronger-than-declared, and escaped accesses are silent.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    let msgs: Vec<&str> = findings.iter().map(|f| f.msg.as_str()).collect();
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`commit_ts.store`") && m.contains("Relaxed")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`head.load`") && m.contains("Relaxed")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`mystery_flag` has no declared")));
+}
+
+#[test]
+fn atomics_ordering_is_path_scoped() {
+    // obs is not an atomics crate; the same source is silent there.
+    let src = include_str!("../fixtures/atomics.rs");
+    let findings = check_file("crates/obs/src/fixture.rs", src, Options::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn atomics_ordering_checks_cas_slots() {
+    let src = include_str!("../fixtures/atomics_cas.rs");
+    // The manager.rs path activates the seq-cst `slots` declaration.
+    let findings = check_file("crates/txn/src/manager.rs", src, Options::default());
+    assert!(findings.iter().all(|f| f.rule == "atomics-ordering"));
+    // One weak CAS yields two findings: the AcqRel RMW slot and the
+    // Acquire failure-load slot. The SeqCst CAS and swap are silent.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    let msgs: Vec<&str> = findings.iter().map(|f| f.msg.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("AcqRel for its rmw")));
+    assert!(msgs.iter().any(|m| m.contains("Acquire for its load")));
+}
+
+#[test]
+fn wal_before_mutation_requires_append_on_all_paths() {
+    let src = include_str!("../fixtures/wal_mutation.rs");
+    let findings = check_file("crates/core/src/mutator.rs", src, Options::default());
+    assert!(
+        findings.iter().all(|f| f.rule == "wal-before-mutation"),
+        "no stray findings: {findings:?}"
+    );
+    // mutate_unlogged, log_after (append-after-mutation ordering bug),
+    // log_sometimes (branch-path miss), and via_helper (the default
+    // index has no appender entry for log_helper). log_first, log_both,
+    // apply_undo (replay), and the escaped purge_like are silent.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    let bad_line = |needle: &str, skip: usize| {
+        src.lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains(needle) && !l.trim_start().starts_with("//"))
+            .map(|(i, _)| i as u32 + 1)
+            .nth(skip)
+            .expect("fixture line")
+    };
+    // First un-commented ridmap.set is mutate_unlogged's.
+    assert_eq!(findings[0].line, bad_line("ridmap.set", 0), "{findings:?}");
+    assert_eq!(findings[1].line, bad_line("heap.delete", 0), "{findings:?}");
+}
+
+#[test]
+fn wal_before_mutation_uses_the_appender_index() {
+    let src = include_str!("../fixtures/wal_mutation.rs");
+    let path = "crates/core/src/mutator.rs";
+    // With the workspace index built over the fixture, `log_helper` is
+    // recognized as an appender and `via_helper` becomes clean — the
+    // three genuinely-unlogged mutations still fire.
+    let sources = [(path, src)];
+    let idx = btrim_lint::build_index(&sources);
+    let findings = btrim_lint::check_file_with(path, src, Options::default(), &idx);
+    let wal: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "wal-before-mutation")
+        .collect();
+    assert_eq!(wal.len(), 3, "{findings:?}");
+    let via_line = src
+        .lines()
+        .position(|l| l.contains("pub fn via_helper"))
+        .map(|i| i as u32 + 1)
+        .expect("fixture contains via_helper");
+    assert!(
+        wal.iter().all(|f| f.line < via_line),
+        "via_helper must be clean under the index: {findings:?}"
+    );
+}
+
+#[test]
+fn wal_before_mutation_is_crate_scoped() {
+    // The rule only gates `core`; the same source elsewhere is silent.
+    let src = include_str!("../fixtures/wal_mutation.rs");
+    let findings = check_file("crates/obs/src/mutator.rs", src, Options::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn changed_mode_matches_full_run_per_file() {
+    // Build a throwaway workspace with one dirty file and one clean
+    // file; `check_files` on the dirty file must report exactly what
+    // `check_workspace` reports for it.
+    let root = std::env::temp_dir().join(format!("btrim-lint-eq-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        include_str!("../fixtures/wal_mutation.rs"),
+    )
+    .unwrap();
+    std::fs::write(
+        src_dir.join("clean.rs"),
+        "pub fn log_first(&self) {\n    self.sh.append_sys(&rec);\n    self.sh.ridmap.set(row, loc);\n}\n",
+    )
+    .unwrap();
+    let full = btrim_lint::check_workspace(&root, Options::default()).unwrap();
+    assert!(!full.is_empty(), "the dirty file must produce findings");
+    let one: std::collections::BTreeSet<String> = ["crates/core/src/bad.rs".to_string()].into();
+    let changed = btrim_lint::check_files(&root, Options::default(), &one).unwrap();
+    let full_for_bad: Vec<_> = full
+        .iter()
+        .filter(|f| f.file == "crates/core/src/bad.rs")
+        .cloned()
+        .collect();
+    assert_eq!(
+        changed, full_for_bad,
+        "incremental run must match the full run"
+    );
+    // The clean file alone reports nothing.
+    let clean: std::collections::BTreeSet<String> = ["crates/core/src/clean.rs".to_string()].into();
+    let none = btrim_lint::check_files(&root, Options::default(), &clean).unwrap();
+    assert!(none.is_empty(), "{none:?}");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
 fn real_workspace_is_clean() {
     // The repo itself must lint clean — same invocation CI runs. Walk
     // up from the manifest dir so the test works from any cwd.

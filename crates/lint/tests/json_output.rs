@@ -1,0 +1,82 @@
+//! The JSON renderer must emit syntactically valid output whatever
+//! bytes end up in finding messages — CI machine-parses it, so a
+//! malformed document is a broken pipeline, not a cosmetic bug.
+
+use btrim_lint::json;
+use btrim_lint::rules::Finding;
+
+fn finding(file: &str, line: u32, msg: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: "no-panic",
+        msg: msg.to_string(),
+    }
+}
+
+#[test]
+fn empty_findings_render_valid_json() {
+    let doc = json::render(&[]);
+    json::validate(&doc).unwrap();
+    assert!(doc.contains("\"count\": 0"));
+    assert!(doc.contains("\"findings\": []"));
+}
+
+#[test]
+fn hostile_messages_render_valid_json() {
+    let findings = vec![
+        finding("crates/a.rs", 1, "quote \" backslash \\ done"),
+        finding("crates/b.rs", 2, "newline\nand\ttab\rand\u{1}control"),
+        finding("crates/c.rs", 3, "unicode € 日本語 \u{1F600}"),
+        finding("crates/d\"e.rs", 4, "brace {\"json\": [1,2]} inside"),
+    ];
+    let doc = json::render(&findings);
+    json::validate(&doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
+    assert!(doc.contains("\"count\": 4"));
+    // The control character must be \u-escaped, never raw.
+    assert!(doc.contains("\\u0001"));
+    assert!(!doc.bytes().any(|b| b < 0x20 && b != b'\n'));
+}
+
+#[test]
+fn renderer_preserves_finding_fields() {
+    let doc = json::render(&[finding("crates/x.rs", 42, "msg")]);
+    json::validate(&doc).unwrap();
+    assert!(doc.contains("\"file\": \"crates/x.rs\""));
+    assert!(doc.contains("\"line\": 42"));
+    assert!(doc.contains("\"rule\": \"no-panic\""));
+    assert!(doc.contains("\"message\": \"msg\""));
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "{\"a\": }",
+        "{\"a\": 1,}",
+        "[1, 2",
+        "\"unterminated",
+        "{\"a\": 01e}",
+        "nul",
+        "{} trailing",
+        "{\"a\": \"raw\ncontrol\"}",
+        "{\"k\" 1}",
+    ] {
+        assert!(json::validate(bad).is_err(), "accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn validator_accepts_well_formed_documents() {
+    for good in [
+        "null",
+        "true",
+        " -12.5e+3 ",
+        "{\"a\": [1, {\"b\": \"c\\u00e9\"}], \"d\": false}",
+        "[]",
+        "\"\\\\\\\"\"",
+    ] {
+        json::validate(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
+    }
+}

@@ -33,6 +33,21 @@ fn fragment() -> impl Strategy<Value = String> {
         Just("'".to_string()),
         Just("r#".to_string()),
         Just("\\".to_string()),
+        Just("r#match".to_string()),
+        Just("let r#loop = r#\"x\"#;".to_string()),
+        Just("r##\"inner r#\"nested\"# edge\"##".to_string()),
+        Just("&'a r#\"raw\"#".to_string()),
+        Just("/// doc comment with `unwrap()` and lint: allow(no-panic)\n".to_string()),
+        Just("//! module doc\n".to_string()),
+        Just("/** block doc */".to_string()),
+        Just("/*! inner block doc */".to_string()),
+        Just("::".to_string()),
+        Just("=>".to_string()),
+        Just("->".to_string()),
+        Just(":::".to_string()),
+        Just("==>".to_string()),
+        Just("Ordering::Relaxed".to_string()),
+        Just("a::<B>::c".to_string()),
     ]
 }
 
@@ -119,4 +134,68 @@ fn lexer_corner_cases() {
     // Unterminated block comment consumes to EOF without panicking.
     let toks = lex("code(); /* trailing");
     assert_eq!(toks.last().unwrap().kind, TokKind::BlockComment);
+}
+
+/// The structural two-character operators lex as single tokens — the
+/// rules match on `::` (paths, `Ordering::Relaxed`) and `=>`
+/// (match arms), so splitting them breaks the CFG parser silently.
+#[test]
+fn two_char_operators_are_single_tokens() {
+    let toks = lex("m::n(Ordering::Relaxed) => |x| -> u64 { x }");
+    let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+    assert_eq!(texts.iter().filter(|t| **t == "::").count(), 2);
+    assert!(texts.contains(&"=>"));
+    assert!(texts.contains(&"->"));
+    assert!(!texts.contains(&":"), "no split `::` halves: {texts:?}");
+    // A lone colon is still a colon, and `:::` is `::` + `:`.
+    let texts: Vec<&str> = lex("a: b ::: c")
+        .iter()
+        .filter(|t| t.is_significant())
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(texts, ["a", ":", "b", "::", ":", "c"]);
+}
+
+/// Raw identifiers lex as one identifier token, keyword part included;
+/// otherwise `r#match` would open a raw string and eat the file.
+#[test]
+fn raw_identifiers_do_not_open_raw_strings() {
+    let toks = lex("let r#match = r#loop.lock();");
+    assert!(toks
+        .iter()
+        .any(|t| t.text == "r#match" && t.kind == TokKind::Ident));
+    assert!(toks
+        .iter()
+        .any(|t| t.text == "r#loop" && t.kind == TokKind::Ident));
+    assert!(toks.iter().all(|t| t.kind != TokKind::StrLit));
+    // And a real raw string right next to a lifetime still closes on
+    // its own guard count.
+    let toks = lex("&'a r##\"has \"# inside\"## trailing");
+    let s = toks
+        .iter()
+        .find(|t| t.kind == TokKind::StrLit)
+        .expect("raw string");
+    assert_eq!(s.text, "r##\"has \"# inside\"##");
+    assert!(toks.iter().any(|t| t.text == "trailing"));
+}
+
+/// Doc comments keep their comment kind (so escape parsing can skip
+/// them) and never hide following code.
+#[test]
+fn doc_comments_lex_as_comments() {
+    let src = "/// outer `unwrap()`\n//! inner\n/** block */\nfn f() {}";
+    let toks = lex(src);
+    assert_eq!(
+        toks.iter()
+            .filter(|t| matches!(t.kind, TokKind::LineComment))
+            .count(),
+        2
+    );
+    assert_eq!(
+        toks.iter()
+            .filter(|t| matches!(t.kind, TokKind::BlockComment))
+            .count(),
+        1
+    );
+    assert!(toks.iter().any(|t| t.text == "fn"));
 }

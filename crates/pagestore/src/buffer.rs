@@ -650,6 +650,9 @@ impl BufferCache {
                     // Lost the install race; return the slot and join
                     // the winner's frame via the hit path.
                     drop(inner);
+                    // lint: allow(atomics-ordering) -- pure decrement: it
+                    // releases the freed slot, and the admitting CAS in
+                    // make_room acquires; the decrementer reads nothing.
                     self.resident.fetch_sub(1, Ordering::Release);
                     continue;
                 }
@@ -687,6 +690,8 @@ impl BufferCache {
                             inner.remove_at(idx);
                         }
                     }
+                    // lint: allow(atomics-ordering) -- pure decrement (see
+                    // the install-race comment above).
                     self.resident.fetch_sub(1, Ordering::Release);
                     frame.set_state(STATE_FAILED);
                     frame.pin.fetch_sub(1, Ordering::AcqRel);
@@ -844,6 +849,8 @@ impl BufferCache {
         })?;
         inner.remove_at(idx);
         drop(inner);
+        // lint: allow(atomics-ordering) -- pure decrement: releases the
+        // evicted slot to the admitting CAS; reads nothing back.
         self.resident.fetch_sub(1, Ordering::Release);
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         Ok(EvictOutcome::Evicted)
@@ -1058,6 +1065,8 @@ impl std::fmt::Debug for PageGuard<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PageGuard")
             .field("page_id", &self.frame.page_id)
+            // lint: allow(atomics-ordering) -- Debug snapshot; a stale pin
+            // count in log output is harmless.
             .field("pins", &self.frame.pin.load(Ordering::Relaxed))
             .finish()
     }

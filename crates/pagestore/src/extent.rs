@@ -1067,18 +1067,18 @@ impl FrozenExtent {
     pub fn is_live(&self, i: usize) -> bool {
         self.live
             .get(i / 64)
-            .map(|w| w.load(Ordering::Acquire) >> (i % 64) & 1 == 1)
+            .map(|live_word| live_word.load(Ordering::Acquire) >> (i % 64) & 1 == 1)
             .unwrap_or(false)
     }
 
     /// Mark slot `i` gone (row thawed or deleted). Returns whether this
     /// call made the transition.
     pub fn mark_gone(&self, i: usize) -> bool {
-        let Some(word) = self.live.get(i / 64) else {
+        let Some(live_word) = self.live.get(i / 64) else {
             return false;
         };
         let bit = 1u64 << (i % 64);
-        let prev = word.fetch_and(!bit, Ordering::AcqRel);
+        let prev = live_word.fetch_and(!bit, Ordering::AcqRel);
         if prev & bit != 0 {
             self.live_count.fetch_sub(1, Ordering::Relaxed);
             true
@@ -1090,11 +1090,11 @@ impl FrozenExtent {
     /// Re-mark slot `i` live (abort-undo of a frozen-row delete).
     /// Returns whether this call made the transition.
     pub fn mark_live(&self, i: usize) -> bool {
-        let Some(word) = self.live.get(i / 64) else {
+        let Some(live_word) = self.live.get(i / 64) else {
             return false;
         };
         let bit = 1u64 << (i % 64);
-        let prev = word.fetch_or(bit, Ordering::AcqRel);
+        let prev = live_word.fetch_or(bit, Ordering::AcqRel);
         if prev & bit == 0 {
             self.live_count.fetch_add(1, Ordering::Relaxed);
             true

@@ -191,6 +191,40 @@ impl HeapFile {
         Ok(ok)
     }
 
+    /// Update a row strictly in place, WAL-first: probe the fit under
+    /// the frame's write latch, invoke `log` (the caller's WAL append)
+    /// while the latch pins the outcome, and only then overwrite the
+    /// bytes. Returns `Ok(false)` — without logging — when the payload
+    /// no longer fits (the caller relocates under its own log records).
+    /// A failed `log` leaves the page untouched.
+    ///
+    /// Latch order: FRAME precedes WAL_LOG in the declared hierarchy,
+    /// so appending under the frame latch is legal — and it is what
+    /// makes "no page byte changes before its record enters the log's
+    /// append order" hold even against concurrent writers racing for
+    /// the same page's free space.
+    pub fn try_update_in_place_logged(
+        &self,
+        cache: &BufferCache,
+        pid: PageId,
+        slot: SlotId,
+        data: &[u8],
+        log: impl FnOnce() -> Result<()>,
+    ) -> Result<bool> {
+        let guard = cache.fetch(pid)?;
+        let (res, free) = guard.with_page_write(|p| {
+            if !p.update_fits(slot, data.len()) {
+                return (Ok(false), p.total_free());
+            }
+            if let Err(e) = log() {
+                return (Err(e), p.total_free());
+            }
+            (Ok(p.update(slot, data)), p.total_free())
+        });
+        self.inner.lock().set_free(pid, free);
+        res
+    }
+
     /// Update a row in place; if it no longer fits, relocate within the
     /// heap and return the new address.
     pub fn update(

@@ -277,6 +277,22 @@ impl<'a> SlottedPage<'a> {
         (0..self.slot_count()).find(|&s| self.slot_entry(s).0 == TOMBSTONE)
     }
 
+    /// Side-effect-free probe: would [`Self::update`] of `slot` to a
+    /// `new_len`-byte payload succeed in place? Callers that must log
+    /// the overwrite before mutating probe under the same write latch,
+    /// append, then update — the answer cannot change in between.
+    pub fn update_fits(&self, slot: SlotId, new_len: usize) -> bool {
+        if slot.0 >= self.slot_count() {
+            return false;
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if off == TOMBSTONE {
+            return false;
+        }
+        let len = len as usize;
+        new_len <= len || self.total_free() + len >= new_len
+    }
+
     /// Insert a row payload, compacting if needed. Returns the slot, or
     /// `None` when the page cannot hold the payload.
     pub fn insert(&mut self, data: &[u8]) -> Option<SlotId> {

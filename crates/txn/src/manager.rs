@@ -131,6 +131,9 @@ impl TxnManager {
         let start = (id.0 as usize).wrapping_mul(0x9E37_79B9) % SLOTS;
         for i in 0..SLOTS {
             let idx = (start + i) % SLOTS;
+            // lint: allow(atomics-ordering) -- the Relaxed failure ordering
+            // only observes "slot busy" before probing the next one; the
+            // success side stays SeqCst.
             if self.slots[idx]
                 .compare_exchange(0, r.0 + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
@@ -239,8 +242,11 @@ impl TxnManager {
         let slots = self
             .slots
             .iter()
-            .filter(|s| s.load(Ordering::Relaxed) != 0)
+            // lint: allow(atomics-ordering) -- monitoring gauge, not the
+            // reservation protocol; a torn count is fine.
+            .filter(|slot| slot.load(Ordering::Relaxed) != 0)
             .count();
+        // lint: allow(atomics-ordering) -- same gauge snapshot as above.
         slots + self.overflow_len.load(Ordering::Relaxed)
     }
 
